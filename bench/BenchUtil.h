@@ -1,0 +1,71 @@
+//===- bench/BenchUtil.h - shared benchmark helpers --------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/figure benchmark harnesses: cached
+/// median experiment runs (the paper's three-seed protocol, Sec. 7.1)
+/// and common formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_BENCH_BENCHUTIL_H
+#define GREENWEB_BENCH_BENCHUTIL_H
+
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "workloads/Experiment.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace greenweb::bench {
+
+/// Runs (or returns the cached) median experiment for one
+/// (app, governor, mode) cell under the paper's three-seed protocol.
+class ResultCache {
+public:
+  const ExperimentResult &get(const std::string &App,
+                              const std::string &Governor,
+                              ExperimentMode Mode) {
+    auto Key = App + "|" + Governor +
+               (Mode == ExperimentMode::Micro ? "|micro" : "|full");
+    auto It = Cache.find(Key);
+    if (It != Cache.end())
+      return It->second;
+    ExperimentConfig Config;
+    Config.AppName = App;
+    Config.GovernorName = Governor;
+    Config.Mode = Mode;
+    auto [Inserted, _] =
+        Cache.emplace(Key, runExperimentMedian(Config, {1, 2, 3}));
+    return Inserted->second;
+  }
+
+private:
+  std::map<std::string, ExperimentResult> Cache;
+};
+
+/// Prints the standard harness banner.
+inline void banner(const char *Id, const char *Paper) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("GreenWeb reproduction - %s\n", Id);
+  std::printf("Paper reference: %s\n", Paper);
+  std::printf("==============================================================="
+              "=\n\n");
+}
+
+/// "N/A"-safe percentage of a baseline.
+inline std::string percentOf(double Value, double Baseline) {
+  if (Baseline <= 0.0)
+    return "n/a";
+  return formatString("%.1f%%", 100.0 * Value / Baseline);
+}
+
+} // namespace greenweb::bench
+
+#endif // GREENWEB_BENCH_BENCHUTIL_H

@@ -1,0 +1,69 @@
+//===- bench/bench_ablation_ebs.cpp - ablation A7 --------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// Ablation A7: GreenWeb vs. annotation-free event-based scheduling
+// (EBS, Zhu et al. HPCA'15), reproducing the paper's Sec. 9 argument:
+// "without QoS annotations EBS relies on runtime measurement of event
+// latency as a proxy for user QoS expectations... the measured latency
+// is merely an artifact of a particular mobile system's capability.
+// GreenWeb annotations express inherent user expectations."
+//
+// Where EBS goes wrong, by construction:
+//  * MSN's heavyweight taps are slow to execute, so EBS guesses users
+//    tolerate them and slows down further - but the annotation says
+//    users expect a 100 ms response (violations);
+//  * CamanJS's filters are slow AND tolerated, so EBS gets lucky;
+//  * the first occurrence of every event runs at peak while EBS
+//    measures, which GreenWeb's model makes a one-off cost too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace greenweb;
+
+int main() {
+  bench::banner("Ablation A7: GreenWeb vs annotation-free EBS",
+                "Sec. 9 related-work comparison (Zhu et al. HPCA'15)");
+
+  TablePrinter Table;
+  Table.row()
+      .cell("Application")
+      .cell("Governor")
+      .cell("Energy (mJ)")
+      .cell("Viol-I (%)")
+      .cell("Viol-U (%)");
+
+  for (const char *Name : {"MSN", "CamanJS", "Todo", "Goo.ne.jp"}) {
+    for (const char *Gov :
+         {governors::Ebs, governors::GreenWebI, governors::GreenWebU}) {
+      ExperimentConfig C;
+      C.AppName = Name;
+      C.GovernorName = Gov;
+      ExperimentResult R = runExperiment(C);
+      Table.row()
+          .cell(Name)
+          .cell(Gov)
+          .cell(R.TotalJoules * 1e3, 1)
+          .cell(R.ViolationPctImperceptible, 2)
+          .cell(R.ViolationPctUsable, 2);
+    }
+  }
+  Table.print();
+  std::printf(
+      "\nExpected shape (the paper's Sec. 9 argument, as it manifests "
+      "here):\n"
+      " * EBS cannot express battery scenarios: it has one operating "
+      "point per guessed class, so it never reaches GreenWeb-U's "
+      "usable-mode savings (2-4x on MSN/CamanJS/Goo.ne.jp).\n"
+      " * EBS reasons about events, not animation closures: it retires "
+      "a tap at its first frame, so Goo.ne.jp's menu animations run "
+      "their remaining frames at the idle configuration (the "
+      "imperceptible-scenario violations above), where GreenWeb's "
+      "Sec. 6.4 frame association keeps optimizing to the end.\n"
+      " * Where measured latency and user expectation coincide "
+      "(CamanJS: slow and genuinely tolerated), EBS and GreenWeb-I "
+      "converge - annotations pay off exactly when the two diverge.\n");
+  return 0;
+}

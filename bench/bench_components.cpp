@@ -1,0 +1,145 @@
+//===- bench/bench_components.cpp - component microbenchmarks --------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// google-benchmark microbenchmarks of the substrate components: CSS
+// parsing/matching, MiniScript execution, HTML parsing, the DES kernel,
+// and a whole simulated frame pipeline. These measure the *simulator's*
+// wall-clock cost (how fast experiments run), not simulated time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/Browser.h"
+#include "css/CssParser.h"
+#include "css/StyleResolver.h"
+#include "html/HtmlParser.h"
+#include "js/JsInterp.h"
+#include "support/StringUtils.h"
+#include "workloads/Apps.h"
+#include "workloads/Experiment.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace greenweb;
+
+namespace {
+
+std::string makeCssSource(int Rules) {
+  std::string Src;
+  for (int I = 0; I < Rules; ++I)
+    Src += formatString("div#id-%d.cls-%d:QoS { width: %dpx; "
+                        "transition: width 2s; onclick-qos: single, "
+                        "short; }\n",
+                        I, I % 7, I);
+  return Src;
+}
+
+void BM_CssParse(benchmark::State &State) {
+  std::string Src = makeCssSource(int(State.range(0)));
+  for (auto _ : State) {
+    css::Stylesheet Sheet = css::parseStylesheet(Src);
+    benchmark::DoNotOptimize(Sheet.Rules.size());
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) *
+                          int64_t(Src.size()));
+}
+BENCHMARK(BM_CssParse)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SelectorMatching(benchmark::State &State) {
+  css::Stylesheet Sheet = css::parseStylesheet(makeCssSource(200));
+  css::StyleResolver Resolver(Sheet);
+  Document Doc;
+  Element *E = Doc.root().createChild("div");
+  E->setId("id-42");
+  E->addClass("cls-0");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Resolver.matchRules(*E).size());
+}
+BENCHMARK(BM_SelectorMatching);
+
+void BM_HtmlParse(benchmark::State &State) {
+  AppDefinition App = makeApp("BBC", 1);
+  for (auto _ : State) {
+    html::ParseResult R = html::parseHtml(App.Html);
+    benchmark::DoNotOptimize(R.Doc->elementCount());
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) *
+                          int64_t(App.Html.size()));
+}
+BENCHMARK(BM_HtmlParse);
+
+void BM_MiniScriptFib(benchmark::State &State) {
+  for (auto _ : State) {
+    js::Interpreter Interp;
+    Interp.setOpLimit(100'000'000);
+    bool Ok = Interp.runScript(
+        "function fib(n) { if (n < 2) { return n; } "
+        "return fib(n - 1) + fib(n - 2); } var r = fib(18);");
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_MiniScriptFib);
+
+void BM_MiniScriptLoop(benchmark::State &State) {
+  js::Interpreter Interp;
+  Interp.setOpLimit(1'000'000'000);
+  for (auto _ : State) {
+    Interp.clearError();
+    bool Ok = Interp.runScript(
+        "var acc = 0; for (var i = 0; i < 10000; i++) { acc = acc + i; }");
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * 10'000);
+}
+BENCHMARK(BM_MiniScriptLoop);
+
+void BM_SimulatorEventChurn(benchmark::State &State) {
+  for (auto _ : State) {
+    Simulator Sim;
+    int Count = 0;
+    for (int I = 0; I < 10'000; ++I)
+      Sim.schedule(Duration::microseconds(I % 997), [&Count] { ++Count; });
+    Sim.run();
+    benchmark::DoNotOptimize(Count);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * 10'000);
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_FramePipeline(benchmark::State &State) {
+  // Wall-clock cost of simulating one second of a 60Hz animation.
+  for (auto _ : State) {
+    Simulator Sim;
+    AcmpChip Chip(Sim);
+    Chip.setConfig(Chip.spec().maxConfig());
+    Browser B(Sim, Chip);
+    B.loadPage(R"raw(
+      <div id=c onclick="start()"></div>
+      <script>
+        function step() { invalidate(); requestAnimationFrame(step); }
+        function start() { requestAnimationFrame(step); }
+      </script>
+    )raw");
+    Sim.runUntil(Sim.now() + Duration::milliseconds(500));
+    B.dispatchInput("click", "c");
+    Sim.runUntil(Sim.now() + Duration::seconds(1));
+    benchmark::DoNotOptimize(B.frameTracker().frames().size());
+  }
+}
+BENCHMARK(BM_FramePipeline);
+
+void BM_FullExperiment(benchmark::State &State) {
+  // Wall-clock cost of one complete Table 3 session under GreenWeb.
+  for (auto _ : State) {
+    ExperimentConfig C;
+    C.AppName = "Goo.ne.jp";
+    C.GovernorName = governors::GreenWebU;
+    ExperimentResult R = runExperiment(C);
+    benchmark::DoNotOptimize(R.TotalJoules);
+  }
+}
+BENCHMARK(BM_FullExperiment);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,204 @@
+//===- examples/full_evaluation.cpp - one-shot evaluation driver ---------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// Runs one (application, governor, mode) experiment from the command
+// line and prints a detailed report - the programmatic entry point the
+// bench harnesses are built on, exposed as a tool:
+//
+//   full_evaluation [app] [governor] [micro|full]
+//
+// e.g. `full_evaluation Cnet GreenWeb-U full`. Pass a fourth argument
+// to additionally export the session as Chrome Trace Event JSON
+// (loadable in chrome://tracing / Perfetto):
+//
+//   full_evaluation Goo.ne.jp GreenWeb-U full trace.json
+//
+// With no arguments, runs a compact sweep of one app per QoS category
+// under every governor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/Browser.h"
+#include "browser/TraceExport.h"
+#include "greenweb/Governors.h"
+#include "greenweb/GreenWebRuntime.h"
+#include "hw/EnergyMeter.h"
+#include "support/TablePrinter.h"
+#include "workloads/Experiment.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+using namespace greenweb;
+
+namespace {
+
+void printDetailed(const ExperimentResult &R) {
+  std::printf("%s under %s (%s interaction, seed %llu)\n", R.App.c_str(),
+              R.Governor.c_str(),
+              R.Mode == ExperimentMode::Micro ? "micro" : "full",
+              static_cast<unsigned long long>(R.Seed));
+  std::printf("  energy: %.1f mJ (A15 %.1f mJ, A7 %.1f mJ) over %.1f s "
+              "-> %.0f mW average\n",
+              R.TotalJoules * 1e3, R.BigJoules * 1e3, R.LittleJoules * 1e3,
+              R.MeasuredSeconds,
+              R.MeasuredSeconds > 0
+                  ? R.TotalJoules / R.MeasuredSeconds * 1e3
+                  : 0.0);
+  std::printf("  events: %llu (%llu annotated), frames: %llu\n",
+              static_cast<unsigned long long>(R.InputEvents),
+              static_cast<unsigned long long>(R.AnnotatedEvents),
+              static_cast<unsigned long long>(R.Frames));
+  std::printf("  QoS violations: %.2f%% (imperceptible targets), %.2f%% "
+              "(usable targets)\n",
+              R.ViolationPctImperceptible, R.ViolationPctUsable);
+  std::printf("  switching: %llu frequency changes, %llu migrations\n",
+              static_cast<unsigned long long>(R.FreqSwitches),
+              static_cast<unsigned long long>(R.Migrations));
+  if (R.RuntimeStats.AnnotatedEvents + R.RuntimeStats.UnannotatedEvents >
+      0)
+    std::printf("  runtime: %llu profiling frames, %llu predicted, "
+                "%llu/%llu feedback up/down, %llu recalibrations\n",
+                static_cast<unsigned long long>(
+                    R.RuntimeStats.ProfilingFrames),
+                static_cast<unsigned long long>(
+                    R.RuntimeStats.PredictedFrames),
+                static_cast<unsigned long long>(
+                    R.RuntimeStats.FeedbackStepsUp),
+                static_cast<unsigned long long>(
+                    R.RuntimeStats.FeedbackStepsDown),
+                static_cast<unsigned long long>(
+                    R.RuntimeStats.Recalibrations));
+  std::printf("  configuration residency:\n");
+  for (const auto &[Config, T] : R.ConfigDistribution) {
+    double Pct = R.MeasuredSeconds > 0
+                     ? 100.0 * T.secs() / R.MeasuredSeconds
+                     : 0.0;
+    if (Pct >= 0.5)
+      std::printf("    %-12s %5.1f%%\n", Config.str().c_str(), Pct);
+  }
+}
+
+int runSweep() {
+  std::printf("No arguments: sweeping one app per QoS category under "
+              "every governor.\n\n");
+  TablePrinter Table;
+  Table.row()
+      .cell("App")
+      .cell("Governor")
+      .cell("Energy (mJ)")
+      .cell("Viol-I (%)")
+      .cell("Viol-U (%)");
+  for (const char *App : {"CamanJS", "Todo", "Goo.ne.jp"}) {
+    for (const char *Gov :
+         {governors::Perf, governors::Interactive, governors::GreenWebI,
+          governors::GreenWebU}) {
+      ExperimentConfig C;
+      C.AppName = App;
+      C.GovernorName = Gov;
+      ExperimentResult R = runExperiment(C);
+      Table.row()
+          .cell(App)
+          .cell(Gov)
+          .cell(R.TotalJoules * 1e3, 1)
+          .cell(R.ViolationPctImperceptible, 2)
+          .cell(R.ViolationPctUsable, 2);
+    }
+  }
+  Table.print();
+  std::printf("\nUsage: full_evaluation [app] [governor] [micro|full] "
+              "[trace.json]\n"
+              "Apps: ");
+  for (const std::string &Name : allAppNames())
+    std::printf("%s ", Name.c_str());
+  std::printf("\nGovernors: Perf Interactive Ondemand Powersave "
+              "GreenWeb-I GreenWeb-U\n");
+  return 0;
+}
+
+/// Re-runs the session standalone and writes a chrome://tracing JSON
+/// timeline (frames, input latencies, CPU configuration residency).
+void exportTrace(const ExperimentConfig &Config, const char *Path) {
+  AppDefinition App = makeApp(Config.AppName, Config.Seed);
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  EnergyMeter Meter(Chip);
+  ConfigTimelineRecorder Recorder(Chip);
+  Browser B(Sim, Chip);
+
+  AnnotationRegistry Registry;
+  std::unique_ptr<Governor> Gov;
+  if (Config.GovernorName == governors::GreenWebI ||
+      Config.GovernorName == governors::GreenWebU) {
+    GreenWebRuntime::Params P;
+    P.Scenario = Config.GovernorName == governors::GreenWebI
+                     ? UsageScenario::Imperceptible
+                     : UsageScenario::Usable;
+    auto RT = std::make_unique<GreenWebRuntime>(Registry, P);
+    RT->setEnergyMeter(&Meter);
+    Gov = std::move(RT);
+  } else if (Config.GovernorName == governors::Interactive) {
+    Gov = std::make_unique<InteractiveGovernor>();
+  } else if (Config.GovernorName == governors::Powersave) {
+    Gov = std::make_unique<PowersaveGovernor>();
+  } else if (Config.GovernorName == governors::Ebs) {
+    Gov = std::make_unique<EbsGovernor>();
+  } else if (Config.GovernorName == governors::Ondemand) {
+    Gov = std::make_unique<OndemandGovernor>();
+  } else {
+    Gov = std::make_unique<PerfGovernor>();
+  }
+  B.OnPageParsed = [&] {
+    Registry.clear();
+    Registry.loadFromPage(B);
+  };
+  Gov->attach(B);
+  B.loadPage(App.Html);
+  TimePoint Origin = Sim.now();
+  for (const TraceEvent &Event : App.Full.Events)
+    Sim.scheduleAt(Origin + Event.At, [&B, Event] {
+      B.dispatchInput(Event.Type, Event.TargetId);
+    });
+  Sim.runUntil(Origin + App.Full.SessionLength + Duration::seconds(2));
+
+  std::string Json = exportChromeTrace(B.frameTracker().frames(),
+                                       Recorder.intervals());
+  std::ofstream Out(Path);
+  Out << Json;
+  Gov->detach();
+  size_t Events = 0;
+  for (size_t Pos = Json.find("\"ph\""); Pos != std::string::npos;
+       Pos = Json.find("\"ph\"", Pos + 1))
+    ++Events;
+  std::printf("\nwrote %zu trace events to %s (open in "
+              "chrome://tracing or ui.perfetto.dev)\n",
+              Events, Path);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return runSweep();
+
+  ExperimentConfig Config;
+  Config.AppName = Argv[1];
+  Config.GovernorName = Argv[2];
+  if (Argc > 3 && std::strcmp(Argv[3], "micro") == 0)
+    Config.Mode = ExperimentMode::Micro;
+
+  bool KnownApp = false;
+  for (const std::string &Name : allAppNames())
+    KnownApp |= Name == Config.AppName;
+  if (!KnownApp) {
+    std::fprintf(stderr, "error: unknown app '%s'\n", Argv[1]);
+    return 1;
+  }
+  printDetailed(runExperiment(Config));
+  if (Argc > 4 || (Argc == 4 && std::strcmp(Argv[3], "micro") != 0 &&
+                   std::strcmp(Argv[3], "full") != 0))
+    exportTrace(Config, Argv[Argc - 1]);
+  return 0;
+}

@@ -1,0 +1,175 @@
+//===- autogreen/AutoGreen.cpp - Automatic QoS annotation -----------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autogreen/AutoGreen.h"
+
+#include "browser/Browser.h"
+#include "dom/Dom.h"
+#include "hw/AcmpChip.h"
+#include "sim/Simulator.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace greenweb;
+
+namespace {
+
+/// A discovered (element, event) pair to profile.
+struct ProfileTarget {
+  Element *Target = nullptr;
+  std::string EventName;
+};
+
+/// Builds a selector for \p E, or an empty string when the element
+/// cannot be selected unambiguously.
+std::string selectorFor(Document &Doc, const Element &E) {
+  if (&E == &Doc.root())
+    return "html";
+  if (!E.id().empty())
+    return "#" + E.id();
+  // Fall back to tag.class when that combination is unique.
+  if (!E.classes().empty()) {
+    std::string Candidate = E.tagName() + "." + E.classes().front();
+    size_t Count = 0;
+    for (Element *Match : Doc.getElementsByClass(E.classes().front()))
+      if (Match->tagName() == E.tagName())
+        ++Count;
+    if (Count == 1)
+      return Candidate;
+  }
+  // Unique tag?
+  if (Doc.getElementsByTag(E.tagName()).size() == 1)
+    return E.tagName();
+  return std::string();
+}
+
+} // namespace
+
+AutoGreenResult greenweb::runAutoGreen(std::string_view Html,
+                                       AutoGreenOptions Options) {
+  AutoGreenResult Result;
+
+  // Sandboxed profiling environment: fixed max-performance chip so the
+  // classification is independent of any governor.
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Chip.setConfig(Chip.spec().maxConfig());
+  Browser B(Sim, Chip);
+
+  uint64_t LoadRoot = B.loadPage(Html);
+  if (LoadRoot == 0) {
+    Result.Log.push_back("error: page failed to load");
+    return Result;
+  }
+  // Let the load drain fully before profiling.
+  Sim.runUntil(Sim.now() + Options.ProfileTimeout);
+
+  Document &Doc = *B.document();
+
+  // --- Instrumentation phase: discover nodes and callbacks ---
+  std::vector<ProfileTarget> Targets;
+  Doc.forEachElement([&](Element &E) {
+    for (const std::string &Type : E.listenedEventTypes()) {
+      if (!isUserInputEvent(Type))
+        continue;
+      Targets.push_back({&E, Type});
+    }
+  });
+  // The load interaction is always profiled (it already ran).
+  bool LoadContinuous = B.animationsStartedBy(LoadRoot) > 0 ||
+                        B.rafRegisteredBy(LoadRoot) > 0;
+  {
+    DiscoveredAnnotation Ann;
+    Ann.Selector = "html:QoS";
+    Ann.EventName = events::Load;
+    Ann.Value.Kind = LoadContinuous ? css::QosValueKind::Continuous
+                                    : css::QosValueKind::Single;
+    if (!LoadContinuous)
+      Ann.Value.LongDuration = true; // loads are heavyweight by nature
+    Ann.AnimationsStarted = B.animationsStartedBy(LoadRoot);
+    Ann.RafRegistrations = B.rafRegisteredBy(LoadRoot);
+    Result.Annotations.push_back(std::move(Ann));
+    ++Result.EventsProfiled;
+    if (LoadContinuous)
+      ++Result.ContinuousDetected;
+    else
+      ++Result.SingleDetected;
+  }
+
+  // --- Profiling phase: trigger every event and watch the detectors ---
+  for (const ProfileTarget &T : Targets) {
+    std::string Selector = selectorFor(Doc, *T.Target);
+    if (Selector.empty()) {
+      ++Result.SkippedUnselectable;
+      Result.Log.push_back(formatString(
+          "skipped <%s> %s: no unambiguous selector",
+          T.Target->tagName().c_str(), T.EventName.c_str()));
+      continue;
+    }
+
+    uint64_t FramesBefore = B.frameTracker().frames().size();
+    uint64_t Root = B.dispatchInput(T.EventName, T.Target);
+    if (Root == 0)
+      continue;
+    // Run until the event quiesces or the timeout elapses.
+    TimePoint Deadline = Sim.now() + Options.ProfileTimeout;
+    while (Sim.now() < Deadline && B.hasPendingWorkFor(Root)) {
+      if (Sim.run(1) == 0)
+        break;
+    }
+
+    uint64_t Animations = B.animationsStartedBy(Root);
+    uint64_t Rafs = B.rafRegisteredBy(Root);
+    bool Continuous = Animations > 0 || Rafs > 0;
+
+    DiscoveredAnnotation Ann;
+    Ann.Selector = Selector + ":QoS";
+    Ann.EventName = T.EventName;
+    Ann.Value.Kind = Continuous ? css::QosValueKind::Continuous
+                                : css::QosValueKind::Single;
+    if (!Continuous)
+      // Conservative: assume users expect a short response (Sec. 5).
+      Ann.Value.LongDuration = !Options.AssumeShortSingle;
+    Ann.AnimationsStarted = Animations;
+    Ann.RafRegistrations = Rafs;
+    Ann.FramesProduced = B.frameTracker().frames().size() - FramesBefore;
+
+    Result.Log.push_back(formatString(
+        "%s on%s -> %s (animations=%llu, rAF=%llu, frames=%llu)",
+        Selector.c_str(), T.EventName.c_str(),
+        Continuous ? "continuous" : "single",
+        static_cast<unsigned long long>(Animations),
+        static_cast<unsigned long long>(Rafs),
+        static_cast<unsigned long long>(Ann.FramesProduced)));
+
+    ++Result.EventsProfiled;
+    if (Continuous)
+      ++Result.ContinuousDetected;
+    else
+      ++Result.SingleDetected;
+    Result.Annotations.push_back(std::move(Ann));
+  }
+
+  // --- Generation phase: emit rules, merging per selector ---
+  std::map<std::string, std::vector<const DiscoveredAnnotation *>>
+      BySelector;
+  for (const DiscoveredAnnotation &Ann : Result.Annotations)
+    BySelector[Ann.Selector].push_back(&Ann);
+
+  std::string Css = "/* Generated by AUTOGREEN */\n";
+  for (const auto &[Selector, Anns] : BySelector) {
+    Css += Selector + " {\n";
+    for (const DiscoveredAnnotation *Ann : Anns)
+      Css += formatString("  on%s-qos: %s;\n", Ann->EventName.c_str(),
+                          css::qosValueText(Ann->Value).c_str());
+    Css += "}\n";
+  }
+  Result.GeneratedCss = Css;
+  Result.AnnotatedHtml =
+      std::string(Html) + "\n<style>\n" + Css + "</style>\n";
+  return Result;
+}

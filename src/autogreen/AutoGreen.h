@@ -1,0 +1,90 @@
+//===- autogreen/AutoGreen.h - Automatic QoS annotation ----------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AUTOGREEN (Sec. 5 of the paper): automatically applies GreenWeb
+/// annotations to an application without developer intervention. Three
+/// phases, mirroring Fig. 6:
+///
+///  * Instrumentation - load the app in a sandboxed browser; discover
+///    every DOM node with user-input event callbacks. The detection
+///    hooks correspond to the paper's overloads: rAF registrations,
+///    jQuery-style animate() calls, and CSS transition/animation starts
+///    are counted per originating input.
+///  * Profiling - trigger each discovered event and run the simulation
+///    until the event quiesces; an event whose callback started any
+///    animation mechanism is classified "continuous", otherwise
+///    "single".
+///  * Generation - emit GreenWeb CSS rules (`#id:QoS { on<event>-qos:
+///    ... }`) and inject them into the application source. Default
+///    Table 1 targets are used; single events conservatively get the
+///    "short" target because AUTOGREEN cannot judge callback semantics
+///    (favoring QoS over energy, Sec. 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_AUTOGREEN_AUTOGREEN_H
+#define GREENWEB_AUTOGREEN_AUTOGREEN_H
+
+#include "css/CssValues.h"
+#include "support/Time.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greenweb {
+
+/// Options controlling the profiling phase.
+struct AutoGreenOptions {
+  /// Maximum simulated time to wait for one profiled event to quiesce.
+  Duration ProfileTimeout = Duration::seconds(3);
+  /// Conservative QoS-target assumption for single events (the paper
+  /// always assumes short; turning this off is an ablation).
+  bool AssumeShortSingle = true;
+};
+
+/// One generated annotation.
+struct DiscoveredAnnotation {
+  /// CSS selector (with :QoS) that selects the element.
+  std::string Selector;
+  /// DOM event name.
+  std::string EventName;
+  /// Generated QoS value.
+  css::QosValue Value;
+  /// Evidence from profiling (diagnostics).
+  uint64_t AnimationsStarted = 0;
+  uint64_t RafRegistrations = 0;
+  uint64_t FramesProduced = 0;
+};
+
+/// Output of an AUTOGREEN run.
+struct AutoGreenResult {
+  std::vector<DiscoveredAnnotation> Annotations;
+  /// The generated GreenWeb stylesheet text.
+  std::string GeneratedCss;
+  /// Original source with the generated rules injected as a trailing
+  /// <style> block.
+  std::string AnnotatedHtml;
+  /// Profiling log (one line per event).
+  std::vector<std::string> Log;
+
+  size_t EventsProfiled = 0;
+  size_t ContinuousDetected = 0;
+  size_t SingleDetected = 0;
+
+  /// Annotations for events AUTOGREEN had to skip because no stable
+  /// selector exists (element without id whose tag/class is ambiguous).
+  size_t SkippedUnselectable = 0;
+};
+
+/// Runs the full AUTOGREEN pipeline on an application source.
+AutoGreenResult runAutoGreen(std::string_view Html,
+                             AutoGreenOptions Options = AutoGreenOptions());
+
+} // namespace greenweb
+
+#endif // GREENWEB_AUTOGREEN_AUTOGREEN_H

@@ -1,0 +1,85 @@
+//===- browser/BrowserConfig.h - Browser cost parameters --------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tunable cost parameters of the simulated browser's frame pipeline.
+/// Per-application workload models scale these to land each app in its
+/// Table 3 QoS category; the defaults describe a mid-weight mobile page.
+///
+/// Cycle counts are "effective cycles" (retired work at IPC 1); the
+/// ACMP model divides by frequency x IPC. Fixed times model the
+/// frequency-independent portion (memory stalls, GPU work), which is
+/// what gives the paper's DVFS model its T_independent term.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_BROWSER_BROWSERCONFIG_H
+#define GREENWEB_BROWSER_BROWSERCONFIG_H
+
+#include "support/Time.h"
+
+namespace greenweb {
+
+/// Costs of the renderer pipeline stages (Fig. 7 of the paper).
+struct RenderCostParams {
+  /// --- Callback execution stage ---
+  /// Effective cycles charged per interpreter op.
+  double CyclesPerScriptOp = 60.0;
+  /// Base cycles of dispatching one event callback.
+  double CallbackBaseCycles = 150e3;
+  /// Frequency-independent time per callback dispatch.
+  Duration CallbackFixedTime = Duration::microseconds(150);
+
+  /// --- Style recalculation stage ---
+  double StyleCyclesPerNode = 900.0;
+  Duration StyleFixedTime = Duration::microseconds(80);
+
+  /// --- Layout stage ---
+  double LayoutCyclesPerNode = 2200.0;
+  Duration LayoutFixedTime = Duration::microseconds(200);
+
+  /// --- Paint stage ---
+  /// Base rasterization cycles per frame, scaled by frame complexity.
+  double PaintBaseCycles = 3.2e6;
+  Duration PaintFixedTime = Duration::microseconds(300);
+
+  /// --- Composite stage (compositor thread; GPU portion is fixed) ---
+  double CompositeCycles = 1.1e6;
+  Duration CompositeFixedTime = Duration::microseconds(900);
+
+  /// --- Page load (the L interaction) ---
+  /// Cycles per byte of HTML parsed.
+  double ParseCyclesPerByte = 600.0;
+  /// Cycles per byte of CSS and script source.
+  double StyleSheetCyclesPerByte = 350.0;
+  /// Frequency-independent network/disk time during load.
+  Duration LoadFixedTime = Duration::milliseconds(40);
+
+  /// --- Input plumbing ---
+  /// Browser-process input dispatch cycles.
+  double InputDispatchCycles = 25e3;
+  /// One-way IPC latency between browser and renderer processes.
+  Duration IpcLatency = Duration::microseconds(40);
+  /// Intra-process PostTask latency.
+  Duration PostTaskLatency = Duration::microseconds(5);
+
+  /// Paint-complexity multiplier for native (listener-less) scrolling.
+  double NativeScrollComplexity = 0.6;
+};
+
+/// Top-level browser options.
+struct BrowserOptions {
+  RenderCostParams Costs;
+  /// Display refresh interval (60 Hz on the paper's device).
+  Duration VsyncInterval = Duration::nanoseconds(16'666'667);
+  /// Seed for the browser's deterministic RNG (exposed to scripts via
+  /// `random()`).
+  uint64_t RngSeed = 1;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_BROWSER_BROWSERCONFIG_H

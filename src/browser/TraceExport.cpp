@@ -1,0 +1,113 @@
+//===- browser/TraceExport.cpp - chrome://tracing export --------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/TraceExport.h"
+
+#include "support/StringUtils.h"
+
+using namespace greenweb;
+
+namespace {
+
+/// Minimal JSON string escaping (quotes and backslashes; the inputs
+/// here are event names and config labels, all ASCII).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+/// Emits one complete ("X") trace event.
+void appendCompleteEvent(std::string &Out, const std::string &Name,
+                         const char *Track, TimePoint Begin,
+                         Duration DurationUs, const std::string &Args) {
+  if (Out.size() > 1)
+    Out += ",\n";
+  Out += formatString(
+      "{\"name\":\"%s\",\"cat\":\"greenweb\",\"ph\":\"X\","
+      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":\"%s\"%s%s}",
+      jsonEscape(Name).c_str(), Begin.nanos() / 1e3,
+      DurationUs.nanos() / 1e3, Track, Args.empty() ? "" : ",\"args\":",
+      Args.c_str());
+}
+
+} // namespace
+
+std::string
+greenweb::exportChromeTrace(const std::vector<FrameRecord> &Frames,
+                            const std::vector<ConfigInterval> &Cpu) {
+  std::string Out = "[";
+
+  for (const FrameRecord &Frame : Frames) {
+    // The frame's pipeline span on the "frames" track.
+    std::string Roots;
+    for (const MsgLatency &L : Frame.Latencies) {
+      if (!Roots.empty())
+        Roots += ", ";
+      Roots += formatString("%s#%llu", L.Msg.RootEvent.c_str(),
+                            static_cast<unsigned long long>(L.Msg.RootId));
+    }
+    std::string Args = formatString(
+        "{\"roots\":\"%s\",\"worst_latency_ms\":%.3f,"
+        "\"cycles\":%.0f}",
+        jsonEscape(Roots).c_str(), Frame.maxLatency().millis(),
+        Frame.CyclesCharged);
+    appendCompleteEvent(
+        Out, formatString("frame %llu",
+                          static_cast<unsigned long long>(Frame.FrameId)),
+        "frames", Frame.BeginTime, Frame.ReadyTime - Frame.BeginTime,
+        Args);
+
+    // One input->display span per contributing message.
+    for (const MsgLatency &L : Frame.Latencies)
+      appendCompleteEvent(
+          Out,
+          formatString("%s#%llu", L.Msg.RootEvent.c_str(),
+                       static_cast<unsigned long long>(L.Msg.RootId)),
+          "inputs", L.Msg.StartTs, L.Latency,
+          formatString("{\"latency_ms\":%.3f}", L.Latency.millis()));
+  }
+
+  for (const ConfigInterval &Interval : Cpu)
+    appendCompleteEvent(Out, Interval.Config.str(), "cpu", Interval.Begin,
+                        Interval.End - Interval.Begin, "{}");
+
+  Out += "]\n";
+  return Out;
+}
+
+ConfigTimelineRecorder::ConfigTimelineRecorder(AcmpChip &ChipIn)
+    : Chip(ChipIn), Start(ChipIn.simulator().now()) {
+  Current = Chip.config();
+  CurrentSince = Start;
+  LastListenerTime = Start;
+  Chip.addPreChangeListener(
+      [this] { reconcile(Chip.simulator().now()); });
+}
+
+void ConfigTimelineRecorder::reconcile(TimePoint Now) const {
+  if (Chip.config() != Current) {
+    // The change happened at the previous listener invocation (the
+    // pre-change hook of the setConfig that installed it).
+    Closed.push_back({Current, CurrentSince, LastListenerTime});
+    Current = Chip.config();
+    CurrentSince = LastListenerTime;
+  }
+  LastListenerTime = Now;
+}
+
+std::vector<ConfigInterval> ConfigTimelineRecorder::intervals() const {
+  TimePoint Now = Chip.simulator().now();
+  reconcile(Now);
+  std::vector<ConfigInterval> Result = Closed;
+  if (Now > CurrentSince)
+    Result.push_back({Current, CurrentSince, Now});
+  return Result;
+}

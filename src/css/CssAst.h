@@ -1,0 +1,133 @@
+//===- css/CssAst.h - CSS object model ---------------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Object model for parsed CSS: selectors with specificity, declarations,
+/// style rules, and stylesheets. Serialization (str()) round-trips the
+/// model back to CSS text; AutoGreen uses it to inject generated GreenWeb
+/// rules into application sources.
+///
+/// GreenWeb's selector extension is the `:QoS` pseudo-class (Fig. 3 of
+/// the paper): `div#intro:QoS { ... }` marks a rule as carrying QoS
+/// declarations for the selected element.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_CSS_CSSAST_H
+#define GREENWEB_CSS_CSSAST_H
+
+#include "css/CssLexer.h"
+
+#include <compare>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+class Element;
+} // namespace greenweb
+
+namespace greenweb::css {
+
+/// Selector specificity in the CSS cascade: (id, class/pseudo, tag)
+/// counts, compared lexicographically.
+struct Specificity {
+  int Ids = 0;
+  int Classes = 0;
+  int Tags = 0;
+  auto operator<=>(const Specificity &) const = default;
+};
+
+/// A compound selector: one element test without combinators, e.g.
+/// `div#intro.fancy:QoS`.
+struct SimpleSelector {
+  /// Tag name to match; empty or "*" matches any element.
+  std::string Tag;
+  /// Required id (from `#id`); empty if none.
+  std::string Id;
+  /// Required classes (from `.class`), all must be present.
+  std::vector<std::string> Classes;
+  /// Pseudo-classes as written (`QoS`, `hover`, ...).
+  std::vector<std::string> PseudoClasses;
+
+  /// True if any pseudo-class is `QoS` (ASCII case-insensitive), i.e.
+  /// the GreenWeb qualifier from Fig. 3.
+  bool isQosQualified() const;
+
+  /// True if this compound matches \p E (pseudo-classes other than
+  /// structural ones are treated as annotations and always match).
+  bool matches(const Element &E) const;
+
+  Specificity specificity() const;
+  std::string str() const;
+};
+
+/// How two adjacent compounds combine.
+enum class Combinator {
+  Descendant, ///< whitespace
+  Child,      ///< '>'
+};
+
+/// A full selector: compounds joined by combinators, left to right in
+/// document order (Compounds.front() is the outermost ancestor test).
+struct ComplexSelector {
+  std::vector<SimpleSelector> Compounds;
+  /// Combinators[I] joins Compounds[I] and Compounds[I+1].
+  std::vector<Combinator> Combinators;
+
+  /// True if the selector's subject compound (the rightmost) carries the
+  /// `:QoS` qualifier.
+  bool isQosQualified() const;
+
+  /// Right-to-left matching against \p E and its ancestor chain.
+  bool matches(const Element &E) const;
+
+  Specificity specificity() const;
+  std::string str() const;
+};
+
+/// One `property: value` declaration. The value is kept both as raw
+/// normalized text and as tokens for typed re-parsing (transitions, QoS
+/// values).
+struct Declaration {
+  /// Property name, ASCII-lowercased.
+  std::string Property;
+  /// Value tokens, excluding the terminating ';'.
+  std::vector<Token> Value;
+  /// Normalized textual value (single spaces between tokens).
+  std::string ValueText;
+  /// Source line of the property name (diagnostics).
+  unsigned Line = 1;
+
+  std::string str() const;
+};
+
+/// A style rule: selector list plus declaration block.
+struct StyleRule {
+  std::vector<ComplexSelector> Selectors;
+  std::vector<Declaration> Declarations;
+
+  /// Finds the first declaration of \p Property or nullptr.
+  const Declaration *find(std::string_view Property) const;
+
+  std::string str() const;
+};
+
+/// A parsed stylesheet. Parsing is error-recovering: malformed constructs
+/// are skipped per CSS error-handling rules and reported in Diagnostics.
+struct Stylesheet {
+  std::vector<StyleRule> Rules;
+  std::vector<std::string> Diagnostics;
+
+  /// Appends another stylesheet's rules (document order concatenation of
+  /// multiple <style> blocks).
+  void append(Stylesheet Other);
+
+  std::string str() const;
+};
+
+} // namespace greenweb::css
+
+#endif // GREENWEB_CSS_CSSAST_H

@@ -1,0 +1,271 @@
+//===- css/CssLexer.cpp - CSS tokenizer --------------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "css/CssLexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace greenweb;
+using namespace greenweb::css;
+
+const char *greenweb::css::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::Hash:
+    return "hash";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::Dimension:
+    return "dimension";
+  case TokenKind::Percentage:
+    return "percentage";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::AtKeyword:
+    return "at-keyword";
+  case TokenKind::Delim:
+    return "delimiter";
+  case TokenKind::EndOfFile:
+    return "end of input";
+  }
+  return "unknown";
+}
+
+bool Token::isIdent(std::string_view S) const {
+  return Kind == TokenKind::Ident && equalsIgnoreCase(Text, S);
+}
+
+namespace {
+
+/// Cursor over the source with line tracking.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {}
+
+  std::vector<Token> run();
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+
+  /// Skips whitespace and comments; returns true if anything was skipped.
+  bool skipTrivia();
+
+  static bool isIdentStart(char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '-';
+  }
+  static bool isIdentChar(char C) {
+    return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+  }
+  static bool isDigit(char C) {
+    return std::isdigit(static_cast<unsigned char>(C));
+  }
+
+  std::string lexIdentText();
+  Token lexNumber();
+  Token lexString(char Quote);
+
+  std::string_view Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+bool Lexer::skipTrivia() {
+  bool Skipped = false;
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\f') {
+      advance();
+      Skipped = true;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (!atEnd()) {
+        advance();
+        advance();
+      }
+      Skipped = true;
+      continue;
+    }
+    break;
+  }
+  return Skipped;
+}
+
+std::string Lexer::lexIdentText() {
+  std::string Text;
+  while (!atEnd() && isIdentChar(peek()))
+    Text += advance();
+  return Text;
+}
+
+Token Lexer::lexNumber() {
+  std::string Digits;
+  if (peek() == '+' || peek() == '-')
+    Digits += advance();
+  while (!atEnd() && isDigit(peek()))
+    Digits += advance();
+  if (peek() == '.' && isDigit(peek(1))) {
+    Digits += advance();
+    while (!atEnd() && isDigit(peek()))
+      Digits += advance();
+  }
+  Token T;
+  T.NumValue = std::strtod(Digits.c_str(), nullptr);
+  T.Text = Digits;
+  if (peek() == '%') {
+    advance();
+    T.Kind = TokenKind::Percentage;
+    return T;
+  }
+  if (isIdentStart(peek())) {
+    T.Kind = TokenKind::Dimension;
+    T.Unit = lexIdentText();
+    return T;
+  }
+  T.Kind = TokenKind::Number;
+  return T;
+}
+
+Token Lexer::lexString(char Quote) {
+  Token T;
+  T.Kind = TokenKind::String;
+  while (!atEnd() && peek() != Quote && peek() != '\n') {
+    char C = advance();
+    if (C == '\\' && !atEnd()) {
+      T.Text += advance();
+      continue;
+    }
+    T.Text += C;
+  }
+  if (!atEnd() && peek() == Quote)
+    advance();
+  return T;
+}
+
+std::vector<Token> Lexer::run() {
+  std::vector<Token> Tokens;
+  while (true) {
+    bool SpaceBefore = skipTrivia();
+    unsigned TokLine = Line;
+    if (atEnd()) {
+      Token Eof;
+      Eof.Kind = TokenKind::EndOfFile;
+      Eof.PrecededBySpace = SpaceBefore;
+      Eof.Line = TokLine;
+      Tokens.push_back(std::move(Eof));
+      return Tokens;
+    }
+
+    char C = peek();
+    Token T;
+    if (isDigit(C) ||
+        ((C == '+' || C == '-') && isDigit(peek(1))) ||
+        (C == '.' && isDigit(peek(1)))) {
+      // '-' may also start an identifier like `-webkit-...`; numbers win
+      // only when a digit follows.
+      T = lexNumber();
+    } else if (isIdentStart(C)) {
+      T.Kind = TokenKind::Ident;
+      T.Text = lexIdentText();
+    } else if (C == '#') {
+      advance();
+      T.Kind = TokenKind::Hash;
+      T.Text = lexIdentText();
+    } else if (C == '@') {
+      advance();
+      T.Kind = TokenKind::AtKeyword;
+      T.Text = lexIdentText();
+    } else if (C == '"' || C == '\'') {
+      advance();
+      T = lexString(C);
+    } else {
+      advance();
+      switch (C) {
+      case ':':
+        T.Kind = TokenKind::Colon;
+        break;
+      case ';':
+        T.Kind = TokenKind::Semicolon;
+        break;
+      case ',':
+        T.Kind = TokenKind::Comma;
+        break;
+      case '.':
+        T.Kind = TokenKind::Dot;
+        break;
+      case '>':
+        T.Kind = TokenKind::Greater;
+        break;
+      case '*':
+        T.Kind = TokenKind::Star;
+        break;
+      case '{':
+        T.Kind = TokenKind::LBrace;
+        break;
+      case '}':
+        T.Kind = TokenKind::RBrace;
+        break;
+      case '(':
+        T.Kind = TokenKind::LParen;
+        break;
+      case ')':
+        T.Kind = TokenKind::RParen;
+        break;
+      default:
+        T.Kind = TokenKind::Delim;
+        T.Text = std::string(1, C);
+        break;
+      }
+    }
+    T.PrecededBySpace = SpaceBefore;
+    T.Line = TokLine;
+    Tokens.push_back(std::move(T));
+  }
+}
+
+} // namespace
+
+std::vector<Token> greenweb::css::lex(std::string_view Source) {
+  return Lexer(Source).run();
+}

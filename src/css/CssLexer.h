@@ -1,0 +1,79 @@
+//===- css/CssLexer.h - CSS tokenizer ----------------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the CSS subset used by the simulated browser and the
+/// GreenWeb language extension. Follows the CSS Syntax Module's token
+/// taxonomy where it matters: identifiers, hashes, numbers with optional
+/// unit (dimension), strings, and punctuation; comments and whitespace
+/// are skipped (whitespace significance for descendant combinators is
+/// preserved via a flag on the following token).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_CSS_CSSLEXER_H
+#define GREENWEB_CSS_CSSLEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greenweb::css {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind {
+  Ident,      ///< identifier, e.g. `div`, `width`, `continuous`
+  Hash,       ///< `#name`
+  Number,     ///< numeric value; Unit empty
+  Dimension,  ///< numeric value with unit, e.g. `2s`, `100px`, `16.6ms`
+  Percentage, ///< numeric value with `%`
+  String,     ///< quoted string (quotes stripped)
+  Colon,      ///< `:`
+  Semicolon,  ///< `;`
+  Comma,      ///< `,`
+  Dot,        ///< `.`
+  Greater,    ///< `>`
+  Star,       ///< `*`
+  LBrace,     ///< `{`
+  RBrace,     ///< `}`
+  LParen,     ///< `(`
+  RParen,     ///< `)`
+  AtKeyword,  ///< `@name`
+  Delim,      ///< any other single character
+  EndOfFile,
+};
+
+/// Name of a token kind for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  /// Identifier/hash/string text, unit-less spelling for numbers, or the
+  /// delimiter character.
+  std::string Text;
+  /// Numeric value for Number/Dimension/Percentage.
+  double NumValue = 0.0;
+  /// Unit for Dimension ("s", "ms", "px", ...).
+  std::string Unit;
+  /// True when whitespace (or a comment) preceded this token; selector
+  /// parsing uses it to detect descendant combinators.
+  bool PrecededBySpace = false;
+  /// 1-based source line for diagnostics.
+  unsigned Line = 1;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isIdent(std::string_view S) const;
+};
+
+/// Lexes the whole input; the final token is always EndOfFile. Never
+/// fails: unexpected bytes become Delim tokens and are diagnosed by the
+/// parser with line information.
+std::vector<Token> lex(std::string_view Source);
+
+} // namespace greenweb::css
+
+#endif // GREENWEB_CSS_CSSLEXER_H

@@ -1,0 +1,33 @@
+//===- css/CssParser.h - CSS parser ------------------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the CSS subset, producing a Stylesheet.
+/// Error handling follows the CSS spec's philosophy: a malformed
+/// declaration or rule is skipped (scanning to the next safe point) and
+/// reported as a diagnostic, never aborting the whole sheet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_CSS_CSSPARSER_H
+#define GREENWEB_CSS_CSSPARSER_H
+
+#include "css/CssAst.h"
+
+#include <string_view>
+
+namespace greenweb::css {
+
+/// Parses CSS source text into a stylesheet.
+Stylesheet parseStylesheet(std::string_view Source);
+
+/// Parses a single selector string, e.g. "div#intro:QoS". Returns an
+/// empty optional-like selector (no compounds) on failure.
+ComplexSelector parseSelector(std::string_view Source);
+
+} // namespace greenweb::css
+
+#endif // GREENWEB_CSS_CSSPARSER_H

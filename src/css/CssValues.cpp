@@ -1,0 +1,239 @@
+//===- css/CssValues.cpp - Typed CSS value parsing ----------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "css/CssValues.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace greenweb;
+using namespace greenweb::css;
+
+std::optional<Duration> greenweb::css::parseTimeToken(const Token &T) {
+  if (T.is(TokenKind::Number))
+    return Duration::fromMillis(T.NumValue);
+  if (!T.is(TokenKind::Dimension))
+    return std::nullopt;
+  if (equalsIgnoreCase(T.Unit, "ms"))
+    return Duration::fromMillis(T.NumValue);
+  if (equalsIgnoreCase(T.Unit, "s"))
+    return Duration::fromSeconds(T.NumValue);
+  return std::nullopt;
+}
+
+std::vector<TransitionSpec>
+greenweb::css::parseTransitionValue(const Declaration &Decl) {
+  std::vector<TransitionSpec> Specs;
+
+  // Split the token list on commas, then parse each single-transition
+  // entry: <property> <duration> [<timing-function>] [<delay>].
+  std::vector<std::vector<Token>> Entries(1);
+  for (const Token &T : Decl.Value) {
+    if (T.is(TokenKind::Comma)) {
+      Entries.emplace_back();
+      continue;
+    }
+    Entries.back().push_back(T);
+  }
+
+  for (const std::vector<Token> &Entry : Entries) {
+    TransitionSpec Spec;
+    bool HaveProperty = false;
+    bool HaveDuration = false;
+    for (const Token &T : Entry) {
+      if (T.is(TokenKind::Ident)) {
+        // First identifier is the property; later identifiers are timing
+        // functions, accepted and ignored.
+        if (!HaveProperty) {
+          Spec.Property = toLower(T.Text);
+          HaveProperty = true;
+        }
+        continue;
+      }
+      std::optional<Duration> Time = parseTimeToken(T);
+      if (!Time)
+        continue;
+      if (!HaveDuration) {
+        Spec.TransitionDuration = *Time;
+        HaveDuration = true;
+      } else {
+        Spec.Delay = *Time;
+      }
+    }
+    if (HaveProperty && HaveDuration &&
+        Spec.TransitionDuration > Duration::zero())
+      Specs.push_back(std::move(Spec));
+  }
+  return Specs;
+}
+
+std::optional<AnimationSpec>
+greenweb::css::parseAnimationValue(const Declaration &Decl) {
+  // Entries split on commas; the first well-formed one wins.
+  std::vector<std::vector<Token>> Entries(1);
+  for (const Token &T : Decl.Value) {
+    if (T.is(TokenKind::Comma)) {
+      Entries.emplace_back();
+      continue;
+    }
+    Entries.back().push_back(T);
+  }
+
+  for (const std::vector<Token> &Entry : Entries) {
+    AnimationSpec Spec;
+    bool HaveName = false;
+    bool HaveDuration = false;
+    for (const Token &T : Entry) {
+      if (T.is(TokenKind::Ident)) {
+        if (T.isIdent("infinite")) {
+          Spec.Iterations = 0;
+          continue;
+        }
+        if (!HaveName) {
+          // The first non-keyword identifier names the @keyframes.
+          Spec.Name = T.Text;
+          HaveName = true;
+        }
+        continue;
+      }
+      if (T.is(TokenKind::Number) && HaveDuration) {
+        // A bare number after the duration is the iteration count.
+        Spec.Iterations = unsigned(std::max(0.0, T.NumValue));
+        continue;
+      }
+      std::optional<Duration> Time = parseTimeToken(T);
+      if (!Time)
+        continue;
+      if (!HaveDuration) {
+        Spec.AnimationDuration = *Time;
+        HaveDuration = true;
+      } else {
+        Spec.Delay = *Time;
+      }
+    }
+    if (HaveName && HaveDuration &&
+        Spec.AnimationDuration > Duration::zero())
+      return Spec;
+  }
+  return std::nullopt;
+}
+
+std::optional<AnimationSpec>
+greenweb::css::parseAnimationValue(std::string_view Value) {
+  Declaration Decl;
+  Decl.Property = "animation";
+  Decl.Value = lex(Value);
+  if (!Decl.Value.empty() &&
+      Decl.Value.back().is(TokenKind::EndOfFile))
+    Decl.Value.pop_back();
+  return parseAnimationValue(Decl);
+}
+
+bool greenweb::css::isQosProperty(std::string_view Property) {
+  return startsWith(Property, "on") && endsWith(Property, "-qos") &&
+         Property.size() > 6;
+}
+
+QosParseResult greenweb::css::parseQosDeclaration(const Declaration &Decl) {
+  QosParseResult Result;
+  if (!isQosProperty(Decl.Property))
+    return Result;
+  Result.EventName =
+      std::string(Decl.Property.substr(2, Decl.Property.size() - 6));
+
+  // Partition value tokens on commas: continuous|single [, a [, b]].
+  std::vector<std::vector<Token>> Parts(1);
+  for (const Token &T : Decl.Value) {
+    if (T.is(TokenKind::Comma)) {
+      Parts.emplace_back();
+      continue;
+    }
+    Parts.back().push_back(T);
+  }
+  for (const std::vector<Token> &Part : Parts) {
+    if (Part.size() != 1) {
+      Result.Error = "each comma-separated QoS value must be one token";
+      return Result;
+    }
+  }
+
+  const Token &Head = Parts[0][0];
+  if (Head.isIdent("continuous")) {
+    Result.Value.Kind = QosValueKind::Continuous;
+    if (Parts.size() == 1)
+      return Result;
+    if (Parts.size() != 3) {
+      Result.Error =
+          "'continuous' takes either no targets or both TI and TU";
+      return Result;
+    }
+    std::optional<Duration> Ti = parseTimeToken(Parts[1][0]);
+    std::optional<Duration> Tu = parseTimeToken(Parts[2][0]);
+    if (!Ti || !Tu) {
+      Result.Error = "QoS targets must be times (ms, s, or bare numbers)";
+      return Result;
+    }
+    Result.Value.Ti = Ti;
+    Result.Value.Tu = Tu;
+    return Result;
+  }
+
+  if (Head.isIdent("single")) {
+    Result.Value.Kind = QosValueKind::Single;
+    if (Parts.size() == 2) {
+      const Token &T = Parts[1][0];
+      if (T.isIdent("short")) {
+        Result.Value.LongDuration = false;
+        return Result;
+      }
+      if (T.isIdent("long")) {
+        Result.Value.LongDuration = true;
+        return Result;
+      }
+      Result.Error = "'single' expects 'short', 'long', or TI, TU";
+      return Result;
+    }
+    if (Parts.size() == 3) {
+      std::optional<Duration> Ti = parseTimeToken(Parts[1][0]);
+      std::optional<Duration> Tu = parseTimeToken(Parts[2][0]);
+      if (!Ti || !Tu) {
+        Result.Error = "QoS targets must be times (ms, s, or bare numbers)";
+        return Result;
+      }
+      Result.Value.Ti = Ti;
+      Result.Value.Tu = Tu;
+      return Result;
+    }
+    Result.Error = "'single' requires a duration keyword or TI, TU";
+    return Result;
+  }
+
+  Result.Error =
+      formatString("unknown QoS type '%s' (expected 'continuous' or "
+                   "'single')",
+                   Head.Text.c_str());
+  return Result;
+}
+
+static std::string formatMillis(Duration D) {
+  double Ms = D.millis();
+  if (Ms == double(int64_t(Ms)))
+    return formatString("%lldms", static_cast<long long>(Ms));
+  return formatString("%.1fms", Ms);
+}
+
+std::string greenweb::css::qosValueText(const QosValue &Value) {
+  std::string Out =
+      Value.Kind == QosValueKind::Continuous ? "continuous" : "single";
+  if (Value.Ti && Value.Tu) {
+    Out += ", " + formatMillis(*Value.Ti) + ", " + formatMillis(*Value.Tu);
+    return Out;
+  }
+  if (Value.Kind == QosValueKind::Single)
+    Out += Value.LongDuration.value_or(false) ? ", long" : ", short";
+  return Out;
+}

@@ -1,0 +1,120 @@
+//===- css/CssValues.h - Typed CSS value parsing -----------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed re-parsing of declaration values: time values, `transition:`
+/// shorthands, and the GreenWeb QoS extension.
+///
+/// The GreenWeb property grammar (Fig. 3 / Table 2 of the paper):
+///
+///   QoSDecl ::= CDecl | SDecl
+///   CDecl   ::= on<event>-qos: continuous [, v , v]
+///   SDecl   ::= on<event>-qos: single, (short | long | v , v)
+///
+/// where v are QoS-target values in milliseconds (plain numbers or time
+/// dimensions). TI and TU must both appear or both be omitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_CSS_CSSVALUES_H
+#define GREENWEB_CSS_CSSVALUES_H
+
+#include "css/CssAst.h"
+#include "support/Time.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace greenweb::css {
+
+/// Parses a CSS time token ("2s", "300ms", or a bare number meaning
+/// milliseconds in GreenWeb value position). Returns nullopt on other
+/// units.
+std::optional<Duration> parseTimeToken(const Token &T);
+
+/// One property's transition timing from a `transition:` shorthand.
+struct TransitionSpec {
+  std::string Property; ///< transitioned property, or "all"
+  Duration TransitionDuration;
+  Duration Delay;
+
+  bool appliesTo(std::string_view Prop) const {
+    return Property == "all" || Property == Prop;
+  }
+};
+
+/// Parses `transition: width 2s [, height 300ms 100ms]`. Malformed
+/// entries are dropped. Timing-function identifiers (ease, linear, ...)
+/// are accepted and ignored: they shape intermediate frames, not the
+/// frame schedule.
+std::vector<TransitionSpec> parseTransitionValue(const Declaration &Decl);
+
+/// A CSS animation from an `animation:` shorthand. The keyframes'
+/// visual content does not affect the frame schedule, so only the name
+/// and timing are modeled.
+struct AnimationSpec {
+  std::string Name;
+  Duration AnimationDuration;
+  Duration Delay;
+  /// Iteration count; 0 encodes `infinite`.
+  unsigned Iterations = 1;
+};
+
+/// Parses `animation: slide 2s [300ms] [infinite|<count>]` (one entry;
+/// comma lists take the first well-formed entry). Returns nullopt when
+/// no name+duration pair is present.
+std::optional<AnimationSpec> parseAnimationValue(const Declaration &Decl);
+
+/// Same, from a raw value string (used for inline `style.animation`
+/// writes, where no Declaration exists yet).
+std::optional<AnimationSpec> parseAnimationValue(std::string_view Value);
+
+/// Parse-level QoS type from the GreenWeb grammar.
+enum class QosValueKind { Continuous, Single };
+
+/// A parsed `on<event>-qos` value before semantic lowering. The
+/// greenweb library lowers this plus Table 1 defaults into a QosSpec.
+struct QosValue {
+  QosValueKind Kind = QosValueKind::Single;
+  /// For Single with a duration keyword: true = long, false = short.
+  /// Unset when explicit targets are given (or for Continuous).
+  std::optional<bool> LongDuration;
+  /// Explicit imperceptible / usable targets; both set or both unset
+  /// (the grammar requires them to appear together).
+  std::optional<Duration> Ti;
+  std::optional<Duration> Tu;
+};
+
+/// Result of parsing one candidate QoS declaration.
+struct QosParseResult {
+  /// Event name extracted from the property, e.g. "touchstart" for
+  /// `ontouchstart-qos`. Empty when the property is not a QoS property.
+  std::string EventName;
+  /// Parsed value; meaningful only when Error is empty.
+  QosValue Value;
+  /// Diagnostic when the property looked like a QoS declaration but the
+  /// value is malformed.
+  std::string Error;
+
+  bool isQosProperty() const { return !EventName.empty(); }
+  bool succeeded() const { return isQosProperty() && Error.empty(); }
+};
+
+/// True if \p Property has the `on<event>-qos` shape.
+bool isQosProperty(std::string_view Property);
+
+/// Parses a declaration as a GreenWeb QoS declaration per the Fig. 3
+/// grammar. Non-QoS properties yield a result with an empty EventName.
+QosParseResult parseQosDeclaration(const Declaration &Decl);
+
+/// Renders a QosValue back to CSS value text (used by AutoGreen's
+/// annotation generator).
+std::string qosValueText(const QosValue &Value);
+
+} // namespace greenweb::css
+
+#endif // GREENWEB_CSS_CSSVALUES_H

@@ -1,0 +1,124 @@
+//===- css/StyleResolver.cpp - Selector matching and cascade -------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "css/StyleResolver.h"
+
+#include "dom/Dom.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace greenweb;
+using namespace greenweb::css;
+
+std::vector<MatchedRule> StyleResolver::matchRules(const Element &E) const {
+  std::vector<MatchedRule> Matches;
+  for (size_t Order = 0; Order < Sheet.Rules.size(); ++Order) {
+    const StyleRule &Rule = Sheet.Rules[Order];
+    // A rule's cascade priority comes from its most specific matching
+    // selector.
+    const ComplexSelector *Best = nullptr;
+    for (const ComplexSelector &Selector : Rule.Selectors) {
+      if (!Selector.matches(E))
+        continue;
+      if (!Best || Best->specificity() < Selector.specificity())
+        Best = &Selector;
+    }
+    if (Best)
+      Matches.push_back({&Rule, Best->specificity(), Order});
+  }
+  std::stable_sort(Matches.begin(), Matches.end(),
+                   [](const MatchedRule &A, const MatchedRule &B) {
+                     if (A.Spec != B.Spec)
+                       return A.Spec < B.Spec;
+                     return A.Order < B.Order;
+                   });
+  return Matches;
+}
+
+std::string StyleResolver::computedValue(const Element &E,
+                                         std::string_view Property) const {
+  // Inline style wins over any stylesheet rule.
+  std::string_view Inline = E.styleProperty(Property);
+  if (!Inline.empty())
+    return std::string(Inline);
+  std::string Value;
+  for (const MatchedRule &Match : matchRules(E))
+    if (const Declaration *Decl = Match.Rule->find(Property))
+      Value = Decl->ValueText;
+  return Value;
+}
+
+std::map<std::string, std::string>
+StyleResolver::computedStyle(const Element &E) const {
+  std::map<std::string, std::string> Style;
+  for (const MatchedRule &Match : matchRules(E))
+    for (const Declaration &Decl : Match.Rule->Declarations)
+      Style[Decl.Property] = Decl.ValueText;
+  for (const auto &[Property, Value] : E.inlineStyle())
+    Style[Property] = Value;
+  return Style;
+}
+
+std::vector<TransitionSpec>
+StyleResolver::transitionsFor(const Element &E) const {
+  // Re-parse the winning `transition` declaration's tokens. Walk matches
+  // from highest priority down so we stop at the cascade winner.
+  std::vector<MatchedRule> Matches = matchRules(E);
+  for (auto It = Matches.rbegin(), End = Matches.rend(); It != End; ++It)
+    if (const Declaration *Decl = It->Rule->find("transition"))
+      return parseTransitionValue(*Decl);
+  return {};
+}
+
+std::vector<QosAnnotation>
+StyleResolver::qosAnnotationsFor(const Element &E,
+                                 std::vector<std::string> *Diags) const {
+  // For each event name keep the highest-priority well-formed
+  // declaration. Matches are in ascending priority, so later writes win.
+  std::map<std::string, QosValue> ByEvent;
+  for (const MatchedRule &Match : matchRules(E)) {
+    bool RuleIsQos = false;
+    for (const ComplexSelector &Selector : Match.Rule->Selectors)
+      if (Selector.matches(E) && Selector.isQosQualified())
+        RuleIsQos = true;
+    for (const Declaration &Decl : Match.Rule->Declarations) {
+      if (!isQosProperty(Decl.Property))
+        continue;
+      if (!RuleIsQos) {
+        if (Diags)
+          Diags->push_back(formatString(
+              "line %u: QoS property '%s' in a rule without the :QoS "
+              "selector qualifier; ignored",
+              Decl.Line, Decl.Property.c_str()));
+        continue;
+      }
+      QosParseResult Parsed = parseQosDeclaration(Decl);
+      if (!Parsed.Error.empty()) {
+        if (Diags)
+          Diags->push_back(formatString("line %u: %s", Decl.Line,
+                                        Parsed.Error.c_str()));
+        continue;
+      }
+      ByEvent[Parsed.EventName] = Parsed.Value;
+    }
+  }
+  std::vector<QosAnnotation> Result;
+  for (auto &[EventName, Value] : ByEvent)
+    Result.push_back({&E, EventName, Value});
+  return Result;
+}
+
+std::vector<QosAnnotation>
+StyleResolver::collectQosAnnotations(Document &Doc,
+                                     std::vector<std::string> *Diags) const {
+  std::vector<QosAnnotation> All;
+  Doc.forEachElement([&](Element &E) {
+    std::vector<QosAnnotation> Anns = qosAnnotationsFor(E, Diags);
+    All.insert(All.end(), Anns.begin(), Anns.end());
+  });
+  return All;
+}

@@ -1,0 +1,93 @@
+//===- css/StyleResolver.h - Selector matching and cascade -------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Style resolution: matches stylesheet rules against DOM elements and
+/// applies the cascade (specificity, then source order, inline style
+/// last). Also provides the two typed queries the rest of the system
+/// needs: active `transition:` specs and GreenWeb QoS annotations per
+/// element.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_CSS_STYLERESOLVER_H
+#define GREENWEB_CSS_STYLERESOLVER_H
+
+#include "css/CssAst.h"
+#include "css/CssValues.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+class Document;
+class Element;
+} // namespace greenweb
+
+namespace greenweb::css {
+
+/// A matched (rule, selector) pair with cascade ordering data.
+struct MatchedRule {
+  const StyleRule *Rule = nullptr;
+  Specificity Spec;
+  /// Source-order index of the rule in the stylesheet (tie breaker).
+  size_t Order = 0;
+};
+
+/// One element's GreenWeb annotation discovered via the cascade.
+struct QosAnnotation {
+  /// Annotated element.
+  const Element *Target = nullptr;
+  /// DOM event name ("click", "touchmove", ...).
+  std::string EventName;
+  /// Parsed QoS value.
+  QosValue Value;
+};
+
+/// Resolves styles for one document against one stylesheet.
+class StyleResolver {
+public:
+  StyleResolver(const Stylesheet &Sheet) : Sheet(Sheet) {}
+
+  /// All rules matching \p E, sorted in ascending cascade priority
+  /// (later entries win).
+  std::vector<MatchedRule> matchRules(const Element &E) const;
+
+  /// Computed value of \p Property for \p E after the cascade, with the
+  /// element's inline style taking highest priority. Empty when unset.
+  std::string computedValue(const Element &E,
+                            std::string_view Property) const;
+
+  /// Full computed style map for \p E (stylesheet cascade plus inline).
+  std::map<std::string, std::string> computedStyle(const Element &E) const;
+
+  /// Transition specs in effect for \p E (from the computed
+  /// `transition` value).
+  std::vector<TransitionSpec> transitionsFor(const Element &E) const;
+
+  /// GreenWeb QoS annotations in effect for \p E. Only declarations in
+  /// rules whose subject compound carries the `:QoS` qualifier count;
+  /// for each event name the highest-cascade-priority declaration wins.
+  /// Malformed declarations are reported through \p Diags when non-null.
+  std::vector<QosAnnotation>
+  qosAnnotationsFor(const Element &E,
+                    std::vector<std::string> *Diags = nullptr) const;
+
+  /// Scans the whole document and returns every element's annotations.
+  std::vector<QosAnnotation>
+  collectQosAnnotations(Document &Doc,
+                        std::vector<std::string> *Diags = nullptr) const;
+
+  const Stylesheet &stylesheet() const { return Sheet; }
+
+private:
+  const Stylesheet &Sheet;
+};
+
+} // namespace greenweb::css
+
+#endif // GREENWEB_CSS_STYLERESOLVER_H

@@ -1,0 +1,199 @@
+//===- dom/Dom.h - Document Object Model ------------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Document Object Model for the simulated browser. Elements carry a
+/// tag name, id, classes, attributes, inline style, children, and event
+/// listeners; a Document owns the tree and provides the lookups the
+/// MiniScript bindings and the CSS selector matcher need.
+///
+/// Event listeners are stored as opaque callables taking an Event; the
+/// script layer registers closures over interpreter state, and the
+/// browser runtime dispatches input events through here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_DOM_DOM_H
+#define GREENWEB_DOM_DOM_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greenweb {
+
+class Element;
+class Document;
+
+/// DOM event names the simulated browser dispatches. The paper's mobile
+/// scope covers click, scroll, touchstart, touchend, and touchmove
+/// (Sec. 3.1), plus the loading pseudo-event and the CSS animation
+/// lifecycle events AutoGreen listens for (transitionend/animationend).
+namespace events {
+inline constexpr const char *Click = "click";
+inline constexpr const char *Scroll = "scroll";
+inline constexpr const char *TouchStart = "touchstart";
+inline constexpr const char *TouchEnd = "touchend";
+inline constexpr const char *TouchMove = "touchmove";
+inline constexpr const char *Load = "load";
+inline constexpr const char *TransitionEnd = "transitionend";
+inline constexpr const char *AnimationEnd = "animationend";
+} // namespace events
+
+/// True for the five user-triggered mobile input events (plus load) that
+/// GreenWeb annotates (Table 3 note: only events directly triggered by
+/// mobile user interactions are annotated).
+bool isUserInputEvent(std::string_view Name);
+
+/// An event being dispatched to a listener.
+struct Event {
+  /// Event name, e.g. "click".
+  std::string Type;
+  /// The element the event fired on.
+  Element *Target = nullptr;
+  /// Monotone id of the originating user input; 0 for synthetic events.
+  uint64_t InputId = 0;
+};
+
+/// Listener callable registered on an element for one event type.
+using EventListener = std::function<void(const Event &)>;
+
+/// A DOM element node.
+class Element {
+public:
+  Element(Document &Doc, std::string TagName);
+
+  Element(const Element &) = delete;
+  Element &operator=(const Element &) = delete;
+
+  Document &document() const { return Doc; }
+  uint64_t nodeId() const { return NodeId; }
+  const std::string &tagName() const { return TagName; }
+
+  const std::string &id() const { return IdValue; }
+  /// Sets the element id and refreshes the document's id index.
+  void setId(std::string NewId);
+
+  const std::vector<std::string> &classes() const { return Classes; }
+  bool hasClass(std::string_view Name) const;
+  void addClass(std::string Name);
+
+  /// Generic attributes (everything except id/class/style, which have
+  /// dedicated storage).
+  void setAttribute(std::string Name, std::string Value);
+  /// Returns the attribute value or an empty string.
+  std::string_view attribute(std::string_view Name) const;
+  bool hasAttribute(std::string_view Name) const;
+  const std::map<std::string, std::string> &attributes() const {
+    return Attributes;
+  }
+
+  /// Inline style ("style=..." / element.style.X writes). Setting a
+  /// property notifies the document's style-mutation observer, which is
+  /// how CSS transitions get triggered.
+  void setStyleProperty(std::string Property, std::string Value);
+  /// Returns the inline style value or an empty string.
+  std::string_view styleProperty(std::string_view Property) const;
+  const std::map<std::string, std::string> &inlineStyle() const {
+    return InlineStyle;
+  }
+
+  /// --- Tree structure ---
+  Element *parent() const { return Parent; }
+  const std::vector<std::unique_ptr<Element>> &children() const {
+    return Children;
+  }
+  /// Appends a child and returns it (ownership stays with this element).
+  Element *appendChild(std::unique_ptr<Element> Child);
+  /// Creates and appends a child with the given tag.
+  Element *createChild(std::string TagName);
+  /// Visits this element and all descendants pre-order.
+  void forEachInclusiveDescendant(const std::function<void(Element &)> &Fn);
+
+  /// --- Events ---
+  void addEventListener(std::string Type, EventListener Listener);
+  /// True if at least one listener is registered for \p Type.
+  bool hasEventListener(std::string_view Type) const;
+  /// Event types with at least one listener, sorted (deterministic).
+  std::vector<std::string> listenedEventTypes() const;
+  /// Dispatches \p E to every listener of its type on this element.
+  /// Returns the number of listeners invoked. No capture/bubble phases:
+  /// the simulated apps attach listeners directly to targets.
+  size_t dispatchEvent(const Event &E);
+
+private:
+  Document &Doc;
+  uint64_t NodeId;
+  std::string TagName;
+  std::string IdValue;
+  std::vector<std::string> Classes;
+  std::map<std::string, std::string> Attributes;
+  std::map<std::string, std::string> InlineStyle;
+  Element *Parent = nullptr;
+  std::vector<std::unique_ptr<Element>> Children;
+  std::map<std::string, std::vector<EventListener>> Listeners;
+};
+
+/// Owner of a DOM tree plus the document-level indexes.
+class Document {
+public:
+  Document();
+
+  Document(const Document &) = delete;
+  Document &operator=(const Document &) = delete;
+
+  /// The <html>-equivalent root element.
+  Element &root() { return *Root; }
+  const Element &root() const { return *Root; }
+
+  /// Creates an unattached element owned by the caller until appended.
+  std::unique_ptr<Element> createElement(std::string TagName);
+
+  /// Id lookup; returns nullptr when absent.
+  Element *getElementById(std::string_view Id);
+
+  /// All elements with the given class, pre-order.
+  std::vector<Element *> getElementsByClass(std::string_view Class);
+
+  /// All elements with the given tag name, pre-order.
+  std::vector<Element *> getElementsByTag(std::string_view Tag);
+
+  /// Visits every element in the tree pre-order.
+  void forEachElement(const std::function<void(Element &)> &Fn);
+
+  /// Total number of elements in the tree.
+  size_t elementCount();
+
+  /// Raw <style> block texts collected by the HTML parser, in document
+  /// order. The CSS engine parses them into a stylesheet.
+  std::vector<std::string> StyleTexts;
+  /// Raw <script> block texts collected by the HTML parser.
+  std::vector<std::string> ScriptTexts;
+
+  /// Observer invoked when any element's inline style property changes:
+  /// (element, property, old value, new value). The browser's transition
+  /// driver hooks this.
+  std::function<void(Element &, const std::string &, const std::string &,
+                     const std::string &)>
+      StyleMutationObserver;
+
+  /// --- Internal (used by Element) ---
+  uint64_t takeNodeId() { return NextNodeId++; }
+  void indexElementId(const std::string &Id, Element *E);
+
+private:
+  uint64_t NextNodeId = 1;
+  std::unique_ptr<Element> Root;
+  std::map<std::string, Element *, std::less<>> IdIndex;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_DOM_DOM_H

@@ -1,0 +1,65 @@
+//===- greenweb/AnnotationRegistry.cpp - QoS annotation lookup ------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/AnnotationRegistry.h"
+
+#include "browser/Browser.h"
+#include "dom/Dom.h"
+
+using namespace greenweb;
+
+void AnnotationRegistry::annotate(const Element &E,
+                                  const std::string &EventName,
+                                  QosSpec Spec) {
+  Specs[{E.nodeId(), EventName}] = Spec;
+}
+
+std::optional<QosSpec>
+AnnotationRegistry::lookup(const Element &E,
+                           const std::string &EventName) const {
+  return lookup(E.nodeId(), EventName);
+}
+
+std::optional<QosSpec>
+AnnotationRegistry::lookup(uint64_t NodeId,
+                           const std::string &EventName) const {
+  auto It = Specs.find({NodeId, EventName});
+  if (It == Specs.end())
+    return std::nullopt;
+  return It->second;
+}
+
+size_t AnnotationRegistry::loadFromPage(Browser &B,
+                                        std::vector<std::string> *Diags) {
+  if (!B.document())
+    return 0;
+  size_t Added = 0;
+  for (const css::QosAnnotation &Ann :
+       B.styleResolver().collectQosAnnotations(*B.document(), Diags)) {
+    Specs[{Ann.Target->nodeId(), Ann.EventName}] = lowerQosValue(Ann.Value);
+    ++Added;
+  }
+  return Added;
+}
+
+double AnnotationRegistry::annotatedEventFraction(Browser &B) const {
+  if (!B.document())
+    return 0.0;
+  size_t Total = 0;
+  size_t Annotated = 0;
+  B.document()->forEachElement([&](Element &E) {
+    for (const std::string &Type : E.listenedEventTypes()) {
+      if (!isUserInputEvent(Type))
+        continue;
+      ++Total;
+      if (lookup(E, Type))
+        ++Annotated;
+    }
+  });
+  if (Total == 0)
+    return 0.0;
+  return double(Annotated) / double(Total);
+}

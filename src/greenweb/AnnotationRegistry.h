@@ -1,0 +1,70 @@
+//===- greenweb/AnnotationRegistry.h - QoS annotation lookup ----*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps (element, event) pairs to resolved QoS specifications. Populated
+/// from a page's GreenWeb CSS annotations (the cascade result of every
+/// `:QoS` rule), by AutoGreen, or programmatically. The GreenWeb runtime
+/// consults the registry on every input event; unannotated events are
+/// not optimization targets (Sec. 3.1 note in Table 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_GREENWEB_ANNOTATIONREGISTRY_H
+#define GREENWEB_GREENWEB_ANNOTATIONREGISTRY_H
+
+#include "greenweb/Qos.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+class Browser;
+class Element;
+
+/// Per-page registry of GreenWeb annotations.
+class AnnotationRegistry {
+public:
+  /// Registers (or overrides) the spec for an element/event pair.
+  void annotate(const Element &E, const std::string &EventName,
+                QosSpec Spec);
+
+  /// Looks up the spec for an element/event pair.
+  std::optional<QosSpec> lookup(const Element &E,
+                                const std::string &EventName) const;
+  std::optional<QosSpec> lookup(uint64_t NodeId,
+                                const std::string &EventName) const;
+
+  /// Number of annotated (element, event) pairs.
+  size_t size() const { return Specs.size(); }
+  bool empty() const { return Specs.empty(); }
+
+  /// Drops every annotation (before re-loading a page).
+  void clear() { Specs.clear(); }
+
+  /// Rebuilds the registry from a loaded page's stylesheet: collects
+  /// every `:QoS` rule's declarations through the cascade and lowers
+  /// them. Returns the number of annotations found; malformed
+  /// declarations land in \p Diags when non-null.
+  size_t loadFromPage(Browser &B, std::vector<std::string> *Diags = nullptr);
+
+  /// Fraction of user-input (element, event) listener pairs in the page
+  /// that carry annotations — the "Annotation" column of Table 3.
+  /// Counts only mobile-input events (click/scroll/touch*/load).
+  double annotatedEventFraction(Browser &B) const;
+
+private:
+  using Key = std::pair<uint64_t, std::string>;
+  std::map<Key, QosSpec> Specs;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_GREENWEB_ANNOTATIONREGISTRY_H

@@ -1,0 +1,277 @@
+//===- greenweb/GreenWebRuntime.cpp - The GreenWeb runtime ----------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/GreenWebRuntime.h"
+
+#include "browser/Browser.h"
+#include "hw/EnergyMeter.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace greenweb;
+
+GreenWebRuntime::GreenWebRuntime(AnnotationRegistry &Registry)
+    : GreenWebRuntime(Registry, Params{}) {}
+
+GreenWebRuntime::GreenWebRuntime(AnnotationRegistry &Registry, Params PIn)
+    : Registry(Registry), P(PIn) {}
+
+std::string GreenWebRuntime::name() const {
+  return P.Scenario == UsageScenario::Imperceptible ? "GreenWeb-I"
+                                                    : "GreenWeb-U";
+}
+
+void GreenWebRuntime::attach(Browser &Browser_) {
+  B = &Browser_;
+  Ladder = buildConfigLadder(B->chip());
+  B->addFrameObserver(this);
+  // Idle: conserve energy until an annotated event arrives.
+  B->chip().setConfig(B->chip().spec().minConfig());
+}
+
+void GreenWebRuntime::detach() {
+  IdleDrop.cancel();
+  if (B)
+    B->removeFrameObserver(this);
+  B = nullptr;
+  ActiveEvents.clear();
+}
+
+std::string GreenWebRuntime::modelKey(const Element *Target,
+                                      const std::string &Type,
+                                      const QosSpec &Spec) const {
+  // Key per (element tag, event type, QoS spec): same-shaped widgets
+  // (a grid of story tiles, a set of menu panels) share one calibrated
+  // model, so the two profiling runs amortize across the whole widget
+  // family instead of repeating per element.
+  return formatString("%s|%s|%s",
+                      Target ? Target->tagName().c_str() : "?",
+                      Type.c_str(), Spec.str().c_str());
+}
+
+Duration GreenWebRuntime::resolveTarget(const QosSpec &Spec) {
+  Duration Target = activeTarget(Spec, P.Scenario);
+  if (!P.ClampTargetsToDefaults)
+    return Target;
+  // Defense against aggressive annotations: never chase a target
+  // tighter than the Table 1 default for the QoS type.
+  QosTarget Default = Spec.Type == QosType::Continuous
+                          ? defaultContinuousTarget()
+                          : defaultSingleShortTarget();
+  Duration Floor = P.Scenario == UsageScenario::Imperceptible
+                       ? Default.Imperceptible
+                       : Default.Usable;
+  if (Target < Floor) {
+    ++Counters.TargetClampsApplied;
+    return Floor;
+  }
+  return Target;
+}
+
+void GreenWebRuntime::maybeEngageEnergyBudget() {
+  if (!P.EnergyBudgetJoules || !Meter_ || P.ClampTargetsToDefaults)
+    return;
+  if (Meter_->totalJoules() >= *P.EnergyBudgetJoules)
+    P.ClampTargetsToDefaults = true;
+}
+
+void GreenWebRuntime::onInputDispatched(uint64_t RootId,
+                                        const std::string &Type,
+                                        Element *Target) {
+  assert(B && "input before attach");
+  maybeEngageEnergyBudget();
+
+  std::optional<QosSpec> Spec =
+      Target ? Registry.lookup(*Target, Type) : std::nullopt;
+  if (!Spec) {
+    ++Counters.UnannotatedEvents;
+    return;
+  }
+  ++Counters.AnnotatedEvents;
+
+  ActiveEvent Event;
+  Event.RootId = RootId;
+  Event.Key = modelKey(Target, Type, *Spec);
+  Event.Spec = *Spec;
+  Event.Target = resolveTarget(*Spec);
+  ActiveEvents[RootId] = std::move(Event);
+  applyDesiredConfig();
+}
+
+AcmpConfig GreenWebRuntime::desiredConfigFor(const ActiveEvent &Event) {
+  ModelState &State = Models[Event.Key];
+  const AcmpSpec &Spec = B->chip().spec();
+  switch (State.ModelPhase) {
+  case Phase::NeedMaxProfile:
+    return Spec.maxConfig();
+  case Phase::NeedMinProfile:
+    return Spec.minConfig();
+  case Phase::Ready: {
+    ConfigChoice Choice = chooseMinEnergyConfig(
+        B->chip(), State.Model, Event.Target, P.SafetyMargin);
+    return shiftConfig(Choice.Config, State.FeedbackOffset);
+  }
+  }
+  return Spec.maxConfig();
+}
+
+AcmpConfig GreenWebRuntime::shiftConfig(const AcmpConfig &Config,
+                                        int Levels) const {
+  if (Levels == 0)
+    return Config;
+  auto It = std::find(Ladder.begin(), Ladder.end(), Config);
+  assert(It != Ladder.end() && "config not on the ladder");
+  int Index = int(It - Ladder.begin());
+  Index = std::clamp(Index + Levels, 0, int(Ladder.size()) - 1);
+  return Ladder[size_t(Index)];
+}
+
+void GreenWebRuntime::applyDesiredConfig() {
+  if (!B)
+    return;
+  if (ActiveEvents.empty()) {
+    // Hold the current configuration briefly: a scroll stream delivers
+    // a new input within milliseconds and immediate idling would
+    // thrash cluster migrations.
+    if (IdleDrop.isActive())
+      return;
+    IdleDrop = B->simulator().schedule(P.IdleHold, [this] {
+      if (B && ActiveEvents.empty())
+        B->chip().setConfig(B->chip().spec().minConfig());
+    });
+    return;
+  }
+  IdleDrop.cancel();
+  // Multiple concurrent events: satisfy the most demanding one.
+  std::optional<AcmpConfig> Best;
+  for (auto &[Root, Event] : ActiveEvents) {
+    AcmpConfig Desired = desiredConfigFor(Event);
+    if (!Best ||
+        B->chip().effectiveHzFor(Desired) > B->chip().effectiveHzFor(*Best))
+      Best = Desired;
+  }
+  B->chip().setConfig(*Best);
+}
+
+void GreenWebRuntime::onFrameReady(const FrameRecord &Frame) {
+  assert(B && "frame before attach");
+  maybeEngageEnergyBudget();
+
+  // An event may appear in several messages of one frame (batched
+  // ticks); handle each root once with its worst latency.
+  std::map<uint64_t, Duration> WorstByRoot;
+  for (const MsgLatency &L : Frame.Latencies) {
+    Duration &Slot = WorstByRoot[L.Msg.RootId];
+    Slot = std::max(Slot, L.Latency);
+  }
+
+  std::vector<uint64_t> SinglesDone;
+  for (const auto &[Root, Latency] : WorstByRoot) {
+    auto It = ActiveEvents.find(Root);
+    if (It == ActiveEvents.end())
+      continue;
+    // Continuous (smoothness) targets constrain per-frame production
+    // latency; single (responsiveness) targets the input-to-display
+    // delay.
+    Duration Effective = It->second.Spec.Type == QosType::Continuous
+                             ? Frame.ReadyTime - Frame.BeginTime
+                             : Latency;
+    handleEventFrame(It->second, Frame, Effective);
+    // A "single" event is optimized only up to its response frame
+    // (Sec. 6.4); post-frame work runs at the idle configuration.
+    if (It->second.Spec.Type == QosType::Single)
+      SinglesDone.push_back(Root);
+  }
+  for (uint64_t Root : SinglesDone)
+    ActiveEvents.erase(Root);
+
+  applyDesiredConfig();
+}
+
+void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
+                                       const FrameRecord & /*Frame*/,
+                                       Duration Latency) {
+  ModelState &State = Models[Event.Key];
+  AcmpConfig Config = B->chip().config();
+
+  switch (State.ModelPhase) {
+  case Phase::NeedMaxProfile:
+    ++Counters.ProfilingFrames;
+    State.MaxObs = {Config, Latency};
+    State.ModelPhase = Phase::NeedMinProfile;
+    return;
+  case Phase::NeedMinProfile: {
+    ++Counters.ProfilingFrames;
+    LatencyObservation MinObs{Config, Latency};
+    std::optional<DvfsModel> Model =
+        fitDvfsModel(B->chip(), State.MaxObs, MinObs);
+    if (!Model) {
+      // Same effective frequency twice (another event pinned the chip);
+      // keep waiting for a distinct observation.
+      return;
+    }
+    State.Model = *Model;
+    State.ModelPhase = Phase::Ready;
+    State.FeedbackOffset = 0;
+    State.ConsecutiveMispredicts = 0;
+    return;
+  }
+  case Phase::Ready:
+    break;
+  }
+
+  ++Counters.PredictedFrames;
+  Duration Predicted = State.Model.predict(B->chip().effectiveHzFor(Config));
+  double Pred = std::max(1e-9, Predicted.secs());
+  double Measured = Latency.secs();
+  bool Mispredicted =
+      std::fabs(Measured - Pred) / Pred > P.MispredictTolerance;
+
+  if (P.EnableFeedback) {
+    if (Latency > Event.Target) {
+      // Under-prediction: step one level up (little top migrates to
+      // big, Sec. 6.2).
+      ++State.FeedbackOffset;
+      ++Counters.FeedbackStepsUp;
+      State.SafeStreak = 0;
+    } else if (State.FeedbackOffset > 0) {
+      // Over-prediction path: once the boost has been comfortably
+      // unnecessary for a while, undo one level. This makes transient
+      // complexity bumps decay instead of ratcheting the chip up
+      // permanently.
+      bool Comfortable = Measured < Pred * (1.0 - P.MispredictTolerance) ||
+                         Latency < Event.Target * 0.8;
+      if (Comfortable && ++State.SafeStreak >= P.FeedbackDecayAfter) {
+        --State.FeedbackOffset;
+        ++Counters.FeedbackStepsDown;
+        State.SafeStreak = 0;
+      }
+    } else {
+      State.SafeStreak = 0;
+    }
+    State.FeedbackOffset = std::clamp(State.FeedbackOffset, 0, 6);
+  }
+
+  if (Mispredicted) {
+    if (++State.ConsecutiveMispredicts >= P.RecalibrateAfter) {
+      // The workload shifted (e.g. frame-complexity surge): re-profile.
+      State.ModelPhase = Phase::NeedMaxProfile;
+      State.ConsecutiveMispredicts = 0;
+      State.FeedbackOffset = 0;
+      ++Counters.Recalibrations;
+    }
+  } else {
+    State.ConsecutiveMispredicts = 0;
+  }
+}
+
+void GreenWebRuntime::onEventQuiescent(uint64_t RootId) {
+  if (ActiveEvents.erase(RootId) > 0)
+    applyDesiredConfig();
+}

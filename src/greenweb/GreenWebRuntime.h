@@ -1,0 +1,169 @@
+//===- greenweb/GreenWebRuntime.h - The GreenWeb runtime ---------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GreenWeb runtime of Sec. 6: a QoS-aware governor that consumes
+/// the page's GreenWeb annotations and drives the ACMP chip so that each
+/// annotated event's frames meet their QoS target with minimal energy.
+///
+/// Operation per annotated event:
+///  1. On input dispatch, look up the (element, event) QoS spec; the
+///     active target is TI or TU depending on the usage scenario.
+///  2. While the per-(element, event) DVFS model is uncalibrated, run
+///     profiling frames: one at the maximum configuration, one at the
+///     minimum (the source of the visible QoS violations on single-type
+///     events in Fig. 9b), then solve Equ. 1.
+///  3. Once calibrated, sweep the configuration space for the
+///     minimum-energy configuration meeting the target (Sec. 6.2) and
+///     apply it; "single" events are optimized only until their response
+///     frame, "continuous" events for every associated frame until the
+///     event quiesces (Sec. 6.4).
+///  4. Use measured frame latencies as feedback: violations step the
+///     configuration up, over-predictions step it down, and repeated
+///     mispredictions trigger re-profiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_GREENWEB_GREENWEBRUNTIME_H
+#define GREENWEB_GREENWEB_GREENWEBRUNTIME_H
+
+#include "browser/FrameTracker.h"
+#include "greenweb/AnnotationRegistry.h"
+#include "greenweb/Governors.h"
+#include "greenweb/PerfModel.h"
+#include "greenweb/Qos.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace greenweb {
+
+class EnergyMeter;
+
+/// The GreenWeb QoS-aware governor.
+class GreenWebRuntime : public Governor, public FrameObserver {
+public:
+  struct Params {
+    /// Battery scenario: selects TI or TU as the active target.
+    UsageScenario Scenario = UsageScenario::Imperceptible;
+    /// Headroom kept below the target when choosing configurations.
+    double SafetyMargin = 0.95;
+    /// Relative prediction error above which a frame counts as a
+    /// misprediction.
+    double MispredictTolerance = 0.50;
+    /// Consecutive mispredictions before the model is re-profiled.
+    unsigned RecalibrateAfter = 6;
+    /// Consecutive comfortably-on-target frames before one feedback
+    /// boost level decays (the "opposite adjustment" of Sec. 6.2 for
+    /// transient complexity bumps).
+    unsigned FeedbackDecayAfter = 10;
+    /// Feedback fine-tuning on measured latencies (ablation A1 turns
+    /// this off).
+    bool EnableFeedback = true;
+    /// Mis-annotation defense (Sec. 8): when set, annotation targets
+    /// are clamped to be no tighter than the Table 1 defaults for the
+    /// annotated QoS type, so an adversarially low target cannot pin
+    /// the chip at peak performance.
+    bool ClampTargetsToDefaults = false;
+    /// UAI energy-budget policy (Sec. 8): once the attached meter shows
+    /// this many joules consumed, ClampTargetsToDefaults switches on
+    /// automatically.
+    std::optional<double> EnergyBudgetJoules;
+    /// How long to hold the last configuration after the final active
+    /// event quiesces before dropping to the idle configuration.
+    /// Prevents migration thrash between back-to-back scroll events.
+    Duration IdleHold = Duration::milliseconds(400);
+  };
+
+  /// Statistics exposed for the evaluation and ablations.
+  struct Stats {
+    uint64_t AnnotatedEvents = 0;
+    uint64_t UnannotatedEvents = 0;
+    uint64_t ProfilingFrames = 0;
+    uint64_t PredictedFrames = 0;
+    uint64_t FeedbackStepsUp = 0;
+    uint64_t FeedbackStepsDown = 0;
+    uint64_t Recalibrations = 0;
+    uint64_t TargetClampsApplied = 0;
+  };
+
+  explicit GreenWebRuntime(AnnotationRegistry &Registry);
+  GreenWebRuntime(AnnotationRegistry &Registry, Params P);
+
+  /// --- Governor interface ---
+  std::string name() const override;
+  void attach(Browser &B) override;
+  void detach() override;
+
+  /// Optional energy meter used by the UAI energy-budget defense.
+  void setEnergyMeter(const EnergyMeter *Meter) { Meter_ = Meter; }
+
+  /// --- FrameObserver interface ---
+  void onInputDispatched(uint64_t RootId, const std::string &Type,
+                         Element *Target) override;
+  void onFrameReady(const FrameRecord &Frame) override;
+  void onEventQuiescent(uint64_t RootId) override;
+
+  const Stats &stats() const { return Counters; }
+  const Params &params() const { return P; }
+
+  /// Number of events currently being optimized.
+  size_t activeEventCount() const { return ActiveEvents.size(); }
+
+private:
+  /// Calibration state of one (element, event) model.
+  enum class Phase { NeedMaxProfile, NeedMinProfile, Ready };
+
+  struct ModelState {
+    Phase ModelPhase = Phase::NeedMaxProfile;
+    LatencyObservation MaxObs;
+    DvfsModel Model;
+    /// Ladder-level offset applied on top of predictions by feedback.
+    int FeedbackOffset = 0;
+    unsigned ConsecutiveMispredicts = 0;
+    /// Frames in a row that landed comfortably under the target while a
+    /// boost was active.
+    unsigned SafeStreak = 0;
+  };
+
+  struct ActiveEvent {
+    uint64_t RootId = 0;
+    std::string Key;
+    QosSpec Spec;
+    Duration Target;
+  };
+
+  std::string modelKey(const Element *Target, const std::string &Type,
+                       const QosSpec &Spec) const;
+  Duration resolveTarget(const QosSpec &Spec);
+  /// The configuration this event wants right now.
+  AcmpConfig desiredConfigFor(const ActiveEvent &Event);
+  /// Applies the highest-performance desired configuration across all
+  /// active events, or the idle (minimum) configuration when none.
+  void applyDesiredConfig();
+  /// Handles one frame attributed to an active event.
+  void handleEventFrame(ActiveEvent &Event, const FrameRecord &Frame,
+                        Duration Latency);
+  /// Shifts \p Config by \p Levels steps along the config ladder.
+  AcmpConfig shiftConfig(const AcmpConfig &Config, int Levels) const;
+  void maybeEngageEnergyBudget();
+
+  AnnotationRegistry &Registry;
+  Params P;
+  Browser *B = nullptr;
+  const EnergyMeter *Meter_ = nullptr;
+  std::vector<AcmpConfig> Ladder;
+
+  std::map<std::string, ModelState> Models;
+  std::map<uint64_t, ActiveEvent> ActiveEvents;
+  EventHandle IdleDrop;
+  Stats Counters;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_GREENWEB_GREENWEBRUNTIME_H

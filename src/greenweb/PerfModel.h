@@ -1,0 +1,77 @@
+//===- greenweb/PerfModel.h - DVFS performance/energy model -----*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frame performance model of Sec. 6.2, based on the classical DVFS
+/// analytical model of Xie et al. (Equ. 1 in the paper):
+///
+///     T = T_independent + N_nonoverlap / f
+///
+/// The two unknowns are solved from two profiled frame latencies — one
+/// at the maximum-performance configuration and one at the minimum —
+/// after which latency is predictable at every <core, frequency> tuple.
+/// The energy model combines the prediction with the statically profiled
+/// power table (PowerModel); the predictor sweeps all configurations and
+/// returns the minimum-energy one that meets the QoS target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_GREENWEB_PERFMODEL_H
+#define GREENWEB_GREENWEB_PERFMODEL_H
+
+#include "hw/AcmpChip.h"
+#include "support/Time.h"
+
+#include <optional>
+
+namespace greenweb {
+
+/// One profiled observation: a frame latency at a known configuration.
+struct LatencyObservation {
+  AcmpConfig Config;
+  Duration Latency;
+};
+
+/// A fitted T = T_ind + N / f_eff model.
+struct DvfsModel {
+  /// Frequency-independent latency.
+  Duration Independent;
+  /// Effective cycles that scale with 1/f.
+  double Cycles = 0.0;
+
+  /// Predicted frame latency at effective rate \p EffectiveHz.
+  Duration predict(double EffectiveHz) const;
+};
+
+/// Fits the two-point model from observations at two distinct effective
+/// frequencies. Returns nullopt when the observations are degenerate
+/// (same effective frequency). Negative solutions are clamped to zero,
+/// which happens when measurement noise exceeds the frequency effect.
+std::optional<DvfsModel> fitDvfsModel(const AcmpChip &Chip,
+                                      const LatencyObservation &AtMax,
+                                      const LatencyObservation &AtMin);
+
+/// Result of a configuration-space sweep.
+struct ConfigChoice {
+  AcmpConfig Config;
+  Duration PredictedLatency;
+  double PredictedJoules = 0.0;
+  /// False when no configuration met the target and the maximum one was
+  /// returned as the fallback.
+  bool MeetsTarget = true;
+};
+
+/// Sweeps every configuration of \p Chip and returns the minimum-energy
+/// one whose predicted latency is within \p Target scaled by
+/// \p SafetyMargin (e.g. 0.95 keeps 5% headroom). Falls back to the
+/// maximum-performance configuration when nothing qualifies.
+ConfigChoice chooseMinEnergyConfig(const AcmpChip &Chip,
+                                   const DvfsModel &Model, Duration Target,
+                                   double SafetyMargin = 1.0);
+
+} // namespace greenweb
+
+#endif // GREENWEB_GREENWEB_PERFMODEL_H

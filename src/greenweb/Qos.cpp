@@ -1,0 +1,63 @@
+//===- greenweb/Qos.cpp - QoS abstractions --------------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/Qos.h"
+
+#include "support/StringUtils.h"
+
+using namespace greenweb;
+
+const char *greenweb::qosTypeName(QosType Type) {
+  return Type == QosType::Continuous ? "continuous" : "single";
+}
+
+QosTarget greenweb::defaultContinuousTarget() {
+  // 60 FPS imperceptible, 30 FPS usable (Sec. 3.3).
+  return {Duration::fromMillis(16.6), Duration::fromMillis(33.3)};
+}
+
+QosTarget greenweb::defaultSingleShortTarget() {
+  // 100 ms feels instant; 300 ms is the not-working threshold.
+  return {Duration::milliseconds(100), Duration::milliseconds(300)};
+}
+
+QosTarget greenweb::defaultSingleLongTarget() {
+  // 1 s keeps the train of thought; 10 s loses the user.
+  return {Duration::seconds(1), Duration::seconds(10)};
+}
+
+std::string QosSpec::str() const {
+  return formatString("%s (%s, %s)", qosTypeName(Type),
+                      Target.Imperceptible.str().c_str(),
+                      Target.Usable.str().c_str());
+}
+
+const char *greenweb::usageScenarioName(UsageScenario Scenario) {
+  return Scenario == UsageScenario::Imperceptible ? "imperceptible"
+                                                  : "usable";
+}
+
+Duration greenweb::activeTarget(const QosSpec &Spec,
+                                UsageScenario Scenario) {
+  return Scenario == UsageScenario::Imperceptible ? Spec.Target.Imperceptible
+                                                  : Spec.Target.Usable;
+}
+
+QosSpec greenweb::lowerQosValue(const css::QosValue &Value) {
+  QosSpec Spec;
+  if (Value.Kind == css::QosValueKind::Continuous) {
+    Spec.Type = QosType::Continuous;
+    Spec.Target = defaultContinuousTarget();
+  } else {
+    Spec.Type = QosType::Single;
+    Spec.Target = Value.LongDuration.value_or(false)
+                      ? defaultSingleLongTarget()
+                      : defaultSingleShortTarget();
+  }
+  if (Value.Ti && Value.Tu)
+    Spec.Target = {*Value.Ti, *Value.Tu};
+  return Spec;
+}

@@ -1,0 +1,87 @@
+//===- greenweb/Qos.h - QoS abstractions -------------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two QoS abstractions (Sec. 3):
+///
+///  * QoS type  - whether user experience is judged by the latency of a
+///                single response frame or by every frame of a continuous
+///                sequence (Sec. 3.2).
+///  * QoS target- the performance level needed for a given experience:
+///                the imperceptible target TI and the usable target TU
+///                (Sec. 3.3).
+///
+/// Table 1 defaults: continuous (16.6 ms, 33.3 ms); single/short
+/// (100 ms, 300 ms); single/long (1 s, 10 s).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_GREENWEB_QOS_H
+#define GREENWEB_GREENWEB_QOS_H
+
+#include "css/CssValues.h"
+#include "support/Time.h"
+
+#include <string>
+
+namespace greenweb {
+
+/// The QoS type abstraction.
+enum class QosType {
+  /// One response frame determines the experience.
+  Single,
+  /// Every frame in a generated sequence determines the experience.
+  Continuous,
+};
+
+const char *qosTypeName(QosType Type);
+
+/// A (TI, TU) pair: the imperceptible and usable frame-latency targets.
+struct QosTarget {
+  Duration Imperceptible;
+  Duration Usable;
+
+  bool operator==(const QosTarget &) const = default;
+};
+
+/// Table 1 default targets.
+QosTarget defaultContinuousTarget(); ///< (16.6 ms, 33.3 ms)
+QosTarget defaultSingleShortTarget(); ///< (100 ms, 300 ms)
+QosTarget defaultSingleLongTarget();  ///< (1 s, 10 s)
+
+/// A fully-resolved QoS specification for one (element, event) pair.
+struct QosSpec {
+  QosType Type = QosType::Single;
+  QosTarget Target = defaultSingleShortTarget();
+
+  bool operator==(const QosSpec &) const = default;
+
+  /// Renders e.g. "continuous (16.6ms, 33.3ms)".
+  std::string str() const;
+};
+
+/// The battery-driven usage scenarios of Sec. 7.1.
+enum class UsageScenario {
+  /// Abundant battery; users expect imperceptible latency (use TI).
+  Imperceptible,
+  /// Tight battery; users tolerate usable latency (use TU).
+  Usable,
+};
+
+const char *usageScenarioName(UsageScenario Scenario);
+
+/// The active frame-latency target for a spec under a scenario.
+Duration activeTarget(const QosSpec &Spec, UsageScenario Scenario);
+
+/// Lowers a parsed GreenWeb CSS value into a full spec, filling Table 1
+/// defaults per the Table 2 semantics (continuous defaults to the
+/// continuous targets; `single, short|long` selects the corresponding
+/// row; explicit TI/TU override everything).
+QosSpec lowerQosValue(const css::QosValue &Value);
+
+} // namespace greenweb
+
+#endif // GREENWEB_GREENWEB_QOS_H

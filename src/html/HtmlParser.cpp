@@ -1,0 +1,298 @@
+//===- html/HtmlParser.cpp - HTML parser -------------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "html/HtmlParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace greenweb;
+using namespace greenweb::html;
+
+namespace {
+
+/// Tags that never have content or a closing tag.
+bool isVoidTag(std::string_view Tag) {
+  return Tag == "br" || Tag == "hr" || Tag == "img" || Tag == "input" ||
+         Tag == "meta" || Tag == "link" || Tag == "area" || Tag == "base" ||
+         Tag == "col" || Tag == "embed" || Tag == "source" ||
+         Tag == "track" || Tag == "wbr";
+}
+
+/// Tags whose body is raw text until the matching close tag.
+bool isRawTextTag(std::string_view Tag) {
+  return Tag == "style" || Tag == "script";
+}
+
+class HtmlParser {
+public:
+  explicit HtmlParser(std::string_view Source) : Src(Source) {}
+
+  ParseResult run();
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  void skipSpace() {
+    while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  void diagnose(std::string Message) {
+    Diags.push_back(formatString("line %u: %s", Line, Message.c_str()));
+  }
+
+  static bool isNameChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+           C == '_';
+  }
+  std::string readName();
+  std::string readAttributeValue();
+  void skipComment();
+  /// Reads raw text up to `</tag>`; consumes the close tag.
+  std::string readRawTextUntilClose(std::string_view Tag);
+  /// Parses one `<tag ...>` open tag after '<' and the name; applies
+  /// attributes to \p E. Returns true if the tag was self-closing.
+  bool parseAttributes(Element &E);
+
+  void applyAttribute(Element &E, std::string Name, std::string Value);
+
+  std::string_view Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  std::vector<std::string> Diags;
+};
+
+std::string HtmlParser::readName() {
+  std::string Name;
+  while (!atEnd() && isNameChar(peek()))
+    Name += char(std::tolower(static_cast<unsigned char>(advance())));
+  return Name;
+}
+
+std::string HtmlParser::readAttributeValue() {
+  skipSpace();
+  if (peek() == '"' || peek() == '\'') {
+    char Quote = advance();
+    std::string Value;
+    while (!atEnd() && peek() != Quote)
+      Value += advance();
+    if (!atEnd())
+      advance();
+    return Value;
+  }
+  // Unquoted value: read to whitespace or '>'.
+  std::string Value;
+  while (!atEnd() && !std::isspace(static_cast<unsigned char>(peek())) &&
+         peek() != '>' && peek() != '/')
+    Value += advance();
+  return Value;
+}
+
+void HtmlParser::skipComment() {
+  // Caller consumed "<!--".
+  while (!atEnd()) {
+    if (peek() == '-' && peek(1) == '-' && peek(2) == '>') {
+      advance();
+      advance();
+      advance();
+      return;
+    }
+    advance();
+  }
+  diagnose("unterminated comment");
+}
+
+std::string HtmlParser::readRawTextUntilClose(std::string_view Tag) {
+  std::string Body;
+  std::string CloseTag = "</" + std::string(Tag);
+  while (!atEnd()) {
+    if (peek() == '<' && peek(1) == '/') {
+      // Check for the close tag case-insensitively.
+      if (Pos + CloseTag.size() <= Src.size() &&
+          equalsIgnoreCase(Src.substr(Pos, CloseTag.size()), CloseTag)) {
+        // Consume "</tag" then to '>'.
+        for (size_t I = 0; I < CloseTag.size(); ++I)
+          advance();
+        while (!atEnd() && advance() != '>')
+          ;
+        return Body;
+      }
+    }
+    Body += advance();
+  }
+  diagnose(formatString("unterminated <%s> block",
+                        std::string(Tag).c_str()));
+  return Body;
+}
+
+void HtmlParser::applyAttribute(Element &E, std::string Name,
+                                std::string Value) {
+  if (Name == "id") {
+    E.setId(std::move(Value));
+    return;
+  }
+  if (Name == "class") {
+    for (std::string_view Class : splitTrimmed(Value, ' '))
+      E.addClass(std::string(Class));
+    return;
+  }
+  if (Name == "style") {
+    // Inline style: "prop: value; prop2: value2".
+    for (std::string_view Entry : splitTrimmed(Value, ';')) {
+      size_t Colon = Entry.find(':');
+      if (Colon == std::string_view::npos)
+        continue;
+      E.setStyleProperty(toLower(trim(Entry.substr(0, Colon))),
+                         std::string(trim(Entry.substr(Colon + 1))));
+    }
+    return;
+  }
+  E.setAttribute(std::move(Name), std::move(Value));
+}
+
+bool HtmlParser::parseAttributes(Element &E) {
+  while (true) {
+    skipSpace();
+    if (atEnd()) {
+      diagnose("unterminated open tag");
+      return false;
+    }
+    if (peek() == '>') {
+      advance();
+      return false;
+    }
+    if (peek() == '/' && peek(1) == '>') {
+      advance();
+      advance();
+      return true;
+    }
+    std::string Name = readName();
+    if (Name.empty()) {
+      diagnose(formatString("unexpected character '%c' in tag", peek()));
+      advance();
+      continue;
+    }
+    skipSpace();
+    std::string Value;
+    if (peek() == '=') {
+      advance();
+      Value = readAttributeValue();
+    }
+    applyAttribute(E, std::move(Name), std::move(Value));
+  }
+}
+
+ParseResult HtmlParser::run() {
+  ParseResult Result;
+  Result.Doc = std::make_unique<Document>();
+  Document &Doc = *Result.Doc;
+
+  // Stack of open elements; the document root is the base.
+  std::vector<Element *> Stack = {&Doc.root()};
+
+  while (!atEnd()) {
+    if (peek() != '<') {
+      // Text content: accumulate and attach to the current element.
+      std::string Text;
+      while (!atEnd() && peek() != '<')
+        Text += advance();
+      std::string_view Trimmed = trim(Text);
+      if (!Trimmed.empty()) {
+        std::string Existing(Stack.back()->attribute("text"));
+        if (!Existing.empty())
+          Existing += ' ';
+        Existing += Trimmed;
+        Stack.back()->setAttribute("text", Existing);
+      }
+      continue;
+    }
+
+    // '<' dispatch.
+    if (peek(1) == '!') {
+      if (peek(2) == '-' && peek(3) == '-') {
+        advance();
+        advance();
+        advance();
+        advance();
+        skipComment();
+        continue;
+      }
+      // DOCTYPE and friends: skip to '>'.
+      while (!atEnd() && advance() != '>')
+        ;
+      continue;
+    }
+
+    if (peek(1) == '/') {
+      advance();
+      advance();
+      std::string Name = readName();
+      while (!atEnd() && advance() != '>')
+        ;
+      // Pop to the matching open tag if present.
+      bool Found = false;
+      for (size_t I = Stack.size(); I-- > 1;) {
+        if (Stack[I]->tagName() == Name) {
+          Stack.resize(I);
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        diagnose(formatString("stray close tag </%s>", Name.c_str()));
+      continue;
+    }
+
+    advance(); // '<'
+    std::string Name = readName();
+    if (Name.empty()) {
+      diagnose("stray '<'");
+      continue;
+    }
+
+    // <html> and <body> map onto the implicit root rather than nesting.
+    if (Name == "html" || Name == "body" || Name == "head") {
+      Element Discard(Doc, Name);
+      parseAttributes(Discard);
+      continue;
+    }
+
+    Element *E = Stack.back()->createChild(Name);
+    bool SelfClosed = parseAttributes(*E);
+
+    if (isRawTextTag(Name)) {
+      std::string Body = readRawTextUntilClose(Name);
+      if (Name == "style")
+        Doc.StyleTexts.push_back(std::move(Body));
+      else
+        Doc.ScriptTexts.push_back(std::move(Body));
+      continue;
+    }
+    if (!SelfClosed && !isVoidTag(Name))
+      Stack.push_back(E);
+  }
+
+  if (Stack.size() > 1)
+    Diags.push_back(formatString("unclosed element <%s> at end of input",
+                                 Stack.back()->tagName().c_str()));
+  Result.Diagnostics = std::move(Diags);
+  return Result;
+}
+
+} // namespace
+
+ParseResult greenweb::html::parseHtml(std::string_view Source) {
+  return HtmlParser(Source).run();
+}

@@ -1,0 +1,45 @@
+//===- html/HtmlParser.h - HTML parser ---------------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the HTML subset the simulated applications are written in:
+/// nested elements with attributes, void and self-closing tags, comments,
+/// and raw-text capture of <style> and <script> bodies into the
+/// Document's StyleTexts / ScriptTexts (the CSS engine and MiniScript
+/// interpreter consume those). Text content is recorded as a "text"
+/// attribute on the nearest element; layout does not depend on it.
+///
+/// Error handling is browser-like: unexpected input never aborts the
+/// parse; recovery actions are reported as diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_HTML_HTMLPARSER_H
+#define GREENWEB_HTML_HTMLPARSER_H
+
+#include "dom/Dom.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greenweb::html {
+
+/// Result of parsing an HTML document.
+struct ParseResult {
+  std::unique_ptr<Document> Doc;
+  std::vector<std::string> Diagnostics;
+};
+
+/// Parses \p Source into a Document. The returned document always has a
+/// root <html> element; top-level parsed elements become its children
+/// (or the children of an explicit <html>/<body> wrapper when present).
+ParseResult parseHtml(std::string_view Source);
+
+} // namespace greenweb::html
+
+#endif // GREENWEB_HTML_HTMLPARSER_H

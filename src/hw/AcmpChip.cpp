@@ -1,0 +1,113 @@
+//===- hw/AcmpChip.cpp - ACMP chip runtime model ---------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/AcmpChip.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace greenweb;
+
+AcmpChip::AcmpChip(Simulator &Sim, AcmpSpec SpecIn)
+    : Sim(Sim), Spec(std::move(SpecIn)), Power(Spec) {
+  // Boot on the little cluster at its lowest level, the idle state a
+  // governor would leave the chip in.
+  Config = Spec.minConfig();
+  LastChange = Sim.now();
+}
+
+void AcmpChip::accountInterval() {
+  for (const auto &Listener : PreChangeListeners)
+    Listener();
+  Duration Elapsed = Sim.now() - LastChange;
+  if (!Elapsed.isZero())
+    ConfigTime[Config] += Elapsed;
+  LastChange = Sim.now();
+}
+
+bool AcmpChip::setConfig(AcmpConfig NewConfig) {
+  assert(Spec.isValid(NewConfig) && "invalid ACMP configuration");
+  if (NewConfig == Config)
+    return false;
+
+  accountInterval();
+
+  bool Migrated = NewConfig.Core != Config.Core;
+  bool FreqChanged = NewConfig.FreqMHz != Config.FreqMHz;
+  Duration Penalty = Duration::zero();
+  if (Migrated) {
+    ++MigrationCount;
+    Penalty += Spec.MigrationPenalty;
+  }
+  if (FreqChanged) {
+    ++FreqSwitchCount;
+    Penalty += Spec.FreqSwitchPenalty;
+  }
+
+  Config = NewConfig;
+  // The stall models the period during which no instructions retire;
+  // replanning reprices remaining work at the new effective speed.
+  if (!Penalty.isZero())
+    stallAttachedThreads(Penalty);
+  replanAttachedThreads();
+  return true;
+}
+
+bool AcmpChip::setFrequency(unsigned FreqMHz) {
+  return setConfig({Config.Core, FreqMHz});
+}
+
+bool AcmpChip::stepFrequency(int Levels) {
+  const ClusterSpec &Cluster = Spec.cluster(Config.Core);
+  int Index = Cluster.freqIndex(Config.FreqMHz);
+  assert(Index >= 0 && "current frequency not in spec");
+  int Target = std::clamp(Index + Levels, 0,
+                          int(Cluster.FreqsMHz.size()) - 1);
+  if (Target == Index)
+    return false;
+  return setFrequency(Cluster.FreqsMHz[size_t(Target)]);
+}
+
+double AcmpChip::effectiveHz(unsigned /*ThreadId*/) const {
+  return effectiveHzFor(Config);
+}
+
+double AcmpChip::effectiveHzFor(const AcmpConfig &C) const {
+  const ClusterSpec &Cluster = Spec.cluster(C.Core);
+  return double(C.FreqMHz) * 1e6 * Cluster.Ipc;
+}
+
+void AcmpChip::onThreadActivity(unsigned /*ThreadId*/, bool Busy) {
+  accountInterval();
+  if (Busy) {
+    ++BusyCount;
+    return;
+  }
+  assert(BusyCount > 0 && "idle notification without matching busy");
+  --BusyCount;
+}
+
+double AcmpChip::currentPowerWatts() const {
+  return Power.clusterPower(Config.Core, Config.FreqMHz, BusyCount);
+}
+
+void AcmpChip::addPreChangeListener(std::function<void()> Listener) {
+  assert(Listener && "null chip listener");
+  PreChangeListeners.push_back(std::move(Listener));
+}
+
+std::map<AcmpConfig, Duration> AcmpChip::configTimeDistribution() const {
+  std::map<AcmpConfig, Duration> Dist = ConfigTime;
+  Dist[Config] += Sim.now() - LastChange;
+  return Dist;
+}
+
+void AcmpChip::resetStats() {
+  accountInterval();
+  ConfigTime.clear();
+  FreqSwitchCount = 0;
+  MigrationCount = 0;
+}

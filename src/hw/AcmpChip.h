@@ -1,0 +1,118 @@
+//===- hw/AcmpChip.h - ACMP chip runtime model ------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic model of the ACMP chip: holds the current <core, frequency>
+/// configuration, executes configuration changes with their penalties,
+/// supplies effective execution speed to simulated threads, and accounts
+/// time-at-configuration and switch statistics (the raw data behind
+/// Fig. 11 and Fig. 12 of the paper).
+///
+/// Transition penalties are modeled as stalls injected into in-flight
+/// tasks: 100 us for a frequency change and 20 us for a cluster
+/// migration (both at once costs the sum). The paper notes these are
+/// microseconds against millisecond-scale QoS targets, so modeling them
+/// as compute stalls (rather than separate power states) is faithful
+/// where it matters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_HW_ACMPCHIP_H
+#define GREENWEB_HW_ACMPCHIP_H
+
+#include "hw/AcmpSpec.h"
+#include "hw/PowerModel.h"
+#include "sim/SimThread.h"
+#include "sim/Simulator.h"
+
+#include <functional>
+#include <map>
+
+namespace greenweb {
+
+/// Runtime ACMP model; the CpuModel all browser threads execute against.
+class AcmpChip : public CpuModel {
+public:
+  AcmpChip(Simulator &Sim, AcmpSpec Spec = makeExynos5410Spec());
+
+  const AcmpSpec &spec() const { return Spec; }
+  const PowerModel &powerModel() const { return Power; }
+  Simulator &simulator() { return Sim; }
+
+  /// Current execution configuration.
+  AcmpConfig config() const { return Config; }
+
+  /// Applies a new configuration. Returns false (and does nothing) if
+  /// \p NewConfig equals the current one. Asserts on invalid configs.
+  /// Frequency changes stall in-flight work by the frequency-switch
+  /// penalty; cluster changes add the migration penalty.
+  bool setConfig(AcmpConfig NewConfig);
+
+  /// Convenience: change only the frequency on the current cluster.
+  bool setFrequency(unsigned FreqMHz);
+
+  /// Steps the current frequency up/down one DVFS level within the
+  /// cluster. Returns false when already at the edge.
+  bool stepFrequency(int Levels);
+
+  /// Effective cycle rate (frequency times cluster IPC). All simulated
+  /// web threads run on the active cluster, so the rate is shared.
+  double effectiveHz(unsigned ThreadId) const override;
+
+  /// Effective cycle rate an arbitrary configuration would provide; the
+  /// GreenWeb runtime uses this for its prediction sweep.
+  double effectiveHzFor(const AcmpConfig &C) const;
+
+  void onThreadActivity(unsigned ThreadId, bool Busy) override;
+
+  /// Number of threads currently executing.
+  unsigned busyThreads() const { return BusyCount; }
+
+  /// Instantaneous chip power at the current state, watts.
+  double currentPowerWatts() const;
+
+  /// Registered observers run immediately *before* any accounted state
+  /// change (configuration or busy count), while the old state is still
+  /// visible; the energy meter integrates the elapsed interval there.
+  void addPreChangeListener(std::function<void()> Listener);
+
+  /// --- Statistics (Fig. 11 / Fig. 12 raw data) ---
+
+  /// Total time spent in each configuration so far, including the
+  /// in-progress interval.
+  std::map<AcmpConfig, Duration> configTimeDistribution() const;
+
+  /// Counts of frequency-only switches and cluster migrations.
+  uint64_t freqSwitches() const { return FreqSwitchCount; }
+  uint64_t migrations() const { return MigrationCount; }
+
+  /// Resets switch counters and the time distribution (used between
+  /// experiment phases).
+  void resetStats();
+
+private:
+  /// Folds the interval since the last state change into the accounting
+  /// structures and notifies pre-change listeners.
+  void accountInterval();
+
+  Simulator &Sim;
+  AcmpSpec Spec;
+  PowerModel Power;
+
+  AcmpConfig Config;
+  unsigned BusyCount = 0;
+
+  TimePoint LastChange;
+  std::map<AcmpConfig, Duration> ConfigTime;
+  uint64_t FreqSwitchCount = 0;
+  uint64_t MigrationCount = 0;
+
+  std::vector<std::function<void()>> PreChangeListeners;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_HW_ACMPCHIP_H

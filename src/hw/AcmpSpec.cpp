@@ -1,0 +1,71 @@
+//===- hw/AcmpSpec.cpp - ACMP hardware description -------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/AcmpSpec.h"
+
+#include "support/StringUtils.h"
+
+using namespace greenweb;
+
+const char *greenweb::coreKindName(CoreKind Kind) {
+  return Kind == CoreKind::Big ? "A15" : "A7";
+}
+
+std::string AcmpConfig::str() const {
+  return formatString("%s@%uMHz", coreKindName(Core), FreqMHz);
+}
+
+int ClusterSpec::freqIndex(unsigned FreqMHz) const {
+  for (size_t I = 0, E = FreqsMHz.size(); I != E; ++I)
+    if (FreqsMHz[I] == FreqMHz)
+      return int(I);
+  return -1;
+}
+
+std::vector<AcmpConfig> AcmpSpec::allConfigs() const {
+  std::vector<AcmpConfig> Configs;
+  for (unsigned F : Little.FreqsMHz)
+    Configs.push_back({CoreKind::Little, F});
+  for (unsigned F : Big.FreqsMHz)
+    Configs.push_back({CoreKind::Big, F});
+  return Configs;
+}
+
+bool AcmpSpec::isValid(const AcmpConfig &C) const {
+  return cluster(C.Core).freqIndex(C.FreqMHz) >= 0;
+}
+
+AcmpSpec greenweb::makeExynos5410Spec() {
+  AcmpSpec Spec;
+
+  // Cortex-A7 cluster: 350-600 MHz at 50 MHz granularity (Sec. 7.1).
+  Spec.Little.Kind = CoreKind::Little;
+  Spec.Little.Name = "A7";
+  for (unsigned F = 350; F <= 600; F += 50)
+    Spec.Little.FreqsMHz.push_back(F);
+  Spec.Little.Ipc = 0.8;
+  Spec.Little.VoltMinV = 0.95;
+  Spec.Little.VoltMaxV = 1.10;
+  // Fitted so the cluster draws ~0.12 W per busy core at 600 MHz.
+  Spec.Little.CeffF = 0.165e-9;
+  Spec.Little.IdleW = 0.025;
+
+  // Cortex-A15 cluster: 800 MHz-1.8 GHz at 100 MHz granularity (Sec. 7.1).
+  Spec.Big.Kind = CoreKind::Big;
+  Spec.Big.Name = "A15";
+  for (unsigned F = 800; F <= 1800; F += 100)
+    Spec.Big.FreqsMHz.push_back(F);
+  Spec.Big.Ipc = 1.6;
+  Spec.Big.VoltMinV = 0.90;
+  Spec.Big.VoltMaxV = 1.20;
+  // Fitted so a busy A15 draws ~1.8 W at 1.8 GHz and ~0.45 W at 800 MHz.
+  Spec.Big.CeffF = 0.69e-9;
+  Spec.Big.IdleW = 0.15;
+
+  Spec.FreqSwitchPenalty = Duration::microseconds(100);
+  Spec.MigrationPenalty = Duration::microseconds(20);
+  return Spec;
+}

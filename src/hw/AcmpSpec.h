@@ -1,0 +1,112 @@
+//===- hw/AcmpSpec.h - ACMP hardware description ---------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static description of an asymmetric chip-multiprocessor (ACMP). The
+/// default spec models the Exynos 5410 used by the paper's ODroid XU+E
+/// board: a Cortex-A15 (big) cluster spanning 800 MHz-1.8 GHz at 100 MHz
+/// steps and a Cortex-A7 (little) cluster spanning 350-600 MHz at 50 MHz
+/// steps, with 100 us frequency-switch and 20 us migration penalties
+/// (Sec. 7.1). Power parameters follow a P = P_leak + C_eff * V^2 * f
+/// model with voltage curves fitted to published Exynos 5410 numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_HW_ACMPSPEC_H
+#define GREENWEB_HW_ACMPSPEC_H
+
+#include "support/Time.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+/// Which cluster a configuration runs on.
+enum class CoreKind { Little, Big };
+
+/// Human-readable cluster name ("A7" / "A15").
+const char *coreKindName(CoreKind Kind);
+
+/// An ACMP execution configuration: the <core, frequency> tuple the
+/// GreenWeb runtime predicts (Sec. 6.1).
+struct AcmpConfig {
+  CoreKind Core = CoreKind::Little;
+  unsigned FreqMHz = 0;
+
+  bool operator==(const AcmpConfig &RHS) const = default;
+  /// Orders little-before-big, then by frequency; used for stable maps.
+  auto operator<=>(const AcmpConfig &RHS) const = default;
+
+  /// Renders e.g. "A15@1400MHz".
+  std::string str() const;
+};
+
+/// Static description of one cluster.
+struct ClusterSpec {
+  CoreKind Kind;
+  std::string Name;
+  /// Available DVFS levels in MHz, ascending.
+  std::vector<unsigned> FreqsMHz;
+  /// Average instructions per cycle on web workloads; folds the
+  /// microarchitectural gap between out-of-order A15 and in-order A7 into
+  /// a single effective-speed factor.
+  double Ipc;
+  /// Supply voltage at the lowest / highest frequency; interpolated
+  /// linearly in between.
+  double VoltMinV;
+  double VoltMaxV;
+  /// Effective switched capacitance (farads) for dynamic power.
+  double CeffF;
+  /// Leakage power of the powered-on cluster, watts.
+  double IdleW;
+
+  unsigned minFreq() const {
+    assert(!FreqsMHz.empty());
+    return FreqsMHz.front();
+  }
+  unsigned maxFreq() const {
+    assert(!FreqsMHz.empty());
+    return FreqsMHz.back();
+  }
+  /// Index of \p FreqMHz in FreqsMHz, or -1 if not a valid level.
+  int freqIndex(unsigned FreqMHz) const;
+};
+
+/// Full chip description plus transition penalties.
+struct AcmpSpec {
+  ClusterSpec Little;
+  ClusterSpec Big;
+  /// Penalty for changing frequency within a cluster (100 us, Sec. 7.1).
+  Duration FreqSwitchPenalty;
+  /// Penalty for migrating between clusters (20 us, Sec. 7.1).
+  Duration MigrationPenalty;
+
+  const ClusterSpec &cluster(CoreKind Kind) const {
+    return Kind == CoreKind::Big ? Big : Little;
+  }
+
+  /// All configurations, little levels first then big, each ascending.
+  std::vector<AcmpConfig> allConfigs() const;
+
+  /// True if \p C names an existing cluster/frequency level.
+  bool isValid(const AcmpConfig &C) const;
+
+  /// Lowest-energy and highest-performance endpoints.
+  AcmpConfig minConfig() const {
+    return {CoreKind::Little, Little.minFreq()};
+  }
+  AcmpConfig maxConfig() const { return {CoreKind::Big, Big.maxFreq()}; }
+};
+
+/// The Exynos 5410-like default chip used throughout the evaluation.
+AcmpSpec makeExynos5410Spec();
+
+} // namespace greenweb
+
+#endif // GREENWEB_HW_ACMPSPEC_H

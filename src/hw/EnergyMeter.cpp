@@ -1,0 +1,80 @@
+//===- hw/EnergyMeter.cpp - Energy measurement -------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/EnergyMeter.h"
+
+using namespace greenweb;
+
+EnergyMeter::EnergyMeter(AcmpChip &Chip) : Chip(Chip), Sim(Chip.simulator()) {
+  LastUpdate = Sim.now();
+  WindowStart = Sim.now();
+  Chip.addPreChangeListener([this] { integrate(); });
+}
+
+void EnergyMeter::integrate() const {
+  Duration Elapsed = Sim.now() - LastUpdate;
+  if (Elapsed.isZero())
+    return;
+  double Joules = Chip.currentPowerWatts() * Elapsed.secs();
+  TotalJ += Joules;
+  if (Chip.config().Core == CoreKind::Big)
+    BigJ += Joules;
+  else
+    LittleJ += Joules;
+  LastUpdate = Sim.now();
+}
+
+double EnergyMeter::totalJoules() const {
+  integrate();
+  return TotalJ;
+}
+
+double EnergyMeter::bigJoules() const {
+  integrate();
+  return BigJ;
+}
+
+double EnergyMeter::littleJoules() const {
+  integrate();
+  return LittleJ;
+}
+
+double EnergyMeter::averageWatts() const {
+  Duration Window = elapsed();
+  if (Window.isZero())
+    return 0.0;
+  return totalJoules() / Window.secs();
+}
+
+Duration EnergyMeter::elapsed() const { return Sim.now() - WindowStart; }
+
+void EnergyMeter::reset() {
+  TotalJ = BigJ = LittleJ = 0.0;
+  LastUpdate = Sim.now();
+  WindowStart = Sim.now();
+  Samples.clear();
+}
+
+void EnergyMeter::enableSampling(Duration Period) {
+  assert(Period > Duration::zero() && "sampling period must be positive");
+  SamplePeriod = Period;
+  SampleEvent.cancel();
+  scheduleNextSample();
+}
+
+void EnergyMeter::scheduleNextSample() {
+  SampleEvent = Sim.schedule(SamplePeriod, [this] {
+    Samples.push_back(Chip.currentPowerWatts());
+    scheduleNextSample();
+  });
+}
+
+double EnergyMeter::sampledJoules() const {
+  double Sum = 0.0;
+  for (double Watts : Samples)
+    Sum += Watts * SamplePeriod.secs();
+  return Sum;
+}

@@ -1,0 +1,40 @@
+//===- hw/PowerModel.cpp - Cluster power model ------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/PowerModel.h"
+
+#include <cassert>
+
+using namespace greenweb;
+
+double PowerModel::voltageAt(CoreKind Kind, unsigned FreqMHz) const {
+  const ClusterSpec &Cluster = Spec.cluster(Kind);
+  unsigned Lo = Cluster.minFreq();
+  unsigned Hi = Cluster.maxFreq();
+  if (FreqMHz <= Lo)
+    return Cluster.VoltMinV;
+  if (FreqMHz >= Hi)
+    return Cluster.VoltMaxV;
+  double Frac = double(FreqMHz - Lo) / double(Hi - Lo);
+  return Cluster.VoltMinV + Frac * (Cluster.VoltMaxV - Cluster.VoltMinV);
+}
+
+double PowerModel::dynamicPowerPerCore(CoreKind Kind, unsigned FreqMHz) const {
+  const ClusterSpec &Cluster = Spec.cluster(Kind);
+  double V = voltageAt(Kind, FreqMHz);
+  double FreqHz = double(FreqMHz) * 1e6;
+  return Cluster.CeffF * V * V * FreqHz;
+}
+
+double PowerModel::clusterPower(CoreKind Kind, unsigned FreqMHz,
+                                unsigned BusyCores) const {
+  return idlePower(Kind) +
+         double(BusyCores) * dynamicPowerPerCore(Kind, FreqMHz);
+}
+
+double PowerModel::idlePower(CoreKind Kind) const {
+  return Spec.cluster(Kind).IdleW;
+}

@@ -1,0 +1,51 @@
+//===- hw/PowerModel.h - Cluster power model --------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analytic power model for the ACMP clusters. The paper profiles power at
+/// each <core, frequency> setting statically and hard-codes the values
+/// into the runtime (Sec. 6.2); we generate the same table from the
+/// classic P = P_leak + C_eff * V^2 * f dynamic-power law, with voltage a
+/// linear function of frequency between the spec's endpoints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_HW_POWERMODEL_H
+#define GREENWEB_HW_POWERMODEL_H
+
+#include "hw/AcmpSpec.h"
+
+namespace greenweb {
+
+/// Computes cluster power as a function of operating point and busy cores.
+class PowerModel {
+public:
+  explicit PowerModel(const AcmpSpec &Spec) : Spec(Spec) {}
+
+  /// Supply voltage for \p Kind at \p FreqMHz (linear interpolation
+  /// between the spec endpoints; clamped outside the range).
+  double voltageAt(CoreKind Kind, unsigned FreqMHz) const;
+
+  /// Dynamic power of a single busy core at the operating point, watts.
+  double dynamicPowerPerCore(CoreKind Kind, unsigned FreqMHz) const;
+
+  /// Total cluster power with \p BusyCores actively executing, watts.
+  /// Includes the cluster's leakage.
+  double clusterPower(CoreKind Kind, unsigned FreqMHz,
+                      unsigned BusyCores) const;
+
+  /// Leakage-only power of the powered cluster, watts.
+  double idlePower(CoreKind Kind) const;
+
+  const AcmpSpec &spec() const { return Spec; }
+
+private:
+  const AcmpSpec &Spec;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_HW_POWERMODEL_H

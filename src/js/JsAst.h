@@ -1,0 +1,380 @@
+//===- js/JsAst.h - MiniScript abstract syntax -------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MiniScript. Nodes use an LLVM-style Kind discriminator with
+/// classof() so the interpreter dispatches without RTTI.
+///
+/// Grammar (expressions use standard precedence):
+///
+///   program    := { statement }
+///   statement  := 'var' ident ['=' expr] ';'
+///               | 'function' ident '(' params ')' block
+///               | 'if' '(' expr ')' statement ['else' statement]
+///               | 'while' '(' expr ')' statement
+///               | 'for' '(' init? ';' cond? ';' step? ')' statement
+///               | 'return' expr? ';' | block | expr ';'
+///   expr       := assignment
+///   assignment := (ident | member) '=' assignment | ternary-or-binary
+///   primary    := number | string | 'true' | 'false' | 'null' | ident
+///               | '(' expr ')' | 'function' '(' params ')' block
+///   postfix    := primary { '.' ident | '(' args ')' }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_JS_JSAST_H
+#define GREENWEB_JS_JSAST_H
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace greenweb::js {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all expression nodes.
+class Expr {
+public:
+  enum class Kind {
+    NumberLit,
+    StringLit,
+    BoolLit,
+    NullLit,
+    Ident,
+    Unary,
+    Binary,
+    Logical,
+    Assign,
+    Member,
+    Call,
+    FunctionLit,
+    Conditional,
+  };
+
+  virtual ~Expr();
+  Kind kind() const { return TheKind; }
+  unsigned line() const { return Line; }
+
+protected:
+  Expr(Kind K, unsigned Line) : TheKind(K), Line(Line) {}
+
+private:
+  Kind TheKind;
+  unsigned Line;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class NumberLit : public Expr {
+public:
+  NumberLit(double V, unsigned Line) : Expr(Kind::NumberLit, Line), V(V) {}
+  double value() const { return V; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::NumberLit; }
+
+private:
+  double V;
+};
+
+class StringLit : public Expr {
+public:
+  StringLit(std::string V, unsigned Line)
+      : Expr(Kind::StringLit, Line), V(std::move(V)) {}
+  const std::string &value() const { return V; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::StringLit; }
+
+private:
+  std::string V;
+};
+
+class BoolLit : public Expr {
+public:
+  BoolLit(bool V, unsigned Line) : Expr(Kind::BoolLit, Line), V(V) {}
+  bool value() const { return V; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLit; }
+
+private:
+  bool V;
+};
+
+class NullLit : public Expr {
+public:
+  explicit NullLit(unsigned Line) : Expr(Kind::NullLit, Line) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::NullLit; }
+};
+
+class Ident : public Expr {
+public:
+  Ident(std::string Name, unsigned Line)
+      : Expr(Kind::Ident, Line), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Ident; }
+
+private:
+  std::string Name;
+};
+
+class Unary : public Expr {
+public:
+  enum class Op { Neg, Not };
+  Unary(Op O, ExprPtr Operand, unsigned Line)
+      : Expr(Kind::Unary, Line), O(O), Operand(std::move(Operand)) {}
+  Op op() const { return O; }
+  const Expr &operand() const { return *Operand; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  Op O;
+  ExprPtr Operand;
+};
+
+class Binary : public Expr {
+public:
+  enum class Op { Add, Sub, Mul, Div, Mod, Lt, Le, Gt, Ge, Eq, Ne };
+  Binary(Op O, ExprPtr L, ExprPtr R, unsigned Line)
+      : Expr(Kind::Binary, Line), O(O), L(std::move(L)), R(std::move(R)) {}
+  Op op() const { return O; }
+  const Expr &lhs() const { return *L; }
+  const Expr &rhs() const { return *R; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  Op O;
+  ExprPtr L, R;
+};
+
+class Logical : public Expr {
+public:
+  enum class Op { And, Or };
+  Logical(Op O, ExprPtr L, ExprPtr R, unsigned Line)
+      : Expr(Kind::Logical, Line), O(O), L(std::move(L)), R(std::move(R)) {}
+  Op op() const { return O; }
+  const Expr &lhs() const { return *L; }
+  const Expr &rhs() const { return *R; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Logical; }
+
+private:
+  Op O;
+  ExprPtr L, R;
+};
+
+/// Assignment to an identifier or member expression.
+class Assign : public Expr {
+public:
+  Assign(ExprPtr Target, ExprPtr ValueExpr, unsigned Line)
+      : Expr(Kind::Assign, Line), Target(std::move(Target)),
+        ValueExpr(std::move(ValueExpr)) {}
+  const Expr &target() const { return *Target; }
+  const Expr &value() const { return *ValueExpr; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Assign; }
+
+private:
+  ExprPtr Target, ValueExpr;
+};
+
+class Member : public Expr {
+public:
+  Member(ExprPtr Object, std::string Name, unsigned Line)
+      : Expr(Kind::Member, Line), Object(std::move(Object)),
+        Name(std::move(Name)) {}
+  const Expr &object() const { return *Object; }
+  const std::string &name() const { return Name; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Member; }
+
+private:
+  ExprPtr Object;
+  std::string Name;
+};
+
+class Call : public Expr {
+public:
+  Call(ExprPtr Callee, std::vector<ExprPtr> Args, unsigned Line)
+      : Expr(Kind::Call, Line), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  const Expr &callee() const { return *Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+};
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Function literal (also the desugaring target of `function name(){}`).
+class FunctionLit : public Expr {
+public:
+  FunctionLit(std::string Name, std::vector<std::string> Params,
+              std::vector<StmtPtr> Body, unsigned Line);
+  ~FunctionLit() override;
+  const std::string &name() const { return Name; }
+  const std::vector<std::string> &params() const { return Params; }
+  const std::vector<StmtPtr> &body() const { return Body; }
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::FunctionLit;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<StmtPtr> Body;
+};
+
+class Conditional : public Expr {
+public:
+  Conditional(ExprPtr Cond, ExprPtr Then, ExprPtr Else, unsigned Line)
+      : Expr(Kind::Conditional, Line), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  const Expr &cond() const { return *Cond; }
+  const Expr &thenExpr() const { return *Then; }
+  const Expr &elseExpr() const { return *Else; }
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::Conditional;
+  }
+
+private:
+  ExprPtr Cond, Then, Else;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of all statement nodes.
+class Stmt {
+public:
+  enum class Kind {
+    Expression,
+    VarDecl,
+    Block,
+    If,
+    While,
+    For,
+    Return,
+  };
+
+  virtual ~Stmt();
+  Kind kind() const { return TheKind; }
+  unsigned line() const { return Line; }
+
+protected:
+  Stmt(Kind K, unsigned Line) : TheKind(K), Line(Line) {}
+
+private:
+  Kind TheKind;
+  unsigned Line;
+};
+
+class ExpressionStmt : public Stmt {
+public:
+  ExpressionStmt(ExprPtr E, unsigned Line)
+      : Stmt(Kind::Expression, Line), E(std::move(E)) {}
+  const Expr &expr() const { return *E; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == Kind::Expression;
+  }
+
+private:
+  ExprPtr E;
+};
+
+class VarDecl : public Stmt {
+public:
+  VarDecl(std::string Name, ExprPtr Init, unsigned Line)
+      : Stmt(Kind::VarDecl, Line), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  const std::string &name() const { return Name; }
+  const Expr *init() const { return Init.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::VarDecl; }
+
+private:
+  std::string Name;
+  ExprPtr Init;
+};
+
+class Block : public Stmt {
+public:
+  Block(std::vector<StmtPtr> Stmts, unsigned Line)
+      : Stmt(Kind::Block, Line), Stmts(std::move(Stmts)) {}
+  const std::vector<StmtPtr> &statements() const { return Stmts; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+class If : public Stmt {
+public:
+  If(ExprPtr Cond, StmtPtr Then, StmtPtr Else, unsigned Line)
+      : Stmt(Kind::If, Line), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  const Expr &cond() const { return *Cond; }
+  const Stmt &thenStmt() const { return *Then; }
+  const Stmt *elseStmt() const { return Else.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then, Else;
+};
+
+class While : public Stmt {
+public:
+  While(ExprPtr Cond, StmtPtr Body, unsigned Line)
+      : Stmt(Kind::While, Line), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  const Expr &cond() const { return *Cond; }
+  const Stmt &body() const { return *Body; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class For : public Stmt {
+public:
+  For(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body, unsigned Line)
+      : Stmt(Kind::For, Line), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  const Stmt *init() const { return Init.get(); }
+  const Expr *cond() const { return Cond.get(); }
+  const Expr *step() const { return Step.get(); }
+  const Stmt &body() const { return *Body; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  StmtPtr Init;
+  ExprPtr Cond, Step;
+  StmtPtr Body;
+};
+
+class Return : public Stmt {
+public:
+  Return(ExprPtr E, unsigned Line) : Stmt(Kind::Return, Line), E(std::move(E)) {}
+  const Expr *expr() const { return E.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  ExprPtr E;
+};
+
+/// A parsed program: a statement list plus parser diagnostics.
+struct Program {
+  std::vector<StmtPtr> Statements;
+  std::vector<std::string> Diagnostics;
+
+  bool hadErrors() const { return !Diagnostics.empty(); }
+};
+
+} // namespace greenweb::js
+
+#endif // GREENWEB_JS_JSAST_H

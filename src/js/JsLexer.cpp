@@ -1,0 +1,284 @@
+//===- js/JsLexer.cpp - MiniScript tokenizer ----------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "js/JsLexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace greenweb::js;
+
+namespace {
+
+TokKind keywordKind(std::string_view Word) {
+  if (Word == "var")
+    return TokKind::KwVar;
+  if (Word == "function")
+    return TokKind::KwFunction;
+  if (Word == "if")
+    return TokKind::KwIf;
+  if (Word == "else")
+    return TokKind::KwElse;
+  if (Word == "while")
+    return TokKind::KwWhile;
+  if (Word == "for")
+    return TokKind::KwFor;
+  if (Word == "return")
+    return TokKind::KwReturn;
+  if (Word == "true")
+    return TokKind::KwTrue;
+  if (Word == "false")
+    return TokKind::KwFalse;
+  if (Word == "null")
+    return TokKind::KwNull;
+  return TokKind::Identifier;
+}
+
+} // namespace
+
+std::vector<JsToken> greenweb::js::lexScript(std::string_view Src) {
+  std::vector<JsToken> Tokens;
+  size_t Pos = 0;
+  unsigned Line = 1;
+
+  auto peek = [&](size_t Ahead = 0) -> char {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  };
+  auto advance = [&]() -> char {
+    char C = Src[Pos++];
+    if (C == '\n')
+      ++Line;
+    return C;
+  };
+  auto push = [&](TokKind Kind, std::string Text, unsigned TokLine) {
+    JsToken T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Line = TokLine;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (Pos < Src.size()) {
+    char C = peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Src.size()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+
+    unsigned TokLine = Line;
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+        C == '$') {
+      std::string Word;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_' || peek() == '$'))
+        Word += advance();
+      // Evaluate the kind before moving Word (argument evaluation order
+      // is unspecified).
+      TokKind Kind = keywordKind(Word);
+      push(Kind, std::move(Word), TokLine);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string Digits;
+      while (Pos < Src.size() &&
+             (std::isdigit(static_cast<unsigned char>(peek())) ||
+              peek() == '.'))
+        Digits += advance();
+      // Exponent part.
+      if (peek() == 'e' || peek() == 'E') {
+        Digits += advance();
+        if (peek() == '+' || peek() == '-')
+          Digits += advance();
+        while (Pos < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(peek())))
+          Digits += advance();
+      }
+      JsToken T;
+      T.Kind = TokKind::Number;
+      T.Text = Digits;
+      T.NumValue = std::strtod(Digits.c_str(), nullptr);
+      T.Line = TokLine;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    // Strings.
+    if (C == '"' || C == '\'') {
+      char Quote = advance();
+      std::string Text;
+      while (Pos < Src.size() && peek() != Quote) {
+        char Ch = advance();
+        if (Ch == '\\' && Pos < Src.size()) {
+          char Esc = advance();
+          switch (Esc) {
+          case 'n':
+            Text += '\n';
+            break;
+          case 't':
+            Text += '\t';
+            break;
+          default:
+            Text += Esc;
+            break;
+          }
+          continue;
+        }
+        Text += Ch;
+      }
+      if (Pos < Src.size())
+        advance();
+      push(TokKind::String, std::move(Text), TokLine);
+      continue;
+    }
+
+    // Operators and punctuation.
+    advance();
+    char C1 = peek();
+    switch (C) {
+    case '(':
+      push(TokKind::LParen, "(", TokLine);
+      break;
+    case ')':
+      push(TokKind::RParen, ")", TokLine);
+      break;
+    case '{':
+      push(TokKind::LBrace, "{", TokLine);
+      break;
+    case '}':
+      push(TokKind::RBrace, "}", TokLine);
+      break;
+    case ',':
+      push(TokKind::Comma, ",", TokLine);
+      break;
+    case ';':
+      push(TokKind::Semicolon, ";", TokLine);
+      break;
+    case '.':
+      push(TokKind::Dot, ".", TokLine);
+      break;
+    case '?':
+      push(TokKind::Question, "?", TokLine);
+      break;
+    case ':':
+      push(TokKind::Colon, ":", TokLine);
+      break;
+    case '%':
+      push(TokKind::Percent, "%", TokLine);
+      break;
+    case '*':
+      push(TokKind::Star, "*", TokLine);
+      break;
+    case '/':
+      push(TokKind::Slash, "/", TokLine);
+      break;
+    case '+':
+      if (C1 == '+') {
+        advance();
+        push(TokKind::PlusPlus, "++", TokLine);
+      } else if (C1 == '=') {
+        advance();
+        push(TokKind::PlusAssign, "+=", TokLine);
+      } else {
+        push(TokKind::Plus, "+", TokLine);
+      }
+      break;
+    case '-':
+      if (C1 == '-') {
+        advance();
+        push(TokKind::MinusMinus, "--", TokLine);
+      } else if (C1 == '=') {
+        advance();
+        push(TokKind::MinusAssign, "-=", TokLine);
+      } else {
+        push(TokKind::Minus, "-", TokLine);
+      }
+      break;
+    case '=':
+      if (C1 == '=') {
+        advance();
+        // Accept === as ==.
+        if (peek() == '=')
+          advance();
+        push(TokKind::Eq, "==", TokLine);
+      } else {
+        push(TokKind::Assign, "=", TokLine);
+      }
+      break;
+    case '!':
+      if (C1 == '=') {
+        advance();
+        if (peek() == '=')
+          advance();
+        push(TokKind::Ne, "!=", TokLine);
+      } else {
+        push(TokKind::Not, "!", TokLine);
+      }
+      break;
+    case '<':
+      if (C1 == '=') {
+        advance();
+        push(TokKind::Le, "<=", TokLine);
+      } else {
+        push(TokKind::Lt, "<", TokLine);
+      }
+      break;
+    case '>':
+      if (C1 == '=') {
+        advance();
+        push(TokKind::Ge, ">=", TokLine);
+      } else {
+        push(TokKind::Gt, ">", TokLine);
+      }
+      break;
+    case '&':
+      if (C1 == '&') {
+        advance();
+        push(TokKind::AndAnd, "&&", TokLine);
+      } else {
+        push(TokKind::Unknown, "&", TokLine);
+      }
+      break;
+    case '|':
+      if (C1 == '|') {
+        advance();
+        push(TokKind::OrOr, "||", TokLine);
+      } else {
+        push(TokKind::Unknown, "|", TokLine);
+      }
+      break;
+    default:
+      push(TokKind::Unknown, std::string(1, C), TokLine);
+      break;
+    }
+  }
+
+  JsToken Eof;
+  Eof.Kind = TokKind::EndOfFile;
+  Eof.Line = Line;
+  Tokens.push_back(std::move(Eof));
+  return Tokens;
+}

@@ -1,0 +1,91 @@
+//===- js/JsLexer.h - MiniScript tokenizer -----------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniScript. Handles identifiers/keywords, numeric and
+/// string literals, one- and two-character operators, and // and /* */
+/// comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_JS_JSLEXER_H
+#define GREENWEB_JS_JSLEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greenweb::js {
+
+enum class TokKind {
+  // Literals and names.
+  Number,
+  String,
+  Identifier,
+  // Keywords.
+  KwVar,
+  KwFunction,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semicolon,
+  Dot,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Assign,    // =
+  Eq,        // ==
+  Ne,        // !=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Not,       // !
+  AndAnd,    // &&
+  OrOr,      // ||
+  Question,  // ?
+  Colon,     // :
+  PlusPlus,  // ++
+  MinusMinus,// --
+  PlusAssign,// +=
+  MinusAssign,// -=
+  Unknown,
+  EndOfFile,
+};
+
+/// One lexed MiniScript token.
+struct JsToken {
+  TokKind Kind = TokKind::EndOfFile;
+  /// Identifier name, string contents, or raw spelling for diagnostics.
+  std::string Text;
+  /// Value for Number tokens.
+  double NumValue = 0.0;
+  /// 1-based source line.
+  unsigned Line = 1;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Lexes a whole source buffer; the final token is EndOfFile. Unknown
+/// characters produce Unknown tokens the parser diagnoses.
+std::vector<JsToken> lexScript(std::string_view Source);
+
+} // namespace greenweb::js
+
+#endif // GREENWEB_JS_JSLEXER_H

@@ -1,0 +1,669 @@
+//===- js/JsParser.cpp - MiniScript parser -------------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "js/JsParser.h"
+
+#include "js/JsLexer.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace greenweb;
+using namespace greenweb::js;
+
+FunctionLit::FunctionLit(std::string Name, std::vector<std::string> Params,
+                         std::vector<StmtPtr> Body, unsigned Line)
+    : Expr(Kind::FunctionLit, Line), Name(std::move(Name)),
+      Params(std::move(Params)), Body(std::move(Body)) {}
+FunctionLit::~FunctionLit() = default;
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source) : Tokens(lexScript(Source)) {}
+
+  Program parse();
+  ExprPtr parseSingleExpression(std::string *Error);
+
+private:
+  const JsToken &peek(size_t Ahead = 0) const {
+    size_t Index = std::min(Pos + Ahead, Tokens.size() - 1);
+    return Tokens[Index];
+  }
+  const JsToken &advance() {
+    const JsToken &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool match(TokKind K) {
+    if (!peek().is(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, const char *What) {
+    if (match(K))
+      return true;
+    error(formatString("expected %s", What));
+    return false;
+  }
+  void error(const std::string &Message) {
+    Diags.push_back(
+        formatString("line %u: %s", peek().Line, Message.c_str()));
+    Failed = true;
+  }
+  /// Skips to the next statement boundary after an error.
+  void synchronize();
+
+  // Statements.
+  StmtPtr parseStatement();
+  StmtPtr parseVarDecl();
+  StmtPtr parseBlock();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+
+  // Expressions, by descending precedence.
+  ExprPtr parseExpr() { return parseAssignment(); }
+  ExprPtr parseAssignment();
+  ExprPtr parseTernary();
+  ExprPtr parseLogicalOr();
+  ExprPtr parseLogicalAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseComparison();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr parseFunctionLiteral(std::string Name);
+
+  /// Clones an lvalue expression (identifier or member chain) so that
+  /// `x += e` can desugar into `x = x + e`.
+  ExprPtr cloneLValue(const Expr &E);
+
+  std::vector<JsToken> Tokens;
+  size_t Pos = 0;
+  std::vector<std::string> Diags;
+  bool Failed = false;
+};
+
+void Parser::synchronize() {
+  Failed = false;
+  while (!peek().is(TokKind::EndOfFile)) {
+    if (match(TokKind::Semicolon))
+      return;
+    switch (peek().Kind) {
+    case TokKind::KwVar:
+    case TokKind::KwFunction:
+    case TokKind::KwIf:
+    case TokKind::KwWhile:
+    case TokKind::KwFor:
+    case TokKind::KwReturn:
+    case TokKind::RBrace:
+      return;
+    default:
+      advance();
+    }
+  }
+}
+
+ExprPtr Parser::cloneLValue(const Expr &E) {
+  if (const auto *Id = static_cast<const Ident *>(&E);
+      E.kind() == Expr::Kind::Ident)
+    return std::make_unique<Ident>(Id->name(), E.line());
+  if (E.kind() == Expr::Kind::Member) {
+    const auto &M = static_cast<const Member &>(E);
+    ExprPtr Obj = cloneLValue(M.object());
+    if (!Obj)
+      return nullptr;
+    return std::make_unique<Member>(std::move(Obj), M.name(), E.line());
+  }
+  return nullptr;
+}
+
+ExprPtr Parser::parseFunctionLiteral(std::string Name) {
+  unsigned Line = peek().Line;
+  if (!expect(TokKind::LParen, "'(' after function"))
+    return nullptr;
+  std::vector<std::string> Params;
+  if (!peek().is(TokKind::RParen)) {
+    do {
+      if (!peek().is(TokKind::Identifier)) {
+        error("expected parameter name");
+        return nullptr;
+      }
+      Params.push_back(advance().Text);
+    } while (match(TokKind::Comma));
+  }
+  if (!expect(TokKind::RParen, "')' after parameters"))
+    return nullptr;
+  if (!peek().is(TokKind::LBrace)) {
+    error("expected '{' to begin function body");
+    return nullptr;
+  }
+  advance();
+  std::vector<StmtPtr> Body;
+  while (!peek().is(TokKind::RBrace) && !peek().is(TokKind::EndOfFile)) {
+    StmtPtr S = parseStatement();
+    if (!S) {
+      synchronize();
+      continue;
+    }
+    Body.push_back(std::move(S));
+  }
+  expect(TokKind::RBrace, "'}' to close function body");
+  return std::make_unique<FunctionLit>(std::move(Name), std::move(Params),
+                                       std::move(Body), Line);
+}
+
+ExprPtr Parser::parsePrimary() {
+  const JsToken &T = peek();
+  switch (T.Kind) {
+  case TokKind::Number: {
+    advance();
+    return std::make_unique<NumberLit>(T.NumValue, T.Line);
+  }
+  case TokKind::String: {
+    advance();
+    return std::make_unique<StringLit>(T.Text, T.Line);
+  }
+  case TokKind::KwTrue:
+    advance();
+    return std::make_unique<BoolLit>(true, T.Line);
+  case TokKind::KwFalse:
+    advance();
+    return std::make_unique<BoolLit>(false, T.Line);
+  case TokKind::KwNull:
+    advance();
+    return std::make_unique<NullLit>(T.Line);
+  case TokKind::Identifier:
+    advance();
+    return std::make_unique<Ident>(T.Text, T.Line);
+  case TokKind::KwFunction:
+    advance();
+    // Anonymous function expression; a name is allowed and ignored for
+    // binding (function expressions don't create outer bindings).
+    if (peek().is(TokKind::Identifier)) {
+      std::string Name = advance().Text;
+      return parseFunctionLiteral(std::move(Name));
+    }
+    return parseFunctionLiteral("");
+  case TokKind::LParen: {
+    advance();
+    ExprPtr Inner = parseExpr();
+    if (!Inner)
+      return nullptr;
+    if (!expect(TokKind::RParen, "')'"))
+      return nullptr;
+    return Inner;
+  }
+  default:
+    error(formatString("unexpected token '%s' in expression",
+                       T.Text.empty() ? "<eof>" : T.Text.c_str()));
+    return nullptr;
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (true) {
+    if (match(TokKind::Dot)) {
+      if (!peek().is(TokKind::Identifier)) {
+        error("expected property name after '.'");
+        return nullptr;
+      }
+      const JsToken &Name = advance();
+      E = std::make_unique<Member>(std::move(E), Name.Text, Name.Line);
+      continue;
+    }
+    if (peek().is(TokKind::LParen)) {
+      unsigned Line = advance().Line;
+      std::vector<ExprPtr> Args;
+      if (!peek().is(TokKind::RParen)) {
+        do {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+        } while (match(TokKind::Comma));
+      }
+      if (!expect(TokKind::RParen, "')' after arguments"))
+        return nullptr;
+      E = std::make_unique<Call>(std::move(E), std::move(Args), Line);
+      continue;
+    }
+    // Postfix ++/-- desugar to `x = x +/- 1`. The expression value is the
+    // *updated* value (pre-increment semantics); the simulated workloads
+    // only use the statement form where the difference is unobservable.
+    if (peek().is(TokKind::PlusPlus) || peek().is(TokKind::MinusMinus)) {
+      bool Inc = peek().is(TokKind::PlusPlus);
+      unsigned Line = advance().Line;
+      ExprPtr Target = cloneLValue(*E);
+      if (!Target) {
+        error("'++'/'--' requires a variable or member");
+        return nullptr;
+      }
+      ExprPtr One = std::make_unique<NumberLit>(1.0, Line);
+      ExprPtr Updated = std::make_unique<Binary>(
+          Inc ? Binary::Op::Add : Binary::Op::Sub, std::move(E),
+          std::move(One), Line);
+      E = std::make_unique<Assign>(std::move(Target), std::move(Updated),
+                                   Line);
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (peek().is(TokKind::Minus) || peek().is(TokKind::Not)) {
+    const JsToken &T = advance();
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<Unary>(T.is(TokKind::Minus) ? Unary::Op::Neg
+                                                        : Unary::Op::Not,
+                                   std::move(Operand), T.Line);
+  }
+  // Prefix ++/--: same desugaring as postfix.
+  if (peek().is(TokKind::PlusPlus) || peek().is(TokKind::MinusMinus)) {
+    bool Inc = peek().is(TokKind::PlusPlus);
+    unsigned Line = advance().Line;
+    ExprPtr E = parseUnary();
+    if (!E)
+      return nullptr;
+    ExprPtr Target = cloneLValue(*E);
+    if (!Target) {
+      error("'++'/'--' requires a variable or member");
+      return nullptr;
+    }
+    ExprPtr One = std::make_unique<NumberLit>(1.0, Line);
+    ExprPtr Updated = std::make_unique<Binary>(
+        Inc ? Binary::Op::Add : Binary::Op::Sub, std::move(E),
+        std::move(One), Line);
+    return std::make_unique<Assign>(std::move(Target), std::move(Updated),
+                                    Line);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr L = parseUnary();
+  if (!L)
+    return nullptr;
+  while (peek().is(TokKind::Star) || peek().is(TokKind::Slash) ||
+         peek().is(TokKind::Percent)) {
+    const JsToken &T = advance();
+    ExprPtr R = parseUnary();
+    if (!R)
+      return nullptr;
+    Binary::Op Op = T.is(TokKind::Star)    ? Binary::Op::Mul
+                    : T.is(TokKind::Slash) ? Binary::Op::Div
+                                           : Binary::Op::Mod;
+    L = std::make_unique<Binary>(Op, std::move(L), std::move(R), T.Line);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr L = parseMultiplicative();
+  if (!L)
+    return nullptr;
+  while (peek().is(TokKind::Plus) || peek().is(TokKind::Minus)) {
+    const JsToken &T = advance();
+    ExprPtr R = parseMultiplicative();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<Binary>(T.is(TokKind::Plus) ? Binary::Op::Add
+                                                     : Binary::Op::Sub,
+                                 std::move(L), std::move(R), T.Line);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr L = parseAdditive();
+  if (!L)
+    return nullptr;
+  while (peek().is(TokKind::Lt) || peek().is(TokKind::Le) ||
+         peek().is(TokKind::Gt) || peek().is(TokKind::Ge)) {
+    const JsToken &T = advance();
+    ExprPtr R = parseAdditive();
+    if (!R)
+      return nullptr;
+    Binary::Op Op = T.is(TokKind::Lt)   ? Binary::Op::Lt
+                    : T.is(TokKind::Le) ? Binary::Op::Le
+                    : T.is(TokKind::Gt) ? Binary::Op::Gt
+                                        : Binary::Op::Ge;
+    L = std::make_unique<Binary>(Op, std::move(L), std::move(R), T.Line);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr L = parseComparison();
+  if (!L)
+    return nullptr;
+  while (peek().is(TokKind::Eq) || peek().is(TokKind::Ne)) {
+    const JsToken &T = advance();
+    ExprPtr R = parseComparison();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<Binary>(T.is(TokKind::Eq) ? Binary::Op::Eq
+                                                   : Binary::Op::Ne,
+                                 std::move(L), std::move(R), T.Line);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseLogicalAnd() {
+  ExprPtr L = parseEquality();
+  if (!L)
+    return nullptr;
+  while (peek().is(TokKind::AndAnd)) {
+    unsigned Line = advance().Line;
+    ExprPtr R = parseEquality();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<Logical>(Logical::Op::And, std::move(L),
+                                  std::move(R), Line);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseLogicalOr() {
+  ExprPtr L = parseLogicalAnd();
+  if (!L)
+    return nullptr;
+  while (peek().is(TokKind::OrOr)) {
+    unsigned Line = advance().Line;
+    ExprPtr R = parseLogicalAnd();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<Logical>(Logical::Op::Or, std::move(L),
+                                  std::move(R), Line);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseTernary() {
+  ExprPtr Cond = parseLogicalOr();
+  if (!Cond)
+    return nullptr;
+  if (!peek().is(TokKind::Question))
+    return Cond;
+  unsigned Line = advance().Line;
+  ExprPtr Then = parseAssignment();
+  if (!Then)
+    return nullptr;
+  if (!expect(TokKind::Colon, "':' in conditional expression"))
+    return nullptr;
+  ExprPtr Else = parseAssignment();
+  if (!Else)
+    return nullptr;
+  return std::make_unique<Conditional>(std::move(Cond), std::move(Then),
+                                       std::move(Else), Line);
+}
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr L = parseTernary();
+  if (!L)
+    return nullptr;
+  if (peek().is(TokKind::Assign)) {
+    unsigned Line = advance().Line;
+    if (L->kind() != Expr::Kind::Ident &&
+        L->kind() != Expr::Kind::Member) {
+      error("invalid assignment target");
+      return nullptr;
+    }
+    ExprPtr R = parseAssignment();
+    if (!R)
+      return nullptr;
+    return std::make_unique<Assign>(std::move(L), std::move(R), Line);
+  }
+  if (peek().is(TokKind::PlusAssign) || peek().is(TokKind::MinusAssign)) {
+    bool IsAdd = peek().is(TokKind::PlusAssign);
+    unsigned Line = advance().Line;
+    ExprPtr Target = cloneLValue(*L);
+    if (!Target) {
+      error("invalid compound-assignment target");
+      return nullptr;
+    }
+    ExprPtr R = parseAssignment();
+    if (!R)
+      return nullptr;
+    ExprPtr Updated = std::make_unique<Binary>(
+        IsAdd ? Binary::Op::Add : Binary::Op::Sub, std::move(L),
+        std::move(R), Line);
+    return std::make_unique<Assign>(std::move(Target), std::move(Updated),
+                                    Line);
+  }
+  return L;
+}
+
+StmtPtr Parser::parseVarDecl() {
+  unsigned Line = peek().Line;
+  advance(); // 'var'
+  if (!peek().is(TokKind::Identifier)) {
+    error("expected variable name after 'var'");
+    return nullptr;
+  }
+  std::string Name = advance().Text;
+  ExprPtr Init;
+  if (match(TokKind::Assign)) {
+    Init = parseExpr();
+    if (!Init)
+      return nullptr;
+  }
+  match(TokKind::Semicolon);
+  return std::make_unique<VarDecl>(std::move(Name), std::move(Init), Line);
+}
+
+StmtPtr Parser::parseBlock() {
+  unsigned Line = peek().Line;
+  advance(); // '{'
+  std::vector<StmtPtr> Stmts;
+  while (!peek().is(TokKind::RBrace) && !peek().is(TokKind::EndOfFile)) {
+    StmtPtr S = parseStatement();
+    if (!S) {
+      synchronize();
+      continue;
+    }
+    Stmts.push_back(std::move(S));
+  }
+  expect(TokKind::RBrace, "'}'");
+  return std::make_unique<Block>(std::move(Stmts), Line);
+}
+
+StmtPtr Parser::parseIf() {
+  unsigned Line = peek().Line;
+  advance(); // 'if'
+  if (!expect(TokKind::LParen, "'(' after 'if'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokKind::RParen, "')' after condition"))
+    return nullptr;
+  StmtPtr Then = parseStatement();
+  if (!Then)
+    return nullptr;
+  StmtPtr Else;
+  if (match(TokKind::KwElse)) {
+    Else = parseStatement();
+    if (!Else)
+      return nullptr;
+  }
+  return std::make_unique<If>(std::move(Cond), std::move(Then),
+                              std::move(Else), Line);
+}
+
+StmtPtr Parser::parseWhile() {
+  unsigned Line = peek().Line;
+  advance(); // 'while'
+  if (!expect(TokKind::LParen, "'(' after 'while'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokKind::RParen, "')' after condition"))
+    return nullptr;
+  StmtPtr Body = parseStatement();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<While>(std::move(Cond), std::move(Body), Line);
+}
+
+StmtPtr Parser::parseFor() {
+  unsigned Line = peek().Line;
+  advance(); // 'for'
+  if (!expect(TokKind::LParen, "'(' after 'for'"))
+    return nullptr;
+  StmtPtr Init;
+  if (!match(TokKind::Semicolon)) {
+    if (peek().is(TokKind::KwVar)) {
+      Init = parseVarDecl(); // consumes its own ';'
+    } else {
+      ExprPtr E = parseExpr();
+      if (!E)
+        return nullptr;
+      Init = std::make_unique<ExpressionStmt>(std::move(E), Line);
+      if (!expect(TokKind::Semicolon, "';' after for-initializer"))
+        return nullptr;
+    }
+    if (!Init)
+      return nullptr;
+  }
+  ExprPtr Cond;
+  if (!peek().is(TokKind::Semicolon)) {
+    Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+  }
+  if (!expect(TokKind::Semicolon, "';' after for-condition"))
+    return nullptr;
+  ExprPtr Step;
+  if (!peek().is(TokKind::RParen)) {
+    Step = parseExpr();
+    if (!Step)
+      return nullptr;
+  }
+  if (!expect(TokKind::RParen, "')' after for-clauses"))
+    return nullptr;
+  StmtPtr Body = parseStatement();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<For>(std::move(Init), std::move(Cond),
+                               std::move(Step), std::move(Body), Line);
+}
+
+StmtPtr Parser::parseReturn() {
+  unsigned Line = peek().Line;
+  advance(); // 'return'
+  ExprPtr E;
+  if (!peek().is(TokKind::Semicolon) && !peek().is(TokKind::RBrace) &&
+      !peek().is(TokKind::EndOfFile)) {
+    E = parseExpr();
+    if (!E)
+      return nullptr;
+  }
+  match(TokKind::Semicolon);
+  return std::make_unique<Return>(std::move(E), Line);
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (peek().Kind) {
+  case TokKind::KwVar:
+    return parseVarDecl();
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwReturn:
+    return parseReturn();
+  case TokKind::KwFunction: {
+    // `function name(...) {...}` declaration desugars to
+    // `var name = function(...) {...};`.
+    unsigned Line = peek().Line;
+    advance();
+    if (!peek().is(TokKind::Identifier)) {
+      error("expected function name");
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    ExprPtr Fn = parseFunctionLiteral(Name);
+    if (!Fn)
+      return nullptr;
+    return std::make_unique<VarDecl>(std::move(Name), std::move(Fn), Line);
+  }
+  case TokKind::Semicolon:
+    advance();
+    return std::make_unique<Block>(std::vector<StmtPtr>(), peek().Line);
+  default: {
+    unsigned Line = peek().Line;
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    match(TokKind::Semicolon);
+    return std::make_unique<ExpressionStmt>(std::move(E), Line);
+  }
+  }
+}
+
+Program Parser::parse() {
+  Program P;
+  while (!peek().is(TokKind::EndOfFile)) {
+    size_t Before = Pos;
+    StmtPtr S = parseStatement();
+    if (!S) {
+      synchronize();
+      // synchronize() stops at statement keywords and '}' so block
+      // parsing can resume; at top level a stray '}' must be consumed
+      // or we would spin forever.
+      if (Pos == Before)
+        advance();
+      continue;
+    }
+    P.Statements.push_back(std::move(S));
+  }
+  P.Diagnostics = std::move(Diags);
+  return P;
+}
+
+ExprPtr Parser::parseSingleExpression(std::string *Error) {
+  ExprPtr E = parseExpr();
+  if (!E || !peek().is(TokKind::EndOfFile)) {
+    if (Error)
+      *Error = Diags.empty() ? "trailing tokens after expression"
+                             : Diags.front();
+    return nullptr;
+  }
+  return E;
+}
+
+} // namespace
+
+Program greenweb::js::parseProgram(std::string_view Source) {
+  return Parser(Source).parse();
+}
+
+ExprPtr greenweb::js::parseExpression(std::string_view Source,
+                                      std::string *Error) {
+  return Parser(Source).parseSingleExpression(Error);
+}

@@ -1,0 +1,33 @@
+//===- js/JsParser.h - MiniScript parser -------------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniScript producing a Program AST.
+/// Parse errors are collected as diagnostics; the parser recovers at
+/// statement boundaries so one bad handler does not take down a page's
+/// whole script, matching browser behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_JS_JSPARSER_H
+#define GREENWEB_JS_JSPARSER_H
+
+#include "js/JsAst.h"
+
+#include <string_view>
+
+namespace greenweb::js {
+
+/// Parses a script source into a Program.
+Program parseProgram(std::string_view Source);
+
+/// Parses a single expression (used for inline `onclick="expr"` handler
+/// attributes). Returns nullptr and a diagnostic in \p Error on failure.
+ExprPtr parseExpression(std::string_view Source, std::string *Error);
+
+} // namespace greenweb::js
+
+#endif // GREENWEB_JS_JSPARSER_H

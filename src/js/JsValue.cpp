@@ -1,0 +1,143 @@
+//===- js/JsValue.cpp - MiniScript runtime values -------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "js/JsValue.h"
+
+#include "js/JsInterp.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace greenweb;
+using namespace greenweb::js;
+
+Value::Kind Value::kind() const {
+  switch (Data.index()) {
+  case 0:
+    return Kind::Null;
+  case 1:
+    return Kind::Bool;
+  case 2:
+    return Kind::Number;
+  case 3:
+    return Kind::String;
+  case 4:
+    return Kind::Function;
+  case 5:
+    return Kind::Host;
+  }
+  assert(false && "corrupt value variant");
+  return Kind::Null;
+}
+
+bool Value::truthy() const {
+  switch (kind()) {
+  case Kind::Null:
+    return false;
+  case Kind::Bool:
+    return std::get<bool>(Data);
+  case Kind::Number:
+    return std::get<double>(Data) != 0.0;
+  case Kind::String:
+    return !std::get<std::string>(Data).empty();
+  case Kind::Function:
+  case Kind::Host:
+    return true;
+  }
+  return false;
+}
+
+double Value::asNumber() const {
+  switch (kind()) {
+  case Kind::Number:
+    return std::get<double>(Data);
+  case Kind::Bool:
+    return std::get<bool>(Data) ? 1.0 : 0.0;
+  default:
+    return 0.0;
+  }
+}
+
+const std::string &Value::asString() const {
+  assert(isString() && "asString on non-string value");
+  return std::get<std::string>(Data);
+}
+
+const std::shared_ptr<FunctionValue> &Value::asFunction() const {
+  assert(isFunction() && "asFunction on non-function value");
+  return std::get<std::shared_ptr<FunctionValue>>(Data);
+}
+
+const std::shared_ptr<HostObject> &Value::asHost() const {
+  assert(isHost() && "asHost on non-host value");
+  return std::get<std::shared_ptr<HostObject>>(Data);
+}
+
+bool Value::equals(const Value &RHS) const {
+  if (kind() != RHS.kind()) {
+    // Number/bool cross comparison mirrors loose equality closely enough
+    // for the workloads.
+    if ((isNumber() && RHS.isBool()) || (isBool() && RHS.isNumber()))
+      return asNumber() == RHS.asNumber();
+    if (isNull() || RHS.isNull())
+      return isNull() && RHS.isNull();
+    return false;
+  }
+  switch (kind()) {
+  case Kind::Null:
+    return true;
+  case Kind::Bool:
+  case Kind::Number:
+    return asNumber() == RHS.asNumber();
+  case Kind::String:
+    return asString() == RHS.asString();
+  case Kind::Function:
+    return asFunction() == RHS.asFunction();
+  case Kind::Host:
+    return asHost() == RHS.asHost();
+  }
+  return false;
+}
+
+std::string Value::toDisplayString() const {
+  switch (kind()) {
+  case Kind::Null:
+    return "null";
+  case Kind::Bool:
+    return truthy() ? "true" : "false";
+  case Kind::Number: {
+    double N = asNumber();
+    if (N == double(int64_t(N)))
+      return formatString("%lld", static_cast<long long>(N));
+    return formatString("%g", N);
+  }
+  case Kind::String:
+    return asString();
+  case Kind::Function:
+    return "[function " + asFunction()->Name + "]";
+  case Kind::Host:
+    return "[object " + asHost()->hostClassName() + "]";
+  }
+  return "<?>";
+}
+
+HostObject::~HostObject() = default;
+
+Value HostObject::getProperty(Interpreter &, const std::string &) {
+  return Value::null();
+}
+
+bool HostObject::setProperty(Interpreter &, const std::string &,
+                             const Value &) {
+  return false;
+}
+
+Value greenweb::js::makeNativeFunction(std::string Name, NativeFn Fn) {
+  auto F = std::make_shared<FunctionValue>();
+  F->Name = std::move(Name);
+  F->Native = std::move(Fn);
+  return Value::function(std::move(F));
+}

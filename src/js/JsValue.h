@@ -1,0 +1,121 @@
+//===- js/JsValue.h - MiniScript runtime values ------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime value representation for MiniScript, the JavaScript-like
+/// language the simulated web applications are written in. Values are
+/// null, booleans, numbers, strings, functions (script closures or
+/// native), and host objects (DOM wrappers, the window object, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_JS_JSVALUE_H
+#define GREENWEB_JS_JSVALUE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace greenweb::js {
+
+class Interpreter;
+class HostObject;
+struct FunctionValue;
+class Value;
+
+/// Signature of a native (C++-implemented) function exposed to scripts.
+using NativeFn =
+    std::function<Value(Interpreter &, const std::vector<Value> &)>;
+
+/// A MiniScript value.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Function, Host };
+
+  Value() : Data(std::monostate()) {}
+
+  static Value null() { return Value(); }
+  static Value boolean(bool B) { return Value(B); }
+  static Value number(double N) { return Value(N); }
+  static Value string(std::string S) { return Value(std::move(S)); }
+  static Value function(std::shared_ptr<FunctionValue> F) {
+    return Value(std::move(F));
+  }
+  static Value host(std::shared_ptr<HostObject> H) {
+    return Value(std::move(H));
+  }
+
+  Kind kind() const;
+  bool isNull() const { return kind() == Kind::Null; }
+  bool isBool() const { return kind() == Kind::Bool; }
+  bool isNumber() const { return kind() == Kind::Number; }
+  bool isString() const { return kind() == Kind::String; }
+  bool isFunction() const { return kind() == Kind::Function; }
+  bool isHost() const { return kind() == Kind::Host; }
+
+  /// JavaScript-like truthiness: null/false/0/"" are false.
+  bool truthy() const;
+
+  /// Numeric view; non-numbers coerce (bool to 0/1, else 0).
+  double asNumber() const;
+  bool asBool() const { return truthy(); }
+  /// String view; asserts on non-strings.
+  const std::string &asString() const;
+  const std::shared_ptr<FunctionValue> &asFunction() const;
+  const std::shared_ptr<HostObject> &asHost() const;
+
+  /// Loose equality used by == in the language: same-kind comparison,
+  /// numbers compare numerically, host/function by identity.
+  bool equals(const Value &RHS) const;
+
+  /// Human-readable rendering (console.log, diagnostics).
+  std::string toDisplayString() const;
+
+private:
+  explicit Value(bool B) : Data(B) {}
+  explicit Value(double N) : Data(N) {}
+  explicit Value(std::string S) : Data(std::move(S)) {}
+  explicit Value(std::shared_ptr<FunctionValue> F) : Data(std::move(F)) {}
+  explicit Value(std::shared_ptr<HostObject> H) : Data(std::move(H)) {}
+
+  std::variant<std::monostate, bool, double, std::string,
+               std::shared_ptr<FunctionValue>, std::shared_ptr<HostObject>>
+      Data;
+};
+
+/// Interface for C++ objects exposed to scripts (document, elements,
+/// style objects, window). Property access and method dispatch route
+/// through here.
+class HostObject : public std::enable_shared_from_this<HostObject> {
+public:
+  virtual ~HostObject();
+
+  /// Object class name for diagnostics ("Element", "Document", ...).
+  virtual std::string hostClassName() const = 0;
+
+  /// LLVM-style manual RTTI: concrete host classes that need downcasting
+  /// return the address of a class-unique tag; see ElementHost in the
+  /// browser bindings for the idiom.
+  virtual const void *hostTypeId() const { return nullptr; }
+
+  /// Reads a property (may synthesize bound methods). Returns null for
+  /// unknown names.
+  virtual Value getProperty(Interpreter &Interp, const std::string &Name);
+
+  /// Writes a property; returns false if the property is not writable,
+  /// which the interpreter reports as a script error.
+  virtual bool setProperty(Interpreter &Interp, const std::string &Name,
+                           const Value &V);
+};
+
+/// Creates a native-function value.
+Value makeNativeFunction(std::string Name, NativeFn Fn);
+
+} // namespace greenweb::js
+
+#endif // GREENWEB_JS_JSVALUE_H

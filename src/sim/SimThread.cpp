@@ -1,0 +1,142 @@
+//===- sim/SimThread.cpp - Simulated serial task executor -----------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimThread.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace greenweb;
+
+CpuModel::~CpuModel() = default;
+
+void CpuModel::attachThread(SimThread *Thread) {
+  assert(Thread && "attaching null thread");
+  Threads.push_back(Thread);
+}
+
+void CpuModel::detachThread(SimThread *Thread) {
+  Threads.erase(std::remove(Threads.begin(), Threads.end(), Thread),
+                Threads.end());
+}
+
+void CpuModel::replanAttachedThreads() {
+  for (SimThread *Thread : Threads)
+    Thread->replan();
+}
+
+void CpuModel::stallAttachedThreads(Duration D) {
+  for (SimThread *Thread : Threads)
+    Thread->stall(D);
+}
+
+SimThread::SimThread(Simulator &Sim, CpuModel &Cpu, std::string Name,
+                     unsigned Id)
+    : Sim(Sim), Cpu(Cpu), Name(std::move(Name)), Id(Id) {
+  Cpu.attachThread(this);
+}
+
+SimThread::~SimThread() {
+  *Alive = false;
+  Completion.cancel();
+  Cpu.detachThread(this);
+}
+
+void SimThread::post(SimTask Task) {
+  Queue.push_back(std::move(Task));
+  if (!Running)
+    startNext();
+}
+
+void SimThread::postDelayed(SimTask Task, Duration Delay) {
+  // The shared_ptr makes the move-only-ish payload copyable for
+  // std::function. The Alive token drops the task if the thread dies
+  // while the delay is pending.
+  auto Boxed = std::make_shared<SimTask>(std::move(Task));
+  Sim.schedule(Delay, [this, Boxed, Token = Alive] {
+    if (*Token)
+      post(std::move(*Boxed));
+  });
+}
+
+void SimThread::startNext() {
+  assert(!Running && "thread already running a task");
+  if (Queue.empty())
+    return;
+  Running = true;
+  Current = std::move(Queue.front());
+  Queue.pop_front();
+  TaskCost Cost = Current.Cost;
+  if (Current.ComputeCost)
+    Cost = Current.ComputeCost();
+  FixedRemaining = Cost.FixedTime;
+  CyclesRemaining = std::max(0.0, Cost.Cycles);
+  BusySince = Sim.now();
+  Cpu.onThreadActivity(Id, /*Busy=*/true);
+  beginSlice();
+}
+
+void SimThread::beginSlice() {
+  assert(Running && "slice without a running task");
+  SliceStart = Sim.now();
+  SliceHz = Cpu.effectiveHz(Id);
+  assert(SliceHz > 0.0 && "CPU model returned non-positive speed");
+  Duration CycleTime = Duration::fromSeconds(CyclesRemaining / SliceHz);
+  Completion.cancel();
+  Completion =
+      Sim.schedule(FixedRemaining + CycleTime, [this] { finishCurrent(); });
+}
+
+void SimThread::accrueProgress() {
+  assert(Running && "accruing progress while idle");
+  Duration Elapsed = Sim.now() - SliceStart;
+  if (Elapsed <= FixedRemaining) {
+    FixedRemaining -= Elapsed;
+    return;
+  }
+  Duration CycleElapsed = Elapsed - FixedRemaining;
+  FixedRemaining = Duration::zero();
+  CyclesRemaining =
+      std::max(0.0, CyclesRemaining - CycleElapsed.secs() * SliceHz);
+}
+
+void SimThread::replan() {
+  if (!Running)
+    return;
+  accrueProgress();
+  beginSlice();
+}
+
+void SimThread::stall(Duration D) {
+  if (!Running || D <= Duration::zero())
+    return;
+  accrueProgress();
+  FixedRemaining += D;
+  beginSlice();
+}
+
+void SimThread::finishCurrent() {
+  assert(Running && "completion for an idle thread");
+  Running = false;
+  BusyAccum += Sim.now() - BusySince;
+  Cpu.onThreadActivity(Id, /*Busy=*/false);
+  ++TasksCompleted;
+  // Move the callback out first: it may post new tasks to this thread.
+  std::function<void()> Done = std::move(Current.OnComplete);
+  Current = SimTask();
+  if (Done)
+    Done();
+  if (!Running && !Queue.empty())
+    startNext();
+}
+
+Duration SimThread::totalBusyTime() const {
+  Duration Total = BusyAccum;
+  if (Running)
+    Total += Sim.now() - BusySince;
+  return Total;
+}

@@ -1,0 +1,90 @@
+//===- sim/Simulator.cpp - Discrete-event simulation kernel ---------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <cassert>
+
+using namespace greenweb;
+
+EventHandle Simulator::schedule(Duration Delay, std::function<void()> Fn) {
+  if (Delay.isNegative())
+    Delay = Duration::zero();
+  return scheduleAt(Now + Delay, std::move(Fn));
+}
+
+EventHandle Simulator::scheduleAt(TimePoint When, std::function<void()> Fn) {
+  assert(Fn && "scheduling a null callback");
+  if (When < Now)
+    When = Now;
+  Event E;
+  E.When = When;
+  E.Seq = NextSeq++;
+  E.Fn = std::move(Fn);
+  E.Cancelled = std::make_shared<bool>(false);
+  E.Fired = std::make_shared<bool>(false);
+  EventHandle Handle;
+  Handle.Cancelled = E.Cancelled;
+  Handle.Fired = E.Fired;
+  Queue.push(std::move(E));
+  return Handle;
+}
+
+bool Simulator::fireNext() {
+  while (!Queue.empty()) {
+    Event E = Queue.top();
+    Queue.pop();
+    if (*E.Cancelled)
+      continue;
+    assert(E.When >= Now && "event queue went backwards");
+    Now = E.When;
+    *E.Fired = true;
+    E.Fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulator::run(uint64_t Limit) {
+  uint64_t Count = 0;
+  while (Count < Limit && fireNext())
+    ++Count;
+  return Count;
+}
+
+uint64_t Simulator::runUntil(TimePoint Until) {
+  uint64_t Count = 0;
+  while (!Queue.empty()) {
+    // Drain cancelled stubs so the deadline check sees a live event.
+    if (*Queue.top().Cancelled) {
+      Queue.pop();
+      continue;
+    }
+    if (Queue.top().When > Until)
+      break;
+    fireNext();
+    ++Count;
+  }
+  if (Now < Until)
+    Now = Until;
+  return Count;
+}
+
+bool Simulator::idle() const {
+  // The queue may hold cancelled stubs; peek through a copy is expensive,
+  // so treat "only cancelled stubs" conservatively by scanning the
+  // underlying container via a temporary copy only when small. For the
+  // sizes seen in practice this is fine: idle() is used by tests.
+  if (Queue.empty())
+    return true;
+  std::priority_queue<Event, std::vector<Event>, Later> Copy = Queue;
+  while (!Copy.empty()) {
+    if (!*Copy.top().Cancelled)
+      return false;
+    Copy.pop();
+  }
+  return true;
+}

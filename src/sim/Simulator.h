@@ -1,0 +1,113 @@
+//===- sim/Simulator.h - Discrete-event simulation kernel -----*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete-event simulation kernel. A Simulator owns a virtual clock
+/// and a priority queue of timestamped events; everything else in the
+/// system (hardware model, browser threads, governors) advances time only
+/// through this kernel, which keeps experiments fully deterministic.
+///
+/// Events scheduled at equal timestamps fire in scheduling order (a
+/// monotone sequence number breaks ties), so runs are reproducible across
+/// platforms and standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_SIM_SIMULATOR_H
+#define GREENWEB_SIM_SIMULATOR_H
+
+#include "support/Time.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace greenweb {
+
+/// Cancellation handle for a scheduled event. Copies share state; calling
+/// cancel() on any copy prevents the callback from running.
+class EventHandle {
+public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Safe to call repeatedly or after the
+  /// event has already fired (then it is a no-op).
+  void cancel() {
+    if (Cancelled)
+      *Cancelled = true;
+  }
+
+  /// True if the handle refers to a scheduled (not yet fired or cancelled)
+  /// event.
+  bool isActive() const { return Cancelled && !*Cancelled && !*Fired; }
+
+private:
+  friend class Simulator;
+  std::shared_ptr<bool> Cancelled;
+  std::shared_ptr<bool> Fired;
+};
+
+/// The simulation kernel: a virtual clock plus an event queue.
+class Simulator {
+public:
+  Simulator() = default;
+  Simulator(const Simulator &) = delete;
+  Simulator &operator=(const Simulator &) = delete;
+
+  /// Current virtual time.
+  TimePoint now() const { return Now; }
+
+  /// Schedules \p Fn to run \p Delay after the current time. Negative
+  /// delays are clamped to zero.
+  EventHandle schedule(Duration Delay, std::function<void()> Fn);
+
+  /// Schedules \p Fn at an absolute instant; instants in the past fire at
+  /// the current time (still in FIFO order).
+  EventHandle scheduleAt(TimePoint When, std::function<void()> Fn);
+
+  /// Runs events until the queue is empty or \p Limit events have fired.
+  /// Returns the number of events processed.
+  uint64_t run(uint64_t Limit = UINT64_MAX);
+
+  /// Runs events with timestamps <= \p Until, then sets the clock to
+  /// \p Until. Returns the number of events processed.
+  uint64_t runUntil(TimePoint Until);
+
+  /// Number of events currently pending (including cancelled stubs not yet
+  /// drained).
+  size_t pendingEvents() const { return Queue.size(); }
+
+  /// True if no live (non-cancelled) events remain.
+  bool idle() const;
+
+private:
+  struct Event {
+    TimePoint When;
+    uint64_t Seq;
+    std::function<void()> Fn;
+    std::shared_ptr<bool> Cancelled;
+    std::shared_ptr<bool> Fired;
+  };
+  struct Later {
+    bool operator()(const Event &A, const Event &B) const {
+      if (A.When != B.When)
+        return A.When > B.When;
+      return A.Seq > B.Seq;
+    }
+  };
+
+  bool fireNext();
+
+  TimePoint Now;
+  uint64_t NextSeq = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> Queue;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_SIM_SIMULATOR_H

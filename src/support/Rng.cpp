@@ -1,0 +1,100 @@
+//===- support/Rng.cpp - Deterministic random numbers ---------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace greenweb;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+Rng::Rng(uint64_t Seed) : InitialSeed(Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  // xoshiro256** by Blackman & Vigna (public domain).
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits give a uniform double in [0, 1).
+  return double(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+int64_t Rng::uniformInt(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty integer range");
+  uint64_t Span = uint64_t(Hi - Lo) + 1;
+  // Modulo bias is negligible for the span sizes used by the workloads
+  // (span << 2^64), and determinism matters more here than perfection.
+  return Lo + int64_t(next() % Span);
+}
+
+double Rng::normal() {
+  if (HasSpareNormal) {
+    HasSpareNormal = false;
+    return SpareNormal;
+  }
+  // Box-Muller. Draw U1 away from zero to keep log() finite.
+  double U1 = 0.0;
+  do {
+    U1 = uniform();
+  } while (U1 <= 1e-300);
+  double U2 = uniform();
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  SpareNormal = R * std::sin(Theta);
+  HasSpareNormal = true;
+  return R * std::cos(Theta);
+}
+
+double Rng::normal(double Mean, double Sigma) {
+  return Mean + Sigma * normal();
+}
+
+double Rng::logNormal(double Mu, double Sigma) {
+  return std::exp(normal(Mu, Sigma));
+}
+
+bool Rng::chance(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return uniform() < P;
+}
+
+Rng Rng::fork(uint64_t Label) const {
+  // Mix the label into the parent seed so substreams are independent yet
+  // fully determined by (seed, label).
+  uint64_t Mixed = InitialSeed ^ (Label * 0xD1B54A32D192ED03ull + 0x2545F491);
+  return Rng(Mixed);
+}

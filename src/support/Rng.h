@@ -1,0 +1,71 @@
+//===- support/Rng.h - Deterministic random numbers -----------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, explicitly-seeded PRNG (xoshiro256**) used for workload
+/// variation. std::mt19937 distributions are not bit-stable across standard
+/// library implementations, so we implement the distributions we need
+/// ourselves to keep experiment outputs reproducible everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_SUPPORT_RNG_H
+#define GREENWEB_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace greenweb {
+
+/// Deterministic pseudo-random number generator.
+///
+/// Every stochastic component of the simulator draws from an Rng that is
+/// seeded from the experiment configuration, making whole experiments
+/// replayable. Copying an Rng forks the stream.
+class Rng {
+public:
+  /// Seeds the generator. Two generators with equal seeds produce equal
+  /// streams; the seed is mixed through SplitMix64 so small seeds are fine.
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Uniform integer in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t uniformInt(int64_t Lo, int64_t Hi);
+
+  /// Standard normal deviate (Box-Muller, deterministic).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double Mean, double Sigma);
+
+  /// Log-normal deviate: exp(normal(Mu, Sigma)). Heavy-tailed costs such as
+  /// callback durations are drawn from this.
+  double logNormal(double Mu, double Sigma);
+
+  /// Returns true with probability P (clamped to [0, 1]).
+  bool chance(double P);
+
+  /// Forks an independent substream identified by a label. Deterministic:
+  /// the same (parent seed, label) always yields the same substream.
+  Rng fork(uint64_t Label) const;
+
+private:
+  uint64_t State[4];
+  uint64_t InitialSeed;
+  bool HasSpareNormal = false;
+  double SpareNormal = 0.0;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_SUPPORT_RNG_H

@@ -1,0 +1,80 @@
+//===- support/Statistics.cpp - Summary statistics ------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace greenweb;
+
+double greenweb::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / double(Values.size());
+}
+
+double greenweb::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Acc = 0.0;
+  for (double V : Values)
+    Acc += (V - M) * (V - M);
+  return std::sqrt(Acc / double(Values.size()));
+}
+
+double greenweb::median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  size_t Mid = Values.size() / 2;
+  std::nth_element(Values.begin(), Values.begin() + Mid, Values.end());
+  double Upper = Values[Mid];
+  if (Values.size() % 2 != 0)
+    return Upper;
+  double Lower = *std::max_element(Values.begin(), Values.begin() + Mid);
+  return 0.5 * (Lower + Upper);
+}
+
+double greenweb::geomean(const std::vector<double> &Values, double Epsilon) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V >= 0.0 && "geomean of negative value");
+    LogSum += std::log(std::max(V, Epsilon));
+  }
+  return std::exp(LogSum / double(Values.size()));
+}
+
+double greenweb::percentile(std::vector<double> Values, double P) {
+  if (Values.empty())
+    return 0.0;
+  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Rank = P / 100.0 * double(Values.size() - 1);
+  size_t Lo = size_t(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - double(Lo);
+  return Values[Lo] + Frac * (Values[Hi] - Values[Lo]);
+}
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  Sum += X;
+}

@@ -1,0 +1,62 @@
+//===- support/Statistics.h - Summary statistics --------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used by the evaluation harnesses: mean, median,
+/// geometric mean, percentiles, and a streaming accumulator. The paper
+/// reports medians over three runs and geometric means of per-frame QoS
+/// violations (Sec. 7.1/7.2), so those two get first-class helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_SUPPORT_STATISTICS_H
+#define GREENWEB_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace greenweb {
+
+/// Arithmetic mean. Returns 0 for an empty range.
+double mean(const std::vector<double> &Values);
+
+/// Population standard deviation. Returns 0 for fewer than two samples.
+double stddev(const std::vector<double> &Values);
+
+/// Median (average of the two middle elements for even sizes). Returns 0
+/// for an empty range. Does not modify the input.
+double median(std::vector<double> Values);
+
+/// Geometric mean. Zero entries are clamped to \p Epsilon so that a single
+/// zero does not annihilate the mean (the paper geomeans per-frame QoS
+/// violations where most frames have zero violation).
+double geomean(const std::vector<double> &Values, double Epsilon = 1e-9);
+
+/// P-th percentile with linear interpolation, P in [0, 100].
+double percentile(std::vector<double> Values, double P);
+
+/// Streaming accumulator for count/mean/min/max/sum without storing
+/// samples. Useful inside the simulator's hot paths.
+class RunningStat {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double sum() const { return Sum; }
+  double mean() const { return N == 0 ? 0.0 : Sum / double(N); }
+  double min() const { return N == 0 ? 0.0 : Min; }
+  double max() const { return N == 0 ? 0.0 : Max; }
+
+private:
+  size_t N = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_SUPPORT_STATISTICS_H

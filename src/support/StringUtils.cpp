@@ -1,0 +1,121 @@
+//===- support/StringUtils.cpp - String helpers ---------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace greenweb;
+
+static bool isSpace(char C) {
+  return C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\f' ||
+         C == '\v';
+}
+
+std::string_view greenweb::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() && isSpace(S[Begin]))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin && isSpace(S[End - 1]))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> greenweb::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Pieces;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Pieces.push_back(S.substr(Start));
+      return Pieces;
+    }
+    Pieces.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::vector<std::string_view> greenweb::splitTrimmed(std::string_view S,
+                                                     char Sep) {
+  std::vector<std::string_view> Pieces;
+  for (std::string_view Piece : split(S, Sep)) {
+    std::string_view Trimmed = trim(Piece);
+    if (!Trimmed.empty())
+      Pieces.push_back(Trimmed);
+  }
+  return Pieces;
+}
+
+std::string greenweb::toLower(std::string_view S) {
+  std::string Result(S);
+  for (char &C : Result)
+    C = char(std::tolower(static_cast<unsigned char>(C)));
+  return Result;
+}
+
+bool greenweb::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+bool greenweb::endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.substr(S.size() - Suffix.size()) == Suffix;
+}
+
+bool greenweb::equalsIgnoreCase(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+std::optional<int64_t> greenweb::parseInt(std::string_view S) {
+  S = trim(S);
+  if (S.empty())
+    return std::nullopt;
+  std::string Buf(S);
+  char *End = nullptr;
+  long long Value = std::strtoll(Buf.c_str(), &End, 10);
+  if (End != Buf.c_str() + Buf.size())
+    return std::nullopt;
+  return int64_t(Value);
+}
+
+std::optional<double> greenweb::parseDouble(std::string_view S) {
+  S = trim(S);
+  if (S.empty())
+    return std::nullopt;
+  std::string Buf(S);
+  char *End = nullptr;
+  double Value = std::strtod(Buf.c_str(), &End);
+  if (End != Buf.c_str() + Buf.size())
+    return std::nullopt;
+  return Value;
+}
+
+std::string greenweb::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(size_t(Needed), '\0');
+  std::vsnprintf(Result.data(), size_t(Needed) + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}

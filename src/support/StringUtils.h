@@ -1,0 +1,56 @@
+//===- support/StringUtils.h - String helpers -----------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the HTML/CSS/MiniScript front ends and
+/// the report printers. All operate on std::string_view and never throw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_SUPPORT_STRINGUTILS_H
+#define GREENWEB_SUPPORT_STRINGUTILS_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greenweb {
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view S);
+
+/// Splits on a separator character; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Splits on a separator and trims each piece; empty pieces are dropped.
+std::vector<std::string_view> splitTrimmed(std::string_view S, char Sep);
+
+/// ASCII lowercase copy.
+std::string toLower(std::string_view S);
+
+/// True if \p S begins with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// True if \p S ends with \p Suffix.
+bool endsWith(std::string_view S, std::string_view Suffix);
+
+/// Case-insensitive ASCII equality.
+bool equalsIgnoreCase(std::string_view A, std::string_view B);
+
+/// Parses a decimal integer; rejects trailing junk.
+std::optional<int64_t> parseInt(std::string_view S);
+
+/// Parses a floating-point number; rejects trailing junk.
+std::optional<double> parseDouble(std::string_view S);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace greenweb
+
+#endif // GREENWEB_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,82 @@
+//===- support/TablePrinter.cpp - Aligned console tables ------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace greenweb;
+
+TablePrinter::TablePrinter(std::string Title) : Title(std::move(Title)) {}
+
+TablePrinter &TablePrinter::row() {
+  Rows.emplace_back();
+  return *this;
+}
+
+TablePrinter &TablePrinter::cell(std::string Text) {
+  assert(!Rows.empty() && "cell() before row()");
+  Rows.back().push_back(std::move(Text));
+  return *this;
+}
+
+TablePrinter &TablePrinter::cell(double Value, int Precision) {
+  return cell(formatString("%.*f", Precision, Value));
+}
+
+TablePrinter &TablePrinter::cell(int64_t Value) {
+  return cell(formatString("%lld", static_cast<long long>(Value)));
+}
+
+TablePrinter &TablePrinter::percentCell(double Fraction, int Precision) {
+  return cell(formatString("%.*f%%", Precision, Fraction * 100.0));
+}
+
+std::string TablePrinter::render() const {
+  std::string Out;
+  if (!Title.empty()) {
+    Out += "== " + Title + " ==\n";
+  }
+  if (Rows.empty())
+    return Out;
+
+  // Compute per-column widths.
+  size_t NumCols = 0;
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto appendRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < NumCols; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      Out += Cell;
+      if (I + 1 != NumCols)
+        Out += std::string(Widths[I] - Cell.size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  appendRow(Rows.front());
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+  Out += std::string(TotalWidth > 2 ? TotalWidth - 2 : TotalWidth, '-');
+  Out += '\n';
+  for (size_t R = 1; R < Rows.size(); ++R)
+    appendRow(Rows[R]);
+  return Out;
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+}

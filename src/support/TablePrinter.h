@@ -1,0 +1,60 @@
+//===- support/TablePrinter.h - Aligned console tables --------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned ASCII tables. Every benchmark harness prints the rows
+/// and series of one paper table/figure through this class so the output
+/// format matches across experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_SUPPORT_TABLEPRINTER_H
+#define GREENWEB_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+/// Builds a table row by row and renders it with per-column alignment.
+/// The first added row is treated as the header. Numeric convenience
+/// overloads format doubles with a fixed precision.
+class TablePrinter {
+public:
+  /// \param Title optional caption printed above the table.
+  explicit TablePrinter(std::string Title = "");
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  TablePrinter &row();
+
+  /// Appends a string cell to the current row.
+  TablePrinter &cell(std::string Text);
+  TablePrinter &cell(const char *Text) { return cell(std::string(Text)); }
+
+  /// Appends a numeric cell with \p Precision fractional digits.
+  TablePrinter &cell(double Value, int Precision = 1);
+  TablePrinter &cell(int64_t Value);
+  TablePrinter &cell(int Value) { return cell(int64_t(Value)); }
+  TablePrinter &cell(size_t Value) { return cell(int64_t(Value)); }
+
+  /// Appends a percentage cell, e.g. "31.9%".
+  TablePrinter &percentCell(double Fraction, int Precision = 1);
+
+  /// Renders the table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Renders the table into a string (used by tests).
+  std::string render() const;
+
+private:
+  std::string Title;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_SUPPORT_TABLEPRINTER_H

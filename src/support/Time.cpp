@@ -1,0 +1,44 @@
+//===- support/Time.cpp - Virtual time types ------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Time.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace greenweb;
+
+Duration Duration::fromSeconds(double S) {
+  return Duration(int64_t(std::llround(S * 1e9)));
+}
+
+Duration Duration::fromMillis(double Ms) {
+  return Duration(int64_t(std::llround(Ms * 1e6)));
+}
+
+Duration Duration::operator*(double F) const {
+  return Duration(int64_t(std::llround(double(Ticks) * F)));
+}
+
+std::string Duration::str() const {
+  char Buf[64];
+  double Abs = std::fabs(double(Ticks));
+  if (Abs < 1e3)
+    std::snprintf(Buf, sizeof(Buf), "%lldns", static_cast<long long>(Ticks));
+  else if (Abs < 1e6)
+    std::snprintf(Buf, sizeof(Buf), "%.1fus", double(Ticks) / 1e3);
+  else if (Abs < 1e9)
+    std::snprintf(Buf, sizeof(Buf), "%.1fms", double(Ticks) / 1e6);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.2fs", double(Ticks) / 1e9);
+  return Buf;
+}
+
+std::string TimePoint::str() const {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3fs", double(Ticks) / 1e9);
+  return Buf;
+}

@@ -1,0 +1,131 @@
+//===- support/Time.h - Virtual time types --------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nanosecond-resolution virtual time used throughout the simulator.
+///
+/// All simulation state advances in virtual time only; wall-clock time is
+/// never consulted, which keeps every experiment deterministic. Duration is
+/// a signed quantity so subtraction is closed; TimePoint is an absolute
+/// instant measured from the start of a simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_SUPPORT_TIME_H
+#define GREENWEB_SUPPORT_TIME_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace greenweb {
+
+/// A span of virtual time with nanosecond resolution.
+class Duration {
+public:
+  constexpr Duration() = default;
+
+  /// Named constructors. Prefer these over the raw-tick constructor.
+  static constexpr Duration nanoseconds(int64_t N) { return Duration(N); }
+  static constexpr Duration microseconds(int64_t N) {
+    return Duration(N * 1000);
+  }
+  static constexpr Duration milliseconds(int64_t N) {
+    return Duration(N * 1000000);
+  }
+  static constexpr Duration seconds(int64_t N) {
+    return Duration(N * 1000000000);
+  }
+  /// Builds a duration from a floating-point number of seconds, rounding to
+  /// the nearest nanosecond.
+  static Duration fromSeconds(double S);
+  /// Builds a duration from a floating-point number of milliseconds.
+  static Duration fromMillis(double Ms);
+  static constexpr Duration zero() { return Duration(0); }
+  /// A sentinel larger than any duration reachable in practice.
+  static constexpr Duration max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return Ticks; }
+  constexpr double micros() const { return double(Ticks) / 1e3; }
+  constexpr double millis() const { return double(Ticks) / 1e6; }
+  constexpr double secs() const { return double(Ticks) / 1e9; }
+
+  constexpr bool isZero() const { return Ticks == 0; }
+  constexpr bool isNegative() const { return Ticks < 0; }
+
+  constexpr Duration operator+(Duration RHS) const {
+    return Duration(Ticks + RHS.Ticks);
+  }
+  constexpr Duration operator-(Duration RHS) const {
+    return Duration(Ticks - RHS.Ticks);
+  }
+  constexpr Duration operator*(int64_t N) const { return Duration(Ticks * N); }
+  Duration operator*(double F) const;
+  /// Integer division of two durations (how many RHS fit in this).
+  constexpr int64_t operator/(Duration RHS) const {
+    assert(RHS.Ticks != 0 && "division by zero duration");
+    return Ticks / RHS.Ticks;
+  }
+  constexpr Duration operator/(int64_t N) const {
+    assert(N != 0 && "division by zero");
+    return Duration(Ticks / N);
+  }
+  Duration &operator+=(Duration RHS) {
+    Ticks += RHS.Ticks;
+    return *this;
+  }
+  Duration &operator-=(Duration RHS) {
+    Ticks -= RHS.Ticks;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration &) const = default;
+
+  /// Renders the duration with an adaptive unit, e.g. "16.6ms" or "1.2s".
+  std::string str() const;
+
+private:
+  explicit constexpr Duration(int64_t Ticks) : Ticks(Ticks) {}
+  int64_t Ticks = 0;
+};
+
+/// An absolute instant in virtual time, measured from simulation start.
+class TimePoint {
+public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint origin() { return TimePoint(); }
+  static constexpr TimePoint fromNanos(int64_t N) { return TimePoint(N); }
+
+  constexpr int64_t nanos() const { return Ticks; }
+  constexpr double millis() const { return double(Ticks) / 1e6; }
+  constexpr double secs() const { return double(Ticks) / 1e9; }
+
+  constexpr TimePoint operator+(Duration D) const {
+    return TimePoint(Ticks + D.nanos());
+  }
+  constexpr TimePoint operator-(Duration D) const {
+    return TimePoint(Ticks - D.nanos());
+  }
+  constexpr Duration operator-(TimePoint RHS) const {
+    return Duration::nanoseconds(Ticks - RHS.Ticks);
+  }
+  TimePoint &operator+=(Duration D) {
+    Ticks += D.nanos();
+    return *this;
+  }
+  constexpr auto operator<=>(const TimePoint &) const = default;
+
+  /// Renders the instant as seconds since simulation start, e.g. "12.345s".
+  std::string str() const;
+
+private:
+  explicit constexpr TimePoint(int64_t Ticks) : Ticks(Ticks) {}
+  int64_t Ticks = 0;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_SUPPORT_TIME_H

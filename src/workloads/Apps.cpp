@@ -1,0 +1,759 @@
+//===- workloads/Apps.cpp - Table 3 application models -----------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Apps.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace greenweb;
+
+const char *greenweb::interactionKindName(InteractionKind Kind) {
+  switch (Kind) {
+  case InteractionKind::Loading:
+    return "Loading";
+  case InteractionKind::Tapping:
+    return "Tapping";
+  case InteractionKind::Moving:
+    return "Moving";
+  }
+  return "?";
+}
+
+std::vector<std::string> greenweb::allAppNames() {
+  return {"BBC",    "Google",     "CamanJS",  "LZMA-JS",
+          "MSN",    "Todo",       "Amazon",   "Craigslist",
+          "Paper.js", "Cnet",     "Goo.ne.jp", "W3Schools"};
+}
+
+namespace {
+
+/// Emits `Count` filler sections of `PerSection` items each; gives the
+/// DOM its realistic size (style/layout costs scale with node count).
+std::string fillerDom(unsigned Count, unsigned PerSection) {
+  std::string Out;
+  for (unsigned I = 0; I < Count; ++I) {
+    Out += formatString("<div id=\"sec-%u\" class=\"section\">\n", I);
+    for (unsigned J = 0; J < PerSection; ++J)
+      Out += "  <div class=\"item\"><span class=\"label\">item</span>"
+             "</div>\n";
+    Out += "</div>\n";
+  }
+  return Out;
+}
+
+/// Padding comment bringing the page to a target byte size (page-load
+/// parse work scales with source bytes).
+std::string padTo(size_t CurrentSize, size_t TargetBytes) {
+  if (CurrentSize >= TargetBytes)
+    return std::string();
+  std::string Pad = "<!-- ";
+  Pad.append(TargetBytes - CurrentSize, 'x');
+  Pad += " -->\n";
+  return Pad;
+}
+
+/// A background setTimeout chain; its firings are the page's
+/// non-user-triggered events (the unannotated remainder of Table 3's
+/// annotation percentage).
+std::string backgroundTimerScript(unsigned PeriodMs, unsigned KCycles) {
+  return formatString(
+      "var bgCount = 0;\n"
+      "function bgTick() {\n"
+      "  bgCount = bgCount + 1;\n"
+      "  performWork(%u);\n"
+      "  setTimeout(bgTick, %u);\n"
+      "}\n"
+      "setTimeout(bgTick, %u);\n",
+      KCycles, PeriodMs, PeriodMs);
+}
+
+/// Tap times spread over a session with jitter.
+std::vector<Duration> spreadTimes(Rng &R, unsigned Count, Duration Start,
+                                  Duration End) {
+  std::vector<Duration> Times;
+  if (Count == 0)
+    return Times;
+  Duration Span = End - Start;
+  for (unsigned I = 0; I < Count; ++I) {
+    double Frac = (double(I) + 0.5) / double(Count);
+    double JitterMs = R.uniform(-0.25, 0.25) * Span.millis() / Count;
+    Times.push_back(Start + Span * Frac +
+                    Duration::fromMillis(JitterMs));
+  }
+  return Times;
+}
+
+/// Appends a burst of touchmove events at ~30 Hz.
+void appendScrollBurst(InteractionTrace &Trace, Rng &R, Duration Start,
+                       unsigned Count, const std::string &TargetId) {
+  Duration At = Start;
+  for (unsigned I = 0; I < Count; ++I) {
+    Trace.Events.push_back({At, "touchmove", TargetId});
+    At += Duration::fromMillis(33.0 + R.uniform(-4.0, 4.0));
+  }
+}
+
+/// Moves tap times that land inside [WindowStart, WindowStart+Width)
+/// windows to just past the window: a user does not tap mid-scroll, and
+/// a heavyweight tap callback would otherwise jank the scroll frames.
+std::vector<Duration> avoidWindows(std::vector<Duration> Times,
+                                   const std::vector<Duration> &Windows,
+                                   Duration Width) {
+  for (Duration &T : Times)
+    for (Duration W : Windows)
+      if (T >= W && T < W + Width)
+        T = W + Width + Duration::fromMillis(120);
+  return Times;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Per-app builders
+//===----------------------------------------------------------------------===//
+
+static AppDefinition makeBbc(Rng R) {
+  AppDefinition App;
+  App.Name = "BBC";
+  // News front page: heavyweight load (Table 3: Loading, single,
+  // (1, 10) s), then mixed taps and scroll bursts in the full session.
+  std::string Body = "<div id=\"masthead\" class=\"hdr\">news</div>\n";
+  Body += "<div id=\"feed\" ontouchmove=\"feedMove()\" "
+          "onscroll=\"feedMove()\">\n" +
+          fillerDom(38, 9) + "</div>\n";
+  for (unsigned I = 0; I < 8; ++I)
+    Body += formatString("<div id=\"nav-%u\" class=\"nav\" "
+                         "onclick=\"openSection(%u)\">s</div>\n",
+                         I, I);
+
+  std::string Style = R"css(
+.section { margin: 4px; }
+html:QoS { onload-qos: single, long; }
+#feed:QoS { ontouchmove-qos: continuous; onscroll-qos: continuous; }
+)css";
+  for (unsigned I = 0; I < 8; ++I)
+    Style += formatString("#nav-%u:QoS { onclick-qos: single, short; }\n", I);
+
+  std::string Script = R"js(
+// Initial page build: ad auction, hydration, analytics.
+performWork(200000);
+var sectionsOpened = 0;
+function openSection(i) {
+  performWork(60000);
+  var feed = document.getElementById('feed');
+  feed.style.rev = '' + now();
+  sectionsOpened = sectionsOpened + 1;
+}
+function feedMove() {
+  performWork(1400); // lazy-load viewport checks
+}
+)js";
+  Script += backgroundTimerScript(400, 400);
+
+  std::string Html = Body + "<style>" + Style + "</style>\n<script>" +
+                     Script + "</script>\n";
+  Html += padTo(Html.size(), 120'000);
+  App.Html = std::move(Html);
+
+  App.MicroInteraction = InteractionKind::Loading;
+  App.MicroType = QosType::Single;
+  App.MicroTarget = defaultSingleLongTarget();
+  App.MicroPeriod = Duration::seconds(3);
+
+  // Full session: 86 s, 60 events including the load (Table 3).
+  App.Full.SessionLength = Duration::seconds(86);
+  std::vector<Duration> BbcBursts;
+  for (unsigned Burst = 0; Burst < 3; ++Burst)
+    BbcBursts.push_back(Duration::seconds(10 + int64_t(Burst) * 25));
+  for (Duration At :
+       avoidWindows(spreadTimes(R, 20, Duration::seconds(2),
+                                Duration::seconds(84)),
+                    BbcBursts, Duration::fromMillis(800)))
+    App.Full.Events.push_back(
+        {At, "click", formatString("nav-%u", unsigned(R.uniformInt(0, 7)))});
+  for (Duration BurstAt : BbcBursts)
+    appendScrollBurst(App.Full, R, BurstAt, 13, "feed");
+
+  App.Complexity = {1.3, 0.08, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makeGoogle(Rng R) {
+  AppDefinition App;
+  App.Name = "Google";
+  std::string Body = "<div id=\"searchbox\" class=\"box\">q</div>\n";
+  Body += "<div id=\"results\" ontouchmove=\"resultsMove()\">\n" +
+          fillerDom(10, 10) + "</div>\n";
+  for (unsigned I = 0; I < 6; ++I)
+    Body += formatString("<div id=\"result-%u\" onclick=\"openResult()\">"
+                         "r</div>\n",
+                         I);
+
+  std::string Style = R"css(
+html:QoS { onload-qos: single, long; }
+#results:QoS { ontouchmove-qos: continuous; }
+)css";
+  for (unsigned I = 0; I < 6; ++I)
+    Style += formatString("#result-%u:QoS { onclick-qos: single, short; }\n",
+                          I);
+
+  std::string Script = R"js(
+performWork(40000); // result rendering
+function openResult() {
+  performWork(25000);
+  document.getElementById('results').style.rev = '' + now();
+}
+function resultsMove() { performWork(900); }
+)js";
+  Script += backgroundTimerScript(8000, 300);
+
+  std::string Html = Body + "<style>" + Style + "</style>\n<script>" +
+                     Script + "</script>\n";
+  Html += padTo(Html.size(), 30'000);
+  App.Html = std::move(Html);
+
+  App.MicroInteraction = InteractionKind::Loading;
+  App.MicroType = QosType::Single;
+  App.MicroTarget = defaultSingleLongTarget();
+  App.MicroPeriod = Duration::seconds(2);
+
+  App.Full.SessionLength = Duration::seconds(31);
+  for (Duration At : spreadTimes(R, 10, Duration::seconds(1),
+                                 Duration::seconds(30)))
+    App.Full.Events.push_back(
+        {At, "click",
+         formatString("result-%u", unsigned(R.uniformInt(0, 5)))});
+  appendScrollBurst(App.Full, R, Duration::seconds(12), 15, "results");
+
+  App.Complexity = {1.0, 0.06, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makeCamanJs(Rng R) {
+  AppDefinition App;
+  App.Name = "CamanJS";
+  // Photo-editing library demo: a tap applies a heavyweight image
+  // filter (single, long: users watch a progress spinner).
+  std::string Body =
+      "<div id=\"canvas-area\" class=\"canvas\">img</div>\n"
+      "<button id=\"filter-btn\" onclick=\"applyFilter()\">filter"
+      "</button>\n" +
+      fillerDom(7, 10);
+
+  std::string Style = R"css(
+html:QoS { onload-qos: single, long; }
+#filter-btn:QoS { onclick-qos: single, long; }
+)css";
+
+  std::string Script = R"js(
+var applied = 0;
+function applyFilter() {
+  performWork(400000); // per-pixel filter kernel
+  applied = applied + 1;
+  document.getElementById('canvas-area').style.rev = '' + applied;
+}
+)js";
+
+  App.Html = Body + "<style>" + Style + "</style>\n<script>" + Script +
+             "</script>\n";
+
+  App.MicroInteraction = InteractionKind::Tapping;
+  App.MicroType = QosType::Single;
+  App.MicroTarget = defaultSingleLongTarget();
+  App.Micro.Events.push_back({Duration::zero(), "click", "filter-btn"});
+  App.Micro.SessionLength = Duration::seconds(2);
+  App.MicroPeriod = Duration::seconds(3);
+
+  App.Full.SessionLength = Duration::seconds(49);
+  for (Duration At : spreadTimes(R, 23, Duration::seconds(2),
+                                 Duration::seconds(48)))
+    App.Full.Events.push_back({At, "click", "filter-btn"});
+
+  App.Complexity = {0.8, 0.06, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makeLzmaJs(Rng R) {
+  AppDefinition App;
+  App.Name = "LZMA-JS";
+  std::string Body =
+      "<div id=\"output\" class=\"log\">ready</div>\n"
+      "<button id=\"compress-btn\" onclick=\"compress()\">compress"
+      "</button>\n" +
+      fillerDom(5, 10);
+
+  std::string Style = R"css(
+html:QoS { onload-qos: single, long; }
+#compress-btn:QoS { onclick-qos: single, long; }
+)css";
+
+  std::string Script = R"js(
+var blocks = 0;
+function compress() {
+  performWork(300000); // LZMA match-finding
+  blocks = blocks + 1;
+  document.getElementById('output').textContent = 'blocks ' + blocks;
+}
+)js";
+
+  App.Html = Body + "<style>" + Style + "</style>\n<script>" + Script +
+             "</script>\n";
+
+  App.MicroInteraction = InteractionKind::Tapping;
+  App.MicroType = QosType::Single;
+  App.MicroTarget = defaultSingleLongTarget();
+  App.Micro.Events.push_back({Duration::zero(), "click", "compress-btn"});
+  App.Micro.SessionLength = Duration::seconds(2);
+  App.MicroPeriod = Duration::seconds(3);
+
+  App.Full.SessionLength = Duration::seconds(53);
+  for (Duration At : spreadTimes(R, 38, Duration::seconds(1),
+                                 Duration::seconds(52)))
+    App.Full.Events.push_back({At, "click", "compress-btn"});
+
+  App.Complexity = {0.6, 0.05, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makeMsn(Rng R) {
+  AppDefinition App;
+  App.Name = "MSN";
+  // Portal page: taps open stories with heavy re-rendering; users
+  // expect a quick response (single, short).
+  std::string Body = "<div id=\"story\" class=\"story\">story</div>\n";
+  Body += "<div id=\"river\" ontouchmove=\"riverMove()\">\n" +
+          fillerDom(33, 9) + "</div>\n";
+  for (unsigned I = 0; I < 10; ++I)
+    Body += formatString(
+        "<div id=\"story-%u\" class=\"tile\" onclick=\"openStory()\">t"
+        "</div>\n",
+        I);
+
+  std::string Style = R"css(
+html:QoS { onload-qos: single, long; }
+#river:QoS { ontouchmove-qos: continuous; }
+)css";
+  for (unsigned I = 0; I < 10; ++I)
+    Style += formatString("#story-%u:QoS { onclick-qos: single, short; }\n",
+                          I);
+
+  std::string Script = R"js(
+performWork(60000);
+var reads = 0;
+function openStory() {
+  performWork(100000); // article hydration and relayout
+  reads = reads + 1;
+  document.getElementById('story').textContent = 'read ' + reads;
+}
+function riverMove() { performWork(1100); }
+)js";
+  Script += backgroundTimerScript(500, 350);
+
+  std::string Html = Body + "<style>" + Style + "</style>\n<script>" +
+                     Script + "</script>\n";
+  Html += padTo(Html.size(), 60'000);
+  App.Html = std::move(Html);
+
+  App.MicroInteraction = InteractionKind::Tapping;
+  App.MicroType = QosType::Single;
+  App.MicroTarget = defaultSingleShortTarget();
+  App.Micro.Events.push_back({Duration::zero(), "click", "story-0"});
+  App.Micro.SessionLength = Duration::fromMillis(800);
+  App.MicroPeriod = Duration::fromMillis(1500);
+
+  App.Full.SessionLength = Duration::seconds(59);
+  std::vector<Duration> MsnBursts;
+  for (unsigned Burst = 0; Burst < 5; ++Burst)
+    MsnBursts.push_back(Duration::seconds(6 + int64_t(Burst) * 11));
+  for (Duration At :
+       avoidWindows(spreadTimes(R, 60, Duration::seconds(1),
+                                Duration::seconds(58)),
+                    MsnBursts, Duration::fromMillis(800)))
+    App.Full.Events.push_back(
+        {At, "click",
+         formatString("story-%u", unsigned(R.uniformInt(0, 9)))});
+  for (Duration BurstAt : MsnBursts)
+    appendScrollBurst(App.Full, R, BurstAt, 13, "river");
+
+  App.Complexity = {1.6, 0.10, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makeTodo(Rng R) {
+  AppDefinition App;
+  App.Name = "Todo";
+  std::string Body =
+      "<div id=\"list\" class=\"list\"></div>\n"
+      "<button id=\"add-btn\" onclick=\"addItem()\">add</button>\n" +
+      fillerDom(8, 10);
+
+  std::string Style = R"css(
+html:QoS { onload-qos: single, long; }
+#add-btn:QoS { onclick-qos: single, short; }
+)css";
+
+  std::string Script = R"js(
+var count = 0;
+function addItem() {
+  performWork(15000);
+  var list = document.getElementById('list');
+  var item = list.createChild('div');
+  item.textContent = 'todo ' + count;
+  count = count + 1;
+}
+)js";
+  Script += backgroundTimerScript(600, 250);
+
+  App.Html = Body + "<style>" + Style + "</style>\n<script>" + Script +
+             "</script>\n";
+
+  App.MicroInteraction = InteractionKind::Tapping;
+  App.MicroType = QosType::Single;
+  App.MicroTarget = defaultSingleShortTarget();
+  App.Micro.Events.push_back({Duration::zero(), "click", "add-btn"});
+  App.Micro.SessionLength = Duration::fromMillis(600);
+  App.MicroPeriod = Duration::fromMillis(1200);
+
+  App.Full.SessionLength = Duration::seconds(26);
+  for (Duration At : spreadTimes(R, 25, Duration::seconds(1),
+                                 Duration::seconds(25)))
+    App.Full.Events.push_back({At, "click", "add-btn"});
+
+  App.Complexity = {1.0, 0.06, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makeAmazon(Rng R) {
+  AppDefinition App;
+  App.Name = "Amazon";
+  // Product-list scrolling (Moving, continuous, default targets).
+  std::string Body = "<div id=\"feed\" ontouchmove=\"feedMove()\" "
+                     "onscroll=\"feedMove()\">\n" +
+                     fillerDom(28, 9) + "</div>\n";
+
+  std::string Style = R"css(
+html:QoS { onload-qos: single, long; }
+#feed:QoS { ontouchmove-qos: continuous; onscroll-qos: continuous; }
+)css";
+
+  std::string Script = R"js(
+function feedMove() {
+  performWork(1500); // image lazy-loading checks per scroll tick
+}
+)js";
+  Script += backgroundTimerScript(350, 350);
+  Script += formatString(
+      "var bg2 = 0;\n"
+      "function bgTick2() { bg2 = bg2 + 1; performWork(300); "
+      "setTimeout(bgTick2, 350); }\nsetTimeout(bgTick2, 500);\n");
+
+  App.Html = Body + "<style>" + Style + "</style>\n<script>" + Script +
+             "</script>\n";
+
+  App.MicroInteraction = InteractionKind::Moving;
+  App.MicroType = QosType::Continuous;
+  App.MicroTarget = defaultContinuousTarget();
+  appendScrollBurst(App.Micro, R, Duration::zero(), 30, "feed");
+  App.Micro.SessionLength = Duration::fromMillis(1400);
+  App.MicroPeriod = Duration::seconds(2);
+
+  App.Full.SessionLength = Duration::seconds(36);
+  for (unsigned Burst = 0; Burst < 4; ++Burst)
+    appendScrollBurst(App.Full, R,
+                      Duration::seconds(2 + int64_t(Burst) * 9), 25,
+                      "feed");
+
+  App.Complexity = {2.0, 0.10, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makeCraigslist(Rng R) {
+  AppDefinition App;
+  App.Name = "Craigslist";
+  std::string Body = "<div id=\"listings\" ontouchmove=\"listMove()\">\n" +
+                     fillerDom(14, 10) + "</div>\n";
+
+  std::string Style = R"css(
+html:QoS { onload-qos: single, long; }
+#listings:QoS { ontouchmove-qos: continuous; }
+)css";
+
+  std::string Script = R"js(
+function listMove() { performWork(800); }
+)js";
+  Script += backgroundTimerScript(6000, 250);
+
+  App.Html = Body + "<style>" + Style + "</style>\n<script>" + Script +
+             "</script>\n";
+
+  App.MicroInteraction = InteractionKind::Moving;
+  App.MicroType = QosType::Continuous;
+  App.MicroTarget = defaultContinuousTarget();
+  appendScrollBurst(App.Micro, R, Duration::zero(), 22, "listings");
+  App.Micro.SessionLength = Duration::fromMillis(1100);
+  App.MicroPeriod = Duration::seconds(2);
+
+  App.Full.SessionLength = Duration::seconds(25);
+  appendScrollBurst(App.Full, R, Duration::seconds(3), 10, "listings");
+  appendScrollBurst(App.Full, R, Duration::seconds(14), 11, "listings");
+
+  App.Complexity = {2.2, 0.10, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makePaperJs(Rng R) {
+  AppDefinition App;
+  App.Name = "Paper.js";
+  // Vector-drawing canvas driven by the Fig. 5 rAF pattern, with the
+  // custom QoS targets from the paper's example (20 ms, 100 ms).
+  std::string Body = "<div id=\"canvas\" ontouchmove=\"moved()\">draw"
+                     "</div>\n" +
+                     fillerDom(4, 10);
+
+  std::string Style = R"css(
+html:QoS { onload-qos: single, long; }
+#canvas:QoS { ontouchmove-qos: continuous, 20, 100; }
+)css";
+
+  std::string Script = R"js(
+var ticking = false;
+function tick() {
+  performWork(6000); // stroke tessellation and raster
+  invalidate();
+  ticking = false;
+}
+function moved() {
+  if (!ticking) {
+    ticking = true;
+    requestAnimationFrame(tick);
+  }
+}
+)js";
+
+  App.Html = Body + "<style>" + Style + "</style>\n<script>" + Script +
+             "</script>\n";
+
+  App.MicroInteraction = InteractionKind::Moving;
+  App.MicroType = QosType::Continuous;
+  App.MicroTarget = {Duration::milliseconds(20), Duration::milliseconds(100)};
+  appendScrollBurst(App.Micro, R, Duration::zero(), 35, "canvas");
+  App.Micro.SessionLength = Duration::fromMillis(1600);
+  App.MicroPeriod = Duration::seconds(2);
+
+  App.Full.SessionLength = Duration::seconds(16);
+  // 559 moves at ~35 Hz: one long continuous drawing gesture.
+  {
+    Duration At = Duration::fromMillis(500);
+    for (unsigned I = 0; I < 559; ++I) {
+      App.Full.Events.push_back({At, "touchmove", "canvas"});
+      At += Duration::fromMillis(27.0 + R.uniform(-3.0, 3.0));
+    }
+  }
+
+  App.Complexity = {1.3, 0.10, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makeCnet(Rng R) {
+  AppDefinition App;
+  App.Name = "Cnet";
+  // Taps expand review panels through CSS transitions (Tapping,
+  // continuous); occasional frame-complexity surges reproduce the
+  // usable-mode violations of Fig. 9b.
+  std::string Body;
+  for (unsigned I = 0; I < 6; ++I)
+    Body += formatString("<div id=\"menu-%u\" class=\"panel\" "
+                         "style=\"width: 100px\" "
+                         "ontouchstart=\"toggle(%u)\">p</div>\n",
+                         I, I);
+  Body += "<div id=\"rail\" ontouchmove=\"railMove()\">\n" +
+          fillerDom(26, 9) + "</div>\n";
+
+  std::string Style = R"css(
+.panel { transition: width 600ms; }
+html:QoS { onload-qos: single, long; }
+#rail:QoS { ontouchmove-qos: continuous; }
+)css";
+  for (unsigned I = 0; I < 6; ++I)
+    Style += formatString(
+        "#menu-%u:QoS { ontouchstart-qos: continuous; }\n", I);
+
+  std::string Script = R"js(
+var open0 = false;
+function toggle(i) {
+  performWork(3000);
+  var m = document.getElementById('menu-' + i);
+  if (open0) { m.style.width = '100px'; open0 = false; }
+  else { m.style.width = '500px'; open0 = true; }
+}
+function railMove() { performWork(900); }
+)js";
+  Script += backgroundTimerScript(2500, 300);
+
+  App.Html = Body + "<style>" + Style + "</style>\n<script>" + Script +
+             "</script>\n";
+
+  App.MicroInteraction = InteractionKind::Tapping;
+  App.MicroType = QosType::Continuous;
+  App.MicroTarget = defaultContinuousTarget();
+  App.Micro.Events.push_back({Duration::zero(), "touchstart", "menu-0"});
+  App.Micro.SessionLength = Duration::fromMillis(900);
+  App.MicroPeriod = Duration::fromMillis(1500);
+
+  App.Full.SessionLength = Duration::seconds(46);
+  std::vector<Duration> CnetBursts = {Duration::seconds(12),
+                                      Duration::seconds(30)};
+  for (Duration At :
+       avoidWindows(spreadTimes(R, 30, Duration::seconds(1),
+                                Duration::seconds(45)),
+                    CnetBursts, Duration::fromMillis(900)))
+    App.Full.Events.push_back(
+        {At, "touchstart",
+         formatString("menu-%u", unsigned(R.uniformInt(0, 5)))});
+  for (Duration BurstAt : CnetBursts)
+    appendScrollBurst(App.Full, R, BurstAt, 14, "rail");
+
+  App.Complexity = {2.8, 0.12, 0.012, 2.2, 5};
+  return App;
+}
+
+static AppDefinition makeGoo(Rng R) {
+  AppDefinition App;
+  App.Name = "Goo.ne.jp";
+  std::string Body;
+  for (unsigned I = 0; I < 4; ++I)
+    Body += formatString("<div id=\"tab-%u\" class=\"tab\" "
+                         "style=\"height: 40px\" "
+                         "ontouchstart=\"openTab(%u)\">t</div>\n",
+                         I, I);
+  Body += fillerDom(15, 10);
+
+  std::string Style = R"css(
+.tab { transition: height 400ms; }
+html:QoS { onload-qos: single, long; }
+)css";
+  for (unsigned I = 0; I < 4; ++I)
+    Style += formatString(
+        "#tab-%u:QoS { ontouchstart-qos: continuous; }\n", I);
+
+  std::string Script = R"js(
+var openTabs = 0;
+function openTab(i) {
+  performWork(2500);
+  var t = document.getElementById('tab-' + i);
+  t.style.height = '300px';
+  openTabs = openTabs + 1;
+}
+)js";
+
+  App.Html = Body + "<style>" + Style + "</style>\n<script>" + Script +
+             "</script>\n";
+
+  App.MicroInteraction = InteractionKind::Tapping;
+  App.MicroType = QosType::Continuous;
+  App.MicroTarget = defaultContinuousTarget();
+  App.Micro.Events.push_back({Duration::zero(), "touchstart", "tab-0"});
+  App.Micro.SessionLength = Duration::fromMillis(700);
+  App.MicroPeriod = Duration::fromMillis(1500);
+
+  App.Full.SessionLength = Duration::seconds(16);
+  for (Duration At : spreadTimes(R, 22, Duration::fromMillis(800),
+                                 Duration::seconds(15)))
+    App.Full.Events.push_back(
+        {At, "touchstart",
+         formatString("tab-%u", unsigned(R.uniformInt(0, 3)))});
+
+  App.Complexity = {2.5, 0.10, 0.0, 1.0, 6};
+  return App;
+}
+
+static AppDefinition makeW3Schools(Rng R) {
+  AppDefinition App;
+  App.Name = "W3Schools";
+  // Accordion sections animated by an explicit rAF loop; strong
+  // complexity surges (code-highlighting reflows) drive the paper's
+  // observation about usable-mode violations.
+  std::string Body;
+  for (unsigned I = 0; I < 8; ++I)
+    Body += formatString("<div id=\"acc-%u\" class=\"accordion\" "
+                         "onclick=\"openAcc()\">a</div>\n",
+                         I);
+  Body += fillerDom(20, 9);
+
+  std::string Style = R"css(
+html:QoS { onload-qos: single, long; }
+)css";
+  for (unsigned I = 0; I < 8; ++I)
+    Style += formatString("#acc-%u:QoS { onclick-qos: continuous; }\n", I);
+
+  std::string Script = R"js(
+var animEnd = 0;
+function step() {
+  performWork(2200);
+  invalidate();
+  if (now() < animEnd) {
+    requestAnimationFrame(step);
+  }
+}
+function openAcc() {
+  performWork(2000);
+  animEnd = now() + 500;
+  requestAnimationFrame(step);
+}
+)js";
+
+  App.Html = Body + "<style>" + Style + "</style>\n<script>" + Script +
+             "</script>\n";
+
+  App.MicroInteraction = InteractionKind::Tapping;
+  App.MicroType = QosType::Continuous;
+  App.MicroTarget = defaultContinuousTarget();
+  App.Micro.Events.push_back({Duration::zero(), "click", "acc-0"});
+  App.Micro.SessionLength = Duration::fromMillis(800);
+  App.MicroPeriod = Duration::fromMillis(1500);
+
+  App.Full.SessionLength = Duration::seconds(64);
+  for (Duration At : spreadTimes(R, 58, Duration::seconds(1),
+                                 Duration::seconds(63)))
+    App.Full.Events.push_back(
+        {At, "click", formatString("acc-%u", unsigned(R.uniformInt(0, 7)))});
+
+  App.Complexity = {2.8, 0.12, 0.02, 2.2, 6};
+  return App;
+}
+
+AppDefinition greenweb::makeApp(const std::string &Name, uint64_t Seed) {
+  Rng R(Seed ^ 0xA5F00Dull);
+  if (Name == "BBC")
+    return makeBbc(R.fork(1));
+  if (Name == "Google")
+    return makeGoogle(R.fork(2));
+  if (Name == "CamanJS")
+    return makeCamanJs(R.fork(3));
+  if (Name == "LZMA-JS")
+    return makeLzmaJs(R.fork(4));
+  if (Name == "MSN")
+    return makeMsn(R.fork(5));
+  if (Name == "Todo")
+    return makeTodo(R.fork(6));
+  if (Name == "Amazon")
+    return makeAmazon(R.fork(7));
+  if (Name == "Craigslist")
+    return makeCraigslist(R.fork(8));
+  if (Name == "Paper.js")
+    return makePaperJs(R.fork(9));
+  if (Name == "Cnet")
+    return makeCnet(R.fork(10));
+  if (Name == "Goo.ne.jp")
+    return makeGoo(R.fork(11));
+  if (Name == "W3Schools")
+    return makeW3Schools(R.fork(12));
+  assert(false && "unknown application name");
+  return AppDefinition();
+}

@@ -1,0 +1,140 @@
+//===- workloads/Experiment.h - Evaluation driver ----------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment driver behind every table and figure of Sec. 7: runs
+/// one (application, governor, mode) combination through the simulated
+/// stack and collects energy, per-event QoS violations, configuration
+/// distribution, and switching statistics. Follows the paper's
+/// protocol: experiments repeat across three seeds and the median is
+/// reported (Sec. 7.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_WORKLOADS_EXPERIMENT_H
+#define GREENWEB_WORKLOADS_EXPERIMENT_H
+
+#include "greenweb/GreenWebRuntime.h"
+#include "workloads/Apps.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+/// Which half of Table 3 drives the run.
+enum class ExperimentMode { Micro, Full };
+
+/// Known governor names accepted by ExperimentConfig.
+namespace governors {
+inline constexpr const char *Perf = "Perf";
+inline constexpr const char *Interactive = "Interactive";
+inline constexpr const char *Ondemand = "Ondemand";
+inline constexpr const char *Powersave = "Powersave";
+inline constexpr const char *Ebs = "EBS";
+inline constexpr const char *GreenWebI = "GreenWeb-I";
+inline constexpr const char *GreenWebU = "GreenWeb-U";
+} // namespace governors
+
+/// One experiment's configuration.
+struct ExperimentConfig {
+  std::string AppName;
+  ExperimentMode Mode = ExperimentMode::Full;
+  std::string GovernorName = governors::Perf;
+  uint64_t Seed = 1;
+  /// Microbenchmark repetitions of the primitive interaction. Repeats
+  /// let per-event profiling amortize, as in the paper's runs.
+  unsigned MicroRepetitions = 8;
+  /// Override GreenWeb runtime parameters (ablations). The scenario
+  /// field is still forced to match the governor name.
+  std::optional<GreenWebRuntime::Params> RuntimeParams;
+  /// Replace the app's manual annotations with AUTOGREEN's output
+  /// (ablation: annotation-source comparison).
+  bool UseAutoGreenAnnotations = false;
+  /// Force every annotation to a QoS type (ablation A3: what breaks
+  /// when continuous is treated as single and vice versa).
+  std::optional<QosType> ForceQosType;
+  /// Scale every annotation's targets (ablation A2: mis-annotation; a
+  /// value of 0.05 makes every target 20x tighter).
+  double TargetScale = 1.0;
+};
+
+/// Per-event measurements.
+struct EventMetrics {
+  uint64_t RootId = 0;
+  std::string Type;
+  std::string TargetId;
+  bool Annotated = false;
+  QosSpec Spec;
+  /// Latency of each frame attributed to this event, in order. For
+  /// single events this is input-to-display; for continuous events it
+  /// is the per-frame production latency (BeginFrame to display), the
+  /// quantity the 16.6/33.3 ms smoothness targets constrain.
+  std::vector<Duration> FrameLatencies;
+
+  /// QoS violation fraction under a scenario: single events use the
+  /// response (first) frame; continuous events average over all
+  /// associated frames (Sec. 7.2).
+  double violationFraction(UsageScenario Scenario) const;
+};
+
+/// One experiment's results.
+struct ExperimentResult {
+  std::string App;
+  std::string Governor;
+  ExperimentMode Mode = ExperimentMode::Full;
+  uint64_t Seed = 0;
+
+  double TotalJoules = 0.0;
+  double BigJoules = 0.0;
+  double LittleJoules = 0.0;
+  double MeasuredSeconds = 0.0;
+
+  uint64_t InputEvents = 0;
+  uint64_t AnnotatedEvents = 0;
+  uint64_t Frames = 0;
+
+  /// Aggregate violation percentage (mean over annotated events) under
+  /// each scenario's targets. Perf/Interactive are scenario-agnostic
+  /// policies but are scored under both targets (Sec. 7.2 note).
+  double ViolationPctImperceptible = 0.0;
+  double ViolationPctUsable = 0.0;
+
+  /// Time share per ACMP configuration (Fig. 11 raw data).
+  std::map<AcmpConfig, Duration> ConfigDistribution;
+  uint64_t FreqSwitches = 0;
+  uint64_t Migrations = 0;
+
+  /// Table 3's annotation percentage: annotated user inputs over all
+  /// events (user inputs + timers + animation-end dispatches).
+  double AnnotationPct = 0.0;
+
+  /// GreenWeb runtime counters (zero for baseline governors).
+  GreenWebRuntime::Stats RuntimeStats;
+
+  std::vector<EventMetrics> Events;
+  std::vector<std::string> ScriptErrors;
+};
+
+/// Runs a single experiment.
+ExperimentResult runExperiment(const ExperimentConfig &Config);
+
+/// Runs the experiment at each seed and returns the median-energy run,
+/// with scalar metrics replaced by per-metric medians (the paper's
+/// three-run protocol).
+ExperimentResult runExperimentMedian(ExperimentConfig Config,
+                                     std::vector<uint64_t> Seeds = {1, 2,
+                                                                    3});
+
+/// The violation percentage of \p Result under \p Scenario.
+double violationPct(const ExperimentResult &Result, UsageScenario Scenario);
+
+} // namespace greenweb
+
+#endif // GREENWEB_WORKLOADS_EXPERIMENT_H

@@ -1,0 +1,86 @@
+//===- workloads/TraceIo.cpp - interaction trace (de)serialization -----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/TraceIo.h"
+
+#include "dom/Dom.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace greenweb;
+
+std::string greenweb::serializeTrace(const InteractionTrace &Trace) {
+  std::string Out = "# GreenWeb interaction trace\n";
+  Out += formatString("session %.3f\n", Trace.SessionLength.millis());
+  for (const TraceEvent &Event : Trace.Events)
+    Out += formatString(
+        "%.3f %s %s\n", Event.At.millis(), Event.Type.c_str(),
+        Event.TargetId.empty() ? "-" : Event.TargetId.c_str());
+  return Out;
+}
+
+TraceParseResult greenweb::parseTrace(std::string_view Text) {
+  TraceParseResult Result;
+  unsigned LineNo = 0;
+  bool HaveSession = false;
+
+  for (std::string_view Line : split(Text, '\n')) {
+    ++LineNo;
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty() || Trimmed.front() == '#')
+      continue;
+
+    std::vector<std::string_view> Fields = splitTrimmed(Trimmed, ' ');
+    if (Fields.size() == 2 && Fields[0] == "session") {
+      std::optional<double> Ms = parseDouble(Fields[1]);
+      if (!Ms || *Ms < 0.0) {
+        Result.Diagnostics.push_back(formatString(
+            "line %u: invalid session length '%s'", LineNo,
+            std::string(Fields[1]).c_str()));
+        continue;
+      }
+      Result.Trace.SessionLength = Duration::fromMillis(*Ms);
+      HaveSession = true;
+      continue;
+    }
+
+    if (Fields.size() != 3) {
+      Result.Diagnostics.push_back(formatString(
+          "line %u: expected '<ms> <event> <target>', found %zu fields",
+          LineNo, Fields.size()));
+      continue;
+    }
+    std::optional<double> Ms = parseDouble(Fields[0]);
+    if (!Ms || *Ms < 0.0) {
+      Result.Diagnostics.push_back(
+          formatString("line %u: invalid time '%s'", LineNo,
+                       std::string(Fields[0]).c_str()));
+      continue;
+    }
+    std::string Type = toLower(Fields[1]);
+    if (!isUserInputEvent(Type)) {
+      Result.Diagnostics.push_back(formatString(
+          "line %u: '%s' is not a user input event", LineNo,
+          Type.c_str()));
+      continue;
+    }
+    TraceEvent Event;
+    Event.At = Duration::fromMillis(*Ms);
+    Event.Type = std::move(Type);
+    if (Fields[2] != "-")
+      Event.TargetId = std::string(Fields[2]);
+    Result.Trace.Events.push_back(std::move(Event));
+  }
+
+  std::stable_sort(Result.Trace.Events.begin(), Result.Trace.Events.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.At < B.At;
+                   });
+  if (!HaveSession && !Result.Trace.Events.empty())
+    Result.Trace.SessionLength = Result.Trace.Events.back().At;
+  return Result;
+}

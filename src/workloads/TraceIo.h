@@ -1,0 +1,51 @@
+//===- workloads/TraceIo.h - interaction trace (de)serialization -*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for interaction traces, the record/replay format
+/// standing in for the Mosaic tool the paper uses to remove human noise
+/// (Sec. 7.1). One event per line:
+///
+///     # comment
+///     session 36000        # session length, milliseconds
+///     2000.0 touchmove feed
+///     2033.5 click nav-3
+///
+/// Times are milliseconds from session start; the target field is the
+/// element id (`-` targets the document root).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_WORKLOADS_TRACEIO_H
+#define GREENWEB_WORKLOADS_TRACEIO_H
+
+#include "workloads/Apps.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greenweb {
+
+/// Renders a trace to the text format above.
+std::string serializeTrace(const InteractionTrace &Trace);
+
+/// Result of parsing a trace file.
+struct TraceParseResult {
+  InteractionTrace Trace;
+  std::vector<std::string> Diagnostics;
+
+  bool succeeded() const { return Diagnostics.empty(); }
+};
+
+/// Parses the text format. Malformed lines are skipped with
+/// diagnostics; events are sorted by time. When no `session` line is
+/// present the session length is the last event time.
+TraceParseResult parseTrace(std::string_view Text);
+
+} // namespace greenweb
+
+#endif // GREENWEB_WORKLOADS_TRACEIO_H

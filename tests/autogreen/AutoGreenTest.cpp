@@ -1,0 +1,211 @@
+//===- tests/autogreen/AutoGreenTest.cpp - AUTOGREEN tests --------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autogreen/AutoGreen.h"
+
+#include "browser/Browser.h"
+#include "css/CssParser.h"
+#include "greenweb/AnnotationRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+const DiscoveredAnnotation *findAnn(const AutoGreenResult &R,
+                                    const std::string &Selector,
+                                    const std::string &Event) {
+  for (const DiscoveredAnnotation &A : R.Annotations)
+    if (A.Selector == Selector && A.EventName == Event)
+      return &A;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(AutoGreenTest, DetectsCssTransitionAsContinuous) {
+  // The paper's transitionend-listener detection path.
+  AutoGreenResult R = runAutoGreen(R"raw(
+    <div id="menu" style="width: 10px" ontouchstart="expand()"></div>
+    <style>#menu { transition: width 300ms; }</style>
+    <script>
+      function expand() {
+        document.getElementById('menu').style.width = '500px';
+      }
+    </script>
+  )raw");
+  const DiscoveredAnnotation *A = findAnn(R, "#menu:QoS", "touchstart");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Value.Kind, css::QosValueKind::Continuous);
+  EXPECT_GE(A->AnimationsStarted, 1u);
+}
+
+TEST(AutoGreenTest, DetectsRafAsContinuous) {
+  AutoGreenResult R = runAutoGreen(R"raw(
+    <div id="cv" ontouchmove="moved()"></div>
+    <script>
+      var ticking = false;
+      function tick() { invalidate(); ticking = false; }
+      function moved() {
+        if (!ticking) { ticking = true; requestAnimationFrame(tick); }
+      }
+    </script>
+  )raw");
+  const DiscoveredAnnotation *A = findAnn(R, "#cv:QoS", "touchmove");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Value.Kind, css::QosValueKind::Continuous);
+  EXPECT_GE(A->RafRegistrations, 1u);
+}
+
+TEST(AutoGreenTest, DetectsScriptedAnimateAsContinuous) {
+  AutoGreenResult R = runAutoGreen(R"raw(
+    <div id="panel" onclick="open()"></div>
+    <script>
+      function open() {
+        animate(document.getElementById('panel'), 200);
+      }
+    </script>
+  )raw");
+  const DiscoveredAnnotation *A = findAnn(R, "#panel:QoS", "click");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Value.Kind, css::QosValueKind::Continuous);
+}
+
+TEST(AutoGreenTest, PlainCallbackIsSingleAndConservativelyShort) {
+  // Sec. 5: AUTOGREEN always assumes a short duration for single
+  // events, favoring QoS over energy.
+  AutoGreenResult R = runAutoGreen(R"raw(
+    <button id="go" onclick="heavy()"></button>
+    <script>
+      function heavy() {
+        performWork(500000); // heavyweight, but AUTOGREEN cannot know
+        document.getElementById('go').style.r = '1';
+      }
+    </script>
+  )raw");
+  const DiscoveredAnnotation *A = findAnn(R, "#go:QoS", "click");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Value.Kind, css::QosValueKind::Single);
+  EXPECT_EQ(A->Value.LongDuration.value_or(true), false);
+}
+
+TEST(AutoGreenTest, LoadAlwaysAnnotated) {
+  AutoGreenResult R = runAutoGreen("<div id=a></div>");
+  const DiscoveredAnnotation *A = findAnn(R, "html:QoS", "load");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Value.Kind, css::QosValueKind::Single);
+  EXPECT_EQ(A->Value.LongDuration.value_or(false), true);
+}
+
+TEST(AutoGreenTest, NonUserEventsNotAnnotated) {
+  AutoGreenResult R = runAutoGreen(R"raw(
+    <div id="t" style="width: 1px" onclick="go()"></div>
+    <style>#t { transition: width 50ms; }</style>
+    <script>
+      function go() {
+        var t = document.getElementById('t');
+        t.addEventListener('transitionend', function() { var x = 1; });
+        t.style.width = '2px';
+      }
+    </script>
+  )raw");
+  for (const DiscoveredAnnotation &A : R.Annotations)
+    EXPECT_NE(A.EventName, "transitionend");
+}
+
+TEST(AutoGreenTest, FallbackSelectorsForElementsWithoutIds) {
+  AutoGreenResult R = runAutoGreen(R"raw(
+    <button class="cta" onclick="f()"></button>
+    <script>function f() { var x = 1; }</script>
+  )raw");
+  const DiscoveredAnnotation *A = findAnn(R, "button.cta:QoS", "click");
+  EXPECT_NE(A, nullptr);
+}
+
+TEST(AutoGreenTest, AmbiguousElementsSkipped) {
+  AutoGreenResult R = runAutoGreen(R"raw(
+    <div class="x" onclick="f()"></div>
+    <div class="x" onclick="f()"></div>
+    <script>function f() { var x = 1; }</script>
+  )raw");
+  EXPECT_EQ(R.SkippedUnselectable, 2u);
+}
+
+TEST(AutoGreenTest, GeneratedCssParsesAndAnnotates) {
+  // End-to-end: the generated rules must load back through the whole
+  // CSS/annotation pipeline.
+  const char *App = R"raw(
+    <div id="menu" style="width: 10px" ontouchstart="expand()"></div>
+    <button id="go" onclick="tapped()"></button>
+    <style>#menu { transition: width 300ms; }</style>
+    <script>
+      function expand() {
+        document.getElementById('menu').style.width = '500px';
+      }
+      function tapped() {
+        document.getElementById('go').style.r = '1';
+      }
+    </script>
+  )raw";
+  AutoGreenResult R = runAutoGreen(App);
+  css::Stylesheet Generated = css::parseStylesheet(R.GeneratedCss);
+  EXPECT_TRUE(Generated.Diagnostics.empty());
+  EXPECT_GE(Generated.Rules.size(), 3u); // html + #menu + #go
+
+  // Load the annotated HTML and collect annotations via the registry.
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Browser B(Sim, Chip);
+  ASSERT_NE(B.loadPage(R.AnnotatedHtml), 0u);
+  AnnotationRegistry Registry;
+  std::vector<std::string> Diags;
+  EXPECT_GE(Registry.loadFromPage(B, &Diags), 3u);
+  EXPECT_TRUE(Diags.empty()) << (Diags.empty() ? "" : Diags[0]);
+  Element *Menu = B.document()->getElementById("menu");
+  auto Spec = Registry.lookup(*Menu, "touchstart");
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->Type, QosType::Continuous);
+  Sim.runUntil(Sim.now() + Duration::seconds(1));
+}
+
+TEST(AutoGreenTest, CountsConsistent) {
+  AutoGreenResult R = runAutoGreen(R"raw(
+    <div id="a" onclick="f()"></div>
+    <div id="b" ontouchstart="g()"></div>
+    <script>
+      function f() { var x = 1; }
+      function g() { animate(document.getElementById('b'), 100); }
+    </script>
+  )raw");
+  // load + 2 events.
+  EXPECT_EQ(R.EventsProfiled, 3u);
+  EXPECT_EQ(R.SingleDetected + R.ContinuousDetected, R.EventsProfiled);
+  EXPECT_EQ(R.Annotations.size(), R.EventsProfiled);
+  EXPECT_GE(R.ContinuousDetected, 1u);
+}
+
+TEST(AutoGreenTest, EmptyPageOnlyLoadAnnotation) {
+  AutoGreenResult R = runAutoGreen("<div></div>");
+  EXPECT_EQ(R.EventsProfiled, 1u); // just the load
+  EXPECT_EQ(R.Annotations.size(), 1u);
+}
+
+TEST(AutoGreenTest, DetectsCssAnimationShorthandAsContinuous) {
+  // The `animation:` path (animationend-listener detection, Sec. 5).
+  AutoGreenResult R = runAutoGreen(R"raw(
+    <div id="spinner" onclick="spin()"></div>
+    <script>
+      function spin() {
+        document.getElementById('spinner').style.animation = 'rotate 400ms';
+      }
+    </script>
+  )raw");
+  const DiscoveredAnnotation *A = findAnn(R, "#spinner:QoS", "click");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Value.Kind, css::QosValueKind::Continuous);
+  EXPECT_GE(A->AnimationsStarted, 1u);
+}

@@ -1,0 +1,81 @@
+//===- tests/browser/FrameTrackerTest.cpp - Fig. 8 algorithm tests ------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/FrameTracker.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(FrameTrackerTest, RootMsgsAreTheirOwnRoot) {
+  FrameTracker Tracker;
+  FrameMsg M = Tracker.makeMsg(TimePoint::origin(), 0, "click");
+  EXPECT_EQ(M.RootId, M.Uid);
+  EXPECT_EQ(M.RootEvent, "click");
+}
+
+TEST(FrameTrackerTest, ChildMsgsInheritRoot) {
+  FrameTracker Tracker;
+  FrameMsg Root = Tracker.makeMsg(TimePoint::origin(), 0, "touchstart");
+  FrameMsg Tick = Tracker.makeMsg(
+      TimePoint::origin() + Duration::milliseconds(16), Root.RootId,
+      Root.RootEvent);
+  EXPECT_NE(Tick.Uid, Root.Uid);
+  EXPECT_EQ(Tick.RootId, Root.RootId);
+}
+
+TEST(FrameTrackerTest, UidsMonotone) {
+  FrameTracker Tracker;
+  uint64_t Last = 0;
+  for (int I = 0; I < 100; ++I) {
+    FrameMsg M = Tracker.makeMsg(TimePoint::origin(), 0, "x");
+    EXPECT_GT(M.Uid, Last);
+    Last = M.Uid;
+  }
+}
+
+TEST(FrameTrackerTest, QueueTakeSemantics) {
+  FrameTracker Tracker;
+  EXPECT_FALSE(Tracker.hasQueuedMsgs());
+  Tracker.enqueueDirtyMsg(Tracker.makeMsg(TimePoint::origin(), 0, "a"));
+  Tracker.enqueueDirtyMsg(Tracker.makeMsg(TimePoint::origin(), 0, "b"));
+  EXPECT_TRUE(Tracker.hasQueuedMsgs());
+  auto Taken = Tracker.takeQueuedMsgs();
+  EXPECT_EQ(Taken.size(), 2u);
+  EXPECT_FALSE(Tracker.hasQueuedMsgs());
+  EXPECT_TRUE(Tracker.takeQueuedMsgs().empty());
+}
+
+TEST(FrameTrackerTest, LatencyComputedPerMsg) {
+  // Fig. 8 Part III: latency = now - Msg.startTs for each input.
+  FrameTracker Tracker;
+  TimePoint T0 = TimePoint::origin();
+  FrameMsg Early = Tracker.makeMsg(T0, 0, "click");
+  FrameMsg Late =
+      Tracker.makeMsg(T0 + Duration::milliseconds(10), 0, "click");
+  TimePoint Ready = T0 + Duration::milliseconds(30);
+  FrameRecord Frame = Tracker.finishFrame(
+      1, T0 + Duration::fromMillis(16.7), Ready, {Early, Late}, 1e6,
+      Duration::milliseconds(1));
+  ASSERT_EQ(Frame.Latencies.size(), 2u);
+  EXPECT_EQ(Frame.Latencies[0].Latency, Duration::milliseconds(30));
+  EXPECT_EQ(Frame.Latencies[1].Latency, Duration::milliseconds(20));
+  EXPECT_EQ(Frame.maxLatency(), Duration::milliseconds(30));
+  EXPECT_TRUE(Frame.hasRoot(Early.RootId));
+  EXPECT_FALSE(Frame.hasRoot(9999));
+}
+
+TEST(FrameTrackerTest, FramesRecorded) {
+  FrameTracker Tracker;
+  TimePoint T0 = TimePoint::origin();
+  Tracker.finishFrame(1, T0, T0 + Duration::milliseconds(5), {}, 0,
+                      Duration::zero());
+  Tracker.finishFrame(2, T0, T0 + Duration::milliseconds(6), {}, 0,
+                      Duration::zero());
+  EXPECT_EQ(Tracker.frames().size(), 2u);
+  Tracker.clearFrames();
+  EXPECT_TRUE(Tracker.frames().empty());
+}

@@ -1,0 +1,98 @@
+//===- tests/browser/TraceExportTest.cpp - tracing export tests ----------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/TraceExport.h"
+
+#include "browser/Browser.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(TraceExportTest, EmptyTraceIsValidJson) {
+  std::string Json = exportChromeTrace({});
+  EXPECT_EQ(Json, "[]\n");
+}
+
+TEST(TraceExportTest, FrameEventsEmitted) {
+  FrameTracker Tracker;
+  TimePoint T0 = TimePoint::origin() + Duration::milliseconds(100);
+  FrameMsg Msg = Tracker.makeMsg(T0, 0, "click");
+  FrameRecord Frame = Tracker.finishFrame(
+      7, T0 + Duration::fromMillis(16.7), T0 + Duration::milliseconds(25),
+      {Msg}, 4e6, Duration::milliseconds(1));
+  std::string Json = exportChromeTrace({Frame});
+  EXPECT_NE(Json.find("\"frame 7\""), std::string::npos);
+  EXPECT_NE(Json.find("\"tid\":\"frames\""), std::string::npos);
+  EXPECT_NE(Json.find("\"tid\":\"inputs\""), std::string::npos);
+  EXPECT_NE(Json.find("click#"), std::string::npos);
+  // ts is microseconds: BeginTime 116.7ms -> 116700us.
+  EXPECT_NE(Json.find("\"ts\":116700.000"), std::string::npos);
+}
+
+TEST(TraceExportTest, CpuIntervalsEmitted) {
+  std::vector<ConfigInterval> Cpu = {
+      {{CoreKind::Little, 350}, TimePoint::origin(),
+       TimePoint::origin() + Duration::milliseconds(10)},
+      {{CoreKind::Big, 1800},
+       TimePoint::origin() + Duration::milliseconds(10),
+       TimePoint::origin() + Duration::milliseconds(30)}};
+  std::string Json = exportChromeTrace({}, Cpu);
+  EXPECT_NE(Json.find("A7@350MHz"), std::string::npos);
+  EXPECT_NE(Json.find("A15@1800MHz"), std::string::npos);
+  EXPECT_NE(Json.find("\"tid\":\"cpu\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ConfigTimelineRecordsChangesAtExactInstants) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  ConfigTimelineRecorder Recorder(Chip);
+  Sim.schedule(Duration::milliseconds(10),
+               [&] { Chip.setConfig({CoreKind::Big, 1800}); });
+  Sim.schedule(Duration::milliseconds(25),
+               [&] { Chip.setConfig({CoreKind::Little, 600}); });
+  Sim.schedule(Duration::milliseconds(40), [] {});
+  Sim.run();
+
+  std::vector<ConfigInterval> Intervals = Recorder.intervals();
+  ASSERT_EQ(Intervals.size(), 3u);
+  EXPECT_EQ(Intervals[0].Config, (AcmpConfig{CoreKind::Little, 350}));
+  EXPECT_DOUBLE_EQ(Intervals[0].Begin.millis(), 0.0);
+  EXPECT_DOUBLE_EQ(Intervals[0].End.millis(), 10.0);
+  EXPECT_EQ(Intervals[1].Config, (AcmpConfig{CoreKind::Big, 1800}));
+  EXPECT_DOUBLE_EQ(Intervals[1].End.millis(), 25.0);
+  EXPECT_EQ(Intervals[2].Config, (AcmpConfig{CoreKind::Little, 600}));
+  EXPECT_DOUBLE_EQ(Intervals[2].End.millis(), 40.0);
+
+  // Intervals tile the timeline: contiguous and gap-free.
+  for (size_t I = 1; I < Intervals.size(); ++I)
+    EXPECT_EQ(Intervals[I].Begin, Intervals[I - 1].End);
+}
+
+TEST(TraceExportTest, EndToEndSessionExports) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Chip.setConfig(Chip.spec().maxConfig());
+  ConfigTimelineRecorder Recorder(Chip);
+  Browser B(Sim, Chip);
+  B.loadPage(R"raw(
+    <div id=b onclick="document.getElementById('b').style.r = now()"></div>
+  )raw");
+  Sim.runUntil(Sim.now() + Duration::seconds(1));
+  B.dispatchInput("click", "b");
+  Sim.runUntil(Sim.now() + Duration::seconds(1));
+
+  std::string Json = exportChromeTrace(B.frameTracker().frames(),
+                                       Recorder.intervals());
+  // Structural sanity: array-shaped, balanced braces, both tracks.
+  EXPECT_EQ(Json.front(), '[');
+  EXPECT_EQ(Json[Json.size() - 2], ']');
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+  EXPECT_NE(Json.find("\"tid\":\"frames\""), std::string::npos);
+  EXPECT_NE(Json.find("\"tid\":\"cpu\""), std::string::npos);
+  EXPECT_NE(Json.find("load#"), std::string::npos);
+}

@@ -1,0 +1,130 @@
+//===- tests/css/CssLexerTest.cpp - CSS tokenizer tests -----------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "css/CssLexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb::css;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Src) { return lex(Src); }
+
+} // namespace
+
+TEST(CssLexerTest, EmptyInputYieldsEof) {
+  auto Tokens = lexAll("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(CssLexerTest, Identifiers) {
+  auto Tokens = lexAll("div -webkit-flex _under");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Ident));
+  EXPECT_EQ(Tokens[0].Text, "div");
+  EXPECT_EQ(Tokens[1].Text, "-webkit-flex");
+  EXPECT_EQ(Tokens[2].Text, "_under");
+}
+
+TEST(CssLexerTest, HashAndAtKeyword) {
+  auto Tokens = lexAll("#intro @media");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Hash));
+  EXPECT_EQ(Tokens[0].Text, "intro");
+  EXPECT_TRUE(Tokens[1].is(TokenKind::AtKeyword));
+  EXPECT_EQ(Tokens[1].Text, "media");
+}
+
+TEST(CssLexerTest, NumbersAndDimensions) {
+  auto Tokens = lexAll("100 2s 16.6ms 500px 50%");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Number));
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 100.0);
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Dimension));
+  EXPECT_EQ(Tokens[1].Unit, "s");
+  EXPECT_DOUBLE_EQ(Tokens[1].NumValue, 2.0);
+  EXPECT_TRUE(Tokens[2].is(TokenKind::Dimension));
+  EXPECT_EQ(Tokens[2].Unit, "ms");
+  EXPECT_DOUBLE_EQ(Tokens[2].NumValue, 16.6);
+  EXPECT_EQ(Tokens[3].Unit, "px");
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Percentage));
+  EXPECT_DOUBLE_EQ(Tokens[4].NumValue, 50.0);
+}
+
+TEST(CssLexerTest, SignedAndFractionalNumbers) {
+  auto Tokens = lexAll("-5 +2.5 .75");
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, -5.0);
+  EXPECT_DOUBLE_EQ(Tokens[1].NumValue, 2.5);
+  EXPECT_DOUBLE_EQ(Tokens[2].NumValue, 0.75);
+}
+
+TEST(CssLexerTest, MinusStartsIdentWhenNoDigit) {
+  auto Tokens = lexAll("-moz-a");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Ident));
+}
+
+TEST(CssLexerTest, Punctuation) {
+  auto Tokens = lexAll("{ } : ; , . > * ( )");
+  TokenKind Expected[] = {TokenKind::LBrace,  TokenKind::RBrace,
+                          TokenKind::Colon,   TokenKind::Semicolon,
+                          TokenKind::Comma,   TokenKind::Dot,
+                          TokenKind::Greater, TokenKind::Star,
+                          TokenKind::LParen,  TokenKind::RParen};
+  for (size_t I = 0; I < 10; ++I)
+    EXPECT_TRUE(Tokens[I].is(Expected[I])) << I;
+}
+
+TEST(CssLexerTest, Strings) {
+  auto Tokens = lexAll("\"double\" 'single' \"es\\\"c\"");
+  EXPECT_TRUE(Tokens[0].is(TokenKind::String));
+  EXPECT_EQ(Tokens[0].Text, "double");
+  EXPECT_EQ(Tokens[1].Text, "single");
+  EXPECT_EQ(Tokens[2].Text, "es\"c");
+}
+
+TEST(CssLexerTest, CommentsSkippedAndMarkSpace) {
+  auto Tokens = lexAll("a/*x*/b");
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_TRUE(Tokens[1].PrecededBySpace);
+}
+
+TEST(CssLexerTest, SpaceTrackingForCombinators) {
+  auto Tokens = lexAll("div .a div.b");
+  // ".a" after space: Dot preceded by space; ".b" tight: Dot not.
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Dot));
+  EXPECT_TRUE(Tokens[1].PrecededBySpace);
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Dot));
+  EXPECT_FALSE(Tokens[4].PrecededBySpace);
+}
+
+TEST(CssLexerTest, LineNumbers) {
+  auto Tokens = lexAll("a\nb\n\nc");
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[2].Line, 4u);
+}
+
+TEST(CssLexerTest, UnterminatedCommentDoesNotHang) {
+  auto Tokens = lexAll("a /* never closed");
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_TRUE(Tokens[1].is(TokenKind::EndOfFile));
+}
+
+TEST(CssLexerTest, IsIdentCaseInsensitive) {
+  auto Tokens = lexAll("CONTINUOUS");
+  EXPECT_TRUE(Tokens[0].isIdent("continuous"));
+  EXPECT_FALSE(Tokens[0].isIdent("single"));
+}
+
+TEST(CssLexerTest, GreenWebPropertyLexes) {
+  auto Tokens = lexAll("ontouchstart-qos: continuous, 20, 100;");
+  EXPECT_EQ(Tokens[0].Text, "ontouchstart-qos");
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Colon));
+  EXPECT_TRUE(Tokens[2].isIdent("continuous"));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::Comma));
+  EXPECT_DOUBLE_EQ(Tokens[4].NumValue, 20.0);
+}

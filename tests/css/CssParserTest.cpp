@@ -1,0 +1,179 @@
+//===- tests/css/CssParserTest.cpp - CSS parser tests -------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "css/CssParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb::css;
+
+TEST(CssParserTest, SimpleRule) {
+  Stylesheet Sheet = parseStylesheet("h1 { font-weight: bold }");
+  ASSERT_EQ(Sheet.Rules.size(), 1u);
+  const StyleRule &Rule = Sheet.Rules[0];
+  ASSERT_EQ(Rule.Selectors.size(), 1u);
+  EXPECT_EQ(Rule.Selectors[0].str(), "h1");
+  ASSERT_EQ(Rule.Declarations.size(), 1u);
+  EXPECT_EQ(Rule.Declarations[0].Property, "font-weight");
+  EXPECT_EQ(Rule.Declarations[0].ValueText, "bold");
+}
+
+TEST(CssParserTest, MultipleDeclarations) {
+  Stylesheet Sheet =
+      parseStylesheet("div { width: 100px; transition: width 2s; }");
+  ASSERT_EQ(Sheet.Rules.size(), 1u);
+  ASSERT_EQ(Sheet.Rules[0].Declarations.size(), 2u);
+  EXPECT_EQ(Sheet.Rules[0].Declarations[1].ValueText, "width 2s");
+}
+
+TEST(CssParserTest, SelectorList) {
+  Stylesheet Sheet = parseStylesheet("h1, h2, .title { margin: 0 }");
+  ASSERT_EQ(Sheet.Rules.size(), 1u);
+  EXPECT_EQ(Sheet.Rules[0].Selectors.size(), 3u);
+  EXPECT_EQ(Sheet.Rules[0].Selectors[2].str(), ".title");
+}
+
+TEST(CssParserTest, CompoundSelector) {
+  ComplexSelector Sel = parseSelector("div#intro.fancy.wide:QoS");
+  ASSERT_EQ(Sel.Compounds.size(), 1u);
+  const SimpleSelector &S = Sel.Compounds[0];
+  EXPECT_EQ(S.Tag, "div");
+  EXPECT_EQ(S.Id, "intro");
+  ASSERT_EQ(S.Classes.size(), 2u);
+  EXPECT_EQ(S.Classes[0], "fancy");
+  ASSERT_EQ(S.PseudoClasses.size(), 1u);
+  EXPECT_EQ(S.PseudoClasses[0], "QoS");
+  EXPECT_TRUE(S.isQosQualified());
+}
+
+TEST(CssParserTest, DescendantAndChildCombinators) {
+  ComplexSelector Sel = parseSelector("nav > ul li");
+  ASSERT_EQ(Sel.Compounds.size(), 3u);
+  ASSERT_EQ(Sel.Combinators.size(), 2u);
+  EXPECT_EQ(Sel.Combinators[0], Combinator::Child);
+  EXPECT_EQ(Sel.Combinators[1], Combinator::Descendant);
+  EXPECT_EQ(Sel.str(), "nav > ul li");
+}
+
+TEST(CssParserTest, UniversalSelector) {
+  ComplexSelector Sel = parseSelector("*");
+  ASSERT_EQ(Sel.Compounds.size(), 1u);
+  EXPECT_EQ(Sel.Compounds[0].Tag, "*");
+}
+
+TEST(CssParserTest, SpecificityOrdering) {
+  Specificity Id = parseSelector("#a").specificity();
+  Specificity Class = parseSelector(".a.b").specificity();
+  Specificity Tag = parseSelector("div span").specificity();
+  EXPECT_GT(Id, Class);
+  EXPECT_GT(Class, Tag);
+  EXPECT_EQ(Id, (Specificity{1, 0, 0}));
+  EXPECT_EQ(Class, (Specificity{0, 2, 0}));
+  EXPECT_EQ(Tag, (Specificity{0, 0, 2}));
+}
+
+TEST(CssParserTest, PseudoClassCountsAsClassSpecificity) {
+  EXPECT_EQ(parseSelector("div:QoS").specificity(), (Specificity{0, 1, 1}));
+}
+
+TEST(CssParserTest, QosQualifierOnlyOnSubject) {
+  EXPECT_TRUE(parseSelector("div#a:QoS").isQosQualified());
+  EXPECT_FALSE(parseSelector("div:QoS span").isQosQualified());
+  EXPECT_TRUE(parseSelector("nav div:qos").isQosQualified());
+}
+
+TEST(CssParserTest, ErrorRecoverySkipsBadRule) {
+  Stylesheet Sheet = parseStylesheet(
+      "}} garbage {{ nested } } h1 { color: red }");
+  // The good rule survives.
+  bool FoundH1 = false;
+  for (const StyleRule &Rule : Sheet.Rules)
+    for (const ComplexSelector &Sel : Rule.Selectors)
+      if (Sel.str() == "h1")
+        FoundH1 = true;
+  EXPECT_TRUE(FoundH1);
+  EXPECT_FALSE(Sheet.Diagnostics.empty());
+}
+
+TEST(CssParserTest, ErrorRecoverySkipsBadDeclaration) {
+  Stylesheet Sheet =
+      parseStylesheet("div { color red; width: 5px; : bad; }");
+  ASSERT_EQ(Sheet.Rules.size(), 1u);
+  ASSERT_EQ(Sheet.Rules[0].Declarations.size(), 1u);
+  EXPECT_EQ(Sheet.Rules[0].Declarations[0].Property, "width");
+  EXPECT_GE(Sheet.Diagnostics.size(), 2u);
+}
+
+TEST(CssParserTest, AtRulesSkipped) {
+  Stylesheet Sheet = parseStylesheet(
+      "@media screen { div { color: red } } h1 { margin: 0 }");
+  ASSERT_EQ(Sheet.Rules.size(), 1u);
+  EXPECT_EQ(Sheet.Rules[0].Selectors[0].str(), "h1");
+  ASSERT_EQ(Sheet.Diagnostics.size(), 1u);
+  EXPECT_NE(Sheet.Diagnostics[0].find("media"), std::string::npos);
+}
+
+TEST(CssParserTest, PropertyNamesLowercased) {
+  Stylesheet Sheet = parseStylesheet("div { WIDTH: 5px }");
+  EXPECT_EQ(Sheet.Rules[0].Declarations[0].Property, "width");
+}
+
+TEST(CssParserTest, EmptyValueDiagnosed) {
+  Stylesheet Sheet = parseStylesheet("div { width: ; }");
+  EXPECT_TRUE(Sheet.Rules[0].Declarations.empty());
+  EXPECT_FALSE(Sheet.Diagnostics.empty());
+}
+
+TEST(CssParserTest, SerializationRoundTrips) {
+  const char *Src = "div#ex:QoS { ontouchstart-qos: continuous; }";
+  Stylesheet First = parseStylesheet(Src);
+  std::string Rendered = First.str();
+  Stylesheet Second = parseStylesheet(Rendered);
+  ASSERT_EQ(Second.Rules.size(), 1u);
+  EXPECT_EQ(Second.Rules[0].Selectors[0].str(),
+            First.Rules[0].Selectors[0].str());
+  EXPECT_EQ(Second.Rules[0].Declarations[0].Property,
+            First.Rules[0].Declarations[0].Property);
+  EXPECT_EQ(Second.Rules[0].Declarations[0].ValueText,
+            First.Rules[0].Declarations[0].ValueText);
+}
+
+TEST(CssParserTest, AppendConcatenatesSheets) {
+  Stylesheet A = parseStylesheet("h1 { margin: 0 }");
+  Stylesheet B = parseStylesheet("h2 { margin: 1px }");
+  A.append(std::move(B));
+  EXPECT_EQ(A.Rules.size(), 2u);
+}
+
+TEST(CssParserTest, FindDeclaration) {
+  Stylesheet Sheet =
+      parseStylesheet("div { width: 1px; height: 2px }");
+  EXPECT_NE(Sheet.Rules[0].find("height"), nullptr);
+  EXPECT_EQ(Sheet.Rules[0].find("depth"), nullptr);
+}
+
+/// The paper's Fig. 4 and Fig. 5 style blocks must parse cleanly.
+class PaperExamples : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PaperExamples, ParsesWithoutDiagnostics) {
+  Stylesheet Sheet = parseStylesheet(GetParam());
+  EXPECT_TRUE(Sheet.Diagnostics.empty())
+      << (Sheet.Diagnostics.empty() ? "" : Sheet.Diagnostics[0]);
+  EXPECT_FALSE(Sheet.Rules.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4And5, PaperExamples,
+    ::testing::Values(
+        // Fig. 4: CSS transition, default targets.
+        "#ex { width: 100px; transition: width 2s; }\n"
+        "div#ex:QoS { ontouchstart-qos: continuous; }",
+        // Fig. 5: rAF animation with explicit targets.
+        "div#canvas:QoS { ontouchmove-qos: continuous, 20, 100; }",
+        // Table 2 row 2: single with duration keyword.
+        "#search:QoS { onclick-qos: single, short; }",
+        // Table 2 row 3: explicit TI/TU on single.
+        "#job:QoS { onclick-qos: single, 1000, 10000; }"));

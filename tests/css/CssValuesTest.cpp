@@ -1,0 +1,247 @@
+//===- tests/css/CssValuesTest.cpp - typed CSS value tests --------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "css/CssValues.h"
+
+#include "css/CssParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+using namespace greenweb::css;
+
+namespace {
+
+/// Parses a single declaration out of `div { <decl> }`.
+Declaration parseDecl(const std::string &DeclText) {
+  Stylesheet Sheet = parseStylesheet("div { " + DeclText + " }");
+  EXPECT_EQ(Sheet.Rules.size(), 1u);
+  EXPECT_EQ(Sheet.Rules[0].Declarations.size(), 1u);
+  return Sheet.Rules[0].Declarations[0];
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Time tokens
+//===----------------------------------------------------------------------===//
+
+TEST(CssTimeTest, SecondsAndMilliseconds) {
+  Declaration D = parseDecl("x: 2s 300ms 42 5px");
+  EXPECT_EQ(parseTimeToken(D.Value[0]), Duration::seconds(2));
+  EXPECT_EQ(parseTimeToken(D.Value[1]), Duration::milliseconds(300));
+  // Bare numbers mean milliseconds in GreenWeb value positions.
+  EXPECT_EQ(parseTimeToken(D.Value[2]), Duration::milliseconds(42));
+  EXPECT_FALSE(parseTimeToken(D.Value[3]).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Transitions
+//===----------------------------------------------------------------------===//
+
+TEST(TransitionTest, SingleTransition) {
+  auto Specs = parseTransitionValue(parseDecl("transition: width 2s"));
+  ASSERT_EQ(Specs.size(), 1u);
+  EXPECT_EQ(Specs[0].Property, "width");
+  EXPECT_EQ(Specs[0].TransitionDuration, Duration::seconds(2));
+  EXPECT_TRUE(Specs[0].Delay.isZero());
+}
+
+TEST(TransitionTest, MultipleCommaSeparated) {
+  auto Specs = parseTransitionValue(
+      parseDecl("transition: width 2s, height 300ms 100ms"));
+  ASSERT_EQ(Specs.size(), 2u);
+  EXPECT_EQ(Specs[1].Property, "height");
+  EXPECT_EQ(Specs[1].TransitionDuration, Duration::milliseconds(300));
+  EXPECT_EQ(Specs[1].Delay, Duration::milliseconds(100));
+}
+
+TEST(TransitionTest, TimingFunctionIgnored) {
+  auto Specs =
+      parseTransitionValue(parseDecl("transition: width 2s ease-in"));
+  ASSERT_EQ(Specs.size(), 1u);
+  EXPECT_EQ(Specs[0].Property, "width");
+}
+
+TEST(TransitionTest, AllKeywordAppliesToEverything) {
+  auto Specs = parseTransitionValue(parseDecl("transition: all 1s"));
+  ASSERT_EQ(Specs.size(), 1u);
+  EXPECT_TRUE(Specs[0].appliesTo("width"));
+  EXPECT_TRUE(Specs[0].appliesTo("opacity"));
+}
+
+TEST(TransitionTest, ZeroDurationDropped) {
+  auto Specs = parseTransitionValue(parseDecl("transition: width 0s"));
+  EXPECT_TRUE(Specs.empty());
+}
+
+TEST(TransitionTest, MalformedEntriesDropped) {
+  auto Specs =
+      parseTransitionValue(parseDecl("transition: 2s, width, height 1s"));
+  ASSERT_EQ(Specs.size(), 1u);
+  EXPECT_EQ(Specs[0].Property, "height");
+}
+
+//===----------------------------------------------------------------------===//
+// GreenWeb QoS declarations (Fig. 3 grammar / Table 2 semantics)
+//===----------------------------------------------------------------------===//
+
+TEST(QosValueTest, PropertyShapeDetection) {
+  EXPECT_TRUE(isQosProperty("onclick-qos"));
+  EXPECT_TRUE(isQosProperty("ontouchstart-qos"));
+  EXPECT_FALSE(isQosProperty("onclick"));
+  EXPECT_FALSE(isQosProperty("width-qos"));
+  EXPECT_FALSE(isQosProperty("on-qos"));
+  EXPECT_FALSE(isQosProperty("transition"));
+}
+
+TEST(QosValueTest, EventNameExtraction) {
+  QosParseResult R =
+      parseQosDeclaration(parseDecl("ontouchmove-qos: continuous"));
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(R.EventName, "touchmove");
+}
+
+TEST(QosValueTest, ContinuousDefaultTargets) {
+  QosParseResult R =
+      parseQosDeclaration(parseDecl("onscroll-qos: continuous"));
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Value.Kind, QosValueKind::Continuous);
+  EXPECT_FALSE(R.Value.Ti.has_value());
+  EXPECT_FALSE(R.Value.Tu.has_value());
+}
+
+TEST(QosValueTest, ContinuousExplicitTargets) {
+  QosParseResult R = parseQosDeclaration(
+      parseDecl("ontouchmove-qos: continuous, 20, 100"));
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(*R.Value.Ti, Duration::milliseconds(20));
+  EXPECT_EQ(*R.Value.Tu, Duration::milliseconds(100));
+}
+
+TEST(QosValueTest, ContinuousWithUnits) {
+  QosParseResult R = parseQosDeclaration(
+      parseDecl("onclick-qos: continuous, 16.6ms, 33.3ms"));
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(*R.Value.Ti, Duration::fromMillis(16.6));
+}
+
+TEST(QosValueTest, SingleShortAndLong) {
+  QosParseResult Short =
+      parseQosDeclaration(parseDecl("onclick-qos: single, short"));
+  ASSERT_TRUE(Short.succeeded());
+  EXPECT_EQ(Short.Value.Kind, QosValueKind::Single);
+  EXPECT_EQ(Short.Value.LongDuration, false);
+
+  QosParseResult Long =
+      parseQosDeclaration(parseDecl("onload-qos: single, long"));
+  ASSERT_TRUE(Long.succeeded());
+  EXPECT_EQ(Long.Value.LongDuration, true);
+}
+
+TEST(QosValueTest, SingleExplicitTargets) {
+  QosParseResult R =
+      parseQosDeclaration(parseDecl("onclick-qos: single, 1s, 10s"));
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(*R.Value.Ti, Duration::seconds(1));
+  EXPECT_EQ(*R.Value.Tu, Duration::seconds(10));
+  EXPECT_FALSE(R.Value.LongDuration.has_value());
+}
+
+TEST(QosValueTest, NonQosPropertyYieldsEmptyResult) {
+  QosParseResult R = parseQosDeclaration(parseDecl("width: 5px"));
+  EXPECT_FALSE(R.isQosProperty());
+}
+
+/// The grammar requires TI and TU to appear together and rejects junk;
+/// sweep the malformed spellings.
+class QosMalformed : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(QosMalformed, Rejected) {
+  QosParseResult R = parseQosDeclaration(parseDecl(GetParam()));
+  EXPECT_TRUE(R.isQosProperty());
+  EXPECT_FALSE(R.Error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QosMalformed,
+    ::testing::Values("onclick-qos: continuous, 20",      // TI without TU
+                      "onclick-qos: single, 20",          // ditto
+                      "onclick-qos: single",              // missing keyword
+                      "onclick-qos: sometimes",           // unknown type
+                      "onclick-qos: single, fast",        // unknown keyword
+                      "onclick-qos: continuous, 5px, 9px", // bad units
+                      "onclick-qos: continuous, 10, 20, 30")); // too many
+
+TEST(QosValueTest, SerializationRoundTrips) {
+  for (const char *Text :
+       {"continuous", "continuous, 20ms, 100ms", "single, short",
+        "single, long", "single, 1000ms, 10000ms"}) {
+    QosParseResult R = parseQosDeclaration(
+        parseDecl(std::string("onclick-qos: ") + Text));
+    ASSERT_TRUE(R.succeeded()) << Text;
+    std::string Rendered = qosValueText(R.Value);
+    QosParseResult Again = parseQosDeclaration(
+        parseDecl("onclick-qos: " + Rendered));
+    ASSERT_TRUE(Again.succeeded()) << Rendered;
+    EXPECT_EQ(Again.Value.Kind, R.Value.Kind);
+    EXPECT_EQ(Again.Value.Ti, R.Value.Ti);
+    EXPECT_EQ(Again.Value.Tu, R.Value.Tu);
+    EXPECT_EQ(Again.Value.LongDuration.value_or(false),
+              R.Value.LongDuration.value_or(false));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CSS animations (`animation:` shorthand)
+//===----------------------------------------------------------------------===//
+
+TEST(AnimationValueTest, NameAndDuration) {
+  auto Spec = parseAnimationValue(parseDecl("animation: slide 2s"));
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->Name, "slide");
+  EXPECT_EQ(Spec->AnimationDuration, Duration::seconds(2));
+  EXPECT_TRUE(Spec->Delay.isZero());
+  EXPECT_EQ(Spec->Iterations, 1u);
+}
+
+TEST(AnimationValueTest, DelayAndIterations) {
+  auto Spec =
+      parseAnimationValue(parseDecl("animation: pulse 500ms 100ms 3"));
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->AnimationDuration, Duration::milliseconds(500));
+  EXPECT_EQ(Spec->Delay, Duration::milliseconds(100));
+  EXPECT_EQ(Spec->Iterations, 3u);
+}
+
+TEST(AnimationValueTest, InfiniteKeyword) {
+  auto Spec =
+      parseAnimationValue(parseDecl("animation: spin 1s infinite"));
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->Iterations, 0u);
+}
+
+TEST(AnimationValueTest, StringOverload) {
+  auto Spec = parseAnimationValue(std::string_view("slide 250ms"));
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->Name, "slide");
+  EXPECT_EQ(Spec->AnimationDuration, Duration::milliseconds(250));
+}
+
+TEST(AnimationValueTest, MalformedRejected) {
+  EXPECT_FALSE(parseAnimationValue(parseDecl("animation: 2s")).has_value());
+  EXPECT_FALSE(
+      parseAnimationValue(parseDecl("animation: slide")).has_value());
+  EXPECT_FALSE(
+      parseAnimationValue(parseDecl("animation: slide 0s")).has_value());
+}
+
+TEST(AnimationValueTest, TimingFunctionIgnoredAndFirstEntryWins) {
+  auto Spec = parseAnimationValue(
+      parseDecl("animation: slide 1s ease-in, other 2s"));
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->Name, "slide");
+}

@@ -1,0 +1,190 @@
+//===- tests/css/StyleResolverTest.cpp - cascade/matching tests ---------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "css/StyleResolver.h"
+
+#include "css/CssParser.h"
+#include "dom/Dom.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+using namespace greenweb::css;
+
+namespace {
+
+/// Small fixture: <html> -> <nav id=menu class=bar> -> <div id=item
+/// class="entry hot"> plus a sibling <span class=entry>.
+class ResolverFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Nav = Doc.root().createChild("nav");
+    Nav->setId("menu");
+    Nav->addClass("bar");
+    Item = Nav->createChild("div");
+    Item->setId("item");
+    Item->addClass("entry");
+    Item->addClass("hot");
+    Sibling = Doc.root().createChild("span");
+    Sibling->addClass("entry");
+  }
+
+  Document Doc;
+  Element *Nav = nullptr;
+  Element *Item = nullptr;
+  Element *Sibling = nullptr;
+};
+
+} // namespace
+
+TEST_F(ResolverFixture, TagIdClassMatching) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    div { color: tag; }
+    #item { color: id; }
+    .entry { color: class; }
+  )");
+  StyleResolver Resolver(Sheet);
+  // Id beats class beats tag.
+  EXPECT_EQ(Resolver.computedValue(*Item, "color"), "id");
+  EXPECT_EQ(Resolver.computedValue(*Sibling, "color"), "class");
+}
+
+TEST_F(ResolverFixture, SourceOrderBreaksTies) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    .entry { color: first; }
+    .hot { color: second; }
+  )");
+  StyleResolver Resolver(Sheet);
+  EXPECT_EQ(Resolver.computedValue(*Item, "color"), "second");
+}
+
+TEST_F(ResolverFixture, DescendantCombinator) {
+  Stylesheet Sheet = parseStylesheet("nav div { color: nested; }");
+  StyleResolver Resolver(Sheet);
+  EXPECT_EQ(Resolver.computedValue(*Item, "color"), "nested");
+  EXPECT_EQ(Resolver.computedValue(*Sibling, "color"), "");
+}
+
+TEST_F(ResolverFixture, ChildCombinator) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    nav > div { color: child; }
+    html > div { color: wrong; }
+  )");
+  StyleResolver Resolver(Sheet);
+  EXPECT_EQ(Resolver.computedValue(*Item, "color"), "child");
+}
+
+TEST_F(ResolverFixture, DeepDescendantSearchesAllAncestors) {
+  Element *Deep = Item->createChild("p");
+  Stylesheet Sheet = parseStylesheet("#menu p { color: deep; }");
+  StyleResolver Resolver(Sheet);
+  EXPECT_EQ(Resolver.computedValue(*Deep, "color"), "deep");
+}
+
+TEST_F(ResolverFixture, InlineStyleWins) {
+  Stylesheet Sheet = parseStylesheet("#item { color: sheet; }");
+  StyleResolver Resolver(Sheet);
+  Item->setStyleProperty("color", "inline");
+  EXPECT_EQ(Resolver.computedValue(*Item, "color"), "inline");
+}
+
+TEST_F(ResolverFixture, ComputedStyleMergesEverything) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    div { width: 1px; height: 2px; }
+    #item { width: 3px; }
+  )");
+  StyleResolver Resolver(Sheet);
+  Item->setStyleProperty("margin", "4px");
+  auto Style = Resolver.computedStyle(*Item);
+  EXPECT_EQ(Style["width"], "3px");
+  EXPECT_EQ(Style["height"], "2px");
+  EXPECT_EQ(Style["margin"], "4px");
+}
+
+TEST_F(ResolverFixture, TransitionsFromCascadeWinner) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    div { transition: width 1s; }
+    #item { transition: height 2s; }
+  )");
+  StyleResolver Resolver(Sheet);
+  auto Specs = Resolver.transitionsFor(*Item);
+  ASSERT_EQ(Specs.size(), 1u);
+  EXPECT_EQ(Specs[0].Property, "height");
+}
+
+TEST_F(ResolverFixture, QosAnnotationRequiresQualifier) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    #item { onclick-qos: single, short; }
+  )");
+  StyleResolver Resolver(Sheet);
+  std::vector<std::string> Diags;
+  auto Anns = Resolver.qosAnnotationsFor(*Item, &Diags);
+  EXPECT_TRUE(Anns.empty());
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].find(":QoS"), std::string::npos);
+}
+
+TEST_F(ResolverFixture, QosAnnotationCollected) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    div#item:QoS {
+      onclick-qos: single, short;
+      ontouchmove-qos: continuous;
+    }
+  )");
+  StyleResolver Resolver(Sheet);
+  auto Anns = Resolver.qosAnnotationsFor(*Item);
+  ASSERT_EQ(Anns.size(), 2u);
+  // Sorted by event name (map order).
+  EXPECT_EQ(Anns[0].EventName, "click");
+  EXPECT_EQ(Anns[0].Value.Kind, QosValueKind::Single);
+  EXPECT_EQ(Anns[1].EventName, "touchmove");
+  EXPECT_EQ(Anns[1].Value.Kind, QosValueKind::Continuous);
+}
+
+TEST_F(ResolverFixture, QosCascadeLaterRuleWins) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    #item:QoS { onclick-qos: single, short; }
+    #item:QoS { onclick-qos: continuous; }
+  )");
+  StyleResolver Resolver(Sheet);
+  auto Anns = Resolver.qosAnnotationsFor(*Item);
+  ASSERT_EQ(Anns.size(), 1u);
+  EXPECT_EQ(Anns[0].Value.Kind, QosValueKind::Continuous);
+}
+
+TEST_F(ResolverFixture, MalformedQosDiagnosed) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    #item:QoS { onclick-qos: single, 20; }
+  )");
+  StyleResolver Resolver(Sheet);
+  std::vector<std::string> Diags;
+  auto Anns = Resolver.qosAnnotationsFor(*Item, &Diags);
+  EXPECT_TRUE(Anns.empty());
+  EXPECT_EQ(Diags.size(), 1u);
+}
+
+TEST_F(ResolverFixture, CollectQosAcrossDocument) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    #menu:QoS { ontouchstart-qos: continuous; }
+    #item:QoS { onclick-qos: single, long; }
+  )");
+  StyleResolver Resolver(Sheet);
+  auto Anns = Resolver.collectQosAnnotations(Doc);
+  EXPECT_EQ(Anns.size(), 2u);
+}
+
+TEST_F(ResolverFixture, MatchRulesOrderedByPriority) {
+  Stylesheet Sheet = parseStylesheet(R"(
+    div { a: 1; }
+    .entry { a: 2; }
+    #item { a: 3; }
+  )");
+  StyleResolver Resolver(Sheet);
+  auto Matches = Resolver.matchRules(*Item);
+  ASSERT_EQ(Matches.size(), 3u);
+  EXPECT_LT(Matches[0].Spec, Matches[1].Spec);
+  EXPECT_LT(Matches[1].Spec, Matches[2].Spec);
+}

@@ -1,0 +1,121 @@
+//===- tests/frontend/RobustnessTest.cpp - parser robustness -----------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// Fuzz-lite robustness: the HTML, CSS, and MiniScript front ends must
+// survive arbitrary byte soup, truncated inputs, and deeply pathological
+// structures without crashing or hanging — a page's author errors are a
+// browser's everyday input (and the CSS error-recovery rules demand it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "css/CssParser.h"
+#include "html/HtmlParser.h"
+#include "js/JsInterp.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+/// Random printable-ish garbage biased toward structural characters.
+std::string randomSoup(Rng &R, size_t Length) {
+  static const char Alphabet[] =
+      "{}();:<>=\"'#.@,/*- \n\tabcdefghijklmnop0123456789";
+  std::string Out;
+  Out.reserve(Length);
+  for (size_t I = 0; I < Length; ++I)
+    Out += Alphabet[size_t(R.uniformInt(0, sizeof(Alphabet) - 2))];
+  return Out;
+}
+
+} // namespace
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, CssParserNeverCrashes) {
+  Rng R(GetParam());
+  for (int Round = 0; Round < 20; ++Round) {
+    std::string Soup = randomSoup(R, size_t(R.uniformInt(0, 400)));
+    css::Stylesheet Sheet = css::parseStylesheet(Soup);
+    // Whatever parsed must re-serialize and re-parse stably.
+    css::Stylesheet Again = css::parseStylesheet(Sheet.str());
+    EXPECT_LE(Again.Rules.size(), Sheet.Rules.size() + 1);
+  }
+}
+
+TEST_P(FuzzSweep, HtmlParserNeverCrashes) {
+  Rng R(GetParam() ^ 0x1111);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::string Soup = randomSoup(R, size_t(R.uniformInt(0, 400)));
+    html::ParseResult Result = html::parseHtml(Soup);
+    ASSERT_NE(Result.Doc, nullptr);
+    EXPECT_GE(Result.Doc->elementCount(), 1u);
+  }
+}
+
+TEST_P(FuzzSweep, ScriptParserNeverCrashes) {
+  Rng R(GetParam() ^ 0x2222);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::string Soup = randomSoup(R, size_t(R.uniformInt(0, 300)));
+    js::Interpreter Interp;
+    Interp.setOpLimit(100'000);
+    // May fail (that is fine); must not crash or hang.
+    (void)Interp.runScript(Soup);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range(uint64_t(1), uint64_t(9)));
+
+TEST(RobustnessTest, TruncatedConstructs) {
+  // Every prefix of a valid page parses without crashing.
+  const std::string Page =
+      "<div id=\"a\" class='x' style=\"width: 3px\" onclick=\"f()\">"
+      "<style>#a:QoS { onclick-qos: single, short; }</style>"
+      "<script>function f() { return 1 + 2; }</script></div>";
+  for (size_t Len = 0; Len <= Page.size(); ++Len) {
+    html::ParseResult Result = html::parseHtml(
+        std::string_view(Page).substr(0, Len));
+    ASSERT_NE(Result.Doc, nullptr) << Len;
+  }
+}
+
+TEST(RobustnessTest, DeepNestingHtml) {
+  std::string Deep;
+  for (int I = 0; I < 2000; ++I)
+    Deep += "<div>";
+  html::ParseResult Result = html::parseHtml(Deep);
+  EXPECT_EQ(Result.Doc->elementCount(), 2001u);
+}
+
+TEST(RobustnessTest, DeepExpressionNesting) {
+  // Parser recursion on pathological nesting must stay within the
+  // stack for a depth real pages can't reach accidentally.
+  std::string Src = "var x = ";
+  for (int I = 0; I < 200; ++I)
+    Src += "(1 + ";
+  Src += "0";
+  for (int I = 0; I < 200; ++I)
+    Src += ")";
+  Src += ";";
+  js::Interpreter Interp;
+  EXPECT_TRUE(Interp.runScript(Src)) << Interp.lastError();
+  EXPECT_EQ(Interp.findGlobal("x")->asNumber(), 200.0);
+}
+
+TEST(RobustnessTest, CssCommentBomb) {
+  css::Stylesheet Sheet =
+      css::parseStylesheet("/* /* /* nested-ish */ div { color: red }");
+  EXPECT_EQ(Sheet.Rules.size(), 1u);
+}
+
+TEST(RobustnessTest, HugeSingleToken) {
+  std::string Long(100'000, 'a');
+  css::Stylesheet Sheet = css::parseStylesheet(Long + " { x: 1 }");
+  EXPECT_EQ(Sheet.Rules.size(), 1u);
+  js::Interpreter Interp;
+  EXPECT_FALSE(Interp.runScript(Long)); // undefined variable, contained
+}

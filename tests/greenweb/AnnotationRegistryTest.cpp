@@ -1,0 +1,112 @@
+//===- tests/greenweb/AnnotationRegistryTest.cpp - registry tests -------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/AnnotationRegistry.h"
+
+#include "browser/Browser.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(AnnotationRegistryTest, ProgrammaticAnnotateAndLookup) {
+  Document Doc;
+  Element *E = Doc.root().createChild("div");
+  AnnotationRegistry Registry;
+  EXPECT_TRUE(Registry.empty());
+  QosSpec Spec;
+  Spec.Type = QosType::Continuous;
+  Spec.Target = defaultContinuousTarget();
+  Registry.annotate(*E, "touchmove", Spec);
+  ASSERT_TRUE(Registry.lookup(*E, "touchmove").has_value());
+  EXPECT_EQ(*Registry.lookup(*E, "touchmove"), Spec);
+  EXPECT_FALSE(Registry.lookup(*E, "click").has_value());
+  EXPECT_FALSE(Registry.lookup(Doc.root(), "touchmove").has_value());
+  EXPECT_EQ(Registry.size(), 1u);
+  Registry.clear();
+  EXPECT_TRUE(Registry.empty());
+}
+
+TEST(AnnotationRegistryTest, OverrideReplaces) {
+  Document Doc;
+  Element *E = Doc.root().createChild("div");
+  AnnotationRegistry Registry;
+  QosSpec A;
+  A.Type = QosType::Single;
+  Registry.annotate(*E, "click", A);
+  QosSpec B;
+  B.Type = QosType::Continuous;
+  Registry.annotate(*E, "click", B);
+  EXPECT_EQ(Registry.lookup(*E, "click")->Type, QosType::Continuous);
+}
+
+TEST(AnnotationRegistryTest, LoadFromPageResolvesCascade) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Browser B(Sim, Chip);
+  ASSERT_NE(B.loadPage(R"raw(
+    <div id="a" onclick="1"></div>
+    <div id="b" ontouchmove="1"></div>
+    <style>
+      #a:QoS { onclick-qos: single, long; }
+      #b:QoS { ontouchmove-qos: continuous, 20, 100; }
+      #a:QoS { onclick-qos: single, short; } /* cascade winner */
+    </style>
+  )raw"),
+            0u);
+  AnnotationRegistry Registry;
+  std::vector<std::string> Diags;
+  EXPECT_EQ(Registry.loadFromPage(B, &Diags), 2u);
+  EXPECT_TRUE(Diags.empty());
+
+  Element *A = B.document()->getElementById("a");
+  auto SpecA = Registry.lookup(*A, "click");
+  ASSERT_TRUE(SpecA.has_value());
+  EXPECT_EQ(SpecA->Type, QosType::Single);
+  EXPECT_EQ(SpecA->Target, defaultSingleShortTarget());
+
+  Element *Bb = B.document()->getElementById("b");
+  auto SpecB = Registry.lookup(*Bb, "touchmove");
+  ASSERT_TRUE(SpecB.has_value());
+  EXPECT_EQ(SpecB->Type, QosType::Continuous);
+  EXPECT_EQ(SpecB->Target.Imperceptible, Duration::milliseconds(20));
+  Sim.runUntil(Sim.now() + Duration::seconds(1));
+}
+
+TEST(AnnotationRegistryTest, AnnotatedEventFraction) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Browser B(Sim, Chip);
+  ASSERT_NE(B.loadPage(R"raw(
+    <div id="x" onclick="1" ontouchstart="1"></div>
+    <div id="y" onclick="1"></div>
+    <style>
+      #x:QoS { onclick-qos: single, short; }
+    </style>
+  )raw"),
+            0u);
+  AnnotationRegistry Registry;
+  Registry.loadFromPage(B);
+  // One of three user-input listener pairs is annotated.
+  EXPECT_NEAR(Registry.annotatedEventFraction(B), 1.0 / 3.0, 1e-9);
+  Sim.runUntil(Sim.now() + Duration::seconds(1));
+}
+
+TEST(AnnotationRegistryTest, MalformedDeclarationsReported) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Browser B(Sim, Chip);
+  ASSERT_NE(B.loadPage(R"raw(
+    <div id="a" onclick="1"></div>
+    <style>#a:QoS { onclick-qos: single, 20; }</style>
+  )raw"),
+            0u);
+  AnnotationRegistry Registry;
+  std::vector<std::string> Diags;
+  EXPECT_EQ(Registry.loadFromPage(B, &Diags), 0u);
+  EXPECT_FALSE(Diags.empty());
+  Sim.runUntil(Sim.now() + Duration::seconds(1));
+}

@@ -1,0 +1,201 @@
+//===- tests/greenweb/GovernorsTest.cpp - baseline governor tests -------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/Governors.h"
+
+#include "browser/Browser.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+class GovernorFixture : public ::testing::Test {
+protected:
+  GovernorFixture() : Chip(Sim), B(Sim, Chip) {}
+
+  void loadBusyPage() {
+    // A page whose taps run a heavy callback and repaint.
+    ASSERT_NE(B.loadPage(R"raw(
+      <div id=b onclick="performWork(30000);
+           document.getElementById('b').style.r = now()"></div>
+    )raw"),
+              0u);
+    Sim.runUntil(Sim.now() + Duration::seconds(2));
+  }
+
+  Simulator Sim;
+  AcmpChip Chip;
+  Browser B;
+};
+
+} // namespace
+
+TEST_F(GovernorFixture, LadderIsMonotone) {
+  std::vector<AcmpConfig> Ladder = buildConfigLadder(Chip);
+  ASSERT_EQ(Ladder.size(), 17u);
+  for (size_t I = 1; I < Ladder.size(); ++I)
+    EXPECT_LT(Chip.effectiveHzFor(Ladder[I - 1]),
+              Chip.effectiveHzFor(Ladder[I]));
+  // Little levels first, then big (cluster-migration ladder).
+  EXPECT_EQ(Ladder.front().Core, CoreKind::Little);
+  EXPECT_EQ(Ladder.back(), Chip.spec().maxConfig());
+}
+
+TEST_F(GovernorFixture, PerfPinsMax) {
+  PerfGovernor Gov;
+  Gov.attach(B);
+  EXPECT_EQ(Chip.config(), Chip.spec().maxConfig());
+  loadBusyPage();
+  EXPECT_EQ(Chip.config(), Chip.spec().maxConfig());
+}
+
+TEST_F(GovernorFixture, PowersavePinsMin) {
+  PowersaveGovernor Gov;
+  Gov.attach(B);
+  loadBusyPage();
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+}
+
+TEST_F(GovernorFixture, InteractiveBootsLowAndBoostsOnInput) {
+  InteractiveGovernor Gov;
+  Gov.attach(B);
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+  loadBusyPage();
+  // Touch boost: an input jumps straight to hispeed.
+  B.dispatchInput("click", "b");
+  EXPECT_EQ(Chip.config(), Chip.spec().maxConfig());
+  Gov.detach();
+}
+
+TEST_F(GovernorFixture, InteractiveDecaysAfterIdle) {
+  InteractiveGovernor::Params P;
+  P.MinSampleTime = Duration::milliseconds(100);
+  InteractiveGovernor Gov(P);
+  Gov.attach(B);
+  loadBusyPage();
+  B.dispatchInput("click", "b");
+  Sim.runUntil(Sim.now() + Duration::milliseconds(100));
+  EXPECT_EQ(Chip.config().Core, CoreKind::Big);
+  // After a long idle stretch the governor walks back down the ladder.
+  Sim.runUntil(Sim.now() + Duration::seconds(3));
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+  Gov.detach();
+}
+
+TEST_F(GovernorFixture, InteractiveStaysHighUnderSustainedLoad) {
+  InteractiveGovernor Gov;
+  Gov.attach(B);
+  ASSERT_NE(B.loadPage(R"raw(
+    <div id=c onclick="start()"></div>
+    <script>
+      function step() {
+        performWork(25000);
+        invalidate();
+        requestAnimationFrame(step);
+      }
+      function start() { requestAnimationFrame(step); }
+    </script>
+  )raw"),
+            0u);
+  Sim.runUntil(Sim.now() + Duration::seconds(2));
+  B.dispatchInput("click", "c");
+  // A saturating rAF loop keeps utilization at ~100%: the governor must
+  // hold the top configuration.
+  Sim.runUntil(Sim.now() + Duration::seconds(2));
+  EXPECT_EQ(Chip.config(), Chip.spec().maxConfig());
+  Gov.detach();
+}
+
+TEST_F(GovernorFixture, InteractiveWithoutTouchBoost) {
+  InteractiveGovernor::Params P;
+  P.TouchBoost = false;
+  InteractiveGovernor Gov(P);
+  Gov.attach(B);
+  loadBusyPage();
+  Sim.runUntil(Sim.now() + Duration::seconds(2));
+  AcmpConfig Before = Chip.config();
+  B.dispatchInput("click", "b");
+  // No instantaneous jump; only the sampling timer may raise it later.
+  EXPECT_EQ(Chip.config(), Before);
+  Gov.detach();
+  Sim.runUntil(Sim.now() + Duration::milliseconds(100));
+}
+
+TEST_F(GovernorFixture, OndemandRampsUpAndDown) {
+  OndemandGovernor Gov;
+  Gov.attach(B);
+  loadBusyPage();
+  ASSERT_EQ(Chip.config(), Chip.spec().minConfig());
+  // Saturate the CPU: the first 100ms sampling window sees ~100%
+  // utilization and ondemand jumps to max (checked while the burst is
+  // still hot; at max speed the 90M-cycle burst drains in ~31ms, so
+  // probe right after the first timer tick).
+  ASSERT_NE(B.dispatchInput("click", "b"), 0u);
+  B.dispatchInput("click", "b");
+  B.dispatchInput("click", "b");
+  Sim.runUntil(Sim.now() + Duration::milliseconds(110));
+  EXPECT_EQ(Chip.config(), Chip.spec().maxConfig());
+  // And decay back once idle.
+  Sim.runUntil(Sim.now() + Duration::seconds(3));
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+  Gov.detach();
+}
+
+TEST_F(GovernorFixture, DetachStopsTimers) {
+  InteractiveGovernor Gov;
+  Gov.attach(B);
+  Gov.detach();
+  // After detach the simulator drains: no timer re-arms forever.
+  Sim.runUntil(Sim.now() + Duration::seconds(1));
+  EXPECT_TRUE(Sim.idle());
+}
+
+TEST_F(GovernorFixture, EbsBoostsUnknownEventsToMax) {
+  EbsGovernor Gov;
+  Gov.attach(B);
+  loadBusyPage();
+  Sim.runUntil(Sim.now() + Duration::seconds(1));
+  B.dispatchInput("click", "b");
+  // First occurrence: EBS has no measurement and plays it safe.
+  EXPECT_EQ(Chip.config(), Chip.spec().maxConfig());
+  Sim.runUntil(Sim.now() + Duration::seconds(1));
+  Gov.detach();
+}
+
+TEST_F(GovernorFixture, EbsGuessesLongForSlowEvents) {
+  // A heavyweight callback measures slow even at max speed, so EBS
+  // guesses the user tolerates it and demotes later occurrences to the
+  // little cluster (the Sec. 9 latency-as-proxy behavior).
+  EbsGovernor::Params P;
+  P.LongLatencyThreshold = Duration::milliseconds(100);
+  EbsGovernor Gov(P);
+  Gov.attach(B);
+  ASSERT_NE(B.loadPage(R"raw(
+    <div id=heavy onclick="performWork(500000);
+         document.getElementById('heavy').style.r = now()"></div>
+  )raw"),
+            0u);
+  Sim.runUntil(Sim.now() + Duration::seconds(2));
+  B.dispatchInput("click", "heavy");
+  Sim.runUntil(Sim.now() + Duration::seconds(2));
+  // Second occurrence: guessed Long -> little cluster.
+  B.dispatchInput("click", "heavy");
+  EXPECT_EQ(Chip.config().Core, CoreKind::Little);
+  Sim.runUntil(Sim.now() + Duration::seconds(3));
+  Gov.detach();
+}
+
+TEST_F(GovernorFixture, EbsIdlesAfterHold) {
+  EbsGovernor Gov;
+  Gov.attach(B);
+  loadBusyPage();
+  B.dispatchInput("click", "b");
+  Sim.runUntil(Sim.now() + Duration::seconds(2));
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+  Gov.detach();
+}

@@ -1,0 +1,277 @@
+//===- tests/greenweb/GreenWebRuntimeTest.cpp - runtime tests -----------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/GreenWebRuntime.h"
+
+#include "browser/Browser.h"
+#include "hw/EnergyMeter.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+/// Page with one annotated heavy tap (single, long), one annotated
+/// animation tap (continuous), and one unannotated tap.
+const char *TestPage = R"raw(
+  <button id="job" onclick="runJob()">job</button>
+  <div id="anim" style="width: 10px" ontouchstart="grow()"></div>
+  <div id="plain" onclick="poke()"></div>
+  <style>
+    #anim { transition: width 400ms; }
+    #job:QoS { onclick-qos: single, long; }
+    #anim:QoS { ontouchstart-qos: continuous; }
+    html:QoS { onload-qos: single, long; }
+  </style>
+  <script>
+    function runJob() {
+      performWork(300000);
+      document.getElementById('job').style.r = now();
+    }
+    function grow() {
+      var a = document.getElementById('anim');
+      a.style.width = (a.style.width == '10px') ? '400px' : '10px';
+    }
+    function poke() {
+      document.getElementById('plain').style.r = now();
+    }
+  </script>
+)raw";
+
+class RuntimeFixture : public ::testing::Test {
+protected:
+  RuntimeFixture() : Chip(Sim), Meter(Chip), B(Sim, Chip) {}
+
+  /// Attaches a runtime with the given params and loads the test page.
+  GreenWebRuntime &start(GreenWebRuntime::Params P = {}) {
+    RT = std::make_unique<GreenWebRuntime>(Registry, P);
+    RT->setEnergyMeter(&Meter);
+    B.OnPageParsed = [this] { Registry.loadFromPage(B); };
+    RT->attach(B);
+    EXPECT_NE(B.loadPage(TestPage), 0u);
+    Sim.runUntil(Sim.now() + Duration::seconds(2));
+    EXPECT_TRUE(B.ScriptErrors.empty());
+    return *RT;
+  }
+
+  void settle(Duration D) { Sim.runUntil(Sim.now() + D); }
+
+  Simulator Sim;
+  AcmpChip Chip;
+  EnergyMeter Meter;
+  Browser B;
+  AnnotationRegistry Registry;
+  std::unique_ptr<GreenWebRuntime> RT;
+};
+
+} // namespace
+
+TEST_F(RuntimeFixture, NameReflectsScenario) {
+  GreenWebRuntime::Params PI;
+  PI.Scenario = UsageScenario::Imperceptible;
+  EXPECT_EQ(GreenWebRuntime(Registry, PI).name(), "GreenWeb-I");
+  GreenWebRuntime::Params PU;
+  PU.Scenario = UsageScenario::Usable;
+  EXPECT_EQ(GreenWebRuntime(Registry, PU).name(), "GreenWeb-U");
+}
+
+TEST_F(RuntimeFixture, IdlesAtMinimumConfig) {
+  start();
+  settle(Duration::seconds(1));
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+}
+
+TEST_F(RuntimeFixture, UnannotatedEventsIgnored) {
+  GreenWebRuntime &Runtime = start();
+  uint64_t Before = Runtime.stats().UnannotatedEvents;
+  B.dispatchInput("click", "plain");
+  EXPECT_EQ(Runtime.stats().UnannotatedEvents, Before + 1);
+  // No boost happens for unannotated events.
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+  settle(Duration::milliseconds(300));
+}
+
+TEST_F(RuntimeFixture, FirstEventProfilesAtMaxThenMin) {
+  GreenWebRuntime &Runtime = start();
+  // The load event itself consumed the html-load model's profiling; the
+  // job key is fresh.
+  B.dispatchInput("click", "job");
+  // Profiling starts at the maximum configuration.
+  EXPECT_EQ(Chip.config(), Chip.spec().maxConfig());
+  settle(Duration::seconds(2));
+  // Second occurrence profiles at the minimum configuration.
+  B.dispatchInput("click", "job");
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+  settle(Duration::seconds(3));
+  EXPECT_GE(Runtime.stats().ProfilingFrames, 2u);
+  // Third occurrence runs predicted.
+  uint64_t PredictedBefore = Runtime.stats().PredictedFrames;
+  B.dispatchInput("click", "job");
+  settle(Duration::seconds(3));
+  EXPECT_GT(Runtime.stats().PredictedFrames, PredictedBefore);
+}
+
+TEST_F(RuntimeFixture, CalibratedJobRunsOnLittleCluster) {
+  // 300M cycles against a 1s target fit the little cluster; after the
+  // two profiling runs the runtime must stop using the big core.
+  start();
+  for (int I = 0; I < 2; ++I) {
+    B.dispatchInput("click", "job");
+    settle(Duration::seconds(3));
+  }
+  Chip.resetStats();
+  for (int I = 0; I < 3; ++I) {
+    B.dispatchInput("click", "job");
+    settle(Duration::seconds(3));
+  }
+  auto Dist = Chip.configTimeDistribution();
+  Duration BigTime, LittleTime;
+  for (const auto &[Config, T] : Dist) {
+    if (Config.Core == CoreKind::Big)
+      BigTime += T;
+    else
+      LittleTime += T;
+  }
+  EXPECT_LT(BigTime.secs(), 0.2);
+  EXPECT_GT(LittleTime.secs(), 1.0);
+}
+
+TEST_F(RuntimeFixture, ContinuousEventOptimizedUntilQuiescent) {
+  GreenWebRuntime &Runtime = start();
+  B.dispatchInput("touchstart", "anim");
+  EXPECT_EQ(Runtime.activeEventCount(), 1u);
+  // During the 400ms animation the event stays active.
+  settle(Duration::milliseconds(200));
+  EXPECT_EQ(Runtime.activeEventCount(), 1u);
+  // After it drains (plus the idle hold), back to idle.
+  settle(Duration::seconds(2));
+  EXPECT_EQ(Runtime.activeEventCount(), 0u);
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+}
+
+TEST_F(RuntimeFixture, SingleEventDeactivatesAtResponseFrame) {
+  GreenWebRuntime &Runtime = start();
+  B.dispatchInput("click", "job");
+  EXPECT_EQ(Runtime.activeEventCount(), 1u);
+  settle(Duration::seconds(3));
+  EXPECT_EQ(Runtime.activeEventCount(), 0u);
+}
+
+TEST_F(RuntimeFixture, UsableScenarioUsesLessEnergy) {
+  // Run the animation under I, then under U in a fresh fixture; U must
+  // consume less.
+  auto RunScenario = [](UsageScenario Scenario) {
+    Simulator Sim;
+    AcmpChip Chip(Sim);
+    EnergyMeter Meter(Chip);
+    Browser B(Sim, Chip);
+    AnnotationRegistry Registry;
+    GreenWebRuntime::Params P;
+    P.Scenario = Scenario;
+    GreenWebRuntime RT(Registry, P);
+    B.OnPageParsed = [&] { Registry.loadFromPage(B); };
+    RT.attach(B);
+    B.loadPage(TestPage);
+    Sim.runUntil(Sim.now() + Duration::seconds(2));
+    Meter.reset();
+    for (int I = 0; I < 6; ++I) {
+      B.dispatchInput("touchstart", "anim");
+      Sim.runUntil(Sim.now() + Duration::seconds(1));
+    }
+    return Meter.totalJoules();
+  };
+  double JoulesI = RunScenario(UsageScenario::Imperceptible);
+  double JoulesU = RunScenario(UsageScenario::Usable);
+  EXPECT_LT(JoulesU, JoulesI * 1.001);
+}
+
+TEST_F(RuntimeFixture, FeedbackStepsUpOnViolations) {
+  // Force violations by inflating frame complexity after calibration.
+  GreenWebRuntime::Params P;
+  P.Scenario = UsageScenario::Imperceptible;
+  GreenWebRuntime &Runtime = start(P);
+  B.dispatchInput("touchstart", "anim");
+  settle(Duration::seconds(2));
+  B.dispatchInput("touchstart", "anim");
+  settle(Duration::seconds(2));
+  // Now every frame is 4x heavier than the calibrated model believes.
+  B.FrameComplexityFn = [](uint64_t) { return 4.0; };
+  uint64_t UpBefore = Runtime.stats().FeedbackStepsUp;
+  B.dispatchInput("touchstart", "anim");
+  settle(Duration::seconds(2));
+  EXPECT_GT(Runtime.stats().FeedbackStepsUp, UpBefore);
+}
+
+TEST_F(RuntimeFixture, SustainedShiftTriggersRecalibration) {
+  GreenWebRuntime::Params P;
+  P.RecalibrateAfter = 3;
+  GreenWebRuntime &Runtime = start(P);
+  for (int I = 0; I < 2; ++I) {
+    B.dispatchInput("touchstart", "anim");
+    settle(Duration::seconds(2));
+  }
+  B.FrameComplexityFn = [](uint64_t) { return 6.0; };
+  for (int I = 0; I < 3; ++I) {
+    B.dispatchInput("touchstart", "anim");
+    settle(Duration::seconds(2));
+  }
+  EXPECT_GE(Runtime.stats().Recalibrations, 1u);
+}
+
+TEST_F(RuntimeFixture, FeedbackCanBeDisabled) {
+  GreenWebRuntime::Params P;
+  P.EnableFeedback = false;
+  GreenWebRuntime &Runtime = start(P);
+  for (int I = 0; I < 2; ++I) {
+    B.dispatchInput("touchstart", "anim");
+    settle(Duration::seconds(2));
+  }
+  B.FrameComplexityFn = [](uint64_t) { return 4.0; };
+  B.dispatchInput("touchstart", "anim");
+  settle(Duration::seconds(2));
+  EXPECT_EQ(Runtime.stats().FeedbackStepsUp, 0u);
+  EXPECT_EQ(Runtime.stats().FeedbackStepsDown, 0u);
+}
+
+TEST_F(RuntimeFixture, MisannotationDefenseClampsTargets) {
+  // Adversarially tight targets (1ms) would pin the chip at max; the
+  // clamp policy restores the Table 1 floor.
+  GreenWebRuntime::Params P;
+  P.ClampTargetsToDefaults = true;
+  GreenWebRuntime &Runtime = start(P);
+  Element *Anim = B.document()->getElementById("anim");
+  QosSpec Evil;
+  Evil.Type = QosType::Continuous;
+  Evil.Target = {Duration::milliseconds(1), Duration::milliseconds(2)};
+  Registry.annotate(*Anim, "touchstart", Evil);
+  B.dispatchInput("touchstart", "anim");
+  settle(Duration::seconds(2));
+  EXPECT_GT(Runtime.stats().TargetClampsApplied, 0u);
+}
+
+TEST_F(RuntimeFixture, EnergyBudgetEngagesClamp) {
+  GreenWebRuntime::Params P;
+  P.EnergyBudgetJoules = 0.0001; // exhausted almost immediately
+  GreenWebRuntime &Runtime = start(P);
+  Element *Anim = B.document()->getElementById("anim");
+  QosSpec Evil;
+  Evil.Type = QosType::Continuous;
+  Evil.Target = {Duration::milliseconds(1), Duration::milliseconds(2)};
+  Registry.annotate(*Anim, "touchstart", Evil);
+  B.dispatchInput("touchstart", "anim");
+  settle(Duration::seconds(2));
+  EXPECT_TRUE(Runtime.params().ClampTargetsToDefaults);
+  EXPECT_GT(Runtime.stats().TargetClampsApplied, 0u);
+}
+
+TEST_F(RuntimeFixture, DetachRestoresQuiet) {
+  GreenWebRuntime &Runtime = start();
+  B.dispatchInput("touchstart", "anim");
+  Runtime.detach();
+  settle(Duration::seconds(2));
+  EXPECT_EQ(Runtime.activeEventCount(), 0u);
+}

@@ -1,0 +1,164 @@
+//===- tests/greenweb/PerfModelTest.cpp - DVFS model tests --------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/PerfModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+/// Synthesizes the two profiling observations for a ground-truth
+/// (T_independent, cycles) pair.
+struct GroundTruth {
+  Duration Independent;
+  double Cycles;
+
+  Duration latencyAt(const AcmpChip &Chip, const AcmpConfig &C) const {
+    return Independent +
+           Duration::fromSeconds(Cycles / Chip.effectiveHzFor(C));
+  }
+};
+
+} // namespace
+
+TEST(DvfsModelTest, FitRecoversGroundTruth) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  GroundTruth Truth{Duration::fromMillis(1.5), 12e6};
+
+  AcmpConfig Max = Chip.spec().maxConfig();
+  AcmpConfig Min = Chip.spec().minConfig();
+  auto Model = fitDvfsModel(Chip, {Max, Truth.latencyAt(Chip, Max)},
+                            {Min, Truth.latencyAt(Chip, Min)});
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_NEAR(Model->Independent.millis(), 1.5, 1e-6);
+  EXPECT_NEAR(Model->Cycles, 12e6, 1.0);
+
+  // Predictions interpolate exactly at untouched configurations.
+  for (const AcmpConfig &C : Chip.spec().allConfigs()) {
+    Duration Pred = Model->predict(Chip.effectiveHzFor(C));
+    EXPECT_NEAR(Pred.millis(), Truth.latencyAt(Chip, C).millis(), 1e-6)
+        << C.str();
+  }
+}
+
+TEST(DvfsModelTest, DegenerateObservationsRejected) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  AcmpConfig Max = Chip.spec().maxConfig();
+  EXPECT_FALSE(fitDvfsModel(Chip, {Max, Duration::milliseconds(5)},
+                            {Max, Duration::milliseconds(7)})
+                   .has_value());
+}
+
+TEST(DvfsModelTest, NoiseClampsToNonNegative) {
+  // Faster at the *lower* frequency (pure noise): cycles clamp to zero
+  // instead of going negative.
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  auto Model = fitDvfsModel(
+      Chip, {Chip.spec().maxConfig(), Duration::milliseconds(10)},
+      {Chip.spec().minConfig(), Duration::milliseconds(8)});
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_GE(Model->Cycles, 0.0);
+  EXPECT_GE(Model->Independent.nanos(), 0);
+}
+
+TEST(ConfigChoiceTest, PicksLittleWhenTargetLoose) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  // A frame that fits comfortably everywhere: little must win on
+  // energy.
+  DvfsModel Model{Duration::fromMillis(0.5), 2e6};
+  ConfigChoice Choice =
+      chooseMinEnergyConfig(Chip, Model, Duration::milliseconds(300));
+  EXPECT_TRUE(Choice.MeetsTarget);
+  EXPECT_EQ(Choice.Config.Core, CoreKind::Little);
+  EXPECT_EQ(Choice.Config.FreqMHz, Chip.spec().Little.minFreq());
+}
+
+TEST(ConfigChoiceTest, PicksBigWhenTargetTight) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  // 12M cycles with a 16.6ms target: little cannot make it.
+  DvfsModel Model{Duration::fromMillis(1.5), 12e6};
+  ConfigChoice Choice = chooseMinEnergyConfig(
+      Chip, Model, Duration::fromMillis(16.6), 0.95);
+  EXPECT_TRUE(Choice.MeetsTarget);
+  EXPECT_EQ(Choice.Config.Core, CoreKind::Big);
+  // And among the feasible big configs, the lowest-power one.
+  EXPECT_LE(Choice.Config.FreqMHz, 1000u);
+}
+
+TEST(ConfigChoiceTest, FallsBackToMaxWhenInfeasible) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  DvfsModel Model{Duration::fromMillis(50.0), 100e6};
+  ConfigChoice Choice =
+      chooseMinEnergyConfig(Chip, Model, Duration::fromMillis(16.6));
+  EXPECT_FALSE(Choice.MeetsTarget);
+  EXPECT_EQ(Choice.Config, Chip.spec().maxConfig());
+}
+
+TEST(ConfigChoiceTest, SafetyMarginShrinksBudget) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  // Pick cycles so little-600 is just inside the raw target but outside
+  // 0.8x of it: little-600 pipeline = 0.48e9 * 0.030 = 14.4M cycles.
+  DvfsModel Model{Duration::zero(), 14.4e6};
+  ConfigChoice Loose = chooseMinEnergyConfig(
+      Chip, Model, Duration::milliseconds(31), 1.0);
+  ConfigChoice Tight = chooseMinEnergyConfig(
+      Chip, Model, Duration::milliseconds(31), 0.8);
+  EXPECT_EQ(Loose.Config.Core, CoreKind::Little);
+  EXPECT_GT(Chip.effectiveHzFor(Tight.Config),
+            Chip.effectiveHzFor(Loose.Config));
+}
+
+/// Property sweep: across many (Tind, cycles, target) combinations the
+/// chosen config always meets the budget when it claims to, and no
+/// *cheaper* feasible config exists.
+class ChoiceProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {
+};
+
+TEST_P(ChoiceProperty, MinimalEnergyAmongFeasible) {
+  auto [TindMs, MCycles, TargetMs] = GetParam();
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  DvfsModel Model{Duration::fromMillis(TindMs), MCycles * 1e6};
+  Duration Target = Duration::fromMillis(TargetMs);
+  ConfigChoice Choice = chooseMinEnergyConfig(Chip, Model, Target);
+
+  if (Choice.MeetsTarget) {
+    EXPECT_LE(Choice.PredictedLatency, Target);
+    // No feasible config has strictly lower predicted energy.
+    for (const AcmpConfig &C : Chip.spec().allConfigs()) {
+      Duration Pred = Model.predict(Chip.effectiveHzFor(C));
+      if (Pred > Target)
+        continue;
+      double Joules =
+          Chip.powerModel().clusterPower(C.Core, C.FreqMHz, 1) *
+          Pred.secs();
+      EXPECT_GE(Joules, Choice.PredictedJoules - 1e-12) << C.str();
+    }
+  } else {
+    EXPECT_EQ(Choice.Config, Chip.spec().maxConfig());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChoiceProperty,
+    ::testing::Values(std::make_tuple(0.5, 2.0, 16.6),
+                      std::make_tuple(1.5, 12.0, 16.6),
+                      std::make_tuple(1.5, 12.0, 33.3),
+                      std::make_tuple(2.0, 40.0, 100.0),
+                      std::make_tuple(2.0, 40.0, 16.6),
+                      std::make_tuple(5.0, 300.0, 1000.0),
+                      std::make_tuple(5.0, 300.0, 100.0),
+                      std::make_tuple(0.0, 0.1, 5.0)));

@@ -1,0 +1,120 @@
+//===- tests/greenweb/QosTest.cpp - QoS abstraction tests ---------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/Qos.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+using greenweb::css::QosValue;
+using greenweb::css::QosValueKind;
+
+TEST(QosTest, Table1Defaults) {
+  // Table 1 of the paper: the three QoS categories.
+  QosTarget Continuous = defaultContinuousTarget();
+  EXPECT_EQ(Continuous.Imperceptible, Duration::fromMillis(16.6));
+  EXPECT_EQ(Continuous.Usable, Duration::fromMillis(33.3));
+
+  QosTarget Short = defaultSingleShortTarget();
+  EXPECT_EQ(Short.Imperceptible, Duration::milliseconds(100));
+  EXPECT_EQ(Short.Usable, Duration::milliseconds(300));
+
+  QosTarget Long = defaultSingleLongTarget();
+  EXPECT_EQ(Long.Imperceptible, Duration::seconds(1));
+  EXPECT_EQ(Long.Usable, Duration::seconds(10));
+}
+
+TEST(QosTest, CategoriesMagnitudesDiffer) {
+  // "their magnitudes differ significantly across categories" (Sec 3.3)
+  EXPECT_GT(defaultSingleShortTarget().Imperceptible.nanos(),
+            defaultContinuousTarget().Imperceptible.nanos() * 5);
+  EXPECT_GT(defaultSingleLongTarget().Imperceptible.nanos(),
+            defaultSingleShortTarget().Imperceptible.nanos() * 5);
+}
+
+TEST(QosTest, ActiveTargetSelectsByScenario) {
+  QosSpec Spec;
+  Spec.Type = QosType::Continuous;
+  Spec.Target = defaultContinuousTarget();
+  EXPECT_EQ(activeTarget(Spec, UsageScenario::Imperceptible),
+            Duration::fromMillis(16.6));
+  EXPECT_EQ(activeTarget(Spec, UsageScenario::Usable),
+            Duration::fromMillis(33.3));
+}
+
+TEST(QosTest, Names) {
+  EXPECT_STREQ(qosTypeName(QosType::Single), "single");
+  EXPECT_STREQ(qosTypeName(QosType::Continuous), "continuous");
+  EXPECT_STREQ(usageScenarioName(UsageScenario::Imperceptible),
+               "imperceptible");
+  EXPECT_STREQ(usageScenarioName(UsageScenario::Usable), "usable");
+}
+
+TEST(QosTest, SpecStr) {
+  QosSpec Spec;
+  Spec.Type = QosType::Continuous;
+  Spec.Target = defaultContinuousTarget();
+  EXPECT_EQ(Spec.str(), "continuous (16.6ms, 33.3ms)");
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering (Table 2 semantics)
+//===----------------------------------------------------------------------===//
+
+TEST(QosLoweringTest, ContinuousDefaults) {
+  QosValue V;
+  V.Kind = QosValueKind::Continuous;
+  QosSpec Spec = lowerQosValue(V);
+  EXPECT_EQ(Spec.Type, QosType::Continuous);
+  EXPECT_EQ(Spec.Target, defaultContinuousTarget());
+}
+
+TEST(QosLoweringTest, SingleShortAndLong) {
+  QosValue Short;
+  Short.Kind = QosValueKind::Single;
+  Short.LongDuration = false;
+  EXPECT_EQ(lowerQosValue(Short).Target, defaultSingleShortTarget());
+
+  QosValue Long;
+  Long.Kind = QosValueKind::Single;
+  Long.LongDuration = true;
+  EXPECT_EQ(lowerQosValue(Long).Target, defaultSingleLongTarget());
+}
+
+TEST(QosLoweringTest, ExplicitTargetsOverride) {
+  QosValue V;
+  V.Kind = QosValueKind::Continuous;
+  V.Ti = Duration::milliseconds(20);
+  V.Tu = Duration::milliseconds(100);
+  QosSpec Spec = lowerQosValue(V);
+  EXPECT_EQ(Spec.Target.Imperceptible, Duration::milliseconds(20));
+  EXPECT_EQ(Spec.Target.Usable, Duration::milliseconds(100));
+}
+
+TEST(QosLoweringTest, SingleWithExplicitTargets) {
+  QosValue V;
+  V.Kind = QosValueKind::Single;
+  V.Ti = Duration::seconds(2);
+  V.Tu = Duration::seconds(20);
+  QosSpec Spec = lowerQosValue(V);
+  EXPECT_EQ(Spec.Type, QosType::Single);
+  EXPECT_EQ(Spec.Target.Imperceptible, Duration::seconds(2));
+}
+
+/// Property: for every lowered spec, TI <= TU (imperceptible is always
+/// the tighter target) across the Table 1 rows.
+class QosTargetOrder
+    : public ::testing::TestWithParam<QosTarget> {};
+
+TEST_P(QosTargetOrder, ImperceptibleTighter) {
+  QosTarget T = GetParam();
+  EXPECT_LT(T.Imperceptible, T.Usable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, QosTargetOrder,
+                         ::testing::Values(defaultContinuousTarget(),
+                                           defaultSingleShortTarget(),
+                                           defaultSingleLongTarget()));

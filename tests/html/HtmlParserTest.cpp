@@ -1,0 +1,152 @@
+//===- tests/html/HtmlParserTest.cpp - HTML parser tests ----------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "html/HtmlParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+using namespace greenweb::html;
+
+TEST(HtmlParserTest, EmptyDocumentHasRoot) {
+  ParseResult R = parseHtml("");
+  ASSERT_NE(R.Doc, nullptr);
+  EXPECT_EQ(R.Doc->root().tagName(), "html");
+  EXPECT_EQ(R.Doc->elementCount(), 1u);
+}
+
+TEST(HtmlParserTest, NestedElements) {
+  ParseResult R = parseHtml("<div><span></span><p></p></div>");
+  Element &Root = R.Doc->root();
+  ASSERT_EQ(Root.children().size(), 1u);
+  Element *Div = Root.children()[0].get();
+  EXPECT_EQ(Div->tagName(), "div");
+  ASSERT_EQ(Div->children().size(), 2u);
+  EXPECT_EQ(Div->children()[0]->tagName(), "span");
+  EXPECT_EQ(Div->children()[1]->tagName(), "p");
+}
+
+TEST(HtmlParserTest, IdClassAndAttributes) {
+  ParseResult R = parseHtml(
+      "<div id=\"intro\" class=\"a b\" data-x=\"7\" checked></div>");
+  Element *E = R.Doc->getElementById("intro");
+  ASSERT_NE(E, nullptr);
+  EXPECT_TRUE(E->hasClass("a"));
+  EXPECT_TRUE(E->hasClass("b"));
+  EXPECT_EQ(E->attribute("data-x"), "7");
+  EXPECT_TRUE(E->hasAttribute("checked"));
+}
+
+TEST(HtmlParserTest, UnquotedAndSingleQuotedAttributes) {
+  ParseResult R = parseHtml("<div id=plain class='q'></div>");
+  Element *E = R.Doc->getElementById("plain");
+  ASSERT_NE(E, nullptr);
+  EXPECT_TRUE(E->hasClass("q"));
+}
+
+TEST(HtmlParserTest, InlineStyleParsed) {
+  ParseResult R =
+      parseHtml("<div id=x style=\"width: 100px; COLOR: red\"></div>");
+  Element *E = R.Doc->getElementById("x");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->styleProperty("width"), "100px");
+  EXPECT_EQ(E->styleProperty("color"), "red");
+}
+
+TEST(HtmlParserTest, VoidAndSelfClosingTags) {
+  ParseResult R = parseHtml("<div><br><img src=x><span/></div><p></p>");
+  Element *Div = R.Doc->root().children()[0].get();
+  EXPECT_EQ(Div->children().size(), 3u);
+  // <p> is a sibling of <div>, not swallowed by the void tags.
+  EXPECT_EQ(R.Doc->root().children().size(), 2u);
+}
+
+TEST(HtmlParserTest, StyleBlockCaptured) {
+  ParseResult R =
+      parseHtml("<style>div { color: red }</style><div></div>");
+  ASSERT_EQ(R.Doc->StyleTexts.size(), 1u);
+  EXPECT_NE(R.Doc->StyleTexts[0].find("color: red"), std::string::npos);
+}
+
+TEST(HtmlParserTest, ScriptBlockCapturedRaw) {
+  // Script bodies may contain '<' without confusing the parser.
+  ParseResult R =
+      parseHtml("<script>if (a < b) { f(); }</script><div id=after></div>");
+  ASSERT_EQ(R.Doc->ScriptTexts.size(), 1u);
+  EXPECT_NE(R.Doc->ScriptTexts[0].find("a < b"), std::string::npos);
+  EXPECT_NE(R.Doc->getElementById("after"), nullptr);
+}
+
+TEST(HtmlParserTest, MultipleStyleAndScriptBlocksInOrder) {
+  ParseResult R = parseHtml(
+      "<style>one</style><script>s1</script><style>two</style>");
+  ASSERT_EQ(R.Doc->StyleTexts.size(), 2u);
+  EXPECT_EQ(R.Doc->StyleTexts[0], "one");
+  EXPECT_EQ(R.Doc->StyleTexts[1], "two");
+  ASSERT_EQ(R.Doc->ScriptTexts.size(), 1u);
+}
+
+TEST(HtmlParserTest, CommentsSkipped) {
+  ParseResult R = parseHtml("<!-- <div id=no></div> --><div id=yes></div>");
+  EXPECT_EQ(R.Doc->getElementById("no"), nullptr);
+  EXPECT_NE(R.Doc->getElementById("yes"), nullptr);
+}
+
+TEST(HtmlParserTest, DoctypeSkipped) {
+  ParseResult R = parseHtml("<!DOCTYPE html><div id=a></div>");
+  EXPECT_NE(R.Doc->getElementById("a"), nullptr);
+}
+
+TEST(HtmlParserTest, HtmlBodyHeadCollapseToRoot) {
+  ParseResult R =
+      parseHtml("<html><head></head><body><div id=x></div></body></html>");
+  Element *X = R.Doc->getElementById("x");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->parent(), &R.Doc->root());
+}
+
+TEST(HtmlParserTest, TextContentAttached) {
+  ParseResult R = parseHtml("<div id=t>hello world</div>");
+  EXPECT_EQ(R.Doc->getElementById("t")->attribute("text"), "hello world");
+}
+
+TEST(HtmlParserTest, StrayCloseTagDiagnosed) {
+  ParseResult R = parseHtml("<div></span></div>");
+  EXPECT_FALSE(R.Diagnostics.empty());
+  // Structure survives.
+  EXPECT_EQ(R.Doc->root().children().size(), 1u);
+}
+
+TEST(HtmlParserTest, UnclosedElementDiagnosed) {
+  ParseResult R = parseHtml("<div><span>");
+  EXPECT_FALSE(R.Diagnostics.empty());
+  EXPECT_EQ(R.Doc->elementCount(), 3u);
+}
+
+TEST(HtmlParserTest, InlineEventHandlerAttributes) {
+  ParseResult R =
+      parseHtml("<div id=b onclick=\"doThing()\" "
+                "ontouchstart=\"other()\"></div>");
+  Element *B = R.Doc->getElementById("b");
+  EXPECT_EQ(B->attribute("onclick"), "doThing()");
+  EXPECT_EQ(B->attribute("ontouchstart"), "other()");
+}
+
+TEST(HtmlParserTest, CaseInsensitiveTagsLowered) {
+  ParseResult R = parseHtml("<DIV id=c></DIV>");
+  Element *C = R.Doc->getElementById("c");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->tagName(), "div");
+}
+
+TEST(HtmlParserTest, LargeFlatDocument) {
+  std::string Src;
+  for (int I = 0; I < 500; ++I)
+    Src += "<div class=item></div>";
+  ParseResult R = parseHtml(Src);
+  EXPECT_EQ(R.Doc->elementCount(), 501u);
+  EXPECT_EQ(R.Doc->getElementsByClass("item").size(), 500u);
+}

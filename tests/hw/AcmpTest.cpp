@@ -1,0 +1,234 @@
+//===- tests/hw/AcmpTest.cpp - ACMP hardware model tests ----------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/AcmpChip.h"
+#include "hw/PowerModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(AcmpSpecTest, Exynos5410Levels) {
+  AcmpSpec Spec = makeExynos5410Spec();
+  // A15: 800 MHz - 1.8 GHz at 100 MHz steps -> 11 levels (Sec. 7.1).
+  EXPECT_EQ(Spec.Big.FreqsMHz.size(), 11u);
+  EXPECT_EQ(Spec.Big.minFreq(), 800u);
+  EXPECT_EQ(Spec.Big.maxFreq(), 1800u);
+  // A7: 350 - 600 MHz at 50 MHz steps -> 6 levels.
+  EXPECT_EQ(Spec.Little.FreqsMHz.size(), 6u);
+  EXPECT_EQ(Spec.Little.minFreq(), 350u);
+  EXPECT_EQ(Spec.Little.maxFreq(), 600u);
+  // 17 total configurations.
+  EXPECT_EQ(Spec.allConfigs().size(), 17u);
+  // Penalties from the paper.
+  EXPECT_EQ(Spec.FreqSwitchPenalty, Duration::microseconds(100));
+  EXPECT_EQ(Spec.MigrationPenalty, Duration::microseconds(20));
+}
+
+TEST(AcmpSpecTest, ConfigValidity) {
+  AcmpSpec Spec = makeExynos5410Spec();
+  EXPECT_TRUE(Spec.isValid({CoreKind::Big, 1800}));
+  EXPECT_TRUE(Spec.isValid({CoreKind::Little, 350}));
+  EXPECT_FALSE(Spec.isValid({CoreKind::Big, 350}));
+  EXPECT_FALSE(Spec.isValid({CoreKind::Little, 1800}));
+  EXPECT_FALSE(Spec.isValid({CoreKind::Big, 850}));
+}
+
+TEST(AcmpSpecTest, MinMaxConfigs) {
+  AcmpSpec Spec = makeExynos5410Spec();
+  EXPECT_EQ(Spec.minConfig(), (AcmpConfig{CoreKind::Little, 350}));
+  EXPECT_EQ(Spec.maxConfig(), (AcmpConfig{CoreKind::Big, 1800}));
+}
+
+TEST(AcmpSpecTest, ConfigStr) {
+  EXPECT_EQ((AcmpConfig{CoreKind::Big, 1400}).str(), "A15@1400MHz");
+  EXPECT_EQ((AcmpConfig{CoreKind::Little, 500}).str(), "A7@500MHz");
+}
+
+TEST(PowerModelTest, VoltageInterpolation) {
+  AcmpSpec Spec = makeExynos5410Spec();
+  PowerModel Power(Spec);
+  EXPECT_DOUBLE_EQ(Power.voltageAt(CoreKind::Big, 800), Spec.Big.VoltMinV);
+  EXPECT_DOUBLE_EQ(Power.voltageAt(CoreKind::Big, 1800), Spec.Big.VoltMaxV);
+  double Mid = Power.voltageAt(CoreKind::Big, 1300);
+  EXPECT_GT(Mid, Spec.Big.VoltMinV);
+  EXPECT_LT(Mid, Spec.Big.VoltMaxV);
+}
+
+TEST(PowerModelTest, BigAt1800DrawsAboutTwoWatts) {
+  AcmpSpec Spec = makeExynos5410Spec();
+  PowerModel Power(Spec);
+  double P = Power.dynamicPowerPerCore(CoreKind::Big, 1800);
+  EXPECT_GT(P, 1.2);
+  EXPECT_LT(P, 2.5);
+}
+
+TEST(PowerModelTest, LittleIsAnOrderOfMagnitudeCheaper) {
+  AcmpSpec Spec = makeExynos5410Spec();
+  PowerModel Power(Spec);
+  double Big = Power.dynamicPowerPerCore(CoreKind::Big, 1800);
+  double Little = Power.dynamicPowerPerCore(CoreKind::Little, 600);
+  EXPECT_GT(Big / Little, 8.0);
+}
+
+TEST(PowerModelTest, LittleIsMoreEnergyEfficientPerCycle) {
+  // The ACMP trade-off the paper exploits: joules per effective cycle
+  // must be lower on the little cluster.
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  const PowerModel &Power = Chip.powerModel();
+  double BigEff = Power.clusterPower(CoreKind::Big, 1800, 1) /
+                  Chip.effectiveHzFor({CoreKind::Big, 1800});
+  double LittleEff = Power.clusterPower(CoreKind::Little, 600, 1) /
+                     Chip.effectiveHzFor({CoreKind::Little, 600});
+  EXPECT_GT(BigEff / LittleEff, 1.5);
+}
+
+TEST(PowerModelTest, BusyCoresAdditive) {
+  AcmpSpec Spec = makeExynos5410Spec();
+  PowerModel Power(Spec);
+  double P0 = Power.clusterPower(CoreKind::Big, 1000, 0);
+  double P1 = Power.clusterPower(CoreKind::Big, 1000, 1);
+  double P2 = Power.clusterPower(CoreKind::Big, 1000, 2);
+  EXPECT_DOUBLE_EQ(P0, Power.idlePower(CoreKind::Big));
+  EXPECT_NEAR(P2 - P1, P1 - P0, 1e-12);
+}
+
+/// Power must increase monotonically with frequency on each cluster.
+class PowerMonotone
+    : public ::testing::TestWithParam<CoreKind> {};
+
+TEST_P(PowerMonotone, IncreasesWithFrequency) {
+  AcmpSpec Spec = makeExynos5410Spec();
+  PowerModel Power(Spec);
+  const ClusterSpec &Cluster = Spec.cluster(GetParam());
+  double Last = 0.0;
+  for (unsigned Freq : Cluster.FreqsMHz) {
+    double P = Power.dynamicPowerPerCore(GetParam(), Freq);
+    EXPECT_GT(P, Last);
+    Last = P;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, PowerMonotone,
+                         ::testing::Values(CoreKind::Little, CoreKind::Big));
+
+TEST(AcmpChipTest, BootsAtMinimumConfig) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  EXPECT_EQ(Chip.config(), Chip.spec().minConfig());
+}
+
+TEST(AcmpChipTest, EffectiveHzUsesIpc) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  EXPECT_DOUBLE_EQ(Chip.effectiveHzFor({CoreKind::Big, 1000}),
+                   1000e6 * Chip.spec().Big.Ipc);
+  EXPECT_DOUBLE_EQ(Chip.effectiveHzFor({CoreKind::Little, 500}),
+                   500e6 * Chip.spec().Little.Ipc);
+}
+
+TEST(AcmpChipTest, BigMinFasterThanLittleMax) {
+  // The ladder is monotone across the cluster boundary.
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  EXPECT_GT(Chip.effectiveHzFor({CoreKind::Big, 800}),
+            Chip.effectiveHzFor({CoreKind::Little, 600}));
+}
+
+TEST(AcmpChipTest, SwitchCountersDistinguishKinds) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Chip.setConfig({CoreKind::Little, 600});   // freq switch
+  Chip.setConfig({CoreKind::Big, 800});      // migration + freq? no: 600->800 both
+  Chip.setConfig({CoreKind::Big, 1000});     // freq switch
+  EXPECT_EQ(Chip.migrations(), 1u);
+  EXPECT_EQ(Chip.freqSwitches(), 3u);
+}
+
+TEST(AcmpChipTest, SameConfigIsNoOp) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  AcmpConfig C = Chip.config();
+  EXPECT_FALSE(Chip.setConfig(C));
+  EXPECT_EQ(Chip.freqSwitches(), 0u);
+  EXPECT_EQ(Chip.migrations(), 0u);
+}
+
+TEST(AcmpChipTest, StepFrequencyClampsAtEdges) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  EXPECT_FALSE(Chip.stepFrequency(-1)); // already at cluster min
+  EXPECT_TRUE(Chip.stepFrequency(+1));
+  EXPECT_EQ(Chip.config().FreqMHz, 400u);
+  EXPECT_TRUE(Chip.stepFrequency(+100)); // clamps to cluster max
+  EXPECT_EQ(Chip.config().FreqMHz, 600u);
+  EXPECT_EQ(Chip.config().Core, CoreKind::Little);
+}
+
+TEST(AcmpChipTest, ConfigTimeDistributionAccounts) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Sim.schedule(Duration::milliseconds(10),
+               [&] { Chip.setConfig({CoreKind::Big, 1800}); });
+  Sim.schedule(Duration::milliseconds(30), [] {});
+  Sim.run();
+  auto Dist = Chip.configTimeDistribution();
+  EXPECT_DOUBLE_EQ(Dist[Chip.spec().minConfig()].millis(), 10.0);
+  AcmpConfig BigMax{CoreKind::Big, 1800};
+  EXPECT_DOUBLE_EQ(Dist[BigMax].millis(), 20.0);
+}
+
+TEST(AcmpChipTest, ResetStatsClears) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Chip.setConfig({CoreKind::Big, 1800});
+  Chip.resetStats();
+  EXPECT_EQ(Chip.freqSwitches(), 0u);
+  EXPECT_EQ(Chip.migrations(), 0u);
+  auto Dist = Chip.configTimeDistribution();
+  Duration Total;
+  for (auto &[Config, T] : Dist)
+    Total += T;
+  EXPECT_TRUE(Total.isZero());
+}
+
+TEST(AcmpChipTest, MigrationStallsInFlightWork) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Chip.setConfig({CoreKind::Little, 600});
+  SimThread Thread(Sim, Chip, "t", 0);
+  TimePoint Done;
+  SimTask T;
+  T.Cost.Cycles = 0.48e6; // 1ms at little-600 effective speed
+  T.OnComplete = [&] { Done = Sim.now(); };
+  TimePoint Start = Sim.now();
+  Thread.post(std::move(T));
+  // Migrate at 0.5ms: remaining 0.5ms of little work now runs ~6x
+  // faster on big-1800, plus the 120us combined penalty.
+  Sim.schedule(Duration::microseconds(500),
+               [&] { Chip.setConfig({CoreKind::Big, 1800}); });
+  Sim.run();
+  double Ms = (Done - Start).millis();
+  EXPECT_GT(Ms, 0.5 + 0.12);       // penalty applied
+  EXPECT_LT(Ms, 1.0);              // but faster than staying on little
+}
+
+TEST(AcmpChipTest, BusyCountTracksThreads) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  SimThread A(Sim, Chip, "a", 0);
+  SimThread B(Sim, Chip, "b", 1);
+  SimTask T1;
+  T1.Cost.Cycles = 1e6;
+  SimTask T2;
+  T2.Cost.Cycles = 2e6;
+  A.post(std::move(T1));
+  B.post(std::move(T2));
+  EXPECT_EQ(Chip.busyThreads(), 2u);
+  Sim.run();
+  EXPECT_EQ(Chip.busyThreads(), 0u);
+}

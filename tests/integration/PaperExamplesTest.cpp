@@ -1,0 +1,236 @@
+//===- tests/integration/PaperExamplesTest.cpp - Fig. 4 / Fig. 5 --------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// End-to-end integration tests that run the paper's own code listings
+// (Fig. 4's CSS-transition page and Fig. 5's rAF page) through the full
+// stack — HTML parser, CSS engine, MiniScript, frame pipeline,
+// annotation registry, GreenWeb runtime — and check the behaviors the
+// paper derives from them. Also pins the evaluation's headline
+// orderings as regression guards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/Browser.h"
+#include "greenweb/GreenWebRuntime.h"
+#include "hw/EnergyMeter.h"
+#include "workloads/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+/// Fig. 4 of the paper, adapted to MiniScript syntax: a div whose width
+/// expands through a 2s CSS transition on touch, annotated continuous.
+const char *Fig4Page = R"raw(
+  <div id="ex" style="width: 100px" ontouchstart="animateExpanding()">
+  </div>
+  <style>
+    #ex { transition: width 2s; }
+    div#ex:QoS {
+      ontouchstart-qos: continuous;
+    }
+  </style>
+  <script>
+    function animateExpanding() {
+      document.getElementById('ex').style.width = '500px';
+    }
+  </script>
+)raw";
+
+/// Fig. 5 of the paper: rAF-driven animation on touchmove with the
+/// ticking flag, annotated continuous with explicit 20/100ms targets.
+const char *Fig5Page = R"raw(
+  <div id="canvas" ontouchmove="onMove()"></div>
+  <style>
+    div#canvas:QoS {
+      ontouchmove-qos: continuous, 20, 100;
+    }
+  </style>
+  <script>
+    var ticking = false;
+    function update() {
+      performWork(3000);
+      invalidate();
+      ticking = false;
+    }
+    function onMove() {
+      if (!ticking) {
+        requestAnimationFrame(update);
+        ticking = true;
+      }
+    }
+  </script>
+)raw";
+
+struct Session {
+  Session() : Chip(Sim), Meter(Chip), B(Sim, Chip) {}
+
+  void start(Governor &Gov, const char *Page) {
+    B.OnPageParsed = [this] { Registry.loadFromPage(B); };
+    Gov.attach(B);
+    ASSERT_NE(B.loadPage(Page), 0u);
+    Sim.runUntil(Sim.now() + Duration::seconds(2));
+    ASSERT_TRUE(B.ScriptErrors.empty()) << B.ScriptErrors[0];
+    Meter.reset();
+    B.frameTracker().clearFrames();
+  }
+
+  Simulator Sim;
+  AcmpChip Chip;
+  EnergyMeter Meter;
+  Browser B;
+  AnnotationRegistry Registry;
+};
+
+} // namespace
+
+TEST(PaperFig4Test, AnnotationResolvesAsContinuousWithDefaults) {
+  Session S;
+  PerfGovernor Gov;
+  S.start(Gov, Fig4Page);
+  Element *Ex = S.B.document()->getElementById("ex");
+  ASSERT_NE(Ex, nullptr);
+  auto Spec = S.Registry.lookup(*Ex, "touchstart");
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->Type, QosType::Continuous);
+  EXPECT_EQ(Spec->Target, defaultContinuousTarget());
+}
+
+TEST(PaperFig4Test, TapTriggersTwoSecondAnimation) {
+  Session S;
+  PerfGovernor Gov;
+  S.start(Gov, Fig4Page);
+  uint64_t Root = S.B.dispatchInput("touchstart", "ex");
+  S.Sim.runUntil(S.Sim.now() + Duration::seconds(3));
+  // ~120 frames at 60 Hz over the 2s transition, all attributed to the
+  // tap (the Sec. 6.4 association).
+  size_t Frames = S.B.frameTracker().frames().size();
+  EXPECT_GE(Frames, 110u);
+  EXPECT_LE(Frames, 130u);
+  for (const FrameRecord &Frame : S.B.frameTracker().frames())
+    EXPECT_TRUE(Frame.hasRoot(Root));
+  // The width actually changed.
+  EXPECT_EQ(S.B.document()->getElementById("ex")->styleProperty("width"),
+            "500px");
+}
+
+TEST(PaperFig4Test, GreenWebUsesLessEnergyThanPerfAtSameFrameCount) {
+  auto RunUnder = [](Governor &Gov, AnnotationRegistry *GovRegistry,
+                     size_t &FramesOut) {
+    Session S;
+    if (GovRegistry) {
+      // The runtime reads annotations through its own registry.
+      S.B.OnPageParsed = [&S, GovRegistry] {
+        GovRegistry->loadFromPage(S.B);
+      };
+    }
+    Gov.attach(S.B);
+    EXPECT_NE(S.B.loadPage(Fig4Page), 0u);
+    S.Sim.runUntil(S.Sim.now() + Duration::seconds(2));
+    S.Meter.reset();
+    S.B.frameTracker().clearFrames();
+    S.B.dispatchInput("touchstart", "ex");
+    S.Sim.runUntil(S.Sim.now() + Duration::seconds(3));
+    FramesOut = S.B.frameTracker().frames().size();
+    Gov.detach();
+    return S.Meter.totalJoules();
+  };
+
+  PerfGovernor Perf;
+  size_t PerfFrames = 0;
+  double PerfJoules = RunUnder(Perf, nullptr, PerfFrames);
+
+  AnnotationRegistry Registry;
+  GreenWebRuntime::Params P;
+  P.Scenario = UsageScenario::Imperceptible;
+  GreenWebRuntime Runtime(Registry, P);
+  size_t GwFrames = 0;
+  double GwJoules = RunUnder(Runtime, &Registry, GwFrames);
+
+  // GreenWeb-I sustains (nearly) the same 60 FPS for a fraction of the
+  // energy — the quickstart's headline, pinned as a regression.
+  EXPECT_GT(double(GwFrames), double(PerfFrames) * 0.9);
+  EXPECT_LT(GwJoules, PerfJoules * 0.5);
+}
+
+TEST(PaperFig5Test, AnnotationCarriesExplicitTargets) {
+  Session S;
+  PerfGovernor Gov;
+  S.start(Gov, Fig5Page);
+  Element *Canvas = S.B.document()->getElementById("canvas");
+  ASSERT_NE(Canvas, nullptr);
+  auto Spec = S.Registry.lookup(*Canvas, "touchmove");
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->Type, QosType::Continuous);
+  EXPECT_EQ(Spec->Target.Imperceptible, Duration::milliseconds(20));
+  EXPECT_EQ(Spec->Target.Usable, Duration::milliseconds(100));
+}
+
+TEST(PaperFig5Test, TickingFlagCoalescesRafRegistrations) {
+  Session S;
+  PerfGovernor Gov;
+  S.start(Gov, Fig5Page);
+  // Three touchmoves inside one VSync interval: the ticking flag admits
+  // only one rAF registration (the Fig. 5 pattern's purpose).
+  S.B.dispatchInput("touchmove", "canvas");
+  S.B.dispatchInput("touchmove", "canvas");
+  S.B.dispatchInput("touchmove", "canvas");
+  S.Sim.runUntil(S.Sim.now() + Duration::milliseconds(5));
+  EXPECT_EQ(S.B.pendingAnimationCallbacks(), 1u);
+  S.Sim.runUntil(S.Sim.now() + Duration::milliseconds(500));
+  EXPECT_EQ(S.B.interpreter().findGlobal("ticking")->asBool(), false);
+}
+
+TEST(PaperFig5Test, MoveStreamProducesSmoothFrames) {
+  Session S;
+  PerfGovernor Gov;
+  S.start(Gov, Fig5Page);
+  TimePoint Start = S.Sim.now();
+  for (int Move = 0; Move < 30; ++Move)
+    S.Sim.scheduleAt(Start + Duration::fromMillis(Move * 16.7),
+                     [&S] { S.B.dispatchInput("touchmove", "canvas"); });
+  S.Sim.runUntil(Start + Duration::seconds(2));
+  size_t Frames = S.B.frameTracker().frames().size();
+  EXPECT_GE(Frames, 25u);
+  // Every frame's production latency fits the page's own 20ms TI at
+  // peak performance.
+  for (const FrameRecord &Frame : S.B.frameTracker().frames())
+    EXPECT_LE(Frame.ReadyTime - Frame.BeginTime,
+              Duration::milliseconds(20));
+}
+
+//===----------------------------------------------------------------------===//
+// Headline regression guards over the whole evaluation
+//===----------------------------------------------------------------------===//
+
+TEST(HeadlineRegressionTest, MicroEnergyOrderingHoldsForEveryApp) {
+  // Fig. 9a's invariant: GreenWeb-U <= GreenWeb-I < Perf, per app.
+  for (const std::string &App : allAppNames()) {
+    ExperimentConfig C;
+    C.AppName = App;
+    C.Mode = ExperimentMode::Micro;
+    C.GovernorName = governors::Perf;
+    double Perf = runExperiment(C).TotalJoules;
+    C.GovernorName = governors::GreenWebI;
+    double GwI = runExperiment(C).TotalJoules;
+    C.GovernorName = governors::GreenWebU;
+    double GwU = runExperiment(C).TotalJoules;
+    EXPECT_LT(GwI, Perf) << App;
+    EXPECT_LE(GwU, GwI * 1.02) << App;
+  }
+}
+
+TEST(HeadlineRegressionTest, Table3SessionStatsMatchPaper) {
+  double SumSecs = 0.0;
+  size_t SumEvents = 0;
+  for (const std::string &App : allAppNames()) {
+    AppDefinition Def = makeApp(App, 1);
+    SumSecs += Def.Full.SessionLength.secs();
+    SumEvents += Def.Full.Events.size() + 1; // + the load
+  }
+  EXPECT_NEAR(SumSecs / 12.0, 43.0, 3.0);           // paper: ~43 s
+  EXPECT_NEAR(double(SumEvents) / 12.0, 94.0, 4.0); // paper: ~94
+}

@@ -1,0 +1,302 @@
+//===- tests/js/JsInterpTest.cpp - MiniScript interpreter tests ---------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "js/JsInterp.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb::js;
+
+namespace {
+
+/// Runs a script and returns the value of global `result`.
+Value runAndGet(Interpreter &I, const std::string &Src) {
+  EXPECT_TRUE(I.runScript(Src)) << I.lastError();
+  Value *R = I.findGlobal("result");
+  return R ? *R : Value::null();
+}
+
+double runNumber(const std::string &Src) {
+  Interpreter I;
+  return runAndGet(I, Src).asNumber();
+}
+
+} // namespace
+
+TEST(JsInterpTest, ArithmeticAndPrecedence) {
+  EXPECT_EQ(runNumber("var result = 2 + 3 * 4;"), 14.0);
+  EXPECT_EQ(runNumber("var result = (2 + 3) * 4;"), 20.0);
+  EXPECT_EQ(runNumber("var result = 10 - 4 - 3;"), 3.0);
+  EXPECT_EQ(runNumber("var result = 7 % 3;"), 1.0);
+  EXPECT_EQ(runNumber("var result = -5 + 1;"), -4.0);
+  EXPECT_EQ(runNumber("var result = 10 / 4;"), 2.5);
+}
+
+TEST(JsInterpTest, Comparisons) {
+  EXPECT_EQ(runNumber("var result = (3 < 4) ? 1 : 0;"), 1.0);
+  EXPECT_EQ(runNumber("var result = (3 >= 4) ? 1 : 0;"), 0.0);
+  EXPECT_EQ(runNumber("var result = (3 == 3) ? 1 : 0;"), 1.0);
+  EXPECT_EQ(runNumber("var result = (3 != 3) ? 1 : 0;"), 0.0);
+}
+
+TEST(JsInterpTest, StringConcatenation) {
+  Interpreter I;
+  Value V = runAndGet(I, "var result = 'a' + 1 + 'b';");
+  EXPECT_EQ(V.asString(), "a1b");
+}
+
+TEST(JsInterpTest, LogicalShortCircuit) {
+  // The RHS must not evaluate when short-circuited: an undefined
+  // variable there would otherwise raise an error.
+  Interpreter I;
+  EXPECT_TRUE(
+      I.runScript("var x = false; var result = x && missingVar;"));
+  EXPECT_TRUE(
+      I.runScript("var y = true; var result2 = y || missingVar;"));
+}
+
+TEST(JsInterpTest, TruthinessRules) {
+  EXPECT_EQ(runNumber("var result = '' ? 1 : 0;"), 0.0);
+  EXPECT_EQ(runNumber("var result = 'x' ? 1 : 0;"), 1.0);
+  EXPECT_EQ(runNumber("var result = 0 ? 1 : 0;"), 0.0);
+  EXPECT_EQ(runNumber("var result = null ? 1 : 0;"), 0.0);
+}
+
+TEST(JsInterpTest, WhileLoop) {
+  EXPECT_EQ(runNumber(R"(
+    var i = 0;
+    var result = 0;
+    while (i < 10) { result = result + i; i = i + 1; }
+  )"),
+            45.0);
+}
+
+TEST(JsInterpTest, ForLoop) {
+  EXPECT_EQ(runNumber(R"(
+    var result = 0;
+    for (var i = 1; i <= 4; i++) { result = result + i; }
+  )"),
+            10.0);
+}
+
+TEST(JsInterpTest, ForLoopScopesInductionVariable) {
+  Interpreter I;
+  EXPECT_TRUE(I.runScript("for (var i = 0; i < 3; i++) {}"));
+  // `i` does not leak to the global scope.
+  EXPECT_EQ(I.findGlobal("i"), nullptr);
+}
+
+TEST(JsInterpTest, CompoundAssignmentAndIncrements) {
+  EXPECT_EQ(runNumber("var result = 5; result += 3;"), 8.0);
+  EXPECT_EQ(runNumber("var result = 5; result -= 3;"), 2.0);
+  EXPECT_EQ(runNumber("var result = 5; result++;"), 6.0);
+  EXPECT_EQ(runNumber("var result = 5; --result;"), 4.0);
+}
+
+TEST(JsInterpTest, FunctionsAndReturn) {
+  EXPECT_EQ(runNumber(R"(
+    function add(a, b) { return a + b; }
+    var result = add(3, 4);
+  )"),
+            7.0);
+}
+
+TEST(JsInterpTest, RecursionWorks) {
+  EXPECT_EQ(runNumber(R"(
+    function fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    var result = fib(12);
+  )"),
+            144.0);
+}
+
+TEST(JsInterpTest, ClosuresCaptureEnvironment) {
+  EXPECT_EQ(runNumber(R"(
+    function counter() {
+      var n = 0;
+      return function() { n = n + 1; return n; };
+    }
+    var c = counter();
+    c(); c();
+    var result = c();
+  )"),
+            3.0);
+}
+
+TEST(JsInterpTest, MissingArgumentsAreNull) {
+  EXPECT_EQ(runNumber(R"(
+    function f(a, b) { return b == null ? 1 : 0; }
+    var result = f(5);
+  )"),
+            1.0);
+}
+
+TEST(JsInterpTest, ConsoleLog) {
+  Interpreter I;
+  ASSERT_TRUE(I.runScript("console.log('hi', 42);"));
+  ASSERT_EQ(I.ConsoleLines.size(), 1u);
+  EXPECT_EQ(I.ConsoleLines[0], "hi 42");
+}
+
+TEST(JsInterpTest, UndefinedVariableIsError) {
+  Interpreter I;
+  EXPECT_FALSE(I.runScript("var x = missing + 1;"));
+  EXPECT_NE(I.lastError().find("undefined variable"), std::string::npos);
+}
+
+TEST(JsInterpTest, AssignToUndeclaredIsError) {
+  Interpreter I;
+  EXPECT_FALSE(I.runScript("ghost = 5;"));
+  EXPECT_NE(I.lastError().find("undeclared"), std::string::npos);
+}
+
+TEST(JsInterpTest, CallNonFunctionIsError) {
+  Interpreter I;
+  EXPECT_FALSE(I.runScript("var x = 5; x();"));
+}
+
+TEST(JsInterpTest, OpBudgetStopsInfiniteLoop) {
+  Interpreter I;
+  I.setOpLimit(10'000);
+  EXPECT_FALSE(I.runScript("while (true) { }"));
+  EXPECT_NE(I.lastError().find("op budget"), std::string::npos);
+}
+
+TEST(JsInterpTest, CallDepthLimited) {
+  Interpreter I;
+  EXPECT_FALSE(I.runScript("function f() { return f(); } f();"));
+  EXPECT_NE(I.lastError().find("stack overflow"), std::string::npos);
+}
+
+TEST(JsInterpTest, OpsAccumulate) {
+  Interpreter I;
+  I.resetCostCounters();
+  ASSERT_TRUE(I.runScript("var x = 0; for (var i = 0; i < 100; i++) "
+                          "{ x = x + i; }"));
+  // Each loop iteration evaluates several nodes.
+  EXPECT_GT(I.opsExecuted(), 400u);
+  uint64_t First = I.opsExecuted();
+  I.resetCostCounters();
+  EXPECT_EQ(I.opsExecuted(), 0u);
+  (void)First;
+}
+
+TEST(JsInterpTest, ExplicitWorkCycles) {
+  Interpreter I;
+  I.defineGlobal("performWork",
+                 makeNativeFunction(
+                     "performWork",
+                     [](Interpreter &In, const std::vector<Value> &Args) {
+                       In.addExplicitWorkCycles(Args[0].asNumber() * 1000.0);
+                       return Value::null();
+                     }));
+  ASSERT_TRUE(I.runScript("performWork(400);"));
+  EXPECT_DOUBLE_EQ(I.explicitWorkCycles(), 400'000.0);
+}
+
+TEST(JsInterpTest, EvalExpression) {
+  Interpreter I;
+  ASSERT_TRUE(I.runScript("function g() { return 11; } var h = 31;"));
+  EXPECT_EQ(I.evalExpression("g() + h").asNumber(), 42.0);
+}
+
+TEST(JsInterpTest, EvalExpressionParseError) {
+  Interpreter I;
+  Value V = I.evalExpression("1 +");
+  EXPECT_TRUE(V.isNull());
+  EXPECT_TRUE(I.hadError());
+}
+
+TEST(JsInterpTest, CallFunctionFromHost) {
+  Interpreter I;
+  ASSERT_TRUE(I.runScript("function twice(x) { return x * 2; }"));
+  Value *Fn = I.findGlobal("twice");
+  ASSERT_NE(Fn, nullptr);
+  bool Ok = false;
+  Value Out = I.callFunction(*Fn, {Value::number(21.0)}, &Ok);
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Out.asNumber(), 42.0);
+}
+
+TEST(JsInterpTest, HostObjectProperties) {
+  class Point : public HostObject {
+  public:
+    std::string hostClassName() const override { return "Point"; }
+    Value getProperty(Interpreter &, const std::string &Name) override {
+      if (Name == "x")
+        return Value::number(X);
+      return Value::null();
+    }
+    bool setProperty(Interpreter &, const std::string &Name,
+                     const Value &V) override {
+      if (Name != "x")
+        return false;
+      X = V.asNumber();
+      return true;
+    }
+    double X = 1.0;
+  };
+  auto P = std::make_shared<Point>();
+  Interpreter I;
+  I.defineGlobal("p", Value::host(P));
+  ASSERT_TRUE(I.runScript("p.x = p.x + 41;"));
+  EXPECT_DOUBLE_EQ(P->X, 42.0);
+  // Unknown property write is a contained error.
+  EXPECT_FALSE(I.runScript("p.y = 1;"));
+}
+
+TEST(JsInterpTest, StringLengthProperty) {
+  EXPECT_EQ(runNumber("var result = 'hello'.length;"), 5.0);
+}
+
+TEST(JsInterpTest, ParseErrorsReported) {
+  Interpreter I;
+  EXPECT_FALSE(I.runScript("var = 5;"));
+  EXPECT_NE(I.lastError().find("parse error"), std::string::npos);
+}
+
+TEST(JsInterpTest, TernaryChained) {
+  EXPECT_EQ(runNumber("var x = 5; var result = x < 3 ? 1 : x < 7 ? 2 : 3;"),
+            2.0);
+}
+
+TEST(JsInterpTest, BlockScoping) {
+  EXPECT_EQ(runNumber(R"(
+    var result = 1;
+    { var result2 = 2; result = result2; }
+  )"),
+            2.0);
+}
+
+/// Paper Fig. 5's ticking pattern must execute correctly.
+TEST(JsInterpTest, Fig5TickingPattern) {
+  Interpreter I;
+  int RafCount = 0;
+  I.defineGlobal("requestAnimationFrame",
+                 makeNativeFunction(
+                     "requestAnimationFrame",
+                     [&RafCount](Interpreter &,
+                                 const std::vector<Value> &Args) {
+                       EXPECT_TRUE(Args[0].isFunction());
+                       ++RafCount;
+                       return Value::null();
+                     }));
+  ASSERT_TRUE(I.runScript(R"(
+    var ticking = false;
+    function onMove() {
+      if (!ticking) {
+        ticking = true;
+        requestAnimationFrame(function() { ticking = false; });
+      }
+    }
+    onMove(); onMove(); onMove();
+  )"))
+      << I.lastError();
+  // Only the first move registers; the others see ticking == true.
+  EXPECT_EQ(RafCount, 1);
+}

@@ -1,0 +1,261 @@
+//===- tests/sim/SimThreadTest.cpp - simulated thread tests ------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimThread.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+/// Fixed-speed CPU stub with adjustable rate.
+class FixedCpu : public CpuModel {
+public:
+  explicit FixedCpu(double Hz) : Hz(Hz) {}
+
+  double effectiveHz(unsigned) const override { return Hz; }
+  void onThreadActivity(unsigned, bool Busy) override {
+    BusyTransitions.push_back(Busy);
+  }
+
+  /// Changes speed and replans attached threads, like a DVFS switch.
+  void setHz(double NewHz) {
+    Hz = NewHz;
+    replanAttachedThreads();
+  }
+  void stallAll(Duration D) { stallAttachedThreads(D); }
+
+  std::vector<bool> BusyTransitions;
+
+private:
+  double Hz;
+};
+
+SimTask makeTask(double Cycles, Duration Fixed, std::function<void()> Done) {
+  SimTask T;
+  T.Label = "test";
+  T.Cost.Cycles = Cycles;
+  T.Cost.FixedTime = Fixed;
+  T.OnComplete = std::move(Done);
+  return T;
+}
+
+} // namespace
+
+TEST(SimThreadTest, CycleOnlyTaskDuration) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9); // 1 GHz
+  SimThread Thread(Sim, Cpu, "t", 0);
+  TimePoint Done;
+  Thread.post(makeTask(5e6, Duration::zero(), [&] { Done = Sim.now(); }));
+  Sim.run();
+  EXPECT_EQ(Done.millis(), 5.0); // 5M cycles at 1GHz = 5ms
+}
+
+TEST(SimThreadTest, FixedPlusCycles) {
+  Simulator Sim;
+  FixedCpu Cpu(2e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  TimePoint Done;
+  Thread.post(makeTask(4e6, Duration::milliseconds(3),
+                       [&] { Done = Sim.now(); }));
+  Sim.run();
+  EXPECT_DOUBLE_EQ(Done.millis(), 5.0); // 3ms fixed + 2ms cycles
+}
+
+TEST(SimThreadTest, TasksRunFifo) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  std::vector<int> Order;
+  std::vector<double> Times;
+  for (int I = 0; I < 3; ++I)
+    Thread.post(makeTask(1e6, Duration::zero(), [&, I] {
+      Order.push_back(I);
+      Times.push_back(Sim.now().millis());
+    }));
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(Times[0], 1.0);
+  EXPECT_DOUBLE_EQ(Times[1], 2.0);
+  EXPECT_DOUBLE_EQ(Times[2], 3.0);
+}
+
+TEST(SimThreadTest, FrequencyChangeMidTaskReprices) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  TimePoint Done;
+  Thread.post(makeTask(10e6, Duration::zero(), [&] { Done = Sim.now(); }));
+  // After 5ms (5M cycles done), double the speed: remaining 5M cycles
+  // take 2.5ms.
+  Sim.schedule(Duration::milliseconds(5), [&] { Cpu.setHz(2e9); });
+  Sim.run();
+  EXPECT_DOUBLE_EQ(Done.millis(), 7.5);
+}
+
+TEST(SimThreadTest, FrequencyChangeDuringFixedPhase) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  TimePoint Done;
+  Thread.post(makeTask(2e6, Duration::milliseconds(4),
+                       [&] { Done = Sim.now(); }));
+  // Change speed at 1ms: still in the fixed phase; only the cycle
+  // portion reprices (2M at 2GHz = 1ms).
+  Sim.schedule(Duration::milliseconds(1), [&] { Cpu.setHz(2e9); });
+  Sim.run();
+  EXPECT_DOUBLE_EQ(Done.millis(), 5.0);
+}
+
+TEST(SimThreadTest, SlowdownExtendsTask) {
+  Simulator Sim;
+  FixedCpu Cpu(2e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  TimePoint Done;
+  Thread.post(makeTask(8e6, Duration::zero(), [&] { Done = Sim.now(); }));
+  // At 2ms, 4M cycles done; drop to 0.5GHz: remaining 4M take 8ms.
+  Sim.schedule(Duration::milliseconds(2), [&] { Cpu.setHz(0.5e9); });
+  Sim.run();
+  EXPECT_DOUBLE_EQ(Done.millis(), 10.0);
+}
+
+TEST(SimThreadTest, StallAddsFixedTime) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  TimePoint Done;
+  Thread.post(makeTask(4e6, Duration::zero(), [&] { Done = Sim.now(); }));
+  Sim.schedule(Duration::milliseconds(1),
+               [&] { Cpu.stallAll(Duration::microseconds(100)); });
+  Sim.run();
+  EXPECT_DOUBLE_EQ(Done.millis(), 4.1);
+}
+
+TEST(SimThreadTest, StallOnIdleThreadIsNoOp) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  Thread.stall(Duration::milliseconds(10));
+  bool Fired = false;
+  Thread.post(makeTask(1e6, Duration::zero(), [&] { Fired = true; }));
+  Sim.run();
+  EXPECT_TRUE(Fired);
+  EXPECT_DOUBLE_EQ(Sim.now().millis(), 1.0);
+}
+
+TEST(SimThreadTest, BusyNotificationsPaired) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  Thread.post(makeTask(1e6, Duration::zero(), nullptr));
+  Thread.post(makeTask(1e6, Duration::zero(), nullptr));
+  Sim.run();
+  EXPECT_EQ(Cpu.BusyTransitions,
+            (std::vector<bool>{true, false, true, false}));
+}
+
+TEST(SimThreadTest, BusyTimeAccounting) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  Thread.postDelayed(makeTask(3e6, Duration::zero(), nullptr),
+                     Duration::milliseconds(10));
+  Sim.run();
+  EXPECT_DOUBLE_EQ(Thread.totalBusyTime().millis(), 3.0);
+  EXPECT_DOUBLE_EQ(Sim.now().millis(), 13.0);
+}
+
+TEST(SimThreadTest, BusyTimeIncludesInFlightWork) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  Thread.post(makeTask(10e6, Duration::zero(), nullptr));
+  Sim.runUntil(TimePoint::origin() + Duration::milliseconds(4));
+  EXPECT_DOUBLE_EQ(Thread.totalBusyTime().millis(), 4.0);
+  EXPECT_TRUE(Thread.isBusy());
+}
+
+TEST(SimThreadTest, ComputeCostRunsAtTaskStart) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  TimePoint CostTime, DoneTime;
+  SimTask T;
+  T.ComputeCost = [&]() -> TaskCost {
+    CostTime = Sim.now();
+    return {Duration::zero(), 2e6};
+  };
+  T.OnComplete = [&] { DoneTime = Sim.now(); };
+  Thread.postDelayed(std::move(T), Duration::milliseconds(5));
+  Sim.run();
+  EXPECT_DOUBLE_EQ(CostTime.millis(), 5.0);
+  EXPECT_DOUBLE_EQ(DoneTime.millis(), 7.0);
+}
+
+TEST(SimThreadTest, OnCompleteMayPostMoreWork) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  int Count = 0;
+  std::function<void()> Chain = [&] {
+    if (++Count < 4)
+      Thread.post(makeTask(1e6, Duration::zero(), Chain));
+  };
+  Thread.post(makeTask(1e6, Duration::zero(), Chain));
+  Sim.run();
+  EXPECT_EQ(Count, 4);
+  EXPECT_EQ(Thread.tasksCompleted(), 4u);
+  EXPECT_DOUBLE_EQ(Sim.now().millis(), 4.0);
+}
+
+TEST(SimThreadTest, DelayedPostDroppedIfThreadDies) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  bool Fired = false;
+  {
+    SimThread Thread(Sim, Cpu, "t", 0);
+    Thread.postDelayed(makeTask(1e6, Duration::zero(),
+                                [&] { Fired = true; }),
+                       Duration::milliseconds(10));
+  }
+  Sim.run(); // must not crash
+  EXPECT_FALSE(Fired);
+}
+
+TEST(SimThreadTest, QueueDepth) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  Thread.post(makeTask(1e6, Duration::zero(), nullptr));
+  Thread.post(makeTask(1e6, Duration::zero(), nullptr));
+  Thread.post(makeTask(1e6, Duration::zero(), nullptr));
+  EXPECT_EQ(Thread.queueDepth(), 2u); // one in flight, two queued
+  Sim.run();
+  EXPECT_EQ(Thread.queueDepth(), 0u);
+}
+
+/// Property: total completion time of a task equals Fixed + Cycles/Hz
+/// across a sweep of speeds.
+class SimThreadSpeedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimThreadSpeedSweep, DurationMatchesModel) {
+  double Hz = GetParam();
+  Simulator Sim;
+  FixedCpu Cpu(Hz);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  TimePoint Done;
+  Duration Fixed = Duration::microseconds(700);
+  double Cycles = 3.3e6;
+  Thread.post(makeTask(Cycles, Fixed, [&] { Done = Sim.now(); }));
+  Sim.run();
+  double ExpectedMs = Fixed.millis() + Cycles / Hz * 1e3;
+  EXPECT_NEAR((Done - TimePoint::origin()).millis(), ExpectedMs, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, SimThreadSpeedSweep,
+                         ::testing::Values(0.28e9, 0.48e9, 1.28e9, 2.88e9));

@@ -1,0 +1,151 @@
+//===- tests/sim/SimulatorTest.cpp - DES kernel tests ------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(SimulatorTest, ClockStartsAtOrigin) {
+  Simulator Sim;
+  EXPECT_EQ(Sim.now(), TimePoint::origin());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator Sim;
+  std::vector<int> Order;
+  Sim.schedule(Duration::milliseconds(30), [&] { Order.push_back(3); });
+  Sim.schedule(Duration::milliseconds(10), [&] { Order.push_back(1); });
+  Sim.schedule(Duration::milliseconds(20), [&] { Order.push_back(2); });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Sim.now().millis(), 30.0);
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator Sim;
+  std::vector<int> Order;
+  for (int I = 0; I < 10; ++I)
+    Sim.schedule(Duration::milliseconds(5), [&, I] { Order.push_back(I); });
+  Sim.run();
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Order[size_t(I)], I);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator Sim;
+  bool Fired = false;
+  Sim.schedule(Duration::milliseconds(-5), [&] { Fired = true; });
+  Sim.run();
+  EXPECT_TRUE(Fired);
+  EXPECT_EQ(Sim.now(), TimePoint::origin());
+}
+
+TEST(SimulatorTest, ScheduleAtPastFiresAtCurrentTime) {
+  Simulator Sim;
+  Sim.schedule(Duration::milliseconds(10), [] {});
+  Sim.run();
+  TimePoint Before = Sim.now();
+  bool Fired = false;
+  Sim.scheduleAt(TimePoint::origin(), [&] { Fired = true; });
+  Sim.run();
+  EXPECT_TRUE(Fired);
+  EXPECT_EQ(Sim.now(), Before);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringEventsRun) {
+  Simulator Sim;
+  int Depth = 0;
+  std::function<void()> Chain = [&] {
+    if (++Depth < 5)
+      Sim.schedule(Duration::milliseconds(1), Chain);
+  };
+  Sim.schedule(Duration::zero(), Chain);
+  Sim.run();
+  EXPECT_EQ(Depth, 5);
+  EXPECT_EQ(Sim.now().millis(), 4.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator Sim;
+  bool Fired = false;
+  EventHandle H = Sim.schedule(Duration::milliseconds(1),
+                               [&] { Fired = true; });
+  EXPECT_TRUE(H.isActive());
+  H.cancel();
+  EXPECT_FALSE(H.isActive());
+  Sim.run();
+  EXPECT_FALSE(Fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoOp) {
+  Simulator Sim;
+  EventHandle H = Sim.schedule(Duration::zero(), [] {});
+  Sim.run();
+  EXPECT_FALSE(H.isActive());
+  H.cancel(); // must not crash or corrupt
+}
+
+TEST(SimulatorTest, RunWithLimitStops) {
+  Simulator Sim;
+  int Count = 0;
+  for (int I = 0; I < 10; ++I)
+    Sim.schedule(Duration::milliseconds(I), [&] { ++Count; });
+  EXPECT_EQ(Sim.run(3), 3u);
+  EXPECT_EQ(Count, 3);
+  EXPECT_EQ(Sim.run(), 7u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadline) {
+  Simulator Sim;
+  bool Early = false, Late = false;
+  Sim.schedule(Duration::milliseconds(5), [&] { Early = true; });
+  Sim.schedule(Duration::milliseconds(50), [&] { Late = true; });
+  Sim.runUntil(TimePoint::origin() + Duration::milliseconds(20));
+  EXPECT_TRUE(Early);
+  EXPECT_FALSE(Late);
+  EXPECT_EQ(Sim.now().millis(), 20.0);
+  Sim.run();
+  EXPECT_TRUE(Late);
+}
+
+TEST(SimulatorTest, RunUntilInclusiveOfDeadline) {
+  Simulator Sim;
+  bool AtDeadline = false;
+  Sim.schedule(Duration::milliseconds(20), [&] { AtDeadline = true; });
+  Sim.runUntil(TimePoint::origin() + Duration::milliseconds(20));
+  EXPECT_TRUE(AtDeadline);
+}
+
+TEST(SimulatorTest, IdleDetectsCancelledStubs) {
+  Simulator Sim;
+  EXPECT_TRUE(Sim.idle());
+  EventHandle H = Sim.schedule(Duration::milliseconds(1), [] {});
+  EXPECT_FALSE(Sim.idle());
+  H.cancel();
+  EXPECT_TRUE(Sim.idle());
+}
+
+/// Property: N interleaved schedulers produce exactly N events and a
+/// monotone clock regardless of insertion order.
+class SimulatorOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorOrderSweep, MonotoneClock) {
+  Simulator Sim;
+  int N = GetParam();
+  std::vector<double> FireTimes;
+  // Insert in reverse order to stress the heap.
+  for (int I = N; I > 0; --I)
+    Sim.schedule(Duration::milliseconds(I * 7 % 13),
+                 [&] { FireTimes.push_back(Sim.now().millis()); });
+  EXPECT_EQ(Sim.run(), uint64_t(N));
+  for (size_t I = 1; I < FireTimes.size(); ++I)
+    EXPECT_LE(FireTimes[I - 1], FireTimes[I]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimulatorOrderSweep,
+                         ::testing::Values(1, 2, 10, 100, 1000));

@@ -1,0 +1,166 @@
+//===- tests/support/RngTest.cpp - RNG tests --------------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace greenweb;
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I < 10'000; ++I) {
+    double U = R.uniform();
+    ASSERT_GE(U, 0.0);
+    ASSERT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng R(11);
+  double Sum = 0.0;
+  const int N = 100'000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.uniform();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform(-4.0, 4.0);
+    ASSERT_GE(U, -4.0);
+    ASSERT_LT(U, 4.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng R(5);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.uniformInt(0, 7);
+    ASSERT_GE(V, 0);
+    ASSERT_LE(V, 7);
+    Seen.insert(V);
+  }
+  // All eight values should appear in 1000 draws.
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng R(9);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(R.uniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng R(13);
+  const int N = 100'000;
+  double Sum = 0.0, SumSq = 0.0;
+  for (int I = 0; I < N; ++I) {
+    double X = R.normal();
+    Sum += X;
+    SumSq += X * X;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.02);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShifted) {
+  Rng R(17);
+  const int N = 50'000;
+  double Sum = 0.0;
+  for (int I = 0; I < N; ++I)
+    Sum += R.normal(10.0, 2.0);
+  EXPECT_NEAR(Sum / N, 10.0, 0.1);
+}
+
+TEST(RngTest, LogNormalPositive) {
+  Rng R(19);
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_GT(R.logNormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng R(23);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.chance(0.0));
+    EXPECT_TRUE(R.chance(1.0));
+    EXPECT_FALSE(R.chance(-0.5));
+    EXPECT_TRUE(R.chance(1.5));
+  }
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng R(29);
+  int Hits = 0;
+  const int N = 100'000;
+  for (int I = 0; I < N; ++I)
+    if (R.chance(0.25))
+      ++Hits;
+  EXPECT_NEAR(double(Hits) / N, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng A(100), B(100);
+  Rng FA = A.fork(7);
+  Rng FB = B.fork(7);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(FA.next(), FB.next());
+}
+
+TEST(RngTest, ForkLabelsIndependent) {
+  Rng A(100);
+  Rng F1 = A.fork(1);
+  Rng F2 = A.fork(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    if (F1.next() == F2.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng A(55), B(55);
+  (void)A.fork(9);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+/// Property: for every seed in a sweep, the first draws stay in range
+/// and differ from the seed itself (mixing works).
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, FirstDrawsWellFormed) {
+  Rng R(GetParam());
+  std::set<uint64_t> Values;
+  for (int I = 0; I < 16; ++I)
+    Values.insert(R.next());
+  // No trivially repeating stream.
+  EXPECT_EQ(Values.size(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 2ull, 3ull, 42ull,
+                                           1000ull, UINT64_MAX));

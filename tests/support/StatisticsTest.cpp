@@ -1,0 +1,144 @@
+//===- tests/support/StatisticsTest.cpp - statistics tests -------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace greenweb;
+
+TEST(StatisticsTest, MeanBasics) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(mean({5.0}), 5.0);
+  EXPECT_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatisticsTest, StddevBasics) {
+  EXPECT_EQ(stddev({}), 0.0);
+  EXPECT_EQ(stddev({7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0}), 1.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  EXPECT_EQ(median({}), 0.0);
+  EXPECT_EQ(median({3.0}), 3.0);
+  EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatisticsTest, MedianDoesNotRequireSortedInput) {
+  EXPECT_EQ(median({9.0, 1.0, 5.0, 3.0, 7.0}), 5.0);
+}
+
+TEST(StatisticsTest, GeomeanBasics) {
+  EXPECT_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(StatisticsTest, GeomeanClampsZeros) {
+  // A zero entry must not annihilate the mean entirely.
+  double G = geomean({1.0, 0.0}, 1e-9);
+  EXPECT_GT(G, 0.0);
+  EXPECT_NEAR(G, std::sqrt(1e-9), 1e-12);
+}
+
+TEST(StatisticsTest, PercentileBasics) {
+  std::vector<double> V = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(percentile(V, 0), 1.0);
+  EXPECT_EQ(percentile(V, 100), 5.0);
+  EXPECT_EQ(percentile(V, 50), 3.0);
+  EXPECT_EQ(percentile(V, 25), 2.0);
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  EXPECT_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(StatisticsTest, PercentileInterpolates) {
+  std::vector<double> V = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(V, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 75), 7.5);
+}
+
+TEST(StatisticsTest, RunningStat) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  S.add(2.0);
+  S.add(6.0);
+  S.add(4.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 6.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 12.0);
+}
+
+TEST(StatisticsTest, RunningStatNegatives) {
+  RunningStat S;
+  S.add(-5.0);
+  S.add(5.0);
+  EXPECT_EQ(S.min(), -5.0);
+  EXPECT_EQ(S.max(), 5.0);
+  EXPECT_EQ(S.mean(), 0.0);
+}
+
+/// Property suite over random vectors: classic inequalities and
+/// invariances that must hold for any data.
+class StatisticsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatisticsProperty, GeomeanLeqMean) {
+  Rng R(GetParam());
+  std::vector<double> V;
+  for (int I = 0; I < 50; ++I)
+    V.push_back(R.uniform(0.1, 10.0));
+  // AM-GM inequality.
+  EXPECT_LE(geomean(V), mean(V) + 1e-9);
+}
+
+TEST_P(StatisticsProperty, MedianWithinRange) {
+  Rng R(GetParam() ^ 0xBEEF);
+  std::vector<double> V;
+  for (int I = 0; I < 31; ++I)
+    V.push_back(R.normal(0.0, 100.0));
+  double M = median(V);
+  EXPECT_GE(M, *std::min_element(V.begin(), V.end()));
+  EXPECT_LE(M, *std::max_element(V.begin(), V.end()));
+}
+
+TEST_P(StatisticsProperty, PercentileMonotone) {
+  Rng R(GetParam() ^ 0xF00D);
+  std::vector<double> V;
+  for (int I = 0; I < 40; ++I)
+    V.push_back(R.uniform(-50.0, 50.0));
+  double Last = percentile(V, 0);
+  for (double P = 5; P <= 100; P += 5) {
+    double Value = percentile(V, P);
+    EXPECT_GE(Value, Last - 1e-12);
+    Last = Value;
+  }
+}
+
+TEST_P(StatisticsProperty, MeanShiftInvariance) {
+  Rng R(GetParam() ^ 0xABCD);
+  std::vector<double> V, Shifted;
+  for (int I = 0; I < 25; ++I) {
+    double X = R.uniform(0.0, 5.0);
+    V.push_back(X);
+    Shifted.push_back(X + 100.0);
+  }
+  EXPECT_NEAR(mean(Shifted), mean(V) + 100.0, 1e-9);
+  EXPECT_NEAR(stddev(Shifted), stddev(V), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatisticsProperty,
+                         ::testing::Range(uint64_t(1), uint64_t(11)));

@@ -1,0 +1,57 @@
+//===- tests/support/TablePrinterTest.cpp - table printer tests -------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(TablePrinterTest, EmptyTableRendersTitleOnly) {
+  TablePrinter T("Fig. 9a");
+  EXPECT_EQ(T.render(), "== Fig. 9a ==\n");
+}
+
+TEST(TablePrinterTest, HeaderSeparatorAndAlignment) {
+  TablePrinter T;
+  T.row().cell("App").cell("Energy");
+  T.row().cell("BBC").cell(31.9, 1);
+  std::string Out = T.render();
+  // Header, separator, one data row.
+  EXPECT_NE(Out.find("App"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+  EXPECT_NE(Out.find("31.9"), std::string::npos);
+  // Columns align: "Energy" starts at the same offset in both rows.
+  size_t HeaderLineEnd = Out.find('\n');
+  std::string Header = Out.substr(0, HeaderLineEnd);
+  EXPECT_EQ(Header.find("Energy"), 5u); // "App" + 2 spaces of padding
+}
+
+TEST(TablePrinterTest, NumericCells) {
+  TablePrinter T;
+  T.row().cell("a").cell("b").cell("c");
+  T.row().cell(int64_t(42)).cell(3.14159, 2).cell(size_t(7));
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("42"), std::string::npos);
+  EXPECT_NE(Out.find("3.14"), std::string::npos);
+  EXPECT_EQ(Out.find("3.142"), std::string::npos); // precision 2 only
+}
+
+TEST(TablePrinterTest, PercentCell) {
+  TablePrinter T;
+  T.row().cell("h");
+  T.row().percentCell(0.319, 1);
+  EXPECT_NE(T.render().find("31.9%"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RaggedRowsPadded) {
+  TablePrinter T;
+  T.row().cell("a").cell("b").cell("c");
+  T.row().cell("only");
+  std::string Out = T.render();
+  // Renders without crashing and contains both rows.
+  EXPECT_NE(Out.find("only"), std::string::npos);
+}

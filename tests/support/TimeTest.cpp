@@ -1,0 +1,115 @@
+//===- tests/support/TimeTest.cpp - Duration/TimePoint tests ----------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Time.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(DurationTest, NamedConstructorsAgree) {
+  EXPECT_EQ(Duration::microseconds(1), Duration::nanoseconds(1000));
+  EXPECT_EQ(Duration::milliseconds(1), Duration::microseconds(1000));
+  EXPECT_EQ(Duration::seconds(1), Duration::milliseconds(1000));
+}
+
+TEST(DurationTest, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::fromSeconds(1.5).nanos(), 1'500'000'000);
+  EXPECT_EQ(Duration::fromSeconds(1e-9).nanos(), 1);
+  EXPECT_EQ(Duration::fromSeconds(0.49e-9).nanos(), 0);
+  EXPECT_EQ(Duration::fromSeconds(-2.0).nanos(), -2'000'000'000);
+}
+
+TEST(DurationTest, FromMillis) {
+  EXPECT_EQ(Duration::fromMillis(16.6).nanos(), 16'600'000);
+  EXPECT_DOUBLE_EQ(Duration::fromMillis(33.3).millis(), 33.3);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration A = Duration::milliseconds(10);
+  Duration B = Duration::milliseconds(4);
+  EXPECT_EQ((A + B).millis(), 14.0);
+  EXPECT_EQ((A - B).millis(), 6.0);
+  EXPECT_EQ((B - A).millis(), -6.0);
+  EXPECT_TRUE((B - A).isNegative());
+  EXPECT_EQ((A * int64_t(3)).millis(), 30.0);
+  EXPECT_EQ(A / B, 2);
+  EXPECT_EQ((A / 2).millis(), 5.0);
+}
+
+TEST(DurationTest, ScalarDoubleMultiply) {
+  Duration A = Duration::milliseconds(100);
+  EXPECT_EQ((A * 0.5).millis(), 50.0);
+  EXPECT_EQ((A * 0.95).millis(), 95.0);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration A = Duration::milliseconds(5);
+  A += Duration::milliseconds(7);
+  EXPECT_EQ(A.millis(), 12.0);
+  A -= Duration::milliseconds(2);
+  EXPECT_EQ(A.millis(), 10.0);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::milliseconds(1), Duration::milliseconds(2));
+  EXPECT_GE(Duration::seconds(1), Duration::milliseconds(1000));
+  EXPECT_EQ(Duration::zero(), Duration::nanoseconds(0));
+  EXPECT_TRUE(Duration::zero().isZero());
+  EXPECT_LT(Duration::seconds(100000), Duration::max());
+}
+
+TEST(DurationTest, UnitAccessors) {
+  Duration D = Duration::milliseconds(1500);
+  EXPECT_DOUBLE_EQ(D.secs(), 1.5);
+  EXPECT_DOUBLE_EQ(D.millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(D.micros(), 1'500'000.0);
+  EXPECT_EQ(D.nanos(), 1'500'000'000);
+}
+
+TEST(DurationTest, AdaptiveFormatting) {
+  EXPECT_EQ(Duration::nanoseconds(500).str(), "500ns");
+  EXPECT_EQ(Duration::microseconds(20).str(), "20.0us");
+  EXPECT_EQ(Duration::fromMillis(16.6).str(), "16.6ms");
+  EXPECT_EQ(Duration::seconds(2).str(), "2.00s");
+}
+
+TEST(TimePointTest, OriginAndOffsets) {
+  TimePoint T0 = TimePoint::origin();
+  EXPECT_EQ(T0.nanos(), 0);
+  TimePoint T1 = T0 + Duration::milliseconds(5);
+  EXPECT_EQ(T1.millis(), 5.0);
+  EXPECT_EQ(T1 - T0, Duration::milliseconds(5));
+  EXPECT_EQ((T1 - Duration::milliseconds(2)).millis(), 3.0);
+}
+
+TEST(TimePointTest, Comparisons) {
+  TimePoint A = TimePoint::fromNanos(100);
+  TimePoint B = TimePoint::fromNanos(200);
+  EXPECT_LT(A, B);
+  EXPECT_EQ(A + Duration::nanoseconds(100), B);
+}
+
+TEST(TimePointTest, Str) {
+  EXPECT_EQ((TimePoint::origin() + Duration::fromMillis(12345.0)).str(),
+            "12.345s");
+}
+
+/// Property sweep: round-tripping N milliseconds through every accessor
+/// preserves the value.
+class DurationRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DurationRoundTrip, MillisRoundTrip) {
+  int64_t Ms = GetParam();
+  Duration D = Duration::milliseconds(Ms);
+  EXPECT_EQ(Duration::fromMillis(D.millis()), D);
+  EXPECT_EQ(Duration::fromSeconds(D.secs()), D);
+  EXPECT_EQ(Duration::nanoseconds(D.nanos()), D);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DurationRoundTrip,
+                         ::testing::Values(0, 1, 16, 33, 100, 300, 1000,
+                                           10'000, 86'000, -25));

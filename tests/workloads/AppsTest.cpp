@@ -1,0 +1,171 @@
+//===- tests/workloads/AppsTest.cpp - Table 3 app model tests -----------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Apps.h"
+
+#include "browser/Browser.h"
+#include "greenweb/AnnotationRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(AppsTest, TwelveAppsInPaperOrder) {
+  auto Names = allAppNames();
+  ASSERT_EQ(Names.size(), 12u);
+  EXPECT_EQ(Names.front(), "BBC");
+  EXPECT_EQ(Names.back(), "W3Schools");
+}
+
+TEST(AppsTest, DeterministicForFixedSeed) {
+  AppDefinition A = makeApp("Amazon", 7);
+  AppDefinition B = makeApp("Amazon", 7);
+  EXPECT_EQ(A.Html, B.Html);
+  ASSERT_EQ(A.Full.Events.size(), B.Full.Events.size());
+  for (size_t I = 0; I < A.Full.Events.size(); ++I)
+    EXPECT_EQ(A.Full.Events[I].At, B.Full.Events[I].At);
+}
+
+TEST(AppsTest, SeedVariesTraceJitter) {
+  AppDefinition A = makeApp("Amazon", 1);
+  AppDefinition B = makeApp("Amazon", 2);
+  bool AnyDiffers = false;
+  for (size_t I = 0; I < std::min(A.Full.Events.size(),
+                                  B.Full.Events.size());
+       ++I)
+    if (A.Full.Events[I].At != B.Full.Events[I].At)
+      AnyDiffers = true;
+  EXPECT_TRUE(AnyDiffers);
+}
+
+TEST(AppsTest, Table3MicroCategories) {
+  // The QoS-type / target categories of Table 3, per app.
+  struct Row {
+    const char *Name;
+    InteractionKind Kind;
+    QosType Type;
+    QosTarget Target;
+  };
+  const Row Rows[] = {
+      {"BBC", InteractionKind::Loading, QosType::Single,
+       defaultSingleLongTarget()},
+      {"Google", InteractionKind::Loading, QosType::Single,
+       defaultSingleLongTarget()},
+      {"CamanJS", InteractionKind::Tapping, QosType::Single,
+       defaultSingleLongTarget()},
+      {"LZMA-JS", InteractionKind::Tapping, QosType::Single,
+       defaultSingleLongTarget()},
+      {"MSN", InteractionKind::Tapping, QosType::Single,
+       defaultSingleShortTarget()},
+      {"Todo", InteractionKind::Tapping, QosType::Single,
+       defaultSingleShortTarget()},
+      {"Amazon", InteractionKind::Moving, QosType::Continuous,
+       defaultContinuousTarget()},
+      {"Craigslist", InteractionKind::Moving, QosType::Continuous,
+       defaultContinuousTarget()},
+      {"Paper.js", InteractionKind::Moving, QosType::Continuous,
+       {Duration::milliseconds(20), Duration::milliseconds(100)}},
+      {"Cnet", InteractionKind::Tapping, QosType::Continuous,
+       defaultContinuousTarget()},
+      {"Goo.ne.jp", InteractionKind::Tapping, QosType::Continuous,
+       defaultContinuousTarget()},
+      {"W3Schools", InteractionKind::Tapping, QosType::Continuous,
+       defaultContinuousTarget()},
+  };
+  for (const Row &R : Rows) {
+    AppDefinition App = makeApp(R.Name, 1);
+    EXPECT_EQ(App.MicroInteraction, R.Kind) << R.Name;
+    EXPECT_EQ(App.MicroType, R.Type) << R.Name;
+    EXPECT_EQ(App.MicroTarget, R.Target) << R.Name;
+  }
+}
+
+/// Per-app structural sweep: the page must parse and run cleanly, the
+/// traces must fit their session, and annotations must resolve.
+class AppSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppSweep, PageLoadsWithoutErrors) {
+  AppDefinition App = makeApp(GetParam(), 1);
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Chip.setConfig(Chip.spec().maxConfig());
+  Browser B(Sim, Chip);
+  ASSERT_NE(B.loadPage(App.Html), 0u);
+  Sim.runUntil(Sim.now() + Duration::seconds(3));
+  EXPECT_TRUE(B.ScriptErrors.empty())
+      << GetParam() << ": " << B.ScriptErrors[0];
+  EXPECT_TRUE(B.stylesheet().Diagnostics.empty())
+      << GetParam() << ": " << B.stylesheet().Diagnostics[0];
+  // At least the first meaningful paint happened.
+  EXPECT_GE(B.frameTracker().frames().size(), 1u);
+}
+
+TEST_P(AppSweep, AnnotationsResolve) {
+  AppDefinition App = makeApp(GetParam(), 1);
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Browser B(Sim, Chip);
+  ASSERT_NE(B.loadPage(App.Html), 0u);
+  AnnotationRegistry Registry;
+  std::vector<std::string> Diags;
+  EXPECT_GE(Registry.loadFromPage(B, &Diags), 1u);
+  EXPECT_TRUE(Diags.empty()) << GetParam() << ": " << Diags[0];
+  // The load event is annotated on every app.
+  EXPECT_TRUE(Registry.lookup(B.document()->root(), "load").has_value());
+  Sim.runUntil(Sim.now() + Duration::seconds(2));
+}
+
+TEST_P(AppSweep, TracesWithinSession) {
+  AppDefinition App = makeApp(GetParam(), 1);
+  for (const InteractionTrace *Trace : {&App.Micro, &App.Full}) {
+    Duration Last = Duration::zero();
+    for (const TraceEvent &E : Trace->Events) {
+      EXPECT_GE(E.At, Duration::zero());
+      EXPECT_LE(E.At, Trace->SessionLength);
+      EXPECT_GE(E.At, Last); // monotone within a trace? bursts interleave
+      Last = std::min(Last, E.At); // only sanity: no negative times
+    }
+  }
+}
+
+TEST_P(AppSweep, TraceEventsTargetRealElements) {
+  AppDefinition App = makeApp(GetParam(), 1);
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  Browser B(Sim, Chip);
+  ASSERT_NE(B.loadPage(App.Html), 0u);
+  for (const TraceEvent &E : App.Full.Events) {
+    EXPECT_FALSE(E.TargetId.empty()) << GetParam();
+    EXPECT_NE(B.document()->getElementById(E.TargetId), nullptr)
+        << GetParam() << " missing #" << E.TargetId;
+    EXPECT_TRUE(isUserInputEvent(E.Type)) << E.Type;
+  }
+  Sim.runUntil(Sim.now() + Duration::seconds(2));
+}
+
+TEST_P(AppSweep, FullTraceEventCountMatchesTable3) {
+  // Table 3's "Events" column counts the load too.
+  static const std::map<std::string, size_t> Expected = {
+      {"BBC", 60},    {"Google", 26},     {"CamanJS", 24},
+      {"LZMA-JS", 39}, {"MSN", 126},      {"Todo", 26},
+      {"Amazon", 101}, {"Craigslist", 22}, {"Paper.js", 560},
+      {"Cnet", 59},    {"Goo.ne.jp", 23},  {"W3Schools", 59}};
+  AppDefinition App = makeApp(GetParam(), 1);
+  EXPECT_EQ(App.Full.Events.size() + 1, Expected.at(GetParam()));
+}
+
+TEST_P(AppSweep, ComplexityProfileSane) {
+  AppDefinition App = makeApp(GetParam(), 1);
+  EXPECT_GT(App.Complexity.Base, 0.0);
+  EXPECT_GE(App.Complexity.Jitter, 0.0);
+  EXPECT_LT(App.Complexity.Jitter, 1.0);
+  if (App.Complexity.SurgeProbability > 0.0) {
+    EXPECT_GT(App.Complexity.SurgeScale, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSweep,
+                         ::testing::ValuesIn(allAppNames()));

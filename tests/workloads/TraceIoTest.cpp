@@ -1,0 +1,96 @@
+//===- tests/workloads/TraceIoTest.cpp - trace (de)serialization tests --------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/TraceIo.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(TraceIoTest, SerializeBasics) {
+  InteractionTrace Trace;
+  Trace.SessionLength = Duration::seconds(2);
+  Trace.Events.push_back({Duration::fromMillis(100.5), "click", "btn"});
+  Trace.Events.push_back({Duration::fromMillis(200.0), "touchmove", ""});
+  std::string Text = serializeTrace(Trace);
+  EXPECT_NE(Text.find("session 2000.000"), std::string::npos);
+  EXPECT_NE(Text.find("100.500 click btn"), std::string::npos);
+  EXPECT_NE(Text.find("200.000 touchmove -"), std::string::npos);
+}
+
+TEST(TraceIoTest, ParseBasics) {
+  TraceParseResult R = parseTrace(R"(
+# a comment
+session 5000
+100 click btn
+33.3 touchmove feed
+)");
+  ASSERT_TRUE(R.succeeded()) << R.Diagnostics[0];
+  EXPECT_EQ(R.Trace.SessionLength, Duration::seconds(5));
+  ASSERT_EQ(R.Trace.Events.size(), 2u);
+  // Events sorted by time.
+  EXPECT_EQ(R.Trace.Events[0].Type, "touchmove");
+  EXPECT_EQ(R.Trace.Events[1].TargetId, "btn");
+}
+
+TEST(TraceIoTest, RootTargetDash) {
+  TraceParseResult R = parseTrace("0 load -\n");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_TRUE(R.Trace.Events[0].TargetId.empty());
+}
+
+TEST(TraceIoTest, SessionDefaultsToLastEvent) {
+  TraceParseResult R = parseTrace("100 click a\n400 click a\n");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Trace.SessionLength, Duration::milliseconds(400));
+}
+
+TEST(TraceIoTest, MalformedLinesDiagnosed) {
+  TraceParseResult R = parseTrace(R"(
+abc click a
+100 mouseover a
+100 click
+session -5
+50 click ok
+)");
+  EXPECT_EQ(R.Diagnostics.size(), 4u);
+  ASSERT_EQ(R.Trace.Events.size(), 1u);
+  EXPECT_EQ(R.Trace.Events[0].TargetId, "ok");
+}
+
+TEST(TraceIoTest, EventTypesCaseInsensitive) {
+  TraceParseResult R = parseTrace("10 TouchStart x\n");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Trace.Events[0].Type, "touchstart");
+}
+
+/// Round trip every Table 3 app's full trace through the format.
+class TraceRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceRoundTrip, FullTraceSurvives) {
+  AppDefinition App = makeApp(GetParam(), 1);
+  TraceParseResult R = parseTrace(serializeTrace(App.Full));
+  ASSERT_TRUE(R.succeeded()) << R.Diagnostics[0];
+  // Parsing sorts by time; compare against a sorted copy.
+  InteractionTrace Sorted = App.Full;
+  std::stable_sort(Sorted.Events.begin(), Sorted.Events.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.At < B.At;
+                   });
+  ASSERT_EQ(R.Trace.Events.size(), Sorted.Events.size());
+  for (size_t I = 0; I < Sorted.Events.size(); ++I) {
+    // Millisecond-precision format: compare at 1 us tolerance.
+    EXPECT_NEAR(R.Trace.Events[I].At.millis(),
+                Sorted.Events[I].At.millis(), 1e-3);
+    EXPECT_EQ(R.Trace.Events[I].Type, Sorted.Events[I].Type);
+    EXPECT_EQ(R.Trace.Events[I].TargetId, Sorted.Events[I].TargetId);
+  }
+  EXPECT_NEAR(R.Trace.SessionLength.millis(),
+              App.Full.SessionLength.millis(), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, TraceRoundTrip,
+                         ::testing::ValuesIn(allAppNames()));
