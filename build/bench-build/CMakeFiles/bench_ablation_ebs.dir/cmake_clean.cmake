@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ebs"
+  "../bench/bench_ablation_ebs.pdb"
+  "CMakeFiles/bench_ablation_ebs.dir/bench_ablation_ebs.cpp.o"
+  "CMakeFiles/bench_ablation_ebs.dir/bench_ablation_ebs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_governors"
+  "../bench/bench_ablation_governors.pdb"
+  "CMakeFiles/bench_ablation_governors.dir/bench_ablation_governors.cpp.o"
+  "CMakeFiles/bench_ablation_governors.dir/bench_ablation_governors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_misannotation"
+  "../bench/bench_ablation_misannotation.pdb"
+  "CMakeFiles/bench_ablation_misannotation.dir/bench_ablation_misannotation.cpp.o"
+  "CMakeFiles/bench_ablation_misannotation.dir/bench_ablation_misannotation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_misannotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

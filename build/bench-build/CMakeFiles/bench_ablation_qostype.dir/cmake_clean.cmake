@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_qostype"
+  "../bench/bench_ablation_qostype.pdb"
+  "CMakeFiles/bench_ablation_qostype.dir/bench_ablation_qostype.cpp.o"
+  "CMakeFiles/bench_ablation_qostype.dir/bench_ablation_qostype.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qostype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_recalibration"
+  "../bench/bench_ablation_recalibration.pdb"
+  "CMakeFiles/bench_ablation_recalibration.dir/bench_ablation_recalibration.cpp.o"
+  "CMakeFiles/bench_ablation_recalibration.dir/bench_ablation_recalibration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recalibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

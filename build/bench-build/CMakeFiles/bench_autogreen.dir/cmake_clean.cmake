@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_autogreen"
+  "../bench/bench_autogreen.pdb"
+  "CMakeFiles/bench_autogreen.dir/bench_autogreen.cpp.o"
+  "CMakeFiles/bench_autogreen.dir/bench_autogreen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autogreen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_confdist"
+  "../bench/bench_fig11_confdist.pdb"
+  "CMakeFiles/bench_fig11_confdist.dir/bench_fig11_confdist.cpp.o"
+  "CMakeFiles/bench_fig11_confdist.dir/bench_fig11_confdist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_confdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

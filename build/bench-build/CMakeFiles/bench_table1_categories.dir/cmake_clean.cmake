@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_categories"
+  "../bench/bench_table1_categories.pdb"
+  "CMakeFiles/bench_table1_categories.dir/bench_table1_categories.cpp.o"
+  "CMakeFiles/bench_table1_categories.dir/bench_table1_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_api"
+  "../bench/bench_table2_api.pdb"
+  "CMakeFiles/bench_table2_api.dir/bench_table2_api.cpp.o"
+  "CMakeFiles/bench_table2_api.dir/bench_table2_api.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_apps.cpp" "bench-build/CMakeFiles/bench_table3_apps.dir/bench_table3_apps.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table3_apps.dir/bench_table3_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/autogreen/CMakeFiles/gw_autogreen.dir/DependInfo.cmake"
+  "/root/repo/build/src/greenweb/CMakeFiles/gw_greenweb.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/gw_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/gw_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/css/CMakeFiles/gw_css.dir/DependInfo.cmake"
+  "/root/repo/build/src/js/CMakeFiles/gw_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/dom/CMakeFiles/gw_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gw_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogreen_tool.dir/autogreen_tool.cpp.o"
+  "CMakeFiles/autogreen_tool.dir/autogreen_tool.cpp.o.d"
+  "autogreen_tool"
+  "autogreen_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogreen_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_evaluation.dir/full_evaluation.cpp.o"
+  "CMakeFiles/full_evaluation.dir/full_evaluation.cpp.o.d"
+  "full_evaluation"
+  "full_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

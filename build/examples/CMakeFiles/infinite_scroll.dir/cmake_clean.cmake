@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infinite_scroll.dir/infinite_scroll.cpp.o"
+  "CMakeFiles/infinite_scroll.dir/infinite_scroll.cpp.o.d"
+  "infinite_scroll"
+  "infinite_scroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infinite_scroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

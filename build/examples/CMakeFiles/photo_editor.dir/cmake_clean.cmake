@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_editor.dir/photo_editor.cpp.o"
+  "CMakeFiles/photo_editor.dir/photo_editor.cpp.o.d"
+  "photo_editor"
+  "photo_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

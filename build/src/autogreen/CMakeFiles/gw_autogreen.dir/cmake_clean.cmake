@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_autogreen.dir/AutoGreen.cpp.o"
+  "CMakeFiles/gw_autogreen.dir/AutoGreen.cpp.o.d"
+  "libgw_autogreen.a"
+  "libgw_autogreen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_autogreen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_browser.dir/Browser.cpp.o"
+  "CMakeFiles/gw_browser.dir/Browser.cpp.o.d"
+  "CMakeFiles/gw_browser.dir/FrameTracker.cpp.o"
+  "CMakeFiles/gw_browser.dir/FrameTracker.cpp.o.d"
+  "CMakeFiles/gw_browser.dir/TraceExport.cpp.o"
+  "CMakeFiles/gw_browser.dir/TraceExport.cpp.o.d"
+  "libgw_browser.a"
+  "libgw_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/css/CssAst.cpp" "src/css/CMakeFiles/gw_css.dir/CssAst.cpp.o" "gcc" "src/css/CMakeFiles/gw_css.dir/CssAst.cpp.o.d"
+  "/root/repo/src/css/CssLexer.cpp" "src/css/CMakeFiles/gw_css.dir/CssLexer.cpp.o" "gcc" "src/css/CMakeFiles/gw_css.dir/CssLexer.cpp.o.d"
+  "/root/repo/src/css/CssParser.cpp" "src/css/CMakeFiles/gw_css.dir/CssParser.cpp.o" "gcc" "src/css/CMakeFiles/gw_css.dir/CssParser.cpp.o.d"
+  "/root/repo/src/css/CssValues.cpp" "src/css/CMakeFiles/gw_css.dir/CssValues.cpp.o" "gcc" "src/css/CMakeFiles/gw_css.dir/CssValues.cpp.o.d"
+  "/root/repo/src/css/StyleResolver.cpp" "src/css/CMakeFiles/gw_css.dir/StyleResolver.cpp.o" "gcc" "src/css/CMakeFiles/gw_css.dir/StyleResolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dom/CMakeFiles/gw_dom.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_css.dir/CssAst.cpp.o"
+  "CMakeFiles/gw_css.dir/CssAst.cpp.o.d"
+  "CMakeFiles/gw_css.dir/CssLexer.cpp.o"
+  "CMakeFiles/gw_css.dir/CssLexer.cpp.o.d"
+  "CMakeFiles/gw_css.dir/CssParser.cpp.o"
+  "CMakeFiles/gw_css.dir/CssParser.cpp.o.d"
+  "CMakeFiles/gw_css.dir/CssValues.cpp.o"
+  "CMakeFiles/gw_css.dir/CssValues.cpp.o.d"
+  "CMakeFiles/gw_css.dir/StyleResolver.cpp.o"
+  "CMakeFiles/gw_css.dir/StyleResolver.cpp.o.d"
+  "libgw_css.a"
+  "libgw_css.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_css.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_dom.dir/Dom.cpp.o"
+  "CMakeFiles/gw_dom.dir/Dom.cpp.o.d"
+  "libgw_dom.a"
+  "libgw_dom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_dom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

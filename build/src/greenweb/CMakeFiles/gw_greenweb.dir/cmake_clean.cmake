@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_greenweb.dir/AnnotationRegistry.cpp.o"
+  "CMakeFiles/gw_greenweb.dir/AnnotationRegistry.cpp.o.d"
+  "CMakeFiles/gw_greenweb.dir/Governors.cpp.o"
+  "CMakeFiles/gw_greenweb.dir/Governors.cpp.o.d"
+  "CMakeFiles/gw_greenweb.dir/GreenWebRuntime.cpp.o"
+  "CMakeFiles/gw_greenweb.dir/GreenWebRuntime.cpp.o.d"
+  "CMakeFiles/gw_greenweb.dir/PerfModel.cpp.o"
+  "CMakeFiles/gw_greenweb.dir/PerfModel.cpp.o.d"
+  "CMakeFiles/gw_greenweb.dir/Qos.cpp.o"
+  "CMakeFiles/gw_greenweb.dir/Qos.cpp.o.d"
+  "libgw_greenweb.a"
+  "libgw_greenweb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_greenweb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_html.dir/HtmlParser.cpp.o"
+  "CMakeFiles/gw_html.dir/HtmlParser.cpp.o.d"
+  "libgw_html.a"
+  "libgw_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

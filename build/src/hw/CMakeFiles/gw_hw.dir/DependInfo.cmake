@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/AcmpChip.cpp" "src/hw/CMakeFiles/gw_hw.dir/AcmpChip.cpp.o" "gcc" "src/hw/CMakeFiles/gw_hw.dir/AcmpChip.cpp.o.d"
+  "/root/repo/src/hw/AcmpSpec.cpp" "src/hw/CMakeFiles/gw_hw.dir/AcmpSpec.cpp.o" "gcc" "src/hw/CMakeFiles/gw_hw.dir/AcmpSpec.cpp.o.d"
+  "/root/repo/src/hw/EnergyMeter.cpp" "src/hw/CMakeFiles/gw_hw.dir/EnergyMeter.cpp.o" "gcc" "src/hw/CMakeFiles/gw_hw.dir/EnergyMeter.cpp.o.d"
+  "/root/repo/src/hw/PowerModel.cpp" "src/hw/CMakeFiles/gw_hw.dir/PowerModel.cpp.o" "gcc" "src/hw/CMakeFiles/gw_hw.dir/PowerModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_hw.dir/AcmpChip.cpp.o"
+  "CMakeFiles/gw_hw.dir/AcmpChip.cpp.o.d"
+  "CMakeFiles/gw_hw.dir/AcmpSpec.cpp.o"
+  "CMakeFiles/gw_hw.dir/AcmpSpec.cpp.o.d"
+  "CMakeFiles/gw_hw.dir/EnergyMeter.cpp.o"
+  "CMakeFiles/gw_hw.dir/EnergyMeter.cpp.o.d"
+  "CMakeFiles/gw_hw.dir/PowerModel.cpp.o"
+  "CMakeFiles/gw_hw.dir/PowerModel.cpp.o.d"
+  "libgw_hw.a"
+  "libgw_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

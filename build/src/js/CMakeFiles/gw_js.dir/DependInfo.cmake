@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/js/JsInterp.cpp" "src/js/CMakeFiles/gw_js.dir/JsInterp.cpp.o" "gcc" "src/js/CMakeFiles/gw_js.dir/JsInterp.cpp.o.d"
+  "/root/repo/src/js/JsLexer.cpp" "src/js/CMakeFiles/gw_js.dir/JsLexer.cpp.o" "gcc" "src/js/CMakeFiles/gw_js.dir/JsLexer.cpp.o.d"
+  "/root/repo/src/js/JsParser.cpp" "src/js/CMakeFiles/gw_js.dir/JsParser.cpp.o" "gcc" "src/js/CMakeFiles/gw_js.dir/JsParser.cpp.o.d"
+  "/root/repo/src/js/JsValue.cpp" "src/js/CMakeFiles/gw_js.dir/JsValue.cpp.o" "gcc" "src/js/CMakeFiles/gw_js.dir/JsValue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_js.dir/JsInterp.cpp.o"
+  "CMakeFiles/gw_js.dir/JsInterp.cpp.o.d"
+  "CMakeFiles/gw_js.dir/JsLexer.cpp.o"
+  "CMakeFiles/gw_js.dir/JsLexer.cpp.o.d"
+  "CMakeFiles/gw_js.dir/JsParser.cpp.o"
+  "CMakeFiles/gw_js.dir/JsParser.cpp.o.d"
+  "CMakeFiles/gw_js.dir/JsValue.cpp.o"
+  "CMakeFiles/gw_js.dir/JsValue.cpp.o.d"
+  "libgw_js.a"
+  "libgw_js.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_js.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

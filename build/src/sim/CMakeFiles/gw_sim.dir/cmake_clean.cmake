@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_sim.dir/SimThread.cpp.o"
+  "CMakeFiles/gw_sim.dir/SimThread.cpp.o.d"
+  "CMakeFiles/gw_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/gw_sim.dir/Simulator.cpp.o.d"
+  "libgw_sim.a"
+  "libgw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

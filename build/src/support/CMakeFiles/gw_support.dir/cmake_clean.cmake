@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_support.dir/Rng.cpp.o"
+  "CMakeFiles/gw_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/gw_support.dir/Statistics.cpp.o"
+  "CMakeFiles/gw_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/gw_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/gw_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/gw_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/gw_support.dir/TablePrinter.cpp.o.d"
+  "CMakeFiles/gw_support.dir/Time.cpp.o"
+  "CMakeFiles/gw_support.dir/Time.cpp.o.d"
+  "libgw_support.a"
+  "libgw_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_workloads.dir/Apps.cpp.o"
+  "CMakeFiles/gw_workloads.dir/Apps.cpp.o.d"
+  "CMakeFiles/gw_workloads.dir/Experiment.cpp.o"
+  "CMakeFiles/gw_workloads.dir/Experiment.cpp.o.d"
+  "CMakeFiles/gw_workloads.dir/TraceIo.cpp.o"
+  "CMakeFiles/gw_workloads.dir/TraceIo.cpp.o.d"
+  "libgw_workloads.a"
+  "libgw_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_autogreen_tests.dir/autogreen/AutoGreenTest.cpp.o"
+  "CMakeFiles/gw_autogreen_tests.dir/autogreen/AutoGreenTest.cpp.o.d"
+  "gw_autogreen_tests"
+  "gw_autogreen_tests.pdb"
+  "gw_autogreen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_autogreen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_browser_tests.dir/browser/BrowserTest.cpp.o"
+  "CMakeFiles/gw_browser_tests.dir/browser/BrowserTest.cpp.o.d"
+  "CMakeFiles/gw_browser_tests.dir/browser/FrameTrackerTest.cpp.o"
+  "CMakeFiles/gw_browser_tests.dir/browser/FrameTrackerTest.cpp.o.d"
+  "CMakeFiles/gw_browser_tests.dir/browser/TraceExportTest.cpp.o"
+  "CMakeFiles/gw_browser_tests.dir/browser/TraceExportTest.cpp.o.d"
+  "gw_browser_tests"
+  "gw_browser_tests.pdb"
+  "gw_browser_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_browser_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_dom_tests.dir/dom/DomTest.cpp.o"
+  "CMakeFiles/gw_dom_tests.dir/dom/DomTest.cpp.o.d"
+  "gw_dom_tests"
+  "gw_dom_tests.pdb"
+  "gw_dom_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_dom_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_frontend_tests.dir/css/CssLexerTest.cpp.o"
+  "CMakeFiles/gw_frontend_tests.dir/css/CssLexerTest.cpp.o.d"
+  "CMakeFiles/gw_frontend_tests.dir/css/CssParserTest.cpp.o"
+  "CMakeFiles/gw_frontend_tests.dir/css/CssParserTest.cpp.o.d"
+  "CMakeFiles/gw_frontend_tests.dir/css/CssValuesTest.cpp.o"
+  "CMakeFiles/gw_frontend_tests.dir/css/CssValuesTest.cpp.o.d"
+  "CMakeFiles/gw_frontend_tests.dir/css/StyleResolverTest.cpp.o"
+  "CMakeFiles/gw_frontend_tests.dir/css/StyleResolverTest.cpp.o.d"
+  "CMakeFiles/gw_frontend_tests.dir/frontend/RobustnessTest.cpp.o"
+  "CMakeFiles/gw_frontend_tests.dir/frontend/RobustnessTest.cpp.o.d"
+  "CMakeFiles/gw_frontend_tests.dir/html/HtmlParserTest.cpp.o"
+  "CMakeFiles/gw_frontend_tests.dir/html/HtmlParserTest.cpp.o.d"
+  "CMakeFiles/gw_frontend_tests.dir/js/JsInterpTest.cpp.o"
+  "CMakeFiles/gw_frontend_tests.dir/js/JsInterpTest.cpp.o.d"
+  "CMakeFiles/gw_frontend_tests.dir/js/JsParserTest.cpp.o"
+  "CMakeFiles/gw_frontend_tests.dir/js/JsParserTest.cpp.o.d"
+  "gw_frontend_tests"
+  "gw_frontend_tests.pdb"
+  "gw_frontend_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_frontend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

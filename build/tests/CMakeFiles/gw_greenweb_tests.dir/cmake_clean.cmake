@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/AnnotationRegistryTest.cpp.o"
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/AnnotationRegistryTest.cpp.o.d"
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/GovernorsTest.cpp.o"
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/GovernorsTest.cpp.o.d"
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/GreenWebRuntimeTest.cpp.o"
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/GreenWebRuntimeTest.cpp.o.d"
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/PerfModelTest.cpp.o"
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/PerfModelTest.cpp.o.d"
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/QosTest.cpp.o"
+  "CMakeFiles/gw_greenweb_tests.dir/greenweb/QosTest.cpp.o.d"
+  "gw_greenweb_tests"
+  "gw_greenweb_tests.pdb"
+  "gw_greenweb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_greenweb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

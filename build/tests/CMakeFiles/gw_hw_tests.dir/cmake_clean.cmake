@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_hw_tests.dir/hw/AcmpTest.cpp.o"
+  "CMakeFiles/gw_hw_tests.dir/hw/AcmpTest.cpp.o.d"
+  "CMakeFiles/gw_hw_tests.dir/hw/EnergyMeterTest.cpp.o"
+  "CMakeFiles/gw_hw_tests.dir/hw/EnergyMeterTest.cpp.o.d"
+  "gw_hw_tests"
+  "gw_hw_tests.pdb"
+  "gw_hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_integration_tests.dir/integration/PaperExamplesTest.cpp.o"
+  "CMakeFiles/gw_integration_tests.dir/integration/PaperExamplesTest.cpp.o.d"
+  "gw_integration_tests"
+  "gw_integration_tests.pdb"
+  "gw_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_sim_tests.dir/sim/SimThreadTest.cpp.o"
+  "CMakeFiles/gw_sim_tests.dir/sim/SimThreadTest.cpp.o.d"
+  "CMakeFiles/gw_sim_tests.dir/sim/SimulatorTest.cpp.o"
+  "CMakeFiles/gw_sim_tests.dir/sim/SimulatorTest.cpp.o.d"
+  "gw_sim_tests"
+  "gw_sim_tests.pdb"
+  "gw_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

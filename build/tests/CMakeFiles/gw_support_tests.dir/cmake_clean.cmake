@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_support_tests.dir/support/RngTest.cpp.o"
+  "CMakeFiles/gw_support_tests.dir/support/RngTest.cpp.o.d"
+  "CMakeFiles/gw_support_tests.dir/support/StatisticsTest.cpp.o"
+  "CMakeFiles/gw_support_tests.dir/support/StatisticsTest.cpp.o.d"
+  "CMakeFiles/gw_support_tests.dir/support/StringUtilsTest.cpp.o"
+  "CMakeFiles/gw_support_tests.dir/support/StringUtilsTest.cpp.o.d"
+  "CMakeFiles/gw_support_tests.dir/support/TablePrinterTest.cpp.o"
+  "CMakeFiles/gw_support_tests.dir/support/TablePrinterTest.cpp.o.d"
+  "CMakeFiles/gw_support_tests.dir/support/TimeTest.cpp.o"
+  "CMakeFiles/gw_support_tests.dir/support/TimeTest.cpp.o.d"
+  "gw_support_tests"
+  "gw_support_tests.pdb"
+  "gw_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

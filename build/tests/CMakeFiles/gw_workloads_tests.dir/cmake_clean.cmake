@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gw_workloads_tests.dir/workloads/AppsTest.cpp.o"
+  "CMakeFiles/gw_workloads_tests.dir/workloads/AppsTest.cpp.o.d"
+  "CMakeFiles/gw_workloads_tests.dir/workloads/ExperimentTest.cpp.o"
+  "CMakeFiles/gw_workloads_tests.dir/workloads/ExperimentTest.cpp.o.d"
+  "CMakeFiles/gw_workloads_tests.dir/workloads/TraceIoTest.cpp.o"
+  "CMakeFiles/gw_workloads_tests.dir/workloads/TraceIoTest.cpp.o.d"
+  "gw_workloads_tests"
+  "gw_workloads_tests.pdb"
+  "gw_workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gw_workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gw_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/gw_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/gw_hw_tests[1]_include.cmake")
+include("/root/repo/build/tests/gw_frontend_tests[1]_include.cmake")
+include("/root/repo/build/tests/gw_dom_tests[1]_include.cmake")
+include("/root/repo/build/tests/gw_browser_tests[1]_include.cmake")
+include("/root/repo/build/tests/gw_greenweb_tests[1]_include.cmake")
+include("/root/repo/build/tests/gw_autogreen_tests[1]_include.cmake")
+include("/root/repo/build/tests/gw_workloads_tests[1]_include.cmake")
+include("/root/repo/build/tests/gw_integration_tests[1]_include.cmake")
