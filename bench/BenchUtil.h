@@ -16,9 +16,11 @@
 
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 
@@ -26,26 +28,52 @@ namespace greenweb::bench {
 
 /// Runs (or returns the cached) median experiment for one
 /// (app, governor, mode) cell under the paper's three-seed protocol.
+///
+/// Every run instruments into a shared metrics-only telemetry hub (a
+/// sweep touches hundreds of runs, so the per-record log stays off);
+/// set GREENWEB_BENCH_METRICS=<path> to write the aggregate snapshot
+/// as JSON when the harness exits. Stdout is unaffected either way.
 class ResultCache {
 public:
+  ResultCache() { Tel.setLogCapacity(0); }
+
+  ~ResultCache() {
+    const char *Path = std::getenv("GREENWEB_BENCH_METRICS");
+    if (!Path || !*Path)
+      return;
+    if (std::FILE *F = std::fopen(Path, "w")) {
+      std::string Json = Tel.metrics().snapshotJson();
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
+    }
+  }
+
   const ExperimentResult &get(const std::string &App,
                               const std::string &Governor,
                               ExperimentMode Mode) {
     auto Key = App + "|" + Governor +
                (Mode == ExperimentMode::Micro ? "|micro" : "|full");
     auto It = Cache.find(Key);
-    if (It != Cache.end())
+    if (It != Cache.end()) {
+      Tel.metrics().counter("bench.cache_hits").add();
       return It->second;
+    }
+    Tel.metrics().counter("bench.cells_run").add();
     ExperimentConfig Config;
     Config.AppName = App;
     Config.GovernorName = Governor;
     Config.Mode = Mode;
+    Config.Tel = &Tel;
     auto [Inserted, _] =
         Cache.emplace(Key, runExperimentMedian(Config, {1, 2, 3}));
     return Inserted->second;
   }
 
+  /// The harness-wide hub (aggregate metrics across every cached run).
+  Telemetry &telemetry() { return Tel; }
+
 private:
+  Telemetry Tel;
   std::map<std::string, ExperimentResult> Cache;
 };
 

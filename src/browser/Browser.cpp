@@ -9,6 +9,7 @@
 #include "css/CssParser.h"
 #include "html/HtmlParser.h"
 #include "support/StringUtils.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -607,9 +608,21 @@ void Browser::beginFrame(TimePoint BeginTime) {
       scheduleVsyncIfNeeded();
       return;
     }
+    recordStage("animate");
     runPipelineStage(0);
   };
+  StageMark = BeginTime;
   Main->post(std::move(Animate));
+}
+
+void Browser::recordStage(const char *Stage) {
+  Telemetry *T = Sim.telemetry();
+  if (!T || !T->enabled())
+    return;
+  TimePoint Now = Sim.now();
+  T->recordFrameStage(
+      {int64_t(NextFrameId), Stage, (Now - StageMark).millis()});
+  StageMark = Now;
 }
 
 void Browser::runPipelineStage(unsigned StageIndex) {
@@ -645,12 +658,16 @@ void Browser::runPipelineStage(unsigned StageIndex) {
   Stage.Label = Label;
   Stage.Cost = Cost;
   if (StageIndex < 2) {
-    Stage.OnComplete = [this, StageIndex] { runPipelineStage(StageIndex + 1); };
+    Stage.OnComplete = [this, StageIndex, Label] {
+      recordStage(Label);
+      runPipelineStage(StageIndex + 1);
+    };
     Main->post(std::move(Stage));
     return;
   }
   // After paint, hand off to the compositor thread.
   Stage.OnComplete = [this] {
+    recordStage("paint");
     TaskCost CompositeCost = {Options.Costs.CompositeFixedTime,
                               Options.Costs.CompositeCycles};
     FrameCycles += CompositeCost.Cycles;
@@ -659,6 +676,7 @@ void Browser::runPipelineStage(unsigned StageIndex) {
     Composite.Label = "composite";
     Composite.Cost = CompositeCost;
     Composite.OnComplete = [this] {
+      recordStage("composite");
       // Frame-ready signal travels back to the browser process.
       scheduleGuarded(Options.Costs.IpcLatency, [this] { finishFrame(); });
     };
@@ -669,11 +687,19 @@ void Browser::runPipelineStage(unsigned StageIndex) {
 }
 
 void Browser::finishFrame() {
+  recordStage("present");
   FrameRecord Record =
       Tracker.finishFrame(NextFrameId++, FrameBeginTime, Sim.now(),
                           std::move(FrameMsgs), FrameCycles, FrameFixed);
   FrameMsgs.clear();
   FrameInFlight = false;
+
+  if (Telemetry *T = Sim.telemetry(); T && T->enabled()) {
+    T->metrics().counter("browser.frames").add(1);
+    T->metrics()
+        .histogram("browser.frame_latency_ms", defaultLatencyBucketsMs())
+        .observe(Record.maxLatency().millis());
+  }
 
   for (FrameObserver *O : Observers)
     O->onFrameReady(Record);

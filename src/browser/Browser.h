@@ -195,6 +195,9 @@ private:
   void beginFrame(TimePoint BeginTime);
   void runPipelineStage(unsigned StageIndex);
   void finishFrame();
+  /// Telemetry: logs the in-flight frame's pipeline interval since the
+  /// previous stage boundary and advances the boundary.
+  void recordStage(const char *Stage);
 
   /// Invokes a script function with root attribution and error capture.
   /// Returns the cost accumulated by the interpreter during the call.
@@ -243,6 +246,8 @@ private:
   bool VsyncScheduled = false;
   uint64_t NextFrameId = 1;
   TimePoint FrameBeginTime;
+  /// Boundary of the last completed pipeline stage (telemetry).
+  TimePoint StageMark;
   std::vector<FrameMsg> FrameMsgs;
   double FrameCycles = 0.0;
   Duration FrameFixed;

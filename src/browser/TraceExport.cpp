@@ -7,6 +7,9 @@
 #include "browser/TraceExport.h"
 
 #include "support/StringUtils.h"
+#include "telemetry/Telemetry.h"
+
+#include <cassert>
 
 using namespace greenweb;
 
@@ -78,6 +81,107 @@ greenweb::exportChromeTrace(const std::vector<FrameRecord> &Frames,
   for (const ConfigInterval &Interval : Cpu)
     appendCompleteEvent(Out, Interval.Config.str(), "cpu", Interval.Begin,
                         Interval.End - Interval.Begin, "{}");
+
+  Out += "]\n";
+  return Out;
+}
+
+namespace {
+
+/// Emits one counter ("C") trace event; \p Args holds the series.
+void appendCounterEvent(std::string &Out, const char *Name, TimePoint Ts,
+                        const std::string &Args) {
+  if (Out.size() > 1)
+    Out += ",\n";
+  Out += formatString("{\"name\":\"%s\",\"cat\":\"greenweb\",\"ph\":\"C\","
+                      "\"ts\":%.3f,\"pid\":1,\"args\":%s}",
+                      jsonEscape(Name).c_str(), Ts.nanos() / 1e3,
+                      Args.c_str());
+}
+
+/// Emits one thread-scoped instant ("i") event on the governor track.
+void appendInstantEvent(std::string &Out, const std::string &Name,
+                        TimePoint Ts, const std::string &Args) {
+  if (Out.size() > 1)
+    Out += ",\n";
+  Out += formatString(
+      "{\"name\":\"%s\",\"cat\":\"greenweb\",\"ph\":\"i\",\"s\":\"t\","
+      "\"ts\":%.3f,\"pid\":1,\"tid\":\"governor\",\"args\":%s}",
+      jsonEscape(Name).c_str(), Ts.nanos() / 1e3, Args.c_str());
+}
+
+} // namespace
+
+std::string
+greenweb::exportChromeTrace(const std::vector<FrameRecord> &Frames,
+                            const std::vector<ConfigInterval> &Cpu,
+                            const Telemetry &Tel) {
+  std::string Out = exportChromeTrace(Frames, Cpu);
+  assert(Out.size() >= 2 && "base export always ends with ]\\n");
+  Out.resize(Out.size() - 2); // Reopen the array; we keep appending.
+
+  for (const TelemetryRecord &R : Tel.log().records()) {
+    switch (R.Kind) {
+    case TelemetryEventKind::EnergySample:
+      appendCounterEvent(Out, "power_watts", R.Ts,
+                         formatString("{\"watts\":%.6f}",
+                                      R.numberOr("watts", 0.0)));
+      appendCounterEvent(Out, "energy_joules", R.Ts,
+                         formatString("{\"joules\":%.6f}",
+                                      R.numberOr("joules", 0.0)));
+      appendCounterEvent(Out, "sim_queue_depth", R.Ts,
+                         formatString("{\"events\":%.0f}",
+                                      R.numberOr("queue_depth", 0.0)));
+      break;
+    case TelemetryEventKind::ConfigSwitch: {
+      // One series per cluster; the idle cluster drops to 0 so cluster
+      // migrations are visible as the two series trading places.
+      bool Big = R.numberOr("big", 0.0) != 0.0;
+      double FreqMHz = R.numberOr("freq_mhz", 0.0);
+      appendCounterEvent(Out, "freq_mhz", R.Ts,
+                         formatString("{\"A15\":%.0f,\"A7\":%.0f}",
+                                      Big ? FreqMHz : 0.0,
+                                      Big ? 0.0 : FreqMHz));
+      break;
+    }
+    case TelemetryEventKind::GovernorDecision:
+      appendInstantEvent(
+          Out,
+          R.stringOr("governor", "?") + ": " + R.stringOr("reason", "?"),
+          R.Ts,
+          formatString("{\"config\":\"%s\",\"predicted_ms\":%.3f,"
+                       "\"target_ms\":%.3f,\"offset\":%.0f}",
+                       jsonEscape(R.stringOr("config", "")).c_str(),
+                       R.numberOr("predicted_ms", -1.0),
+                       R.numberOr("target_ms", -1.0),
+                       R.numberOr("offset", 0.0)));
+      break;
+    case TelemetryEventKind::FeedbackAction:
+      appendInstantEvent(
+          Out,
+          R.stringOr("governor", "?") + " feedback: " +
+              R.stringOr("action", "?"),
+          R.Ts,
+          formatString("{\"key\":\"%s\",\"offset\":%.0f,"
+                       "\"measured_ms\":%.3f,\"target_ms\":%.3f}",
+                       jsonEscape(R.stringOr("key", "")).c_str(),
+                       R.numberOr("offset", 0.0),
+                       R.numberOr("measured_ms", -1.0),
+                       R.numberOr("target_ms", -1.0)));
+      break;
+    case TelemetryEventKind::CounterSample:
+      appendCounterEvent(Out,
+                         R.stringOr("track", "counter").c_str(), R.Ts,
+                         formatString("{\"value\":%.6f}",
+                                      R.numberOr("value", 0.0)));
+      break;
+    case TelemetryEventKind::FrameStage:
+    case TelemetryEventKind::QosViolation:
+      // Stages already show as pipeline spans; violations surface in
+      // the metrics snapshot. Neither needs a dedicated trace track.
+      break;
+    }
+  }
 
   Out += "]\n";
   return Out;

@@ -26,6 +26,8 @@
 
 namespace greenweb {
 
+class Telemetry;
+
 /// One configuration-residency interval for the timeline's CPU track.
 struct ConfigInterval {
   AcmpConfig Config;
@@ -44,6 +46,19 @@ struct ConfigInterval {
 ///  * one complete event per configuration interval on the "cpu" track.
 std::string exportChromeTrace(const std::vector<FrameRecord> &Frames,
                               const std::vector<ConfigInterval> &Cpu = {});
+
+/// Enriched export: everything the two-argument overload emits, plus
+/// tracks sourced from the telemetry hub's event log:
+///  * counter ("C") events — "power_watts", "energy_joules",
+///    "sim_queue_depth" from energy samples, "freq_mhz" (one series per
+///    cluster, idle cluster at 0) from configuration switches, and one
+///    track per generic CounterSample record;
+///  * instant ("i") events on the "governor" track for every governor
+///    decision and feedback action, carrying the decision's reason,
+///    chosen configuration, and predicted-vs-target latency as args.
+std::string exportChromeTrace(const std::vector<FrameRecord> &Frames,
+                              const std::vector<ConfigInterval> &Cpu,
+                              const Telemetry &Tel);
 
 /// Records the chip's configuration timeline while attached (the chip
 /// only keeps aggregate residency; this observer keeps the sequence).

@@ -8,11 +8,36 @@
 
 #include "browser/Browser.h"
 #include "support/StringUtils.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace greenweb;
+
+namespace {
+
+/// Applies \p Config and, when it actually changed, logs the decision.
+/// Baseline governors log only effective changes: their timers
+/// re-evaluate continuously and an unchanged choice carries no signal.
+bool applyAndLog(Browser &B, const std::string &Gov, const char *Reason,
+                 const AcmpConfig &Config) {
+  bool Changed = B.chip().setConfig(Config);
+  if (!Changed)
+    return false;
+  if (Telemetry *T = B.simulator().telemetry(); T && T->enabled()) {
+    GovernorDecisionRecord R;
+    R.Governor = Gov;
+    R.Reason = Reason;
+    R.Config = Config.str();
+    R.CoreIsBig = Config.Core == CoreKind::Big ? 1 : 0;
+    R.FreqMHz = int64_t(Config.FreqMHz);
+    T->recordGovernorDecision(R);
+  }
+  return true;
+}
+
+} // namespace
 
 Governor::~Governor() = default;
 
@@ -28,11 +53,11 @@ std::vector<AcmpConfig> greenweb::buildConfigLadder(const AcmpChip &Chip) {
 }
 
 void PerfGovernor::attach(Browser &B) {
-  B.chip().setConfig(B.chip().spec().maxConfig());
+  applyAndLog(B, name(), "pin_peak", B.chip().spec().maxConfig());
 }
 
 void PowersaveGovernor::attach(Browser &B) {
-  B.chip().setConfig(B.chip().spec().minConfig());
+  applyAndLog(B, name(), "pin_min", B.chip().spec().minConfig());
 }
 
 //===----------------------------------------------------------------------===//
@@ -94,10 +119,8 @@ void InteractiveGovernor::onInputDispatched(uint64_t /*RootId*/,
   // decides when load allows dropping again.
   if (!B)
     return;
-  if (B->chip().setConfig(Ladder.back()))
-    LastRaise = B->simulator().now();
-  else
-    LastRaise = B->simulator().now();
+  applyAndLog(*B, name(), "touch_boost", Ladder.back());
+  LastRaise = B->simulator().now();
 }
 
 void InteractiveGovernor::onFrameReady(const FrameRecord & /*Frame*/) {}
@@ -127,7 +150,9 @@ void InteractiveGovernor::onTimer() {
 
   double DesiredHz = Chip.effectiveHzFor(Desired);
   if (DesiredHz > CurrentHz) {
-    Chip.setConfig(Desired);
+    applyAndLog(*B, name(),
+                Util >= P.GoHispeedLoad ? "go_hispeed" : "track_load",
+                Desired);
     LastRaise = Now;
   } else if (DesiredHz < CurrentHz) {
     // Hysteresis: hold the raised speed for min_sample_time, then step
@@ -137,7 +162,7 @@ void InteractiveGovernor::onTimer() {
     if (Now - LastRaise >= P.MinSampleTime) {
       auto It = std::find(Ladder.begin(), Ladder.end(), Current);
       if (It != Ladder.begin() && It != Ladder.end())
-        Chip.setConfig(*(It - 1));
+        applyAndLog(*B, name(), "step_down", *(It - 1));
     }
   }
   Timer = B->simulator().schedule(P.Timer, [this] { onTimer(); });
@@ -183,23 +208,26 @@ void EbsGovernor::applyFor(GuessKind Guess) {
   case GuessKind::Unknown:
     // First occurrence: no measurement yet; EBS plays it safe and runs
     // fast (this is also how it learns the latency).
-    Chip.setConfig(Chip.spec().maxConfig());
+    applyAndLog(*B, name(), "learn_fast", Chip.spec().maxConfig());
     return;
   case GuessKind::Short:
     // Measured fast -> presumed latency-sensitive -> keep fast.
     if (P.BoostShortToMax)
-      Chip.setConfig(Chip.spec().maxConfig());
+      applyAndLog(*B, name(), "guess_short", Chip.spec().maxConfig());
     else
-      Chip.setConfig({CoreKind::Big, Chip.spec().Big.minFreq()});
+      applyAndLog(*B, name(), "guess_short",
+                  {CoreKind::Big, Chip.spec().Big.minFreq()});
     return;
   case GuessKind::Medium:
-    Chip.setConfig({CoreKind::Big, Chip.spec().Big.minFreq()});
+    applyAndLog(*B, name(), "guess_medium",
+                {CoreKind::Big, Chip.spec().Big.minFreq()});
     return;
   case GuessKind::Long:
     // Measured slow -> EBS *guesses* the user tolerates it -> go slow.
     // The guess is wrong whenever the latency was long because the
     // event is heavyweight, not because the user is patient.
-    Chip.setConfig({CoreKind::Little, Chip.spec().Little.maxFreq()});
+    applyAndLog(*B, name(), "guess_long",
+                {CoreKind::Little, Chip.spec().Little.maxFreq()});
     return;
   }
 }
@@ -236,7 +264,8 @@ void EbsGovernor::onFrameReady(const FrameRecord &Frame) {
   if (ActiveRoots.empty() && !IdleDrop.isActive())
     IdleDrop = B->simulator().schedule(P.IdleHold, [this] {
       if (B && ActiveRoots.empty())
-        B->chip().setConfig(B->chip().spec().minConfig());
+        applyAndLog(*B, name(), "idle_drop",
+                    B->chip().spec().minConfig());
     });
 }
 
@@ -275,7 +304,7 @@ void OndemandGovernor::onTimer() {
   AcmpChip &Chip = B->chip();
 
   if (Util >= P.UpThreshold) {
-    Chip.setConfig(Ladder.back());
+    applyAndLog(*B, name(), "over_threshold", Ladder.back());
   } else {
     // Scale to the lowest speed that would have kept utilization just
     // under the threshold.
@@ -287,7 +316,7 @@ void OndemandGovernor::onTimer() {
       if (Chip.effectiveHzFor(Config) >= NeededHz)
         break;
     }
-    Chip.setConfig(Desired);
+    applyAndLog(*B, name(), "scale_to_load", Desired);
   }
   Timer = B->simulator().schedule(P.Timer, [this] { onTimer(); });
 }

@@ -9,6 +9,7 @@
 #include "browser/Browser.h"
 #include "hw/EnergyMeter.h"
 #include "support/StringUtils.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -41,6 +42,18 @@ void GreenWebRuntime::detach() {
     B->removeFrameObserver(this);
   B = nullptr;
   ActiveEvents.clear();
+}
+
+Telemetry *GreenWebRuntime::telemetry() const {
+  if (!B)
+    return nullptr;
+  Telemetry *T = B->simulator().telemetry();
+  return T && T->enabled() ? T : nullptr;
+}
+
+void GreenWebRuntime::bumpMetric(const char *Name) {
+  if (Telemetry *T = telemetry())
+    T->metrics().counter(Name).add();
 }
 
 std::string GreenWebRuntime::modelKey(const Element *Target,
@@ -91,9 +104,11 @@ void GreenWebRuntime::onInputDispatched(uint64_t RootId,
       Target ? Registry.lookup(*Target, Type) : std::nullopt;
   if (!Spec) {
     ++Counters.UnannotatedEvents;
+    bumpMetric("governor.unannotated_events");
     return;
   }
   ++Counters.AnnotatedEvents;
+  bumpMetric("governor.annotated_events");
 
   ActiveEvent Event;
   Event.RootId = RootId;
@@ -104,21 +119,25 @@ void GreenWebRuntime::onInputDispatched(uint64_t RootId,
   applyDesiredConfig();
 }
 
-AcmpConfig GreenWebRuntime::desiredConfigFor(const ActiveEvent &Event) {
+GreenWebRuntime::Desired
+GreenWebRuntime::desiredConfigFor(const ActiveEvent &Event) {
   ModelState &State = Models[Event.Key];
   const AcmpSpec &Spec = B->chip().spec();
   switch (State.ModelPhase) {
   case Phase::NeedMaxProfile:
-    return Spec.maxConfig();
+    return {Spec.maxConfig(), "profile_max", -1.0, 0};
   case Phase::NeedMinProfile:
-    return Spec.minConfig();
+    return {Spec.minConfig(), "profile_min", -1.0, 0};
   case Phase::Ready: {
     ConfigChoice Choice = chooseMinEnergyConfig(
         B->chip(), State.Model, Event.Target, P.SafetyMargin);
-    return shiftConfig(Choice.Config, State.FeedbackOffset);
+    AcmpConfig Config = shiftConfig(Choice.Config, State.FeedbackOffset);
+    double PredictedMs =
+        State.Model.predict(B->chip().effectiveHzFor(Config)).millis();
+    return {Config, "predicted", PredictedMs, State.FeedbackOffset};
   }
   }
-  return Spec.maxConfig();
+  return {Spec.maxConfig(), "fallback", -1.0, 0};
 }
 
 AcmpConfig GreenWebRuntime::shiftConfig(const AcmpConfig &Config,
@@ -142,21 +161,38 @@ void GreenWebRuntime::applyDesiredConfig() {
     if (IdleDrop.isActive())
       return;
     IdleDrop = B->simulator().schedule(P.IdleHold, [this] {
-      if (B && ActiveEvents.empty())
-        B->chip().setConfig(B->chip().spec().minConfig());
+      if (B && ActiveEvents.empty()) {
+        AcmpConfig Idle = B->chip().spec().minConfig();
+        if (B->chip().setConfig(Idle))
+          if (Telemetry *T = telemetry())
+            T->recordGovernorDecision(
+                {name(), "idle_drop", Idle.str(),
+                 Idle.Core == CoreKind::Big ? 1 : 0,
+                 int64_t(Idle.FreqMHz), 0, "", -1.0, -1.0, 0});
+      }
     });
     return;
   }
   IdleDrop.cancel();
   // Multiple concurrent events: satisfy the most demanding one.
-  std::optional<AcmpConfig> Best;
+  std::optional<Desired> Best;
+  const ActiveEvent *BestEvent = nullptr;
   for (auto &[Root, Event] : ActiveEvents) {
-    AcmpConfig Desired = desiredConfigFor(Event);
-    if (!Best ||
-        B->chip().effectiveHzFor(Desired) > B->chip().effectiveHzFor(*Best))
-      Best = Desired;
+    Desired Want = desiredConfigFor(Event);
+    if (!Best || B->chip().effectiveHzFor(Want.Config) >
+                     B->chip().effectiveHzFor(Best->Config)) {
+      Best = Want;
+      BestEvent = &Event;
+    }
   }
-  B->chip().setConfig(*Best);
+  if (Telemetry *T = telemetry())
+    T->recordGovernorDecision(
+        {name(), Best->Reason, Best->Config.str(),
+         Best->Config.Core == CoreKind::Big ? 1 : 0,
+         int64_t(Best->Config.FreqMHz), int64_t(BestEvent->RootId),
+         BestEvent->Key, Best->PredictedMs,
+         BestEvent->Target.millis(), Best->FeedbackOffset});
+  B->chip().setConfig(Best->Config);
 }
 
 void GreenWebRuntime::onFrameReady(const FrameRecord &Frame) {
@@ -200,14 +236,21 @@ void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
   ModelState &State = Models[Event.Key];
   AcmpConfig Config = B->chip().config();
 
+  if (Telemetry *T = telemetry())
+    if (Latency > Event.Target)
+      T->recordQosViolation({name(), int64_t(Event.RootId), Event.Key,
+                             Latency.millis(), Event.Target.millis()});
+
   switch (State.ModelPhase) {
   case Phase::NeedMaxProfile:
     ++Counters.ProfilingFrames;
+    bumpMetric("governor.profiling_frames");
     State.MaxObs = {Config, Latency};
     State.ModelPhase = Phase::NeedMinProfile;
     return;
   case Phase::NeedMinProfile: {
     ++Counters.ProfilingFrames;
+    bumpMetric("governor.profiling_frames");
     LatencyObservation MinObs{Config, Latency};
     std::optional<DvfsModel> Model =
         fitDvfsModel(B->chip(), State.MaxObs, MinObs);
@@ -227,11 +270,22 @@ void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
   }
 
   ++Counters.PredictedFrames;
+  bumpMetric("governor.predicted_frames");
   Duration Predicted = State.Model.predict(B->chip().effectiveHzFor(Config));
   double Pred = std::max(1e-9, Predicted.secs());
   double Measured = Latency.secs();
   bool Mispredicted =
       std::fabs(Measured - Pred) / Pred > P.MispredictTolerance;
+  if (Mispredicted)
+    bumpMetric("governor.mispredictions");
+
+  auto NoteFeedback = [&](const char *Action) {
+    if (Telemetry *T = telemetry())
+      T->recordFeedbackAction({name(), Action, Event.Key,
+                               State.FeedbackOffset, Latency.millis(),
+                               Predicted.millis(),
+                               Event.Target.millis()});
+  };
 
   if (P.EnableFeedback) {
     if (Latency > Event.Target) {
@@ -239,6 +293,7 @@ void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
       // big, Sec. 6.2).
       ++State.FeedbackOffset;
       ++Counters.FeedbackStepsUp;
+      NoteFeedback("step_up");
       State.SafeStreak = 0;
     } else if (State.FeedbackOffset > 0) {
       // Over-prediction path: once the boost has been comfortably
@@ -250,6 +305,7 @@ void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
       if (Comfortable && ++State.SafeStreak >= P.FeedbackDecayAfter) {
         --State.FeedbackOffset;
         ++Counters.FeedbackStepsDown;
+        NoteFeedback("step_down");
         State.SafeStreak = 0;
       }
     } else {
@@ -265,6 +321,7 @@ void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
       State.ConsecutiveMispredicts = 0;
       State.FeedbackOffset = 0;
       ++Counters.Recalibrations;
+      NoteFeedback("recalibrate");
     }
   } else {
     State.ConsecutiveMispredicts = 0;

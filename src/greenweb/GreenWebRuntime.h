@@ -137,11 +137,25 @@ private:
     Duration Target;
   };
 
+  /// One configuration choice with its provenance; feeds both the chip
+  /// and the telemetry decision log.
+  struct Desired {
+    AcmpConfig Config;
+    const char *Reason = "";  ///< "profile_max", "profile_min", "predicted".
+    double PredictedMs = -1.0; ///< Model prediction at Config (<0 = n/a).
+    int FeedbackOffset = 0;
+  };
+
   std::string modelKey(const Element *Target, const std::string &Type,
                        const QosSpec &Spec) const;
   Duration resolveTarget(const QosSpec &Spec);
   /// The configuration this event wants right now.
-  AcmpConfig desiredConfigFor(const ActiveEvent &Event);
+  Desired desiredConfigFor(const ActiveEvent &Event);
+  /// Telemetry hub reachable through the attached browser's simulator
+  /// (nullptr when detached or none is attached).
+  Telemetry *telemetry() const;
+  /// Mirrors a Stats increment into the telemetry registry.
+  void bumpMetric(const char *Name);
   /// Applies the highest-performance desired configuration across all
   /// active events, or the idle (minimum) configuration when none.
   void applyDesiredConfig();

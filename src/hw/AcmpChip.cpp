@@ -6,6 +6,8 @@
 
 #include "hw/AcmpChip.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -46,6 +48,13 @@ bool AcmpChip::setConfig(AcmpConfig NewConfig) {
     ++FreqSwitchCount;
     Penalty += Spec.FreqSwitchPenalty;
   }
+
+  if (Telemetry *T = Sim.telemetry(); T && T->enabled())
+    T->recordConfigSwitch({Config.str(), NewConfig.str(),
+                           NewConfig.Core == CoreKind::Big ? 1 : 0,
+                           int64_t(NewConfig.FreqMHz),
+                           FreqChanged ? 1 : 0, Migrated ? 1 : 0,
+                           Penalty.micros()});
 
   Config = NewConfig;
   // The stall models the period during which no instructions retire;

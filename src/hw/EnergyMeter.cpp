@@ -6,6 +6,8 @@
 
 #include "hw/EnergyMeter.h"
 
+#include "telemetry/Telemetry.h"
+
 using namespace greenweb;
 
 EnergyMeter::EnergyMeter(AcmpChip &Chip) : Chip(Chip), Sim(Chip.simulator()) {
@@ -67,7 +69,13 @@ void EnergyMeter::enableSampling(Duration Period) {
 
 void EnergyMeter::scheduleNextSample() {
   SampleEvent = Sim.schedule(SamplePeriod, [this] {
-    Samples.push_back(Chip.currentPowerWatts());
+    double Watts = Chip.currentPowerWatts();
+    Samples.push_back(Watts);
+    // DAQ-style co-sampling: each 1 kHz tick also feeds the telemetry
+    // stream that backs the power/energy/queue-depth counter tracks.
+    if (Telemetry *T = Sim.telemetry(); T && T->enabled())
+      T->recordEnergySample(
+          {Watts, totalJoules(), int64_t(Sim.pendingEvents())});
     scheduleNextSample();
   });
 }

@@ -6,9 +6,46 @@
 
 #include "sim/Simulator.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <cassert>
+#include <chrono>
 
 using namespace greenweb;
+
+void Simulator::setTelemetry(Telemetry *T) {
+  Tel = T;
+  if (!Tel) {
+    ScheduledCtr = FiredCtr = nullptr;
+    QueuePeakGauge = nullptr;
+    return;
+  }
+  Tel->setClock([this] { return Now; });
+  MetricsRegistry &M = Tel->metrics();
+  ScheduledCtr = &M.counter("sim.events_scheduled");
+  FiredCtr = &M.counter("sim.events_fired");
+  QueuePeakGauge = &M.gauge("sim.queue_depth_peak");
+  QueuePeak = size_t(QueuePeakGauge->value());
+  // Host-side timings vary run to run; keep them out of deterministic
+  // snapshots.
+  M.gauge("sim.host_seconds");
+  M.markVolatile("sim.host_seconds");
+}
+
+void Simulator::noteScheduled() {
+  if (!Tel || !Tel->enabled())
+    return;
+  ScheduledCtr->add();
+  if (Queue.size() > QueuePeak) {
+    QueuePeak = Queue.size();
+    QueuePeakGauge->set(double(QueuePeak));
+  }
+}
+
+void Simulator::noteFired() {
+  if (Tel && Tel->enabled())
+    FiredCtr->add();
+}
 
 EventHandle Simulator::schedule(Duration Delay, std::function<void()> Fn) {
   if (Delay.isNegative())
@@ -30,6 +67,7 @@ EventHandle Simulator::scheduleAt(TimePoint When, std::function<void()> Fn) {
   Handle.Cancelled = E.Cancelled;
   Handle.Fired = E.Fired;
   Queue.push(std::move(E));
+  noteScheduled();
   return Handle;
 }
 
@@ -42,13 +80,45 @@ bool Simulator::fireNext() {
     assert(E.When >= Now && "event queue went backwards");
     Now = E.When;
     *E.Fired = true;
+    noteFired();
     E.Fn();
     return true;
   }
   return false;
 }
 
+namespace {
+
+/// Accounts one run-loop invocation: host wall time spent (volatile)
+/// and the virtual clock reached, the raw data for the virtual/host
+/// time ratio the profiling work in ROADMAP.md needs.
+class RunTimer {
+public:
+  RunTimer(Telemetry *Tel, TimePoint &Now) : Tel(Tel), Now(Now) {
+    if (Tel && Tel->enabled())
+      HostStart = std::chrono::steady_clock::now();
+  }
+  ~RunTimer() {
+    if (!Tel || !Tel->enabled())
+      return;
+    double HostSecs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      HostStart)
+            .count();
+    Tel->metrics().gauge("sim.host_seconds").add(HostSecs);
+    Tel->metrics().gauge("sim.virtual_seconds").set(Now.secs());
+  }
+
+private:
+  Telemetry *Tel;
+  TimePoint &Now;
+  std::chrono::steady_clock::time_point HostStart;
+};
+
+} // namespace
+
 uint64_t Simulator::run(uint64_t Limit) {
+  RunTimer Timer(Tel, Now);
   uint64_t Count = 0;
   while (Count < Limit && fireNext())
     ++Count;
@@ -56,6 +126,7 @@ uint64_t Simulator::run(uint64_t Limit) {
 }
 
 uint64_t Simulator::runUntil(TimePoint Until) {
+  RunTimer Timer(Tel, Now);
   uint64_t Count = 0;
   while (!Queue.empty()) {
     // Drain cancelled stubs so the deadline check sees a live event.

@@ -29,6 +29,10 @@
 
 namespace greenweb {
 
+class Counter;
+class Gauge;
+class Telemetry;
+
 /// Cancellation handle for a scheduled event. Copies share state; calling
 /// cancel() on any copy prevents the callback from running.
 class EventHandle {
@@ -85,7 +89,18 @@ public:
   /// True if no live (non-cancelled) events remain.
   bool idle() const;
 
+  /// Attaches (or detaches, with nullptr) a telemetry hub. The hub's
+  /// clock is rebound to this simulator, kernel counters are
+  /// registered, and every producer holding a reference to this
+  /// Simulator can reach the hub through telemetry(). The hub must
+  /// outlive the simulation (or be detached first).
+  void setTelemetry(Telemetry *T);
+  Telemetry *telemetry() const { return Tel; }
+
 private:
+  /// Folds queue/event accounting into the attached registry.
+  void noteScheduled();
+  void noteFired();
   struct Event {
     TimePoint When;
     uint64_t Seq;
@@ -106,6 +121,15 @@ private:
   TimePoint Now;
   uint64_t NextSeq = 0;
   std::priority_queue<Event, std::vector<Event>, Later> Queue;
+
+  /// Optional telemetry hub (owned by the experiment driver). Cached
+  /// metric pointers keep the enabled-path cost to a few increments and
+  /// the disabled-path cost to one branch.
+  Telemetry *Tel = nullptr;
+  Counter *ScheduledCtr = nullptr;
+  Counter *FiredCtr = nullptr;
+  Gauge *QueuePeakGauge = nullptr;
+  size_t QueuePeak = 0;
 };
 
 } // namespace greenweb

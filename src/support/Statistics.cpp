@@ -77,4 +77,10 @@ void RunningStat::add(double X) {
   }
   ++N;
   Sum += X;
+  // Welford's update: numerically stable single-pass variance.
+  double Delta = X - WelfordMean;
+  WelfordMean += Delta / double(N);
+  M2 += Delta * (X - WelfordMean);
 }
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }

@@ -38,8 +38,9 @@ double geomean(const std::vector<double> &Values, double Epsilon = 1e-9);
 /// P-th percentile with linear interpolation, P in [0, 100].
 double percentile(std::vector<double> Values, double P);
 
-/// Streaming accumulator for count/mean/min/max/sum without storing
-/// samples. Useful inside the simulator's hot paths.
+/// Streaming accumulator for count/mean/min/max/sum plus Welford-style
+/// variance, without storing samples. Useful inside the simulator's hot
+/// paths and for histogram summaries.
 class RunningStat {
 public:
   void add(double X);
@@ -49,12 +50,19 @@ public:
   double mean() const { return N == 0 ? 0.0 : Sum / double(N); }
   double min() const { return N == 0 ? 0.0 : Min; }
   double max() const { return N == 0 ? 0.0 : Max; }
+  /// Population variance (0 for fewer than two samples).
+  double variance() const { return N < 2 ? 0.0 : M2 / double(N); }
+  /// Population standard deviation; matches stddev() on the same data.
+  double stddev() const;
 
 private:
   size_t N = 0;
   double Sum = 0.0;
   double Min = 0.0;
   double Max = 0.0;
+  /// Welford running mean and sum of squared deviations.
+  double WelfordMean = 0.0;
+  double M2 = 0.0;
 };
 
 } // namespace greenweb

@@ -1,0 +1,200 @@
+//===- telemetry/MetricsRegistry.cpp - Named metric registry ---------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/MetricsRegistry.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace greenweb;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<double> UpperBoundsIn)
+    : UpperBounds(std::move(UpperBoundsIn)),
+      Counts(UpperBounds.size() + 1, 0) {
+  assert(std::is_sorted(UpperBounds.begin(), UpperBounds.end()) &&
+         "histogram bounds must ascend");
+}
+
+void Histogram::observe(double X) {
+  size_t Bucket =
+      size_t(std::lower_bound(UpperBounds.begin(), UpperBounds.end(), X) -
+             UpperBounds.begin());
+  ++Counts[Bucket];
+  Summary.add(X);
+}
+
+void Histogram::reset() {
+  std::fill(Counts.begin(), Counts.end(), 0);
+  Summary = RunningStat();
+}
+
+const std::vector<double> &greenweb::defaultLatencyBucketsMs() {
+  static const std::vector<double> Buckets = {
+      0.5, 1.0, 2.0, 4.0, 8.0, 16.7, 33.3, 50.0, 100.0, 200.0, 500.0,
+      1000.0};
+  return Buckets;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  return Counters[Name];
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  return Gauges[Name];
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const std::vector<double> &Bounds) {
+  auto It = Histograms.find(Name);
+  if (It != Histograms.end())
+    return It->second;
+  return Histograms.emplace(Name, Histogram(Bounds)).first->second;
+}
+
+void MetricsRegistry::markVolatile(const std::string &Name) {
+  if (!isVolatile(Name))
+    VolatileNames.push_back(Name);
+}
+
+bool MetricsRegistry::isVolatile(const std::string &Name) const {
+  return std::find(VolatileNames.begin(), VolatileNames.end(), Name) !=
+         VolatileNames.end();
+}
+
+bool MetricsRegistry::has(const std::string &Name) const {
+  return Counters.count(Name) || Gauges.count(Name) ||
+         Histograms.count(Name);
+}
+
+size_t MetricsRegistry::size() const {
+  return Counters.size() + Gauges.size() + Histograms.size();
+}
+
+void MetricsRegistry::clear() {
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+  VolatileNames.clear();
+}
+
+namespace {
+
+/// Formats a double compactly but deterministically: %.6f with trailing
+/// zeros trimmed (always keeping one digit after the point), so snapshots
+/// are stable across runs and readable for humans.
+std::string formatNumber(double X) {
+  std::string S = formatString("%.6f", X);
+  size_t Last = S.find_last_not_of('0');
+  if (S[Last] == '.')
+    ++Last;
+  S.erase(Last + 1);
+  return S;
+}
+
+} // namespace
+
+std::string MetricsRegistry::snapshotJson(bool IncludeVolatile) const {
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    if (!IncludeVolatile && isVolatile(Name))
+      continue;
+    Out += formatString("%s\n    \"%s\": %llu", First ? "" : ",",
+                        Name.c_str(),
+                        static_cast<unsigned long long>(C.value()));
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    if (!IncludeVolatile && isVolatile(Name))
+      continue;
+    Out += formatString("%s\n    \"%s\": %s", First ? "" : ",",
+                        Name.c_str(), formatNumber(G.value()).c_str());
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!IncludeVolatile && isVolatile(Name))
+      continue;
+    const RunningStat &S = H.summary();
+    std::string Buckets;
+    for (size_t I = 0; I < H.bucketCounts().size(); ++I)
+      Buckets += formatString(
+          "%s%llu", I == 0 ? "" : ",",
+          static_cast<unsigned long long>(H.bucketCounts()[I]));
+    std::string Bounds;
+    for (size_t I = 0; I < H.upperBounds().size(); ++I)
+      Bounds += formatString("%s%s", I == 0 ? "" : ",",
+                             formatNumber(H.upperBounds()[I]).c_str());
+    Out += formatString(
+        "%s\n    \"%s\": {\"count\": %llu, \"mean\": %s, \"stddev\": %s, "
+        "\"min\": %s, \"max\": %s, \"bounds\": [%s], \"buckets\": [%s]}",
+        First ? "" : ",", Name.c_str(),
+        static_cast<unsigned long long>(S.count()),
+        formatNumber(S.mean()).c_str(), formatNumber(S.stddev()).c_str(),
+        formatNumber(S.min()).c_str(), formatNumber(S.max()).c_str(),
+        Bounds.c_str(), Buckets.c_str());
+    First = false;
+  }
+  Out += First ? "}\n}\n" : "\n  }\n}\n";
+  return Out;
+}
+
+std::string MetricsRegistry::snapshotCsv(bool IncludeVolatile) const {
+  std::string Out = "metric,kind,field,value\n";
+  for (const auto &[Name, C] : Counters) {
+    if (!IncludeVolatile && isVolatile(Name))
+      continue;
+    Out += formatString("%s,counter,value,%llu\n", Name.c_str(),
+                        static_cast<unsigned long long>(C.value()));
+  }
+  for (const auto &[Name, G] : Gauges) {
+    if (!IncludeVolatile && isVolatile(Name))
+      continue;
+    Out += formatString("%s,gauge,value,%s\n", Name.c_str(),
+                        formatNumber(G.value()).c_str());
+  }
+  for (const auto &[Name, H] : Histograms) {
+    if (!IncludeVolatile && isVolatile(Name))
+      continue;
+    const RunningStat &S = H.summary();
+    Out += formatString("%s,histogram,count,%llu\n", Name.c_str(),
+                        static_cast<unsigned long long>(S.count()));
+    Out += formatString("%s,histogram,mean,%s\n", Name.c_str(),
+                        formatNumber(S.mean()).c_str());
+    Out += formatString("%s,histogram,stddev,%s\n", Name.c_str(),
+                        formatNumber(S.stddev()).c_str());
+    Out += formatString("%s,histogram,min,%s\n", Name.c_str(),
+                        formatNumber(S.min()).c_str());
+    Out += formatString("%s,histogram,max,%s\n", Name.c_str(),
+                        formatNumber(S.max()).c_str());
+    for (size_t I = 0; I < H.bucketCounts().size(); ++I) {
+      std::string Edge = I < H.upperBounds().size()
+                             ? "le_" + formatNumber(H.upperBounds()[I])
+                             : std::string("overflow");
+      Out += formatString(
+          "%s,histogram,bucket_%s,%llu\n", Name.c_str(), Edge.c_str(),
+          static_cast<unsigned long long>(H.bucketCounts()[I]));
+    }
+  }
+  return Out;
+}

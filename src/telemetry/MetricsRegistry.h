@@ -1,0 +1,126 @@
+//===- telemetry/MetricsRegistry.h - Named metric registry ------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named counters, gauges, and fixed-bucket histograms, the
+/// metric half of the telemetry subsystem. Producers register a metric
+/// once (names follow a "subsystem.metric" convention, e.g.
+/// "sim.events_fired") and keep the returned reference for hot-path
+/// updates; consumers snapshot the whole registry as JSON or CSV.
+///
+/// Snapshots iterate metrics in name order and format numbers with fixed
+/// printf conversions, so a snapshot of a deterministic simulation is
+/// byte-for-bit reproducible. Metrics that depend on the host machine
+/// (wall-clock timings) are marked volatile and excluded from snapshots
+/// unless explicitly requested, which keeps the determinism guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_TELEMETRY_METRICSREGISTRY_H
+#define GREENWEB_TELEMETRY_METRICSREGISTRY_H
+
+#include "support/Statistics.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+/// Monotone event count.
+class Counter {
+public:
+  void add(uint64_t N = 1) { Value += N; }
+  uint64_t value() const { return Value; }
+  void reset() { Value = 0; }
+
+private:
+  uint64_t Value = 0;
+};
+
+/// Last-written scalar (with accumulate support for time totals).
+class Gauge {
+public:
+  void set(double X) { Value = X; }
+  void add(double X) { Value += X; }
+  double value() const { return Value; }
+  void reset() { Value = 0.0; }
+
+private:
+  double Value = 0.0;
+};
+
+/// Fixed-bucket histogram plus a streaming summary (count / mean /
+/// stddev / min / max via the Welford accumulator in RunningStat).
+class Histogram {
+public:
+  /// \p UpperBounds are the inclusive upper edges of the finite buckets,
+  /// strictly ascending; one overflow bucket is added implicitly.
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  void observe(double X);
+
+  const std::vector<double> &upperBounds() const { return UpperBounds; }
+  /// Per-bucket counts, size upperBounds().size() + 1 (last = overflow).
+  const std::vector<uint64_t> &bucketCounts() const { return Counts; }
+  const RunningStat &summary() const { return Summary; }
+  void reset();
+
+private:
+  std::vector<double> UpperBounds;
+  std::vector<uint64_t> Counts;
+  RunningStat Summary;
+};
+
+/// Bucket edges suited to frame/stage latencies in milliseconds: sub-ms
+/// through the 16.7/33.3 ms VSync targets up to one second.
+const std::vector<double> &defaultLatencyBucketsMs();
+
+/// The metric registry. Not thread-safe (the simulator is
+/// single-threaded); registration is idempotent by name.
+class MetricsRegistry {
+public:
+  /// Returns the counter named \p Name, creating it on first use.
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  /// Returns the histogram named \p Name; \p UpperBounds applies only on
+  /// first registration (later calls reuse the existing buckets).
+  Histogram &histogram(const std::string &Name,
+                       const std::vector<double> &UpperBounds);
+
+  /// Marks \p Name as host-dependent; volatile metrics are skipped by
+  /// snapshots unless IncludeVolatile is set.
+  void markVolatile(const std::string &Name);
+
+  /// True if a metric named \p Name exists (any kind).
+  bool has(const std::string &Name) const;
+
+  /// Number of registered metrics.
+  size_t size() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string snapshotJson(bool IncludeVolatile = false) const;
+
+  /// CSV with header "metric,kind,field,value"; histograms expand to one
+  /// row per summary field and bucket.
+  std::string snapshotCsv(bool IncludeVolatile = false) const;
+
+  /// Drops every metric and volatile mark.
+  void clear();
+
+private:
+  bool isVolatile(const std::string &Name) const;
+
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+  std::vector<std::string> VolatileNames;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_TELEMETRY_METRICSREGISTRY_H

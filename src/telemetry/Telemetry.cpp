@@ -1,0 +1,115 @@
+//===- telemetry/Telemetry.cpp - Telemetry hub -----------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+using namespace greenweb;
+
+void Telemetry::appendRecord(TelemetryEventKind Kind,
+                             std::vector<TelemetryField> Fields) {
+  if (Log.size() >= LogCapacity) {
+    Metrics.counter("telemetry.dropped_records").add();
+    return;
+  }
+  Log.append(Kind, now(), std::move(Fields));
+}
+
+void Telemetry::recordGovernorDecision(const GovernorDecisionRecord &R) {
+  if (!Enabled)
+    return;
+  Metrics.counter("governor.decisions").add();
+  appendRecord(TelemetryEventKind::GovernorDecision,
+               {{"governor", R.Governor},
+                {"reason", R.Reason},
+                {"config", R.Config},
+                {"big", R.CoreIsBig},
+                {"freq_mhz", R.FreqMHz},
+                {"root", R.RootId},
+                {"key", R.ModelKey},
+                {"predicted_ms", R.PredictedMs},
+                {"target_ms", R.TargetMs},
+                {"offset", R.FeedbackOffset}});
+}
+
+void Telemetry::recordFeedbackAction(const FeedbackActionRecord &R) {
+  if (!Enabled)
+    return;
+  Metrics.counter("governor.feedback_" + R.Action).add();
+  appendRecord(TelemetryEventKind::FeedbackAction,
+               {{"governor", R.Governor},
+                {"action", R.Action},
+                {"key", R.ModelKey},
+                {"offset", R.NewOffset},
+                {"measured_ms", R.MeasuredMs},
+                {"predicted_ms", R.PredictedMs},
+                {"target_ms", R.TargetMs}});
+}
+
+void Telemetry::recordConfigSwitch(const ConfigSwitchRecord &R) {
+  if (!Enabled)
+    return;
+  if (R.FreqChanged)
+    Metrics.counter("hw.freq_switches").add();
+  if (R.Migrated)
+    Metrics.counter("hw.migrations").add();
+  Metrics.gauge("hw.switch_penalty_us_total").add(R.PenaltyUs);
+  appendRecord(TelemetryEventKind::ConfigSwitch,
+               {{"from", R.FromConfig},
+                {"to", R.ToConfig},
+                {"big", R.ToCoreIsBig},
+                {"freq_mhz", R.ToFreqMHz},
+                {"freq_changed", R.FreqChanged},
+                {"migrated", R.Migrated},
+                {"penalty_us", R.PenaltyUs}});
+}
+
+void Telemetry::recordFrameStage(const FrameStageRecord &R) {
+  if (!Enabled)
+    return;
+  Metrics
+      .histogram("browser.stage_" + R.Stage + "_ms",
+                 defaultLatencyBucketsMs())
+      .observe(R.DurationMs);
+  appendRecord(TelemetryEventKind::FrameStage,
+               {{"frame", R.FrameId},
+                {"stage", R.Stage},
+                {"duration_ms", R.DurationMs}});
+}
+
+void Telemetry::recordQosViolation(const QosViolationRecord &R) {
+  if (!Enabled)
+    return;
+  Metrics.counter("qos.violations").add();
+  Metrics.histogram("qos.violation_overshoot_ms", defaultLatencyBucketsMs())
+      .observe(R.LatencyMs - R.TargetMs);
+  appendRecord(TelemetryEventKind::QosViolation,
+               {{"governor", R.Governor},
+                {"root", R.RootId},
+                {"key", R.ModelKey},
+                {"latency_ms", R.LatencyMs},
+                {"target_ms", R.TargetMs}});
+}
+
+void Telemetry::recordEnergySample(const EnergySampleRecord &R) {
+  if (!Enabled)
+    return;
+  Metrics.counter("hw.energy_samples").add();
+  Metrics.gauge("hw.power_watts").set(R.Watts);
+  Metrics.gauge("hw.cumulative_joules").set(R.CumulativeJoules);
+  appendRecord(TelemetryEventKind::EnergySample,
+               {{"watts", R.Watts},
+                {"joules", R.CumulativeJoules},
+                {"queue_depth", R.QueueDepth}});
+}
+
+void Telemetry::recordCounterSample(const std::string &Track,
+                                    double Value) {
+  if (!Enabled)
+    return;
+  Metrics.gauge("counter." + Track).set(Value);
+  appendRecord(TelemetryEventKind::CounterSample,
+               {{"track", Track}, {"value", Value}});
+}

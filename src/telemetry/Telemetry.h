@@ -1,0 +1,151 @@
+//===- telemetry/Telemetry.h - Telemetry hub --------------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The telemetry hub: one MetricsRegistry plus one TelemetryLog behind
+/// typed recorder methods, bound to the simulator's virtual clock. The
+/// hub is *opt-in*: nothing in the system owns one; an experiment or
+/// example constructs it, attaches it to a Simulator (which hands the
+/// pointer to every producer), and exports after the run. Producers
+/// guard every record with a null-pointer + enabled() check, so the
+/// disabled cost is one branch.
+///
+/// Recorders update the canonical metrics *and* append a log record in
+/// one call, which keeps producers to a single line per event and
+/// guarantees the registry and the log never disagree. Log appends can
+/// be capped (setLogCapacity) for long bench sweeps that only want the
+/// aggregate metrics; dropped records are themselves counted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_TELEMETRY_TELEMETRY_H
+#define GREENWEB_TELEMETRY_TELEMETRY_H
+
+#include "telemetry/MetricsRegistry.h"
+#include "telemetry/TelemetryLog.h"
+
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace greenweb {
+
+/// A policy's configuration choice. Configurations travel as their
+/// display label plus raw core/frequency numbers so the telemetry layer
+/// stays below the hardware model in the dependency order.
+struct GovernorDecisionRecord {
+  std::string Governor;   ///< Policy name ("GreenWeb-I", "Interactive"...)
+  std::string Reason;     ///< "predicted", "profile_max", "utilization"...
+  std::string Config;     ///< Chosen configuration label ("A15@1800MHz").
+  int64_t CoreIsBig = 0;  ///< 1 when the chosen cluster is the big one.
+  int64_t FreqMHz = 0;    ///< Chosen frequency.
+  int64_t RootId = 0;     ///< Originating input event (0 = none).
+  std::string ModelKey;   ///< Per-(element,event) model key, if any.
+  double PredictedMs = -1.0; ///< Predicted latency at Config (<0 = n/a).
+  double TargetMs = -1.0;    ///< Active QoS target (<0 = n/a).
+  int64_t FeedbackOffset = 0;
+};
+
+/// A feedback correction on measured latency.
+struct FeedbackActionRecord {
+  std::string Governor;
+  std::string Action; ///< "step_up", "step_down", "recalibrate".
+  std::string ModelKey;
+  int64_t NewOffset = 0;
+  double MeasuredMs = -1.0;
+  double PredictedMs = -1.0;
+  double TargetMs = -1.0;
+};
+
+/// The chip executed a configuration change.
+struct ConfigSwitchRecord {
+  std::string FromConfig;
+  std::string ToConfig;
+  int64_t ToCoreIsBig = 0;
+  int64_t ToFreqMHz = 0;
+  int64_t FreqChanged = 0;
+  int64_t Migrated = 0;
+  double PenaltyUs = 0.0;
+};
+
+/// One pipeline stage of one frame finished.
+struct FrameStageRecord {
+  int64_t FrameId = 0;
+  std::string Stage; ///< "animate","style","layout","paint","composite","present".
+  double DurationMs = 0.0;
+};
+
+/// A frame missed its active QoS target.
+struct QosViolationRecord {
+  std::string Governor;
+  int64_t RootId = 0;
+  std::string ModelKey;
+  double LatencyMs = 0.0;
+  double TargetMs = 0.0;
+};
+
+/// Periodic (DAQ-style) power reading plus co-sampled simulator state.
+struct EnergySampleRecord {
+  double Watts = 0.0;
+  double CumulativeJoules = 0.0;
+  int64_t QueueDepth = 0; ///< Simulator event-queue depth at the sample.
+};
+
+/// The telemetry hub; see file comment.
+class Telemetry {
+public:
+  using ClockFn = std::function<TimePoint()>;
+
+  /// Constructs with the clock pinned at the origin; attach to a
+  /// Simulator (Simulator::setTelemetry) to follow virtual time.
+  Telemetry() = default;
+  explicit Telemetry(ClockFn Clock) : Clock(std::move(Clock)) {}
+
+  /// Rebinds the timestamp source. Simulator::setTelemetry calls this;
+  /// the previous clock must not be dangling while producers record.
+  void setClock(ClockFn NewClock) { Clock = std::move(NewClock); }
+
+  /// Master switch: when false every recorder returns immediately.
+  bool enabled() const { return Enabled; }
+  void setEnabled(bool On) { Enabled = On; }
+
+  /// Caps the log at \p MaxRecords appended records (metrics keep
+  /// updating); 0 keeps metrics only. Default: unlimited.
+  void setLogCapacity(size_t MaxRecords) { LogCapacity = MaxRecords; }
+
+  /// Current virtual time per the bound clock (origin when unbound).
+  TimePoint now() const { return Clock ? Clock() : TimePoint::origin(); }
+
+  MetricsRegistry &metrics() { return Metrics; }
+  const MetricsRegistry &metrics() const { return Metrics; }
+  TelemetryLog &log() { return Log; }
+  const TelemetryLog &log() const { return Log; }
+
+  /// --- Typed recorders (no-ops when disabled) ---
+  void recordGovernorDecision(const GovernorDecisionRecord &R);
+  void recordFeedbackAction(const FeedbackActionRecord &R);
+  void recordConfigSwitch(const ConfigSwitchRecord &R);
+  void recordFrameStage(const FrameStageRecord &R);
+  void recordQosViolation(const QosViolationRecord &R);
+  void recordEnergySample(const EnergySampleRecord &R);
+  /// Generic time-series point for an extra trace counter track.
+  void recordCounterSample(const std::string &Track, double Value);
+
+private:
+  /// Appends within the log cap; counts drops otherwise.
+  void appendRecord(TelemetryEventKind Kind,
+                    std::vector<TelemetryField> Fields);
+
+  ClockFn Clock;
+  bool Enabled = true;
+  size_t LogCapacity = std::numeric_limits<size_t>::max();
+  MetricsRegistry Metrics;
+  TelemetryLog Log;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_TELEMETRY_TELEMETRY_H

@@ -1,0 +1,119 @@
+//===- telemetry/TelemetryLog.cpp - Structured event log -------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/TelemetryLog.h"
+
+#include "support/StringUtils.h"
+
+using namespace greenweb;
+
+const char *greenweb::telemetryEventKindName(TelemetryEventKind Kind) {
+  switch (Kind) {
+  case TelemetryEventKind::GovernorDecision:
+    return "governor_decision";
+  case TelemetryEventKind::FeedbackAction:
+    return "feedback_action";
+  case TelemetryEventKind::ConfigSwitch:
+    return "config_switch";
+  case TelemetryEventKind::FrameStage:
+    return "frame_stage";
+  case TelemetryEventKind::QosViolation:
+    return "qos_violation";
+  case TelemetryEventKind::EnergySample:
+    return "energy_sample";
+  case TelemetryEventKind::CounterSample:
+    return "counter_sample";
+  }
+  return "unknown";
+}
+
+const TelemetryField *TelemetryRecord::find(const std::string &Key) const {
+  for (const TelemetryField &F : Fields)
+    if (F.Key == Key)
+      return &F;
+  return nullptr;
+}
+
+double TelemetryRecord::numberOr(const std::string &Key,
+                                 double Default) const {
+  const TelemetryField *F = find(Key);
+  if (!F)
+    return Default;
+  if (const int64_t *I = std::get_if<int64_t>(&F->Value))
+    return double(*I);
+  if (const double *D = std::get_if<double>(&F->Value))
+    return *D;
+  return Default;
+}
+
+std::string TelemetryRecord::stringOr(const std::string &Key,
+                                      const std::string &Default) const {
+  const TelemetryField *F = find(Key);
+  if (!F)
+    return Default;
+  if (const std::string *S = std::get_if<std::string>(&F->Value))
+    return *S;
+  return Default;
+}
+
+void TelemetryLog::append(TelemetryEventKind Kind, TimePoint Ts,
+                          std::vector<TelemetryField> Fields) {
+  Records.push_back({Kind, Ts, std::move(Fields)});
+}
+
+std::vector<const TelemetryRecord *>
+TelemetryLog::byKind(TelemetryEventKind Kind) const {
+  std::vector<const TelemetryRecord *> Out;
+  for (const TelemetryRecord &R : Records)
+    if (R.Kind == Kind)
+      Out.push_back(&R);
+  return Out;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string formatFieldNumber(double X) {
+  std::string S = formatString("%.6f", X);
+  size_t Last = S.find_last_not_of('0');
+  if (S[Last] == '.')
+    ++Last;
+  S.erase(Last + 1);
+  return S;
+}
+
+} // namespace
+
+std::string TelemetryLog::toJsonl() const {
+  std::string Out;
+  for (const TelemetryRecord &R : Records) {
+    Out += formatString("{\"ts_us\":%.3f,\"kind\":\"%s\"",
+                        R.Ts.nanos() / 1e3,
+                        telemetryEventKindName(R.Kind));
+    for (const TelemetryField &F : R.Fields) {
+      Out += formatString(",\"%s\":", jsonEscape(F.Key).c_str());
+      if (const int64_t *I = std::get_if<int64_t>(&F.Value))
+        Out += formatString("%lld", static_cast<long long>(*I));
+      else if (const double *D = std::get_if<double>(&F.Value))
+        Out += formatFieldNumber(*D);
+      else
+        Out += formatString(
+            "\"%s\"",
+            jsonEscape(std::get<std::string>(F.Value)).c_str());
+    }
+    Out += "}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,90 @@
+//===- telemetry/TelemetryLog.h - Structured event log ----------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured event log: an append-only sequence of typed,
+/// virtual-clock-timestamped records — governor decisions, feedback
+/// actions, DVFS switches, pipeline-stage durations, QoS violations, and
+/// energy samples. Records carry a small set of key/value fields; the log
+/// serializes to JSONL (one JSON object per line) for offline analysis.
+///
+/// Because every timestamp comes from the simulator's virtual clock and
+/// field ordering is fixed at record time, a log of a fixed-seed run is
+/// byte-for-bit reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_TELEMETRY_TELEMETRYLOG_H
+#define GREENWEB_TELEMETRY_TELEMETRYLOG_H
+
+#include "support/Time.h"
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace greenweb {
+
+/// Record types the telemetry layer knows about.
+enum class TelemetryEventKind : uint8_t {
+  GovernorDecision, ///< A policy chose a chip configuration.
+  FeedbackAction,   ///< Step-up / step-down / recalibrate on feedback.
+  ConfigSwitch,     ///< The chip changed configuration (DVFS/migration).
+  FrameStage,       ///< One pipeline stage of one frame completed.
+  QosViolation,     ///< A frame missed its active QoS target.
+  EnergySample,     ///< Periodic (DAQ-style) power/energy reading.
+  CounterSample,    ///< Generic time-series point for trace counters.
+};
+
+/// Stable lowercase name used in serialized output.
+const char *telemetryEventKindName(TelemetryEventKind Kind);
+
+/// One field of a record. Integers and doubles serialize as JSON
+/// numbers, strings as JSON strings.
+struct TelemetryField {
+  std::string Key;
+  std::variant<int64_t, double, std::string> Value;
+};
+
+/// One timestamped record.
+struct TelemetryRecord {
+  TelemetryEventKind Kind;
+  TimePoint Ts;
+  std::vector<TelemetryField> Fields;
+
+  /// Field lookup helpers (nullptr / nullopt when absent or mistyped).
+  const TelemetryField *find(const std::string &Key) const;
+  double numberOr(const std::string &Key, double Default) const;
+  std::string stringOr(const std::string &Key,
+                       const std::string &Default) const;
+};
+
+/// Append-only record log with JSONL export.
+class TelemetryLog {
+public:
+  void append(TelemetryEventKind Kind, TimePoint Ts,
+              std::vector<TelemetryField> Fields);
+
+  const std::vector<TelemetryRecord> &records() const { return Records; }
+  size_t size() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+  void clear() { Records.clear(); }
+
+  /// Pointers into the log for one record kind, in log order.
+  std::vector<const TelemetryRecord *>
+  byKind(TelemetryEventKind Kind) const;
+
+  /// One JSON object per line: {"ts_us":...,"kind":"...",<fields>}.
+  std::string toJsonl() const;
+
+private:
+  std::vector<TelemetryRecord> Records;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_TELEMETRY_TELEMETRYLOG_H

@@ -12,6 +12,7 @@
 #include "hw/EnergyMeter.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -211,6 +212,8 @@ struct Harness {
   explicit Harness(const ExperimentConfig &Config)
       : Config(Config), App(makeApp(Config.AppName, Config.Seed)),
         Chip(Sim), Meter(Chip), Collector(Registry) {
+    if (Config.Tel)
+      Sim.setTelemetry(Config.Tel);
     Html = App.Html;
     if (Config.UseAutoGreenAnnotations) {
       AutoGreenResult Auto = runAutoGreen(Html);
@@ -309,7 +312,30 @@ static ExperimentResult collectResults(Harness &H, TimePoint ArmTime) {
               ? H.Gov.get()
               : nullptr))
     R.RuntimeStats = RT->stats();
+
+  if (Telemetry *T = H.Sim.telemetry(); T && T->enabled())
+    publishResultMetrics(R, *T);
   return R;
+}
+
+void greenweb::publishResultMetrics(const ExperimentResult &Result,
+                                    Telemetry &Tel) {
+  MetricsRegistry &M = Tel.metrics();
+  M.gauge("experiment.total_joules").set(Result.TotalJoules);
+  M.gauge("experiment.big_joules").set(Result.BigJoules);
+  M.gauge("experiment.little_joules").set(Result.LittleJoules);
+  M.gauge("experiment.measured_seconds").set(Result.MeasuredSeconds);
+  M.gauge("experiment.input_events").set(double(Result.InputEvents));
+  M.gauge("experiment.annotated_events")
+      .set(double(Result.AnnotatedEvents));
+  M.gauge("experiment.frames").set(double(Result.Frames));
+  M.gauge("experiment.violation_pct_imperceptible")
+      .set(Result.ViolationPctImperceptible);
+  M.gauge("experiment.violation_pct_usable")
+      .set(Result.ViolationPctUsable);
+  M.gauge("experiment.freq_switches").set(double(Result.FreqSwitches));
+  M.gauge("experiment.migrations").set(double(Result.Migrations));
+  M.gauge("experiment.annotation_pct").set(Result.AnnotationPct);
 }
 
 static ExperimentResult runFullExperiment(Harness &H) {

@@ -28,6 +28,8 @@
 
 namespace greenweb {
 
+class Telemetry;
+
 /// Which half of Table 3 drives the run.
 enum class ExperimentMode { Micro, Full };
 
@@ -63,6 +65,11 @@ struct ExperimentConfig {
   /// Scale every annotation's targets (ablation A2: mis-annotation; a
   /// value of 0.05 makes every target 20x tighter).
   double TargetScale = 1.0;
+  /// Optional telemetry hub. When set (and enabled), the run's
+  /// simulator, chip, governor, and browser all instrument into it, and
+  /// the run's headline results are published as experiment.* gauges.
+  /// Not owned; must outlive the run.
+  Telemetry *Tel = nullptr;
 };
 
 /// Per-event measurements.
@@ -134,6 +141,10 @@ ExperimentResult runExperimentMedian(ExperimentConfig Config,
 
 /// The violation percentage of \p Result under \p Scenario.
 double violationPct(const ExperimentResult &Result, UsageScenario Scenario);
+
+/// Publishes \p Result's headline scalars as experiment.* gauges in
+/// \p Tel's registry (latest run wins; snapshot per run to keep more).
+void publishResultMetrics(const ExperimentResult &Result, Telemetry &Tel);
 
 } // namespace greenweb
 

@@ -7,6 +7,9 @@
 #include "browser/TraceExport.h"
 
 #include "browser/Browser.h"
+#include "telemetry/Telemetry.h"
+
+#include "MiniJson.h"
 
 #include <gtest/gtest.h>
 
@@ -70,6 +73,96 @@ TEST(TraceExportTest, ConfigTimelineRecordsChangesAtExactInstants) {
   // Intervals tile the timeline: contiguous and gap-free.
   for (size_t I = 1; I < Intervals.size(); ++I)
     EXPECT_EQ(Intervals[I].Begin, Intervals[I - 1].End);
+}
+
+TEST(TraceExportTest, ZeroLengthConfigIntervalStaysValid) {
+  TimePoint T = TimePoint::origin() + Duration::milliseconds(5);
+  std::vector<ConfigInterval> Cpu = {{{CoreKind::Big, 1800}, T, T}};
+  std::string Json = exportChromeTrace({}, Cpu);
+  EXPECT_TRUE(minijson::valid(Json)) << Json;
+  EXPECT_NE(Json.find("\"dur\":0.000"), std::string::npos);
+}
+
+TEST(TraceExportTest, SameInstantConfigChangesCollapse) {
+  // Two setConfig calls at the same virtual timestamp: the intermediate
+  // configuration exists for zero time; the recorded timeline must stay
+  // contiguous and end on the last configuration.
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  ConfigTimelineRecorder Recorder(Chip);
+  Sim.schedule(Duration::milliseconds(10), [&] {
+    Chip.setConfig({CoreKind::Big, 1400});
+    Chip.setConfig({CoreKind::Big, 1800});
+  });
+  Sim.schedule(Duration::milliseconds(20), [] {});
+  Sim.run();
+
+  std::vector<ConfigInterval> Intervals = Recorder.intervals();
+  ASSERT_GE(Intervals.size(), 2u);
+  for (size_t I = 1; I < Intervals.size(); ++I)
+    EXPECT_EQ(Intervals[I].Begin, Intervals[I - 1].End);
+  for (const ConfigInterval &Interval : Intervals)
+    EXPECT_GE(Interval.End, Interval.Begin);
+  EXPECT_EQ(Intervals.back().Config, (AcmpConfig{CoreKind::Big, 1800}));
+  EXPECT_DOUBLE_EQ(Intervals.back().End.millis(), 20.0);
+  EXPECT_DOUBLE_EQ(Intervals.front().End.millis(), 10.0);
+  EXPECT_TRUE(minijson::valid(exportChromeTrace({}, Intervals)));
+}
+
+TEST(TraceExportTest, EnrichedExportWithEmptyTelemetryMatchesBase) {
+  Telemetry Tel;
+  EXPECT_EQ(exportChromeTrace({}, {}, Tel), exportChromeTrace({}, {}));
+}
+
+TEST(TraceExportTest, EnrichedExportEmitsCounterAndInstantEvents) {
+  Telemetry Tel;
+  Tel.recordEnergySample({0.75, 1.5, 4});
+  Tel.recordConfigSwitch({"A7@350MHz", "A15@1800MHz", 1, 1800, 1, 1, 50.0});
+  Tel.recordConfigSwitch({"A15@1800MHz", "A7@600MHz", 0, 600, 1, 1, 50.0});
+  GovernorDecisionRecord D;
+  D.Governor = "GreenWeb-I";
+  D.Reason = "predicted";
+  D.Config = "A15@1400MHz";
+  D.PredictedMs = 12.0;
+  D.TargetMs = 16.7;
+  Tel.recordGovernorDecision(D);
+  FeedbackActionRecord F;
+  F.Governor = "GreenWeb-I";
+  F.Action = "step_up";
+  Tel.recordFeedbackAction(F);
+
+  std::string Json = exportChromeTrace({}, {}, Tel);
+  EXPECT_TRUE(minijson::valid(Json)) << Json;
+  EXPECT_NE(Json.find("\"name\":\"power_watts\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"energy_joules\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"sim_queue_depth\""), std::string::npos);
+  // Migration visible as the series trading places.
+  EXPECT_NE(Json.find("{\"A15\":1800,\"A7\":0}"), std::string::npos);
+  EXPECT_NE(Json.find("{\"A15\":0,\"A7\":600}"), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"GreenWeb-I: predicted\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"GreenWeb-I feedback: step_up\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"tid\":\"governor\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ExportedJsonSurvivesParseBack) {
+  FrameTracker Tracker;
+  TimePoint T0 = TimePoint::origin() + Duration::milliseconds(10);
+  // An event name with characters that need escaping.
+  FrameMsg Msg = Tracker.makeMsg(T0, 0, "we\"ird\\evt");
+  FrameRecord Frame = Tracker.finishFrame(
+      1, T0, T0 + Duration::milliseconds(5), {Msg}, 1e6,
+      Duration::milliseconds(1));
+  std::vector<ConfigInterval> Cpu = {
+      {{CoreKind::Little, 350}, TimePoint::origin(), T0}};
+  Telemetry Tel;
+  Tel.recordCounterSample("custom_track", 2.5);
+  std::string Json = exportChromeTrace({Frame}, Cpu, Tel);
+  EXPECT_TRUE(minijson::valid(Json)) << Json;
+  EXPECT_NE(Json.find("\"name\":\"custom_track\""), std::string::npos);
 }
 
 TEST(TraceExportTest, EndToEndSessionExports) {

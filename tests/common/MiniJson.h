@@ -1,0 +1,177 @@
+//===- tests/common/MiniJson.h - tiny JSON validator -------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free recursive-descent JSON validator for parse-back
+/// tests of the exporters (trace JSON, metric snapshots, JSONL event
+/// logs). Validates structure only; it does not build a document tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_TESTS_COMMON_MINIJSON_H
+#define GREENWEB_TESTS_COMMON_MINIJSON_H
+
+#include <cctype>
+#include <string_view>
+
+namespace minijson {
+
+class Validator {
+public:
+  explicit Validator(std::string_view Text) : P(Text.data()), End(Text.data() + Text.size()) {}
+
+  /// True when the whole input is exactly one JSON value (plus
+  /// whitespace).
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return P == End;
+  }
+
+private:
+  const char *P;
+  const char *End;
+
+  void skipWs() {
+    while (P != End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool literal(std::string_view Word) {
+    for (char C : Word) {
+      if (P == End || *P != C)
+        return false;
+      ++P;
+    }
+    return true;
+  }
+
+  bool string() {
+    if (P == End || *P != '"')
+      return false;
+    ++P;
+    while (P != End && *P != '"') {
+      if (*P == '\\') {
+        ++P;
+        if (P == End)
+          return false;
+      }
+      ++P;
+    }
+    if (P == End)
+      return false;
+    ++P; // closing quote
+    return true;
+  }
+
+  bool number() {
+    const char *Start = P;
+    if (P != End && *P == '-')
+      ++P;
+    while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+      ++P;
+    if (P == Start || (*Start == '-' && P == Start + 1))
+      return false;
+    if (P != End && *P == '.') {
+      ++P;
+      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return false;
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    if (P != End && (*P == 'e' || *P == 'E')) {
+      ++P;
+      if (P != End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return false;
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    return true;
+  }
+
+  bool members(char Close, bool KeyValue) {
+    skipWs();
+    if (P != End && *P == Close) {
+      ++P;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (KeyValue) {
+        if (!string())
+          return false;
+        skipWs();
+        if (P == End || *P != ':')
+          return false;
+        ++P;
+        skipWs();
+      }
+      if (!value())
+        return false;
+      skipWs();
+      if (P == End)
+        return false;
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == Close) {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool value() {
+    if (P == End)
+      return false;
+    switch (*P) {
+    case '{':
+      ++P;
+      return members('}', /*KeyValue=*/true);
+    case '[':
+      ++P;
+      return members(']', /*KeyValue=*/false);
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+/// Convenience wrapper: one-shot validation.
+inline bool valid(std::string_view Text) { return Validator(Text).valid(); }
+
+/// Validates a JSONL document: every non-empty line is one JSON object.
+inline bool validJsonl(std::string_view Text) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string_view::npos)
+      Eol = Text.size();
+    std::string_view Line = Text.substr(Pos, Eol - Pos);
+    if (!Line.empty() && !valid(Line))
+      return false;
+    Pos = Eol + 1;
+  }
+  return true;
+}
+
+} // namespace minijson
+
+#endif // GREENWEB_TESTS_COMMON_MINIJSON_H

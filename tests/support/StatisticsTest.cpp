@@ -92,6 +92,67 @@ TEST(StatisticsTest, RunningStatNegatives) {
   EXPECT_EQ(S.mean(), 0.0);
 }
 
+TEST(StatisticsTest, RunningStatVarianceBasics) {
+  RunningStat S;
+  EXPECT_EQ(S.variance(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+  S.add(7.0);
+  // A single sample has no spread.
+  EXPECT_EQ(S.variance(), 0.0);
+  S.add(7.0);
+  EXPECT_EQ(S.variance(), 0.0);
+  RunningStat T;
+  T.add(2.0);
+  T.add(4.0);
+  EXPECT_DOUBLE_EQ(T.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(T.stddev(), 1.0);
+}
+
+TEST(StatisticsTest, RunningStatMatchesBatchStddev) {
+  std::vector<double> V = {1.0, 2.0, 4.0, 8.0, 16.0, 3.5, -2.25};
+  RunningStat S;
+  for (double X : V)
+    S.add(X);
+  EXPECT_NEAR(S.stddev(), stddev(V), 1e-12);
+  EXPECT_NEAR(S.mean(), mean(V), 1e-12);
+}
+
+TEST(StatisticsTest, RunningStatWelfordIsShiftStable) {
+  // The naive sum-of-squares formula loses all precision here; the
+  // Welford update must not.
+  RunningStat S;
+  double Base = 1e9;
+  for (double X : {Base + 4.0, Base + 7.0, Base + 13.0, Base + 16.0})
+    S.add(X);
+  RunningStat T;
+  for (double X : {4.0, 7.0, 13.0, 16.0})
+    T.add(X);
+  EXPECT_NEAR(S.stddev(), T.stddev(), 1e-6);
+  EXPECT_GT(S.stddev(), 0.0);
+}
+
+TEST(StatisticsTest, SingleElementEdgeCases) {
+  EXPECT_EQ(median({42.0}), 42.0);
+  EXPECT_EQ(percentile({42.0}, 0), 42.0);
+  EXPECT_EQ(percentile({42.0}, 100), 42.0);
+  EXPECT_DOUBLE_EQ(geomean({42.0}), 42.0);
+  EXPECT_EQ(stddev({42.0}), 0.0);
+}
+
+TEST(StatisticsTest, PercentileEndpointsClamp) {
+  std::vector<double> V = {5.0, 1.0, 3.0};
+  // P beyond the ends pins to min/max rather than reading out of range.
+  EXPECT_EQ(percentile(V, 0), 1.0);
+  EXPECT_EQ(percentile(V, 100), 5.0);
+}
+
+TEST(StatisticsTest, GeomeanEpsilonFloorIsConfigurable) {
+  // All-zero input collapses to the floor itself.
+  EXPECT_NEAR(geomean({0.0, 0.0}, 1e-6), 1e-6, 1e-15);
+  // A larger floor raises the clamped result accordingly.
+  EXPECT_NEAR(geomean({1.0, 0.0}, 1e-4), std::sqrt(1e-4), 1e-12);
+}
+
 /// Property suite over random vectors: classic inequalities and
 /// invariances that must hold for any data.
 class StatisticsProperty : public ::testing::TestWithParam<uint64_t> {};
@@ -138,6 +199,19 @@ TEST_P(StatisticsProperty, MeanShiftInvariance) {
   }
   EXPECT_NEAR(mean(Shifted), mean(V) + 100.0, 1e-9);
   EXPECT_NEAR(stddev(Shifted), stddev(V), 1e-9);
+}
+
+TEST_P(StatisticsProperty, RunningStatAgreesWithBatch) {
+  Rng R(GetParam() ^ 0x5EED);
+  std::vector<double> V;
+  RunningStat S;
+  for (int I = 0; I < 60; ++I) {
+    double X = R.normal(50.0, 20.0);
+    V.push_back(X);
+    S.add(X);
+  }
+  EXPECT_NEAR(S.stddev(), stddev(V), 1e-9);
+  EXPECT_NEAR(S.mean(), mean(V), 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StatisticsProperty,
