@@ -8,11 +8,17 @@
 //
 //   full_evaluation [app] [governor] [micro|full]
 //
-// e.g. `full_evaluation Cnet GreenWeb-U full`. Pass a fourth argument
-// to additionally export the session as Chrome Trace Event JSON
-// (loadable in chrome://tracing / Perfetto):
+// e.g. `full_evaluation Cnet GreenWeb-U full`. Artifact flags (shared
+// with the other examples) instrument the session and export it:
 //
-//   full_evaluation Goo.ne.jp GreenWeb-U full trace.json
+//   full_evaluation Goo.ne.jp GreenWeb-U full --trace=trace.json \
+//       --log=events.jsonl --metrics=metrics.json
+//
+// A trailing positional path is still accepted as shorthand for all
+// three (`trace.json` + `trace.events.jsonl` + `trace.metrics.json`).
+// `--diagnose` prints per-violation critical-path WhyReports and the
+// per-annotation energy attribution table without writing files; any
+// artifact flag implies it.
 //
 // With no arguments, runs a compact sweep of one app per QoS category
 // under every governor.
@@ -25,12 +31,16 @@
 #include "greenweb/GreenWebRuntime.h"
 #include "hw/EnergyMeter.h"
 #include "support/TablePrinter.h"
+#include "telemetry/CriticalPath.h"
+#include "telemetry/EnergyAttribution.h"
 #include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
+#include "workloads/TelemetryArtifacts.h"
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <string>
+#include <vector>
 
 using namespace greenweb;
 
@@ -110,7 +120,8 @@ int runSweep() {
   }
   Table.print();
   std::printf("\nUsage: full_evaluation [app] [governor] [micro|full] "
-              "[trace.json]\n"
+              "[--diagnose] [--trace=trace.json] [--log=events.jsonl] "
+              "[--metrics=metrics.json]\n"
               "Apps: ");
   for (const std::string &Name : allAppNames())
     std::printf("%s ", Name.c_str());
@@ -119,21 +130,32 @@ int runSweep() {
   return 0;
 }
 
-/// Writes \p Content to \p Path and reports it on stdout.
-void writeArtifact(const std::string &Path, const std::string &Content,
-                   const char *What) {
-  std::ofstream Out(Path);
-  Out << Content;
-  std::printf("wrote %s to %s\n", What, Path.c_str());
+/// Prints the causal diagnosis of the instrumented session: one
+/// WhyReport per QoS violation (critical path, bottleneck stage,
+/// preceding governor decision) and the per-annotation energy ledger.
+void printDiagnosis(Telemetry &Tel) {
+  Tel.flushSpans();
+  std::vector<WhyReport> Reports = buildWhyReports(Tel.log());
+  std::printf("\n=== QoS violation diagnosis (%zu violations) ===\n",
+              Reports.size());
+  for (const WhyReport &Report : Reports)
+    std::printf("\n%s", Report.format().c_str());
+  if (Reports.empty())
+    std::printf("no QoS violations recorded.\n");
+
+  std::printf("\n=== Energy attribution ===\n%s",
+              formatEnergyTable(attributeEnergy(Tel.log())).c_str());
 }
 
-/// Re-runs the session standalone with full telemetry and writes three
-/// artifacts: the enriched chrome://tracing JSON timeline (frames,
-/// input latencies, CPU configuration residency, power/frequency
-/// counter tracks, governor-decision instants) at \p Path, plus the
-/// structured event log (<base>.events.jsonl) and the metrics snapshot
-/// (<base>.metrics.json) next to it.
-void exportTrace(const ExperimentConfig &Config, const char *Path) {
+/// Re-runs the session standalone with full telemetry, prints the
+/// violation diagnosis and energy attribution, and writes any
+/// requested artifacts: the enriched chrome://tracing JSON timeline
+/// (frames, input latencies, task spans, CPU configuration residency,
+/// power/frequency counter tracks, governor-decision instants, causal
+/// flow arrows), the structured event log (JSONL), and the metrics
+/// snapshot.
+void exportTrace(const ExperimentConfig &Config,
+                 const TelemetryArtifactOptions &Artifacts) {
   AppDefinition App = makeApp(Config.AppName, Config.Seed);
   Simulator Sim;
   Telemetry Tel;
@@ -181,51 +203,65 @@ void exportTrace(const ExperimentConfig &Config, const char *Path) {
       B.dispatchInput(Event.Type, Event.TargetId);
     });
   Sim.runUntil(Origin + App.Full.SessionLength + Duration::seconds(2));
+  // Close the attribution ledger at the end of the measured window.
+  Meter.recordSampleNow();
 
-  std::string Json = exportChromeTrace(B.frameTracker().frames(),
-                                       Recorder.intervals(), Tel);
+  printDiagnosis(Tel);
+  writeTelemetryArtifacts(Artifacts, Tel, B.frameTracker().frames(),
+                          Recorder.intervals());
   Gov->detach();
-  size_t Events = 0;
-  for (size_t Pos = Json.find("\"ph\""); Pos != std::string::npos;
-       Pos = Json.find("\"ph\"", Pos + 1))
-    ++Events;
-  std::printf("\nwrote %zu trace events to %s (open in "
-              "chrome://tracing or ui.perfetto.dev)\n",
-              Events, Path);
-  std::ofstream Out(Path);
-  Out << Json;
-
-  std::string Base = Path;
-  if (size_t Dot = Base.rfind(".json"); Dot == Base.size() - 5)
-    Base.resize(Dot);
-  writeArtifact(Base + ".events.jsonl", Tel.log().toJsonl(),
-                "telemetry event log");
-  writeArtifact(Base + ".metrics.json", Tel.metrics().snapshotJson(),
-                "metrics snapshot");
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 3)
+  TelemetryArtifactOptions Artifacts;
+  bool Diagnose = false;
+  std::vector<std::string> Positional;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--diagnose")
+      Diagnose = true;
+    else if (!Artifacts.parseFlag(Arg))
+      Positional.push_back(std::move(Arg));
+  }
+  if (Positional.size() < 2)
     return runSweep();
 
   ExperimentConfig Config;
-  Config.AppName = Argv[1];
-  Config.GovernorName = Argv[2];
-  if (Argc > 3 && std::strcmp(Argv[3], "micro") == 0)
-    Config.Mode = ExperimentMode::Micro;
+  Config.AppName = Positional[0];
+  Config.GovernorName = Positional[1];
+  size_t Next = 2;
+  if (Positional.size() > Next &&
+      (Positional[Next] == "micro" || Positional[Next] == "full")) {
+    if (Positional[Next] == "micro")
+      Config.Mode = ExperimentMode::Micro;
+    ++Next;
+  }
+  if (Positional.size() > Next) {
+    // Legacy shorthand: a trailing path requests all three artifacts.
+    std::string Path = Positional[Next];
+    std::string Base = Path;
+    if (size_t Dot = Base.rfind(".json");
+        Dot != std::string::npos && Dot == Base.size() - 5)
+      Base.resize(Dot);
+    Artifacts.TracePath = Path;
+    if (Artifacts.LogPath.empty())
+      Artifacts.LogPath = Base + ".events.jsonl";
+    if (Artifacts.MetricsPath.empty())
+      Artifacts.MetricsPath = Base + ".metrics.json";
+  }
 
   bool KnownApp = false;
   for (const std::string &Name : allAppNames())
     KnownApp |= Name == Config.AppName;
   if (!KnownApp) {
-    std::fprintf(stderr, "error: unknown app '%s'\n", Argv[1]);
+    std::fprintf(stderr, "error: unknown app '%s'\n",
+                 Config.AppName.c_str());
     return 1;
   }
   printDetailed(runExperiment(Config));
-  if (Argc > 4 || (Argc == 4 && std::strcmp(Argv[3], "micro") != 0 &&
-                   std::strcmp(Argv[3], "full") != 0))
-    exportTrace(Config, Argv[Argc - 1]);
+  if (Artifacts.any() || Diagnose)
+    exportTrace(Config, Artifacts);
   return 0;
 }

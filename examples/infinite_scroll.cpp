@@ -18,6 +18,8 @@
 #include "hw/EnergyMeter.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
+#include "telemetry/Telemetry.h"
+#include "workloads/TelemetryArtifacts.h"
 
 #include <cstdio>
 #include <memory>
@@ -52,12 +54,20 @@ struct ScrollOutcome {
 
 /// Runs the gesture sequence under \p Gov. When the governor is a
 /// GreenWebRuntime, pass the registry it was constructed over via
-/// \p GovernorRegistry so the page's annotations reach it.
-ScrollOutcome scrollUnder(Governor &Gov,
-                          AnnotationRegistry *GovernorRegistry = nullptr) {
+/// \p GovernorRegistry so the page's annotations reach it. When
+/// \p Artifacts requests output, the run is instrumented and the
+/// artifacts are written before returning.
+ScrollOutcome
+scrollUnder(Governor &Gov, AnnotationRegistry *GovernorRegistry = nullptr,
+            const TelemetryArtifactOptions *Artifacts = nullptr) {
   Simulator Sim;
+  Telemetry Tel;
+  bool Instrument = Artifacts && Artifacts->any();
+  if (Instrument)
+    Sim.setTelemetry(&Tel);
   AcmpChip Chip(Sim);
   EnergyMeter Meter(Chip);
+  ConfigTimelineRecorder Recorder(Chip);
   Browser B(Sim, Chip);
   // Product tiles are image-heavy: scale the render complexity up.
   B.FrameComplexityFn = [](uint64_t) { return 2.2; };
@@ -73,6 +83,8 @@ ScrollOutcome scrollUnder(Governor &Gov,
   B.loadPage(FeedPage);
   Sim.runUntil(Sim.now() + Duration::seconds(2));
   Meter.reset();
+  if (Instrument)
+    Meter.enableSampling(Duration::milliseconds(1));
   B.frameTracker().clearFrames();
 
   // Three fling gestures of 30 touchmoves at ~30Hz, a second apart.
@@ -83,6 +95,12 @@ ScrollOutcome scrollUnder(Governor &Gov,
                      [&B] { B.dispatchInput("touchmove", "feed"); });
     }
     Sim.runUntil(Start + Duration::seconds(2));
+  }
+
+  if (Instrument) {
+    Meter.recordSampleNow();
+    writeTelemetryArtifacts(*Artifacts, Tel, B.frameTracker().frames(),
+                            Recorder.intervals());
   }
 
   ScrollOutcome Out;
@@ -99,7 +117,17 @@ ScrollOutcome scrollUnder(Governor &Gov,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // `--trace=`/`--log=`/`--metrics=` instrument the GreenWeb-I run.
+  TelemetryArtifactOptions Artifacts;
+  for (int I = 1; I < Argc; ++I)
+    if (!Artifacts.parseFlag(Argv[I])) {
+      std::fprintf(stderr,
+                   "usage: infinite_scroll [--trace=trace.json] "
+                   "[--log=events.jsonl] [--metrics=metrics.json]\n");
+      return 1;
+    }
+
   std::printf("Infinite scroll: the same annotated feed "
               "(`ontouchmove-qos: continuous`) scrolled under four "
               "policies.\n\n");
@@ -115,8 +143,9 @@ int main() {
 
   auto addRow = [&](const char *Label, Governor &Gov,
                     const char *Experience,
-                    AnnotationRegistry *Registry = nullptr) {
-    ScrollOutcome Out = scrollUnder(Gov, Registry);
+                    AnnotationRegistry *Registry = nullptr,
+                    const TelemetryArtifactOptions *Arts = nullptr) {
+    ScrollOutcome Out = scrollUnder(Gov, Registry, Arts);
     Table.row()
         .cell(Label)
         .cell(Out.Millijoules, 1)
@@ -137,7 +166,7 @@ int main() {
   ParamsI.Scenario = UsageScenario::Imperceptible;
   GreenWebRuntime GwI(RegistryI, ParamsI);
   addRow("GreenWeb-I (16.6ms)", GwI, "60 FPS on cheaper configs",
-         &RegistryI);
+         &RegistryI, &Artifacts);
 
   AnnotationRegistry RegistryU;
   GreenWebRuntime::Params ParamsU;

@@ -22,6 +22,8 @@
 #include "hw/EnergyMeter.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "telemetry/Telemetry.h"
+#include "workloads/TelemetryArtifacts.h"
 
 #include <cstdio>
 
@@ -57,10 +59,16 @@ struct Outcome {
   bool MeetsOneSecond = false;
 };
 
-Outcome runEditor(const char *QosRule, unsigned Taps) {
+Outcome runEditor(const char *QosRule, unsigned Taps,
+                  const TelemetryArtifactOptions *Artifacts = nullptr) {
   Simulator Sim;
+  Telemetry Tel;
+  bool Instrument = Artifacts && Artifacts->any();
+  if (Instrument)
+    Sim.setTelemetry(&Tel);
   AcmpChip Chip(Sim);
   EnergyMeter Meter(Chip);
+  ConfigTimelineRecorder Recorder(Chip);
   Browser B(Sim, Chip);
 
   AnnotationRegistry Registry;
@@ -74,11 +82,18 @@ Outcome runEditor(const char *QosRule, unsigned Taps) {
   B.loadPage(makePage(QosRule));
   Sim.runUntil(Sim.now() + Duration::seconds(2));
   Meter.reset();
+  if (Instrument)
+    Meter.enableSampling(Duration::milliseconds(1));
   B.frameTracker().clearFrames();
 
   for (unsigned Tap = 0; Tap < Taps; ++Tap) {
     B.dispatchInput("click", "filter-btn");
     Sim.runUntil(Sim.now() + Duration::seconds(3));
+  }
+  if (Instrument) {
+    Meter.recordSampleNow();
+    writeTelemetryArtifacts(*Artifacts, Tel, B.frameTracker().frames(),
+                            Recorder.intervals());
   }
 
   Outcome Out;
@@ -100,7 +115,18 @@ Outcome runEditor(const char *QosRule, unsigned Taps) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // `--trace=`/`--log=`/`--metrics=` instrument the correctly-annotated
+  // (`single, long`) run.
+  TelemetryArtifactOptions Artifacts;
+  for (int I = 1; I < Argc; ++I)
+    if (!Artifacts.parseFlag(Argv[I])) {
+      std::fprintf(stderr,
+                   "usage: photo_editor [--trace=trace.json] "
+                   "[--log=events.jsonl] [--metrics=metrics.json]\n");
+      return 1;
+    }
+
   std::printf("Photo editor: a 350M-cycle filter behind one button.\n"
               "How the annotation changes what the GreenWeb runtime "
               "does (imperceptible scenario):\n\n");
@@ -123,8 +149,10 @@ int main() {
       .cell("Energy/tap (mJ)")
       .cell("Mean latency (ms)")
       .cell("Within 1s target");
+  bool First = true;
   for (const Case &C : Cases) {
-    Outcome Out = runEditor(C.Rule, 6);
+    Outcome Out = runEditor(C.Rule, 6, First ? &Artifacts : nullptr);
+    First = false;
     Table.row()
         .cell(C.Label)
         .cell(Out.MillijoulesPerTap, 1)

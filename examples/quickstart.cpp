@@ -14,7 +14,9 @@
 #include "greenweb/GreenWebRuntime.h"
 #include "hw/EnergyMeter.h"
 #include "support/TablePrinter.h"
+#include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
+#include "workloads/TelemetryArtifacts.h"
 
 #include <cstdio>
 
@@ -56,10 +58,18 @@ struct RunOutcome {
 /// Runs the tap under one governor and reports energy and latencies.
 /// \p Registry is the annotation registry the governor consults (the
 /// page's GreenWeb rules are loaded into it once the page parses).
-RunOutcome runOnce(Governor &Gov, AnnotationRegistry &Registry) {
+/// When \p Artifacts requests output, the run is instrumented with a
+/// telemetry hub and the artifacts are written before returning.
+RunOutcome runOnce(Governor &Gov, AnnotationRegistry &Registry,
+                   const TelemetryArtifactOptions *Artifacts = nullptr) {
   Simulator Sim;
+  Telemetry Tel;
+  bool Instrument = Artifacts && Artifacts->any();
+  if (Instrument)
+    Sim.setTelemetry(&Tel);
   AcmpChip Chip(Sim);
   EnergyMeter Meter(Chip);
+  ConfigTimelineRecorder Recorder(Chip);
   Browser B(Sim, Chip);
 
   B.OnPageParsed = [&] { Registry.loadFromPage(B); };
@@ -68,9 +78,16 @@ RunOutcome runOnce(Governor &Gov, AnnotationRegistry &Registry) {
   Sim.runUntil(Sim.now() + Duration::seconds(2));
 
   Meter.reset();
+  if (Instrument)
+    Meter.enableSampling(Duration::milliseconds(1));
   B.frameTracker().clearFrames();
   B.dispatchInput("touchstart", "ex");
   Sim.runUntil(Sim.now() + Duration::fromMillis(2500));
+  if (Instrument) {
+    Meter.recordSampleNow();
+    writeTelemetryArtifacts(*Artifacts, Tel, B.frameTracker().frames(),
+                            Recorder.intervals());
+  }
 
   RunOutcome Out;
   Out.Joules = Meter.totalJoules();
@@ -91,7 +108,17 @@ RunOutcome runOnce(Governor &Gov, AnnotationRegistry &Registry) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // `--trace=`/`--log=`/`--metrics=` instrument the GreenWeb-I run.
+  TelemetryArtifactOptions Artifacts;
+  for (int I = 1; I < Argc; ++I)
+    if (!Artifacts.parseFlag(Argv[I])) {
+      std::fprintf(stderr,
+                   "usage: quickstart [--trace=trace.json] "
+                   "[--log=events.jsonl] [--metrics=metrics.json]\n");
+      return 1;
+    }
+
   std::printf("GreenWeb quickstart: a 2s CSS-transition animation "
               "annotated `ontouchstart-qos: continuous`\n\n");
 
@@ -103,7 +130,7 @@ int main() {
   GreenWebRuntime::Params ParamsI;
   ParamsI.Scenario = UsageScenario::Imperceptible;
   GreenWebRuntime RuntimeI(RegistryI, ParamsI);
-  RunOutcome GreenIRun = runOnce(RuntimeI, RegistryI);
+  RunOutcome GreenIRun = runOnce(RuntimeI, RegistryI, &Artifacts);
 
   GreenWebRuntime::Params ParamsU;
   ParamsU.Scenario = UsageScenario::Usable;

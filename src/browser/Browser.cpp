@@ -383,6 +383,9 @@ uint64_t Browser::loadPage(std::string_view Html) {
   // parse task, script-execution task, then the first meaningful paint.
   FrameMsg Msg = Tracker.makeMsg(Sim.now(), 0, events::Load);
   retainRoot(Msg.RootId);
+  // Open the root span before notifying observers so governor decision
+  // spans parent under the input that triggered them.
+  int64_t PrevSpanCtx = beginRootSpan(Msg.RootId, events::Load);
   for (FrameObserver *O : Observers)
     O->onInputDispatched(Msg.RootId, events::Load, &Doc->root());
 
@@ -442,6 +445,8 @@ uint64_t Browser::loadPage(std::string_view Html) {
     });
   };
   BrowserProc->post(std::move(Nav));
+  if (SpanTracer *Tr = tracer())
+    Tr->setCurrent(PrevSpanCtx);
   return Msg.RootId;
 }
 
@@ -467,6 +472,7 @@ uint64_t Browser::dispatchInput(const std::string &Type, Element *Target) {
 
   FrameMsg Msg = Tracker.makeMsg(Sim.now(), 0, Type);
   retainRoot(Msg.RootId);
+  int64_t PrevSpanCtx = beginRootSpan(Msg.RootId, Type);
   for (FrameObserver *O : Observers)
     O->onInputDispatched(Msg.RootId, Type, Target);
 
@@ -479,6 +485,8 @@ uint64_t Browser::dispatchInput(const std::string &Type, Element *Target) {
     });
   };
   BrowserProc->post(std::move(Input));
+  if (SpanTracer *Tr = tracer())
+    Tr->setCurrent(PrevSpanCtx);
   return Msg.RootId;
 }
 
@@ -603,7 +611,17 @@ void Browser::beginFrame(TimePoint BeginTime) {
   Animate.OnComplete = [this] {
     FrameMsgs = Tracker.takeQueuedMsgs();
     if (FrameMsgs.empty()) {
-      // Nothing visible changed (e.g. rAF ran but did not draw).
+      // Nothing visible changed (e.g. rAF ran but did not draw). The
+      // frame id will be reused by the next VSync that does draw, so
+      // detach this attempt's spans from it before closing them.
+      if (SpanTracer *Tr = tracer()) {
+        Tr->setFrame(Tr->current(), 0); // this animate task's span
+        if (FrameSpan != 0) {
+          Tr->setFrame(FrameSpan, 0);
+          Tr->end(FrameSpan);
+        }
+      }
+      FrameSpan = 0;
       FrameInFlight = false;
       scheduleVsyncIfNeeded();
       return;
@@ -612,7 +630,18 @@ void Browser::beginFrame(TimePoint BeginTime) {
     runPipelineStage(0);
   };
   StageMark = BeginTime;
+  SpanTracer *Tr = tracer();
+  int64_t PrevSpanCtx = 0;
+  if (Tr) {
+    FrameSpan = Tr->begin(
+        formatString("frame %llu", static_cast<unsigned long long>(
+                                       NextFrameId)),
+        "frames", 0, int64_t(NextFrameId), /*Parent=*/0);
+    PrevSpanCtx = Tr->setCurrent(FrameSpan);
+  }
   Main->post(std::move(Animate));
+  if (Tr)
+    Tr->setCurrent(PrevSpanCtx);
 }
 
 void Browser::recordStage(const char *Stage) {
@@ -623,6 +652,21 @@ void Browser::recordStage(const char *Stage) {
   T->recordFrameStage(
       {int64_t(NextFrameId), Stage, (Now - StageMark).millis()});
   StageMark = Now;
+}
+
+SpanTracer *Browser::tracer() const {
+  Telemetry *T = Sim.telemetry();
+  return T && T->enabled() ? &T->spans() : nullptr;
+}
+
+int64_t Browser::beginRootSpan(uint64_t RootId, const std::string &Type) {
+  SpanTracer *Tr = tracer();
+  if (!Tr)
+    return 0;
+  int64_t Span = Tr->begin("input:" + Type, "inputs", int64_t(RootId), 0,
+                           /*Parent=*/0);
+  RootSpans[RootId] = Span;
+  return Tr->setCurrent(Span);
 }
 
 void Browser::runPipelineStage(unsigned StageIndex) {
@@ -688,6 +732,11 @@ void Browser::runPipelineStage(unsigned StageIndex) {
 
 void Browser::finishFrame() {
   recordStage("present");
+  if (FrameSpan != 0) {
+    if (SpanTracer *Tr = tracer())
+      Tr->end(FrameSpan);
+    FrameSpan = 0;
+  }
   FrameRecord Record =
       Tracker.finishFrame(NextFrameId++, FrameBeginTime, Sim.now(),
                           std::move(FrameMsgs), FrameCycles, FrameFixed);
@@ -959,6 +1008,11 @@ void Browser::releaseRoot(uint64_t RootId) {
   if (--It->second > 0)
     return;
   RootActivity.erase(It);
+  if (auto SIt = RootSpans.find(RootId); SIt != RootSpans.end()) {
+    if (SpanTracer *Tr = tracer())
+      Tr->end(SIt->second);
+    RootSpans.erase(SIt);
+  }
   for (FrameObserver *O : Observers)
     O->onEventQuiescent(RootId);
 }

@@ -199,6 +199,13 @@ private:
   /// previous stage boundary and advances the boundary.
   void recordStage(const char *Stage);
 
+  /// The attached hub's span tracer, or nullptr when telemetry is off.
+  SpanTracer *tracer() const;
+  /// Opens the lifetime span of root \p RootId ("input:<type>" on the
+  /// "inputs" track) and makes it the ambient context; returns the
+  /// previous context for the caller to restore after dispatch.
+  int64_t beginRootSpan(uint64_t RootId, const std::string &Type);
+
   /// Invokes a script function with root attribution and error capture.
   /// Returns the cost accumulated by the interpreter during the call.
   TaskCost runScriptWithRoot(const js::Value &Fn, uint64_t RootId,
@@ -235,6 +242,10 @@ private:
 
   /// Outstanding work units per root input id.
   std::map<uint64_t, int> RootActivity;
+  /// Open lifetime span per root (closed at quiescence).
+  std::map<uint64_t, int64_t> RootSpans;
+  /// Span covering the in-flight frame's production window.
+  int64_t FrameSpan = 0;
   std::map<uint64_t, uint64_t> AnimationsStarted;
   std::map<uint64_t, uint64_t> RafRegistered;
 

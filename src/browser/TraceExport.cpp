@@ -9,7 +9,10 @@
 #include "support/StringUtils.h"
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <map>
 
 using namespace greenweb;
 
@@ -110,6 +113,27 @@ void appendInstantEvent(std::string &Out, const std::string &Name,
       jsonEscape(Name).c_str(), Ts.nanos() / 1e3, Args.c_str());
 }
 
+/// Emits one flow event ("s"/"t"/"f"); binds to the enclosing slice on
+/// \p Track at \p TsUs.
+void appendFlowEvent(std::string &Out, const std::string &Name,
+                     unsigned long long FlowId, const char *Phase,
+                     double TsUs, const std::string &Track) {
+  if (Out.size() > 1)
+    Out += ",\n";
+  Out += formatString(
+      "{\"name\":\"%s\",\"cat\":\"greenweb\",\"ph\":\"%s\",\"id\":%llu,"
+      "\"ts\":%.3f,\"pid\":1,\"tid\":\"%s\"%s}",
+      jsonEscape(Name).c_str(), Phase, FlowId, TsUs,
+      jsonEscape(Track).c_str(),
+      Phase[0] == 'f' ? ",\"bp\":\"e\"" : "");
+}
+
+/// One hop of a causal flow: an anchor timestamp on a named track.
+struct FlowHop {
+  double TsUs = 0.0;
+  std::string Track;
+};
+
 } // namespace
 
 std::string
@@ -175,11 +199,69 @@ greenweb::exportChromeTrace(const std::vector<FrameRecord> &Frames,
                          formatString("{\"value\":%.6f}",
                                       R.numberOr("value", 0.0)));
       break;
+    case TelemetryEventKind::Span: {
+      // Causal task spans on their own simulated-thread tracks; the
+      // args carry the parent links so the span DAG survives export.
+      std::string Track = R.stringOr("thread", "?");
+      double BeginUs = R.numberOr("begin_us", 0.0);
+      appendCompleteEvent(
+          Out, R.stringOr("name", "?"), Track.c_str(),
+          TimePoint::fromNanos(int64_t(std::llround(BeginUs * 1e3))),
+          Duration::fromMillis(R.numberOr("dur_ms", 0.0)),
+          formatString("{\"id\":%.0f,\"parent\":%.0f,\"root\":%.0f,"
+                       "\"frame\":%.0f,\"open\":%.0f}",
+                       R.numberOr("id", 0.0), R.numberOr("parent", 0.0),
+                       R.numberOr("root", 0.0), R.numberOr("frame", 0.0),
+                       R.numberOr("open", 0.0)));
+      break;
+    }
     case TelemetryEventKind::FrameStage:
     case TelemetryEventKind::QosViolation:
       // Stages already show as pipeline spans; violations surface in
       // the metrics snapshot. Neither needs a dedicated trace track.
       break;
+    }
+  }
+
+  // Flow arrows linking each input to the frames it produced and the
+  // governor decisions made on its behalf (input -> decision -> frame).
+  std::map<unsigned long long, std::vector<FlowHop>> HopsByRoot;
+  std::map<unsigned long long, std::string> NameByRoot;
+  for (const FrameRecord &Frame : Frames) {
+    for (const MsgLatency &L : Frame.Latencies) {
+      unsigned long long Root =
+          static_cast<unsigned long long>(L.Msg.RootId);
+      auto &Hops = HopsByRoot[Root];
+      if (Hops.empty())
+        Hops.push_back({L.Msg.StartTs.nanos() / 1e3, "inputs"});
+      Hops.push_back({Frame.BeginTime.nanos() / 1e3, "frames"});
+      if (NameByRoot[Root].empty())
+        NameByRoot[Root] = formatString("flow:%s#%llu",
+                                        L.Msg.RootEvent.c_str(), Root);
+    }
+  }
+  for (const TelemetryRecord &R : Tel.log().records()) {
+    if (R.Kind != TelemetryEventKind::GovernorDecision)
+      continue;
+    double Root = R.numberOr("root", 0.0);
+    if (Root <= 0.0)
+      continue;
+    auto It = HopsByRoot.find(static_cast<unsigned long long>(Root));
+    if (It != HopsByRoot.end())
+      It->second.push_back({R.Ts.nanos() / 1e3, "governor"});
+  }
+  for (auto &[Root, Hops] : HopsByRoot) {
+    if (Hops.size() < 2)
+      continue;
+    std::stable_sort(Hops.begin(), Hops.end(),
+                     [](const FlowHop &A, const FlowHop &B) {
+                       return A.TsUs < B.TsUs;
+                     });
+    const std::string &Name = NameByRoot[Root];
+    for (size_t I = 0; I < Hops.size(); ++I) {
+      const char *Phase = I == 0 ? "s" : I + 1 == Hops.size() ? "f" : "t";
+      appendFlowEvent(Out, Name, Root, Phase, Hops[I].TsUs,
+                      Hops[I].Track);
     }
   }
 

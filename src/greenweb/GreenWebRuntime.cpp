@@ -164,11 +164,13 @@ void GreenWebRuntime::applyDesiredConfig() {
       if (B && ActiveEvents.empty()) {
         AcmpConfig Idle = B->chip().spec().minConfig();
         if (B->chip().setConfig(Idle))
-          if (Telemetry *T = telemetry())
+          if (Telemetry *T = telemetry()) {
             T->recordGovernorDecision(
                 {name(), "idle_drop", Idle.str(),
                  Idle.Core == CoreKind::Big ? 1 : 0,
                  int64_t(Idle.FreqMHz), 0, "", -1.0, -1.0, 0});
+            recordDecisionSpan(*T, "idle_drop", 0);
+          }
       }
     });
     return;
@@ -185,14 +187,27 @@ void GreenWebRuntime::applyDesiredConfig() {
       BestEvent = &Event;
     }
   }
-  if (Telemetry *T = telemetry())
+  if (Telemetry *T = telemetry()) {
     T->recordGovernorDecision(
         {name(), Best->Reason, Best->Config.str(),
          Best->Config.Core == CoreKind::Big ? 1 : 0,
          int64_t(Best->Config.FreqMHz), int64_t(BestEvent->RootId),
          BestEvent->Key, Best->PredictedMs,
          BestEvent->Target.millis(), Best->FeedbackOffset});
+    recordDecisionSpan(*T, Best->Reason, int64_t(BestEvent->RootId));
+  }
   B->chip().setConfig(Best->Config);
+}
+
+void GreenWebRuntime::recordDecisionSpan(Telemetry &T,
+                                         const std::string &Reason,
+                                         int64_t RootId) {
+  // Zero-length marker on the governor track; critical-path reports use
+  // it to correlate "what did the governor last decide for this root".
+  SpanTracer &Tr = T.spans();
+  int64_t Id = Tr.begin("decision:" + Reason, "governor", RootId, 0,
+                        /*Parent=*/0);
+  Tr.end(Id);
 }
 
 void GreenWebRuntime::onFrameReady(const FrameRecord &Frame) {
@@ -231,7 +246,7 @@ void GreenWebRuntime::onFrameReady(const FrameRecord &Frame) {
 }
 
 void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
-                                       const FrameRecord & /*Frame*/,
+                                       const FrameRecord &Frame,
                                        Duration Latency) {
   ModelState &State = Models[Event.Key];
   AcmpConfig Config = B->chip().config();
@@ -239,7 +254,11 @@ void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
   if (Telemetry *T = telemetry())
     if (Latency > Event.Target)
       T->recordQosViolation({name(), int64_t(Event.RootId), Event.Key,
-                             Latency.millis(), Event.Target.millis()});
+                             Latency.millis(), Event.Target.millis(),
+                             int64_t(Frame.FrameId),
+                             Event.Spec.Type == QosType::Continuous
+                                 ? "continuous"
+                                 : "single"});
 
   switch (State.ModelPhase) {
   case Phase::NeedMaxProfile:

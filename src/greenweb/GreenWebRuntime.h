@@ -156,6 +156,10 @@ private:
   Telemetry *telemetry() const;
   /// Mirrors a Stats increment into the telemetry registry.
   void bumpMetric(const char *Name);
+  /// Emits a zero-length "decision:<reason>" span on the governor track
+  /// so traces and critical-path reports can anchor decision points.
+  void recordDecisionSpan(Telemetry &T, const std::string &Reason,
+                          int64_t RootId);
   /// Applies the highest-performance desired configuration across all
   /// active events, or the idle (minimum) configuration when none.
   void applyDesiredConfig();

@@ -80,6 +80,12 @@ void EnergyMeter::scheduleNextSample() {
   });
 }
 
+void EnergyMeter::recordSampleNow() {
+  if (Telemetry *T = Sim.telemetry(); T && T->enabled())
+    T->recordEnergySample({Chip.currentPowerWatts(), totalJoules(),
+                           int64_t(Sim.pendingEvents())});
+}
+
 double EnergyMeter::sampledJoules() const {
   double Sum = 0.0;
   for (double Watts : Samples)

@@ -54,6 +54,14 @@ public:
   /// power readings in watts.
   void enableSampling(Duration SamplePeriod);
 
+  /// Emits one telemetry energy sample at the current instant without
+  /// touching the periodic schedule or the samples() series. Closes the
+  /// attribution ledger at end of run: the tail between the last
+  /// periodic tick and "now" reaches the log, so per-annotation
+  /// energies reconcile against totalJoules(). No-op without an
+  /// attached telemetry hub.
+  void recordSampleNow();
+
   /// Recorded samples (empty unless sampling was enabled).
   const std::vector<double> &samples() const { return Samples; }
 

@@ -6,6 +6,8 @@
 
 #include "sim/SimThread.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -46,13 +48,25 @@ SimThread::~SimThread() {
   Cpu.detachThread(this);
 }
 
+SpanTracer *SimThread::tracer() const {
+  Telemetry *T = Sim.telemetry();
+  return T && T->enabled() ? &T->spans() : nullptr;
+}
+
 void SimThread::post(SimTask Task) {
+  if (Task.ParentSpan == 0)
+    if (SpanTracer *Tr = tracer())
+      Task.ParentSpan = Tr->current();
   Queue.push_back(std::move(Task));
   if (!Running)
     startNext();
 }
 
 void SimThread::postDelayed(SimTask Task, Duration Delay) {
+  // Capture causality at the call, not when the timer fires.
+  if (Task.ParentSpan == 0)
+    if (SpanTracer *Tr = tracer())
+      Task.ParentSpan = Tr->current();
   // The shared_ptr makes the move-only-ish payload copyable for
   // std::function. The Alive token drops the task if the thread dies
   // while the delay is pending.
@@ -70,9 +84,18 @@ void SimThread::startNext() {
   Running = true;
   Current = std::move(Queue.front());
   Queue.pop_front();
+  SpanTracer *Tr = tracer();
+  if (Tr)
+    CurrentSpan = Tr->begin(Current.Label, Name, 0, 0, Current.ParentSpan);
   TaskCost Cost = Current.Cost;
-  if (Current.ComputeCost)
+  if (Current.ComputeCost) {
+    // Script side effects run here; spans they open (and tasks they
+    // post) descend from this task.
+    int64_t Prev = Tr ? Tr->setCurrent(CurrentSpan) : 0;
     Cost = Current.ComputeCost();
+    if (Tr)
+      Tr->setCurrent(Prev);
+  }
   FixedRemaining = Cost.FixedTime;
   CyclesRemaining = std::max(0.0, Cost.Cycles);
   BusySince = Sim.now();
@@ -128,8 +151,20 @@ void SimThread::finishCurrent() {
   // Move the callback out first: it may post new tasks to this thread.
   std::function<void()> Done = std::move(Current.OnComplete);
   Current = SimTask();
-  if (Done)
+  int64_t Span = CurrentSpan;
+  CurrentSpan = 0;
+  SpanTracer *Tr = Span != 0 ? tracer() : nullptr;
+  if (Tr) {
+    // OnComplete is the task's logical effect: everything it posts or
+    // records descends from this task's span.
+    int64_t Prev = Tr->setCurrent(Span);
+    if (Done)
+      Done();
+    Tr->setCurrent(Prev);
+    Tr->end(Span);
+  } else if (Done) {
     Done();
+  }
   if (!Running && !Queue.empty())
     startNext();
 }

@@ -31,6 +31,7 @@
 namespace greenweb {
 
 class SimThread;
+class SpanTracer;
 
 /// Abstract CPU timing model consulted by simulated threads.
 ///
@@ -92,6 +93,9 @@ struct SimTask {
   std::function<TaskCost()> ComputeCost;
   /// Logical effect of the task; runs when the simulated work completes.
   std::function<void()> OnComplete;
+  /// Causal span this task descends from. 0 (the default) captures the
+  /// ambient context at post() time; producers may pin it explicitly.
+  int64_t ParentSpan = 0;
 };
 
 /// A serial task executor bound to a CpuModel.
@@ -141,6 +145,9 @@ public:
   uint64_t tasksCompleted() const { return TasksCompleted; }
 
 private:
+  /// The attached hub's span tracer, or nullptr when telemetry is off.
+  SpanTracer *tracer() const;
+
   void startNext();
   void beginSlice();
   /// Folds execution progress since the current slice began into the
@@ -156,6 +163,8 @@ private:
   std::deque<SimTask> Queue;
   bool Running = false;
   SimTask Current;
+  /// Span covering the in-flight task's execution window.
+  int64_t CurrentSpan = 0;
   Duration FixedRemaining;
   double CyclesRemaining = 0.0;
   TimePoint SliceStart;

@@ -63,6 +63,8 @@ EventHandle Simulator::scheduleAt(TimePoint When, std::function<void()> Fn) {
   E.Fn = std::move(Fn);
   E.Cancelled = std::make_shared<bool>(false);
   E.Fired = std::make_shared<bool>(false);
+  if (Tel && Tel->enabled())
+    E.SpanCtx = Tel->spans().current();
   EventHandle Handle;
   Handle.Cancelled = E.Cancelled;
   Handle.Fired = E.Fired;
@@ -81,7 +83,16 @@ bool Simulator::fireNext() {
     Now = E.When;
     *E.Fired = true;
     noteFired();
-    E.Fn();
+    if (E.SpanCtx != 0 && Tel && Tel->enabled()) {
+      int64_t Prev = Tel->spans().setCurrent(E.SpanCtx);
+      E.Fn();
+      // The callback may have detached the hub; only restore into a
+      // live tracer.
+      if (Tel)
+        Tel->spans().setCurrent(Prev);
+    } else {
+      E.Fn();
+    }
     return true;
   }
   return false;

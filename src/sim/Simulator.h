@@ -107,6 +107,10 @@ private:
     std::function<void()> Fn;
     std::shared_ptr<bool> Cancelled;
     std::shared_ptr<bool> Fired;
+    /// Ambient causal span at scheduling time; restored around Fn so
+    /// spans begun inside the callback parent under the scheduler's
+    /// context (carries causality across IPC delays and timers).
+    int64_t SpanCtx = 0;
   };
   struct Later {
     bool operator()(const Event &A, const Event &B) const {

@@ -1,0 +1,133 @@
+//===- telemetry/CriticalPath.h - Why did this frame miss? ------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Critical-path extraction over the span records a SpanTracer mirrors
+/// into the telemetry log. For a QoS violation the analyzer walks
+/// parent links backwards from the last span of the violating frame —
+/// across threads, through IPC hops and VSync waits — up to the input
+/// event that caused it, yielding the serial blocking chain. Because a
+/// GreenWeb frame's pipeline is a serial chain (Fig. 7), every stage on
+/// the path shares one slack budget: the amount all of them together
+/// could have slowed down (by running at a lower DVFS configuration)
+/// without crossing the QoS target.
+///
+/// The analyzer reads *only* the log, never SpanTracer state, so
+/// gw-inspect running on an exported JSONL file reproduces the exact
+/// in-process diagnosis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_TELEMETRY_CRITICALPATH_H
+#define GREENWEB_TELEMETRY_CRITICALPATH_H
+
+#include "telemetry/TelemetryLog.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+/// One span reconstructed from a "span" log record.
+struct SpanRecord {
+  int64_t Id = 0;
+  int64_t Parent = 0;
+  int64_t Root = 0;
+  int64_t Frame = 0;
+  std::string Name;
+  std::string Thread;
+  double BeginUs = 0.0;
+  double EndUs = 0.0;
+  bool Truncated = false; ///< Force-closed by flushSpans, not its producer.
+
+  double durationMs() const { return (EndUs - BeginUs) / 1e3; }
+  /// Container spans ("inputs" root lifetimes, "frames" production
+  /// windows) wrap the real work and are never bottleneck candidates.
+  bool isContainer() const {
+    return Thread == "inputs" || Thread == "frames";
+  }
+};
+
+/// Id-indexed view of every span record in a log.
+class SpanIndex {
+public:
+  explicit SpanIndex(const TelemetryLog &Log);
+
+  const SpanRecord *byId(int64_t Id) const;
+  const std::vector<SpanRecord> &all() const { return Spans; }
+  bool empty() const { return Spans.empty(); }
+
+private:
+  std::vector<SpanRecord> Spans;
+  std::map<int64_t, size_t> ById;
+};
+
+/// One step of a critical path, in causal order.
+struct PathStep {
+  SpanRecord S;
+  double WaitMs = 0.0;  ///< Gap behind the previous step (queueing/VSync).
+  double SlackMs = 0.0; ///< Shared slowdown budget (candidates only).
+  bool Candidate = false; ///< Eligible as the bottleneck (non-container).
+};
+
+/// A blocking chain through the span DAG.
+struct CriticalPathResult {
+  std::vector<PathStep> Steps; ///< Causal order, containers included.
+  int Bottleneck = -1;         ///< Index into Steps (-1 = none).
+  double TotalMs = 0.0;        ///< First step begin -> last step end.
+  double SlackMs = 0.0;        ///< TargetMs - TotalMs (<0 = violated).
+
+  const PathStep *bottleneck() const {
+    return Bottleneck >= 0 ? &Steps[size_t(Bottleneck)] : nullptr;
+  }
+};
+
+/// Extracts the blocking chain that produced frame \p FrameId: the
+/// in-frame stage chain (animate → ... → composite), optionally
+/// prefixed by the input-side chain of \p RootId (input task → IPC →
+/// callback) when \p IncludeInputChain — the right shape for "single"
+/// QoS events, whose latency runs input-to-display, while "continuous"
+/// targets only constrain the frame production window. The bottleneck
+/// is the longest-duration candidate step (earliest begin, then lowest
+/// id, on ties). Empty result when the log holds no span for the frame.
+CriticalPathResult extractCriticalPath(const SpanIndex &Index,
+                                       int64_t FrameId, int64_t RootId,
+                                       double TargetMs,
+                                       bool IncludeInputChain);
+
+/// The per-violation diagnosis: which stage blocked the frame, what the
+/// governor had decided just before, and how prediction compared to
+/// reality.
+struct WhyReport {
+  double TsUs = 0.0; ///< When the violation was recorded.
+  int64_t FrameId = 0;
+  int64_t RootId = 0;
+  std::string Governor;
+  std::string ModelKey;
+  std::string QosKind; ///< "single" / "continuous" / "".
+  double LatencyMs = 0.0;
+  double TargetMs = 0.0;
+  bool HasDecision = false;
+  std::string DecisionReason;
+  std::string DecisionConfig;
+  double PredictedMs = -1.0;  ///< Governor's prediction (<0 = none).
+  double DecisionAgeMs = 0.0; ///< Decision-to-violation distance.
+  CriticalPathResult Path;
+
+  /// Multi-line human-readable diagnosis.
+  std::string format() const;
+};
+
+/// Builds one WhyReport per qos_violation record in \p Log, pairing
+/// each with the nearest preceding governor decision (preferring one
+/// for the same root) and its critical path.
+std::vector<WhyReport> buildWhyReports(const TelemetryLog &Log);
+
+} // namespace greenweb
+
+#endif // GREENWEB_TELEMETRY_CRITICALPATH_H

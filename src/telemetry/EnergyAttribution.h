@@ -1,0 +1,66 @@
+//===- telemetry/EnergyAttribution.h - Joules per annotation ----*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rolls the EnergyMeter's periodic samples up to QoS annotations
+/// (Table 3's per-app energy breakdown, reproduced per annotation key).
+/// Each sample interval's joule delta is split across the input-event
+/// root spans active during the interval, proportionally to how long
+/// each overlapped it — two events fully concurrent over an interval
+/// get half the interval's energy each. A root's joules roll up to its
+/// annotation key (the model key the governor recorded for it), or to
+/// the event's "input:<type>" span name when the event never reached an
+/// annotated decision. Intervals with no active root span bill to the
+/// "(unattributed)" row (idle power, VSync housekeeping, profiling
+/// between events), so the rows always sum to the meter total exactly.
+///
+/// Like CriticalPath, this reads only the telemetry log, so gw-inspect
+/// reproduces the in-process tables from exported artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_TELEMETRY_ENERGYATTRIBUTION_H
+#define GREENWEB_TELEMETRY_ENERGYATTRIBUTION_H
+
+#include "telemetry/TelemetryLog.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+/// Row name used for energy no root span was active to absorb.
+inline const char *unattributedEnergyKey() { return "(unattributed)"; }
+
+/// Energy and QoS tallies of one annotation key.
+struct AnnotationEnergy {
+  std::string Key;
+  double Joules = 0.0;
+  uint64_t Violations = 0;
+  uint64_t Roots = 0; ///< Distinct input events billed to this key.
+};
+
+struct EnergyAttributionResult {
+  /// Sorted by joules descending (name ascending on ties); includes
+  /// the "(unattributed)" row when it absorbed any energy.
+  std::vector<AnnotationEnergy> Rows;
+  double TotalJoules = 0.0;      ///< Sum of all rows == meter total.
+  double AttributedJoules = 0.0; ///< Total minus "(unattributed)".
+  uint64_t Samples = 0;          ///< Energy samples consumed.
+};
+
+/// Splits every energy_sample delta in \p Log across the root spans
+/// active during it; see file comment for the semantics.
+EnergyAttributionResult attributeEnergy(const TelemetryLog &Log);
+
+/// Renders the top \p N rows (0 = all) as an aligned text table.
+std::string formatEnergyTable(const EnergyAttributionResult &Result,
+                              size_t N = 0);
+
+} // namespace greenweb
+
+#endif // GREENWEB_TELEMETRY_ENERGYATTRIBUTION_H

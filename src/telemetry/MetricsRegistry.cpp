@@ -37,6 +37,29 @@ void Histogram::reset() {
   Summary = RunningStat();
 }
 
+double Histogram::quantile(double Q) const {
+  uint64_t Total = Summary.count();
+  if (Total == 0)
+    return 0.0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  double Rank = Q * double(Total);
+  double Cum = 0.0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    double N = double(Counts[I]);
+    if (N == 0.0)
+      continue;
+    if (Cum + N + 1e-9 >= Rank) {
+      double Lo = I == 0 ? Summary.min() : UpperBounds[I - 1];
+      double Hi = I < UpperBounds.size() ? UpperBounds[I] : Summary.max();
+      double Frac = std::min(1.0, std::max(0.0, (Rank - Cum) / N));
+      double V = Lo + (Hi - Lo) * Frac;
+      return std::min(Summary.max(), std::max(Summary.min(), V));
+    }
+    Cum += N;
+  }
+  return Summary.max();
+}
+
 const std::vector<double> &greenweb::defaultLatencyBucketsMs() {
   static const std::vector<double> Buckets = {
       0.5, 1.0, 2.0, 4.0, 8.0, 16.7, 33.3, 50.0, 100.0, 200.0, 500.0,
@@ -147,12 +170,17 @@ std::string MetricsRegistry::snapshotJson(bool IncludeVolatile) const {
                              formatNumber(H.upperBounds()[I]).c_str());
     Out += formatString(
         "%s\n    \"%s\": {\"count\": %llu, \"mean\": %s, \"stddev\": %s, "
-        "\"min\": %s, \"max\": %s, \"bounds\": [%s], \"buckets\": [%s]}",
+        "\"min\": %s, \"max\": %s, \"p50\": %s, \"p90\": %s, \"p95\": %s, "
+        "\"p99\": %s, \"bounds\": [%s], \"buckets\": [%s]}",
         First ? "" : ",", Name.c_str(),
         static_cast<unsigned long long>(S.count()),
         formatNumber(S.mean()).c_str(), formatNumber(S.stddev()).c_str(),
         formatNumber(S.min()).c_str(), formatNumber(S.max()).c_str(),
-        Bounds.c_str(), Buckets.c_str());
+        formatNumber(H.quantile(0.50)).c_str(),
+        formatNumber(H.quantile(0.90)).c_str(),
+        formatNumber(H.quantile(0.95)).c_str(),
+        formatNumber(H.quantile(0.99)).c_str(), Bounds.c_str(),
+        Buckets.c_str());
     First = false;
   }
   Out += First ? "}\n}\n" : "\n  }\n}\n";
@@ -187,6 +215,14 @@ std::string MetricsRegistry::snapshotCsv(bool IncludeVolatile) const {
                         formatNumber(S.min()).c_str());
     Out += formatString("%s,histogram,max,%s\n", Name.c_str(),
                         formatNumber(S.max()).c_str());
+    Out += formatString("%s,histogram,p50,%s\n", Name.c_str(),
+                        formatNumber(H.quantile(0.50)).c_str());
+    Out += formatString("%s,histogram,p90,%s\n", Name.c_str(),
+                        formatNumber(H.quantile(0.90)).c_str());
+    Out += formatString("%s,histogram,p95,%s\n", Name.c_str(),
+                        formatNumber(H.quantile(0.95)).c_str());
+    Out += formatString("%s,histogram,p99,%s\n", Name.c_str(),
+                        formatNumber(H.quantile(0.99)).c_str());
     for (size_t I = 0; I < H.bucketCounts().size(); ++I) {
       std::string Edge = I < H.upperBounds().size()
                              ? "le_" + formatNumber(H.upperBounds()[I])

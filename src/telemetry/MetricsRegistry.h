@@ -64,6 +64,13 @@ public:
 
   void observe(double X);
 
+  /// Estimated value at quantile \p Q in [0,1] by linear interpolation
+  /// within the bucket containing the rank, Prometheus-style. The first
+  /// bucket interpolates from the observed minimum and the overflow
+  /// bucket from the last bound to the observed maximum, so estimates
+  /// never leave [min, max]. Returns 0 with no observations.
+  double quantile(double Q) const;
+
   const std::vector<double> &upperBounds() const { return UpperBounds; }
   /// Per-bucket counts, size upperBounds().size() + 1 (last = overflow).
   const std::vector<uint64_t> &bucketCounts() const { return Counts; }

@@ -90,7 +90,25 @@ void Telemetry::recordQosViolation(const QosViolationRecord &R) {
                 {"root", R.RootId},
                 {"key", R.ModelKey},
                 {"latency_ms", R.LatencyMs},
-                {"target_ms", R.TargetMs}});
+                {"target_ms", R.TargetMs},
+                {"frame", R.FrameId},
+                {"qos", R.QosKind}});
+}
+
+void Telemetry::recordSpan(const SpanTracer::Span &S, bool Truncated) {
+  if (!Enabled)
+    return;
+  Metrics.counter("telemetry.spans").add();
+  appendRecord(TelemetryEventKind::Span,
+               {{"id", S.Id},
+                {"parent", S.Parent},
+                {"root", S.Root},
+                {"frame", S.Frame},
+                {"name", S.Name},
+                {"thread", S.Thread},
+                {"begin_us", S.Begin.nanos() / 1e3},
+                {"dur_ms", (S.End - S.Begin).millis()},
+                {"open", int64_t(Truncated ? 1 : 0)}});
 }
 
 void Telemetry::recordEnergySample(const EnergySampleRecord &R) {

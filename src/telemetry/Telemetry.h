@@ -25,6 +25,7 @@
 #define GREENWEB_TELEMETRY_TELEMETRY_H
 
 #include "telemetry/MetricsRegistry.h"
+#include "telemetry/SpanTracer.h"
 #include "telemetry/TelemetryLog.h"
 
 #include <functional>
@@ -85,6 +86,8 @@ struct QosViolationRecord {
   std::string ModelKey;
   double LatencyMs = 0.0;
   double TargetMs = 0.0;
+  int64_t FrameId = 0;  ///< Frame that missed (0 = unknown).
+  std::string QosKind;  ///< "single" or "continuous" ("" = unknown).
 };
 
 /// Periodic (DAQ-style) power reading plus co-sampled simulator state.
@@ -103,6 +106,9 @@ public:
   /// Simulator (Simulator::setTelemetry) to follow virtual time.
   Telemetry() = default;
   explicit Telemetry(ClockFn Clock) : Clock(std::move(Clock)) {}
+  // Non-copyable: the span tracer back-references the hub.
+  Telemetry(const Telemetry &) = delete;
+  Telemetry &operator=(const Telemetry &) = delete;
 
   /// Rebinds the timestamp source. Simulator::setTelemetry calls this;
   /// the previous clock must not be dangling while producers record.
@@ -113,8 +119,14 @@ public:
   void setEnabled(bool On) { Enabled = On; }
 
   /// Caps the log at \p MaxRecords appended records (metrics keep
-  /// updating); 0 keeps metrics only. Default: unlimited.
-  void setLogCapacity(size_t MaxRecords) { LogCapacity = MaxRecords; }
+  /// updating); 0 keeps metrics only. Default: unlimited. Capacity 0
+  /// also turns span tracing off — a metrics-only sweep must not grow
+  /// an unbounded span vector either.
+  void setLogCapacity(size_t MaxRecords) {
+    LogCapacity = MaxRecords;
+    if (MaxRecords == 0)
+      Spans.setTracingEnabled(false);
+  }
 
   /// Current virtual time per the bound clock (origin when unbound).
   TimePoint now() const { return Clock ? Clock() : TimePoint::origin(); }
@@ -123,6 +135,12 @@ public:
   const MetricsRegistry &metrics() const { return Metrics; }
   TelemetryLog &log() { return Log; }
   const TelemetryLog &log() const { return Log; }
+  SpanTracer &spans() { return Spans; }
+  const SpanTracer &spans() const { return Spans; }
+
+  /// Force-closes all open spans (SpanTracer::finishAll); call before
+  /// exporting so in-flight work reaches the artifacts.
+  void flushSpans() { Spans.finishAll(); }
 
   /// --- Typed recorders (no-ops when disabled) ---
   void recordGovernorDecision(const GovernorDecisionRecord &R);
@@ -135,15 +153,21 @@ public:
   void recordCounterSample(const std::string &Track, double Value);
 
 private:
+  friend class SpanTracer;
+
   /// Appends within the log cap; counts drops otherwise.
   void appendRecord(TelemetryEventKind Kind,
                     std::vector<TelemetryField> Fields);
+
+  /// Mirrors a completed span into the metrics + log (SpanTracer only).
+  void recordSpan(const SpanTracer::Span &S, bool Truncated);
 
   ClockFn Clock;
   bool Enabled = true;
   size_t LogCapacity = std::numeric_limits<size_t>::max();
   MetricsRegistry Metrics;
   TelemetryLog Log;
+  SpanTracer Spans{this};
 };
 
 } // namespace greenweb

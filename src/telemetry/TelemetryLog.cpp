@@ -8,6 +8,10 @@
 
 #include "support/StringUtils.h"
 
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
 using namespace greenweb;
 
 const char *greenweb::telemetryEventKindName(TelemetryEventKind Kind) {
@@ -26,8 +30,25 @@ const char *greenweb::telemetryEventKindName(TelemetryEventKind Kind) {
     return "energy_sample";
   case TelemetryEventKind::CounterSample:
     return "counter_sample";
+  case TelemetryEventKind::Span:
+    return "span";
   }
   return "unknown";
+}
+
+bool greenweb::telemetryEventKindFromName(const std::string &Name,
+                                          TelemetryEventKind &Out) {
+  static const TelemetryEventKind Kinds[] = {
+      TelemetryEventKind::GovernorDecision, TelemetryEventKind::FeedbackAction,
+      TelemetryEventKind::ConfigSwitch,     TelemetryEventKind::FrameStage,
+      TelemetryEventKind::QosViolation,     TelemetryEventKind::EnergySample,
+      TelemetryEventKind::CounterSample,    TelemetryEventKind::Span};
+  for (TelemetryEventKind K : Kinds)
+    if (Name == telemetryEventKindName(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
 }
 
 const TelemetryField *TelemetryRecord::find(const std::string &Key) const {
@@ -115,5 +136,160 @@ std::string TelemetryLog::toJsonl() const {
     }
     Out += "}\n";
   }
+  return Out;
+}
+
+namespace {
+
+/// Minimal parser for the flat one-object-per-line JSON that toJsonl
+/// emits: string keys, string or number values, no nesting. Strings
+/// understand the \" and \\ escapes jsonEscape produces.
+class JsonlLineParser {
+public:
+  JsonlLineParser(const char *Begin, const char *End) : P(Begin), E(End) {}
+
+  bool parse(TelemetryRecord &R, double &TsUs, std::string &KindName) {
+    skipWs();
+    if (!consume('{'))
+      return false;
+    bool First = true;
+    while (true) {
+      skipWs();
+      if (consume('}'))
+        break;
+      if (!First && !consume(','))
+        return false;
+      First = false;
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return false;
+      skipWs();
+      if (P != E && *P == '"') {
+        std::string S;
+        if (!parseString(S))
+          return false;
+        if (Key == "kind")
+          KindName = std::move(S);
+        else
+          R.Fields.push_back({std::move(Key), std::move(S)});
+      } else {
+        double D = 0.0;
+        int64_t I = 0;
+        bool IsInt = false;
+        if (!parseNumber(D, I, IsInt))
+          return false;
+        if (Key == "ts_us")
+          TsUs = D;
+        else if (IsInt)
+          R.Fields.push_back({std::move(Key), I});
+        else
+          R.Fields.push_back({std::move(Key), D});
+      }
+    }
+    skipWs();
+    return P == E;
+  }
+
+private:
+  void skipWs() {
+    while (P != E && std::isspace(static_cast<unsigned char>(*P)))
+      ++P;
+  }
+
+  bool consume(char C) {
+    if (P == E || *P != C)
+      return false;
+    ++P;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    while (P != E && *P != '"') {
+      char C = *P++;
+      if (C == '\\') {
+        if (P == E)
+          return false;
+        C = *P++;
+      }
+      Out += C;
+    }
+    return consume('"');
+  }
+
+  bool parseNumber(double &D, int64_t &I, bool &IsInt) {
+    const char *Start = P;
+    bool Dot = false, Exp = false;
+    while (P != E &&
+           (std::isdigit(static_cast<unsigned char>(*P)) || *P == '.' ||
+            *P == 'e' || *P == 'E' || *P == '-' || *P == '+')) {
+      if (*P == '.')
+        Dot = true;
+      if (*P == 'e' || *P == 'E')
+        Exp = true;
+      ++P;
+    }
+    if (P == Start)
+      return false;
+    std::string Tok(Start, P);
+    // toJsonl prints every double with a decimal point and every
+    // integer without one, so the literal's shape recovers the type.
+    IsInt = !Dot && !Exp;
+    if (IsInt) {
+      I = std::strtoll(Tok.c_str(), nullptr, 10);
+      D = double(I);
+    } else {
+      D = std::strtod(Tok.c_str(), nullptr);
+    }
+    return true;
+  }
+
+  const char *P;
+  const char *E;
+};
+
+} // namespace
+
+TelemetryLog TelemetryLog::fromJsonl(const std::string &Text,
+                                     size_t *SkippedLines) {
+  TelemetryLog Out;
+  size_t Skipped = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    const char *B = Text.data() + Pos;
+    const char *E = Text.data() + Eol;
+    Pos = Eol + 1;
+    bool Blank = true;
+    for (const char *Q = B; Q != E; ++Q)
+      if (!std::isspace(static_cast<unsigned char>(*Q))) {
+        Blank = false;
+        break;
+      }
+    if (Blank)
+      continue;
+    TelemetryRecord R;
+    double TsUs = 0.0;
+    std::string KindName;
+    JsonlLineParser Parser(B, E);
+    TelemetryEventKind Kind;
+    if (!Parser.parse(R, TsUs, KindName) ||
+        !telemetryEventKindFromName(KindName, Kind)) {
+      ++Skipped;
+      continue;
+    }
+    R.Kind = Kind;
+    R.Ts = TimePoint::fromNanos(int64_t(std::llround(TsUs * 1e3)));
+    Out.Records.push_back(std::move(R));
+  }
+  if (SkippedLines)
+    *SkippedLines = Skipped;
   return Out;
 }

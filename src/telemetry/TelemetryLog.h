@@ -38,10 +38,15 @@ enum class TelemetryEventKind : uint8_t {
   QosViolation,     ///< A frame missed its active QoS target.
   EnergySample,     ///< Periodic (DAQ-style) power/energy reading.
   CounterSample,    ///< Generic time-series point for trace counters.
+  Span,             ///< A completed causal span (see SpanTracer).
 };
 
 /// Stable lowercase name used in serialized output.
 const char *telemetryEventKindName(TelemetryEventKind Kind);
+
+/// Reverse of telemetryEventKindName; false for unknown names.
+bool telemetryEventKindFromName(const std::string &Name,
+                                TelemetryEventKind &Out);
 
 /// One field of a record. Integers and doubles serialize as JSON
 /// numbers, strings as JSON strings.
@@ -80,6 +85,15 @@ public:
 
   /// One JSON object per line: {"ts_us":...,"kind":"...",<fields>}.
   std::string toJsonl() const;
+
+  /// Parses a toJsonl()-shaped document back into a log, so offline
+  /// tools (gw-inspect) analyze the exact structures the in-process
+  /// analyzers see. Field values parse as int64 when the literal has
+  /// no '.'/exponent (toJsonl always prints doubles with a '.', so the
+  /// round trip preserves types). Lines that are not objects or name
+  /// an unknown kind are skipped and counted in \p SkippedLines.
+  static TelemetryLog fromJsonl(const std::string &Text,
+                                size_t *SkippedLines = nullptr);
 
 private:
   std::vector<TelemetryRecord> Records;

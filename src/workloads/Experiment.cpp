@@ -223,6 +223,15 @@ struct Harness {
     Gov = makeGovernor(Config, Registry, Meter);
   }
 
+  /// Starts the measured window: zeroes the meter and chip stats, and
+  /// (with telemetry) begins periodic energy sampling for attribution.
+  void armMeasurement() {
+    Meter.reset();
+    Chip.resetStats();
+    if (Config.Tel && Config.MeterSamplePeriod > Duration::zero())
+      Meter.enableSampling(Config.MeterSamplePeriod);
+  }
+
   /// Creates a fresh browser, loads the page, and attaches everything.
   void openBrowser() {
     BrowserOptions Opts;
@@ -267,6 +276,12 @@ struct Harness {
 //===----------------------------------------------------------------------===//
 
 static ExperimentResult collectResults(Harness &H, TimePoint ArmTime) {
+  // Close the attribution ledger before reading totals: the tail since
+  // the last periodic tick must reach the log for per-annotation
+  // energies to reconcile against the meter.
+  if (H.Config.Tel && H.Config.MeterSamplePeriod > Duration::zero())
+    H.Meter.recordSampleNow();
+
   ExperimentResult R;
   R.App = H.Config.AppName;
   R.Governor = H.Config.GovernorName;
@@ -313,8 +328,12 @@ static ExperimentResult collectResults(Harness &H, TimePoint ArmTime) {
               : nullptr))
     R.RuntimeStats = RT->stats();
 
-  if (Telemetry *T = H.Sim.telemetry(); T && T->enabled())
+  if (Telemetry *T = H.Sim.telemetry(); T && T->enabled()) {
+    // Close spans still open at session end (quiescence never reached,
+    // in-flight frames) so offline analysis sees a complete DAG.
+    T->flushSpans();
     publishResultMetrics(R, *T);
+  }
   return R;
 }
 
@@ -342,8 +361,7 @@ static ExperimentResult runFullExperiment(Harness &H) {
   H.Collector.arm();
   H.openBrowser();
   TimePoint Origin = H.Sim.now();
-  H.Meter.reset();
-  H.Chip.resetStats();
+  H.armMeasurement();
 
   for (const TraceEvent &Event : H.App.Full.Events) {
     H.Sim.scheduleAt(Origin + Event.At, [&H, Event] {
@@ -364,8 +382,7 @@ static ExperimentResult runMicroExperiment(Harness &H) {
     // across repetitions.
     H.Collector.arm();
     TimePoint ArmTime = H.Sim.now();
-    H.Meter.reset();
-    H.Chip.resetStats();
+    H.armMeasurement();
     for (unsigned Rep = 0; Rep < H.Config.MicroRepetitions; ++Rep) {
       if (H.B)
         H.closeBrowser();
@@ -383,8 +400,7 @@ static ExperimentResult runMicroExperiment(Harness &H) {
   H.Sim.runUntil(H.Sim.now() + Duration::seconds(2));
   H.Collector.arm();
   TimePoint ArmTime = H.Sim.now();
-  H.Meter.reset();
-  H.Chip.resetStats();
+  H.armMeasurement();
   H.B->frameTracker().clearFrames();
 
   for (unsigned Rep = 0; Rep < H.Config.MicroRepetitions; ++Rep) {

@@ -70,6 +70,11 @@ struct ExperimentConfig {
   /// the run's headline results are published as experiment.* gauges.
   /// Not owned; must outlive the run.
   Telemetry *Tel = nullptr;
+  /// When positive (and Tel is set), DAQ-style periodic energy sampling
+  /// is enabled over the measured window at this period (1 ms matches
+  /// the paper's 1 kS/s), and a closing sample is taken when results
+  /// are collected so the attribution ledger covers the full window.
+  Duration MeterSamplePeriod = Duration::zero();
 };
 
 /// Per-event measurements.

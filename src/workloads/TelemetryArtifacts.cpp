@@ -1,0 +1,55 @@
+//===- workloads/TelemetryArtifacts.cpp - Shared artifact flags -------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/TelemetryArtifacts.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace greenweb;
+
+bool TelemetryArtifactOptions::parseFlag(const std::string &Arg) {
+  auto Match = [&Arg](const char *Prefix, std::string &Out) {
+    size_t Len = std::string_view(Prefix).size();
+    if (Arg.compare(0, Len, Prefix) != 0)
+      return false;
+    Out = Arg.substr(Len);
+    return true;
+  };
+  return Match("--trace=", TracePath) || Match("--log=", LogPath) ||
+         Match("--metrics=", MetricsPath);
+}
+
+static void writeOne(const std::string &Path, const std::string &Content,
+                     const char *What) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s to %s\n", What,
+                 Path.c_str());
+    return;
+  }
+  Out << Content;
+  std::printf("wrote %s to %s\n", What, Path.c_str());
+}
+
+void greenweb::writeTelemetryArtifacts(
+    const TelemetryArtifactOptions &Opts, Telemetry &Tel,
+    const std::vector<FrameRecord> &Frames,
+    const std::vector<ConfigInterval> &Cpu) {
+  if (!Opts.any())
+    return;
+  Tel.flushSpans();
+  if (!Opts.TracePath.empty())
+    writeOne(Opts.TracePath, exportChromeTrace(Frames, Cpu, Tel),
+             "chrome trace");
+  if (!Opts.LogPath.empty())
+    writeOne(Opts.LogPath, Tel.log().toJsonl(), "telemetry event log");
+  if (!Opts.MetricsPath.empty())
+    writeOne(Opts.MetricsPath, Tel.metrics().snapshotJson(),
+             "metrics snapshot");
+}

@@ -1,0 +1,61 @@
+//===- workloads/TelemetryArtifacts.h - Shared artifact flags ----*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared `--trace=` / `--log=` / `--metrics=` command-line surface
+/// of the example drivers, and the writer that turns an attached
+/// Telemetry hub into the three on-disk artifacts gw-inspect consumes:
+///
+///   --trace=trace.json      enriched Chrome Trace Event timeline
+///   --log=events.jsonl      structured telemetry event log (JSONL)
+///   --metrics=metrics.json  metrics registry snapshot
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_WORKLOADS_TELEMETRYARTIFACTS_H
+#define GREENWEB_WORKLOADS_TELEMETRYARTIFACTS_H
+
+#include "browser/TraceExport.h"
+
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+class Telemetry;
+
+/// Parsed artifact destinations; empty paths mean "not requested".
+struct TelemetryArtifactOptions {
+  std::string TracePath;
+  std::string LogPath;
+  std::string MetricsPath;
+
+  /// True when at least one artifact was requested (drivers use this to
+  /// decide whether to attach a telemetry hub at all).
+  bool any() const {
+    return !TracePath.empty() || !LogPath.empty() || !MetricsPath.empty();
+  }
+
+  /// Consumes one command-line argument if it is an artifact flag
+  /// (`--trace=PATH`, `--log=PATH`, `--metrics=PATH`). Returns false
+  /// for anything else so positional arguments pass through unchanged.
+  bool parseFlag(const std::string &Arg);
+};
+
+/// Writes every requested artifact from \p Tel. Open spans are flushed
+/// first (marked open=1 in the log) so the export always holds a
+/// complete span DAG. \p Frames and \p Cpu feed the trace's base
+/// frame/input/cpu tracks and the input->frame flow arrows; pass empty
+/// vectors when only the telemetry-derived tracks matter. Each written
+/// file is reported on stdout.
+void writeTelemetryArtifacts(const TelemetryArtifactOptions &Opts,
+                             Telemetry &Tel,
+                             const std::vector<FrameRecord> &Frames = {},
+                             const std::vector<ConfigInterval> &Cpu = {});
+
+} // namespace greenweb
+
+#endif // GREENWEB_WORKLOADS_TELEMETRYARTIFACTS_H

@@ -1,0 +1,350 @@
+//===- tests/telemetry/CriticalPathTest.cpp - causal analyzer tests ----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the offline analyzers (CriticalPath, EnergyAttribution,
+// fromJsonl) against hand-built telemetry logs, where every span time
+// and record field is chosen by the test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/CriticalPath.h"
+
+#include "telemetry/EnergyAttribution.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+/// Builds a telemetry log by placing spans and records at explicit
+/// millisecond timestamps on a hand-driven clock.
+struct LogBuilder {
+  TimePoint Now = TimePoint::origin();
+  Telemetry Tel{[this] { return Now; }};
+
+  void at(double Ms) { Now = TimePoint::origin() + Duration::fromMillis(Ms); }
+
+  /// One closed span with explicit linkage and window.
+  int64_t span(const char *Name, const char *Thread, int64_t Root,
+               int64_t Frame, int64_t Parent, double BeginMs,
+               double EndMs) {
+    at(BeginMs);
+    int64_t Id = Tel.spans().begin(Name, Thread, Root, Frame, Parent);
+    at(EndMs);
+    Tel.spans().end(Id);
+    return Id;
+  }
+
+  void violation(int64_t Root, int64_t Frame, const char *Qos,
+                 double LatencyMs, double TargetMs, double AtMs,
+                 const char *Key = "k") {
+    at(AtMs);
+    QosViolationRecord R;
+    R.Governor = "GreenWeb-I";
+    R.RootId = Root;
+    R.ModelKey = Key;
+    R.LatencyMs = LatencyMs;
+    R.TargetMs = TargetMs;
+    R.FrameId = Frame;
+    R.QosKind = Qos;
+    Tel.recordQosViolation(R);
+  }
+
+  void decision(int64_t Root, const char *Reason, const char *Config,
+                double PredictedMs, double AtMs, const char *Key = "k") {
+    at(AtMs);
+    GovernorDecisionRecord R;
+    R.Governor = "GreenWeb-I";
+    R.Reason = Reason;
+    R.Config = Config;
+    R.RootId = Root;
+    R.ModelKey = Key;
+    R.PredictedMs = PredictedMs;
+    Tel.recordGovernorDecision(R);
+  }
+
+  void energySample(double CumulativeJoules, double AtMs) {
+    at(AtMs);
+    EnergySampleRecord R;
+    R.CumulativeJoules = CumulativeJoules;
+    Tel.recordEnergySample(R);
+  }
+};
+
+/// The standard fixture: input root 3 feeds frame 7. Chain:
+///   input:click [0,2] -> callback:click (2..30, off-frame) ->
+///   frame window [32,50] -> animate [32,38] -> style [38,39] ->
+///   layout [39,49] (in-frame bottleneck).
+struct FrameScenario {
+  LogBuilder B;
+  int64_t RootSpan, Callback, FrameSpan, Animate, Style, Layout;
+
+  FrameScenario() {
+    RootSpan = B.Tel.spans().begin("input:click", "inputs", 3, 0, 0);
+    Callback = B.span("callback:click", "main", 3, 0, RootSpan, 2, 30);
+    FrameSpan = B.span("frame 7", "frames", 3, 7, 0, 32, 50);
+    Animate = B.span("animate", "main", 3, 7, FrameSpan, 32, 38);
+    Style = B.span("style", "main", 3, 7, Animate, 38, 39);
+    Layout = B.span("layout", "main", 3, 7, Style, 39, 49);
+    B.at(50);
+    B.Tel.spans().end(RootSpan);
+  }
+};
+
+} // namespace
+
+TEST(CriticalPathTest, ExtractsStageChainAndPicksLongestCandidate) {
+  FrameScenario S;
+  SpanIndex Index(S.B.Tel.log());
+  CriticalPathResult Path = extractCriticalPath(
+      Index, /*FrameId=*/7, /*RootId=*/3, /*TargetMs=*/100.0,
+      /*IncludeInputChain=*/false);
+
+  // frame window -> animate -> style -> layout, containers included
+  // but never candidates.
+  ASSERT_EQ(Path.Steps.size(), 4u);
+  EXPECT_EQ(Path.Steps[0].S.Name, "frame 7");
+  EXPECT_FALSE(Path.Steps[0].Candidate);
+  EXPECT_EQ(Path.Steps[1].S.Name, "animate");
+  EXPECT_EQ(Path.Steps[2].S.Name, "style");
+  EXPECT_EQ(Path.Steps[3].S.Name, "layout");
+  ASSERT_NE(Path.bottleneck(), nullptr);
+  EXPECT_EQ(Path.bottleneck()->S.Name, "layout");
+  // Frame window opens at 32, the chain's last work ends at 49:
+  // 17 ms total against the 100 ms target.
+  EXPECT_DOUBLE_EQ(Path.TotalMs, 17.0);
+  EXPECT_DOUBLE_EQ(Path.SlackMs, 83.0);
+  // The bottleneck strictly dominates every sibling candidate.
+  for (const PathStep &Step : Path.Steps) {
+    if (Step.Candidate) {
+      EXPECT_LE(Step.S.durationMs(), Path.bottleneck()->S.durationMs());
+    }
+  }
+}
+
+TEST(CriticalPathTest, InputChainPrefixedWhenRequested) {
+  FrameScenario S;
+  SpanIndex Index(S.B.Tel.log());
+  CriticalPathResult Path = extractCriticalPath(
+      Index, 7, 3, /*TargetMs=*/20.0, /*IncludeInputChain=*/true);
+
+  ASSERT_EQ(Path.Steps.size(), 6u);
+  EXPECT_EQ(Path.Steps[0].S.Name, "input:click");
+  EXPECT_FALSE(Path.Steps[0].Candidate);
+  EXPECT_EQ(Path.Steps[1].S.Name, "callback:click");
+  EXPECT_EQ(Path.Steps[2].S.Name, "frame 7");
+  // callback:click (28 ms) beats layout (10 ms).
+  ASSERT_NE(Path.bottleneck(), nullptr);
+  EXPECT_EQ(Path.bottleneck()->S.Name, "callback:click");
+  // Containers overlap their children: the callback's wait is measured
+  // from the root window's *begin* (0), not its end.
+  EXPECT_DOUBLE_EQ(Path.Steps[1].WaitMs, 2.0);
+  // The frame waits 2 ms behind the callback's end (30 -> 32): VSync.
+  EXPECT_DOUBLE_EQ(Path.Steps[2].WaitMs, 2.0);
+  // Whole chain spans 0..49 and violates the 20 ms target.
+  EXPECT_DOUBLE_EQ(Path.TotalMs, 49.0);
+  EXPECT_DOUBLE_EQ(Path.SlackMs, -29.0);
+}
+
+TEST(CriticalPathTest, FrameTailIgnoresSpansOutlivingTheFrame) {
+  FrameScenario S;
+  // A timer task tagged with frame 7 but ending after the frame's
+  // present (VSync-boundary crossing) must not become the chain tail.
+  S.B.span("timer:tick", "main", 3, 7, S.Layout, 49, 80);
+  SpanIndex Index(S.B.Tel.log());
+  CriticalPathResult Path =
+      extractCriticalPath(Index, 7, 3, -1.0, /*IncludeInputChain=*/false);
+  ASSERT_FALSE(Path.Steps.empty());
+  EXPECT_EQ(Path.Steps.back().S.Name, "layout");
+}
+
+TEST(CriticalPathTest, ZeroLengthStageStaysOnPathButNeverWins) {
+  LogBuilder B;
+  int64_t Frame = B.span("frame 1", "frames", 0, 1, 0, 0, 10);
+  int64_t Animate = B.span("animate", "main", 0, 1, Frame, 0, 8);
+  B.span("style", "main", 0, 1, Animate, 8, 8); // zero-length
+  SpanIndex Index(B.Tel.log());
+  CriticalPathResult Path =
+      extractCriticalPath(Index, 1, 0, -1.0, false);
+  ASSERT_EQ(Path.Steps.size(), 3u);
+  EXPECT_EQ(Path.Steps.back().S.Name, "style");
+  EXPECT_DOUBLE_EQ(Path.Steps.back().S.durationMs(), 0.0);
+  EXPECT_EQ(Path.bottleneck()->S.Name, "animate");
+}
+
+TEST(CriticalPathTest, EmptyResultWhenFrameUnknown) {
+  FrameScenario S;
+  SpanIndex Index(S.B.Tel.log());
+  CriticalPathResult Path =
+      extractCriticalPath(Index, /*FrameId=*/99, 3, -1.0, true);
+  EXPECT_TRUE(Path.Steps.empty());
+  EXPECT_EQ(Path.bottleneck(), nullptr);
+}
+
+TEST(CriticalPathTest, WhyReportPairsNearestSameRootDecision) {
+  FrameScenario S;
+  S.B.decision(/*Root=*/3, "profile_min", "A7@350MHz",
+               /*PredictedMs=*/12.0, /*AtMs=*/1.0);
+  // A later decision for an unrelated root must not steal the blame.
+  S.B.decision(/*Root=*/8, "predicted", "A15@1800MHz", 5.0, /*AtMs=*/40.0);
+  S.B.violation(/*Root=*/3, /*Frame=*/7, "single", /*LatencyMs=*/50.0,
+                /*TargetMs=*/20.0, /*AtMs=*/50.0);
+
+  std::vector<WhyReport> Reports = buildWhyReports(S.B.Tel.log());
+  ASSERT_EQ(Reports.size(), 1u);
+  const WhyReport &W = Reports[0];
+  EXPECT_TRUE(W.HasDecision);
+  EXPECT_EQ(W.DecisionReason, "profile_min");
+  EXPECT_EQ(W.DecisionConfig, "A7@350MHz");
+  EXPECT_DOUBLE_EQ(W.PredictedMs, 12.0);
+  EXPECT_DOUBLE_EQ(W.DecisionAgeMs, 49.0);
+  // Single QoS: the path runs input-to-display, so the input-side
+  // callback is the named bottleneck.
+  ASSERT_NE(W.Path.bottleneck(), nullptr);
+  EXPECT_EQ(W.Path.bottleneck()->S.Name, "callback:click");
+  // The formatted report names the bottleneck and the decision.
+  std::string Text = W.format();
+  EXPECT_NE(Text.find("<- bottleneck"), std::string::npos);
+  EXPECT_NE(Text.find("profile_min -> A7@350MHz"), std::string::npos);
+}
+
+TEST(CriticalPathTest, WhyReportFallsBackToNearestDecisionOverall) {
+  FrameScenario S;
+  S.B.decision(/*Root=*/8, "utilization", "A15@1000MHz", -1.0, 10.0);
+  S.B.violation(/*Root=*/3, 7, "single", 50.0, 20.0, 50.0);
+  std::vector<WhyReport> Reports = buildWhyReports(S.B.Tel.log());
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_TRUE(Reports[0].HasDecision);
+  EXPECT_EQ(Reports[0].DecisionReason, "utilization");
+  // Decisions after the violation are never paired.
+  LogBuilder Late;
+  Late.violation(0, 1, "continuous", 30.0, 16.7, 5.0);
+  Late.decision(0, "predicted", "A7@350MHz", -1.0, 6.0);
+  std::vector<WhyReport> LateReports = buildWhyReports(Late.Tel.log());
+  ASSERT_EQ(LateReports.size(), 1u);
+  EXPECT_FALSE(LateReports[0].HasDecision);
+}
+
+TEST(CriticalPathTest, ContinuousViolationSkipsInputChain) {
+  FrameScenario S;
+  S.B.violation(/*Root=*/3, 7, "continuous", 18.0, 16.7, 50.0);
+  std::vector<WhyReport> Reports = buildWhyReports(S.B.Tel.log());
+  ASSERT_EQ(Reports.size(), 1u);
+  // Frame window only: no input:click / callback:click prefix.
+  ASSERT_FALSE(Reports[0].Path.Steps.empty());
+  EXPECT_EQ(Reports[0].Path.Steps[0].S.Name, "frame 7");
+  EXPECT_EQ(Reports[0].Path.bottleneck()->S.Name, "layout");
+}
+
+TEST(EnergyAttributionTest, SplitsSampleDeltasByRootOverlap) {
+  LogBuilder B;
+  // Two root windows: root 1 covers 0..10 ms, root 2 covers 5..10 ms.
+  B.span("input:click", "inputs", 1, 0, 0, 0, 10);
+  B.span("input:scroll", "inputs", 2, 0, 0, 5, 10);
+  // Keys via governor decisions.
+  B.decision(1, "predicted", "A7@600MHz", -1.0, 1.0, "button|click");
+  B.decision(2, "predicted", "A7@600MHz", -1.0, 6.0, "list|scroll");
+  // Samples at 5 and 10 ms; the first interval (0..5, reconstructed
+  // from the period) is root 1 alone, the second splits 5:5.
+  B.energySample(0.2, 5.0);
+  B.energySample(0.4, 10.0);
+
+  EnergyAttributionResult R = attributeEnergy(B.Tel.log());
+  EXPECT_EQ(R.Samples, 2u);
+  EXPECT_DOUBLE_EQ(R.TotalJoules, 0.4);
+  EXPECT_DOUBLE_EQ(R.AttributedJoules, 0.4);
+  ASSERT_EQ(R.Rows.size(), 2u);
+  // Root 1: 0.2 (whole first interval) + 0.1 (half of second) = 0.3.
+  EXPECT_EQ(R.Rows[0].Key, "button|click");
+  EXPECT_DOUBLE_EQ(R.Rows[0].Joules, 0.3);
+  EXPECT_EQ(R.Rows[0].Roots, 1u);
+  EXPECT_EQ(R.Rows[1].Key, "list|scroll");
+  EXPECT_DOUBLE_EQ(R.Rows[1].Joules, 0.1);
+  // Rows always reconcile with the meter total.
+  double Sum = 0.0;
+  for (const AnnotationEnergy &Row : R.Rows)
+    Sum += Row.Joules;
+  EXPECT_DOUBLE_EQ(Sum, R.TotalJoules);
+}
+
+TEST(EnergyAttributionTest, IdleIntervalsBillToUnattributed) {
+  LogBuilder B;
+  B.span("input:click", "inputs", 1, 0, 0, 0, 5);
+  B.energySample(0.1, 5.0);
+  // 5..10 ms has no active root: its delta is unattributed.
+  B.energySample(0.3, 10.0);
+  EnergyAttributionResult R = attributeEnergy(B.Tel.log());
+  ASSERT_EQ(R.Rows.size(), 2u);
+  // Without a decision the root bills to its window name.
+  EXPECT_EQ(R.Rows[0].Key, "(unattributed)");
+  EXPECT_DOUBLE_EQ(R.Rows[0].Joules, 0.2);
+  EXPECT_EQ(R.Rows[1].Key, "input:click");
+  EXPECT_DOUBLE_EQ(R.Rows[1].Joules, 0.1);
+  EXPECT_DOUBLE_EQ(R.AttributedJoules, 0.1);
+  EXPECT_DOUBLE_EQ(R.TotalJoules, 0.3);
+}
+
+TEST(EnergyAttributionTest, MeterResetRestartsCumulativeCounter) {
+  LogBuilder B;
+  B.span("input:tap", "inputs", 1, 0, 0, 0, 30);
+  B.energySample(0.5, 10.0);
+  // The meter was reset: cumulative drops, the new value IS the delta.
+  B.energySample(0.2, 20.0);
+  EnergyAttributionResult R = attributeEnergy(B.Tel.log());
+  EXPECT_DOUBLE_EQ(R.TotalJoules, 0.7);
+  ASSERT_EQ(R.Rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(R.Rows[0].Joules, 0.7);
+}
+
+TEST(EnergyAttributionTest, ViolationsRollUpToAnnotationKeys) {
+  LogBuilder B;
+  B.span("input:click", "inputs", 1, 0, 0, 0, 10);
+  B.decision(1, "predicted", "A7@600MHz", -1.0, 1.0, "button|click");
+  B.violation(1, 2, "single", 40.0, 20.0, 9.0, "button|click");
+  B.energySample(0.05, 5.0);
+  B.energySample(0.1, 10.0);
+  EnergyAttributionResult R = attributeEnergy(B.Tel.log());
+  ASSERT_EQ(R.Rows.size(), 1u);
+  EXPECT_EQ(R.Rows[0].Key, "button|click");
+  EXPECT_EQ(R.Rows[0].Violations, 1u);
+}
+
+TEST(CriticalPathTest, JsonlRoundTripReproducesDiagnosis) {
+  FrameScenario S;
+  S.B.decision(3, "profile_min", "A7@350MHz", 12.0, 1.0);
+  S.B.violation(3, 7, "single", 50.0, 20.0, 50.0);
+  S.B.energySample(0.25, 50.0);
+  const TelemetryLog &Live = S.B.Tel.log();
+
+  size_t Skipped = 0;
+  TelemetryLog Offline = TelemetryLog::fromJsonl(Live.toJsonl(), &Skipped);
+  EXPECT_EQ(Skipped, 0u);
+  ASSERT_EQ(Offline.size(), Live.size());
+
+  // The offline analyzers see the same structures: identical formatted
+  // WhyReports and energy tables — the gw-inspect parity guarantee.
+  std::vector<WhyReport> LiveReports = buildWhyReports(Live);
+  std::vector<WhyReport> OfflineReports = buildWhyReports(Offline);
+  ASSERT_EQ(OfflineReports.size(), LiveReports.size());
+  for (size_t I = 0; I < LiveReports.size(); ++I)
+    EXPECT_EQ(OfflineReports[I].format(), LiveReports[I].format());
+  EXPECT_EQ(formatEnergyTable(attributeEnergy(Offline)),
+            formatEnergyTable(attributeEnergy(Live)));
+}
+
+TEST(CriticalPathTest, FromJsonlCountsMalformedLines) {
+  FrameScenario S;
+  std::string Text = S.B.Tel.log().toJsonl();
+  Text += "not json\n";
+  Text += "{\"ts_us\":1.0,\"kind\":\"no_such_kind\"}\n";
+  Text += "\n"; // blank lines are not records either
+  size_t Skipped = 0;
+  TelemetryLog Log = TelemetryLog::fromJsonl(Text, &Skipped);
+  EXPECT_EQ(Log.size(), S.B.Tel.log().size());
+  EXPECT_GE(Skipped, 2u);
+}

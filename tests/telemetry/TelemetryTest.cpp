@@ -55,6 +55,37 @@ TEST(MetricsRegistryTest, HistogramBucketsAndSummary) {
   EXPECT_EQ(H.upperBounds().size(), 2u);
 }
 
+TEST(MetricsRegistryTest, HistogramQuantilesInterpolateWithinBuckets) {
+  MetricsRegistry M;
+  Histogram &H = M.histogram("lat", {10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 0.0); // No observations yet.
+  for (double X : {5.0, 15.0, 25.0, 35.0})
+    H.observe(X);
+  // Rank 1 lands at the first bucket's upper edge; the first bucket
+  // interpolates from the observed minimum.
+  EXPECT_DOUBLE_EQ(H.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.75), 30.0);
+  // Estimates never leave [min, max]: the last bucket would
+  // extrapolate to its 40.0 bound but clamps to the observed 35.0.
+  EXPECT_DOUBLE_EQ(H.quantile(1.0), 35.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.0), 5.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotsCarryQuantileFields) {
+  MetricsRegistry M;
+  M.histogram("h", {1.0}).observe(0.5);
+  std::string Json = M.snapshotJson();
+  // A single observation pins every estimate to that value.
+  EXPECT_NE(Json.find("\"p50\": 0.5"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"p90\": 0.5"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"p95\": 0.5"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"p99\": 0.5"), std::string::npos) << Json;
+  std::string Csv = M.snapshotCsv();
+  EXPECT_NE(Csv.find("h,histogram,p50,0.5"), std::string::npos) << Csv;
+  EXPECT_NE(Csv.find("h,histogram,p99,0.5"), std::string::npos) << Csv;
+}
+
 TEST(MetricsRegistryTest, JsonSnapshotIsValidAndOrdered) {
   MetricsRegistry M;
   M.counter("z.last").add(1);

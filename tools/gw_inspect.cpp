@@ -1,0 +1,185 @@
+//===- tools/gw_inspect.cpp - offline telemetry diagnosis ---------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// gw-inspect loads an exported telemetry event log (the JSONL artifact
+// the examples write with --log=) and reproduces the in-process causal
+// analyses offline:
+//
+//   gw-inspect events.jsonl                  overall summary
+//   gw-inspect events.jsonl summary          same, explicitly
+//   gw-inspect events.jsonl violations       one WhyReport per QoS
+//                                            violation (critical path,
+//                                            bottleneck stage, governor
+//                                            decision context)
+//   gw-inspect events.jsonl energy [N]       top-N per-annotation
+//                                            energy table (default all)
+//   gw-inspect events.jsonl path FRAME [ROOT]
+//                                            critical path of one frame
+//                                            (input chain when ROOT is
+//                                            given)
+//
+// Everything here reads only the log, so the output matches what the
+// instrumented run printed from live telemetry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/CriticalPath.h"
+#include "telemetry/EnergyAttribution.h"
+#include "telemetry/TelemetryLog.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+using namespace greenweb;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <events.jsonl> "
+               "[summary | violations | energy [N] | path FRAME [ROOT]]\n",
+               Argv0);
+  return 2;
+}
+
+int cmdSummary(const TelemetryLog &Log) {
+  std::map<std::string, size_t> ByKind;
+  for (const TelemetryRecord &R : Log.records())
+    ++ByKind[telemetryEventKindName(R.Kind)];
+  std::printf("%zu records", Log.size());
+  const char *Sep = " (";
+  for (const auto &[Kind, Count] : ByKind) {
+    std::printf("%s%zu %s", Sep, Count, Kind.c_str());
+    Sep = ", ";
+  }
+  std::printf("%s\n", ByKind.empty() ? "" : ")");
+
+  SpanIndex Index(Log);
+  size_t Truncated = 0;
+  int64_t Frames = 0;
+  for (const SpanRecord &S : Index.all()) {
+    Truncated += S.Truncated ? 1 : 0;
+    if (S.Thread == "frames")
+      ++Frames;
+  }
+  std::printf("%zu spans (%zu truncated at flush), %lld frame windows\n",
+              Index.all().size(), Truncated,
+              static_cast<long long>(Frames));
+
+  std::vector<WhyReport> Reports = buildWhyReports(Log);
+  std::printf("%zu QoS violations", Reports.size());
+  if (!Reports.empty()) {
+    std::printf(":\n");
+    for (const WhyReport &Report : Reports) {
+      const PathStep *Bottleneck = Report.Path.bottleneck();
+      std::printf("  frame %lld root %lld: %.3f ms against %.3f ms"
+                  " -> bottleneck %s\n",
+                  static_cast<long long>(Report.FrameId),
+                  static_cast<long long>(Report.RootId), Report.LatencyMs,
+                  Report.TargetMs,
+                  Bottleneck ? Bottleneck->S.Name.c_str() : "(no spans)");
+    }
+  } else {
+    std::printf("\n");
+  }
+
+  EnergyAttributionResult Energy = attributeEnergy(Log);
+  if (Energy.Samples > 0)
+    std::printf("\n%s", formatEnergyTable(Energy, 5).c_str());
+  else
+    std::printf("no energy samples in the log (run with sampling "
+                "enabled for attribution).\n");
+  std::printf("\nRun with `violations`, `energy`, or `path FRAME "
+              "[ROOT]` for detail.\n");
+  return 0;
+}
+
+int cmdViolations(const TelemetryLog &Log) {
+  std::vector<WhyReport> Reports = buildWhyReports(Log);
+  if (Reports.empty()) {
+    std::printf("no QoS violations recorded.\n");
+    return 0;
+  }
+  std::printf("%zu QoS violations\n", Reports.size());
+  for (const WhyReport &Report : Reports)
+    std::printf("\n%s", Report.format().c_str());
+  return 0;
+}
+
+int cmdEnergy(const TelemetryLog &Log, size_t N) {
+  EnergyAttributionResult Energy = attributeEnergy(Log);
+  if (Energy.Samples == 0) {
+    std::printf("no energy samples in the log (run with sampling "
+                "enabled for attribution).\n");
+    return 0;
+  }
+  std::printf("%s", formatEnergyTable(Energy, N).c_str());
+  return 0;
+}
+
+int cmdPath(const TelemetryLog &Log, int64_t FrameId, int64_t RootId) {
+  SpanIndex Index(Log);
+  CriticalPathResult Path = extractCriticalPath(
+      Index, FrameId, RootId, /*TargetMs=*/-1.0,
+      /*IncludeInputChain=*/RootId != 0);
+  if (Path.Steps.empty()) {
+    std::fprintf(stderr, "no spans recorded for frame %lld\n",
+                 static_cast<long long>(FrameId));
+    return 1;
+  }
+  std::printf("critical path of frame %lld", static_cast<long long>(FrameId));
+  if (RootId != 0)
+    std::printf(" from root %lld", static_cast<long long>(RootId));
+  std::printf(" (%.3f ms end to end):\n", Path.TotalMs);
+  for (size_t I = 0; I < Path.Steps.size(); ++I) {
+    const PathStep &Step = Path.Steps[I];
+    std::printf("  %-24s %-14s wait %8.3f ms  dur %8.3f ms%s%s\n",
+                Step.S.Name.c_str(), Step.S.Thread.c_str(), Step.WaitMs,
+                Step.S.durationMs(),
+                Step.Candidate ? "" : "  (container)",
+                int(I) == Path.Bottleneck ? "  <- bottleneck" : "");
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+
+  std::ifstream In(Argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read %s\n", Argv[1]);
+    return 1;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  size_t Skipped = 0;
+  TelemetryLog Log = TelemetryLog::fromJsonl(Buffer.str(), &Skipped);
+  if (Skipped > 0)
+    std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
+                 Skipped);
+
+  const char *Cmd = Argc > 2 ? Argv[2] : "summary";
+  if (std::strcmp(Cmd, "summary") == 0)
+    return cmdSummary(Log);
+  if (std::strcmp(Cmd, "violations") == 0)
+    return cmdViolations(Log);
+  if (std::strcmp(Cmd, "energy") == 0)
+    return cmdEnergy(Log, Argc > 3 ? size_t(std::atoll(Argv[3])) : 0);
+  if (std::strcmp(Cmd, "path") == 0) {
+    if (Argc < 4)
+      return usage(Argv[0]);
+    return cmdPath(Log, std::atoll(Argv[3]),
+                   Argc > 4 ? std::atoll(Argv[4]) : 0);
+  }
+  return usage(Argv[0]);
+}
