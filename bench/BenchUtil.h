@@ -6,8 +6,9 @@
 ///
 /// \file
 /// Helpers shared by the per-table/figure benchmark harnesses: cached
-/// median experiment runs (the paper's three-seed protocol, Sec. 7.1)
-/// and common formatting.
+/// median experiment runs (the paper's three-seed protocol, Sec. 7.1),
+/// parallel cell prefetch, common flags (--json=<path>, --jobs=N), a
+/// machine-readable JSON reporter, and common formatting.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,13 +19,145 @@
 #include "support/TablePrinter.h"
 #include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
+#include "workloads/ParallelRunner.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <tuple>
+#include <vector>
 
 namespace greenweb::bench {
+
+/// Flags every harness understands. Unknown arguments are ignored so
+/// harness-specific flags can coexist.
+///
+///   --json=<path>  write the harness's results as JSON to <path>
+///   --jobs=N       worker threads for sweep prefetch (0 = hardware)
+struct BenchFlags {
+  std::string JsonPath;
+  unsigned Jobs = 1; ///< Benches default to serial; sweeps opt in.
+
+  static BenchFlags parse(int Argc, char **Argv) {
+    BenchFlags Flags;
+    for (int I = 1; I < Argc; ++I) {
+      std::string_view Arg = Argv[I];
+      if (startsWith(Arg, "--json="))
+        Flags.JsonPath = std::string(Arg.substr(7));
+      else if (startsWith(Arg, "--jobs="))
+        Flags.Jobs = unsigned(parseInt(Arg.substr(7)).value_or(1));
+    }
+    return Flags;
+  }
+};
+
+/// Collects a harness's results and writes them as one JSON document on
+/// destruction (when a path was requested). Three sections cover the
+/// harness shapes in this repo: google-benchmark-style entries
+/// (name/iterations/ns_per_op/rate), standalone scalars, and the
+/// rendered paper tables as structured rows.
+class JsonReporter {
+public:
+  JsonReporter(std::string Harness, std::string Path)
+      : Harness(std::move(Harness)), Path(std::move(Path)) {}
+
+  JsonReporter(const JsonReporter &) = delete;
+  JsonReporter &operator=(const JsonReporter &) = delete;
+
+  ~JsonReporter() { write(); }
+
+  bool requested() const { return !Path.empty(); }
+
+  /// One microbenchmark result. \p RateLabel/\p Rate report the
+  /// domain-specific throughput ("events_per_sec", ...); pass an empty
+  /// label when there is none.
+  void metric(const std::string &Name, uint64_t Iterations, double NsPerOp,
+              const std::string &RateLabel = "", double Rate = 0.0,
+              const std::string &Note = "") {
+    std::string E = formatString(
+        "    {\"name\":\"%s\",\"iterations\":%llu,\"ns_per_op\":%.3f",
+        jsonEscape(Name).c_str(),
+        static_cast<unsigned long long>(Iterations), NsPerOp);
+    if (!RateLabel.empty())
+      E += formatString(",\"%s\":%.3f", jsonEscape(RateLabel).c_str(),
+                        Rate);
+    if (!Note.empty())
+      E += formatString(",\"note\":\"%s\"", jsonEscape(Note).c_str());
+    E += "}";
+    Benchmarks.push_back(std::move(E));
+  }
+
+  /// One headline scalar ("avg_session_seconds": 42.5, unit "s").
+  void scalar(const std::string &Name, double Value,
+              const std::string &Unit = "") {
+    std::string E = formatString("    {\"name\":\"%s\",\"value\":%.6f",
+                                 jsonEscape(Name).c_str(), Value);
+    if (!Unit.empty())
+      E += formatString(",\"unit\":\"%s\"", jsonEscape(Unit).c_str());
+    E += "}";
+    Scalars.push_back(std::move(E));
+  }
+
+  /// A rendered table, header row first, all cells as strings.
+  void table(const std::string &Name, const TablePrinter &T) {
+    std::string E =
+        formatString("    {\"name\":\"%s\",", jsonEscape(Name).c_str());
+    if (!T.title().empty())
+      E += formatString("\"title\":\"%s\",",
+                        jsonEscape(T.title()).c_str());
+    E += "\"rows\":[\n";
+    const auto &Rows = T.rows();
+    for (size_t R = 0; R < Rows.size(); ++R) {
+      E += "      [";
+      for (size_t C = 0; C < Rows[R].size(); ++C) {
+        if (C)
+          E += ",";
+        E += formatString("\"%s\"", jsonEscape(Rows[R][C]).c_str());
+      }
+      E += R + 1 < Rows.size() ? "],\n" : "]\n";
+    }
+    E += "    ]}";
+    Tables.push_back(std::move(E));
+  }
+
+private:
+  void write() const {
+    if (Path.empty())
+      return;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::string Out =
+        formatString("{\n  \"harness\": \"%s\"", jsonEscape(Harness).c_str());
+    auto Section = [&Out](const char *Key,
+                          const std::vector<std::string> &Entries) {
+      if (Entries.empty())
+        return;
+      Out += formatString(",\n  \"%s\": [\n", Key);
+      for (size_t I = 0; I < Entries.size(); ++I)
+        Out += Entries[I] + (I + 1 < Entries.size() ? ",\n" : "\n");
+      Out += "  ]";
+    };
+    Section("benchmarks", Benchmarks);
+    Section("scalars", Scalars);
+    Section("tables", Tables);
+    Out += "\n}\n";
+    std::fwrite(Out.data(), 1, Out.size(), F);
+    std::fclose(F);
+  }
+
+  std::string Harness;
+  std::string Path;
+  std::vector<std::string> Benchmarks;
+  std::vector<std::string> Scalars;
+  std::vector<std::string> Tables;
+};
+
+/// One (app, governor, mode) sweep cell.
+using BenchCell = std::tuple<std::string, std::string, ExperimentMode>;
 
 /// Runs (or returns the cached) median experiment for one
 /// (app, governor, mode) cell under the paper's three-seed protocol.
@@ -48,11 +181,43 @@ public:
     }
   }
 
+  /// Runs every not-yet-cached cell across \p Jobs worker threads and
+  /// caches the results, so subsequent get() calls are hits. Per-run
+  /// telemetry lands in the shared hub in cell order — the aggregate is
+  /// identical to running the same cells serially through get().
+  void prefetch(const std::vector<BenchCell> &Cells, unsigned Jobs) {
+    std::vector<BenchCell> Missing;
+    for (const BenchCell &Cell : Cells)
+      if (!Cache.count(key(Cell)))
+        Missing.push_back(Cell);
+    if (Missing.empty())
+      return;
+    std::vector<ExperimentConfig> Configs;
+    Configs.reserve(Missing.size());
+    for (const auto &[App, Governor, Mode] : Missing) {
+      ExperimentConfig Config;
+      Config.AppName = App;
+      Config.GovernorName = Governor;
+      Config.Mode = Mode;
+      Configs.push_back(std::move(Config));
+    }
+    ParallelExperimentOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.SharedTel = &Tel;
+    Opts.MedianSeeds = {1, 2, 3};
+    Opts.PerJobHook = [](size_t, const ExperimentResult &, Telemetry &T) {
+      T.metrics().counter("bench.cells_run").add();
+    };
+    std::vector<ExperimentResult> Results =
+        runExperimentsParallel(Configs, Opts);
+    for (size_t I = 0; I < Missing.size(); ++I)
+      Cache.emplace(key(Missing[I]), std::move(Results[I]));
+  }
+
   const ExperimentResult &get(const std::string &App,
                               const std::string &Governor,
                               ExperimentMode Mode) {
-    auto Key = App + "|" + Governor +
-               (Mode == ExperimentMode::Micro ? "|micro" : "|full");
+    auto Key = key({App, Governor, Mode});
     auto It = Cache.find(Key);
     if (It != Cache.end()) {
       Tel.metrics().counter("bench.cache_hits").add();
@@ -73,6 +238,12 @@ public:
   Telemetry &telemetry() { return Tel; }
 
 private:
+  static std::string key(const BenchCell &Cell) {
+    return std::get<0>(Cell) + "|" + std::get<1>(Cell) +
+           (std::get<2>(Cell) == ExperimentMode::Micro ? "|micro"
+                                                       : "|full");
+  }
+
   Telemetry Tel;
   std::map<std::string, ExperimentResult> Cache;
 };

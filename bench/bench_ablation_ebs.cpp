@@ -23,7 +23,9 @@
 
 using namespace greenweb;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_ablation_ebs", Flags.JsonPath);
   bench::banner("Ablation A7: GreenWeb vs annotation-free EBS",
                 "Sec. 9 related-work comparison (Zhu et al. HPCA'15)");
 
@@ -51,6 +53,7 @@ int main() {
     }
   }
   Table.print();
+  Json.table("Table", Table);
   std::printf(
       "\nExpected shape (the paper's Sec. 9 argument, as it manifests "
       "here):\n"

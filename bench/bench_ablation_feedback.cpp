@@ -15,7 +15,9 @@
 
 using namespace greenweb;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_ablation_feedback", Flags.JsonPath);
   bench::banner("Ablation A1: feedback fine-tuning on/off",
                 "Sec. 6.2 event-based feedback");
 
@@ -55,6 +57,7 @@ int main() {
     }
   }
   Table.print();
+  Json.table("Table", Table);
   std::printf("\nExpected shape: disabling feedback raises violations on "
               "the surge-prone apps at similar or lower energy; the "
               "runtime can no longer react to under-predictions between "

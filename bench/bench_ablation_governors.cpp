@@ -16,7 +16,9 @@
 
 using namespace greenweb;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_ablation_governors", Flags.JsonPath);
   bench::banner("Ablation A4: governor sweep",
                 "Perf / Interactive / Ondemand / Powersave / GreenWeb");
 
@@ -51,6 +53,7 @@ int main() {
           .cell(int64_t(R.FreqSwitches + R.Migrations));
     }
     Table.print();
+    Json.table("Table", Table);
     std::printf("\n");
   }
   std::printf("Expected shape: energy Powersave < GreenWeb-U <= "

@@ -17,7 +17,9 @@
 
 using namespace greenweb;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_ablation_misannotation", Flags.JsonPath);
   bench::banner("Ablation A2: mis-annotation defense (UAI)",
                 "Sec. 8 'Defense Against Mis-annotation'");
 
@@ -87,6 +89,7 @@ int main() {
         .cell(int64_t(BudgetRun.RuntimeStats.TargetClampsApplied));
   }
   Table.print();
+  Json.table("Table", Table);
   std::printf("\nExpected shape: the attack inflates energy well above "
               "the honest run; the clamp restores it to near-honest "
               "levels; the budget defense lands in between (the attack "

@@ -16,7 +16,9 @@
 
 using namespace greenweb;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_ablation_qostype", Flags.JsonPath);
   bench::banner("Ablation A3: QoS-type confusion",
                 "Sec. 3.2 'Distinguishing between continuous and single "
                 "is important'");
@@ -66,6 +68,7 @@ int main() {
     }
   }
   Table.print();
+  Json.table("Table", Table);
   std::printf(
       "\nExpected shape: forcing animations to 'single' stops per-frame "
       "optimization after the first frame (fewer frames optimized, more "

@@ -15,7 +15,9 @@
 
 using namespace greenweb;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_ablation_recalibration", Flags.JsonPath);
   bench::banner("Ablation A6: recalibration threshold sweep",
                 "Sec. 6.2 consecutive-misprediction re-profiling");
 
@@ -45,6 +47,7 @@ int main() {
           .cell(int64_t(R.RuntimeStats.ProfilingFrames));
     }
     Table.print();
+    Json.table("Table", Table);
     std::printf("\n");
   }
   std::printf("Expected shape: small thresholds trade extra profiling "

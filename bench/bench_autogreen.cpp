@@ -20,7 +20,9 @@
 
 using namespace greenweb;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_autogreen", Flags.JsonPath);
   bench::banner("AUTOGREEN: automatic annotation",
                 "Classification per app plus auto-vs-manual energy "
                 "(Sec. 5, Sec. 7.3 'Annotation Effort')");
@@ -43,6 +45,7 @@ int main() {
         .cell(int64_t(R.SkippedUnselectable));
   }
   Class.print();
+  Json.table("Class", Class);
 
   std::printf("\nEnd-to-end: full interaction under GreenWeb-I with "
               "manual vs AUTOGREEN annotations\n\n");
@@ -72,6 +75,7 @@ int main() {
                                Manual.ViolationPctImperceptible));
   }
   Energy.print();
+  Json.table("Energy", Energy);
   std::printf("\nShape check: heavyweight single apps (CamanJS, LZMA-JS) "
               "cost more under AUTOGREEN because its conservative "
               "'single, short' assumption chases a 100 ms target that "

@@ -142,4 +142,31 @@ BENCHMARK(BM_FullExperiment);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so this harness accepts the
+// same --json=<path> flag as every other bench binary, translating it
+// to google-benchmark's --benchmark_out options.
+int main(int Argc, char **Argv) {
+  std::vector<char *> Args(Argv, Argv + Argc);
+  std::vector<std::string> Owned;
+  for (char *&Arg : Args) {
+    std::string_view S = Arg;
+    if (S.rfind("--json=", 0) == 0) {
+      Owned.push_back("--benchmark_out=" + std::string(S.substr(7)));
+      Owned.push_back("--benchmark_out_format=json");
+    }
+  }
+  Args.erase(std::remove_if(Args.begin(), Args.end(),
+                            [](char *Arg) {
+                              return std::string_view(Arg).rfind(
+                                         "--json=", 0) == 0;
+                            }),
+             Args.end());
+  for (std::string &S : Owned)
+    Args.push_back(S.data());
+  int NewArgc = int(Args.size());
+  benchmark::Initialize(&NewArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(NewArgc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -54,12 +54,23 @@ Distribution summarize(const ExperimentResult &R) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_fig11_confdist", Flags.JsonPath);
   bench::banner("Fig. 11: architecture configuration distribution",
                 "Time share per <core, frequency> under GreenWeb-I (11a) "
                 "and GreenWeb-U (11b), Sec. 7.3");
 
   ResultCache Cache;
+  {
+    // Warm every sweep cell across --jobs workers (default serial);
+    // results and telemetry are identical to serial cell-by-cell runs.
+    std::vector<bench::BenchCell> Cells;
+    for (const std::string &Name : allAppNames())
+      for (const char *Gov : {governors::GreenWebI, governors::GreenWebU})
+        Cells.push_back({Name, Gov, ExperimentMode::Full});
+    Cache.prefetch(Cells, Flags.Jobs);
+  }
   for (const char *Gov : {governors::GreenWebI, governors::GreenWebU}) {
     TablePrinter Table(formatString(
         "Fig. 11%s: %s", Gov == std::string(governors::GreenWebI) ? "a"
@@ -84,6 +95,7 @@ int main() {
           .cell(D.MeanBigMHz, 0);
     }
     Table.print();
+    Json.table("Table", Table);
     std::printf("Mean A15 time share under %s: %.1f%%\n\n", Gov,
                 mean(BigShare));
   }

@@ -17,7 +17,9 @@
 using namespace greenweb;
 using bench::ResultCache;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_fig12_switching", Flags.JsonPath);
   bench::banner("Fig. 12: execution configuration switching frequency",
                 "Switches per frame, split into frequency changes and "
                 "core migrations (Sec. 7.3)");
@@ -64,6 +66,7 @@ int main() {
         .percentCell(FreqU + MigU);
   }
   Table.print();
+  Json.table("Table", Table);
   std::printf("\nMean switching per frame: GreenWeb-I %.1f%%, GreenWeb-U "
               "%.1f%%   (paper: ~20%% on average, I > U)\n",
               mean(TotalI) * 100.0, mean(TotalU) * 100.0);

@@ -18,7 +18,9 @@
 
 using namespace greenweb;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_table2_api", Flags.JsonPath);
   bench::banner("Table 2: GreenWeb API specification",
                 "Each API is a new CSS rule specifying QoS information "
                 "(Sec. 4.1, Fig. 3 grammar)");
@@ -59,6 +61,7 @@ int main() {
     Table.row().cell(R.Css).cell(Meaning).cell(R.PaperSemantics);
   }
   Table.print();
+  Json.table("Table", Table);
 
   std::printf("\nMalformed declarations (grammar enforcement: TI and TU "
               "must appear together, etc.):\n");

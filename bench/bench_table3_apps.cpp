@@ -15,12 +15,23 @@
 using namespace greenweb;
 using bench::ResultCache;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::JsonReporter Json("bench_table3_apps", Flags.JsonPath);
   bench::banner("Table 3: evaluation applications",
                 "Micro-benchmarking and full-interaction characteristics "
                 "(Sec. 7.1, Table 3)");
 
   ResultCache Cache;
+  {
+    // Warm every sweep cell across --jobs workers (default serial);
+    // results and telemetry are identical to serial cell-by-cell runs.
+    std::vector<bench::BenchCell> Cells;
+    for (const std::string &Name : allAppNames())
+      for (const char *Gov : {governors::Perf})
+        Cells.push_back({Name, Gov, ExperimentMode::Full});
+    Cache.prefetch(Cells, Flags.Jobs);
+  }
   TablePrinter Table;
   Table.row()
       .cell("Application")
@@ -62,6 +73,7 @@ int main() {
         .cell(formatString("%.1f%%", Full.AnnotationPct));
   }
   Table.print();
+  Json.table("Table", Table);
 
   std::printf("\nAverages: %.0f s per session, %.0f events per session "
               "(paper: ~43 s, ~94 events).\n",

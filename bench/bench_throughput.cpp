@@ -1,0 +1,366 @@
+//===- bench/bench_throughput.cpp - simulation throughput harness ---------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// Measures the three hot paths the throughput overhaul targets, each
+// against its retained reference implementation in the same run:
+//
+//   1. Event kernel: events/sec through the pooled-control-block kernel
+//      vs an in-file replica of the previous kernel (two
+//      std::make_shared<bool> flags per event, std::priority_queue with
+//      a full event copy per pop).
+//   2. Style resolution: recalcs/sec through the bucketed rule index
+//      (cold after mutations, warm from the per-element cache) vs the
+//      retained naive O(rules x selectors) scan.
+//   3. Scenario throughput: the full_evaluation sweep wall-clock with
+//      --jobs=1 vs --jobs=N through ParallelRunner.
+//
+// Writes BENCH_throughput.json (override with --json=<path>); the
+// committed copy at the repo root records the numbers for the
+// environment that produced it — regenerate with:
+//
+//   build/bench/bench_throughput --json=BENCH_throughput.json
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "css/CssParser.h"
+#include "css/StyleResolver.h"
+#include "dom/Dom.h"
+#include "sim/Simulator.h"
+#include "support/StringUtils.h"
+#include "workloads/Experiment.h"
+#include "workloads/ParallelRunner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+using namespace greenweb;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Legacy event kernel replica (the pre-overhaul design, kept here as the
+// same-run baseline). Two heap-allocated shared_ptr<bool> flags per
+// event, std::priority_queue, and a full event copy on every pop.
+//===----------------------------------------------------------------------===//
+
+class LegacyKernel {
+public:
+  struct Handle {
+    std::shared_ptr<bool> Cancelled;
+    void cancel() {
+      if (Cancelled)
+        *Cancelled = true;
+    }
+  };
+
+  Handle schedule(Duration Delay, std::function<void()> Fn) {
+    Event E;
+    E.When = Now + Delay;
+    E.Seq = NextSeq++;
+    E.Fn = std::move(Fn);
+    E.Cancelled = std::make_shared<bool>(false);
+    E.Fired = std::make_shared<bool>(false);
+    Handle H{E.Cancelled};
+    Queue.push(std::move(E));
+    return H;
+  }
+
+  uint64_t run() {
+    uint64_t Fired = 0;
+    while (!Queue.empty()) {
+      Event E = Queue.top(); // Copy, as the old kernel did.
+      Queue.pop();
+      if (*E.Cancelled)
+        continue;
+      Now = E.When;
+      *E.Fired = true;
+      ++Fired;
+      E.Fn();
+    }
+    return Fired;
+  }
+
+private:
+  struct Event {
+    TimePoint When;
+    uint64_t Seq = 0;
+    std::function<void()> Fn;
+    std::shared_ptr<bool> Cancelled;
+    std::shared_ptr<bool> Fired;
+  };
+  struct Later {
+    bool operator()(const Event &A, const Event &B) const {
+      if (A.When != B.When)
+        return A.When > B.When;
+      return A.Seq > B.Seq;
+    }
+  };
+
+  TimePoint Now;
+  uint64_t NextSeq = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> Queue;
+};
+
+//===----------------------------------------------------------------------===//
+// Self-timed measurement loop
+//===----------------------------------------------------------------------===//
+
+struct Measurement {
+  uint64_t Ops = 0;
+  double Seconds = 0.0;
+  double nsPerOp() const { return Ops ? Seconds / double(Ops) * 1e9 : 0; }
+  double opsPerSec() const { return Seconds > 0 ? double(Ops) / Seconds : 0; }
+};
+
+/// Repeats \p Round (which returns the ops it performed) until at least
+/// \p MinSeconds of wall clock accumulate.
+Measurement measure(const std::function<uint64_t()> &Round,
+                    double MinSeconds = 0.25) {
+  Measurement M;
+  auto Start = std::chrono::steady_clock::now();
+  do {
+    M.Ops += Round();
+    M.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  } while (M.Seconds < MinSeconds);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Workloads
+//===----------------------------------------------------------------------===//
+
+/// Steady-state timer churn, the shape the simulator actually sees:
+/// 32 self-rescheduling chains keep a small queue, every third fire
+/// also schedules-and-cancels a decoy (exercising handle + lazy-cancel
+/// costs), and the round retires once Count fires have run. Per-event
+/// kernel overhead dominates, not heap-sift depth.
+template <class Kernel> struct ChurnCtx {
+  Kernel K;
+  uint64_t Fires = 0;
+  uint64_t Budget = 0;
+  uint64_t Scheduled = 0;
+};
+
+template <class Kernel> void churnTick(ChurnCtx<Kernel> *C) {
+  ++C->Fires;
+  if (C->Budget == 0)
+    return;
+  --C->Budget;
+  ++C->Scheduled;
+  C->K.schedule(Duration::microseconds(100), [C] { churnTick(C); });
+  if (C->Fires % 3 == 0) {
+    ++C->Scheduled;
+    auto Decoy =
+        C->K.schedule(Duration::microseconds(150), [C] { churnTick(C); });
+    Decoy.cancel();
+  }
+}
+
+template <class Kernel> uint64_t eventChurnRound(unsigned Count) {
+  ChurnCtx<Kernel> C;
+  C.Budget = Count;
+  for (unsigned I = 0; I < 32 && C.Budget > 0; ++I) {
+    --C.Budget;
+    ++C.Scheduled;
+    C.K.schedule(Duration::microseconds(I), [&C] { churnTick(&C); });
+  }
+  C.K.run();
+  return C.Scheduled; // Ops = every scheduled event, fired or cancelled.
+}
+
+struct StyleWorld {
+  Document Doc;
+  css::Stylesheet Sheet;
+  std::vector<Element *> Elements;
+};
+
+/// A stylesheet with every selector shape the index buckets: compound
+/// id/class/tag subjects, :QoS qualifiers, descendant and child
+/// combinators, and a few universal rules.
+std::unique_ptr<StyleWorld> makeStyleWorld(int Rules, int Elements) {
+  auto W = std::make_unique<StyleWorld>();
+  std::string Src;
+  for (int I = 0; I < Rules; ++I) {
+    switch (I % 5) {
+    case 0:
+      Src += formatString("div#id-%d.cls-%d:QoS { width: %dpx; "
+                          "onclick-qos: single, short; }\n",
+                          I, I % 7, I);
+      break;
+    case 1:
+      Src += formatString(".cls-%d { color: c%d; }\n", I % 7, I);
+      break;
+    case 2:
+      Src += formatString("#id-%d .cls-%d { margin: %dpx; }\n", I % 31,
+                          I % 7, I);
+      break;
+    case 3:
+      Src += formatString("div.cls-%d > span { padding: %dpx; }\n",
+                          I % 7, I);
+      break;
+    default:
+      Src += formatString("span#sid-%d { border: %dpx; }\n", I, I);
+      break;
+    }
+  }
+  Src += "* { display: inline; }\n";
+  W->Sheet = css::parseStylesheet(Src);
+
+  Element *Branch = &W->Doc.root();
+  for (int I = 0; I < Elements; ++I) {
+    const char *Tag = I % 3 == 0 ? "div" : (I % 3 == 1 ? "span" : "p");
+    // Mix depths: every eighth element starts a new branch off root.
+    if (I % 8 == 0)
+      Branch = W->Doc.root().createChild("div");
+    Element *E = Branch->createChild(Tag);
+    E->setId(formatString("id-%d", I));
+    E->addClass(formatString("cls-%d", I % 7));
+    W->Elements.push_back(E);
+    Branch = I % 4 == 0 ? E : Branch;
+  }
+  return W;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  if (Flags.JsonPath.empty())
+    Flags.JsonPath = "BENCH_throughput.json";
+  bench::JsonReporter Json("bench_throughput", Flags.JsonPath);
+  bench::banner("Simulation throughput",
+                "Event-kernel, style-resolver, and parallel-sweep "
+                "wall-clock performance (infrastructure, not paper data)");
+
+  constexpr unsigned ChurnEvents = 10'000;
+
+  // --- 1. Event kernel ---
+  Measurement Legacy = measure(
+      [] { return eventChurnRound<LegacyKernel>(ChurnEvents); });
+  Measurement Pooled =
+      measure([] { return eventChurnRound<Simulator>(ChurnEvents); });
+  double KernelSpeedup =
+      Legacy.nsPerOp() > 0 ? Legacy.nsPerOp() / Pooled.nsPerOp() : 0;
+
+  TablePrinter Kernel("Event kernel (steady-state churn, 10k fires, 1/3 decoys cancelled)");
+  Kernel.row().cell("kernel").cell("ns/event").cell("events/sec");
+  Kernel.row()
+      .cell("legacy (2x shared_ptr<bool>)")
+      .cell(Legacy.nsPerOp(), 1)
+      .cell(Legacy.opsPerSec(), 0);
+  Kernel.row()
+      .cell("pooled control slab")
+      .cell(Pooled.nsPerOp(), 1)
+      .cell(Pooled.opsPerSec(), 0);
+  Kernel.print();
+  std::printf("event-kernel speedup: %.2fx\n\n", KernelSpeedup);
+
+  Json.metric("event_kernel_legacy", Legacy.Ops, Legacy.nsPerOp(),
+              "events_per_sec", Legacy.opsPerSec());
+  Json.metric("event_kernel_pooled", Pooled.Ops, Pooled.nsPerOp(),
+              "events_per_sec", Pooled.opsPerSec());
+  Json.scalar("event_kernel_speedup", KernelSpeedup, "x");
+
+  // --- 2. Style resolution ---
+  auto W = makeStyleWorld(400, 160);
+  css::StyleResolver Resolver(W->Sheet);
+  auto RecalcAll = [&](bool Naive, bool Mutate) {
+    if (Mutate)
+      W->Doc.bumpStyleVersion(); // Invalidates every cache entry.
+    uint64_t Matched = 0;
+    for (Element *E : W->Elements)
+      Matched += Naive ? Resolver.matchRulesNaive(*E).size()
+                       : Resolver.matchRules(*E).size();
+    // Ops = elements recalculated; fold Matched in so the work cannot
+    // be optimized away.
+    return uint64_t(W->Elements.size()) + (Matched & 0);
+  };
+
+  Measurement Naive =
+      measure([&] { return RecalcAll(/*Naive=*/true, /*Mutate=*/true); });
+  Measurement Cold =
+      measure([&] { return RecalcAll(/*Naive=*/false, /*Mutate=*/true); });
+  Measurement Warm =
+      measure([&] { return RecalcAll(/*Naive=*/false, /*Mutate=*/false); });
+  double StyleSpeedupCold = Naive.nsPerOp() / Cold.nsPerOp();
+  double StyleSpeedupWarm = Naive.nsPerOp() / Warm.nsPerOp();
+
+  TablePrinter Style(
+      "Style resolution (400 rules, 160 elements per recalc)");
+  Style.row().cell("resolver").cell("ns/element").cell("recalcs/sec");
+  Style.row()
+      .cell("naive scan")
+      .cell(Naive.nsPerOp(), 1)
+      .cell(Naive.opsPerSec(), 0);
+  Style.row()
+      .cell("indexed, cold (mutation churn)")
+      .cell(Cold.nsPerOp(), 1)
+      .cell(Cold.opsPerSec(), 0);
+  Style.row()
+      .cell("indexed, warm (element cache)")
+      .cell(Warm.nsPerOp(), 1)
+      .cell(Warm.opsPerSec(), 0);
+  Style.print();
+  std::printf("style-resolution speedup: %.2fx cold, %.2fx warm\n\n",
+              StyleSpeedupCold, StyleSpeedupWarm);
+
+  Json.metric("style_naive", Naive.Ops, Naive.nsPerOp(),
+              "recalcs_per_sec", Naive.opsPerSec());
+  Json.metric("style_indexed_cold", Cold.Ops, Cold.nsPerOp(),
+              "recalcs_per_sec", Cold.opsPerSec());
+  Json.metric("style_indexed_warm", Warm.Ops, Warm.nsPerOp(),
+              "recalcs_per_sec", Warm.opsPerSec());
+  Json.scalar("style_speedup_cold", StyleSpeedupCold, "x");
+  Json.scalar("style_speedup_warm", StyleSpeedupWarm, "x");
+
+  // --- 3. Parallel scenario sweep ---
+  std::vector<ExperimentConfig> Configs;
+  for (const char *App : {"CamanJS", "Todo", "Goo.ne.jp"})
+    for (const char *Gov :
+         {governors::Perf, governors::Interactive, governors::GreenWebI,
+          governors::GreenWebU}) {
+      ExperimentConfig C;
+      C.AppName = App;
+      C.GovernorName = Gov;
+      Configs.push_back(std::move(C));
+    }
+  auto SweepSecs = [&Configs](unsigned Jobs) {
+    ParallelExperimentOptions Opts;
+    Opts.Jobs = Jobs;
+    auto Start = std::chrono::steady_clock::now();
+    runExperimentsParallel(Configs, Opts);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+  unsigned HwJobs = ParallelRunner(0).jobs();
+  double Serial = SweepSecs(1);
+  double Parallel = SweepSecs(HwJobs);
+  double SweepSpeedup = Parallel > 0 ? Serial / Parallel : 0;
+
+  TablePrinter Sweep("Scenario sweep (12 simulations)");
+  Sweep.row().cell("jobs").cell("wall seconds");
+  Sweep.row().cell("1").cell(Serial, 3);
+  Sweep.row().cell(formatString("%u (hardware)", HwJobs)).cell(Parallel, 3);
+  Sweep.print();
+  std::printf("sweep speedup: %.2fx with %u jobs (%u hardware threads "
+              "on this host)\n",
+              SweepSpeedup, HwJobs, HwJobs);
+
+  Json.scalar("sweep_serial_seconds", Serial, "s");
+  Json.scalar("sweep_parallel_seconds", Parallel, "s");
+  Json.scalar("sweep_jobs", double(HwJobs));
+  Json.scalar("sweep_speedup", SweepSpeedup, "x");
+
+  std::printf("\nJSON written to %s\n", Flags.JsonPath.c_str());
+  return 0;
+}

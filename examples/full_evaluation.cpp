@@ -35,9 +35,12 @@
 #include "telemetry/EnergyAttribution.h"
 #include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
+#include "workloads/ParallelRunner.h"
 #include "workloads/TelemetryArtifacts.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -92,16 +95,13 @@ void printDetailed(const ExperimentResult &R) {
   }
 }
 
-int runSweep() {
+int runSweep(unsigned Jobs) {
   std::printf("No arguments: sweeping one app per QoS category under "
               "every governor.\n\n");
-  TablePrinter Table;
-  Table.row()
-      .cell("App")
-      .cell("Governor")
-      .cell("Energy (mJ)")
-      .cell("Viol-I (%)")
-      .cell("Viol-U (%)");
+  // The sweep is |apps| x |governors| independent simulations; fan them
+  // out and print in config order, which makes the output byte-identical
+  // for any job count.
+  std::vector<ExperimentConfig> Configs;
   for (const char *App : {"CamanJS", "Todo", "Goo.ne.jp"}) {
     for (const char *Gov :
          {governors::Perf, governors::Interactive, governors::GreenWebI,
@@ -109,17 +109,40 @@ int runSweep() {
       ExperimentConfig C;
       C.AppName = App;
       C.GovernorName = Gov;
-      ExperimentResult R = runExperiment(C);
-      Table.row()
-          .cell(App)
-          .cell(Gov)
-          .cell(R.TotalJoules * 1e3, 1)
-          .cell(R.ViolationPctImperceptible, 2)
-          .cell(R.ViolationPctUsable, 2);
+      Configs.push_back(std::move(C));
     }
   }
+  ParallelExperimentOptions Opts;
+  Opts.Jobs = Jobs;
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<ExperimentResult> Results =
+      runExperimentsParallel(Configs, Opts);
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  TablePrinter Table;
+  Table.row()
+      .cell("App")
+      .cell("Governor")
+      .cell("Energy (mJ)")
+      .cell("Viol-I (%)")
+      .cell("Viol-U (%)");
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const ExperimentResult &R = Results[I];
+    Table.row()
+        .cell(Configs[I].AppName)
+        .cell(Configs[I].GovernorName)
+        .cell(R.TotalJoules * 1e3, 1)
+        .cell(R.ViolationPctImperceptible, 2)
+        .cell(R.ViolationPctUsable, 2);
+  }
   Table.print();
+  std::printf("\nsweep: %zu simulations in %.2f s wall clock with "
+              "--jobs=%u\n",
+              Results.size(), Secs, ParallelRunner(Jobs).jobs());
   std::printf("\nUsage: full_evaluation [app] [governor] [micro|full] "
+              "[--jobs=N] "
               "[--diagnose] [--trace=trace.json] [--log=events.jsonl] "
               "[--metrics=metrics.json]\n"
               "Apps: ");
@@ -217,16 +240,19 @@ void exportTrace(const ExperimentConfig &Config,
 int main(int Argc, char **Argv) {
   TelemetryArtifactOptions Artifacts;
   bool Diagnose = false;
+  unsigned Jobs = 0; // 0 = hardware concurrency.
   std::vector<std::string> Positional;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--diagnose")
       Diagnose = true;
+    else if (Arg.rfind("--jobs=", 0) == 0)
+      Jobs = unsigned(std::atoi(Arg.c_str() + 7));
     else if (!Artifacts.parseFlag(Arg))
       Positional.push_back(std::move(Arg));
   }
   if (Positional.size() < 2)
-    return runSweep();
+    return runSweep(Jobs);
 
   ExperimentConfig Config;
   Config.AppName = Positional[0];

@@ -104,13 +104,13 @@ public:
     if (Name == "getElementById")
       return js::makeNativeFunction(
           "getElementById",
-          [this](js::Interpreter &I, const std::vector<js::Value> &Args) {
+          [&Bro = B](js::Interpreter &I, const std::vector<js::Value> &Args) {
             if (Args.empty() || !Args[0].isString())
               return I.raiseError("getElementById expects a string id");
-            Element *E = B.document()->getElementById(Args[0].asString());
+            Element *E = Bro.document()->getElementById(Args[0].asString());
             if (!E)
               return js::Value::null();
-            return js::Value::host(std::make_shared<ElementHost>(B, E));
+            return js::Value::host(std::make_shared<ElementHost>(Bro, E));
           });
     if (Name == "nodeCount")
       return js::Value::number(double(B.document()->elementCount()));
@@ -121,6 +121,10 @@ private:
   Browser &B;
 };
 
+// Native closures returned from getProperty can outlive the receiver
+// host wrapper (the interpreter drops the receiver Value once the
+// property read completes), so they capture the Browser and Element —
+// both of which outlive script execution — never the host `this`.
 js::Value ElementHost::getProperty(js::Interpreter &Interp,
                                    const std::string &Name) {
   if (Name == "style")
@@ -134,12 +138,12 @@ js::Value ElementHost::getProperty(js::Interpreter &Interp,
   if (Name == "addEventListener")
     return js::makeNativeFunction(
         "addEventListener",
-        [this](js::Interpreter &I, const std::vector<js::Value> &Args) {
+        [&Bro = B, E = E](js::Interpreter &I,
+                          const std::vector<js::Value> &Args) {
           if (Args.size() < 2 || !Args[0].isString() ||
               !Args[1].isFunction())
             return I.raiseError(
                 "addEventListener expects (type, function)");
-          Browser &Bro = B;
           js::Value Callback = Args[1];
           E->addEventListener(
               Args[0].asString(), [&Bro, Callback](const Event &) {
@@ -156,7 +160,7 @@ js::Value ElementHost::getProperty(js::Interpreter &Interp,
   if (Name == "setAttribute")
     return js::makeNativeFunction(
         "setAttribute",
-        [this](js::Interpreter &I, const std::vector<js::Value> &Args) {
+        [E = E](js::Interpreter &I, const std::vector<js::Value> &Args) {
           if (Args.size() < 2 || !Args[0].isString())
             return I.raiseError("setAttribute expects (name, value)");
           E->setAttribute(Args[0].asString(), Args[1].toDisplayString());
@@ -165,7 +169,7 @@ js::Value ElementHost::getProperty(js::Interpreter &Interp,
   if (Name == "getAttribute")
     return js::makeNativeFunction(
         "getAttribute",
-        [this](js::Interpreter &I, const std::vector<js::Value> &Args) {
+        [E = E](js::Interpreter &I, const std::vector<js::Value> &Args) {
           if (Args.empty() || !Args[0].isString())
             return I.raiseError("getAttribute expects a name");
           return js::Value::string(
@@ -174,19 +178,20 @@ js::Value ElementHost::getProperty(js::Interpreter &Interp,
   if (Name == "createChild")
     return js::makeNativeFunction(
         "createChild",
-        [this](js::Interpreter &I, const std::vector<js::Value> &Args) {
+        [&Bro = B, E = E](js::Interpreter &I,
+                          const std::vector<js::Value> &Args) {
           if (Args.empty() || !Args[0].isString())
             return I.raiseError("createChild expects a tag name");
           Element *Child = E->createChild(Args[0].asString());
           // Structural DOM changes invalidate the page.
           Child->setStyleProperty("display", "block");
           return js::Value::host(
-              std::make_shared<ElementHost>(B, Child));
+              std::make_shared<ElementHost>(Bro, Child));
         });
   if (Name == "addClass")
     return js::makeNativeFunction(
         "addClass",
-        [this](js::Interpreter &I, const std::vector<js::Value> &Args) {
+        [E = E](js::Interpreter &I, const std::vector<js::Value> &Args) {
           if (Args.empty() || !Args[0].isString())
             return I.raiseError("addClass expects a class name");
           E->addClass(Args[0].asString());

@@ -14,7 +14,210 @@
 using namespace greenweb;
 using namespace greenweb::css;
 
+//===----------------------------------------------------------------------===//
+// Ancestor-hint hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FNV-1a over an identifier, namespaced by kind so "#a", ".a", and tag
+/// "a" hash apart. Deliberately not std::hash: the values feed a filter
+/// whose behavior should not vary across standard libraries.
+uint64_t hashIdentifier(char Kind, std::string_view Name) {
+  uint64_t H = 1469598103934665603ull ^ uint8_t(Kind);
+  H *= 1099511628211ull;
+  for (char C : Name) {
+    H ^= uint8_t(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t hashTag(std::string_view Tag) {
+  // Tag matching is ASCII case-insensitive; fold before hashing.
+  uint64_t H = 1469598103934665603ull ^ uint8_t('t');
+  H *= 1099511628211ull;
+  for (char C : Tag) {
+    if (C >= 'A' && C <= 'Z')
+      C = char(C - 'A' + 'a');
+    H ^= uint8_t(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// 256-bit Bloom filter over the identifiers present on an element's
+/// ancestor chain. One hash per identifier keeps inserts cheap; at the
+/// chain sizes seen here (tens of identifiers) the false-positive rate
+/// stays low, and false positives only cost the exact match that would
+/// have run without the filter.
+struct AncestorFilter {
+  uint64_t Bits[4] = {0, 0, 0, 0};
+
+  void insert(uint64_t Hash) {
+    unsigned Bit = Hash & 255;
+    Bits[Bit >> 6] |= uint64_t(1) << (Bit & 63);
+  }
+
+  bool mayContain(uint64_t Hash) const {
+    unsigned Bit = Hash & 255;
+    return Bits[Bit >> 6] & (uint64_t(1) << (Bit & 63));
+  }
+
+  /// All hints present => the selector's ancestor requirements could be
+  /// satisfiable; any absent => the selector cannot match.
+  bool mayMatch(const std::vector<uint64_t> &Hints) const {
+    for (uint64_t Hint : Hints)
+      if (!mayContain(Hint))
+        return false;
+    return true;
+  }
+};
+
+AncestorFilter buildAncestorFilter(const Element &E) {
+  AncestorFilter Filter;
+  for (const Element *A = E.parent(); A; A = A->parent()) {
+    if (!A->id().empty())
+      Filter.insert(hashIdentifier('#', A->id()));
+    for (const std::string &Class : A->classes())
+      Filter.insert(hashIdentifier('.', Class));
+    Filter.insert(hashTag(A->tagName()));
+  }
+  return Filter;
+}
+
+/// Identifier hashes a non-subject compound requires of the ancestor it
+/// binds to. (Child combinators constrain a specific ancestor, but that
+/// ancestor is still on the chain, so the hints stay sound.)
+void appendCompoundHints(const SimpleSelector &Compound,
+                         std::vector<uint64_t> &Hints) {
+  if (!Compound.Id.empty())
+    Hints.push_back(hashIdentifier('#', Compound.Id));
+  for (const std::string &Class : Compound.Classes)
+    Hints.push_back(hashIdentifier('.', Class));
+  if (!Compound.Tag.empty() && Compound.Tag != "*")
+    Hints.push_back(hashTag(Compound.Tag));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Index construction and lookup
+//===----------------------------------------------------------------------===//
+
+void StyleResolver::ensureIndex() const {
+  if (IndexBuilt && IndexedRuleCount == Sheet.Rules.size())
+    return;
+  IdBuckets.clear();
+  ClassBuckets.clear();
+  TagBuckets.clear();
+  UniversalBucket.clear();
+  Cache.clear();
+  for (size_t RuleIdx = 0; RuleIdx < Sheet.Rules.size(); ++RuleIdx) {
+    const StyleRule &Rule = Sheet.Rules[RuleIdx];
+    for (size_t SelIdx = 0; SelIdx < Rule.Selectors.size(); ++SelIdx) {
+      const ComplexSelector &Selector = Rule.Selectors[SelIdx];
+      if (Selector.Compounds.empty())
+        continue; // Matches nothing, like the naive scan.
+      IndexedSelector Indexed;
+      Indexed.RuleIdx = uint32_t(RuleIdx);
+      Indexed.SelIdx = uint32_t(SelIdx);
+      for (size_t I = 0; I + 1 < Selector.Compounds.size(); ++I)
+        appendCompoundHints(Selector.Compounds[I], Indexed.AncestorHints);
+      // Bucket by the subject compound's most selective key. The bucket
+      // key is a necessary condition only; the exact match below still
+      // verifies the full compound.
+      const SimpleSelector &Subject = Selector.Compounds.back();
+      if (!Subject.Id.empty())
+        IdBuckets[Subject.Id].push_back(std::move(Indexed));
+      else if (!Subject.Classes.empty())
+        ClassBuckets[Subject.Classes.front()].push_back(std::move(Indexed));
+      else if (!Subject.Tag.empty() && Subject.Tag != "*")
+        TagBuckets[toLower(Subject.Tag)].push_back(std::move(Indexed));
+      else
+        UniversalBucket.push_back(std::move(Indexed));
+    }
+  }
+  IndexBuilt = true;
+  IndexedRuleCount = Sheet.Rules.size();
+}
+
+std::vector<MatchedRule>
+StyleResolver::matchRulesIndexed(const Element &E) const {
+  ensureIndex();
+  uint64_t Version = E.document().styleVersion();
+  auto Cached = Cache.find(E.nodeId());
+  if (Cached != Cache.end() && Cached->second.Version == Version) {
+    ++Stats.CacheHits;
+    return Cached->second.Matches;
+  }
+  ++Stats.CacheMisses;
+
+  AncestorFilter Filter = buildAncestorFilter(E);
+  // (rule, specificity) per confirmed candidate; folded to the best
+  // specificity per rule below, mirroring the naive scan's choice of
+  // each rule's most specific matching selector.
+  std::vector<std::pair<uint32_t, Specificity>> Confirmed;
+  auto Consider = [&](const std::vector<IndexedSelector> &Bucket) {
+    for (const IndexedSelector &Indexed : Bucket) {
+      ++Stats.Candidates;
+      if (!Filter.mayMatch(Indexed.AncestorHints)) {
+        ++Stats.FastRejects;
+        continue;
+      }
+      const ComplexSelector &Selector =
+          Sheet.Rules[Indexed.RuleIdx].Selectors[Indexed.SelIdx];
+      if (!Selector.matches(E))
+        continue;
+      Confirmed.emplace_back(Indexed.RuleIdx, Selector.specificity());
+    }
+  };
+  if (!E.id().empty())
+    if (auto It = IdBuckets.find(std::string_view(E.id()));
+        It != IdBuckets.end())
+      Consider(It->second);
+  for (const std::string &Class : E.classes())
+    if (auto It = ClassBuckets.find(std::string_view(Class));
+        It != ClassBuckets.end())
+      Consider(It->second);
+  if (auto It = TagBuckets.find(std::string_view(toLower(E.tagName())));
+      It != TagBuckets.end())
+    Consider(It->second);
+  Consider(UniversalBucket);
+
+  // Best specificity per rule (source order is unique per rule, so the
+  // final (Spec, Order) sort gives exactly the naive scan's order).
+  std::sort(Confirmed.begin(), Confirmed.end());
+  std::vector<MatchedRule> Matches;
+  for (size_t I = 0; I < Confirmed.size();) {
+    uint32_t RuleIdx = Confirmed[I].first;
+    Specificity Best = Confirmed[I].second;
+    for (++I; I < Confirmed.size() && Confirmed[I].first == RuleIdx; ++I)
+      if (Best < Confirmed[I].second)
+        Best = Confirmed[I].second;
+    Matches.push_back({&Sheet.Rules[RuleIdx], Best, RuleIdx});
+  }
+  std::sort(Matches.begin(), Matches.end(),
+            [](const MatchedRule &A, const MatchedRule &B) {
+              if (A.Spec != B.Spec)
+                return A.Spec < B.Spec;
+              return A.Order < B.Order;
+            });
+
+  CacheEntry &Entry = Cache[E.nodeId()];
+  Entry.Version = Version;
+  Entry.Matches = Matches;
+  return Matches;
+}
+
 std::vector<MatchedRule> StyleResolver::matchRules(const Element &E) const {
+  if (!IndexEnabled)
+    return matchRulesNaive(E);
+  return matchRulesIndexed(E);
+}
+
+std::vector<MatchedRule>
+StyleResolver::matchRulesNaive(const Element &E) const {
   std::vector<MatchedRule> Matches;
   for (size_t Order = 0; Order < Sheet.Rules.size(); ++Order) {
     const StyleRule &Rule = Sheet.Rules[Order];
@@ -38,6 +241,10 @@ std::vector<MatchedRule> StyleResolver::matchRules(const Element &E) const {
                    });
   return Matches;
 }
+
+//===----------------------------------------------------------------------===//
+// Cascade queries
+//===----------------------------------------------------------------------===//
 
 std::string StyleResolver::computedValue(const Element &E,
                                          std::string_view Property) const {

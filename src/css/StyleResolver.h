@@ -11,6 +11,32 @@
 /// needs: active `transition:` specs and GreenWeb QoS annotations per
 /// element.
 ///
+/// Matching is indexed, following the shape production engines use:
+///
+///  - Rules are bucketed by their subject (rightmost) compound's most
+///    selective key — id, then class, then tag, then universal — so a
+///    lookup only considers selectors whose subject could possibly
+///    match the element.
+///  - Each indexed selector carries ancestor hints: hashes of the
+///    identifiers its non-subject compounds require. A per-lookup Bloom
+///    filter over the element's ancestor chain rejects selectors whose
+///    required ancestors cannot be present, before the exact
+///    right-to-left match runs.
+///  - Matched-rule lists are cached per element (keyed by node id) and
+///    stamped with the Document's style version, which every
+///    id/class/inline-style mutation and subtree attachment bumps.
+///
+/// The index is an exact-output optimization: candidate buckets are a
+/// superset of the matching selectors, every candidate is confirmed
+/// with the same ComplexSelector::matches used by the naive scan, and
+/// results are ordered by (specificity, source order) exactly as
+/// before. matchRulesNaive retains the reference scan for parity tests
+/// and benchmarks.
+///
+/// A resolver instance is bound to one document's lifetime and is not
+/// thread-safe; concurrent simulations each build their own browser
+/// stack (see workloads/ParallelRunner.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GREENWEB_CSS_STYLERESOLVER_H
@@ -19,8 +45,10 @@
 #include "css/CssAst.h"
 #include "css/CssValues.h"
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace greenweb {
@@ -57,6 +85,14 @@ public:
   /// (later entries win).
   std::vector<MatchedRule> matchRules(const Element &E) const;
 
+  /// The reference O(rules x selectors) scan the index replaced. Same
+  /// output as matchRules; kept for parity testing and benchmarking.
+  std::vector<MatchedRule> matchRulesNaive(const Element &E) const;
+
+  /// Disables (or re-enables) the rule index and cache; matchRules then
+  /// falls back to the naive scan. Test/benchmark aid.
+  void setIndexEnabled(bool Enabled) { IndexEnabled = Enabled; }
+
   /// Computed value of \p Property for \p E after the cascade, with the
   /// element's inline style taking highest priority. Empty when unset.
   std::string computedValue(const Element &E,
@@ -84,8 +120,69 @@ public:
 
   const Stylesheet &stylesheet() const { return Sheet; }
 
+  /// Index/cache observability (tests, docs/PERFORMANCE.md numbers).
+  struct IndexStats {
+    uint64_t CacheHits = 0;
+    uint64_t CacheMisses = 0;
+    /// Candidate selectors pulled from buckets across all lookups.
+    uint64_t Candidates = 0;
+    /// Candidates dismissed by the ancestor-hint filter alone.
+    uint64_t FastRejects = 0;
+  };
+  const IndexStats &indexStats() const { return Stats; }
+
 private:
+  /// One selector as stored in a bucket.
+  struct IndexedSelector {
+    uint32_t RuleIdx = 0;
+    uint32_t SelIdx = 0;
+    /// Hashes of identifiers (id/class/tag) that non-subject compounds
+    /// require somewhere on the ancestor chain. If any is missing from
+    /// the element's ancestor filter the selector cannot match.
+    std::vector<uint64_t> AncestorHints;
+  };
+
+  /// Heterogeneous string_view lookup for bucket maps.
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view A, std::string_view B) const {
+      return A == B;
+    }
+  };
+  using BucketMap =
+      std::unordered_map<std::string, std::vector<IndexedSelector>, SvHash,
+                         SvEq>;
+
+  struct CacheEntry {
+    uint64_t Version = 0;
+    std::vector<MatchedRule> Matches;
+  };
+
+  void ensureIndex() const;
+  std::vector<MatchedRule> matchRulesIndexed(const Element &E) const;
+
   const Stylesheet &Sheet;
+  bool IndexEnabled = true;
+
+  /// Lazily built rule index (mutable: matchRules is logically const).
+  mutable bool IndexBuilt = false;
+  mutable size_t IndexedRuleCount = 0;
+  mutable BucketMap IdBuckets;
+  mutable BucketMap ClassBuckets;
+  /// Keyed by ASCII-lowercased tag (matching is case-insensitive).
+  mutable BucketMap TagBuckets;
+  mutable std::vector<IndexedSelector> UniversalBucket;
+
+  /// Per-element matched-rules cache, keyed by Element::nodeId and
+  /// validated against Document::styleVersion.
+  mutable std::unordered_map<uint64_t, CacheEntry> Cache;
+  mutable IndexStats Stats;
 };
 
 } // namespace greenweb::css

@@ -27,6 +27,7 @@ Element::Element(Document &Doc, std::string TagName)
 void Element::setId(std::string NewId) {
   IdValue = std::move(NewId);
   Doc.indexElementId(IdValue, this);
+  Doc.bumpStyleVersion();
 }
 
 bool Element::hasClass(std::string_view Name) const {
@@ -34,8 +35,10 @@ bool Element::hasClass(std::string_view Name) const {
 }
 
 void Element::addClass(std::string Name) {
-  if (!hasClass(Name))
-    Classes.push_back(std::move(Name));
+  if (hasClass(Name))
+    return;
+  Classes.push_back(std::move(Name));
+  Doc.bumpStyleVersion();
 }
 
 void Element::setAttribute(std::string Name, std::string Value) {
@@ -59,6 +62,7 @@ void Element::setStyleProperty(std::string Property, std::string Value) {
   if (Old == Value)
     return;
   Slot = Value;
+  Doc.bumpStyleVersion();
   if (Doc.StyleMutationObserver)
     Doc.StyleMutationObserver(*this, Property, Old, Slot);
 }
@@ -75,6 +79,9 @@ Element *Element::appendChild(std::unique_ptr<Element> Child) {
   assert(!Child->Parent && "child already attached");
   Child->Parent = this;
   Children.push_back(std::move(Child));
+  // Attachment changes ancestor chains, which descendant/child
+  // combinators observe.
+  Doc.bumpStyleVersion();
   return Children.back().get();
 }
 

@@ -184,12 +184,21 @@ public:
                      const std::string &)>
       StyleMutationObserver;
 
+  /// Monotone counter bumped on every mutation that can change selector
+  /// matching anywhere in the tree (id/class/inline-style writes and
+  /// subtree attachment). The style resolver stamps its per-element
+  /// matched-rules cache with this version, so a stale entry is never
+  /// served after a mutation.
+  uint64_t styleVersion() const { return StyleVersion; }
+  void bumpStyleVersion() { ++StyleVersion; }
+
   /// --- Internal (used by Element) ---
   uint64_t takeNodeId() { return NextNodeId++; }
   void indexElementId(const std::string &Id, Element *E);
 
 private:
   uint64_t NextNodeId = 1;
+  uint64_t StyleVersion = 1;
   std::unique_ptr<Element> Root;
   std::map<std::string, Element *, std::less<>> IdIndex;
 };

@@ -67,13 +67,26 @@ void SimThread::postDelayed(SimTask Task, Duration Delay) {
   if (Task.ParentSpan == 0)
     if (SpanTracer *Tr = tracer())
       Task.ParentSpan = Tr->current();
-  // The shared_ptr makes the move-only-ish payload copyable for
-  // std::function. The Alive token drops the task if the thread dies
-  // while the delay is pending.
-  auto Boxed = std::make_shared<SimTask>(std::move(Task));
-  Sim.schedule(Delay, [this, Boxed, Token = Alive] {
-    if (*Token)
-      post(std::move(*Boxed));
+  // Park the payload in a pooled slot (the timer closure stays
+  // copyable for std::function without boxing the task in a fresh
+  // shared_ptr per call). The Alive token drops the task if the thread
+  // dies while the delay is pending; its parked slot dies with the
+  // pool.
+  uint32_t Slot;
+  if (DelayedFree.empty()) {
+    Slot = static_cast<uint32_t>(DelayedPool.size());
+    DelayedPool.emplace_back();
+  } else {
+    Slot = DelayedFree.back();
+    DelayedFree.pop_back();
+  }
+  DelayedPool[Slot] = std::move(Task);
+  Sim.schedule(Delay, [this, Slot, Token = Alive] {
+    if (!*Token)
+      return;
+    SimTask Parked = std::move(DelayedPool[Slot]);
+    DelayedFree.push_back(Slot);
+    post(std::move(Parked));
   });
 }
 

@@ -144,6 +144,10 @@ public:
   /// Total tasks completed (test/diagnostic aid).
   uint64_t tasksCompleted() const { return TasksCompleted; }
 
+  /// Slots ever allocated in the delayed-post task pool (test aid: a
+  /// steady-state workload should plateau here as slots recycle).
+  size_t delayedPoolSlots() const { return DelayedPool.size(); }
+
 private:
   /// The attached hub's span tracer, or nullptr when telemetry is off.
   SpanTracer *tracer() const;
@@ -174,6 +178,13 @@ private:
   TimePoint BusySince;
   Duration BusyAccum;
   uint64_t TasksCompleted = 0;
+
+  /// Delayed-post tasks park here (by slot index) until their timer
+  /// fires, instead of each being boxed in a fresh shared_ptr. A deque
+  /// keeps parked tasks address-stable while the pool grows; freed
+  /// slots recycle LIFO.
+  std::deque<SimTask> DelayedPool;
+  std::vector<uint32_t> DelayedFree;
 
   /// Lifetime token captured by delayed-post events so they become
   /// no-ops if the thread is destroyed first.

@@ -8,15 +8,26 @@
 
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
 using namespace greenweb;
 
+namespace {
+
+/// Compaction kicks in only past this queue size (small queues drain
+/// their stubs lazily just fine) and only when stubs are at least half
+/// the queue, which bounds amortized cost: each compaction erases at
+/// least Heap.size()/2 elements, paying for the O(n) make_heap.
+constexpr size_t CompactionMinQueueSize = 64;
+
+} // namespace
+
 void Simulator::setTelemetry(Telemetry *T) {
   Tel = T;
   if (!Tel) {
-    ScheduledCtr = FiredCtr = nullptr;
+    ScheduledCtr = FiredCtr = CancelledCtr = CompactionsCtr = nullptr;
     QueuePeakGauge = nullptr;
     return;
   }
@@ -24,8 +35,12 @@ void Simulator::setTelemetry(Telemetry *T) {
   MetricsRegistry &M = Tel->metrics();
   ScheduledCtr = &M.counter("sim.events_scheduled");
   FiredCtr = &M.counter("sim.events_fired");
+  CancelledCtr = &M.counter("sim.events_cancelled");
+  CompactionsCtr = &M.counter("sim.queue_compactions");
   QueuePeakGauge = &M.gauge("sim.queue_depth_peak");
   QueuePeak = size_t(QueuePeakGauge->value());
+  ReportedCancelled = uint64_t(CancelledCtr->value());
+  ReportedCompactions = uint64_t(CompactionsCtr->value());
   // Host-side timings vary run to run; keep them out of deterministic
   // snapshots.
   M.gauge("sim.host_seconds");
@@ -36,8 +51,16 @@ void Simulator::noteScheduled() {
   if (!Tel || !Tel->enabled())
     return;
   ScheduledCtr->add();
-  if (Queue.size() > QueuePeak) {
-    QueuePeak = Queue.size();
+  if (Ctrl->TotalCancelled > ReportedCancelled) {
+    CancelledCtr->add(Ctrl->TotalCancelled - ReportedCancelled);
+    ReportedCancelled = Ctrl->TotalCancelled;
+  }
+  if (Compactions > ReportedCompactions) {
+    CompactionsCtr->add(Compactions - ReportedCompactions);
+    ReportedCompactions = Compactions;
+  }
+  if (Heap.size() > QueuePeak) {
+    QueuePeak = Heap.size();
     QueuePeakGauge->set(double(QueuePeak));
   }
 }
@@ -57,41 +80,79 @@ EventHandle Simulator::scheduleAt(TimePoint When, std::function<void()> Fn) {
   assert(Fn && "scheduling a null callback");
   if (When < Now)
     When = Now;
+  maybeCompact();
   Event E;
   E.When = When;
   E.Seq = NextSeq++;
-  E.Fn = std::move(Fn);
-  E.Cancelled = std::make_shared<bool>(false);
-  E.Fired = std::make_shared<bool>(false);
-  if (Tel && Tel->enabled())
-    E.SpanCtx = Tel->spans().current();
+  E.Slot = Ctrl->acquire();
+  if (E.Slot >= Payloads.size())
+    Payloads.resize(E.Slot + 1);
+  Payload &P = Payloads[E.Slot];
+  P.Fn = std::move(Fn);
+  P.SpanCtx = (Tel && Tel->enabled()) ? Tel->spans().current() : 0;
   EventHandle Handle;
-  Handle.Cancelled = E.Cancelled;
-  Handle.Fired = E.Fired;
-  Queue.push(std::move(E));
+  Handle.Slab = Ctrl;
+  Handle.Slot = E.Slot;
+  Handle.Gen = Ctrl->Slots[E.Slot].Gen;
+  Heap.push_back(E);
+  std::push_heap(Heap.begin(), Heap.end(), Later());
   noteScheduled();
   return Handle;
 }
 
+Simulator::Event Simulator::popTop() {
+  std::pop_heap(Heap.begin(), Heap.end(), Later());
+  Event E = Heap.back();
+  Heap.pop_back();
+  return E;
+}
+
+void Simulator::maybeCompact() {
+  if (Heap.size() < CompactionMinQueueSize ||
+      Ctrl->CancelledPending * 2 < Heap.size())
+    return;
+  auto Dead = [this](const Event &E) {
+    if (!Ctrl->cancelled(E.Slot))
+      return false;
+    Payloads[E.Slot].Fn = nullptr;
+    Ctrl->release(E.Slot);
+    return true;
+  };
+  Heap.erase(std::remove_if(Heap.begin(), Heap.end(), Dead), Heap.end());
+  Ctrl->CancelledPending = 0;
+  std::make_heap(Heap.begin(), Heap.end(), Later());
+  ++Compactions;
+}
+
 bool Simulator::fireNext() {
-  while (!Queue.empty()) {
-    Event E = Queue.top();
-    Queue.pop();
-    if (*E.Cancelled)
+  while (!Heap.empty()) {
+    Event E = popTop();
+    if (Ctrl->cancelled(E.Slot)) {
+      --Ctrl->CancelledPending;
+      Payloads[E.Slot].Fn = nullptr;
+      Ctrl->release(E.Slot);
       continue;
+    }
+    // Move the payload out and retire the slot before running Fn: the
+    // event counts as fired the moment it is dequeued, so handles
+    // observed from inside the callback are inert and cancelling them
+    // is a no-op — and the slot is free for immediate reuse by
+    // whatever Fn schedules.
+    Payload P = std::move(Payloads[E.Slot]);
+    Payloads[E.Slot].Fn = nullptr;
+    Ctrl->release(E.Slot);
     assert(E.When >= Now && "event queue went backwards");
     Now = E.When;
-    *E.Fired = true;
     noteFired();
-    if (E.SpanCtx != 0 && Tel && Tel->enabled()) {
-      int64_t Prev = Tel->spans().setCurrent(E.SpanCtx);
-      E.Fn();
+    if (P.SpanCtx != 0 && Tel && Tel->enabled()) {
+      int64_t Prev = Tel->spans().setCurrent(P.SpanCtx);
+      P.Fn();
       // The callback may have detached the hub; only restore into a
       // live tracer.
       if (Tel)
         Tel->spans().setCurrent(Prev);
     } else {
-      E.Fn();
+      P.Fn();
     }
     return true;
   }
@@ -139,13 +200,15 @@ uint64_t Simulator::run(uint64_t Limit) {
 uint64_t Simulator::runUntil(TimePoint Until) {
   RunTimer Timer(Tel, Now);
   uint64_t Count = 0;
-  while (!Queue.empty()) {
+  while (!Heap.empty()) {
     // Drain cancelled stubs so the deadline check sees a live event.
-    if (*Queue.top().Cancelled) {
-      Queue.pop();
+    if (Ctrl->cancelled(Heap.front().Slot)) {
+      Event Stub = popTop();
+      --Ctrl->CancelledPending;
+      Ctrl->release(Stub.Slot);
       continue;
     }
-    if (Queue.top().When > Until)
+    if (Heap.front().When > Until)
       break;
     fireNext();
     ++Count;
@@ -156,17 +219,8 @@ uint64_t Simulator::runUntil(TimePoint Until) {
 }
 
 bool Simulator::idle() const {
-  // The queue may hold cancelled stubs; peek through a copy is expensive,
-  // so treat "only cancelled stubs" conservatively by scanning the
-  // underlying container via a temporary copy only when small. For the
-  // sizes seen in practice this is fine: idle() is used by tests.
-  if (Queue.empty())
-    return true;
-  std::priority_queue<Event, std::vector<Event>, Later> Copy = Queue;
-  while (!Copy.empty()) {
-    if (!*Copy.top().Cancelled)
+  for (const Event &E : Heap)
+    if (!Ctrl->cancelled(E.Slot))
       return false;
-    Copy.pop();
-  }
   return true;
 }

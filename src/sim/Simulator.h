@@ -14,6 +14,19 @@
 /// monotone sequence number breaks ties), so runs are reproducible across
 /// platforms and standard libraries.
 ///
+/// Event control state lives in a pooled slab shared by the simulator and
+/// every EventHandle: one {generation, cancelled} record per in-flight
+/// event, recycled through a free list. Handles address their record by
+/// (slot, generation); once the event fires or its cancelled stub is
+/// drained, the slot's generation is bumped and every outstanding handle
+/// goes inert — so a slot can be reused immediately without a stale
+/// handle ever touching the new occupant. This replaces the previous two
+/// heap-allocated shared_ptr<bool> flags per event.
+///
+/// Cancellation is lazy: cancelled events stay queued as stubs until
+/// they surface or until the queue is compacted (which happens
+/// automatically when stubs dominate the queue; see maybeCompact).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GREENWEB_SIM_SIMULATOR_H
@@ -24,7 +37,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 namespace greenweb {
@@ -33,6 +45,68 @@ class Counter;
 class Gauge;
 class Telemetry;
 
+namespace detail {
+
+/// Pooled per-event control records. Owned jointly (shared_ptr) by the
+/// Simulator and all EventHandles so a handle outliving its simulator
+/// degrades to a harmless no-op instead of dangling.
+struct EventControlSlab {
+  struct Control {
+    /// Bumped every time the slot is recycled; a handle whose stored
+    /// generation no longer matches refers to a dead event.
+    uint32_t Gen = 0;
+    bool Cancelled = false;
+  };
+
+  std::vector<Control> Slots;
+  std::vector<uint32_t> FreeList;
+  /// Cancelled events still sitting in the queue as stubs (the lazy
+  /// deletion debt that compaction clears).
+  size_t CancelledPending = 0;
+  uint64_t TotalCancelled = 0;
+
+  /// Claims a slot for a new event and returns its index. The slot's
+  /// current generation is the one handles must carry.
+  uint32_t acquire() {
+    if (!FreeList.empty()) {
+      uint32_t Slot = FreeList.back();
+      FreeList.pop_back();
+      Slots[Slot].Cancelled = false;
+      return Slot;
+    }
+    Slots.push_back(Control{});
+    return static_cast<uint32_t>(Slots.size() - 1);
+  }
+
+  /// Retires a slot: the generation bump invalidates all handles before
+  /// the slot re-enters circulation.
+  void release(uint32_t Slot) {
+    ++Slots[Slot].Gen;
+    FreeList.push_back(Slot);
+  }
+
+  /// Marks the event cancelled if \p Gen still names a live event.
+  /// Returns true when this call actually cancelled something.
+  bool cancel(uint32_t Slot, uint32_t Gen) {
+    if (Slot >= Slots.size() || Slots[Slot].Gen != Gen ||
+        Slots[Slot].Cancelled)
+      return false;
+    Slots[Slot].Cancelled = true;
+    ++CancelledPending;
+    ++TotalCancelled;
+    return true;
+  }
+
+  bool isActive(uint32_t Slot, uint32_t Gen) const {
+    return Slot < Slots.size() && Slots[Slot].Gen == Gen &&
+           !Slots[Slot].Cancelled;
+  }
+
+  bool cancelled(uint32_t Slot) const { return Slots[Slot].Cancelled; }
+};
+
+} // namespace detail
+
 /// Cancellation handle for a scheduled event. Copies share state; calling
 /// cancel() on any copy prevents the callback from running.
 class EventHandle {
@@ -40,26 +114,28 @@ public:
   EventHandle() = default;
 
   /// Prevents the event from firing. Safe to call repeatedly or after the
-  /// event has already fired (then it is a no-op).
+  /// event has already fired (then it is a no-op: the slot's generation
+  /// has moved on and the slab ignores the stale reference).
   void cancel() {
-    if (Cancelled)
-      *Cancelled = true;
+    if (Slab)
+      Slab->cancel(Slot, Gen);
   }
 
   /// True if the handle refers to a scheduled (not yet fired or cancelled)
   /// event.
-  bool isActive() const { return Cancelled && !*Cancelled && !*Fired; }
+  bool isActive() const { return Slab && Slab->isActive(Slot, Gen); }
 
 private:
   friend class Simulator;
-  std::shared_ptr<bool> Cancelled;
-  std::shared_ptr<bool> Fired;
+  std::shared_ptr<detail::EventControlSlab> Slab;
+  uint32_t Slot = 0;
+  uint32_t Gen = 0;
 };
 
 /// The simulation kernel: a virtual clock plus an event queue.
 class Simulator {
 public:
-  Simulator() = default;
+  Simulator() : Ctrl(std::make_shared<detail::EventControlSlab>()) {}
   Simulator(const Simulator &) = delete;
   Simulator &operator=(const Simulator &) = delete;
 
@@ -84,10 +160,20 @@ public:
 
   /// Number of events currently pending (including cancelled stubs not yet
   /// drained).
-  size_t pendingEvents() const { return Queue.size(); }
+  size_t pendingEvents() const { return Heap.size(); }
 
-  /// True if no live (non-cancelled) events remain.
+  /// True if no live (non-cancelled) events remain. Walks the heap's
+  /// backing vector in place — no copy.
   bool idle() const;
+
+  /// Lazy-deletion statistics: cancelled stubs currently queued, total
+  /// cancellations over the simulator's lifetime, and how many times the
+  /// queue was compacted to evict stubs.
+  size_t cancelledPending() const { return Ctrl->CancelledPending; }
+  uint64_t totalCancelled() const { return Ctrl->TotalCancelled; }
+  uint64_t queueCompactions() const { return Compactions; }
+  /// Pool high-water mark: control slots ever allocated (live + free).
+  size_t controlSlots() const { return Ctrl->Slots.size(); }
 
   /// Attaches (or detaches, with nullptr) a telemetry hub. The hub's
   /// clock is rebound to this simulator, kernel counters are
@@ -101,12 +187,25 @@ private:
   /// Folds queue/event accounting into the attached registry.
   void noteScheduled();
   void noteFired();
+  /// Evicts cancelled stubs in bulk once they dominate the queue, so a
+  /// cancellation-heavy workload cannot make the heap grow without
+  /// bound. Re-heapifies; (When, Seq) ordering of survivors is intact.
+  void maybeCompact();
+
+  /// A heap entry is deliberately a trivially-copyable 24 bytes: heap
+  /// sifts move entries O(log n) times per push/pop, and keeping the
+  /// std::function out of the entry turns each of those moves into a
+  /// plain memcpy instead of an indirect callable-manager call. The
+  /// callback lives in Payloads, indexed by the (stable) control slot.
   struct Event {
     TimePoint When;
     uint64_t Seq;
+    /// Control-slab slot carrying this event's cancelled flag and
+    /// indexing its payload.
+    uint32_t Slot;
+  };
+  struct Payload {
     std::function<void()> Fn;
-    std::shared_ptr<bool> Cancelled;
-    std::shared_ptr<bool> Fired;
     /// Ambient causal span at scheduling time; restored around Fn so
     /// spans begun inside the callback parent under the scheduler's
     /// context (carries causality across IPC delays and timers).
@@ -121,10 +220,21 @@ private:
   };
 
   bool fireNext();
+  /// Removes the front (minimum) heap element and returns it.
+  Event popTop();
 
   TimePoint Now;
   uint64_t NextSeq = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> Queue;
+  /// Min-heap over (When, Seq) maintained with std::push_heap/pop_heap.
+  /// Owning the vector (rather than hiding it in std::priority_queue)
+  /// lets idle() and maybeCompact() walk elements in place.
+  std::vector<Event> Heap;
+  /// Slot-indexed callback storage (parallel to Ctrl->Slots). Written
+  /// once at schedule time, moved out at fire time, cleared on release
+  /// so captured state is not kept alive by a retired slot.
+  std::vector<Payload> Payloads;
+  std::shared_ptr<detail::EventControlSlab> Ctrl;
+  uint64_t Compactions = 0;
 
   /// Optional telemetry hub (owned by the experiment driver). Cached
   /// metric pointers keep the enabled-path cost to a few increments and
@@ -132,8 +242,15 @@ private:
   Telemetry *Tel = nullptr;
   Counter *ScheduledCtr = nullptr;
   Counter *FiredCtr = nullptr;
+  Counter *CancelledCtr = nullptr;
+  Counter *CompactionsCtr = nullptr;
   Gauge *QueuePeakGauge = nullptr;
   size_t QueuePeak = 0;
+  /// Cancellations/compactions already folded into the counters; the
+  /// deltas are published from noteScheduled/noteFired since the slab
+  /// has no back-reference to the hub.
+  uint64_t ReportedCancelled = 0;
+  uint64_t ReportedCompactions = 0;
 };
 
 } // namespace greenweb

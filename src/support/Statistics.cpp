@@ -83,4 +83,21 @@ void RunningStat::add(double X) {
   M2 += Delta * (X - WelfordMean);
 }
 
+void RunningStat::merge(const RunningStat &O) {
+  if (O.N == 0)
+    return;
+  if (N == 0) {
+    *this = O;
+    return;
+  }
+  size_t Total = N + O.N;
+  double Delta = O.WelfordMean - WelfordMean;
+  M2 += O.M2 + Delta * Delta * double(N) * double(O.N) / double(Total);
+  WelfordMean += Delta * double(O.N) / double(Total);
+  Sum += O.Sum;
+  Min = std::min(Min, O.Min);
+  Max = std::max(Max, O.Max);
+  N = Total;
+}
+
 double RunningStat::stddev() const { return std::sqrt(variance()); }

@@ -45,6 +45,11 @@ class RunningStat {
 public:
   void add(double X);
 
+  /// Folds another accumulator into this one (Chan et al. parallel
+  /// Welford update), as if every sample of \p O had been add()ed here.
+  /// Used to merge per-worker telemetry after a parallel sweep.
+  void merge(const RunningStat &O);
+
   size_t count() const { return N; }
   double sum() const { return Sum; }
   double mean() const { return N == 0 ? 0.0 : Sum / double(N); }

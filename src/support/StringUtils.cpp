@@ -119,3 +119,14 @@ std::string greenweb::formatString(const char *Fmt, ...) {
   va_end(ArgsCopy);
   return Result;
 }
+
+std::string greenweb::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}

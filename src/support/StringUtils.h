@@ -47,6 +47,9 @@ std::optional<int64_t> parseInt(std::string_view S);
 /// Parses a floating-point number; rejects trailing junk.
 std::optional<double> parseDouble(std::string_view S);
 
+/// Escapes '"' and '\\' for embedding in a JSON string literal.
+std::string jsonEscape(std::string_view S);
+
 /// printf-style formatting into a std::string.
 std::string formatString(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -50,6 +50,10 @@ public:
   /// Renders the table into a string (used by tests).
   std::string render() const;
 
+  /// Raw cell text, header row first (used by the bench JSON reporter).
+  const std::vector<std::vector<std::string>> &rows() const { return Rows; }
+  const std::string &title() const { return Title; }
+
 private:
   std::string Title;
   std::vector<std::vector<std::string>> Rows;

@@ -32,6 +32,14 @@ void Histogram::observe(double X) {
   Summary.add(X);
 }
 
+void Histogram::mergeFrom(const Histogram &O) {
+  assert(UpperBounds == O.UpperBounds &&
+         "merging histograms with different bucket layouts");
+  for (size_t I = 0; I < Counts.size(); ++I)
+    Counts[I] += O.Counts[I];
+  Summary.merge(O.Summary);
+}
+
 void Histogram::reset() {
   std::fill(Counts.begin(), Counts.end(), 0);
   Summary = RunningStat();
@@ -71,35 +79,56 @@ const std::vector<double> &greenweb::defaultLatencyBucketsMs() {
 // MetricsRegistry
 //===----------------------------------------------------------------------===//
 
-Counter &MetricsRegistry::counter(const std::string &Name) {
-  return Counters[Name];
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  auto It = Counters.find(Name);
+  if (It != Counters.end())
+    return It->second;
+  return Counters.emplace(std::string(Name), Counter()).first->second;
 }
 
-Gauge &MetricsRegistry::gauge(const std::string &Name) {
-  return Gauges[Name];
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  auto It = Gauges.find(Name);
+  if (It != Gauges.end())
+    return It->second;
+  return Gauges.emplace(std::string(Name), Gauge()).first->second;
 }
 
-Histogram &MetricsRegistry::histogram(const std::string &Name,
+Histogram &MetricsRegistry::histogram(std::string_view Name,
                                       const std::vector<double> &Bounds) {
   auto It = Histograms.find(Name);
   if (It != Histograms.end())
     return It->second;
-  return Histograms.emplace(Name, Histogram(Bounds)).first->second;
+  return Histograms.emplace(std::string(Name), Histogram(Bounds))
+      .first->second;
 }
 
-void MetricsRegistry::markVolatile(const std::string &Name) {
+void MetricsRegistry::markVolatile(std::string_view Name) {
   if (!isVolatile(Name))
-    VolatileNames.push_back(Name);
+    VolatileNames.emplace_back(Name);
 }
 
-bool MetricsRegistry::isVolatile(const std::string &Name) const {
+bool MetricsRegistry::isVolatile(std::string_view Name) const {
   return std::find(VolatileNames.begin(), VolatileNames.end(), Name) !=
          VolatileNames.end();
 }
 
-bool MetricsRegistry::has(const std::string &Name) const {
-  return Counters.count(Name) || Gauges.count(Name) ||
-         Histograms.count(Name);
+bool MetricsRegistry::has(std::string_view Name) const {
+  return Counters.find(Name) != Counters.end() ||
+         Gauges.find(Name) != Gauges.end() ||
+         Histograms.find(Name) != Histograms.end();
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry &O) {
+  for (const auto &[Name, C] : O.Counters)
+    counter(Name).add(C.value());
+  for (const auto &[Name, G] : O.Gauges)
+    gauge(Name).set(G.value());
+  for (const auto &[Name, H] : O.Histograms) {
+    Histogram &Mine = histogram(Name, H.upperBounds());
+    Mine.mergeFrom(H);
+  }
+  for (const std::string &Name : O.VolatileNames)
+    markVolatile(Name);
 }
 
 size_t MetricsRegistry::size() const {

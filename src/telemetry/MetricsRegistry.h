@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace greenweb {
@@ -64,6 +65,11 @@ public:
 
   void observe(double X);
 
+  /// Folds another histogram's counts and summary into this one. The
+  /// bucket layouts must match (same registration site in a merged
+  /// registry); asserts otherwise.
+  void mergeFrom(const Histogram &O);
+
   /// Estimated value at quantile \p Q in [0,1] by linear interpolation
   /// within the bucket containing the rank, Prometheus-style. The first
   /// bucket interpolates from the observed minimum and the overflow
@@ -91,20 +97,30 @@ const std::vector<double> &defaultLatencyBucketsMs();
 /// single-threaded); registration is idempotent by name.
 class MetricsRegistry {
 public:
-  /// Returns the counter named \p Name, creating it on first use.
-  Counter &counter(const std::string &Name);
-  Gauge &gauge(const std::string &Name);
+  /// Returns the counter named \p Name, creating it on first use. Keys
+  /// are looked up heterogeneously, so hot paths can pass a
+  /// string_view (or literal) without materializing a std::string.
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
   /// Returns the histogram named \p Name; \p UpperBounds applies only on
   /// first registration (later calls reuse the existing buckets).
-  Histogram &histogram(const std::string &Name,
+  Histogram &histogram(std::string_view Name,
                        const std::vector<double> &UpperBounds);
 
   /// Marks \p Name as host-dependent; volatile metrics are skipped by
   /// snapshots unless IncludeVolatile is set.
-  void markVolatile(const std::string &Name);
+  void markVolatile(std::string_view Name);
 
   /// True if a metric named \p Name exists (any kind).
-  bool has(const std::string &Name) const;
+  bool has(std::string_view Name) const;
+
+  /// Folds another registry into this one: counters add, gauges take
+  /// the other registry's value (last writer wins, matching Gauge::set
+  /// semantics in a sequential merge), histograms merge bucket counts
+  /// and summaries. Metrics absent here are created; volatile marks are
+  /// unioned. Used to combine per-worker registries after a parallel
+  /// sweep, in worker index order for determinism.
+  void mergeFrom(const MetricsRegistry &O);
 
   /// Number of registered metrics.
   size_t size() const;
@@ -120,11 +136,12 @@ public:
   void clear();
 
 private:
-  bool isVolatile(const std::string &Name) const;
+  bool isVolatile(std::string_view Name) const;
 
-  std::map<std::string, Counter> Counters;
-  std::map<std::string, Gauge> Gauges;
-  std::map<std::string, Histogram> Histograms;
+  /// std::less<> enables find(string_view) without a key allocation.
+  std::map<std::string, Counter, std::less<>> Counters;
+  std::map<std::string, Gauge, std::less<>> Gauges;
+  std::map<std::string, Histogram, std::less<>> Histograms;
   std::vector<std::string> VolatileNames;
 };
 

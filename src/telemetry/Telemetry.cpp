@@ -73,10 +73,14 @@ void Telemetry::recordFrameStage(const FrameStageRecord &R) {
       .histogram("browser.stage_" + R.Stage + "_ms",
                  defaultLatencyBucketsMs())
       .observe(R.DurationMs);
-  appendRecord(TelemetryEventKind::FrameStage,
-               {{"frame", R.FrameId},
-                {"stage", R.Stage},
-                {"duration_ms", R.DurationMs}});
+  // Hot per-frame path: build fields in place instead of copying an
+  // initializer list of string-carrying variants.
+  std::vector<TelemetryField> Fields;
+  Fields.reserve(3);
+  Fields.push_back({"frame", R.FrameId});
+  Fields.push_back({"stage", R.Stage});
+  Fields.push_back({"duration_ms", R.DurationMs});
+  appendRecord(TelemetryEventKind::FrameStage, std::move(Fields));
 }
 
 void Telemetry::recordQosViolation(const QosViolationRecord &R) {
@@ -99,16 +103,19 @@ void Telemetry::recordSpan(const SpanTracer::Span &S, bool Truncated) {
   if (!Enabled)
     return;
   Metrics.counter("telemetry.spans").add();
-  appendRecord(TelemetryEventKind::Span,
-               {{"id", S.Id},
-                {"parent", S.Parent},
-                {"root", S.Root},
-                {"frame", S.Frame},
-                {"name", S.Name},
-                {"thread", S.Thread},
-                {"begin_us", S.Begin.nanos() / 1e3},
-                {"dur_ms", (S.End - S.Begin).millis()},
-                {"open", int64_t(Truncated ? 1 : 0)}});
+  // Hot path: one record per completed span.
+  std::vector<TelemetryField> Fields;
+  Fields.reserve(9);
+  Fields.push_back({"id", S.Id});
+  Fields.push_back({"parent", S.Parent});
+  Fields.push_back({"root", S.Root});
+  Fields.push_back({"frame", S.Frame});
+  Fields.push_back({"name", S.Name});
+  Fields.push_back({"thread", S.Thread});
+  Fields.push_back({"begin_us", S.Begin.nanos() / 1e3});
+  Fields.push_back({"dur_ms", (S.End - S.Begin).millis()});
+  Fields.push_back({"open", int64_t(Truncated ? 1 : 0)});
+  appendRecord(TelemetryEventKind::Span, std::move(Fields));
 }
 
 void Telemetry::recordEnergySample(const EnergySampleRecord &R) {

@@ -51,14 +51,14 @@ bool greenweb::telemetryEventKindFromName(const std::string &Name,
   return false;
 }
 
-const TelemetryField *TelemetryRecord::find(const std::string &Key) const {
+const TelemetryField *TelemetryRecord::find(std::string_view Key) const {
   for (const TelemetryField &F : Fields)
     if (F.Key == Key)
       return &F;
   return nullptr;
 }
 
-double TelemetryRecord::numberOr(const std::string &Key,
+double TelemetryRecord::numberOr(std::string_view Key,
                                  double Default) const {
   const TelemetryField *F = find(Key);
   if (!F)
@@ -70,7 +70,7 @@ double TelemetryRecord::numberOr(const std::string &Key,
   return Default;
 }
 
-std::string TelemetryRecord::stringOr(const std::string &Key,
+std::string TelemetryRecord::stringOr(std::string_view Key,
                                       const std::string &Default) const {
   const TelemetryField *F = find(Key);
   if (!F)
@@ -95,16 +95,6 @@ TelemetryLog::byKind(TelemetryEventKind Kind) const {
 }
 
 namespace {
-
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    Out += C;
-  }
-  return Out;
-}
 
 std::string formatFieldNumber(double X) {
   std::string S = formatString("%.6f", X);

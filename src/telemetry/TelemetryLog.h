@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -61,10 +62,12 @@ struct TelemetryRecord {
   TimePoint Ts;
   std::vector<TelemetryField> Fields;
 
-  /// Field lookup helpers (nullptr / nullopt when absent or mistyped).
-  const TelemetryField *find(const std::string &Key) const;
-  double numberOr(const std::string &Key, double Default) const;
-  std::string stringOr(const std::string &Key,
+  /// Field lookup helpers (nullptr / default when absent or mistyped).
+  /// string_view keys let per-record consumers pass literals without a
+  /// std::string allocation per lookup.
+  const TelemetryField *find(std::string_view Key) const;
+  double numberOr(std::string_view Key, double Default) const;
+  std::string stringOr(std::string_view Key,
                        const std::string &Default) const;
 };
 

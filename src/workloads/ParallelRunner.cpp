@@ -1,0 +1,90 @@
+//===- workloads/ParallelRunner.cpp - Parallel scenario fan-out -----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ParallelRunner.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <thread>
+
+using namespace greenweb;
+
+ParallelRunner::ParallelRunner(unsigned JobsIn) : Jobs(JobsIn) {
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+  }
+}
+
+void ParallelRunner::forEachIndex(size_t Count,
+                                  const std::function<void(size_t)> &Fn) {
+  assert(Fn && "forEachIndex with null function");
+  if (Count == 0)
+    return;
+  unsigned Workers = unsigned(std::min<size_t>(Jobs, Count));
+  if (Workers <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Drain = [&] {
+    for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1))
+      Fn(I);
+  };
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers - 1);
+  for (unsigned W = 1; W < Workers; ++W)
+    Threads.emplace_back(Drain);
+  Drain(); // The caller thread is worker 0.
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+std::vector<ExperimentResult>
+greenweb::runExperimentsParallel(const std::vector<ExperimentConfig> &Configs,
+                                 const ParallelExperimentOptions &Opts) {
+  std::vector<ExperimentResult> Results(Configs.size());
+  // Private hubs live until the ordered merge below, even for runs that
+  // finish early.
+  std::vector<std::unique_ptr<Telemetry>> Hubs(
+      Opts.SharedTel ? Configs.size() : 0);
+
+  ParallelRunner Runner(Opts.Jobs);
+  Runner.forEachIndex(Configs.size(), [&](size_t I) {
+    ExperimentConfig Config = Configs[I];
+    if (Opts.SharedTel) {
+      Hubs[I] = std::make_unique<Telemetry>();
+      Hubs[I]->setLogCapacity(Opts.JobLogCapacity);
+      Config.Tel = Hubs[I].get();
+    } else {
+      // A caller-supplied hub would be written from several workers at
+      // once; isolation is the whole contract here.
+      Config.Tel = nullptr;
+    }
+    Results[I] = Opts.MedianSeeds.empty()
+                     ? runExperiment(Config)
+                     : runExperimentMedian(Config, Opts.MedianSeeds);
+    if (Opts.PerJobHook && Opts.SharedTel)
+      Opts.PerJobHook(I, Results[I], *Hubs[I]);
+  });
+
+  if (Opts.SharedTel) {
+    // Deterministic aggregate: always config order, never completion
+    // order. Counters commute, but gauges are last-wins and the merged
+    // log should read like the serial sweep.
+    for (size_t I = 0; I < Hubs.size(); ++I) {
+      Opts.SharedTel->metrics().mergeFrom(Hubs[I]->metrics());
+      for (const TelemetryRecord &R : Hubs[I]->log().records())
+        Opts.SharedTel->log().append(R.Kind, R.Ts, R.Fields);
+    }
+  }
+  return Results;
+}

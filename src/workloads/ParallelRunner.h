@@ -1,0 +1,93 @@
+//===- workloads/ParallelRunner.h - Parallel scenario fan-out ---*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans independent experiment configurations over a thread pool. Each
+/// simulation is fully isolated — its own Simulator, hardware model,
+/// browser stack, and (when requested) its own Telemetry hub — so runs
+/// never share mutable state and every run produces bit-identical
+/// results to a serial execution of the same config. Determinism of the
+/// *aggregate* is preserved by merging per-run telemetry into the shared
+/// hub in configuration index order, never completion order.
+///
+/// The evaluation sweeps (full_evaluation, bench_table3_apps,
+/// bench_fig10_full, bench_fig11_confdist) are embarrassingly parallel:
+/// a sweep is |apps| x |governors| x |seeds| independent simulations
+/// whose only interaction is the final table. This runner is the one
+/// place that fan-out lives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_WORKLOADS_PARALLELRUNNER_H
+#define GREENWEB_WORKLOADS_PARALLELRUNNER_H
+
+#include "workloads/Experiment.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace greenweb {
+
+class Telemetry;
+
+/// A minimal fork-join index pool: run Fn(0..Count-1) across up to
+/// `jobs` threads with dynamic work handout (an atomic next-index
+/// counter, so long and short simulations pack well). With one job (or
+/// one item) everything runs inline on the caller thread — no thread is
+/// ever spawned, which keeps single-job runs exactly as debuggable (and
+/// exactly as ordered) as before the runner existed.
+class ParallelRunner {
+public:
+  /// \p Jobs = 0 selects std::thread::hardware_concurrency (min 1).
+  explicit ParallelRunner(unsigned Jobs = 0);
+
+  unsigned jobs() const { return Jobs; }
+
+  /// Invokes \p Fn(I) once for every I in [0, Count). Blocks until all
+  /// invocations finish. \p Fn must not touch caller state without its
+  /// own synchronization when jobs() > 1.
+  void forEachIndex(size_t Count, const std::function<void(size_t)> &Fn);
+
+private:
+  unsigned Jobs;
+};
+
+/// Options for runExperimentsParallel.
+struct ParallelExperimentOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial inline.
+  unsigned Jobs = 0;
+  /// When set, each run gets a private Telemetry hub whose metrics and
+  /// log are merged into this hub in config index order after the whole
+  /// batch completes. The configs' own Tel pointers are ignored (they
+  /// would race); leave null to run without instrumentation.
+  Telemetry *SharedTel = nullptr;
+  /// Non-empty: run each config through runExperimentMedian over these
+  /// seeds (the paper's three-run protocol). Empty: single runExperiment.
+  std::vector<uint64_t> MedianSeeds;
+  /// Log-record cap applied to each per-run private hub (and therefore
+  /// a bound on merged log growth per run). Defaults to metrics-only,
+  /// the right setting for sweeps; artifact-exporting callers re-run
+  /// the chosen config serially with a full hub instead.
+  size_t JobLogCapacity = 0;
+  /// Optional per-run hook invoked on the worker thread after run I
+  /// completes, with that run's private hub (valid only when SharedTel
+  /// is set). Runs concurrently across workers; touch only the given
+  /// hub and the result.
+  std::function<void(size_t, const ExperimentResult &, Telemetry &)>
+      PerJobHook;
+};
+
+/// Runs every config and returns results in config order (never
+/// completion order). Each config executes exactly as it would serially;
+/// see the file comment for the isolation and merge-order guarantees.
+std::vector<ExperimentResult>
+runExperimentsParallel(const std::vector<ExperimentConfig> &Configs,
+                       const ParallelExperimentOptions &Opts = {});
+
+} // namespace greenweb
+
+#endif // GREENWEB_WORKLOADS_PARALLELRUNNER_H

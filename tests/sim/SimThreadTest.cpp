@@ -259,3 +259,38 @@ TEST_P(SimThreadSpeedSweep, DurationMatchesModel) {
 
 INSTANTIATE_TEST_SUITE_P(Speeds, SimThreadSpeedSweep,
                          ::testing::Values(0.28e9, 0.48e9, 1.28e9, 2.88e9));
+
+TEST(SimThreadTest, DelayedPoolSlotsRecycleInSteadyState) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  int Completed = 0;
+  // Sequential delayed posts: each timer fires and frees its slot
+  // before the next post, so the pool must plateau at one slot instead
+  // of growing per call.
+  for (int I = 0; I < 100; ++I) {
+    Thread.postDelayed(makeTask(1e3, Duration::zero(), [&] { ++Completed; }),
+                       Duration::microseconds(10));
+    Sim.run();
+  }
+  EXPECT_EQ(Completed, 100);
+  EXPECT_EQ(Thread.delayedPoolSlots(), 1u);
+}
+
+TEST(SimThreadTest, DelayedPoolGrowsOnlyToPeakConcurrency) {
+  Simulator Sim;
+  FixedCpu Cpu(1e9);
+  SimThread Thread(Sim, Cpu, "t", 0);
+  int Completed = 0;
+  // Two waves of 8 concurrent delayed posts: the second wave reuses the
+  // first wave's slots.
+  for (int Wave = 0; Wave < 2; ++Wave) {
+    for (int I = 0; I < 8; ++I)
+      Thread.postDelayed(
+          makeTask(1e3, Duration::zero(), [&] { ++Completed; }),
+          Duration::microseconds(10 + I));
+    Sim.run();
+  }
+  EXPECT_EQ(Completed, 16);
+  EXPECT_EQ(Thread.delayedPoolSlots(), 8u);
+}

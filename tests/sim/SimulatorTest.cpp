@@ -149,3 +149,127 @@ TEST_P(SimulatorOrderSweep, MonotoneClock) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SimulatorOrderSweep,
                          ::testing::Values(1, 2, 10, 100, 1000));
+
+// --- Pooled control slab and lazy-deletion behavior -----------------------
+
+TEST(SimulatorPoolTest, SlotsAreRecycledNotGrown) {
+  Simulator Sim;
+  // Sequential schedule/fire churn reuses one slot: the pool high-water
+  // mark must stay tiny regardless of how many events ever existed.
+  for (int I = 0; I < 1000; ++I) {
+    Sim.schedule(Duration::microseconds(1), [] {});
+    Sim.run();
+  }
+  EXPECT_LE(Sim.controlSlots(), 2u);
+}
+
+TEST(SimulatorPoolTest, StaleHandleNeverTouchesRecycledSlot) {
+  Simulator Sim;
+  bool SecondFired = false;
+  EventHandle First = Sim.schedule(Duration::microseconds(1), [] {});
+  Sim.run();
+  // The slot is free again; the next event reuses it with a bumped
+  // generation. Cancelling through the stale handle must be inert.
+  EventHandle Second =
+      Sim.schedule(Duration::microseconds(1), [&] { SecondFired = true; });
+  First.cancel();
+  EXPECT_TRUE(Second.isActive());
+  Sim.run();
+  EXPECT_TRUE(SecondFired);
+}
+
+TEST(SimulatorPoolTest, CancellationStatsTrackStubsAndDrains) {
+  Simulator Sim;
+  std::vector<EventHandle> Handles;
+  for (int I = 0; I < 10; ++I)
+    Handles.push_back(Sim.schedule(Duration::milliseconds(I + 1), [] {}));
+  for (int I = 0; I < 4; ++I)
+    Handles[size_t(I)].cancel();
+  EXPECT_EQ(Sim.cancelledPending(), 4u);
+  EXPECT_EQ(Sim.totalCancelled(), 4u);
+  EXPECT_EQ(Sim.pendingEvents(), 10u); // stubs still queued (lazy)
+  Sim.run();
+  EXPECT_EQ(Sim.cancelledPending(), 0u); // stubs drained at pop
+  EXPECT_EQ(Sim.totalCancelled(), 4u);
+}
+
+TEST(SimulatorPoolTest, CompactionEvictsStubsInBulk) {
+  Simulator Sim;
+  std::vector<EventHandle> Handles;
+  for (int I = 0; I < 200; ++I)
+    Handles.push_back(
+        Sim.schedule(Duration::milliseconds(I + 1000), [] {}));
+  for (EventHandle &H : Handles)
+    H.cancel();
+  EXPECT_EQ(Sim.cancelledPending(), 200u);
+  // The next schedule sees stubs dominating a large queue and compacts.
+  bool Fired = false;
+  Sim.schedule(Duration::milliseconds(1), [&] { Fired = true; });
+  EXPECT_GE(Sim.queueCompactions(), 1u);
+  EXPECT_EQ(Sim.cancelledPending(), 0u);
+  EXPECT_EQ(Sim.pendingEvents(), 1u);
+  Sim.run();
+  EXPECT_TRUE(Fired);
+}
+
+TEST(SimulatorPoolTest, DeterministicOrderUnderCancellationChurn) {
+  // A run whose decoy events are scheduled then cancelled must fire the
+  // surviving events in the same order and at the same instants as a
+  // run that never scheduled the decoys: cancellation stubs and slot
+  // recycling must not perturb (When, Seq) ordering of survivors.
+  auto Run = [](bool WithDecoys) {
+    Simulator Sim;
+    std::vector<std::pair<int, double>> Fires;
+    std::vector<EventHandle> Decoys;
+    for (int I = 0; I < 100; ++I) {
+      int When = (I * 7) % 23;
+      Sim.schedule(Duration::milliseconds(When), [&Fires, I, &Sim] {
+        Fires.push_back({I, Sim.now().millis()});
+      });
+      if (WithDecoys)
+        Decoys.push_back(Sim.schedule(Duration::milliseconds(When),
+                                      [] { ADD_FAILURE(); }));
+    }
+    for (EventHandle &H : Decoys)
+      H.cancel();
+    Sim.run();
+    return Fires;
+  };
+  EXPECT_EQ(Run(false), Run(true));
+}
+
+TEST(SimulatorPoolTest, CallbackCapturesReleasedAfterFire) {
+  Simulator Sim;
+  auto Token = std::make_shared<int>(42);
+  std::weak_ptr<int> Weak = Token;
+  Sim.schedule(Duration::microseconds(1), [Token] { (void)*Token; });
+  Token.reset();
+  EXPECT_FALSE(Weak.expired());
+  Sim.run();
+  // The payload slot must not keep the closure (and its captures) alive
+  // after the event fired.
+  EXPECT_TRUE(Weak.expired());
+}
+
+TEST(SimulatorPoolTest, CancelledCallbackCapturesReleasedOnDrain) {
+  Simulator Sim;
+  auto Token = std::make_shared<int>(7);
+  std::weak_ptr<int> Weak = Token;
+  EventHandle H = Sim.schedule(Duration::microseconds(1), [Token] {});
+  Token.reset();
+  H.cancel();
+  Sim.run(); // drains the stub
+  EXPECT_TRUE(Weak.expired());
+}
+
+TEST(SimulatorPoolTest, HandleOutlivesSimulator) {
+  EventHandle H;
+  {
+    Simulator Sim;
+    H = Sim.schedule(Duration::milliseconds(1), [] {});
+  }
+  // The shared slab keeps the handle's view alive; touching it must be
+  // a harmless slab update, not use-after-free.
+  H.cancel();
+  EXPECT_FALSE(H.isActive());
+}

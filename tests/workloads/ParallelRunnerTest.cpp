@@ -1,0 +1,154 @@
+//===- tests/workloads/ParallelRunnerTest.cpp - parallel fan-out tests ----===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// The runner's contract is determinism: a parallel sweep must produce
+// the same results AND the same aggregated telemetry as the serial run
+// of the same configs, byte for byte. These tests pin that down with
+// jobs=4 vs jobs=1 comparisons on real experiments.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ParallelRunner.h"
+
+#include "telemetry/Telemetry.h"
+#include "workloads/Experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+using namespace greenweb;
+
+namespace {
+
+TEST(ParallelRunnerTest, ZeroJobsSelectsAtLeastOneWorker) {
+  ParallelRunner Runner(0);
+  EXPECT_GE(Runner.jobs(), 1u);
+}
+
+TEST(ParallelRunnerTest, ForEachIndexVisitsEveryIndexExactlyOnce) {
+  ParallelRunner Runner(4);
+  constexpr size_t Count = 200;
+  std::vector<std::atomic<int>> Hits(Count);
+  Runner.forEachIndex(Count, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ParallelRunnerTest, SingleJobRunsInlineInOrder) {
+  ParallelRunner Runner(1);
+  std::vector<size_t> Order;
+  Runner.forEachIndex(10, [&](size_t I) { Order.push_back(I); });
+  ASSERT_EQ(Order.size(), 10u);
+  for (size_t I = 0; I < Order.size(); ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ParallelRunnerTest, EmptyCountIsANoOp) {
+  ParallelRunner Runner(4);
+  bool Called = false;
+  Runner.forEachIndex(0, [&](size_t) { Called = true; });
+  EXPECT_FALSE(Called);
+}
+
+std::vector<ExperimentConfig> sweepConfigs() {
+  std::vector<ExperimentConfig> Configs;
+  for (const char *App : {"CamanJS", "Todo"})
+    for (const char *Gov : {governors::Perf, governors::GreenWebI}) {
+      ExperimentConfig C;
+      C.AppName = App;
+      C.GovernorName = Gov;
+      C.Mode = ExperimentMode::Micro;
+      Configs.push_back(std::move(C));
+    }
+  return Configs;
+}
+
+void expectSameResults(const std::vector<ExperimentResult> &A,
+                       const std::vector<ExperimentResult> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].App, B[I].App);
+    EXPECT_EQ(A[I].Governor, B[I].Governor);
+    EXPECT_DOUBLE_EQ(A[I].TotalJoules, B[I].TotalJoules);
+    EXPECT_DOUBLE_EQ(A[I].MeasuredSeconds, B[I].MeasuredSeconds);
+    EXPECT_EQ(A[I].Frames, B[I].Frames);
+    EXPECT_EQ(A[I].FreqSwitches, B[I].FreqSwitches);
+  }
+}
+
+TEST(ParallelRunnerTest, ParallelResultsMatchSerialInConfigOrder) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+  ParallelExperimentOptions Serial;
+  Serial.Jobs = 1;
+  ParallelExperimentOptions Parallel;
+  Parallel.Jobs = 4;
+  expectSameResults(runExperimentsParallel(Configs, Serial),
+                    runExperimentsParallel(Configs, Parallel));
+}
+
+TEST(ParallelRunnerTest, MergedTelemetryIsByteIdenticalToSerial) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+
+  Telemetry SerialTel;
+  ParallelExperimentOptions Serial;
+  Serial.Jobs = 1;
+  Serial.SharedTel = &SerialTel;
+  Serial.JobLogCapacity = 4096;
+  runExperimentsParallel(Configs, Serial);
+
+  Telemetry ParallelTel;
+  ParallelExperimentOptions Parallel;
+  Parallel.Jobs = 4;
+  Parallel.SharedTel = &ParallelTel;
+  Parallel.JobLogCapacity = 4096;
+  runExperimentsParallel(Configs, Parallel);
+
+  // Metric aggregates merge in config index order, so the snapshot
+  // (volatile host-time metrics excluded) is byte-identical.
+  EXPECT_EQ(SerialTel.metrics().snapshotJson(),
+            ParallelTel.metrics().snapshotJson());
+  // Log records re-append in config index order, so the serialized log
+  // is byte-identical too.
+  EXPECT_EQ(SerialTel.log().toJsonl(), ParallelTel.log().toJsonl());
+  EXPECT_GT(ParallelTel.log().size(), 0u);
+}
+
+TEST(ParallelRunnerTest, PerJobHookSeesEveryRunOnItsPrivateHub) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+  Telemetry Tel;
+  ParallelExperimentOptions Opts;
+  Opts.Jobs = 4;
+  Opts.SharedTel = &Tel;
+  std::mutex Mu;
+  std::vector<size_t> Seen;
+  Opts.PerJobHook = [&](size_t I, const ExperimentResult &R, Telemetry &T) {
+    T.metrics().counter("test.hook_runs").add();
+    EXPECT_FALSE(R.App.empty());
+    std::lock_guard<std::mutex> Lock(Mu);
+    Seen.push_back(I);
+  };
+  runExperimentsParallel(Configs, Opts);
+  EXPECT_EQ(Seen.size(), Configs.size());
+  // Hook-written metrics merge into the shared hub like any other.
+  EXPECT_EQ(Tel.metrics().counter("test.hook_runs").value(),
+            double(Configs.size()));
+}
+
+TEST(ParallelRunnerTest, MedianSeedsRunThroughTheMedianProtocol) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+  Configs.resize(1);
+  ParallelExperimentOptions Opts;
+  Opts.Jobs = 2;
+  Opts.MedianSeeds = {1, 2, 3};
+  std::vector<ExperimentResult> Par = runExperimentsParallel(Configs, Opts);
+  ASSERT_EQ(Par.size(), 1u);
+  ExperimentResult Ref = runExperimentMedian(Configs[0], {1, 2, 3});
+  EXPECT_DOUBLE_EQ(Par[0].TotalJoules, Ref.TotalJoules);
+  EXPECT_EQ(Par[0].Seed, Ref.Seed);
+}
+
+} // namespace
