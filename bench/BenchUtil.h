@@ -15,6 +15,8 @@
 #ifndef GREENWEB_BENCH_BENCHUTIL_H
 #define GREENWEB_BENCH_BENCHUTIL_H
 
+#include "profiling/Profiler.h"
+#include "profiling/RunMeta.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 #include "telemetry/Telemetry.h"
@@ -30,26 +32,87 @@
 
 namespace greenweb::bench {
 
+/// The producing command line, recorded by BenchFlags::parse for the
+/// RunMeta header every artifact carries.
+inline std::string &processCommandLine() {
+  static std::string Line;
+  return Line;
+}
+
 /// Flags every harness understands. Unknown arguments are ignored so
 /// harness-specific flags can coexist.
 ///
-///   --json=<path>  write the harness's results as JSON to <path>
-///   --jobs=N       worker threads for sweep prefetch (0 = hardware)
+///   --json=<path>        write the harness's results as JSON to <path>
+///   --jobs=N             worker threads for sweep prefetch (0 = hardware)
+///   --prof               capture a host-side gw_prof profile
+///   --prof-out=BASE      profile output base (implies --prof)
+///   --prof-sample=MICROS also run the timer sampler (implies --prof)
 struct BenchFlags {
   std::string JsonPath;
-  unsigned Jobs = 1; ///< Benches default to serial; sweeps opt in.
+  unsigned Jobs = 1;    ///< Benches default to serial; sweeps opt in.
+  bool JobsSet = false; ///< True when --jobs was given explicitly.
+  bool Prof = false;
+  std::string ProfOut = "gw-prof";
+  uint64_t ProfSampleMicros = 0;
 
   static BenchFlags parse(int Argc, char **Argv) {
     BenchFlags Flags;
+    processCommandLine() = prof::joinCommandLine(Argc, Argv);
     for (int I = 1; I < Argc; ++I) {
       std::string_view Arg = Argv[I];
       if (startsWith(Arg, "--json="))
         Flags.JsonPath = std::string(Arg.substr(7));
-      else if (startsWith(Arg, "--jobs="))
+      else if (startsWith(Arg, "--jobs=")) {
         Flags.Jobs = unsigned(parseInt(Arg.substr(7)).value_or(1));
+        Flags.JobsSet = true;
+      } else if (Arg == "--prof")
+        Flags.Prof = true;
+      else if (startsWith(Arg, "--prof-out=")) {
+        Flags.ProfOut = std::string(Arg.substr(11));
+        Flags.Prof = true;
+      } else if (startsWith(Arg, "--prof-sample=")) {
+        Flags.ProfSampleMicros =
+            uint64_t(parseInt(Arg.substr(14)).value_or(1000));
+        Flags.Prof = true;
+      }
     }
     return Flags;
   }
+};
+
+/// RAII host-profiling session for a harness main: starts capture when
+/// the flags requested it, and on destruction writes the aggregate
+/// table to stdout plus the profile files next to the harness output.
+class ProfSession {
+public:
+  explicit ProfSession(const BenchFlags &Flags)
+      : Enabled(Flags.Prof), Out(Flags.ProfOut),
+        SampleMicros(Flags.ProfSampleMicros) {
+    if (!Enabled)
+      return;
+    prof::start();
+    if (SampleMicros > 0)
+      prof::startSampler(SampleMicros);
+  }
+
+  ProfSession(const ProfSession &) = delete;
+  ProfSession &operator=(const ProfSession &) = delete;
+
+  ~ProfSession() {
+    if (!Enabled)
+      return;
+    if (SampleMicros > 0)
+      prof::stopSampler();
+    prof::stop();
+    prof::Profile P = prof::collect();
+    std::fputs(prof::reportTable(P).c_str(), stdout);
+    prof::writeProfileFiles(P, Out);
+  }
+
+private:
+  bool Enabled;
+  std::string Out;
+  uint64_t SampleMicros;
 };
 
 /// Collects a harness's results and writes them as one JSON document on
@@ -71,10 +134,12 @@ public:
 
   /// One microbenchmark result. \p RateLabel/\p Rate report the
   /// domain-specific throughput ("events_per_sec", ...); pass an empty
-  /// label when there is none.
+  /// label when there is none. \p SamplesNsPerOp optionally carries the
+  /// raw per-round measurements so gw-diff can test significance.
   void metric(const std::string &Name, uint64_t Iterations, double NsPerOp,
               const std::string &RateLabel = "", double Rate = 0.0,
-              const std::string &Note = "") {
+              const std::string &Note = "",
+              const std::vector<double> &SamplesNsPerOp = {}) {
     std::string E = formatString(
         "    {\"name\":\"%s\",\"iterations\":%llu,\"ns_per_op\":%.3f",
         jsonEscape(Name).c_str(),
@@ -84,17 +149,23 @@ public:
                         Rate);
     if (!Note.empty())
       E += formatString(",\"note\":\"%s\"", jsonEscape(Note).c_str());
+    if (!SamplesNsPerOp.empty())
+      E += ",\"samples_ns_per_op\":" + sampleArray(SamplesNsPerOp);
     E += "}";
     Benchmarks.push_back(std::move(E));
   }
 
   /// One headline scalar ("avg_session_seconds": 42.5, unit "s").
+  /// \p Samples optionally carries the raw per-round measurements.
   void scalar(const std::string &Name, double Value,
-              const std::string &Unit = "") {
+              const std::string &Unit = "",
+              const std::vector<double> &Samples = {}) {
     std::string E = formatString("    {\"name\":\"%s\",\"value\":%.6f",
                                  jsonEscape(Name).c_str(), Value);
     if (!Unit.empty())
       E += formatString(",\"unit\":\"%s\"", jsonEscape(Unit).c_str());
+    if (!Samples.empty())
+      E += ",\"samples\":" + sampleArray(Samples);
     E += "}";
     Scalars.push_back(std::move(E));
   }
@@ -122,6 +193,13 @@ public:
   }
 
 private:
+  static std::string sampleArray(const std::vector<double> &Samples) {
+    std::string A = "[";
+    for (size_t I = 0; I < Samples.size(); ++I)
+      A += formatString(I ? ",%.3f" : "%.3f", Samples[I]);
+    return A + "]";
+  }
+
   void write() const {
     if (Path.empty())
       return;
@@ -132,6 +210,8 @@ private:
     }
     std::string Out =
         formatString("{\n  \"harness\": \"%s\"", jsonEscape(Harness).c_str());
+    Out += ",\n  \"meta\": " +
+           prof::RunMeta::current(processCommandLine()).toJsonObject();
     auto Section = [&Out](const char *Key,
                           const std::vector<std::string> &Entries) {
       if (Entries.empty())
@@ -175,7 +255,8 @@ public:
     if (!Path || !*Path)
       return;
     if (std::FILE *F = std::fopen(Path, "w")) {
-      std::string Json = Tel.metrics().snapshotJson();
+      std::string Json = prof::RunMeta::current(processCommandLine())
+                             .wrapSnapshot(Tel.metrics().snapshotJson());
       std::fwrite(Json.data(), 1, Json.size(), F);
       std::fclose(F);
     }

@@ -25,6 +25,7 @@ using namespace greenweb;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_ablation_ebs", Flags.JsonPath);
   bench::banner("Ablation A7: GreenWeb vs annotation-free EBS",
                 "Sec. 9 related-work comparison (Zhu et al. HPCA'15)");

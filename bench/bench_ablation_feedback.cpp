@@ -17,6 +17,7 @@ using namespace greenweb;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_ablation_feedback", Flags.JsonPath);
   bench::banner("Ablation A1: feedback fine-tuning on/off",
                 "Sec. 6.2 event-based feedback");

@@ -18,6 +18,7 @@ using namespace greenweb;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_ablation_governors", Flags.JsonPath);
   bench::banner("Ablation A4: governor sweep",
                 "Perf / Interactive / Ondemand / Powersave / GreenWeb");

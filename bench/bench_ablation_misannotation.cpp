@@ -19,6 +19,7 @@ using namespace greenweb;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_ablation_misannotation", Flags.JsonPath);
   bench::banner("Ablation A2: mis-annotation defense (UAI)",
                 "Sec. 8 'Defense Against Mis-annotation'");

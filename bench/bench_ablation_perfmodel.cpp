@@ -59,6 +59,7 @@ Duration measureFrameLatency(const AcmpConfig &Config, double WorkKCycles) {
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_ablation_perfmodel", Flags.JsonPath);
   bench::banner("Ablation A5: DVFS performance-model accuracy",
                 "Equ. 1: T = T_independent + N_nonoverlap / f (Sec. 6.2)");

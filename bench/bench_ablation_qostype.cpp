@@ -18,6 +18,7 @@ using namespace greenweb;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_ablation_qostype", Flags.JsonPath);
   bench::banner("Ablation A3: QoS-type confusion",
                 "Sec. 3.2 'Distinguishing between continuous and single "

@@ -17,6 +17,7 @@ using namespace greenweb;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_ablation_recalibration", Flags.JsonPath);
   bench::banner("Ablation A6: recalibration threshold sweep",
                 "Sec. 6.2 consecutive-misprediction re-profiling");

@@ -22,6 +22,7 @@ using namespace greenweb;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_autogreen", Flags.JsonPath);
   bench::banner("AUTOGREEN: automatic annotation",
                 "Classification per app plus auto-vs-manual energy "

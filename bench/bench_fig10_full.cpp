@@ -24,6 +24,7 @@ using bench::ResultCache;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_fig10_full", Flags.JsonPath);
   bench::banner("Fig. 10: full interaction results",
                 "Energy vs Perf/Interactive and QoS violations, Sec. 7.3");

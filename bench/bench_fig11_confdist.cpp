@@ -56,6 +56,7 @@ Distribution summarize(const ExperimentResult &R) {
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_fig11_confdist", Flags.JsonPath);
   bench::banner("Fig. 11: architecture configuration distribution",
                 "Time share per <core, frequency> under GreenWeb-I (11a) "

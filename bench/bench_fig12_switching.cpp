@@ -19,6 +19,7 @@ using bench::ResultCache;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_fig12_switching", Flags.JsonPath);
   bench::banner("Fig. 12: execution configuration switching frequency",
                 "Switches per frame, split into frequency changes and "

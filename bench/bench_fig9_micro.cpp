@@ -21,6 +21,7 @@ using bench::ResultCache;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_fig9_micro", Flags.JsonPath);
   bench::banner("Fig. 9: microbenchmarking results",
                 "Energy normalized to Perf (9a) and QoS violations on top "

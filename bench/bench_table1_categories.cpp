@@ -17,6 +17,7 @@ using namespace greenweb;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_table1_categories", Flags.JsonPath);
   bench::banner("Table 1: QoS categories",
                 "Interactions fall into three categories by QoS type and "

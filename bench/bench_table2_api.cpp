@@ -20,6 +20,7 @@ using namespace greenweb;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_table2_api", Flags.JsonPath);
   bench::banner("Table 2: GreenWeb API specification",
                 "Each API is a new CSS rule specifying QoS information "

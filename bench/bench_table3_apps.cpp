@@ -17,6 +17,7 @@ using bench::ResultCache;
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   bench::JsonReporter Json("bench_table3_apps", Flags.JsonPath);
   bench::banner("Table 3: evaluation applications",
                 "Micro-benchmarking and full-interaction characteristics "

@@ -32,6 +32,7 @@
 #include "workloads/Experiment.h"
 #include "workloads/ParallelRunner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -115,21 +116,29 @@ private:
 struct Measurement {
   uint64_t Ops = 0;
   double Seconds = 0.0;
+  std::vector<double> SamplesNsPerOp; ///< Per-round ns/op, for gw-diff.
   double nsPerOp() const { return Ops ? Seconds / double(Ops) * 1e9 : 0; }
   double opsPerSec() const { return Seconds > 0 ? double(Ops) / Seconds : 0; }
 };
 
 /// Repeats \p Round (which returns the ops it performed) until at least
-/// \p MinSeconds of wall clock accumulate.
+/// \p MinSeconds of wall clock accumulate, timing each round separately
+/// so the JSON output can carry raw samples for significance testing.
 Measurement measure(const std::function<uint64_t()> &Round,
                     double MinSeconds = 0.25) {
   Measurement M;
   auto Start = std::chrono::steady_clock::now();
   do {
-    M.Ops += Round();
-    M.Seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - Start)
-                    .count();
+    auto RoundStart = std::chrono::steady_clock::now();
+    uint64_t Ops = Round();
+    auto RoundEnd = std::chrono::steady_clock::now();
+    M.Ops += Ops;
+    if (Ops)
+      M.SamplesNsPerOp.push_back(
+          std::chrono::duration<double>(RoundEnd - RoundStart).count() /
+          double(Ops) * 1e9);
+    M.Seconds =
+        std::chrono::duration<double>(RoundEnd - Start).count();
   } while (M.Seconds < MinSeconds);
   return M;
 }
@@ -234,6 +243,7 @@ std::unique_ptr<StyleWorld> makeStyleWorld(int Rules, int Elements) {
 
 int main(int Argc, char **Argv) {
   bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
   if (Flags.JsonPath.empty())
     Flags.JsonPath = "BENCH_throughput.json";
   bench::JsonReporter Json("bench_throughput", Flags.JsonPath);
@@ -265,9 +275,11 @@ int main(int Argc, char **Argv) {
   std::printf("event-kernel speedup: %.2fx\n\n", KernelSpeedup);
 
   Json.metric("event_kernel_legacy", Legacy.Ops, Legacy.nsPerOp(),
-              "events_per_sec", Legacy.opsPerSec());
+              "events_per_sec", Legacy.opsPerSec(), "",
+              Legacy.SamplesNsPerOp);
   Json.metric("event_kernel_pooled", Pooled.Ops, Pooled.nsPerOp(),
-              "events_per_sec", Pooled.opsPerSec());
+              "events_per_sec", Pooled.opsPerSec(), "",
+              Pooled.SamplesNsPerOp);
   Json.scalar("event_kernel_speedup", KernelSpeedup, "x");
 
   // --- 2. Style resolution ---
@@ -314,11 +326,14 @@ int main(int Argc, char **Argv) {
               StyleSpeedupCold, StyleSpeedupWarm);
 
   Json.metric("style_naive", Naive.Ops, Naive.nsPerOp(),
-              "recalcs_per_sec", Naive.opsPerSec());
+              "recalcs_per_sec", Naive.opsPerSec(), "",
+              Naive.SamplesNsPerOp);
   Json.metric("style_indexed_cold", Cold.Ops, Cold.nsPerOp(),
-              "recalcs_per_sec", Cold.opsPerSec());
+              "recalcs_per_sec", Cold.opsPerSec(), "",
+              Cold.SamplesNsPerOp);
   Json.metric("style_indexed_warm", Warm.Ops, Warm.nsPerOp(),
-              "recalcs_per_sec", Warm.opsPerSec());
+              "recalcs_per_sec", Warm.opsPerSec(), "",
+              Warm.SamplesNsPerOp);
   Json.scalar("style_speedup_cold", StyleSpeedupCold, "x");
   Json.scalar("style_speedup_warm", StyleSpeedupWarm, "x");
 
@@ -342,23 +357,30 @@ int main(int Argc, char **Argv) {
                std::chrono::steady_clock::now() - Start)
         .count();
   };
-  unsigned HwJobs = ParallelRunner(0).jobs();
+  // Default the parallel leg to hardware concurrency (clamped), but
+  // never below 2: even a single-core host should exercise the
+  // ParallelRunner's threaded path rather than silently degenerate to a
+  // second serial run. --jobs=N overrides (0 = hardware).
+  unsigned HwThreads = ParallelRunner(0).jobs();
+  unsigned SweepJobs = Flags.JobsSet
+                           ? ParallelRunner(Flags.Jobs).jobs()
+                           : std::max(2u, std::min(HwThreads, 16u));
   double Serial = SweepSecs(1);
-  double Parallel = SweepSecs(HwJobs);
+  double Parallel = SweepSecs(SweepJobs);
   double SweepSpeedup = Parallel > 0 ? Serial / Parallel : 0;
 
   TablePrinter Sweep("Scenario sweep (12 simulations)");
   Sweep.row().cell("jobs").cell("wall seconds");
   Sweep.row().cell("1").cell(Serial, 3);
-  Sweep.row().cell(formatString("%u (hardware)", HwJobs)).cell(Parallel, 3);
+  Sweep.row().cell(formatString("%u", SweepJobs)).cell(Parallel, 3);
   Sweep.print();
   std::printf("sweep speedup: %.2fx with %u jobs (%u hardware threads "
               "on this host)\n",
-              SweepSpeedup, HwJobs, HwJobs);
+              SweepSpeedup, SweepJobs, HwThreads);
 
   Json.scalar("sweep_serial_seconds", Serial, "s");
   Json.scalar("sweep_parallel_seconds", Parallel, "s");
-  Json.scalar("sweep_jobs", double(HwJobs));
+  Json.scalar("sweep_jobs", double(SweepJobs));
   Json.scalar("sweep_speedup", SweepSpeedup, "x");
 
   std::printf("\nJSON written to %s\n", Flags.JsonPath.c_str());

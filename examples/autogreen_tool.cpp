@@ -18,7 +18,9 @@
 #include "browser/Browser.h"
 #include "greenweb/GreenWebRuntime.h"
 #include "hw/EnergyMeter.h"
+#include "profiling/Profiler.h"
 #include "support/TablePrinter.h"
+#include "workloads/TelemetryArtifacts.h"
 
 #include <cstdio>
 #include <fstream>
@@ -89,17 +91,26 @@ double replayEnergy(const std::string &Html, unsigned Taps) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // `--prof` and friends apply to the whole pipeline; the first
+  // positional argument is the page to annotate.
+  TelemetryArtifactOptions Artifacts;
+  const char *PagePath = nullptr;
+  for (int I = 1; I < Argc; ++I)
+    if (!Artifacts.parseFlag(Argv[I]))
+      PagePath = Argv[I];
+  Artifacts.beginRun(Argc, Argv);
+
   std::string Html;
-  if (Argc > 1) {
-    std::ifstream In(Argv[1]);
+  if (PagePath) {
+    std::ifstream In(PagePath);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
+      std::fprintf(stderr, "error: cannot open %s\n", PagePath);
       return 1;
     }
     std::ostringstream Buffer;
     Buffer << In.rdbuf();
     Html = Buffer.str();
-    std::printf("AUTOGREEN: annotating %s\n\n", Argv[1]);
+    std::printf("AUTOGREEN: annotating %s\n\n", PagePath);
   } else {
     Html = DemoPage;
     std::printf("AUTOGREEN: annotating the built-in demo page (pass a "
@@ -121,7 +132,7 @@ int main(int Argc, char **Argv) {
 
   // Show the energy effect on the demo page only (an arbitrary user
   // page may not have the demo's element ids to replay against).
-  if (Argc <= 1) {
+  if (!PagePath) {
     double Plain = replayEnergy(Html, 3);
     double Annotated = replayEnergy(Result.AnnotatedHtml, 3);
     TablePrinter Table("3 menu-expand + export interactions under "
@@ -137,6 +148,13 @@ int main(int Argc, char **Argv) {
                 "never boosts, so it is cheap but slow; the annotated "
                 "page spends energy exactly where the QoS targets "
                 "demand it.\n");
+  }
+  if (Artifacts.Prof) {
+    // No telemetry hub here; export the profile directly.
+    if (Artifacts.ProfSampleMicros > 0)
+      prof::stopSampler();
+    prof::stop();
+    prof::writeProfileFiles(prof::collect(), Artifacts.ProfOut);
   }
   return 0;
 }

@@ -30,6 +30,7 @@
 #include "greenweb/Governors.h"
 #include "greenweb/GreenWebRuntime.h"
 #include "hw/EnergyMeter.h"
+#include "profiling/Profiler.h"
 #include "support/TablePrinter.h"
 #include "telemetry/CriticalPath.h"
 #include "telemetry/EnergyAttribution.h"
@@ -251,8 +252,18 @@ int main(int Argc, char **Argv) {
     else if (!Artifacts.parseFlag(Arg))
       Positional.push_back(std::move(Arg));
   }
-  if (Positional.size() < 2)
-    return runSweep(Jobs);
+  Artifacts.beginRun(Argc, Argv);
+  if (Positional.size() < 2) {
+    int Rc = runSweep(Jobs);
+    if (Artifacts.Prof) {
+      // The sweep has no telemetry hub; export the profile directly.
+      if (Artifacts.ProfSampleMicros > 0)
+        prof::stopSampler();
+      prof::stop();
+      prof::writeProfileFiles(prof::collect(), Artifacts.ProfOut);
+    }
+    return Rc;
+  }
 
   ExperimentConfig Config;
   Config.AppName = Positional[0];
@@ -287,7 +298,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   printDetailed(runExperiment(Config));
-  if (Artifacts.any() || Diagnose)
+  if (Artifacts.any() || Artifacts.Prof || Diagnose)
     exportTrace(Config, Artifacts);
   return 0;
 }

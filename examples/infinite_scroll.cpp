@@ -62,7 +62,7 @@ scrollUnder(Governor &Gov, AnnotationRegistry *GovernorRegistry = nullptr,
             const TelemetryArtifactOptions *Artifacts = nullptr) {
   Simulator Sim;
   Telemetry Tel;
-  bool Instrument = Artifacts && Artifacts->any();
+  bool Instrument = Artifacts && (Artifacts->any() || Artifacts->Prof);
   if (Instrument)
     Sim.setTelemetry(&Tel);
   AcmpChip Chip(Sim);
@@ -124,9 +124,11 @@ int main(int Argc, char **Argv) {
     if (!Artifacts.parseFlag(Argv[I])) {
       std::fprintf(stderr,
                    "usage: infinite_scroll [--trace=trace.json] "
-                   "[--log=events.jsonl] [--metrics=metrics.json]\n");
+                   "[--log=events.jsonl] [--metrics=metrics.json] "
+                   "[--prof] [--prof-out=BASE] [--prof-sample=MICROS]\n");
       return 1;
     }
+  Artifacts.beginRun(Argc, Argv);
 
   std::printf("Infinite scroll: the same annotated feed "
               "(`ontouchmove-qos: continuous`) scrolled under four "

@@ -63,7 +63,7 @@ Outcome runEditor(const char *QosRule, unsigned Taps,
                   const TelemetryArtifactOptions *Artifacts = nullptr) {
   Simulator Sim;
   Telemetry Tel;
-  bool Instrument = Artifacts && Artifacts->any();
+  bool Instrument = Artifacts && (Artifacts->any() || Artifacts->Prof);
   if (Instrument)
     Sim.setTelemetry(&Tel);
   AcmpChip Chip(Sim);
@@ -123,9 +123,11 @@ int main(int Argc, char **Argv) {
     if (!Artifacts.parseFlag(Argv[I])) {
       std::fprintf(stderr,
                    "usage: photo_editor [--trace=trace.json] "
-                   "[--log=events.jsonl] [--metrics=metrics.json]\n");
+                   "[--log=events.jsonl] [--metrics=metrics.json] "
+                   "[--prof] [--prof-out=BASE] [--prof-sample=MICROS]\n");
       return 1;
     }
+  Artifacts.beginRun(Argc, Argv);
 
   std::printf("Photo editor: a 350M-cycle filter behind one button.\n"
               "How the annotation changes what the GreenWeb runtime "

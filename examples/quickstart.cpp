@@ -64,7 +64,7 @@ RunOutcome runOnce(Governor &Gov, AnnotationRegistry &Registry,
                    const TelemetryArtifactOptions *Artifacts = nullptr) {
   Simulator Sim;
   Telemetry Tel;
-  bool Instrument = Artifacts && Artifacts->any();
+  bool Instrument = Artifacts && (Artifacts->any() || Artifacts->Prof);
   if (Instrument)
     Sim.setTelemetry(&Tel);
   AcmpChip Chip(Sim);
@@ -115,9 +115,11 @@ int main(int Argc, char **Argv) {
     if (!Artifacts.parseFlag(Argv[I])) {
       std::fprintf(stderr,
                    "usage: quickstart [--trace=trace.json] "
-                   "[--log=events.jsonl] [--metrics=metrics.json]\n");
+                   "[--log=events.jsonl] [--metrics=metrics.json] "
+                   "[--prof] [--prof-out=BASE] [--prof-sample=MICROS]\n");
       return 1;
     }
+  Artifacts.beginRun(Argc, Argv);
 
   std::printf("GreenWeb quickstart: a 2s CSS-transition animation "
               "annotated `ontouchstart-qos: continuous`\n\n");

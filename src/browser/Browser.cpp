@@ -8,6 +8,7 @@
 
 #include "css/CssParser.h"
 #include "html/HtmlParser.h"
+#include "profiling/Profiler.h"
 #include "support/StringUtils.h"
 #include "telemetry/Telemetry.h"
 
@@ -473,6 +474,7 @@ uint64_t Browser::dispatchInput(const std::string &Type,
 uint64_t Browser::dispatchInput(const std::string &Type, Element *Target) {
   if (!PageLoaded)
     return 0;
+  GW_PROF_SCOPE("browser.dispatch_input");
   assert(Target && "dispatching input without a target");
 
   FrameMsg Msg = Tracker.makeMsg(Sim.now(), 0, Type);
@@ -556,6 +558,7 @@ void Browser::scheduleVsyncIfNeeded() {
 }
 
 void Browser::onVsync() {
+  GW_PROF_SCOPE("browser.vsync");
   VsyncScheduled = false;
   if (FrameInFlight)
     return;
@@ -565,6 +568,7 @@ void Browser::onVsync() {
 }
 
 void Browser::beginFrame(TimePoint BeginTime) {
+  GW_PROF_SCOPE("browser.begin_frame");
   assert(!FrameInFlight && "frame already in flight");
   FrameInFlight = true;
   FrameBeginTime = BeginTime;
@@ -675,6 +679,7 @@ int64_t Browser::beginRootSpan(uint64_t RootId, const std::string &Type) {
 }
 
 void Browser::runPipelineStage(unsigned StageIndex) {
+  GW_PROF_SCOPE("browser.pipeline_stage");
   const RenderCostParams &Costs = Options.Costs;
   double Nodes = double(Doc->elementCount());
 

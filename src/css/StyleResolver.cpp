@@ -7,6 +7,7 @@
 #include "css/StyleResolver.h"
 
 #include "dom/Dom.h"
+#include "profiling/Profiler.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -108,6 +109,7 @@ void appendCompoundHints(const SimpleSelector &Compound,
 void StyleResolver::ensureIndex() const {
   if (IndexBuilt && IndexedRuleCount == Sheet.Rules.size())
     return;
+  GW_PROF_SCOPE("css.build_index");
   IdBuckets.clear();
   ClassBuckets.clear();
   TagBuckets.clear();
@@ -144,6 +146,7 @@ void StyleResolver::ensureIndex() const {
 
 std::vector<MatchedRule>
 StyleResolver::matchRulesIndexed(const Element &E) const {
+  GW_PROF_SCOPE("css.match_indexed");
   ensureIndex();
   uint64_t Version = E.document().styleVersion();
   auto Cached = Cache.find(E.nodeId());
@@ -218,6 +221,7 @@ std::vector<MatchedRule> StyleResolver::matchRules(const Element &E) const {
 
 std::vector<MatchedRule>
 StyleResolver::matchRulesNaive(const Element &E) const {
+  GW_PROF_SCOPE("css.match_naive");
   std::vector<MatchedRule> Matches;
   for (size_t Order = 0; Order < Sheet.Rules.size(); ++Order) {
     const StyleRule &Rule = Sheet.Rules[Order];

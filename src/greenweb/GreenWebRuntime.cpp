@@ -8,6 +8,7 @@
 
 #include "browser/Browser.h"
 #include "hw/EnergyMeter.h"
+#include "profiling/Profiler.h"
 #include "support/StringUtils.h"
 #include "telemetry/Telemetry.h"
 
@@ -154,6 +155,7 @@ AcmpConfig GreenWebRuntime::shiftConfig(const AcmpConfig &Config,
 void GreenWebRuntime::applyDesiredConfig() {
   if (!B)
     return;
+  GW_PROF_SCOPE("governor.apply_config");
   if (ActiveEvents.empty()) {
     // Hold the current configuration briefly: a scroll stream delivers
     // a new input within milliseconds and immediate idling would
@@ -212,6 +214,7 @@ void GreenWebRuntime::recordDecisionSpan(Telemetry &T,
 
 void GreenWebRuntime::onFrameReady(const FrameRecord &Frame) {
   assert(B && "frame before attach");
+  GW_PROF_SCOPE("governor.on_frame");
   maybeEngageEnergyBudget();
 
   // An event may appear in several messages of one frame (batched

@@ -1,0 +1,75 @@
+//===- profiling/RunMeta.cpp - Run metadata header ------------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/RunMeta.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <thread>
+
+// Injected by src/profiling/CMakeLists.txt; fall back to placeholders
+// so the file also compiles standalone (e.g. in IDE indexers).
+#ifndef GW_BUILD_GIT_COMMIT
+#define GW_BUILD_GIT_COMMIT "unknown"
+#endif
+#ifndef GW_BUILD_TYPE
+#define GW_BUILD_TYPE "unknown"
+#endif
+#ifndef GW_BUILD_COMPILER
+#define GW_BUILD_COMPILER "unknown"
+#endif
+
+namespace greenweb::prof {
+
+RunMeta RunMeta::current(std::string Flags) {
+  RunMeta M;
+  M.GitCommit = GW_BUILD_GIT_COMMIT;
+  M.BuildType = GW_BUILD_TYPE;
+  M.Compiler = GW_BUILD_COMPILER;
+  M.HardwareThreads = std::max(1u, std::thread::hardware_concurrency());
+  M.Flags = std::move(Flags);
+  return M;
+}
+
+std::string RunMeta::toJsonObject() const {
+  return formatString(
+      "{\"schema\":%d,\"git_commit\":\"%s\",\"build_type\":\"%s\","
+      "\"compiler\":\"%s\",\"hardware_threads\":%u,\"flags\":\"%s\"}",
+      Schema, jsonEscape(GitCommit).c_str(), jsonEscape(BuildType).c_str(),
+      jsonEscape(Compiler).c_str(), HardwareThreads,
+      jsonEscape(Flags).c_str());
+}
+
+std::string RunMeta::toJsonlLine() const {
+  return formatString(
+      "{\"kind\":\"meta\",\"schema\":%d,\"git_commit\":\"%s\","
+      "\"build_type\":\"%s\",\"compiler\":\"%s\",\"hardware_threads\":%u,"
+      "\"flags\":\"%s\"}",
+      Schema, jsonEscape(GitCommit).c_str(), jsonEscape(BuildType).c_str(),
+      jsonEscape(Compiler).c_str(), HardwareThreads,
+      jsonEscape(Flags).c_str());
+}
+
+std::string RunMeta::wrapSnapshot(const std::string &SnapshotJson) const {
+  size_t Brace = SnapshotJson.find('{');
+  if (Brace == std::string::npos)
+    return SnapshotJson;
+  return SnapshotJson.substr(0, Brace + 1) + "\n  \"meta\": " +
+         toJsonObject() + "," + SnapshotJson.substr(Brace + 1);
+}
+
+std::string joinCommandLine(int Argc, char **Argv) {
+  std::string Out;
+  for (int I = 0; I < Argc; ++I) {
+    if (I)
+      Out += ' ';
+    Out += Argv[I];
+  }
+  return Out;
+}
+
+} // namespace greenweb::prof

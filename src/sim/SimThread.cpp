@@ -6,6 +6,7 @@
 
 #include "sim/SimThread.h"
 
+#include "profiling/Profiler.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -94,6 +95,7 @@ void SimThread::startNext() {
   assert(!Running && "thread already running a task");
   if (Queue.empty())
     return;
+  GW_PROF_SCOPE("sim.thread.start_task");
   Running = true;
   Current = std::move(Queue.front());
   Queue.pop_front();

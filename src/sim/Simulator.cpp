@@ -6,6 +6,7 @@
 
 #include "sim/Simulator.h"
 
+#include "profiling/Profiler.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -111,6 +112,7 @@ void Simulator::maybeCompact() {
   if (Heap.size() < CompactionMinQueueSize ||
       Ctrl->CancelledPending * 2 < Heap.size())
     return;
+  GW_PROF_SCOPE("sim.compact");
   auto Dead = [this](const Event &E) {
     if (!Ctrl->cancelled(E.Slot))
       return false;
@@ -190,6 +192,7 @@ private:
 } // namespace
 
 uint64_t Simulator::run(uint64_t Limit) {
+  GW_PROF_SCOPE("sim.run");
   RunTimer Timer(Tel, Now);
   uint64_t Count = 0;
   while (Count < Limit && fireNext())
@@ -198,6 +201,7 @@ uint64_t Simulator::run(uint64_t Limit) {
 }
 
 uint64_t Simulator::runUntil(TimePoint Until) {
+  GW_PROF_SCOPE("sim.run_until");
   RunTimer Timer(Tel, Now);
   uint64_t Count = 0;
   while (!Heap.empty()) {

@@ -10,6 +10,7 @@
 #include "browser/Browser.h"
 #include "greenweb/Governors.h"
 #include "hw/EnergyMeter.h"
+#include "profiling/Profiler.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "telemetry/Telemetry.h"
@@ -420,6 +421,7 @@ static ExperimentResult runMicroExperiment(Harness &H) {
 }
 
 ExperimentResult greenweb::runExperiment(const ExperimentConfig &Config) {
+  GW_PROF_SCOPE("workloads.experiment");
   Harness H(Config);
   if (Config.Mode == ExperimentMode::Full)
     return runFullExperiment(H);

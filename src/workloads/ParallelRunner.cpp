@@ -6,6 +6,7 @@
 
 #include "workloads/ParallelRunner.h"
 
+#include "profiling/Profiler.h"
 #include "telemetry/Telemetry.h"
 
 #include <atomic>
@@ -36,8 +37,11 @@ void ParallelRunner::forEachIndex(size_t Count,
   }
   std::atomic<size_t> Next{0};
   auto Drain = [&] {
-    for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1))
+    GW_PROF_SCOPE("workloads.parallel_worker");
+    for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1)) {
+      GW_PROF_SCOPE("workloads.parallel_item");
       Fn(I);
+    }
   };
   std::vector<std::thread> Threads;
   Threads.reserve(Workers - 1);

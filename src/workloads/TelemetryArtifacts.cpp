@@ -6,6 +6,9 @@
 
 #include "workloads/TelemetryArtifacts.h"
 
+#include "profiling/Profiler.h"
+#include "profiling/RunMeta.h"
+#include "support/StringUtils.h"
 #include "telemetry/Telemetry.h"
 
 #include <cstdio>
@@ -21,8 +24,31 @@ bool TelemetryArtifactOptions::parseFlag(const std::string &Arg) {
     Out = Arg.substr(Len);
     return true;
   };
+  if (Arg == "--prof") {
+    Prof = true;
+    return true;
+  }
+  if (Match("--prof-out=", ProfOut)) {
+    Prof = true;
+    return true;
+  }
+  if (Arg.compare(0, 14, "--prof-sample=") == 0) {
+    ProfSampleMicros =
+        uint64_t(parseInt(std::string_view(Arg).substr(14)).value_or(1000));
+    Prof = true;
+    return true;
+  }
   return Match("--trace=", TracePath) || Match("--log=", LogPath) ||
          Match("--metrics=", MetricsPath);
+}
+
+void TelemetryArtifactOptions::beginRun(int Argc, char **Argv) {
+  CommandLine = prof::joinCommandLine(Argc, Argv);
+  if (!Prof)
+    return;
+  prof::start();
+  if (ProfSampleMicros > 0)
+    prof::startSampler(ProfSampleMicros);
 }
 
 static void writeOne(const std::string &Path, const std::string &Content,
@@ -41,15 +67,37 @@ void greenweb::writeTelemetryArtifacts(
     const TelemetryArtifactOptions &Opts, Telemetry &Tel,
     const std::vector<FrameRecord> &Frames,
     const std::vector<ConfigInterval> &Cpu) {
-  if (!Opts.any())
+  if (!Opts.any() && !Opts.Prof)
     return;
   Tel.flushSpans();
-  if (!Opts.TracePath.empty())
-    writeOne(Opts.TracePath, exportChromeTrace(Frames, Cpu, Tel),
-             "chrome trace");
+  prof::RunMeta Meta = prof::RunMeta::current(Opts.CommandLine);
+
+  prof::Profile Prof;
+  if (Opts.Prof) {
+    if (Opts.ProfSampleMicros > 0)
+      prof::stopSampler();
+    prof::stop();
+    Prof = prof::collect();
+  }
+
+  if (!Opts.TracePath.empty()) {
+    std::string Trace = exportChromeTrace(Frames, Cpu, Tel);
+    if (Opts.Prof) {
+      // Splice the host-time tracks in before the array's closing ']'.
+      std::string Host = prof::perfettoHostTrackJson(Prof);
+      size_t Close = Trace.rfind(']');
+      if (!Host.empty() && Close != std::string::npos)
+        Trace.insert(Close, Host);
+    }
+    writeOne(Opts.TracePath, Trace, "chrome trace");
+  }
   if (!Opts.LogPath.empty())
-    writeOne(Opts.LogPath, Tel.log().toJsonl(), "telemetry event log");
+    writeOne(Opts.LogPath, Meta.toJsonlLine() + "\n" + Tel.log().toJsonl(),
+             "telemetry event log");
   if (!Opts.MetricsPath.empty())
-    writeOne(Opts.MetricsPath, Tel.metrics().snapshotJson(),
+    writeOne(Opts.MetricsPath,
+             Meta.wrapSnapshot(Tel.metrics().snapshotJson()),
              "metrics snapshot");
+  if (Opts.Prof)
+    prof::writeProfileFiles(Prof, Opts.ProfOut);
 }

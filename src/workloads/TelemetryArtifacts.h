@@ -13,6 +13,16 @@
 ///   --log=events.jsonl      structured telemetry event log (JSONL)
 ///   --metrics=metrics.json  metrics registry snapshot
 ///
+/// plus the host-side profiler switches shared by every driver:
+///
+///   --prof                  enable gw_prof scope capture
+///   --prof-out=BASE         output base for profile files (implies --prof)
+///   --prof-sample=MICROS    also run the timer sampler (implies --prof)
+///
+/// Logs and metrics snapshots carry a RunMeta header (schema, commit,
+/// build, compiler, host threads, producing command line) so gw-diff
+/// can refuse apples-to-oranges comparisons.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GREENWEB_WORKLOADS_TELEMETRYARTIFACTS_H
@@ -32,6 +42,10 @@ struct TelemetryArtifactOptions {
   std::string TracePath;
   std::string LogPath;
   std::string MetricsPath;
+  bool Prof = false;            ///< --prof / --prof-out / --prof-sample
+  std::string ProfOut = "gw-prof"; ///< Output base for profile files.
+  uint64_t ProfSampleMicros = 0;   ///< Timer-sampler period (0 = off).
+  std::string CommandLine;         ///< Producing argv, for meta headers.
 
   /// True when at least one artifact was requested (drivers use this to
   /// decide whether to attach a telemetry hub at all).
@@ -40,9 +54,15 @@ struct TelemetryArtifactOptions {
   }
 
   /// Consumes one command-line argument if it is an artifact flag
-  /// (`--trace=PATH`, `--log=PATH`, `--metrics=PATH`). Returns false
-  /// for anything else so positional arguments pass through unchanged.
+  /// (`--trace=PATH`, `--log=PATH`, `--metrics=PATH`, `--prof`,
+  /// `--prof-out=BASE`, `--prof-sample=MICROS`). Returns false for
+  /// anything else so positional arguments pass through unchanged.
   bool parseFlag(const std::string &Arg);
+
+  /// Records the producing command line (for artifact meta headers) and
+  /// starts the host-side profiler when requested. Call once, after
+  /// flag parsing and before the workload runs.
+  void beginRun(int Argc, char **Argv);
 };
 
 /// Writes every requested artifact from \p Tel. Open spans are flushed
@@ -51,6 +71,11 @@ struct TelemetryArtifactOptions {
 /// frame/input/cpu tracks and the input->frame flow arrows; pass empty
 /// vectors when only the telemetry-derived tracks matter. Each written
 /// file is reported on stdout.
+///
+/// Logs get a leading RunMeta JSONL line and metrics snapshots a
+/// leading "meta" member. When profiling was requested the profiler is
+/// stopped here, its host-time spans are spliced into the Chrome trace,
+/// and the profile files (<ProfOut>.collapsed/.txt/...) are written.
 void writeTelemetryArtifacts(const TelemetryArtifactOptions &Opts,
                              Telemetry &Tel,
                              const std::vector<FrameRecord> &Frames = {},

@@ -1,0 +1,275 @@
+//===- tests/profiling/RunCompareTest.cpp - gw-diff core tests ------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/RunCompare.h"
+
+#include "MiniJson.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+using prof::CompareOptions;
+using prof::CompareResult;
+using prof::Direction;
+using prof::RunSnapshot;
+using prof::Verdict;
+
+namespace {
+
+/// A synthetic bench artifact with one timed benchmark (with raw
+/// samples centred on \p NsPerOp) and one sample-free scalar.
+std::string benchJson(double NsPerOp, double SweepSecs,
+                      const char *Commit = "abc1234", int Schema = 1) {
+  std::string Samples = "[";
+  for (int I = 0; I < 12; ++I) {
+    if (I)
+      Samples += ",";
+    // Tight spread: +/-1% around the centre, deterministic.
+    double Jitter = 1.0 + 0.01 * ((I % 3) - 1);
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", NsPerOp * Jitter);
+    Samples += Buf;
+  }
+  Samples += "]";
+  char Head[512];
+  std::snprintf(
+      Head, sizeof(Head),
+      "{\n  \"harness\": \"bench_x\",\n"
+      "  \"meta\": {\"schema\":%d,\"git_commit\":\"%s\",\"build_type\":"
+      "\"Release\",\"compiler\":\"GNU 12.2.0\",\"hardware_threads\":4,"
+      "\"flags\":\"bench_x\"},\n",
+      Schema, Commit);
+  char Body[512];
+  std::snprintf(
+      Body, sizeof(Body),
+      "  \"benchmarks\": [\n"
+      "    {\"name\":\"kernel\",\"iterations\":1000,\"ns_per_op\":%.3f,"
+      "\"events_per_sec\":%.1f,\"samples_ns_per_op\":%s}\n  ],\n"
+      "  \"scalars\": [\n"
+      "    {\"name\":\"sweep_serial_seconds\",\"value\":%.3f,"
+      "\"unit\":\"s\"}\n  ]\n}\n",
+      NsPerOp, 1e9 / NsPerOp, Samples.c_str(), SweepSecs);
+  return std::string(Head) + Body;
+}
+
+RunSnapshot mustParse(const std::string &Text) {
+  std::string Error;
+  auto S = RunSnapshot::parse(Text, &Error);
+  if (!S) {
+    ADD_FAILURE() << "parse failed: " << Error;
+    return RunSnapshot{};
+  }
+  return *S;
+}
+
+const prof::MetricDelta *findDelta(const CompareResult &R,
+                                   const std::string &Name) {
+  for (const prof::MetricDelta &D : R.Deltas)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+TEST(RunCompareTest, BenchParseNormalizesMetrics) {
+  RunSnapshot S = mustParse(benchJson(100.0, 2.0));
+  EXPECT_EQ(S.SourceKind, "bench");
+  EXPECT_EQ(S.Harness, "bench_x");
+  ASSERT_TRUE(S.HasMeta);
+  EXPECT_EQ(S.Meta.GitCommit, "abc1234");
+  EXPECT_EQ(S.Meta.HardwareThreads, 4u);
+
+  const prof::MetricSeries *Ns = S.find("kernel.ns_per_op");
+  ASSERT_NE(Ns, nullptr);
+  EXPECT_DOUBLE_EQ(Ns->Value, 100.0);
+  EXPECT_TRUE(Ns->hasSamples());
+  EXPECT_EQ(Ns->Samples.size(), 12u);
+
+  EXPECT_NE(S.find("kernel.events_per_sec"), nullptr);
+  EXPECT_NE(S.find("sweep_serial_seconds"), nullptr);
+}
+
+TEST(RunCompareTest, DirectionInference) {
+  EXPECT_EQ(prof::metricDirection("kernel.ns_per_op"),
+            Direction::LowerIsBetter);
+  EXPECT_EQ(prof::metricDirection("sweep_serial_seconds"),
+            Direction::LowerIsBetter);
+  // *_per_sec wins over the _seconds suffix check.
+  EXPECT_EQ(prof::metricDirection("kernel.events_per_sec"),
+            Direction::HigherIsBetter);
+  EXPECT_EQ(prof::metricDirection("sweep_speedup"),
+            Direction::HigherIsBetter);
+  EXPECT_EQ(prof::metricDirection("governor.decisions"),
+            Direction::Neutral);
+}
+
+TEST(RunCompareTest, ImprovedRun) {
+  RunSnapshot Base = mustParse(benchJson(100.0, 2.0));
+  RunSnapshot Cand = mustParse(benchJson(70.0, 1.4)); // 30% faster.
+  CompareResult R = prof::compareRuns(Base, Cand);
+  ASSERT_TRUE(R.comparable()) << R.MetaError;
+  EXPECT_FALSE(R.hasRegressions());
+  EXPECT_GE(R.Improved, 2u); // ns_per_op and events_per_sec at least.
+
+  const prof::MetricDelta *D = findDelta(R, "kernel.ns_per_op");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->V, Verdict::Improved);
+  EXPECT_TRUE(D->HasStats);
+  EXPECT_LT(D->PValue, 0.05);
+  EXPECT_LT(D->CiHiPct, 0.0); // Whole CI below zero: a real drop.
+}
+
+TEST(RunCompareTest, RegressedRun) {
+  RunSnapshot Base = mustParse(benchJson(100.0, 2.0));
+  RunSnapshot Cand = mustParse(benchJson(140.0, 2.9)); // 40% slower.
+  CompareResult R = prof::compareRuns(Base, Cand);
+  ASSERT_TRUE(R.comparable());
+  EXPECT_TRUE(R.hasRegressions());
+  const prof::MetricDelta *D = findDelta(R, "kernel.ns_per_op");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->V, Verdict::Regressed);
+  // The sample-free scalar regresses on the threshold alone.
+  const prof::MetricDelta *Sweep = findDelta(R, "sweep_serial_seconds");
+  ASSERT_NE(Sweep, nullptr);
+  EXPECT_EQ(Sweep->V, Verdict::Regressed);
+  EXPECT_FALSE(Sweep->HasStats);
+}
+
+TEST(RunCompareTest, NoisyRunStaysUnchanged) {
+  // 2% shift with overlapping sample spreads, 5% noise threshold.
+  RunSnapshot Base = mustParse(benchJson(100.0, 2.0));
+  RunSnapshot Cand = mustParse(benchJson(102.0, 2.04));
+  CompareResult R = prof::compareRuns(Base, Cand);
+  ASSERT_TRUE(R.comparable());
+  EXPECT_FALSE(R.hasRegressions());
+  const prof::MetricDelta *D = findDelta(R, "kernel.ns_per_op");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->V, Verdict::Unchanged);
+}
+
+TEST(RunCompareTest, DeterministicReports) {
+  RunSnapshot Base = mustParse(benchJson(100.0, 2.0));
+  RunSnapshot Cand = mustParse(benchJson(85.0, 1.8));
+  CompareOptions Opts;
+  CompareResult R1 = prof::compareRuns(Base, Cand, Opts);
+  CompareResult R2 = prof::compareRuns(Base, Cand, Opts);
+  EXPECT_EQ(prof::formatCompareReport(R1, Opts),
+            prof::formatCompareReport(R2, Opts));
+  EXPECT_EQ(prof::compareReportJson(R1, Opts),
+            prof::compareReportJson(R2, Opts));
+  EXPECT_TRUE(minijson::valid(prof::compareReportJson(R1, Opts)));
+}
+
+TEST(RunCompareTest, SchemaMismatchRefuses) {
+  RunSnapshot Base = mustParse(benchJson(100.0, 2.0, "abc1234", 1));
+  RunSnapshot Cand = mustParse(benchJson(100.0, 2.0, "abc1234", 2));
+  CompareResult R = prof::compareRuns(Base, Cand);
+  EXPECT_FALSE(R.comparable());
+  EXPECT_NE(R.MetaError.find("schema"), std::string::npos);
+}
+
+TEST(RunCompareTest, StrictMetaRefusesEnvironmentDiffs) {
+  std::string Other = benchJson(100.0, 2.0);
+  size_t Pos = Other.find("GNU 12.2.0");
+  ASSERT_NE(Pos, std::string::npos);
+  Other.replace(Pos, 10, "Clang 16.0");
+  RunSnapshot Base = mustParse(benchJson(100.0, 2.0));
+  RunSnapshot Cand = mustParse(Other);
+
+  CompareResult Loose = prof::compareRuns(Base, Cand);
+  EXPECT_TRUE(Loose.comparable());
+  EXPECT_FALSE(Loose.MetaWarnings.empty());
+
+  CompareOptions Strict;
+  Strict.StrictMeta = true;
+  CompareResult R = prof::compareRuns(Base, Cand, Strict);
+  EXPECT_FALSE(R.comparable());
+}
+
+TEST(RunCompareTest, MetricsSnapshotIngest) {
+  const char *Snapshot =
+      "{\n  \"meta\": {\"schema\":1,\"git_commit\":\"abc\",\"build_type\":"
+      "\"Release\",\"compiler\":\"g\",\"hardware_threads\":1,\"flags\":\"\"},"
+      "\n  \"counters\": {\"browser.frames\": 12},\n"
+      "  \"gauges\": {\"sim.host_seconds\": 0.5},\n"
+      "  \"histograms\": {\"frame_ms\": {\"count\": 12, \"mean\": 8.0,"
+      " \"p50\": 7.5, \"p95\": 12.0, \"p99\": 15.0}}\n}\n";
+  RunSnapshot S = mustParse(Snapshot);
+  EXPECT_EQ(S.SourceKind, "metrics");
+  EXPECT_TRUE(S.HasMeta);
+  EXPECT_NE(S.find("browser.frames"), nullptr);
+  EXPECT_NE(S.find("sim.host_seconds"), nullptr);
+  const prof::MetricSeries *P95 = S.find("frame_ms.p95");
+  ASSERT_NE(P95, nullptr);
+  EXPECT_DOUBLE_EQ(P95->Value, 12.0);
+}
+
+TEST(RunCompareTest, TelemetryJsonlIngest) {
+  const char *Log =
+      "{\"kind\":\"meta\",\"schema\":1,\"git_commit\":\"abc\","
+      "\"build_type\":\"Release\",\"compiler\":\"g\","
+      "\"hardware_threads\":1,\"flags\":\"\"}\n"
+      "{\"kind\":\"qos_violation\",\"latency_ms\":20.0,\"target_ms\":16.6}\n"
+      "{\"kind\":\"qos_violation\",\"latency_ms\":18.0,\"target_ms\":16.6}\n"
+      "{\"kind\":\"governor_decision\",\"predicted_ms\":9.0}\n";
+  RunSnapshot S = mustParse(Log);
+  EXPECT_EQ(S.SourceKind, "telemetry");
+  EXPECT_TRUE(S.HasMeta);
+  const prof::MetricSeries *Count = S.find("telemetry.qos_violation.count");
+  ASSERT_NE(Count, nullptr);
+  EXPECT_DOUBLE_EQ(Count->Value, 2.0);
+  const prof::MetricSeries *Mean =
+      S.find("telemetry.qos_violation.latency_ms.mean");
+  ASSERT_NE(Mean, nullptr);
+  EXPECT_DOUBLE_EQ(Mean->Value, 19.0);
+}
+
+TEST(RunCompareTest, SourceKindMismatchRefuses) {
+  RunSnapshot Bench = mustParse(benchJson(100.0, 2.0));
+  RunSnapshot Metrics = mustParse(
+      "{\"counters\": {\"x\": 1}, \"gauges\": {}, \"histograms\": {}}");
+  CompareResult R = prof::compareRuns(Bench, Metrics);
+  EXPECT_FALSE(R.comparable());
+}
+
+TEST(RunCompareTest, BaselineOnlyAndCandidateOnly) {
+  RunSnapshot Base = mustParse(
+      "{\"counters\": {\"only.base\": 1, \"shared\": 2}}");
+  RunSnapshot Cand = mustParse(
+      "{\"counters\": {\"only.cand\": 1, \"shared\": 2}}");
+  CompareResult R = prof::compareRuns(Base, Cand);
+  ASSERT_TRUE(R.comparable());
+  const prof::MetricDelta *B = findDelta(R, "only.base");
+  const prof::MetricDelta *C = findDelta(R, "only.cand");
+  ASSERT_NE(B, nullptr);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(B->V, Verdict::BaselineOnly);
+  EXPECT_EQ(C->V, Verdict::CandidateOnly);
+}
+
+TEST(RunCompareTest, MannWhitneySanity) {
+  std::vector<double> A{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> Shifted{11, 12, 13, 14, 15, 16, 17, 18};
+  EXPECT_LT(prof::mannWhitneyPValue(A, Shifted), 0.01);
+  EXPECT_GT(prof::mannWhitneyPValue(A, A), 0.9);
+  EXPECT_DOUBLE_EQ(prof::mannWhitneyPValue({1.0}, {2.0}), 1.0);
+}
+
+TEST(RunCompareTest, BootstrapCiIsDeterministicAndBrackets) {
+  std::vector<double> Base{100, 101, 99, 100, 102, 98, 100, 101};
+  std::vector<double> Cand{80, 81, 79, 80, 82, 78, 80, 81};
+  prof::BootstrapCi Ci1 =
+      prof::bootstrapMeanDeltaCi(Base, Cand, 1000, 42);
+  prof::BootstrapCi Ci2 =
+      prof::bootstrapMeanDeltaCi(Base, Cand, 1000, 42);
+  EXPECT_DOUBLE_EQ(Ci1.LoPct, Ci2.LoPct);
+  EXPECT_DOUBLE_EQ(Ci1.HiPct, Ci2.HiPct);
+  // True delta is -20%; the CI must bracket it and stay negative.
+  EXPECT_LT(Ci1.LoPct, -20.0 + 5.0);
+  EXPECT_GT(Ci1.HiPct, -20.0 - 5.0);
+  EXPECT_LT(Ci1.HiPct, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- tools/gw_diff.cpp - run-comparison regression sentinel ------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// gw-diff compares two run artifacts — bench --json files, metrics
+// snapshots, or telemetry JSONL logs — and classifies every shared
+// metric as improved / regressed / unchanged against a noise
+// threshold, with Mann-Whitney significance and bootstrap confidence
+// intervals for metrics that carry raw sample arrays:
+//
+//   gw-diff --baseline BENCH_throughput.json fresh.json
+//   gw-diff old-metrics.json new-metrics.json --noise-threshold=10
+//   gw-diff a.events.jsonl b.events.jsonl --json=report.json
+//
+// Exit codes: 0 = no regressions, 1 = at least one regression beyond
+// threshold (suppressed by --warn-only), 2 = unusable input or
+// refused comparison (apples-to-oranges metadata; override the
+// environment check with --force).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/RunCompare.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace greenweb;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--baseline] BASELINE [--candidate] CANDIDATE\n"
+      "          [--noise-threshold=PCT] [--alpha=A] [--json=PATH]\n"
+      "          [--warn-only] [--strict-meta] [--force]\n"
+      "\n"
+      "Compares two run artifacts (bench --json, metrics snapshot, or\n"
+      "telemetry JSONL) and reports per-metric verdicts. Exits 1 on\n"
+      "regression beyond the noise threshold unless --warn-only.\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string BaselinePath, CandidatePath, JsonPath;
+  prof::CompareOptions Opts;
+  bool WarnOnly = false;
+  bool Force = false;
+  std::vector<std::string> Positional;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (startsWith(Arg, "--baseline="))
+      BaselinePath = std::string(Arg.substr(11));
+    else if (Arg == "--baseline" && I + 1 < Argc)
+      BaselinePath = Argv[++I];
+    else if (startsWith(Arg, "--candidate="))
+      CandidatePath = std::string(Arg.substr(12));
+    else if (Arg == "--candidate" && I + 1 < Argc)
+      CandidatePath = Argv[++I];
+    else if (startsWith(Arg, "--noise-threshold="))
+      Opts.NoiseThresholdPct =
+          parseDouble(Arg.substr(18)).value_or(Opts.NoiseThresholdPct);
+    else if (startsWith(Arg, "--alpha="))
+      Opts.Alpha = parseDouble(Arg.substr(8)).value_or(Opts.Alpha);
+    else if (startsWith(Arg, "--bootstrap-iters="))
+      Opts.BootstrapIters = uint64_t(
+          parseInt(Arg.substr(18)).value_or(int64_t(Opts.BootstrapIters)));
+    else if (startsWith(Arg, "--json="))
+      JsonPath = std::string(Arg.substr(7));
+    else if (Arg == "--warn-only")
+      WarnOnly = true;
+    else if (Arg == "--strict-meta")
+      Opts.StrictMeta = true;
+    else if (Arg == "--force")
+      Force = true;
+    else if (startsWith(Arg, "--"))
+      return usage(Argv[0]);
+    else
+      Positional.push_back(std::string(Arg));
+  }
+  for (const std::string &P : Positional) {
+    if (BaselinePath.empty())
+      BaselinePath = P;
+    else if (CandidatePath.empty())
+      CandidatePath = P;
+    else
+      return usage(Argv[0]);
+  }
+  if (BaselinePath.empty() || CandidatePath.empty())
+    return usage(Argv[0]);
+
+  std::string Error;
+  auto Base = prof::RunSnapshot::loadFile(BaselinePath, &Error);
+  if (!Base) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  auto Cand = prof::RunSnapshot::loadFile(CandidatePath, &Error);
+  if (!Cand) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  prof::CompareResult R = prof::compareRuns(*Base, *Cand, Opts);
+  if (!R.comparable() && Force &&
+      R.MetaError.find("schema versions differ") == std::string::npos) {
+    // --force overrides environment refusals but never schema ones.
+    std::fprintf(stderr, "warning: %s (continuing under --force)\n",
+                 R.MetaError.c_str());
+    prof::CompareOptions Relaxed = Opts;
+    Relaxed.StrictMeta = false;
+    R = prof::compareRuns(*Base, *Cand, Relaxed);
+  }
+
+  std::printf("baseline:  %s%s\n", BaselinePath.c_str(),
+              Base->HasMeta
+                  ? formatString(" (commit %s, %s, %s, %u threads)",
+                                 Base->Meta.GitCommit.c_str(),
+                                 Base->Meta.BuildType.c_str(),
+                                 Base->Meta.Compiler.c_str(),
+                                 Base->Meta.HardwareThreads)
+                        .c_str()
+                  : " (no metadata header)");
+  std::printf("candidate: %s%s\n\n", CandidatePath.c_str(),
+              Cand->HasMeta
+                  ? formatString(" (commit %s, %s, %s, %u threads)",
+                                 Cand->Meta.GitCommit.c_str(),
+                                 Cand->Meta.BuildType.c_str(),
+                                 Cand->Meta.Compiler.c_str(),
+                                 Cand->Meta.HardwareThreads)
+                        .c_str()
+                  : " (no metadata header)");
+
+  std::string Report = prof::formatCompareReport(R, Opts);
+  std::fputs(Report.c_str(), stdout);
+
+  if (!JsonPath.empty()) {
+    std::string Json = prof::compareReportJson(R, Opts);
+    if (std::FILE *F = std::fopen(JsonPath.c_str(), "w")) {
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
+      std::printf("wrote comparison report to %s\n", JsonPath.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", JsonPath.c_str());
+    }
+  }
+
+  if (!R.comparable())
+    return 2;
+  if (R.hasRegressions()) {
+    std::printf("%s: %zu metric(s) regressed beyond %.1f%%\n",
+                WarnOnly ? "warning" : "FAIL", R.Regressed,
+                Opts.NoiseThresholdPct);
+    return WarnOnly ? 0 : 1;
+  }
+  return 0;
+}

@@ -24,6 +24,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Json.h"
 #include "telemetry/CriticalPath.h"
 #include "telemetry/EnergyAttribution.h"
 #include "telemetry/TelemetryLog.h"
@@ -161,12 +162,39 @@ int main(int Argc, char **Argv) {
   }
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+
+  // Logs written since the RunMeta header landed open with a
+  // {"kind":"meta",...} line; surface it rather than counting it as a
+  // malformed record.
+  size_t MetaLines = 0;
+  {
+    size_t LineEnd = Text.find('\n');
+    std::string_view First(Text.data(), LineEnd == std::string::npos
+                                            ? Text.size()
+                                            : LineEnd);
+    if (First.find("\"kind\":\"meta\"") != std::string_view::npos)
+      if (auto Meta = json::parse(First)) {
+        std::printf("run metadata: commit %s, %s build, %s, %d hardware "
+                    "threads (schema %d)\n",
+                    Meta->stringOr("git_commit", "?").c_str(),
+                    Meta->stringOr("build_type", "?").c_str(),
+                    Meta->stringOr("compiler", "?").c_str(),
+                    int(Meta->numberOr("hardware_threads", 0)),
+                    int(Meta->numberOr("schema", 0)));
+        std::string Flags = Meta->stringOr("flags", "");
+        if (!Flags.empty())
+          std::printf("produced by: %s\n", Flags.c_str());
+        std::printf("\n");
+        MetaLines = 1;
+      }
+  }
 
   size_t Skipped = 0;
-  TelemetryLog Log = TelemetryLog::fromJsonl(Buffer.str(), &Skipped);
-  if (Skipped > 0)
+  TelemetryLog Log = TelemetryLog::fromJsonl(Text, &Skipped);
+  if (Skipped > MetaLines)
     std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
-                 Skipped);
+                 Skipped - MetaLines);
 
   const char *Cmd = Argc > 2 ? Argv[2] : "summary";
   if (std::strcmp(Cmd, "summary") == 0)
