@@ -1,0 +1,330 @@
+//===- examples/chaos_evaluation.cpp - fault-injection evaluation --------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// Runs the named fault scenarios (see FaultPlan::scenario) against one
+// (app, governor) pair and reports the QoS/energy footprint of each
+// fault family, with and without the runtime's graceful-degradation
+// watchdog:
+//
+//   chaos_evaluation                       all scenarios, watchdog off+on
+//   chaos_evaluation thermal vsync         a subset
+//   chaos_evaluation --watchdog=on --json=chaos.json thermal
+//                                          machine-readable results
+//   chaos_evaluation --soak=25 --seed=100  25 randomized chaos plans
+//                                          (nightly CI soak; exit != 0 on
+//                                          any crash or script error)
+//   chaos_evaluation --print-plan=mixed    dump a scenario's JSON plan
+//
+// Flags: --app=NAME (Cnet), --governor=NAME (GreenWeb-I),
+// --watchdog=off|on|both (both), --seed=N (1), plus the shared
+// artifact flags (--log=, --metrics=, --trace=). Artifact export and
+// --json require a single resolved run per scenario, so they refuse
+// --watchdog=both; identical seeds and flags reproduce artifacts
+// byte-for-byte (the CI determinism gate relies on this).
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/FaultPlan.h"
+#include "profiling/RunMeta.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "telemetry/Telemetry.h"
+#include "workloads/Experiment.h"
+#include "workloads/TelemetryArtifacts.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace greenweb;
+
+namespace {
+
+struct Options {
+  /// Cnet is the default chaos workload: its frame-complexity surges
+  /// (Sec. 7) give every fault family observable QoS headroom to eat.
+  std::string App = "Cnet";
+  std::string Governor = governors::GreenWebI;
+  std::string Watchdog = "both"; // off | on | both
+  uint64_t Seed = 1;
+  unsigned Soak = 0;
+  std::string PrintPlan;
+  std::string JsonPath;
+  std::vector<std::string> Scenarios;
+  TelemetryArtifactOptions Artifacts;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: chaos_evaluation [scenario...] [--app=NAME] "
+               "[--governor=NAME]\n"
+               "       [--watchdog=off|on|both] [--seed=N] [--json=PATH]\n"
+               "       [--soak=N] [--print-plan=SCENARIO]\n"
+               "       [--log=events.jsonl] [--metrics=metrics.json] "
+               "[--trace=trace.json]\n"
+               "scenarios: ");
+  for (const std::string &Name : FaultPlan::scenarioNames())
+    std::fprintf(stderr, "%s ", Name.c_str());
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+/// One (scenario, watchdog) cell of the evaluation.
+struct ChaosCell {
+  std::string Scenario;
+  bool Watchdog = false;
+  double Joules = 0.0;
+  double ViolationPct = 0.0;
+  uint64_t FaultEvents = 0;
+  uint64_t WatchdogTrips = 0;
+  uint64_t WatchdogReengages = 0;
+  size_t ScriptErrors = 0;
+};
+
+GreenWebRuntime::Params watchdogParams() {
+  GreenWebRuntime::Params P;
+  P.EnableWatchdog = true;
+  return P;
+}
+
+ChaosCell runCell(const Options &Opts, const std::string &Scenario,
+                  const FaultPlan &Plan, bool Watchdog, Telemetry *Tel) {
+  ExperimentConfig Config;
+  Config.AppName = Opts.App;
+  Config.GovernorName = Opts.Governor;
+  Config.Seed = Opts.Seed;
+  Config.Faults = Plan;
+  if (Watchdog)
+    Config.RuntimeParams = watchdogParams();
+  if (Tel) {
+    Config.Tel = Tel;
+    Config.MeterSamplePeriod = Duration::milliseconds(1);
+  }
+  ExperimentResult R = runExperiment(Config);
+
+  ChaosCell Cell;
+  Cell.Scenario = Scenario;
+  Cell.Watchdog = Watchdog;
+  Cell.Joules = R.TotalJoules;
+  bool Usable = Opts.Governor == governors::GreenWebU;
+  Cell.ViolationPct =
+      Usable ? R.ViolationPctUsable : R.ViolationPctImperceptible;
+  Cell.FaultEvents = R.Faults.total();
+  Cell.WatchdogTrips = R.RuntimeStats.WatchdogTrips;
+  Cell.WatchdogReengages = R.RuntimeStats.WatchdogReengages;
+  Cell.ScriptErrors = R.ScriptErrors.size();
+  return Cell;
+}
+
+/// Writes the bench-style JSON document gw-diff consumes: a harness
+/// name, a RunMeta header, and one violation/energy scalar pair per
+/// scenario (flat names so the same flags on a watchdog-off and a
+/// watchdog-on run produce directly comparable files).
+void writeJson(const std::string &Path, const std::string &CommandLine,
+               const std::vector<ChaosCell> &Cells) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::string Out = "{\n  \"harness\": \"chaos_evaluation\"";
+  Out += ",\n  \"meta\": " +
+         prof::RunMeta::current(CommandLine).toJsonObject();
+  Out += ",\n  \"scalars\": [\n";
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    const ChaosCell &C = Cells[I];
+    Out += formatString("    {\"name\":\"chaos.%s.violation_pct\","
+                        "\"value\":%.6f,\"unit\":\"%%\"},\n",
+                        jsonEscape(C.Scenario).c_str(), C.ViolationPct);
+    Out += formatString("    {\"name\":\"chaos.%s.joules\","
+                        "\"value\":%.6f,\"unit\":\"J\"}%s\n",
+                        jsonEscape(C.Scenario).c_str(), C.Joules,
+                        I + 1 < Cells.size() ? "," : "");
+  }
+  Out += "  ]\n}\n";
+  std::fwrite(Out.data(), 1, Out.size(), F);
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
+/// The nightly soak: randomized chaos plans across a seed range, all
+/// with the watchdog engaged. Any crash aborts the process (nonzero by
+/// itself); script errors fail the seed, and a soak where *no* plan
+/// lands a single injection fails as a whole (the injector is wired
+/// out). Zero injections on one seed alone is legitimate — a sparse
+/// spike window can miss every callback draw — so it only warns.
+int runSoak(const Options &Opts) {
+  std::printf("chaos soak: %u randomized plans (seeds %llu..%llu), "
+              "%s under %s, watchdog on\n\n",
+              Opts.Soak, static_cast<unsigned long long>(Opts.Seed),
+              static_cast<unsigned long long>(Opts.Seed + Opts.Soak - 1),
+              Opts.App.c_str(), Opts.Governor.c_str());
+  unsigned Failures = 0;
+  uint64_t TotalInjections = 0;
+  for (unsigned I = 0; I < Opts.Soak; ++I) {
+    uint64_t Seed = Opts.Seed + I;
+    FaultPlan Plan = FaultPlan::chaosPlan(Seed);
+    Options Run = Opts;
+    Run.Seed = Seed;
+    // Metrics-only hub: runCell turns on DAQ-style meter sampling when
+    // a hub is present, so meter_noise plans exercise their hot path;
+    // capacity 0 keeps a 25-seed soak from growing 25 full logs.
+    Telemetry Tel;
+    Tel.setLogCapacity(0);
+    ChaosCell Cell =
+        runCell(Run, formatString("chaos-%llu",
+                                  static_cast<unsigned long long>(Seed)),
+                Plan, /*Watchdog=*/true, &Tel);
+    TotalInjections += Cell.FaultEvents;
+    bool Ok = Cell.ScriptErrors == 0;
+    std::printf("  seed %-6llu %zu faults -> %6llu injections, "
+                "%5.2f%% violations, %.1f mJ, %llu trips%s\n",
+                static_cast<unsigned long long>(Seed), Plan.Faults.size(),
+                static_cast<unsigned long long>(Cell.FaultEvents),
+                Cell.ViolationPct, Cell.Joules * 1e3,
+                static_cast<unsigned long long>(Cell.WatchdogTrips),
+                Ok ? "" : "  FAILED");
+    Failures += Ok ? 0 : 1;
+  }
+  if (TotalInjections == 0) {
+    std::printf("\nsoak FAILED: no plan landed a single injection — the "
+                "fault injector is not reaching the run\n");
+    return 1;
+  }
+  std::printf("\nsoak %s: %u/%u plans clean, %llu injections total\n",
+              Failures ? "FAILED" : "passed", Opts.Soak - Failures,
+              Opts.Soak, static_cast<unsigned long long>(TotalInjections));
+  return Failures ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--app=", 0) == 0)
+      Opts.App = Arg.substr(6);
+    else if (Arg.rfind("--governor=", 0) == 0)
+      Opts.Governor = Arg.substr(11);
+    else if (Arg.rfind("--watchdog=", 0) == 0)
+      Opts.Watchdog = Arg.substr(11);
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Opts.Seed = uint64_t(std::atoll(Arg.c_str() + 7));
+    else if (Arg.rfind("--soak=", 0) == 0)
+      Opts.Soak = unsigned(std::atoi(Arg.c_str() + 7));
+    else if (Arg.rfind("--print-plan=", 0) == 0)
+      Opts.PrintPlan = Arg.substr(13);
+    else if (Arg.rfind("--json=", 0) == 0)
+      Opts.JsonPath = Arg.substr(7);
+    else if (Opts.Artifacts.parseFlag(Arg))
+      ;
+    else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", Arg.c_str());
+      return usage();
+    } else
+      Opts.Scenarios.push_back(Arg);
+  }
+  if (Opts.Watchdog != "off" && Opts.Watchdog != "on" &&
+      Opts.Watchdog != "both") {
+    std::fprintf(stderr, "error: --watchdog takes off|on|both\n");
+    return usage();
+  }
+
+  if (!Opts.PrintPlan.empty()) {
+    std::optional<FaultPlan> Plan =
+        FaultPlan::scenario(Opts.PrintPlan, Opts.Seed);
+    if (!Plan) {
+      std::fprintf(stderr, "error: unknown scenario '%s'\n",
+                   Opts.PrintPlan.c_str());
+      return usage();
+    }
+    std::printf("%s\n", Plan->toJson().c_str());
+    return 0;
+  }
+
+  Opts.Artifacts.beginRun(Argc, Argv);
+  if (Opts.Soak > 0)
+    return runSoak(Opts);
+
+  if (Opts.Scenarios.empty())
+    Opts.Scenarios = FaultPlan::scenarioNames();
+  for (const std::string &Name : Opts.Scenarios)
+    if (!FaultPlan::scenario(Name, Opts.Seed)) {
+      std::fprintf(stderr, "error: unknown scenario '%s'\n", Name.c_str());
+      return usage();
+    }
+
+  bool SingleMode = Opts.Watchdog != "both";
+  if (!Opts.JsonPath.empty() && !SingleMode) {
+    std::fprintf(stderr, "error: --json needs --watchdog=off or on (one "
+                         "comparable run per scenario)\n");
+    return usage();
+  }
+  if (Opts.Artifacts.any() &&
+      (!SingleMode || Opts.Scenarios.size() != 1)) {
+    std::fprintf(stderr, "error: artifact export needs a single scenario "
+                         "and --watchdog=off or on\n");
+    return usage();
+  }
+
+  std::printf("chaos evaluation: %s under %s, seed %llu\n\n",
+              Opts.App.c_str(), Opts.Governor.c_str(),
+              static_cast<unsigned long long>(Opts.Seed));
+
+  // Artifact runs get an attached hub so the fault windows, injections,
+  // watchdog decisions, and energy samples all land in the export.
+  std::optional<Telemetry> Tel;
+  if (Opts.Artifacts.any())
+    Tel.emplace();
+
+  std::vector<ChaosCell> Cells;
+  for (const std::string &Name : Opts.Scenarios) {
+    FaultPlan Plan = *FaultPlan::scenario(Name, Opts.Seed);
+    if (Opts.Watchdog != "on")
+      Cells.push_back(runCell(Opts, Name, Plan, /*Watchdog=*/false,
+                              Tel ? &*Tel : nullptr));
+    if (Opts.Watchdog != "off")
+      Cells.push_back(runCell(Opts, Name, Plan, /*Watchdog=*/true,
+                              Tel ? &*Tel : nullptr));
+  }
+
+  TablePrinter Table;
+  Table.row()
+      .cell("Scenario")
+      .cell("Watchdog")
+      .cell("Energy (mJ)")
+      .cell("Violations (%)")
+      .cell("Fault events")
+      .cell("Trips")
+      .cell("Re-engages");
+  for (const ChaosCell &C : Cells)
+    Table.row()
+        .cell(C.Scenario)
+        .cell(C.Watchdog ? "on" : "off")
+        .cell(C.Joules * 1e3, 1)
+        .cell(C.ViolationPct, 2)
+        .cell(int64_t(C.FaultEvents))
+        .cell(int64_t(C.WatchdogTrips))
+        .cell(int64_t(C.WatchdogReengages));
+  Table.print();
+
+  if (Opts.Watchdog == "both") {
+    std::printf("\nWatchdog deltas (violations under faults, on vs off):\n");
+    for (size_t I = 0; I + 1 < Cells.size(); I += 2) {
+      const ChaosCell &Off = Cells[I], &On = Cells[I + 1];
+      std::printf("  %-10s %5.2f%% -> %5.2f%%  (energy %.1f -> %.1f mJ)\n",
+                  Off.Scenario.c_str(), Off.ViolationPct, On.ViolationPct,
+                  Off.Joules * 1e3, On.Joules * 1e3);
+    }
+  }
+
+  if (!Opts.JsonPath.empty())
+    writeJson(Opts.JsonPath, prof::joinCommandLine(Argc, Argv), Cells);
+  if (Tel)
+    writeTelemetryArtifacts(Opts.Artifacts, *Tel);
+  return 0;
+}

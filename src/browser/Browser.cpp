@@ -7,6 +7,7 @@
 #include "browser/Browser.h"
 
 #include "css/CssParser.h"
+#include "faults/FaultInjector.h"
 #include "html/HtmlParser.h"
 #include "profiling/Profiler.h"
 #include "support/StringUtils.h"
@@ -503,7 +504,17 @@ void Browser::dispatchToRenderer(FrameMsg Msg, std::string Type,
   Callback.Label = "callback:" + Type;
   Callback.ComputeCost = [this, Msg, Type, Target]() -> TaskCost {
     runInputCallback(Msg, Type, Target);
-    return takeScriptCost();
+    TaskCost Cost = takeScriptCost();
+    // Injected cost spikes (GC pause, cold cache, rogue script) scale
+    // the whole callback, frequency-dependent and fixed parts alike.
+    if (FaultInjector *F = Sim.faultInjector()) {
+      double Scale = F->callbackCostScale();
+      if (Scale != 1.0) {
+        Cost.Cycles *= Scale;
+        Cost.FixedTime = Cost.FixedTime * Scale;
+      }
+    }
+    return Cost;
   };
   Callback.OnComplete = [this, Root = Msg.RootId] { releaseRoot(Root); };
   Main->post(std::move(Callback));
@@ -553,6 +564,11 @@ void Browser::scheduleVsyncIfNeeded() {
   int64_t Interval = Options.VsyncInterval.nanos();
   int64_t Now = Sim.now().nanos();
   int64_t NextTick = (Now / Interval + 1) * Interval;
+  // An injected display fault can land the tick late. Keyed by display
+  // slot, so the jitter is bounded below one interval and never pushes
+  // the tick into the next slot.
+  if (FaultInjector *F = Sim.faultInjector())
+    NextTick += F->vsyncJitter(NextTick / Interval).nanos();
   VsyncScheduled = true;
   scheduleGuardedAt(TimePoint::fromNanos(NextTick), [this] { onVsync(); });
 }
@@ -564,6 +580,15 @@ void Browser::onVsync() {
     return;
   if (!Tracker.hasQueuedMsgs() && !animationsWantFrame())
     return;
+  // Checked only on work-bearing ticks; the decision is a function of
+  // the display slot, so idle time and frame pacing cannot shift which
+  // ticks are faulty.
+  if (FaultInjector *F = Sim.faultInjector();
+      F && F->dropVsyncTick(Sim.now().nanos() /
+                            Options.VsyncInterval.nanos())) {
+    scheduleVsyncIfNeeded();
+    return;
+  }
   beginFrame(Sim.now());
 }
 

@@ -215,6 +215,16 @@ greenweb::exportChromeTrace(const std::vector<FrameRecord> &Frames,
                        R.numberOr("open", 0.0)));
       break;
     }
+    case TelemetryEventKind::Fault:
+      // Window begin/end already export as "fault:<kind>" spans; the
+      // discrete injections show as instants on the same track.
+      if (R.stringOr("phase", "") == "inject")
+        appendInstantEvent(
+            Out, "inject: " + R.stringOr("fault", "?"), R.Ts,
+            formatString("{\"detail\":\"%s\",\"value\":%.3f}",
+                         jsonEscape(R.stringOr("detail", "")).c_str(),
+                         R.numberOr("value", 0.0)));
+      break;
     case TelemetryEventKind::FrameStage:
     case TelemetryEventKind::QosViolation:
       // Stages already show as pipeline spans; violations surface in

@@ -1,0 +1,228 @@
+//===- faults/FaultInjector.cpp - Seeded fault injection -------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/FaultInjector.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace greenweb;
+
+namespace {
+
+// Fixed fork labels: adding a family never renumbers another family's
+// substream, which would silently change existing plans' outcomes.
+enum StreamLabel : uint64_t {
+  StreamDvfs = 1,
+  StreamMeter = 2,
+  StreamSpike = 3,
+  StreamVsync = 4,
+  StreamMislabel = 5,
+};
+
+// splitmix64: display faults hash (seed, slot) to a decision instead of
+// consuming a stream, so the faulty display timeline is identical for
+// governors that pace frames differently (a pinned-peak run polls more
+// ticks than an adaptive one; a stream draw per poll would hand it a
+// different — and denser — fault sequence).
+uint64_t hashSlot(uint64_t Seed, uint64_t Slot) {
+  uint64_t X = Seed ^ (0x9E3779B97F4A7C15ull * (Slot + 1));
+  X ^= X >> 30;
+  X *= 0xBF58476D1CE4E5B9ull;
+  X ^= X >> 27;
+  X *= 0x94D049BB133111EBull;
+  X ^= X >> 31;
+  return X;
+}
+
+double slotUniform(uint64_t Seed, uint64_t Slot) {
+  return double(hashSlot(Seed, Slot) >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(Simulator &Sim, FaultPlan PlanIn)
+    : Sim(Sim), Plan(std::move(PlanIn)),
+      DvfsRng(Rng(Plan.Seed).fork(StreamDvfs)),
+      MeterRng(Rng(Plan.Seed).fork(StreamMeter)),
+      SpikeRng(Rng(Plan.Seed).fork(StreamSpike)),
+      MislabelRng(Rng(Plan.Seed).fork(StreamMislabel)) {
+  Active.assign(Plan.Faults.size(), false);
+  WindowSpans.assign(Plan.Faults.size(), 0);
+  assert(!Sim.faultInjector() && "simulator already has a fault injector");
+  Sim.setFaultInjector(this);
+}
+
+FaultInjector::~FaultInjector() {
+  for (EventHandle &H : Scheduled)
+    H.cancel();
+  if (Sim.faultInjector() == this)
+    Sim.setFaultInjector(nullptr);
+}
+
+void FaultInjector::arm(TimePoint Origin) {
+  assert(!Armed && "fault injector armed twice");
+  Armed = true;
+  for (size_t I = 0; I < Plan.Faults.size(); ++I) {
+    const FaultSpec &S = Plan.Faults[I];
+    Scheduled.push_back(
+        Sim.scheduleAt(Origin + S.Start, [this, I] { beginWindow(I); }));
+    if (!S.Length.isZero())
+      Scheduled.push_back(Sim.scheduleAt(Origin + S.Start + S.Length,
+                                         [this, I] { endWindow(I); }));
+  }
+}
+
+void FaultInjector::addWindowListener(
+    std::function<void(const FaultSpec &, bool)> L) {
+  assert(L && "null fault window listener");
+  Listeners.push_back(std::move(L));
+}
+
+void FaultInjector::beginWindow(size_t Index) {
+  const FaultSpec &S = Plan.Faults[Index];
+  Active[Index] = true;
+  if (Telemetry *T = Sim.telemetry(); T && T->enabled()) {
+    T->recordFaultEvent({faultKindName(S.Kind), "begin", S.str(), 0.0});
+    WindowSpans[Index] = T->spans().begin(
+        std::string("fault:") + faultKindName(S.Kind), "faults",
+        /*Root=*/0, /*Frame=*/0, /*Parent=*/0);
+  }
+  for (const auto &L : Listeners)
+    L(S, /*Began=*/true);
+}
+
+void FaultInjector::endWindow(size_t Index) {
+  const FaultSpec &S = Plan.Faults[Index];
+  Active[Index] = false;
+  if (Telemetry *T = Sim.telemetry(); T && T->enabled()) {
+    T->recordFaultEvent({faultKindName(S.Kind), "end", S.str(), 0.0});
+    if (WindowSpans[Index]) {
+      T->spans().end(WindowSpans[Index]);
+      WindowSpans[Index] = 0;
+    }
+  }
+  for (const auto &L : Listeners)
+    L(S, /*Began=*/false);
+}
+
+void FaultInjector::recordInject(FaultKind Kind, const std::string &Detail,
+                                 double Value) {
+  if (Telemetry *T = Sim.telemetry(); T && T->enabled())
+    T->recordFaultEvent({faultKindName(Kind), "inject", Detail, Value});
+}
+
+const FaultSpec *FaultInjector::activeSpec(FaultKind Kind) const {
+  for (size_t I = 0; I < Plan.Faults.size(); ++I)
+    if (Active[I] && Plan.Faults[I].Kind == Kind)
+      return &Plan.Faults[I];
+  return nullptr;
+}
+
+unsigned FaultInjector::thermalCapMHz() const {
+  unsigned Cap = 0;
+  for (size_t I = 0; I < Plan.Faults.size(); ++I) {
+    const FaultSpec &S = Plan.Faults[I];
+    if (Active[I] && S.Kind == FaultKind::ThermalThrottle &&
+        (Cap == 0 || S.CapMHz < Cap))
+      Cap = S.CapMHz;
+  }
+  return Cap;
+}
+
+void FaultInjector::noteThermalClamp(unsigned RequestedMHz,
+                                     unsigned ClampedMHz) {
+  ++Stats.ThermalClamps;
+  recordInject(FaultKind::ThermalThrottle,
+               "clamped " + std::to_string(RequestedMHz) + "MHz -> " +
+                   std::to_string(ClampedMHz) + "MHz",
+               double(ClampedMHz));
+}
+
+FaultInjector::DvfsOutcome
+FaultInjector::sampleDvfsTransition(Duration &ExtraDelay) {
+  const FaultSpec *S = activeSpec(FaultKind::DvfsFlaky);
+  if (!S)
+    return DvfsOutcome::Ok;
+  if (DvfsRng.chance(S->FailProb)) {
+    ++Stats.DvfsFailures;
+    recordInject(FaultKind::DvfsFlaky, "transition dropped", 0.0);
+    return DvfsOutcome::Fail;
+  }
+  if (S->ExtraDelay.isZero())
+    return DvfsOutcome::Ok;
+  ExtraDelay = S->ExtraDelay;
+  ++Stats.DvfsDelays;
+  recordInject(FaultKind::DvfsFlaky, "transition delayed",
+               S->ExtraDelay.micros());
+  return DvfsOutcome::Delayed;
+}
+
+bool FaultInjector::dropMeterSample() {
+  const FaultSpec *S = activeSpec(FaultKind::MeterNoise);
+  if (!S || !MeterRng.chance(S->DropProb))
+    return false;
+  // Per-sample event at the meter rate: counted, never logged.
+  ++Stats.MeterDrops;
+  return true;
+}
+
+double FaultInjector::meterNoiseWatts() {
+  const FaultSpec *S = activeSpec(FaultKind::MeterNoise);
+  if (!S || S->SigmaWatts <= 0.0)
+    return 0.0;
+  ++Stats.MeterNoisySamples;
+  return MeterRng.normal(0.0, S->SigmaWatts);
+}
+
+double FaultInjector::callbackCostScale() {
+  const FaultSpec *S = activeSpec(FaultKind::CallbackSpike);
+  if (!S || !SpikeRng.chance(S->SpikeProb))
+    return 1.0;
+  ++Stats.CallbackSpikes;
+  recordInject(FaultKind::CallbackSpike, "callback cost spike", S->SpikeScale);
+  return S->SpikeScale;
+}
+
+Duration FaultInjector::vsyncJitter(int64_t Slot) {
+  const FaultSpec *S = activeSpec(FaultKind::VsyncJitter);
+  if (!S || S->JitterMax.isZero())
+    return Duration::zero();
+  ++Stats.VsyncJitters;
+  return S->JitterMax * slotUniform(Plan.Seed ^ StreamVsync, uint64_t(Slot));
+}
+
+bool FaultInjector::dropVsyncTick(int64_t Slot) {
+  const FaultSpec *S = activeSpec(FaultKind::VsyncJitter);
+  // Independent of the jitter draw for the same slot.
+  if (!S || slotUniform(Plan.Seed ^ (StreamVsync << 8), uint64_t(Slot)) >=
+                S->DropProb)
+    return false;
+  ++Stats.VsyncDrops;
+  recordInject(FaultKind::VsyncJitter, "vsync tick dropped", 0.0);
+  return true;
+}
+
+FaultInjector::MislabelDecision
+FaultInjector::annotationMislabel(uint64_t NodeId) {
+  // Window-agnostic: annotations are fixed at parse time, so the spec
+  // applies whenever it is present in the plan at all.
+  const FaultSpec *Found = nullptr;
+  for (const FaultSpec &S : Plan.Faults)
+    if (S.Kind == FaultKind::AnnotationMislabel) {
+      Found = &S;
+      break;
+    }
+  if (!Found || !MislabelRng.chance(Found->MislabelProb))
+    return {};
+  ++Stats.AnnotationMislabels;
+  recordInject(FaultKind::AnnotationMislabel,
+               "node " + std::to_string(NodeId) + " mislabeled",
+               Found->TargetScale);
+  return {true, Found->FlipType, Found->TargetScale};
+}

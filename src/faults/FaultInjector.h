@@ -1,0 +1,162 @@
+//===- faults/FaultInjector.h - Seeded fault injection ----------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a FaultPlan against a running simulation. The injector
+/// registers itself with the Simulator (an opaque pointer, mirroring the
+/// telemetry attachment), schedules each fault's window on the virtual
+/// clock when armed, and answers cheap queries from the hardware model
+/// and browser pipeline:
+///
+///   AcmpChip     -> thermalCapMHz / sampleDvfsTransition
+///   EnergyMeter  -> dropMeterSample / meterNoiseWatts
+///   Browser      -> callbackCostScale / vsyncJitter / dropVsyncTick
+///   Experiment   -> annotationMislabel (at page parse)
+///
+/// The API deliberately trades in primitives (MHz, probabilities,
+/// Durations) rather than hardware types: faults sits below hw in the
+/// library order, so hw can depend on it without a cycle.
+///
+/// Each family draws from its own Rng substream forked off the plan
+/// seed, and queries draw nothing while their window is closed — so
+/// adding a fault family to a plan never perturbs another family's
+/// stream, and same-plan runs are byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_FAULTS_FAULTINJECTOR_H
+#define GREENWEB_FAULTS_FAULTINJECTOR_H
+
+#include "faults/FaultPlan.h"
+#include "sim/Simulator.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace greenweb {
+
+/// Injection counters, one per observable fault effect. Returned with
+/// experiment results so chaos harnesses can report what actually
+/// landed (a fault window with zero landings explains a zero delta).
+struct FaultStats {
+  uint64_t ThermalClamps = 0;
+  uint64_t DvfsFailures = 0;
+  uint64_t DvfsDelays = 0;
+  uint64_t MeterDrops = 0;
+  uint64_t MeterNoisySamples = 0;
+  uint64_t CallbackSpikes = 0;
+  uint64_t VsyncJitters = 0;
+  uint64_t VsyncDrops = 0;
+  uint64_t AnnotationMislabels = 0;
+
+  uint64_t total() const {
+    return ThermalClamps + DvfsFailures + DvfsDelays + MeterDrops +
+           MeterNoisySamples + CallbackSpikes + VsyncJitters + VsyncDrops +
+           AnnotationMislabels;
+  }
+};
+
+/// See file comment.
+class FaultInjector {
+public:
+  /// Binds to \p Sim (Simulator::setFaultInjector) for the injector's
+  /// lifetime. The plan is copied. Nothing fires until arm().
+  FaultInjector(Simulator &Sim, FaultPlan Plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector &) = delete;
+  FaultInjector &operator=(const FaultInjector &) = delete;
+
+  const FaultPlan &plan() const { return Plan; }
+  const FaultStats &stats() const { return Stats; }
+
+  /// Schedules every fault window relative to \p Origin. Call once,
+  /// when measurement starts.
+  void arm(TimePoint Origin);
+
+  /// Observer for window transitions (Began=true on open). The
+  /// experiment harness uses this to re-clamp the chip when a thermal
+  /// window opens mid-run.
+  void addWindowListener(std::function<void(const FaultSpec &, bool Began)> L);
+
+  /// --- Queries (hot paths; cheap when the family is inactive) ---
+
+  /// Active thermal cap on the big cluster in MHz; 0 when none.
+  unsigned thermalCapMHz() const;
+  /// The chip reports that it clamped a requested configuration to the
+  /// cap (telemetry + stats attribution happen here).
+  void noteThermalClamp(unsigned RequestedMHz, unsigned ClampedMHz);
+
+  enum class DvfsOutcome {
+    Ok,      ///< Transition proceeds normally.
+    Fail,    ///< Transition silently dropped; config unchanged.
+    Delayed, ///< Transition lands but stalls ExtraDelay longer.
+  };
+  /// Samples the fate of a configuration transition; fills
+  /// \p ExtraDelay on Delayed.
+  DvfsOutcome sampleDvfsTransition(Duration &ExtraDelay);
+
+  /// True when this meter sample should be dropped.
+  bool dropMeterSample();
+  /// Additive watts noise for a surviving sample (0 when inactive).
+  double meterNoiseWatts();
+
+  /// Multiplier for one input-callback cost (1.0 when inactive).
+  double callbackCostScale();
+
+  /// Extra delay for the VSync tick in display slot \p Slot (tick time
+  /// divided by the VSync interval); zero when inactive. Display faults
+  /// are a pure function of the slot index, not of query order, so two
+  /// runs whose governors pace frames differently still see the same
+  /// faulty display timeline.
+  Duration vsyncJitter(int64_t Slot);
+  /// True when the work-bearing VSync tick in slot \p Slot is dropped.
+  bool dropVsyncTick(int64_t Slot);
+
+  struct MislabelDecision {
+    bool Mislabel = false;
+    bool FlipType = false;
+    double TargetScale = 1.0;
+  };
+  /// Samples whether the annotation on \p NodeId is mislabeled.
+  /// Window-agnostic: annotations exist from parse time.
+  MislabelDecision annotationMislabel(uint64_t NodeId);
+
+private:
+  /// First spec of \p Kind whose window is currently open (arm-order
+  /// scan; plans are a handful of specs). Null when none.
+  const FaultSpec *activeSpec(FaultKind Kind) const;
+  void beginWindow(size_t Index);
+  void endWindow(size_t Index);
+  /// Telemetry for one discrete injection landing (low-rate events
+  /// only; per-sample meter noise is counted, not logged).
+  void recordInject(FaultKind Kind, const std::string &Detail, double Value);
+
+  Simulator &Sim;
+  FaultPlan Plan;
+  FaultStats Stats;
+  bool Armed = false;
+
+  /// Parallel to Plan.Faults: window open?
+  std::vector<bool> Active;
+  /// Parallel to Plan.Faults: open telemetry span id (0 = none).
+  std::vector<int64_t> WindowSpans;
+  std::vector<EventHandle> Scheduled;
+  std::vector<std::function<void(const FaultSpec &, bool)>> Listeners;
+
+  // Per-family substreams (labels fixed; see FaultInjector.cpp). The
+  // vsync family hashes slot indices instead of consuming a stream.
+  Rng DvfsRng;
+  Rng MeterRng;
+  Rng SpikeRng;
+  Rng MislabelRng;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_FAULTS_FAULTINJECTOR_H

@@ -1,0 +1,150 @@
+//===- faults/FaultPlan.h - Deterministic fault schedules -------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FaultPlan is a declarative, seeded schedule of adversarial hardware
+/// and workload behavior: which fault families are active, when their
+/// windows open and close on the virtual clock, and how severe they are.
+/// Plans serialize to a small JSON document and round-trip exactly, so a
+/// chaos run is reproducible from its artifact metadata header alone
+/// (the header records the command line, which names the plan or its
+/// seed; see docs/ROBUSTNESS.md).
+///
+/// All randomness during injection comes from per-family substreams
+/// forked off the plan seed, so two runs of the same plan against the
+/// same experiment configuration are byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_FAULTS_FAULTPLAN_H
+#define GREENWEB_FAULTS_FAULTPLAN_H
+
+#include "support/Time.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+/// The fault families the injector can schedule.
+enum class FaultKind {
+  /// Thermal throttling: caps the big cluster's usable frequency ladder
+  /// at CapMHz while the window is open. Configurations above the cap
+  /// are clamped by the chip, mirroring a firmware thermal governor.
+  ThermalThrottle,
+  /// Flaky DVFS driver: configuration transitions fail outright with
+  /// FailProb, and successful ones take ExtraDelay longer.
+  DvfsFlaky,
+  /// Power-sensor misbehavior: meter samples drop with DropProb and
+  /// surviving samples carry additive Gaussian noise (SigmaWatts).
+  /// Distorts the observed sample stream only, never the ground-truth
+  /// energy integral.
+  MeterNoise,
+  /// Event-callback cost spikes: with SpikeProb an input callback's
+  /// cost is multiplied by SpikeScale (a GC pause, a cold cache, a
+  /// rogue third-party script).
+  CallbackSpike,
+  /// Display-path trouble: scheduled VSync ticks land up to JitterMax
+  /// late, and ticks that would start a frame are dropped with
+  /// DropProb.
+  VsyncJitter,
+  /// Annotation error (paper Sec. 7.3): at page parse time each
+  /// annotated (element, event) pair is independently mislabeled with
+  /// MislabelProb — its QoS targets scaled by TargetScale and, when
+  /// FlipType is set, its QoS type flipped single<->continuous.
+  AnnotationMislabel,
+};
+
+/// Stable wire name for a fault kind ("thermal_throttle", ...).
+const char *faultKindName(FaultKind Kind);
+
+/// Parses a wire name back to a kind.
+std::optional<FaultKind> faultKindFromName(const std::string &Name);
+
+/// True for families that perturb delivered QoS or the governor's
+/// inputs (everything except pure meter noise, which only distorts
+/// observation).
+bool faultPerturbsQos(FaultKind Kind);
+
+/// One scheduled fault: a family, a window on the virtual clock
+/// (relative to the armed origin), and family-specific severity knobs.
+/// Unused knobs stay at their defaults and are omitted from JSON.
+struct FaultSpec {
+  FaultKind Kind = FaultKind::ThermalThrottle;
+
+  /// Window start, relative to FaultInjector::arm's origin.
+  Duration Start = Duration::zero();
+  /// Window length; zero means "until the end of the run".
+  Duration Length = Duration::zero();
+
+  // ThermalThrottle
+  unsigned CapMHz = 0;
+
+  // DvfsFlaky
+  double FailProb = 0.0;
+  Duration ExtraDelay = Duration::zero();
+
+  // MeterNoise (DropProb shared with VsyncJitter)
+  double DropProb = 0.0;
+  double SigmaWatts = 0.0;
+
+  // CallbackSpike
+  double SpikeProb = 0.0;
+  double SpikeScale = 1.0;
+
+  // VsyncJitter
+  Duration JitterMax = Duration::zero();
+
+  // AnnotationMislabel (applies at parse time; the window is ignored)
+  double MislabelProb = 0.0;
+  double TargetScale = 1.0;
+  bool FlipType = false;
+
+  bool operator==(const FaultSpec &) const = default;
+
+  /// One-line human summary, e.g. "thermal_throttle cap=1000MHz".
+  std::string str() const;
+};
+
+/// A seeded schedule of faults.
+struct FaultPlan {
+  /// Root seed for all injection randomness.
+  uint64_t Seed = 1;
+  std::vector<FaultSpec> Faults;
+
+  bool operator==(const FaultPlan &) const = default;
+
+  bool hasKind(FaultKind Kind) const;
+
+  /// Serializes to the canonical JSON document (stable field order, so
+  /// equal plans produce byte-equal text).
+  std::string toJson() const;
+
+  /// Parses a plan from JSON. On failure returns std::nullopt and, when
+  /// \p Error is non-null, stores a diagnostic.
+  static std::optional<FaultPlan> fromJson(const std::string &Text,
+                                           std::string *Error = nullptr);
+
+  /// Named evaluation scenarios shared by chaos_evaluation, bench_faults,
+  /// the tests, and CI, so "the thermal scenario" means the same plan
+  /// everywhere. Unknown names return std::nullopt.
+  static std::optional<FaultPlan> scenario(const std::string &Name,
+                                           uint64_t Seed = 1);
+
+  /// The names scenario() accepts, in presentation order.
+  static std::vector<std::string> scenarioNames();
+
+  /// A randomized plan for soak testing: 2-4 fault specs drawn from the
+  /// seed, always including at least one QoS-perturbing family.
+  /// Deterministic in \p Seed.
+  static FaultPlan chaosPlan(uint64_t Seed);
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_FAULTS_FAULTPLAN_H

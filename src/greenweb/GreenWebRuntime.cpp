@@ -178,6 +178,20 @@ void GreenWebRuntime::applyDesiredConfig() {
     return;
   }
   IdleDrop.cancel();
+  if (InFallback) {
+    // Watchdog fallback: the calibrated models are suspect, so pin the
+    // conservative floor instead of predicting.
+    AcmpConfig Floor = watchdogFloorConfig();
+    if (Telemetry *T = telemetry()) {
+      T->recordGovernorDecision(
+          {name(), "watchdog_floor", Floor.str(),
+           Floor.Core == CoreKind::Big ? 1 : 0, int64_t(Floor.FreqMHz), 0,
+           "", -1.0, -1.0, 0});
+      recordDecisionSpan(*T, "watchdog_floor", 0);
+    }
+    B->chip().setConfig(Floor);
+    return;
+  }
   // Multiple concurrent events: satisfy the most demanding one.
   std::optional<Desired> Best;
   const ActiveEvent *BestEvent = nullptr;
@@ -251,11 +265,9 @@ void GreenWebRuntime::onFrameReady(const FrameRecord &Frame) {
 void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
                                        const FrameRecord &Frame,
                                        Duration Latency) {
-  ModelState &State = Models[Event.Key];
-  AcmpConfig Config = B->chip().config();
-
+  bool Violated = Latency > Event.Target;
   if (Telemetry *T = telemetry())
-    if (Latency > Event.Target)
+    if (Violated)
       T->recordQosViolation({name(), int64_t(Event.RootId), Event.Key,
                              Latency.millis(), Event.Target.millis(),
                              int64_t(Frame.FrameId),
@@ -263,12 +275,29 @@ void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
                                  ? "continuous"
                                  : "single"});
 
+  if (InFallback) {
+    // Prediction is suspended; judge only whether the floor holds QoS.
+    ++Counters.WatchdogFloorFrames;
+    noteWatchdogFrame(Violated);
+    maybeReengageWatchdog();
+    return;
+  }
+
+  ModelState &State = Models[Event.Key];
+  AcmpConfig Config = B->chip().config();
+
   switch (State.ModelPhase) {
   case Phase::NeedMaxProfile:
     ++Counters.ProfilingFrames;
     bumpMetric("governor.profiling_frames");
     State.MaxObs = {Config, Latency};
     State.ModelPhase = Phase::NeedMinProfile;
+    // Profiling frames count toward the watchdog window too: under an
+    // active fault the runtime recalibrates in a loop, and the repeated
+    // profiling violations are exactly the churn the watchdog must
+    // catch. Last statement - a trip invalidates State.
+    if (P.EnableWatchdog)
+      noteWatchdogFrame(Violated);
     return;
   case Phase::NeedMinProfile: {
     ++Counters.ProfilingFrames;
@@ -276,15 +305,16 @@ void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
     LatencyObservation MinObs{Config, Latency};
     std::optional<DvfsModel> Model =
         fitDvfsModel(B->chip(), State.MaxObs, MinObs);
-    if (!Model) {
-      // Same effective frequency twice (another event pinned the chip);
-      // keep waiting for a distinct observation.
-      return;
+    if (Model) {
+      State.Model = *Model;
+      State.ModelPhase = Phase::Ready;
+      State.FeedbackOffset = 0;
+      State.ConsecutiveMispredicts = 0;
     }
-    State.Model = *Model;
-    State.ModelPhase = Phase::Ready;
-    State.FeedbackOffset = 0;
-    State.ConsecutiveMispredicts = 0;
+    // else: same effective frequency twice (another event pinned the
+    // chip); keep waiting for a distinct observation.
+    if (P.EnableWatchdog)
+      noteWatchdogFrame(Violated);
     return;
   }
   case Phase::Ready:
@@ -347,6 +377,96 @@ void GreenWebRuntime::handleEventFrame(ActiveEvent &Event,
     }
   } else {
     State.ConsecutiveMispredicts = 0;
+  }
+
+  // Last: a trip invalidates Models (and the State reference above).
+  if (P.EnableWatchdog)
+    noteWatchdogFrame(Mispredicted || Violated);
+}
+
+AcmpConfig GreenWebRuntime::watchdogFloorConfig() const {
+  assert(!Ladder.empty() && "watchdog before attach");
+  double Pos = std::clamp(P.WatchdogFloorPosition, 0.0, 1.0);
+  size_t Index = size_t(std::lround(Pos * double(Ladder.size() - 1)));
+  return Ladder[Index];
+}
+
+void GreenWebRuntime::noteWatchdogFrame(bool Bad) {
+  WatchdogRecent.push_back(Bad);
+  while (WatchdogRecent.size() > P.WatchdogWindow)
+    WatchdogRecent.pop_front();
+  if (InFallback)
+    return;
+  unsigned BadCount = 0;
+  for (bool B_ : WatchdogRecent)
+    BadCount += B_ ? 1 : 0;
+  if (BadCount >= P.WatchdogTripThreshold)
+    tripWatchdog();
+}
+
+void GreenWebRuntime::tripWatchdog() {
+  TimePoint Now = B->simulator().now();
+  // Backoff: a trip soon after re-engagement means the fault outlived
+  // the previous hold — hold the floor twice as long this time. A trip
+  // after a long healthy stretch starts from the configured hold again.
+  Duration MaxHold = P.WatchdogHold * double(
+      std::max(1u, P.WatchdogMaxHoldFactor));
+  if (HasReengaged && Now - LastReengage < CurrentHold)
+    CurrentHold = std::min(CurrentHold * 2.0, MaxHold);
+  else
+    CurrentHold = P.WatchdogHold;
+  InFallback = true;
+  FallbackUntil = Now + CurrentHold;
+  WatchdogRecent.clear();
+  // Keep the calibrated models: observations are recorded against the
+  // configuration the chip actually ran, so most faults (throttling,
+  // flaky DVFS) leave them valid and the environment, not the model, is
+  // what misbehaves. Re-profiling every key after each trip would turn
+  // a persistent fault into a recalibration storm of guaranteed
+  // min-profile violations. A genuinely corrupted model (cost spikes
+  // during profiling) recalibrates through the normal mispredict path
+  // after re-engagement. Only the transient feedback state is reset.
+  for (auto &[Key, State] : Models) {
+    State.ConsecutiveMispredicts = 0;
+    State.SafeStreak = 0;
+  }
+  ++Counters.WatchdogTrips;
+  bumpMetric("governor.watchdog_trips");
+  if (Telemetry *T = telemetry()) {
+    AcmpConfig Floor = watchdogFloorConfig();
+    T->recordGovernorDecision(
+        {name(), "watchdog_fallback", Floor.str(),
+         Floor.Core == CoreKind::Big ? 1 : 0, int64_t(Floor.FreqMHz), 0, "",
+         -1.0, -1.0, 0});
+    recordDecisionSpan(*T, "watchdog_fallback", 0);
+  }
+}
+
+void GreenWebRuntime::maybeReengageWatchdog() {
+  if (!InFallback || B->simulator().now() < FallbackUntil)
+    return;
+  // Re-engage only once the floor has demonstrably held QoS: a
+  // half-window of consecutive clean frames since the hold expired.
+  size_t Needed = std::max<size_t>(1, P.WatchdogWindow / 2);
+  if (WatchdogRecent.size() < Needed)
+    return;
+  for (bool Bad : WatchdogRecent)
+    if (Bad)
+      return;
+  InFallback = false;
+  WatchdogRecent.clear();
+  LastReengage = B->simulator().now();
+  HasReengaged = true;
+  ++Counters.WatchdogReengages;
+  bumpMetric("governor.watchdog_reengages");
+  if (Telemetry *T = telemetry()) {
+    T->recordGovernorDecision({name(), "watchdog_reengage",
+                               B->chip().config().str(),
+                               B->chip().config().Core == CoreKind::Big ? 1
+                                                                        : 0,
+                               int64_t(B->chip().config().FreqMHz), 0, "",
+                               -1.0, -1.0, 0});
+    recordDecisionSpan(*T, "watchdog_reengage", 0);
   }
 }
 

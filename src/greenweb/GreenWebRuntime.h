@@ -36,6 +36,7 @@
 #include "greenweb/PerfModel.h"
 #include "greenweb/Qos.h"
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -77,6 +78,34 @@ public:
     /// event quiesces before dropping to the idle configuration.
     /// Prevents migration thrash between back-to-back scroll events.
     Duration IdleHold = Duration::milliseconds(400);
+    /// Graceful-degradation watchdog: when enabled, sustained
+    /// predicted-vs-actual divergence (or repeated violations) trips a
+    /// fallback that pins a conservative frequency floor, then
+    /// re-engages prediction once the floor has held QoS clean for a
+    /// while (calibrated models are kept: a persistent fault re-trips
+    /// cheaply instead of forcing a recalibration storm). The defense
+    /// against injected hardware/workload faults (docs/ROBUSTNESS.md).
+    bool EnableWatchdog = false;
+    /// Sliding window of recent calibrated frames the watchdog judges.
+    unsigned WatchdogWindow = 8;
+    /// Bad frames (mispredicted or violating) within the window that
+    /// trip the fallback.
+    unsigned WatchdogTripThreshold = 4;
+    /// Minimum time the fallback floor is held before re-engagement is
+    /// considered. Held long on purpose: most injected faults persist
+    /// for seconds, and every premature re-engagement is a fresh burst
+    /// of mispredicted frames before the next trip. A re-trip shortly
+    /// after re-engagement doubles the effective hold (up to
+    /// WatchdogMaxHoldFactor x), so a persistent fault converges to
+    /// mostly-pinned operation instead of cycling.
+    Duration WatchdogHold = Duration::seconds(3);
+    /// Exponential-backoff ceiling on the effective hold, as a multiple
+    /// of WatchdogHold.
+    unsigned WatchdogMaxHoldFactor = 16;
+    /// Ladder position of the fallback floor (0 = idle config, 1 = the
+    /// peak config). Defaults to peak: under active faults the model
+    /// cannot be trusted, so QoS is preserved at an energy cost.
+    double WatchdogFloorPosition = 1.0;
   };
 
   /// Statistics exposed for the evaluation and ablations.
@@ -89,6 +118,9 @@ public:
     uint64_t FeedbackStepsDown = 0;
     uint64_t Recalibrations = 0;
     uint64_t TargetClampsApplied = 0;
+    uint64_t WatchdogTrips = 0;
+    uint64_t WatchdogReengages = 0;
+    uint64_t WatchdogFloorFrames = 0;
   };
 
   explicit GreenWebRuntime(AnnotationRegistry &Registry);
@@ -170,6 +202,15 @@ private:
   AcmpConfig shiftConfig(const AcmpConfig &Config, int Levels) const;
   void maybeEngageEnergyBudget();
 
+  /// --- Watchdog (see Params::EnableWatchdog) ---
+  AcmpConfig watchdogFloorConfig() const;
+  /// Feeds one frame verdict into the sliding window; may trip the
+  /// fallback. Call only after all per-frame model state access — a
+  /// trip resets per-model feedback state.
+  void noteWatchdogFrame(bool Bad);
+  void tripWatchdog();
+  void maybeReengageWatchdog();
+
   AnnotationRegistry &Registry;
   Params P;
   Browser *B = nullptr;
@@ -180,6 +221,17 @@ private:
   std::map<uint64_t, ActiveEvent> ActiveEvents;
   EventHandle IdleDrop;
   Stats Counters;
+
+  /// Watchdog state: recent frame verdicts (true = bad). In normal
+  /// operation "bad" means mispredicted-or-violating; during fallback
+  /// it means violating (prediction is suspended there).
+  std::deque<bool> WatchdogRecent;
+  bool InFallback = false;
+  TimePoint FallbackUntil;
+  /// Effective hold with backoff applied (see Params::WatchdogHold).
+  Duration CurrentHold = Duration::zero();
+  TimePoint LastReengage;
+  bool HasReengaged = false;
 };
 
 } // namespace greenweb

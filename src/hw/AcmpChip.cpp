@@ -6,6 +6,7 @@
 
 #include "hw/AcmpChip.h"
 
+#include "faults/FaultInjector.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -30,16 +31,46 @@ void AcmpChip::accountInterval() {
   LastChange = Sim.now();
 }
 
+AcmpConfig AcmpChip::clampToThermalCap(AcmpConfig C) const {
+  FaultInjector *F = Sim.faultInjector();
+  if (!F || C.Core != CoreKind::Big)
+    return C;
+  unsigned Cap = F->thermalCapMHz();
+  if (Cap == 0 || C.FreqMHz <= Cap)
+    return C;
+  // Highest big-cluster ladder level at or below the cap; when the cap
+  // sits below the whole ladder, the floor level is the best we can do.
+  const ClusterSpec &Cluster = Spec.cluster(C.Core);
+  unsigned Best = Cluster.FreqsMHz.front();
+  for (unsigned Freq : Cluster.FreqsMHz)
+    if (Freq <= Cap)
+      Best = Freq;
+  C.FreqMHz = Best;
+  return C;
+}
+
+void AcmpChip::enforceThermalCap() { setConfig(Config); }
+
 bool AcmpChip::setConfig(AcmpConfig NewConfig) {
   assert(Spec.isValid(NewConfig) && "invalid ACMP configuration");
+  AcmpConfig Requested = NewConfig;
+  NewConfig = clampToThermalCap(NewConfig);
+  if (NewConfig != Requested)
+    Sim.faultInjector()->noteThermalClamp(Requested.FreqMHz, NewConfig.FreqMHz);
   if (NewConfig == Config)
     return false;
+
+  Duration FaultDelay = Duration::zero();
+  if (FaultInjector *F = Sim.faultInjector())
+    if (F->sampleDvfsTransition(FaultDelay) ==
+        FaultInjector::DvfsOutcome::Fail)
+      return false;
 
   accountInterval();
 
   bool Migrated = NewConfig.Core != Config.Core;
   bool FreqChanged = NewConfig.FreqMHz != Config.FreqMHz;
-  Duration Penalty = Duration::zero();
+  Duration Penalty = FaultDelay;
   if (Migrated) {
     ++MigrationCount;
     Penalty += Spec.MigrationPenalty;

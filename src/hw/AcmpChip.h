@@ -49,7 +49,18 @@ public:
   /// \p NewConfig equals the current one. Asserts on invalid configs.
   /// Frequency changes stall in-flight work by the frequency-switch
   /// penalty; cluster changes add the migration penalty.
+  ///
+  /// With a fault injector attached, the request is first clamped to
+  /// any active thermal cap (like a firmware thermal governor sitting
+  /// below the OS policy), and the transition itself may fail or take
+  /// longer per the injected DVFS fault. A failed transition returns
+  /// false with the configuration unchanged.
   bool setConfig(AcmpConfig NewConfig);
+
+  /// Re-issues the current configuration through the thermal clamp.
+  /// The experiment harness calls this when a throttle window opens
+  /// while the chip already sits above the new cap.
+  void enforceThermalCap();
 
   /// Convenience: change only the frequency on the current cluster.
   bool setFrequency(unsigned FreqMHz);
@@ -97,6 +108,10 @@ private:
   /// Folds the interval since the last state change into the accounting
   /// structures and notifies pre-change listeners.
   void accountInterval();
+
+  /// Clamps \p C to the injector's active thermal cap (identity when no
+  /// injector or no open throttle window).
+  AcmpConfig clampToThermalCap(AcmpConfig C) const;
 
   Simulator &Sim;
   AcmpSpec Spec;

@@ -6,7 +6,10 @@
 
 #include "hw/EnergyMeter.h"
 
+#include "faults/FaultInjector.h"
 #include "telemetry/Telemetry.h"
+
+#include <algorithm>
 
 using namespace greenweb;
 
@@ -69,7 +72,17 @@ void EnergyMeter::enableSampling(Duration Period) {
 
 void EnergyMeter::scheduleNextSample() {
   SampleEvent = Sim.schedule(SamplePeriod, [this] {
+    // Sensor faults distort only the observed sample stream; the
+    // ground-truth energy integral (integrate()/totalJoules) is what
+    // the chip actually drew and stays exact.
+    FaultInjector *F = Sim.faultInjector();
+    if (F && F->dropMeterSample()) {
+      scheduleNextSample();
+      return;
+    }
     double Watts = Chip.currentPowerWatts();
+    if (F)
+      Watts = std::max(0.0, Watts + F->meterNoiseWatts());
     Samples.push_back(Watts);
     // DAQ-style co-sampling: each 1 kHz tick also feeds the telemetry
     // stream that backs the power/energy/queue-depth counter tracks.

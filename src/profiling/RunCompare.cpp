@@ -165,14 +165,19 @@ std::optional<RunSnapshot> RunSnapshot::parse(const std::string &Text,
   }
 
   std::optional<json::Value> Doc = json::parse(Trimmed);
-  if (Doc && Doc->isObject() &&
-      (Doc->get("harness") || Doc->get("counters"))) {
+  // A bench document is recognized by any of its top-level keys, not
+  // just "harness": bench JSONs from before the harness field existed
+  // still carry "benchmarks"/"scalars" and must compare, not refuse.
+  bool IsBench = Doc && Doc->isObject() &&
+                 (Doc->get("harness") || Doc->get("benchmarks") ||
+                  Doc->get("scalars"));
+  if (Doc && Doc->isObject() && (IsBench || Doc->get("counters"))) {
     if (const json::Value *Meta = Doc->get("meta");
         Meta && Meta->isObject()) {
       Snap.HasMeta = true;
       Snap.Meta = metaFromJson(*Meta);
     }
-    if (Doc->get("harness"))
+    if (IsBench)
       parseBench(*Doc, Snap);
     else
       parseMetrics(*Doc, Snap);

@@ -42,6 +42,7 @@
 namespace greenweb {
 
 class Counter;
+class FaultInjector;
 class Gauge;
 class Telemetry;
 
@@ -183,6 +184,14 @@ public:
   void setTelemetry(Telemetry *T);
   Telemetry *telemetry() const { return Tel; }
 
+  /// Attaches (or detaches, with nullptr) a fault injector, the same
+  /// opaque-pointer pattern as the telemetry hub: producers that can be
+  /// perturbed (chip, meter, browser) query it through the simulator
+  /// they already hold. The injector must outlive the simulation or
+  /// detach first (FaultInjector's destructor detaches).
+  void setFaultInjector(FaultInjector *F) { Faults = F; }
+  FaultInjector *faultInjector() const { return Faults; }
+
 private:
   /// Folds queue/event accounting into the attached registry.
   void noteScheduled();
@@ -240,6 +249,8 @@ private:
   /// metric pointers keep the enabled-path cost to a few increments and
   /// the disabled-path cost to one branch.
   Telemetry *Tel = nullptr;
+  /// Optional fault injector (owned by the experiment driver).
+  FaultInjector *Faults = nullptr;
   Counter *ScheduledCtr = nullptr;
   Counter *FiredCtr = nullptr;
   Counter *CancelledCtr = nullptr;

@@ -130,6 +130,17 @@ void Telemetry::recordEnergySample(const EnergySampleRecord &R) {
                 {"queue_depth", R.QueueDepth}});
 }
 
+void Telemetry::recordFaultEvent(const FaultEventRecord &R) {
+  if (!Enabled)
+    return;
+  Metrics.counter("faults." + R.Fault + "." + R.Phase).add();
+  appendRecord(TelemetryEventKind::Fault,
+               {{"fault", R.Fault},
+                {"phase", R.Phase},
+                {"detail", R.Detail},
+                {"value", R.Value}});
+}
+
 void Telemetry::recordCounterSample(const std::string &Track,
                                     double Value) {
   if (!Enabled)

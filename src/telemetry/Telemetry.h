@@ -90,6 +90,15 @@ struct QosViolationRecord {
   std::string QosKind;  ///< "single" or "continuous" ("" = unknown).
 };
 
+/// A fault-injection event: a scheduled fault window opening or
+/// closing, or one discrete injection landing inside a window.
+struct FaultEventRecord {
+  std::string Fault;  ///< Family name ("thermal_throttle", ...).
+  std::string Phase;  ///< "begin", "end", or "inject".
+  std::string Detail; ///< Human-readable parameters or injection context.
+  double Value = 0.0; ///< Family-specific magnitude (cap MHz, scale, ...).
+};
+
 /// Periodic (DAQ-style) power reading plus co-sampled simulator state.
 struct EnergySampleRecord {
   double Watts = 0.0;
@@ -149,6 +158,7 @@ public:
   void recordFrameStage(const FrameStageRecord &R);
   void recordQosViolation(const QosViolationRecord &R);
   void recordEnergySample(const EnergySampleRecord &R);
+  void recordFaultEvent(const FaultEventRecord &R);
   /// Generic time-series point for an extra trace counter track.
   void recordCounterSample(const std::string &Track, double Value);
 

@@ -32,6 +32,8 @@ const char *greenweb::telemetryEventKindName(TelemetryEventKind Kind) {
     return "counter_sample";
   case TelemetryEventKind::Span:
     return "span";
+  case TelemetryEventKind::Fault:
+    return "fault";
   }
   return "unknown";
 }
@@ -42,7 +44,8 @@ bool greenweb::telemetryEventKindFromName(const std::string &Name,
       TelemetryEventKind::GovernorDecision, TelemetryEventKind::FeedbackAction,
       TelemetryEventKind::ConfigSwitch,     TelemetryEventKind::FrameStage,
       TelemetryEventKind::QosViolation,     TelemetryEventKind::EnergySample,
-      TelemetryEventKind::CounterSample,    TelemetryEventKind::Span};
+      TelemetryEventKind::CounterSample,    TelemetryEventKind::Span,
+      TelemetryEventKind::Fault};
   for (TelemetryEventKind K : Kinds)
     if (Name == telemetryEventKindName(K)) {
       Out = K;

@@ -40,6 +40,7 @@ enum class TelemetryEventKind : uint8_t {
   EnergySample,     ///< Periodic (DAQ-style) power/energy reading.
   CounterSample,    ///< Generic time-series point for trace counters.
   Span,             ///< A completed causal span (see SpanTracer).
+  Fault,            ///< A fault window opened/closed or an injection landed.
 };
 
 /// Stable lowercase name used in serialized output.

@@ -180,6 +180,37 @@ void applyAnnotationAblations(const ExperimentConfig &Config,
   }
 }
 
+/// Injected annotation mislabeling (paper Sec. 7.3 taken adversarial):
+/// each annotated (element, event) pair is independently corrupted at
+/// parse time. Runs after the ablations so the faults perturb whatever
+/// annotation set the experiment actually uses. Document order makes
+/// the element scan — and therefore the fault stream — deterministic.
+void applyAnnotationFaults(FaultInjector &F, AnnotationRegistry &Registry,
+                           Browser &B) {
+  if (!F.plan().hasKind(FaultKind::AnnotationMislabel))
+    return;
+  std::vector<std::pair<Element *, std::string>> Keys;
+  B.document()->forEachElement([&](Element &E) {
+    for (const std::string &Type : E.listenedEventTypes())
+      if (Registry.lookup(E, Type))
+        Keys.push_back({&E, Type});
+    if (Registry.lookup(E, events::Load))
+      Keys.push_back({&E, events::Load});
+  });
+  for (auto &[E, Type] : Keys) {
+    FaultInjector::MislabelDecision D = F.annotationMislabel(E->nodeId());
+    if (!D.Mislabel)
+      continue;
+    QosSpec Spec = *Registry.lookup(*E, Type);
+    if (D.FlipType)
+      Spec.Type = Spec.Type == QosType::Single ? QosType::Continuous
+                                               : QosType::Single;
+    Spec.Target = {Spec.Target.Imperceptible * D.TargetScale,
+                   Spec.Target.Usable * D.TargetScale};
+    Registry.annotate(*E, Type, Spec);
+  }
+}
+
 std::unique_ptr<Governor>
 makeGovernor(const ExperimentConfig &Config, AnnotationRegistry &Registry,
              const EnergyMeter &Meter) {
@@ -215,6 +246,15 @@ struct Harness {
         Chip(Sim), Meter(Chip), Collector(Registry) {
     if (Config.Tel)
       Sim.setTelemetry(Config.Tel);
+    if (Config.Faults && !Config.Faults->Faults.empty()) {
+      Injector.emplace(Sim, *Config.Faults);
+      // A throttle window opening mid-run must clamp the chip even if
+      // the governor issues no new decision for a while.
+      Injector->addWindowListener([this](const FaultSpec &S, bool Began) {
+        if (S.Kind == FaultKind::ThermalThrottle && Began)
+          Chip.enforceThermalCap();
+      });
+    }
     Html = App.Html;
     if (Config.UseAutoGreenAnnotations) {
       AutoGreenResult Auto = runAutoGreen(Html);
@@ -231,6 +271,8 @@ struct Harness {
     Chip.resetStats();
     if (Config.Tel && Config.MeterSamplePeriod > Duration::zero())
       Meter.enableSampling(Config.MeterSamplePeriod);
+    if (Injector)
+      Injector->arm(Sim.now());
   }
 
   /// Creates a fresh browser, loads the page, and attaches everything.
@@ -247,6 +289,8 @@ struct Harness {
       Registry.clear();
       Registry.loadFromPage(*B);
       applyAnnotationAblations(Config, Registry, *B);
+      if (Injector)
+        applyAnnotationFaults(*Injector, Registry, *B);
     };
     B->addFrameObserver(&Collector);
     Gov->attach(*B);
@@ -267,6 +311,9 @@ struct Harness {
   AnnotationRegistry Registry;
   MetricCollector Collector;
   std::unique_ptr<Governor> Gov;
+  /// Declared after everything it perturbs; its destructor detaches
+  /// from Sim before Sim is destroyed.
+  std::optional<FaultInjector> Injector;
   std::unique_ptr<Browser> B;
 };
 
@@ -321,6 +368,9 @@ static ExperimentResult collectResults(Harness &H, TimePoint ArmTime) {
                                            double(AllEvents);
     R.ScriptErrors = H.B->ScriptErrors;
   }
+
+  if (H.Injector)
+    R.Faults = H.Injector->stats();
 
   if (auto *RT = static_cast<GreenWebRuntime *>(
           H.Config.GovernorName == governors::GreenWebI ||

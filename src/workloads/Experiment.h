@@ -17,6 +17,7 @@
 #ifndef GREENWEB_WORKLOADS_EXPERIMENT_H
 #define GREENWEB_WORKLOADS_EXPERIMENT_H
 
+#include "faults/FaultInjector.h"
 #include "greenweb/GreenWebRuntime.h"
 #include "workloads/Apps.h"
 
@@ -65,6 +66,10 @@ struct ExperimentConfig {
   /// Scale every annotation's targets (ablation A2: mis-annotation; a
   /// value of 0.05 makes every target 20x tighter).
   double TargetScale = 1.0;
+  /// Optional fault plan. When set (and non-empty), the run builds a
+  /// FaultInjector over its simulator and arms the plan's windows at
+  /// measurement start (chaos evaluation; see docs/ROBUSTNESS.md).
+  std::optional<FaultPlan> Faults;
   /// Optional telemetry hub. When set (and enabled), the run's
   /// simulator, chip, governor, and browser all instrument into it, and
   /// the run's headline results are published as experiment.* gauges.
@@ -129,6 +134,9 @@ struct ExperimentResult {
 
   /// GreenWeb runtime counters (zero for baseline governors).
   GreenWebRuntime::Stats RuntimeStats;
+
+  /// Injection counters (all zero without a fault plan).
+  FaultStats Faults;
 
   std::vector<EventMetrics> Events;
   std::vector<std::string> ScriptErrors;

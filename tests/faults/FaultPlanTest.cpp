@@ -1,0 +1,112 @@
+//===- tests/faults/FaultPlanTest.cpp - FaultPlan unit tests ---------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/FaultPlan.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+TEST(FaultPlanTest, KindNamesRoundTrip) {
+  for (FaultKind Kind :
+       {FaultKind::ThermalThrottle, FaultKind::DvfsFlaky,
+        FaultKind::MeterNoise, FaultKind::CallbackSpike,
+        FaultKind::VsyncJitter, FaultKind::AnnotationMislabel}) {
+    std::optional<FaultKind> Back = faultKindFromName(faultKindName(Kind));
+    ASSERT_TRUE(Back.has_value()) << faultKindName(Kind);
+    EXPECT_EQ(*Back, Kind);
+  }
+  EXPECT_FALSE(faultKindFromName("no_such_fault").has_value());
+}
+
+TEST(FaultPlanTest, MeterNoiseIsQosNeutral) {
+  EXPECT_FALSE(faultPerturbsQos(FaultKind::MeterNoise));
+  EXPECT_TRUE(faultPerturbsQos(FaultKind::ThermalThrottle));
+  EXPECT_TRUE(faultPerturbsQos(FaultKind::CallbackSpike));
+}
+
+TEST(FaultPlanTest, JsonRoundTripIsExact) {
+  FaultPlan Plan;
+  Plan.Seed = 42;
+  FaultSpec Thermal;
+  Thermal.Kind = FaultKind::ThermalThrottle;
+  Thermal.Start = Duration::seconds(2);
+  Thermal.Length = Duration::milliseconds(1500);
+  Thermal.CapMHz = 1000;
+  FaultSpec Spike;
+  Spike.Kind = FaultKind::CallbackSpike;
+  Spike.SpikeProb = 0.45;
+  Spike.SpikeScale = 8.0;
+  Plan.Faults = {Thermal, Spike};
+
+  std::string Json = Plan.toJson();
+  std::optional<FaultPlan> Back = FaultPlan::fromJson(Json);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, Plan);
+  // Canonical serialization: equal plans produce byte-equal text.
+  EXPECT_EQ(Back->toJson(), Json);
+}
+
+TEST(FaultPlanTest, FromJsonRejectsMalformedPlans) {
+  std::string Error;
+  EXPECT_FALSE(FaultPlan::fromJson("not json", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+  // Unknown fault kind.
+  EXPECT_FALSE(FaultPlan::fromJson(
+                   R"({"seed":1,"faults":[{"kind":"warp_core_breach"}]})")
+                   .has_value());
+  // Thermal without a cap is meaningless.
+  EXPECT_FALSE(FaultPlan::fromJson(
+                   R"({"seed":1,"faults":[{"kind":"thermal_throttle"}]})")
+                   .has_value());
+  // Negative windows refused.
+  EXPECT_FALSE(
+      FaultPlan::fromJson(
+          R"({"seed":1,"faults":[{"kind":"dvfs_flaky","start_ms":-5}]})")
+          .has_value());
+}
+
+TEST(FaultPlanTest, NamedScenariosExist) {
+  for (const std::string &Name : FaultPlan::scenarioNames()) {
+    std::optional<FaultPlan> Plan = FaultPlan::scenario(Name, 7);
+    ASSERT_TRUE(Plan.has_value()) << Name;
+    EXPECT_EQ(Plan->Seed, 7u) << Name;
+    EXPECT_FALSE(Plan->Faults.empty()) << Name;
+    // Every scenario survives a JSON round trip.
+    std::optional<FaultPlan> Back = FaultPlan::fromJson(Plan->toJson());
+    ASSERT_TRUE(Back.has_value()) << Name;
+    EXPECT_EQ(*Back, *Plan) << Name;
+  }
+  EXPECT_FALSE(FaultPlan::scenario("bogus").has_value());
+}
+
+TEST(FaultPlanTest, ChaosPlanIsDeterministicAndPerturbing) {
+  for (uint64_t Seed = 1; Seed <= 32; ++Seed) {
+    FaultPlan A = FaultPlan::chaosPlan(Seed);
+    FaultPlan B = FaultPlan::chaosPlan(Seed);
+    EXPECT_EQ(A, B) << "seed " << Seed;
+    EXPECT_EQ(A.Seed, Seed);
+    ASSERT_FALSE(A.Faults.empty()) << "seed " << Seed;
+    EXPECT_LE(A.Faults.size(), 4u) << "seed " << Seed;
+    bool Perturbs = false;
+    for (const FaultSpec &S : A.Faults)
+      Perturbs |= faultPerturbsQos(S.Kind);
+    EXPECT_TRUE(Perturbs) << "seed " << Seed;
+  }
+  // Different seeds give different plans (overwhelmingly).
+  EXPECT_NE(FaultPlan::chaosPlan(1), FaultPlan::chaosPlan(2));
+}
+
+TEST(FaultPlanTest, HasKindScansAllSpecs) {
+  FaultPlan Plan = *FaultPlan::scenario("mixed");
+  EXPECT_TRUE(Plan.hasKind(FaultKind::ThermalThrottle));
+  EXPECT_TRUE(Plan.hasKind(FaultKind::DvfsFlaky));
+  EXPECT_FALSE(Plan.hasKind(FaultKind::AnnotationMislabel));
+}
+
+} // namespace

@@ -249,6 +249,40 @@ TEST(RunCompareTest, BaselineOnlyAndCandidateOnly) {
   EXPECT_EQ(C->V, Verdict::CandidateOnly);
 }
 
+TEST(RunCompareTest, HeaderlessBenchDocsParseAsBench) {
+  // Bench JSONs from before the "harness" field existed carry only
+  // "benchmarks"/"scalars"; they must ingest as bench, not refuse.
+  RunSnapshot B = mustParse(
+      "{\"benchmarks\": [{\"name\":\"kernel\",\"ns_per_op\":100.0}]}");
+  EXPECT_EQ(B.SourceKind, "bench");
+  EXPECT_NE(B.find("kernel.ns_per_op"), nullptr);
+
+  RunSnapshot S = mustParse(
+      "{\"scalars\": [{\"name\":\"sweep_seconds\",\"value\":2.0}]}");
+  EXPECT_EQ(S.SourceKind, "bench");
+  EXPECT_NE(S.find("sweep_seconds"), nullptr);
+
+  CompareResult R = prof::compareRuns(B, mustParse(benchJson(140.0, 2.9)));
+  ASSERT_TRUE(R.comparable()) << R.MetaError;
+}
+
+TEST(RunCompareTest, SamplesOnOneSideFallBackToPointComparison) {
+  RunSnapshot Base = mustParse(benchJson(100.0, 2.0));
+  // Candidate carries the metric but no raw samples.
+  RunSnapshot Cand = mustParse(
+      "{\"harness\": \"bench_x\",\n"
+      "  \"meta\": {\"schema\":1,\"git_commit\":\"abc1234\",\"build_type\":"
+      "\"Release\",\"compiler\":\"GNU 12.2.0\",\"hardware_threads\":4,"
+      "\"flags\":\"bench_x\"},\n"
+      "  \"benchmarks\": [{\"name\":\"kernel\",\"ns_per_op\":140.0}]}");
+  CompareResult R = prof::compareRuns(Base, Cand);
+  ASSERT_TRUE(R.comparable()) << R.MetaError;
+  const prof::MetricDelta *D = findDelta(R, "kernel.ns_per_op");
+  ASSERT_NE(D, nullptr);
+  EXPECT_FALSE(D->HasStats); // No stats without samples on both sides...
+  EXPECT_EQ(D->V, Verdict::Regressed); // ...but the threshold still fires.
+}
+
 TEST(RunCompareTest, MannWhitneySanity) {
   std::vector<double> A{1, 2, 3, 4, 5, 6, 7, 8};
   std::vector<double> Shifted{11, 12, 13, 14, 15, 16, 17, 18};

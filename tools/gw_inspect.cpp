@@ -18,6 +18,10 @@
 //                                            critical path of one frame
 //                                            (input chain when ROOT is
 //                                            given)
+//   gw-inspect events.jsonl faults           per-family fault windows,
+//                                            injection counts, and the
+//                                            QoS-violation rate inside
+//                                            vs outside each window
 //
 // Everything here reads only the log, so the output matches what the
 // instrumented run printed from live telemetry.
@@ -33,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <string>
@@ -44,9 +49,140 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <events.jsonl> "
-               "[summary | violations | energy [N] | path FRAME [ROOT]]\n",
+               "[summary | violations | energy [N] | path FRAME [ROOT] | "
+               "faults]\n",
                Argv0);
   return 2;
+}
+
+/// One injected-fault window reconstructed from begin/end Fault records
+/// (a window with no end record runs to the end of the log).
+struct FaultWindow {
+  std::string Family;
+  std::string Detail;
+  double BeginUs = 0.0;
+  double EndUs = 0.0;
+  bool Open = false; ///< No end record (window outlived the run).
+  size_t Injections = 0;
+  size_t Violations = 0;
+};
+
+int cmdFaults(const TelemetryLog &Log) {
+  std::vector<FaultWindow> Windows;
+  std::map<std::string, size_t> OpenByFamily;
+  double LastTs = 0.0;
+  size_t StrayInjections = 0;
+  for (const TelemetryRecord &R : Log.records()) {
+    LastTs = std::max(LastTs, double(R.Ts.nanos()) / 1e3);
+    if (R.Kind != TelemetryEventKind::Fault)
+      continue;
+    std::string Family = R.stringOr("fault", "?");
+    std::string Phase = R.stringOr("phase", "");
+    if (Phase == "begin") {
+      FaultWindow W;
+      W.Family = Family;
+      W.Detail = R.stringOr("detail", "");
+      W.BeginUs = double(R.Ts.nanos()) / 1e3;
+      W.Open = true;
+      OpenByFamily[Family] = Windows.size();
+      Windows.push_back(std::move(W));
+    } else if (Phase == "end") {
+      auto It = OpenByFamily.find(Family);
+      if (It != OpenByFamily.end()) {
+        Windows[It->second].EndUs = double(R.Ts.nanos()) / 1e3;
+        Windows[It->second].Open = false;
+        OpenByFamily.erase(It);
+      }
+    } else if (Phase == "inject") {
+      auto It = OpenByFamily.find(Family);
+      if (It != OpenByFamily.end())
+        ++Windows[It->second].Injections;
+      else
+        ++StrayInjections; // Window-agnostic families (mislabel).
+    }
+  }
+  if (Windows.empty() && StrayInjections == 0) {
+    std::printf("no fault records in the log (run with a fault plan and "
+                "--log= to capture injections).\n");
+    return 0;
+  }
+  for (FaultWindow &W : Windows)
+    if (W.Open)
+      W.EndUs = LastTs;
+
+  // Attribute each QoS violation to every window covering it; compute
+  // the outside-rate from the remainder for the causal footprint.
+  size_t TotalViolations = 0;
+  for (const TelemetryRecord *R :
+       Log.byKind(TelemetryEventKind::QosViolation)) {
+    ++TotalViolations;
+    double Ts = double(R->Ts.nanos()) / 1e3;
+    for (FaultWindow &W : Windows)
+      if (Ts >= W.BeginUs && Ts <= W.EndUs)
+        ++W.Violations;
+  }
+
+  std::printf("%zu fault windows, %zu QoS violations in the log\n\n",
+              Windows.size(), TotalViolations);
+  std::printf("  %-18s %10s %10s %10s %11s %12s\n", "family", "begin s",
+              "end s", "injections", "violations", "viol/s inside");
+  for (const FaultWindow &W : Windows) {
+    double Span = std::max(1e-9, (W.EndUs - W.BeginUs) / 1e6);
+    std::printf("  %-18s %10.2f %9.2f%s %10zu %11zu %12.2f\n",
+                W.Family.c_str(), W.BeginUs / 1e6, W.EndUs / 1e6,
+                W.Open ? "+" : " ", W.Injections, W.Violations,
+                double(W.Violations) / Span);
+  }
+  if (StrayInjections)
+    std::printf("  %zu window-agnostic injections (annotation mislabels "
+                "apply from parse time).\n",
+                StrayInjections);
+
+  // Overall inside/outside rate: merged coverage of all windows.
+  double Covered = 0.0;
+  size_t Inside = 0;
+  {
+    std::vector<std::pair<double, double>> Spans;
+    for (const FaultWindow &W : Windows)
+      Spans.push_back({W.BeginUs, W.EndUs});
+    std::sort(Spans.begin(), Spans.end());
+    double CurB = -1.0, CurE = -1.0;
+    std::vector<std::pair<double, double>> Merged;
+    for (auto &[B, E] : Spans) {
+      if (B > CurE) {
+        if (CurE > CurB)
+          Merged.push_back({CurB, CurE});
+        CurB = B;
+        CurE = E;
+      } else
+        CurE = std::max(CurE, E);
+    }
+    if (CurE > CurB)
+      Merged.push_back({CurB, CurE});
+    for (auto &[B, E] : Merged)
+      Covered += (E - B) / 1e6;
+    for (const TelemetryRecord *R :
+         Log.byKind(TelemetryEventKind::QosViolation)) {
+      double Ts = double(R->Ts.nanos()) / 1e3;
+      for (auto &[B, E] : Merged)
+        if (Ts >= B && Ts <= E) {
+          ++Inside;
+          break;
+        }
+    }
+  }
+  double Total = LastTs / 1e6;
+  double Outside = std::max(1e-9, Total - Covered);
+  if (!Windows.empty()) {
+    std::printf("\ncausal footprint: %zu of %zu violations inside fault "
+                "windows\n",
+                Inside, TotalViolations);
+    std::printf("  inside rate:  %.2f violations/s over %.2f s\n",
+                Covered > 0 ? double(Inside) / Covered : 0.0, Covered);
+    std::printf("  outside rate: %.2f violations/s over %.2f s\n",
+                double(TotalViolations - Inside) / Outside, Outside);
+  }
+  return 0;
 }
 
 int cmdSummary(const TelemetryLog &Log) {
@@ -203,6 +339,8 @@ int main(int Argc, char **Argv) {
     return cmdViolations(Log);
   if (std::strcmp(Cmd, "energy") == 0)
     return cmdEnergy(Log, Argc > 3 ? size_t(std::atoll(Argv[3])) : 0);
+  if (std::strcmp(Cmd, "faults") == 0)
+    return cmdFaults(Log);
   if (std::strcmp(Cmd, "path") == 0) {
     if (Argc < 4)
       return usage(Argv[0]);
