@@ -39,11 +39,22 @@ inline std::string &processCommandLine() {
   return Line;
 }
 
+/// Cap on raw sample arrays in JSON output (--samples-cap=N, 0 =
+/// unlimited). Long self-timed runs collect thousands of per-round
+/// samples that bloat committed baselines; arrays over the cap are
+/// downsampled with an even stride, which keeps the full time span
+/// represented so gw-diff's Mann-Whitney/bootstrap tests stay sound.
+inline size_t &samplesCap() {
+  static size_t Cap = 100;
+  return Cap;
+}
+
 /// Flags every harness understands. Unknown arguments are ignored so
 /// harness-specific flags can coexist.
 ///
 ///   --json=<path>        write the harness's results as JSON to <path>
 ///   --jobs=N             worker threads for sweep prefetch (0 = hardware)
+///   --samples-cap=N      cap raw sample arrays in JSON (0 = unlimited)
 ///   --prof               capture a host-side gw_prof profile
 ///   --prof-out=BASE      profile output base (implies --prof)
 ///   --prof-sample=MICROS also run the timer sampler (implies --prof)
@@ -65,6 +76,8 @@ struct BenchFlags {
       else if (startsWith(Arg, "--jobs=")) {
         Flags.Jobs = unsigned(parseInt(Arg.substr(7)).value_or(1));
         Flags.JobsSet = true;
+      } else if (startsWith(Arg, "--samples-cap=")) {
+        samplesCap() = size_t(parseInt(Arg.substr(14)).value_or(100));
       } else if (Arg == "--prof")
         Flags.Prof = true;
       else if (startsWith(Arg, "--prof-out=")) {
@@ -194,9 +207,17 @@ public:
 
 private:
   static std::string sampleArray(const std::vector<double> &Samples) {
+    size_t Cap = samplesCap();
+    std::vector<double> Capped;
+    if (Cap > 0 && Samples.size() > Cap) {
+      Capped.reserve(Cap);
+      for (size_t I = 0; I < Cap; ++I)
+        Capped.push_back(Samples[I * Samples.size() / Cap]);
+    }
+    const std::vector<double> &Out = Capped.empty() ? Samples : Capped;
     std::string A = "[";
-    for (size_t I = 0; I < Samples.size(); ++I)
-      A += formatString(I ? ",%.3f" : "%.3f", Samples[I]);
+    for (size_t I = 0; I < Out.size(); ++I)
+      A += formatString(I ? ",%.3f" : "%.3f", Out[I]);
     return A + "]";
   }
 

@@ -1,0 +1,198 @@
+//===- bench/bench_telemetry.cpp - telemetry hub overhead harness ---------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// Measures the per-record cost of the telemetry hub across its
+// observability configurations, so the "near-zero steady-state cost"
+// claim of the always-on flight recorder stays a measured number:
+//
+//   1. disabled        the enabled() branch and nothing else
+//   2. plain           metrics + log append (the pre-observability path)
+//   3. recorder        plain + flight-recorder ring copy per record
+//   4. detectors       plain + EWMA/CUSUM scoring per record
+//   5. full            plain + recorder + detectors
+//   6. metrics_full    recorder + detectors over a capacity-0 log, the
+//                      always-on production shape for long sweeps
+//
+// Each round replays the same synthetic session: six-stage frames with
+// a drifting latency pattern, a governor decision every 4th frame, and
+// a DAQ-style energy sample every 16th, under a synthetic virtual
+// clock, so every configuration sees an identical record stream that
+// exercises all three detectors and the ring.
+//
+// Writes BENCH_telemetry.json (override with --json=<path>); the
+// committed copy at the repo root records the numbers for the
+// environment that produced it — regenerate with:
+//
+//   build/bench/bench_telemetry --json=BENCH_telemetry.json
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/StringUtils.h"
+#include "telemetry/AnomalyDetector.h"
+#include "telemetry/FlightRecorder.h"
+#include "telemetry/Telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace greenweb;
+
+namespace {
+
+struct Measurement {
+  uint64_t Ops = 0;
+  double Seconds = 0.0;
+  std::vector<double> SamplesNsPerOp; ///< Per-round ns/op, for gw-diff.
+  double nsPerOp() const { return Ops ? Seconds / double(Ops) * 1e9 : 0; }
+  double opsPerSec() const { return Seconds > 0 ? double(Ops) / Seconds : 0; }
+};
+
+/// Repeats \p Round (which returns the ops it performed) until at least
+/// \p MinSeconds of wall clock accumulate, timing each round separately
+/// so the JSON output can carry raw samples for significance testing.
+Measurement measure(const std::function<uint64_t()> &Round,
+                    double MinSeconds = 0.25) {
+  Measurement M;
+  auto Start = std::chrono::steady_clock::now();
+  do {
+    auto RoundStart = std::chrono::steady_clock::now();
+    uint64_t Ops = Round();
+    auto RoundEnd = std::chrono::steady_clock::now();
+    M.Ops += Ops;
+    if (Ops)
+      M.SamplesNsPerOp.push_back(
+          std::chrono::duration<double>(RoundEnd - RoundStart).count() /
+          double(Ops) * 1e9);
+    M.Seconds = std::chrono::duration<double>(RoundEnd - Start).count();
+  } while (M.Seconds < MinSeconds);
+  return M;
+}
+
+/// How a hub under test is configured.
+struct HubShape {
+  const char *Name;
+  bool Enabled = true;
+  bool Recorder = false;
+  bool Detectors = false;
+  bool MetricsOnly = false;
+};
+
+/// One synthetic session: \p Frames frames of six stage records each,
+/// with a square-wave latency pattern (so the detectors do real
+/// scoring work, including the occasional alert), a governor decision
+/// every 4th frame, and an energy sample every 16th. Returns the
+/// number of recorder calls made.
+uint64_t sessionRound(Telemetry &Tel, uint64_t &NowNs, double &Joules,
+                      unsigned Frames) {
+  static const char *Stages[] = {"animate", "style",     "layout",
+                                 "paint",   "composite", "present"};
+  uint64_t Ops = 0;
+  for (unsigned F = 0; F < Frames; ++F) {
+    // ~60 Hz cadence with a latency regime shift every 256 frames.
+    double Base = (F / 256) % 2 ? 22.0 : 11.0;
+    double TotalMs = Base + double(F % 7) * 0.25;
+    for (const char *Stage : Stages) {
+      NowNs += 2'000'000;
+      Tel.recordFrameStage({int64_t(F), Stage, TotalMs / 6.0});
+      ++Ops;
+    }
+    Tel.recordFrameStage({int64_t(F), "total", TotalMs});
+    ++Ops;
+    if (F % 4 == 0) {
+      GovernorDecisionRecord D;
+      D.Governor = "bench";
+      D.Reason = "predicted";
+      D.Config = F % 8 ? "A15@1800MHz" : "A7@1000MHz";
+      D.CoreIsBig = F % 8 ? 1 : 0;
+      D.FreqMHz = F % 8 ? 1800 : 1000;
+      Tel.recordGovernorDecision(D);
+      ++Ops;
+    }
+    if (F % 16 == 0) {
+      Joules += TotalMs * 1e-3 * 1.5; // ~1.5 W at the frame cadence.
+      Tel.recordEnergySample({1.5, Joules, 4});
+      ++Ops;
+    }
+  }
+  return Ops;
+}
+
+Measurement benchShape(const HubShape &Shape, unsigned Frames) {
+  Telemetry Tel;
+  uint64_t NowNs = 0;
+  double Joules = 0.0;
+  Tel.setClock([&NowNs] {
+    return TimePoint::origin() + Duration::nanoseconds(int64_t(NowNs));
+  });
+  Tel.setEnabled(Shape.Enabled);
+  if (Shape.MetricsOnly)
+    Tel.setLogCapacity(0);
+  if (Shape.Recorder)
+    Tel.enableFlightRecorder();
+  if (Shape.Detectors)
+    Tel.enableAnomalyDetectors();
+  return measure([&] {
+    uint64_t Ops = sessionRound(Tel, NowNs, Joules, Frames);
+    // Keep memory flat across rounds; the clear is identical work in
+    // every configuration so relative costs stay comparable.
+    Tel.log().clear();
+    return Ops;
+  });
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::ProfSession ProfGuard(Flags);
+  if (Flags.JsonPath.empty())
+    Flags.JsonPath = "BENCH_telemetry.json";
+  bench::JsonReporter Json("bench_telemetry", Flags.JsonPath);
+  bench::banner("Telemetry hub overhead",
+                "Per-record cost with the flight recorder and anomaly "
+                "detectors off vs on (infrastructure, not paper data)");
+
+  constexpr unsigned Frames = 2'048;
+  const HubShape Shapes[] = {
+      {"disabled", /*Enabled=*/false},
+      {"plain"},
+      {"recorder", true, /*Recorder=*/true},
+      {"detectors", true, false, /*Detectors=*/true},
+      {"full", true, true, true},
+      {"metrics_full", true, true, true, /*MetricsOnly=*/true},
+  };
+
+  TablePrinter Table(formatString(
+      "Per-record hub cost (synthetic session, %u frames/round)", Frames));
+  Table.row()
+      .cell("Configuration")
+      .cell("ns/record")
+      .cell("records/sec")
+      .cell("vs plain");
+  double PlainNs = 0.0;
+  for (const HubShape &Shape : Shapes) {
+    Measurement M = benchShape(Shape, Frames);
+    if (std::string_view(Shape.Name) == "plain")
+      PlainNs = M.nsPerOp();
+    std::string Rel =
+        PlainNs > 0.0 && std::string_view(Shape.Name) != "plain"
+            ? formatString("%+.1f%%", (M.nsPerOp() / PlainNs - 1.0) * 100.0)
+            : "-";
+    Table.row()
+        .cell(Shape.Name)
+        .cell(M.nsPerOp(), 1)
+        .cell(formatString("%.0f", M.opsPerSec()))
+        .cell(Rel);
+    Json.metric(formatString("telemetry_record/%s", Shape.Name), M.Ops,
+                M.nsPerOp(), "records_per_sec", M.opsPerSec(), "",
+                M.SamplesNsPerOp);
+  }
+  Table.print();
+  std::printf("\nwrote %s\n", Flags.JsonPath.c_str());
+  return 0;
+}

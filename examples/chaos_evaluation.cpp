@@ -276,10 +276,13 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Opts.Seed));
 
   // Artifact runs get an attached hub so the fault windows, injections,
-  // watchdog decisions, and energy samples all land in the export.
+  // watchdog decisions, and energy samples all land in the export —
+  // with the online detectors / flight recorder armed when requested.
   std::optional<Telemetry> Tel;
-  if (Opts.Artifacts.any())
+  if (Opts.Artifacts.any()) {
     Tel.emplace();
+    Opts.Artifacts.configureHub(*Tel);
+  }
 
   std::vector<ChaosCell> Cells;
   for (const std::string &Name : Opts.Scenarios) {

@@ -183,6 +183,7 @@ void exportTrace(const ExperimentConfig &Config,
   AppDefinition App = makeApp(Config.AppName, Config.Seed);
   Simulator Sim;
   Telemetry Tel;
+  Artifacts.configureHub(Tel);
   Sim.setTelemetry(&Tel);
   AcmpChip Chip(Sim);
   EnergyMeter Meter(Chip);

@@ -63,8 +63,10 @@ scrollUnder(Governor &Gov, AnnotationRegistry *GovernorRegistry = nullptr,
   Simulator Sim;
   Telemetry Tel;
   bool Instrument = Artifacts && (Artifacts->any() || Artifacts->Prof);
-  if (Instrument)
+  if (Instrument) {
+    Artifacts->configureHub(Tel);
     Sim.setTelemetry(&Tel);
+  }
   AcmpChip Chip(Sim);
   EnergyMeter Meter(Chip);
   ConfigTimelineRecorder Recorder(Chip);

@@ -64,8 +64,10 @@ Outcome runEditor(const char *QosRule, unsigned Taps,
   Simulator Sim;
   Telemetry Tel;
   bool Instrument = Artifacts && (Artifacts->any() || Artifacts->Prof);
-  if (Instrument)
+  if (Instrument) {
+    Artifacts->configureHub(Tel);
     Sim.setTelemetry(&Tel);
+  }
   AcmpChip Chip(Sim);
   EnergyMeter Meter(Chip);
   ConfigTimelineRecorder Recorder(Chip);

@@ -65,8 +65,10 @@ RunOutcome runOnce(Governor &Gov, AnnotationRegistry &Registry,
   Simulator Sim;
   Telemetry Tel;
   bool Instrument = Artifacts && (Artifacts->any() || Artifacts->Prof);
-  if (Instrument)
+  if (Instrument) {
+    Artifacts->configureHub(Tel);
     Sim.setTelemetry(&Tel);
+  }
   AcmpChip Chip(Sim);
   EnergyMeter Meter(Chip);
   ConfigTimelineRecorder Recorder(Chip);

@@ -767,6 +767,13 @@ void Browser::runPipelineStage(unsigned StageIndex) {
 
 void Browser::finishFrame() {
   recordStage("present");
+  // One closing record with the frame's full production latency
+  // (BeginFrame to display). The per-stage records above cover the
+  // breakdown; this record is the per-frame series the online anomaly
+  // detectors track (see telemetry/AnomalyDetector.h).
+  if (Telemetry *T = Sim.telemetry(); T && T->enabled())
+    T->recordFrameStage({int64_t(NextFrameId), "total",
+                         (Sim.now() - FrameBeginTime).millis()});
   if (FrameSpan != 0) {
     if (SpanTracer *Tr = tracer())
       Tr->end(FrameSpan);

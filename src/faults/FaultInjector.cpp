@@ -88,6 +88,9 @@ void FaultInjector::beginWindow(size_t Index) {
   const FaultSpec &S = Plan.Faults[Index];
   Active[Index] = true;
   if (Telemetry *T = Sim.telemetry(); T && T->enabled()) {
+    // The phase="begin" record doubles as the flight recorder's
+    // fault_window trigger (telemetry/FlightRecorder.h): an attached
+    // recorder dumps the pre-fault ring as the window opens.
     T->recordFaultEvent({faultKindName(S.Kind), "begin", S.str(), 0.0});
     WindowSpans[Index] = T->spans().begin(
         std::string("fault:") + faultKindName(S.Kind), "faults",

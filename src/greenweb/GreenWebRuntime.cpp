@@ -432,6 +432,9 @@ void GreenWebRuntime::tripWatchdog() {
   }
   ++Counters.WatchdogTrips;
   bumpMetric("governor.watchdog_trips");
+  // The "watchdog_fallback" decision record doubles as the flight
+  // recorder's watchdog_trip trigger (telemetry/FlightRecorder.h), so
+  // an attached recorder snapshots the ring of records leading here.
   if (Telemetry *T = telemetry()) {
     AcmpConfig Floor = watchdogFloorConfig();
     T->recordGovernorDecision(

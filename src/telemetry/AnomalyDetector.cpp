@@ -1,0 +1,126 @@
+//===- telemetry/AnomalyDetector.cpp - Online change-point alerts ----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/AnomalyDetector.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace greenweb;
+
+EwmaCusum::Step EwmaCusum::observe(double X) {
+  Step S;
+  ++N;
+  if (N == 1) {
+    Mean = X;
+    Dev = 0.0;
+    SinceAlert = Cfg.CooldownSamples; // The first alert needs no cooldown.
+    return S;
+  }
+  double Residual = X - Mean;
+  if (N <= Cfg.WarmupSamples) {
+    // Baseline seeding: adapt, never alert.
+    Mean += Cfg.Alpha * Residual;
+    Dev += Cfg.Alpha * (std::fabs(Residual) - Dev);
+    ++SinceAlert;
+    return S;
+  }
+  double Sigma = std::max(Dev, 1e-9);
+  double Z = Residual / Sigma;
+  Pos = std::max(0.0, Pos + Z - Cfg.CusumK);
+  Neg = std::max(0.0, Neg - Z - Cfg.CusumK);
+  ++SinceAlert;
+  if ((Pos > Cfg.CusumH || Neg > Cfg.CusumH) &&
+      SinceAlert > Cfg.CooldownSamples) {
+    S.Fired = true;
+    S.Dir = Pos > Cfg.CusumH ? 1 : -1;
+    S.Score = S.Dir > 0 ? Pos : Neg;
+    // Restart the statistic and re-seed the baseline at the new level,
+    // so one sustained shift produces one alert, not a burst.
+    Pos = Neg = 0.0;
+    SinceAlert = 0;
+    Mean = X;
+    Dev = std::max(Dev, 1e-9);
+    return S;
+  }
+  Mean += Cfg.Alpha * Residual;
+  Dev += Cfg.Alpha * (std::fabs(Residual) - Dev);
+  return S;
+}
+
+DetectorBank::DetectorBank(const DetectorConfig &C)
+    : Cfg(C), FrameLatency(C), EnergyPerFrame(C), DecisionChurn(C) {}
+
+void DetectorBank::score(const char *Detector, EwmaCusum &D, double X,
+                         const TelemetryRecord &Origin,
+                         std::vector<TelemetryRecord> &Out) {
+  double BaselineMean = D.mean();
+  EwmaCusum::Step S = D.observe(X);
+  if (!S.Fired)
+    return;
+  ++Alerts;
+  TelemetryRecord A;
+  A.Kind = TelemetryEventKind::Alert;
+  A.Ts = Origin.Ts; // Virtual time of the provoking record, never a clock.
+  A.Fields.reserve(6);
+  A.Fields.push_back({"detector", std::string(Detector)});
+  A.Fields.push_back({"value", X});
+  A.Fields.push_back({"baseline", BaselineMean});
+  A.Fields.push_back({"score", S.Score});
+  A.Fields.push_back({"dir", S.Dir});
+  A.Fields.push_back({"n", int64_t(D.samples())});
+  Out.push_back(std::move(A));
+}
+
+std::vector<TelemetryRecord>
+DetectorBank::onRecord(const TelemetryRecord &R) {
+  std::vector<TelemetryRecord> Out;
+  switch (R.Kind) {
+  case TelemetryEventKind::FrameStage: {
+    const TelemetryField *Stage = R.find("stage");
+    const std::string *Name =
+        Stage ? std::get_if<std::string>(&Stage->Value) : nullptr;
+    if (!Name)
+      break;
+    if (*Name == "present")
+      ++FramesPresented;
+    else if (*Name == "total")
+      // Score the canonical (serialized) value so replaying the log
+      // through the same detector reproduces the alert stream exactly.
+      score("frame_latency", FrameLatency,
+            telemetryCanonicalNumber(R.numberOr("duration_ms", 0.0)), R,
+            Out);
+    break;
+  }
+  case TelemetryEventKind::EnergySample: {
+    // The energy accumulator is a free-running double that loses
+    // precision in JSONL serialization; canonicalize before the delta
+    // so online and offline detection see identical inputs.
+    double Joules = telemetryCanonicalNumber(R.numberOr("joules", 0.0));
+    if (LastJoules >= 0.0 && FramesPresented > FramesAtLastSample) {
+      double PerFrameMj = (Joules - LastJoules) * 1e3 /
+                          double(FramesPresented - FramesAtLastSample);
+      score("energy_per_frame", EnergyPerFrame, PerFrameMj, R, Out);
+    }
+    LastJoules = Joules;
+    FramesAtLastSample = FramesPresented;
+    break;
+  }
+  case TelemetryEventKind::GovernorDecision: {
+    int64_t Ts = R.Ts.nanos();
+    int64_t WindowNs = int64_t(Cfg.ChurnWindowMs * 1e6);
+    while (!DecisionTsNs.empty() && DecisionTsNs.front() < Ts - WindowNs)
+      DecisionTsNs.pop_front();
+    DecisionTsNs.push_back(Ts);
+    score("decision_churn", DecisionChurn, double(DecisionTsNs.size()), R,
+          Out);
+    break;
+  }
+  default:
+    break;
+  }
+  return Out;
+}

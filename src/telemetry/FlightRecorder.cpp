@@ -1,0 +1,149 @@
+//===- telemetry/FlightRecorder.cpp - Always-on black box ------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/FlightRecorder.h"
+
+#include "support/StringUtils.h"
+#include "telemetry/AnomalyDetector.h"
+
+using namespace greenweb;
+
+FlightRecorder::FlightRecorder(const FlightRecorderConfig &C) : Cfg(C) {
+  if (Cfg.RingCapacity == 0)
+    Cfg.RingCapacity = 1;
+  Ring.reserve(Cfg.RingCapacity);
+}
+
+void FlightRecorder::trigger(const std::string &Reason, std::string Detail,
+                             const TelemetryRecord &R) {
+  ++Triggers;
+  // LastDumpSeq == 0 means no dump yet; the first trigger always fires.
+  if (LastDumpSeq != 0 && Seq - LastDumpSeq < Cfg.CooldownRecords) {
+    ++Suppressed;
+    return;
+  }
+  if (Dumps.size() >= Cfg.MaxDumps) {
+    ++Dropped;
+    return;
+  }
+  BlackBoxDump D;
+  D.Trigger = Reason;
+  D.Detail = std::move(Detail);
+  D.Ts = R.Ts;
+  D.Seq = Seq;
+  // Ring snapshot, oldest first. Before the first wrap the ring is
+  // simply [0, Seq); afterwards slot Seq % capacity is the oldest.
+  size_t N = Ring.size();
+  size_t Start = Seq >= Cfg.RingCapacity ? size_t(Seq % Cfg.RingCapacity) : 0;
+  D.Records.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    D.Records.push_back(Ring[(Start + I) % N]);
+  Dumps.push_back(std::move(D));
+  LastDumpSeq = Seq;
+}
+
+void FlightRecorder::onRecord(const TelemetryRecord &R) {
+  if (Ring.size() < Cfg.RingCapacity)
+    Ring.push_back(R);
+  else
+    Ring[size_t(Seq % Cfg.RingCapacity)] = R;
+  ++Seq;
+
+  switch (R.Kind) {
+  case TelemetryEventKind::QosViolation: {
+    int64_t Ts = R.Ts.nanos();
+    int64_t WindowNs = int64_t(Cfg.BurstWindowMs * 1e6);
+    while (!ViolationTsNs.empty() && ViolationTsNs.front() < Ts - WindowNs)
+      ViolationTsNs.pop_front();
+    ViolationTsNs.push_back(Ts);
+    if (ViolationTsNs.size() >= Cfg.BurstCount) {
+      trigger("qos_burst",
+              formatString("%zu violations in %.0f ms",
+                           ViolationTsNs.size(), Cfg.BurstWindowMs),
+              R);
+      ViolationTsNs.clear();
+    }
+    break;
+  }
+  case TelemetryEventKind::GovernorDecision:
+    if (R.stringOr("reason", "") == "watchdog_fallback")
+      trigger("watchdog_trip", R.stringOr("governor", ""), R);
+    break;
+  case TelemetryEventKind::Fault:
+    if (R.stringOr("phase", "") == "begin")
+      trigger("fault_window", R.stringOr("fault", ""), R);
+    break;
+  case TelemetryEventKind::Alert:
+    trigger("alert:" + R.stringOr("detector", "?"),
+            formatString("value %.3f score %.3f",
+                         R.numberOr("value", 0.0), R.numberOr("score", 0.0)),
+            R);
+    break;
+  default:
+    break;
+  }
+}
+
+std::string BlackBoxDump::toJson() const {
+  std::string Out = formatString(
+      "{\"trigger\":\"%s\",\"detail\":\"%s\",\"ts_us\":%.3f,"
+      "\"seq\":%llu,\"records\":[\n",
+      jsonEscape(Trigger).c_str(), jsonEscape(Detail).c_str(),
+      Ts.nanos() / 1e3, static_cast<unsigned long long>(Seq));
+  for (size_t I = 0; I < Records.size(); ++I) {
+    Out += telemetryRecordJson(Records[I]);
+    Out += I + 1 < Records.size() ? ",\n" : "\n";
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string FlightRecorder::dumpsJson() const {
+  std::string Out = formatString(
+      "{\"kind\":\"blackbox\",\"triggers\":%llu,\"suppressed\":%llu,"
+      "\"dropped\":%llu,\"records_observed\":%llu,\"dumps\":[\n",
+      static_cast<unsigned long long>(Triggers),
+      static_cast<unsigned long long>(Suppressed),
+      static_cast<unsigned long long>(Dropped),
+      static_cast<unsigned long long>(Seq));
+  for (size_t I = 0; I < Dumps.size(); ++I) {
+    Out += Dumps[I].toJson();
+    Out += I + 1 < Dumps.size() ? ",\n" : "\n";
+  }
+  Out += "]}\n";
+  return Out;
+}
+
+std::vector<TelemetryRecord>
+greenweb::observeTelemetryRecord(const TelemetryRecord &R,
+                                 FlightRecorder *Recorder,
+                                 DetectorBank *Bank) {
+  if (Recorder)
+    Recorder->onRecord(R);
+  std::vector<TelemetryRecord> Alerts;
+  if (Bank && R.Kind != TelemetryEventKind::Alert) {
+    Alerts = Bank->onRecord(R);
+    if (Recorder)
+      for (const TelemetryRecord &A : Alerts)
+        Recorder->onRecord(A);
+  }
+  return Alerts;
+}
+
+std::vector<TelemetryRecord>
+greenweb::replayObservability(const TelemetryLog &Log, DetectorBank &Bank,
+                              FlightRecorder *Recorder) {
+  std::vector<TelemetryRecord> Alerts;
+  for (const TelemetryRecord &R : Log.records()) {
+    if (R.Kind == TelemetryEventKind::Alert)
+      continue; // Online output; this replay regenerates it.
+    std::vector<TelemetryRecord> New =
+        observeTelemetryRecord(R, Recorder, &Bank);
+    for (TelemetryRecord &A : New)
+      Alerts.push_back(std::move(A));
+  }
+  return Alerts;
+}

@@ -118,6 +118,22 @@ bool MetricsRegistry::has(std::string_view Name) const {
          Histograms.find(Name) != Histograms.end();
 }
 
+const Counter *MetricsRegistry::findCounter(std::string_view Name) const {
+  auto It = Counters.find(Name);
+  return It != Counters.end() ? &It->second : nullptr;
+}
+
+const Gauge *MetricsRegistry::findGauge(std::string_view Name) const {
+  auto It = Gauges.find(Name);
+  return It != Gauges.end() ? &It->second : nullptr;
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(std::string_view Name) const {
+  auto It = Histograms.find(Name);
+  return It != Histograms.end() ? &It->second : nullptr;
+}
+
 void MetricsRegistry::mergeFrom(const MetricsRegistry &O) {
   for (const auto &[Name, C] : O.Counters)
     counter(Name).add(C.value());

@@ -114,6 +114,12 @@ public:
   /// True if a metric named \p Name exists (any kind).
   bool has(std::string_view Name) const;
 
+  /// Read-only lookups (nullptr when absent) for consumers that must
+  /// not create metrics as a side effect (aggregation, tests).
+  const Counter *findCounter(std::string_view Name) const;
+  const Gauge *findGauge(std::string_view Name) const;
+  const Histogram *findHistogram(std::string_view Name) const;
+
   /// Folds another registry into this one: counters add, gauges take
   /// the other registry's value (last writer wins, matching Gauge::set
   /// semantics in a sequential merge), histograms merge bucket counts

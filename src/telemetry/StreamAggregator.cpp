@@ -1,0 +1,118 @@
+//===- telemetry/StreamAggregator.cpp - Fleet-level run folding ------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/StreamAggregator.h"
+
+#include "support/StringUtils.h"
+
+using namespace greenweb;
+
+namespace {
+
+/// Per-run total energy in joules: the full_evaluation sessions land in
+/// single-digit joules, chaos soaks in tens; the tail bucket absorbs
+/// pathological runs.
+const std::vector<double> &energyBucketsJ() {
+  static const std::vector<double> Buckets = {0.1, 0.2, 0.5, 1,  2,   5,
+                                              10,  20,  50,  100, 200, 500};
+  return Buckets;
+}
+
+/// Violation percentages; edges mirror the QoS bands the paper reports.
+const std::vector<double> &violationBucketsPct() {
+  static const std::vector<double> Buckets = {0.5, 1,  2,  5,  10, 15,
+                                              20,  30, 50, 75, 90, 100};
+  return Buckets;
+}
+
+} // namespace
+
+StreamAggregator::Group::Group()
+    : EnergyJ(energyBucketsJ()), ViolationPct(violationBucketsPct()) {}
+
+StreamAggregator::StreamAggregator() = default;
+
+void StreamAggregator::fold(Group &G, const RunSample &S) {
+  ++G.Runs;
+  G.Frames += S.Frames;
+  G.QosViolations += S.QosViolations;
+  G.Alerts += S.Alerts;
+  G.Joules += S.Joules;
+  G.EnergyJ.observe(S.Joules);
+  G.ViolationPct.observe(S.ViolationPct);
+}
+
+void StreamAggregator::merge(Group &G, const Group &O) {
+  G.Runs += O.Runs;
+  G.Frames += O.Frames;
+  G.QosViolations += O.QosViolations;
+  G.Alerts += O.Alerts;
+  G.Joules += O.Joules;
+  G.EnergyJ.mergeFrom(O.EnergyJ);
+  G.ViolationPct.mergeFrom(O.ViolationPct);
+}
+
+void StreamAggregator::addRun(const RunSample &S) {
+  fold(Total, S);
+  fold(ByApp[S.App.empty() ? "?" : S.App], S);
+  fold(ByGovernor[S.Governor.empty() ? "?" : S.Governor], S);
+}
+
+void StreamAggregator::mergeFrom(const StreamAggregator &O) {
+  merge(Total, O.Total);
+  for (const auto &[Name, G] : O.ByApp)
+    merge(ByApp[Name], G);
+  for (const auto &[Name, G] : O.ByGovernor)
+    merge(ByGovernor[Name], G);
+}
+
+namespace {
+
+std::string histJson(const Histogram &H) {
+  const RunningStat &S = H.summary();
+  return formatString("{\"count\":%llu,\"mean\":%.4f,\"min\":%.4f,"
+                      "\"max\":%.4f,\"p50\":%.4f,\"p99\":%.4f}",
+                      static_cast<unsigned long long>(S.count()),
+                      S.count() ? S.mean() : 0.0, S.count() ? S.min() : 0.0,
+                      S.count() ? S.max() : 0.0, H.quantile(0.5),
+                      H.quantile(0.99));
+}
+
+} // namespace
+
+std::string StreamAggregator::groupJson(const Group &G) {
+  return formatString("{\"runs\":%llu,\"frames\":%llu,"
+                      "\"qos_violations\":%llu,\"alerts\":%llu,"
+                      "\"joules_total\":%.4f,\"energy_j\":",
+                      static_cast<unsigned long long>(G.Runs),
+                      static_cast<unsigned long long>(G.Frames),
+                      static_cast<unsigned long long>(G.QosViolations),
+                      static_cast<unsigned long long>(G.Alerts), G.Joules) +
+         histJson(G.EnergyJ) +
+         ",\"violation_pct\":" + histJson(G.ViolationPct) + "}";
+}
+
+std::string StreamAggregator::toJson() const {
+  std::string Out = "{\"kind\":\"fleet_summary\",\"overall\":";
+  Out += groupJson(Total);
+  auto Section = [&Out](const char *Key,
+                        const std::map<std::string, Group> &Groups) {
+    Out += formatString(",\"%s\":{", Key);
+    bool First = true;
+    for (const auto &[Name, G] : Groups) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += formatString("\"%s\":", jsonEscape(Name).c_str());
+      Out += groupJson(G);
+    }
+    Out += "}";
+  };
+  Section("by_app", ByApp);
+  Section("by_governor", ByGovernor);
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,90 @@
+//===- telemetry/StreamAggregator.h - Fleet-level run folding ---*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming aggregation of per-run headline metrics into one
+/// fleet-level summary: run counts, energy and violation distributions
+/// (mergeable fixed-bucket histograms), and alert totals, grouped
+/// overall / per-app / per-governor. A run folds in as one RunSample —
+/// nothing per-run is retained — so aggregating thousands of
+/// device x app x fault runs costs a few histograms, not a few
+/// gigabytes of logs. This is the substrate a fleet driver sits on.
+///
+/// Aggregation is associative and order-insensitive for counts and
+/// histograms (RunningStat merges are order-sensitive only in
+/// floating-point rounding, which is why ParallelRunner folds in config
+/// index order); toJson() iterates groups in name order with fixed
+/// formats, so a deterministic sweep yields a byte-identical summary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_TELEMETRY_STREAMAGGREGATOR_H
+#define GREENWEB_TELEMETRY_STREAMAGGREGATOR_H
+
+#include "telemetry/MetricsRegistry.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace greenweb {
+
+/// The per-run headline a StreamAggregator folds; one of these is the
+/// entire footprint a finished run leaves behind.
+struct RunSample {
+  std::string App;
+  std::string Governor;
+  double Joules = 0.0;
+  double ViolationPct = 0.0; ///< Scenario-scored violation percentage.
+  uint64_t Frames = 0;
+  uint64_t QosViolations = 0; ///< Raw qos_violation record count.
+  uint64_t Alerts = 0;        ///< Online detector alerts during the run.
+};
+
+/// Streaming fleet summary; see file comment.
+class StreamAggregator {
+public:
+  StreamAggregator();
+
+  /// Folds one finished run into every group it belongs to.
+  void addRun(const RunSample &S);
+
+  /// Folds another aggregator (e.g. a shard's partial) into this one.
+  void mergeFrom(const StreamAggregator &O);
+
+  uint64_t runs() const { return Total.Runs; }
+  uint64_t alerts() const { return Total.Alerts; }
+
+  /// One deterministic JSON document with overall / by_app /
+  /// by_governor groups, each carrying run counts, energy and
+  /// violation histogram summaries (count, mean, min, max, p50, p99),
+  /// and alert totals.
+  std::string toJson() const;
+
+private:
+  struct Group {
+    Group();
+    uint64_t Runs = 0;
+    uint64_t Frames = 0;
+    uint64_t QosViolations = 0;
+    uint64_t Alerts = 0;
+    double Joules = 0.0;
+    Histogram EnergyJ;      ///< Per-run total joules.
+    Histogram ViolationPct; ///< Per-run violation percentage.
+  };
+
+  static void fold(Group &G, const RunSample &S);
+  static void merge(Group &G, const Group &O);
+  static std::string groupJson(const Group &G);
+
+  Group Total;
+  std::map<std::string, Group> ByApp;
+  std::map<std::string, Group> ByGovernor;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_TELEMETRY_STREAMAGGREGATOR_H

@@ -6,15 +6,70 @@
 
 #include "telemetry/Telemetry.h"
 
+#include "telemetry/AnomalyDetector.h"
+#include "telemetry/FlightRecorder.h"
+
 using namespace greenweb;
+
+Telemetry::Telemetry() = default;
+
+Telemetry::Telemetry(ClockFn Clock) : Clock(std::move(Clock)) {}
+
+Telemetry::~Telemetry() = default;
+
+void Telemetry::enableAnomalyDetectors() {
+  enableAnomalyDetectors(DetectorConfig{});
+}
+
+void Telemetry::enableAnomalyDetectors(const DetectorConfig &C) {
+  Bank = std::make_unique<DetectorBank>(C);
+  AlertsCtr = &Metrics.counter("telemetry.alerts");
+}
+
+void Telemetry::enableFlightRecorder() {
+  enableFlightRecorder(FlightRecorderConfig{});
+}
+
+void Telemetry::enableFlightRecorder(const FlightRecorderConfig &C) {
+  Recorder = std::make_unique<FlightRecorder>(C);
+}
 
 void Telemetry::appendRecord(TelemetryEventKind Kind,
                              std::vector<TelemetryField> Fields) {
+  if (Bank || Recorder) {
+    observeAndAppend(Kind, std::move(Fields));
+    return;
+  }
   if (Log.size() >= LogCapacity) {
     Metrics.counter("telemetry.dropped_records").add();
     return;
   }
   Log.append(Kind, now(), std::move(Fields));
+}
+
+void Telemetry::observeAndAppend(TelemetryEventKind Kind,
+                                 std::vector<TelemetryField> Fields) {
+  TelemetryRecord R{Kind, now(), std::move(Fields)};
+  // The ring and the detectors see every record, capped log or not —
+  // that is the whole point of the flight recorder. Feed order (record,
+  // then its alerts) matches replayObservability exactly, so offline
+  // replay of the exported log reproduces alerts and dumps byte for
+  // byte.
+  std::vector<TelemetryRecord> Alerts =
+      observeTelemetryRecord(R, Recorder.get(), Bank.get());
+  if (Log.size() < LogCapacity)
+    Log.append(R.Kind, R.Ts, std::move(R.Fields));
+  else
+    Metrics.counter("telemetry.dropped_records").add();
+  for (TelemetryRecord &A : Alerts) {
+    if (AlertsCtr)
+      AlertsCtr->add();
+    Metrics.counter("telemetry.alerts." + A.stringOr("detector", "?"))
+        .add();
+    // Alerts bypass the capacity cap: rare, and the one thing a
+    // metrics-only sweep still records.
+    Log.append(A.Kind, A.Ts, std::move(A.Fields));
+  }
 }
 
 void Telemetry::recordGovernorDecision(const GovernorDecisionRecord &R) {

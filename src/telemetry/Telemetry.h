@@ -30,9 +30,15 @@
 
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 
 namespace greenweb {
+
+class DetectorBank;
+class FlightRecorder;
+struct DetectorConfig;
+struct FlightRecorderConfig;
 
 /// A policy's configuration choice. Configurations travel as their
 /// display label plus raw core/frequency numbers so the telemetry layer
@@ -113,8 +119,9 @@ public:
 
   /// Constructs with the clock pinned at the origin; attach to a
   /// Simulator (Simulator::setTelemetry) to follow virtual time.
-  Telemetry() = default;
-  explicit Telemetry(ClockFn Clock) : Clock(std::move(Clock)) {}
+  Telemetry();
+  explicit Telemetry(ClockFn Clock);
+  ~Telemetry();
   // Non-copyable: the span tracer back-references the hub.
   Telemetry(const Telemetry &) = delete;
   Telemetry &operator=(const Telemetry &) = delete;
@@ -151,6 +158,26 @@ public:
   /// exporting so in-flight work reaches the artifacts.
   void flushSpans() { Spans.finishAll(); }
 
+  /// --- Online observability (off by default; see FlightRecorder.h) ---
+  ///
+  /// Attaches the EWMA/CUSUM anomaly detectors: every record flows
+  /// through the bank and resulting Alert records are appended to the
+  /// log as first-class events. Alerts bypass the log capacity cap —
+  /// they are rare and are exactly what a metrics-only sweep still
+  /// wants to keep.
+  void enableAnomalyDetectors();
+  void enableAnomalyDetectors(const DetectorConfig &C);
+  /// Attaches the flight recorder: a ring of recent records snapshotted
+  /// into black-box dumps on trigger (QoS burst, watchdog trip, fault
+  /// window, detector alert).
+  void enableFlightRecorder();
+  void enableFlightRecorder(const FlightRecorderConfig &C);
+  /// Null when the corresponding enable* was never called.
+  DetectorBank *detectors() { return Bank.get(); }
+  const DetectorBank *detectors() const { return Bank.get(); }
+  FlightRecorder *flightRecorder() { return Recorder.get(); }
+  const FlightRecorder *flightRecorder() const { return Recorder.get(); }
+
   /// --- Typed recorders (no-ops when disabled) ---
   void recordGovernorDecision(const GovernorDecisionRecord &R);
   void recordFeedbackAction(const FeedbackActionRecord &R);
@@ -165,9 +192,15 @@ public:
 private:
   friend class SpanTracer;
 
-  /// Appends within the log cap; counts drops otherwise.
+  /// Appends within the log cap; counts drops otherwise. With the
+  /// observability layer attached the record (and any alerts it
+  /// provokes) also flows through the recorder ring and detector bank.
   void appendRecord(TelemetryEventKind Kind,
                     std::vector<TelemetryField> Fields);
+
+  /// Slow path of appendRecord when detectors / recorder are attached.
+  void observeAndAppend(TelemetryEventKind Kind,
+                        std::vector<TelemetryField> Fields);
 
   /// Mirrors a completed span into the metrics + log (SpanTracer only).
   void recordSpan(const SpanTracer::Span &S, bool Truncated);
@@ -178,6 +211,9 @@ private:
   MetricsRegistry Metrics;
   TelemetryLog Log;
   SpanTracer Spans{this};
+  std::unique_ptr<DetectorBank> Bank;
+  std::unique_ptr<FlightRecorder> Recorder;
+  Counter *AlertsCtr = nullptr; ///< Cached "telemetry.alerts".
 };
 
 } // namespace greenweb

@@ -34,6 +34,8 @@ const char *greenweb::telemetryEventKindName(TelemetryEventKind Kind) {
     return "span";
   case TelemetryEventKind::Fault:
     return "fault";
+  case TelemetryEventKind::Alert:
+    return "alert";
   }
   return "unknown";
 }
@@ -45,7 +47,7 @@ bool greenweb::telemetryEventKindFromName(const std::string &Name,
       TelemetryEventKind::ConfigSwitch,     TelemetryEventKind::FrameStage,
       TelemetryEventKind::QosViolation,     TelemetryEventKind::EnergySample,
       TelemetryEventKind::CounterSample,    TelemetryEventKind::Span,
-      TelemetryEventKind::Fault};
+      TelemetryEventKind::Fault,            TelemetryEventKind::Alert};
   for (TelemetryEventKind K : Kinds)
     if (Name == telemetryEventKindName(K)) {
       Out = K;
@@ -110,24 +112,33 @@ std::string formatFieldNumber(double X) {
 
 } // namespace
 
+double greenweb::telemetryCanonicalNumber(double X) {
+  return std::strtod(formatFieldNumber(X).c_str(), nullptr);
+}
+
+std::string greenweb::telemetryRecordJson(const TelemetryRecord &R) {
+  std::string Out = formatString("{\"ts_us\":%.3f,\"kind\":\"%s\"",
+                                 R.Ts.nanos() / 1e3,
+                                 telemetryEventKindName(R.Kind));
+  for (const TelemetryField &F : R.Fields) {
+    Out += formatString(",\"%s\":", jsonEscape(F.Key).c_str());
+    if (const int64_t *I = std::get_if<int64_t>(&F.Value))
+      Out += formatString("%lld", static_cast<long long>(*I));
+    else if (const double *D = std::get_if<double>(&F.Value))
+      Out += formatFieldNumber(*D);
+    else
+      Out += formatString(
+          "\"%s\"", jsonEscape(std::get<std::string>(F.Value)).c_str());
+  }
+  Out += "}";
+  return Out;
+}
+
 std::string TelemetryLog::toJsonl() const {
   std::string Out;
   for (const TelemetryRecord &R : Records) {
-    Out += formatString("{\"ts_us\":%.3f,\"kind\":\"%s\"",
-                        R.Ts.nanos() / 1e3,
-                        telemetryEventKindName(R.Kind));
-    for (const TelemetryField &F : R.Fields) {
-      Out += formatString(",\"%s\":", jsonEscape(F.Key).c_str());
-      if (const int64_t *I = std::get_if<int64_t>(&F.Value))
-        Out += formatString("%lld", static_cast<long long>(*I));
-      else if (const double *D = std::get_if<double>(&F.Value))
-        Out += formatFieldNumber(*D);
-      else
-        Out += formatString(
-            "\"%s\"",
-            jsonEscape(std::get<std::string>(F.Value)).c_str());
-    }
-    Out += "}\n";
+    Out += telemetryRecordJson(R);
+    Out += "\n";
   }
   return Out;
 }

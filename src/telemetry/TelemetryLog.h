@@ -41,6 +41,7 @@ enum class TelemetryEventKind : uint8_t {
   CounterSample,    ///< Generic time-series point for trace counters.
   Span,             ///< A completed causal span (see SpanTracer).
   Fault,            ///< A fault window opened/closed or an injection landed.
+  Alert,            ///< An online anomaly detector fired (see AnomalyDetector).
 };
 
 /// Stable lowercase name used in serialized output.
@@ -71,6 +72,20 @@ struct TelemetryRecord {
   std::string stringOr(std::string_view Key,
                        const std::string &Default) const;
 };
+
+/// Serializes one record as the single-line JSON object toJsonl emits
+/// (no trailing newline). The flight recorder reuses this for black-box
+/// dumps so a dumped record is byte-identical to its log line.
+std::string telemetryRecordJson(const TelemetryRecord &R);
+
+/// Round-trips \p X through the JSONL number format (%.6f, trailing
+/// zeros trimmed) and back, yielding the double an offline consumer of
+/// the serialized log would see. The anomaly detectors score this
+/// canonical value rather than the raw one so online detection and
+/// offline replay of the log agree bit-for-bit even for fields (like
+/// the free-running energy accumulator) that lose precision in
+/// serialization.
+double telemetryCanonicalNumber(double X);
 
 /// Append-only record log with JSONL export.
 class TelemetryLog {

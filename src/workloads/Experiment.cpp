@@ -13,6 +13,7 @@
 #include "profiling/Profiler.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
+#include "telemetry/StreamAggregator.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -406,6 +407,26 @@ void greenweb::publishResultMetrics(const ExperimentResult &Result,
   M.gauge("experiment.freq_switches").set(double(Result.FreqSwitches));
   M.gauge("experiment.migrations").set(double(Result.Migrations));
   M.gauge("experiment.annotation_pct").set(Result.AnnotationPct);
+}
+
+RunSample greenweb::makeRunSample(const ExperimentResult &Result,
+                                  const Telemetry *Tel) {
+  RunSample S;
+  S.App = Result.App;
+  S.Governor = Result.Governor;
+  S.Joules = Result.TotalJoules;
+  S.ViolationPct = Result.Governor == governors::GreenWebU
+                       ? Result.ViolationPctUsable
+                       : Result.ViolationPctImperceptible;
+  S.Frames = Result.Frames;
+  if (Tel) {
+    const MetricsRegistry &M = Tel->metrics();
+    if (const Counter *C = M.findCounter("qos.violations"))
+      S.QosViolations = C->value();
+    if (const Counter *C = M.findCounter("telemetry.alerts"))
+      S.Alerts = C->value();
+  }
+  return S;
 }
 
 static ExperimentResult runFullExperiment(Harness &H) {

@@ -30,6 +30,7 @@
 namespace greenweb {
 
 class Telemetry;
+struct RunSample;
 
 /// Which half of Table 3 drives the run.
 enum class ExperimentMode { Micro, Full };
@@ -158,6 +159,14 @@ double violationPct(const ExperimentResult &Result, UsageScenario Scenario);
 /// Publishes \p Result's headline scalars as experiment.* gauges in
 /// \p Tel's registry (latest run wins; snapshot per run to keep more).
 void publishResultMetrics(const ExperimentResult &Result, Telemetry &Tel);
+
+/// Reduces \p Result to the RunSample a StreamAggregator folds: the
+/// violation percentage is scored under the governor's own scenario
+/// (usable for GreenWeb-U, imperceptible otherwise), and the raw
+/// violation / alert counts come from \p Tel's counters when the run
+/// was instrumented (zero otherwise).
+RunSample makeRunSample(const ExperimentResult &Result,
+                        const Telemetry *Tel = nullptr);
 
 } // namespace greenweb
 

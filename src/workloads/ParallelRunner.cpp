@@ -7,6 +7,7 @@
 #include "workloads/ParallelRunner.h"
 
 #include "profiling/Profiler.h"
+#include "telemetry/StreamAggregator.h"
 #include "telemetry/Telemetry.h"
 
 #include <atomic>
@@ -67,6 +68,8 @@ greenweb::runExperimentsParallel(const std::vector<ExperimentConfig> &Configs,
     if (Opts.SharedTel) {
       Hubs[I] = std::make_unique<Telemetry>();
       Hubs[I]->setLogCapacity(Opts.JobLogCapacity);
+      if (Opts.EnableDetectors)
+        Hubs[I]->enableAnomalyDetectors();
       Config.Tel = Hubs[I].get();
     } else {
       // A caller-supplied hub would be written from several workers at
@@ -90,5 +93,12 @@ greenweb::runExperimentsParallel(const std::vector<ExperimentConfig> &Configs,
         Opts.SharedTel->log().append(R.Kind, R.Ts, R.Fields);
     }
   }
+  if (Opts.Aggregator)
+    // Config order for the same reason: RunningStat merges only differ
+    // in floating-point rounding, but byte-identical summaries across
+    // jobs counts are part of the determinism contract.
+    for (size_t I = 0; I < Results.size(); ++I)
+      Opts.Aggregator->addRun(makeRunSample(
+          Results[I], Opts.SharedTel ? Hubs[I].get() : nullptr));
   return Results;
 }

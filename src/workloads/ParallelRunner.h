@@ -32,6 +32,7 @@
 
 namespace greenweb {
 
+class StreamAggregator;
 class Telemetry;
 
 /// A minimal fork-join index pool: run Fn(0..Count-1) across up to
@@ -79,6 +80,16 @@ struct ParallelExperimentOptions {
   /// hub and the result.
   std::function<void(size_t, const ExperimentResult &, Telemetry &)>
       PerJobHook;
+  /// When set (and SharedTel is set), every per-run private hub gets
+  /// the online anomaly detectors. Alert records bypass JobLogCapacity,
+  /// so even a metrics-only sweep merges a complete alert stream into
+  /// SharedTel — in config index order, hence deterministic.
+  bool EnableDetectors = false;
+  /// When set, every run's headline RunSample is folded into this
+  /// aggregator after the batch completes, in config index order (the
+  /// streaming fleet summary; see telemetry/StreamAggregator.h). Not
+  /// owned; untouched while workers run.
+  StreamAggregator *Aggregator = nullptr;
 };
 
 /// Runs every config and returns results in config order (never

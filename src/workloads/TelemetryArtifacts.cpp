@@ -9,6 +9,7 @@
 #include "profiling/Profiler.h"
 #include "profiling/RunMeta.h"
 #include "support/StringUtils.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/Telemetry.h"
 
 #include <cstdio>
@@ -38,8 +39,13 @@ bool TelemetryArtifactOptions::parseFlag(const std::string &Arg) {
     Prof = true;
     return true;
   }
+  if (Arg == "--alerts") {
+    Alerts = true;
+    return true;
+  }
   return Match("--trace=", TracePath) || Match("--log=", LogPath) ||
-         Match("--metrics=", MetricsPath);
+         Match("--metrics=", MetricsPath) ||
+         Match("--blackbox=", BlackboxPath);
 }
 
 void TelemetryArtifactOptions::beginRun(int Argc, char **Argv) {
@@ -49,6 +55,13 @@ void TelemetryArtifactOptions::beginRun(int Argc, char **Argv) {
   prof::start();
   if (ProfSampleMicros > 0)
     prof::startSampler(ProfSampleMicros);
+}
+
+void TelemetryArtifactOptions::configureHub(Telemetry &Tel) const {
+  if (Alerts)
+    Tel.enableAnomalyDetectors();
+  if (!BlackboxPath.empty())
+    Tel.enableFlightRecorder();
 }
 
 static void writeOne(const std::string &Path, const std::string &Content,
@@ -98,6 +111,25 @@ void greenweb::writeTelemetryArtifacts(
     writeOne(Opts.MetricsPath,
              Meta.wrapSnapshot(Tel.metrics().snapshotJson()),
              "metrics snapshot");
+  if (Opts.Alerts) {
+    size_t NAlerts = Tel.log().byKind(TelemetryEventKind::Alert).size();
+    std::printf("online detectors emitted %zu alert(s)%s\n", NAlerts,
+                Opts.LogPath.empty() ? "" : " (in the event log)");
+  }
+  if (!Opts.BlackboxPath.empty()) {
+    const FlightRecorder *R = Tel.flightRecorder();
+    if (R) {
+      writeOne(Opts.BlackboxPath, Meta.wrapSnapshot(R->dumpsJson()),
+               "flight-recorder black box");
+      std::printf("flight recorder: %zu dump(s), %llu trigger(s)\n",
+                  R->dumps().size(),
+                  static_cast<unsigned long long>(R->triggers()));
+    } else {
+      std::fprintf(stderr,
+                   "warning: --blackbox given but no flight recorder was "
+                   "attached to this hub\n");
+    }
+  }
   if (Opts.Prof)
     prof::writeProfileFiles(Prof, Opts.ProfOut);
 }

@@ -13,6 +13,13 @@
 ///   --log=events.jsonl      structured telemetry event log (JSONL)
 ///   --metrics=metrics.json  metrics registry snapshot
 ///
+/// plus the online observability switches:
+///
+///   --alerts                enable the EWMA/CUSUM anomaly detectors;
+///                           Alert records land in the event log
+///   --blackbox=box.json     enable the flight recorder and write its
+///                           black-box dumps to this file
+///
 /// plus the host-side profiler switches shared by every driver:
 ///
 ///   --prof                  enable gw_prof scope capture
@@ -42,27 +49,37 @@ struct TelemetryArtifactOptions {
   std::string TracePath;
   std::string LogPath;
   std::string MetricsPath;
+  bool Alerts = false;          ///< --alerts (online anomaly detectors)
+  std::string BlackboxPath;     ///< --blackbox= (flight-recorder dumps)
   bool Prof = false;            ///< --prof / --prof-out / --prof-sample
   std::string ProfOut = "gw-prof"; ///< Output base for profile files.
   uint64_t ProfSampleMicros = 0;   ///< Timer-sampler period (0 = off).
   std::string CommandLine;         ///< Producing argv, for meta headers.
 
   /// True when at least one artifact was requested (drivers use this to
-  /// decide whether to attach a telemetry hub at all).
+  /// decide whether to attach a telemetry hub at all). Alerts and the
+  /// black box need a hub too.
   bool any() const {
-    return !TracePath.empty() || !LogPath.empty() || !MetricsPath.empty();
+    return !TracePath.empty() || !LogPath.empty() || !MetricsPath.empty() ||
+           Alerts || !BlackboxPath.empty();
   }
 
   /// Consumes one command-line argument if it is an artifact flag
-  /// (`--trace=PATH`, `--log=PATH`, `--metrics=PATH`, `--prof`,
-  /// `--prof-out=BASE`, `--prof-sample=MICROS`). Returns false for
-  /// anything else so positional arguments pass through unchanged.
+  /// (`--trace=PATH`, `--log=PATH`, `--metrics=PATH`, `--alerts`,
+  /// `--blackbox=PATH`, `--prof`, `--prof-out=BASE`,
+  /// `--prof-sample=MICROS`). Returns false for anything else so
+  /// positional arguments pass through unchanged.
   bool parseFlag(const std::string &Arg);
 
   /// Records the producing command line (for artifact meta headers) and
   /// starts the host-side profiler when requested. Call once, after
   /// flag parsing and before the workload runs.
   void beginRun(int Argc, char **Argv);
+
+  /// Arms the requested online observability on \p Tel (detectors for
+  /// --alerts, flight recorder for --blackbox=). Call on each hub after
+  /// construction, before the run it instruments.
+  void configureHub(Telemetry &Tel) const;
 };
 
 /// Writes every requested artifact from \p Tel. Open spans are flushed

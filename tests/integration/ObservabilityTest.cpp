@@ -13,8 +13,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "telemetry/AnomalyDetector.h"
 #include "telemetry/CriticalPath.h"
 #include "telemetry/EnergyAttribution.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
 
@@ -122,6 +124,65 @@ TEST(ObservabilityTest, OfflineAnalysisMatchesInProcess) {
     EXPECT_EQ(FromFile[I].format(), Live[I].format());
   EXPECT_EQ(formatEnergyTable(attributeEnergy(Offline)),
             formatEnergyTable(attributeEnergy(Tel.log())));
+}
+
+TEST(ObservabilityTest, OnlineOfflineAlertParityEndToEnd) {
+  // Full-stack online run with the detectors and flight recorder armed:
+  // tightened targets make the governor thrash enough to alert.
+  Telemetry Tel;
+  // Shorten warmup/deviation-gates so the few hundred frames of a micro
+  // run carry the latency shift past the CUSUM threshold.
+  DetectorConfig Sensitive;
+  Sensitive.WarmupSamples = 8;
+  Sensitive.CusumH = 4.0;
+  Tel.enableAnomalyDetectors(Sensitive);
+  Tel.enableFlightRecorder();
+  ExperimentConfig Config = instrumentedConfig(Tel);
+  Config.MicroRepetitions = 12;
+  runExperiment(Config);
+
+  std::vector<const TelemetryRecord *> Online =
+      Tel.log().byKind(TelemetryEventKind::Alert);
+  ASSERT_GT(Online.size(), 0u) << "run produced no alerts to verify";
+  ASSERT_NE(Tel.flightRecorder(), nullptr);
+  std::string OnlineDumps = Tel.flightRecorder()->dumpsJson();
+
+  // Offline: parse the exported JSONL and replay it through fresh
+  // detector/recorder instances, exactly as `gw-inspect alerts` does.
+  size_t Skipped = 0;
+  TelemetryLog Parsed = TelemetryLog::fromJsonl(Tel.log().toJsonl(), &Skipped);
+  EXPECT_EQ(Skipped, 0u);
+  DetectorBank Bank(Sensitive);
+  FlightRecorder Recorder;
+  std::vector<TelemetryRecord> Replayed =
+      replayObservability(Parsed, Bank, &Recorder);
+
+  // The regenerated alert stream matches byte for byte...
+  ASSERT_EQ(Replayed.size(), Online.size());
+  for (size_t I = 0; I < Replayed.size(); ++I)
+    EXPECT_EQ(telemetryRecordJson(Replayed[I]),
+              telemetryRecordJson(*Online[I]));
+  // ...and so do the black-box dumps.
+  EXPECT_EQ(Recorder.dumpsJson(), OnlineDumps);
+  EXPECT_GT(Recorder.dumps().size(), 0u);
+}
+
+TEST(ObservabilityTest, AlertsBypassLogCapacityAndCountInMetrics) {
+  Telemetry Tel;
+  Tel.setLogCapacity(0); // Metrics-only sweep shape.
+  DetectorConfig Sensitive;
+  Sensitive.WarmupSamples = 8;
+  Sensitive.CusumH = 4.0;
+  Tel.enableAnomalyDetectors(Sensitive);
+  ExperimentConfig Config = instrumentedConfig(Tel);
+  Config.MicroRepetitions = 12;
+  runExperiment(Config);
+
+  size_t Alerts = Tel.log().byKind(TelemetryEventKind::Alert).size();
+  ASSERT_GT(Alerts, 0u);
+  // Capacity 0 dropped every regular record; only alerts got through.
+  EXPECT_EQ(Tel.log().size(), Alerts);
+  EXPECT_EQ(Tel.metrics().counter("telemetry.alerts").value(), Alerts);
 }
 
 TEST(ObservabilityTest, SpanDagCoversInputsFramesAndTasks) {

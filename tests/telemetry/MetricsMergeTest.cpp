@@ -1,0 +1,155 @@
+//===- tests/telemetry/MetricsMergeTest.cpp - merge edge cases ------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// Edge cases of MetricsRegistry / Histogram merging that the streaming
+// aggregation layer leans on: empty merges, single-sample quantiles,
+// and cross-run merge associativity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/MetricsRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+TEST(HistogramMergeTest, EmptyIntoEmptyStaysEmpty) {
+  Histogram A({1.0, 10.0});
+  Histogram B({1.0, 10.0});
+  A.mergeFrom(B);
+  EXPECT_EQ(A.summary().count(), 0u);
+  EXPECT_EQ(A.quantile(0.5), 0.0);
+  for (uint64_t C : A.bucketCounts())
+    EXPECT_EQ(C, 0u);
+}
+
+TEST(HistogramMergeTest, EmptyMergeIsIdentityBothWays) {
+  Histogram Filled({1.0, 10.0, 100.0});
+  for (double X : {0.5, 3.0, 42.0, 250.0})
+    Filled.observe(X);
+  std::vector<uint64_t> Before = Filled.bucketCounts();
+  double P50 = Filled.quantile(0.5), P99 = Filled.quantile(0.99);
+
+  // Merging an empty histogram in changes nothing.
+  Histogram Empty({1.0, 10.0, 100.0});
+  Filled.mergeFrom(Empty);
+  EXPECT_EQ(Filled.bucketCounts(), Before);
+  EXPECT_EQ(Filled.summary().count(), 4u);
+  EXPECT_DOUBLE_EQ(Filled.quantile(0.5), P50);
+  EXPECT_DOUBLE_EQ(Filled.quantile(0.99), P99);
+
+  // Merging into an empty histogram adopts the other side wholesale.
+  Empty.mergeFrom(Filled);
+  EXPECT_EQ(Empty.bucketCounts(), Before);
+  EXPECT_EQ(Empty.summary().count(), 4u);
+  EXPECT_DOUBLE_EQ(Empty.summary().min(), 0.5);
+  EXPECT_DOUBLE_EQ(Empty.summary().max(), 250.0);
+}
+
+TEST(HistogramMergeTest, SingleSampleQuantilesCollapseToTheSample) {
+  Histogram H({1.0, 10.0, 100.0});
+  H.observe(7.0);
+  // With one observation every quantile is that observation: the
+  // interpolation is clamped to [min, max] = [7, 7].
+  EXPECT_DOUBLE_EQ(H.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(H.quantile(1.0), 7.0);
+}
+
+TEST(HistogramMergeTest, SingleSampleOverflowBucketQuantiles) {
+  Histogram H({1.0, 10.0});
+  H.observe(500.0); // Lands in the implicit overflow bucket.
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 500.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.99), 500.0);
+}
+
+TEST(HistogramMergeTest, MergeIsAssociativeOnCountsAndQuantiles) {
+  auto Make = [](std::initializer_list<double> Xs) {
+    Histogram H({1.0, 5.0, 25.0, 125.0});
+    for (double X : Xs)
+      H.observe(X);
+    return H;
+  };
+  Histogram A = Make({0.3, 2.0, 7.0});
+  Histogram B = Make({4.0, 30.0});
+  Histogram C = Make({0.9, 600.0, 80.0});
+
+  // (A + B) + C
+  Histogram Left = Make({});
+  Left.mergeFrom(A);
+  Left.mergeFrom(B);
+  Left.mergeFrom(C);
+  // A + (B + C)
+  Histogram Bc = Make({});
+  Bc.mergeFrom(B);
+  Bc.mergeFrom(C);
+  Histogram Right = Make({});
+  Right.mergeFrom(A);
+  Right.mergeFrom(Bc);
+
+  EXPECT_EQ(Left.bucketCounts(), Right.bucketCounts());
+  EXPECT_EQ(Left.summary().count(), Right.summary().count());
+  EXPECT_DOUBLE_EQ(Left.summary().min(), Right.summary().min());
+  EXPECT_DOUBLE_EQ(Left.summary().max(), Right.summary().max());
+  // Quantiles only read buckets + min/max, so they agree exactly.
+  for (double Q : {0.25, 0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(Left.quantile(Q), Right.quantile(Q));
+}
+
+TEST(MetricsRegistryMergeTest, CrossRunMergeMatchesSequentialFold) {
+  // Three "runs" fold into one registry two different ways; every
+  // integer-exact surface must agree.
+  auto Run = [](int Seed) {
+    MetricsRegistry M;
+    M.counter("qos.violations").add(unsigned(Seed * 3));
+    M.gauge("frames").set(double(60 * Seed));
+    Histogram &H = M.histogram("latency_ms", {5.0, 20.0, 50.0});
+    for (int I = 0; I < Seed * 4; ++I)
+      H.observe(double(I % 60));
+    return M;
+  };
+  MetricsRegistry R1 = Run(1), R2 = Run(2), R3 = Run(3);
+
+  MetricsRegistry Left; // (R1 + R2) + R3
+  Left.mergeFrom(R1);
+  Left.mergeFrom(R2);
+  Left.mergeFrom(R3);
+  MetricsRegistry Bc; // R1 + (R2 + R3)
+  Bc.mergeFrom(R2);
+  Bc.mergeFrom(R3);
+  MetricsRegistry Right;
+  Right.mergeFrom(R1);
+  Right.mergeFrom(Bc);
+
+  ASSERT_NE(Left.findCounter("qos.violations"), nullptr);
+  EXPECT_EQ(Left.findCounter("qos.violations")->value(),
+            Right.findCounter("qos.violations")->value());
+  EXPECT_EQ(Left.findCounter("qos.violations")->value(), 18u);
+  // Gauges take the last writer in both orders (R3's value).
+  EXPECT_DOUBLE_EQ(Left.findGauge("frames")->value(),
+                   Right.findGauge("frames")->value());
+  const Histogram *Hl = Left.findHistogram("latency_ms");
+  const Histogram *Hr = Right.findHistogram("latency_ms");
+  ASSERT_NE(Hl, nullptr);
+  ASSERT_NE(Hr, nullptr);
+  EXPECT_EQ(Hl->bucketCounts(), Hr->bucketCounts());
+  EXPECT_EQ(Hl->summary().count(), 24u);
+}
+
+TEST(MetricsRegistryMergeTest, MergeIntoEmptyCreatesAllMetrics) {
+  MetricsRegistry Src;
+  Src.counter("a").add(7);
+  Src.histogram("h", {1.0}).observe(0.5);
+  MetricsRegistry Dst;
+  Dst.mergeFrom(Src);
+  ASSERT_NE(Dst.findCounter("a"), nullptr);
+  EXPECT_EQ(Dst.findCounter("a")->value(), 7u);
+  ASSERT_NE(Dst.findHistogram("h"), nullptr);
+  EXPECT_EQ(Dst.findHistogram("h")->summary().count(), 1u);
+  // find* never creates: absent names stay absent.
+  EXPECT_EQ(Dst.findCounter("missing"), nullptr);
+  EXPECT_EQ(Dst.findGauge("missing"), nullptr);
+  EXPECT_EQ(Dst.findHistogram("missing"), nullptr);
+}

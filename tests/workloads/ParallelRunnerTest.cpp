@@ -11,6 +11,7 @@
 
 #include "workloads/ParallelRunner.h"
 
+#include "telemetry/StreamAggregator.h"
 #include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
 
@@ -115,6 +116,69 @@ TEST(ParallelRunnerTest, MergedTelemetryIsByteIdenticalToSerial) {
   // is byte-identical too.
   EXPECT_EQ(SerialTel.log().toJsonl(), ParallelTel.log().toJsonl());
   EXPECT_GT(ParallelTel.log().size(), 0u);
+}
+
+TEST(ParallelRunnerTest, MergedAlertStreamIsByteIdenticalToSerial) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+
+  auto AlertJsonl = [](const TelemetryLog &Log) {
+    std::string Out;
+    for (const TelemetryRecord *R : Log.byKind(TelemetryEventKind::Alert))
+      Out += telemetryRecordJson(*R) + "\n";
+    return Out;
+  };
+
+  Telemetry SerialTel;
+  ParallelExperimentOptions Serial;
+  Serial.Jobs = 1;
+  Serial.SharedTel = &SerialTel;
+  Serial.EnableDetectors = true;
+  // Metrics-only per-run hubs: alerts bypass the capacity cap, so the
+  // merged stream is still complete.
+  Serial.JobLogCapacity = 0;
+  runExperimentsParallel(Configs, Serial);
+
+  Telemetry ParallelTel;
+  ParallelExperimentOptions Parallel;
+  Parallel.Jobs = 4;
+  Parallel.SharedTel = &ParallelTel;
+  Parallel.EnableDetectors = true;
+  Parallel.JobLogCapacity = 0;
+  runExperimentsParallel(Configs, Parallel);
+
+  EXPECT_EQ(AlertJsonl(SerialTel.log()), AlertJsonl(ParallelTel.log()));
+  // The alert counters merged identically too.
+  EXPECT_EQ(SerialTel.metrics().snapshotJson(),
+            ParallelTel.metrics().snapshotJson());
+}
+
+TEST(ParallelRunnerTest, AggregatorFoldsRunsDeterministically) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+
+  Telemetry SerialTel;
+  StreamAggregator SerialAgg;
+  ParallelExperimentOptions Serial;
+  Serial.Jobs = 1;
+  Serial.SharedTel = &SerialTel;
+  Serial.EnableDetectors = true;
+  Serial.JobLogCapacity = 0;
+  Serial.Aggregator = &SerialAgg;
+  runExperimentsParallel(Configs, Serial);
+
+  Telemetry ParallelTel;
+  StreamAggregator ParallelAgg;
+  ParallelExperimentOptions Parallel;
+  Parallel.Jobs = 4;
+  Parallel.SharedTel = &ParallelTel;
+  Parallel.EnableDetectors = true;
+  Parallel.JobLogCapacity = 0;
+  Parallel.Aggregator = &ParallelAgg;
+  runExperimentsParallel(Configs, Parallel);
+
+  EXPECT_EQ(SerialAgg.runs(), Configs.size());
+  // Runs fold in config index order either way, so the streaming
+  // fleet summary is byte-identical.
+  EXPECT_EQ(SerialAgg.toJson(), ParallelAgg.toJson());
 }
 
 TEST(ParallelRunnerTest, PerJobHookSeesEveryRunOnItsPrivateHub) {

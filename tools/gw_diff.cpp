@@ -80,9 +80,12 @@ int main(int Argc, char **Argv) {
       Opts.StrictMeta = true;
     else if (Arg == "--force")
       Force = true;
-    else if (startsWith(Arg, "--"))
+    else if (startsWith(Arg, "--")) {
+      // Unified CLI contract (shared with gw-inspect): unknown flags
+      // and unreadable input print usage to stderr and exit 2.
+      std::fprintf(stderr, "error: unknown flag %s\n", Argv[I]);
       return usage(Argv[0]);
-    else
+    } else
       Positional.push_back(std::string(Arg));
   }
   for (const std::string &P : Positional) {
@@ -100,12 +103,12 @@ int main(int Argc, char **Argv) {
   auto Base = prof::RunSnapshot::loadFile(BaselinePath, &Error);
   if (!Base) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 2;
+    return usage(Argv[0]);
   }
   auto Cand = prof::RunSnapshot::loadFile(CandidatePath, &Error);
   if (!Cand) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 2;
+    return usage(Argv[0]);
   }
 
   prof::CompareResult R = prof::compareRuns(*Base, *Cand, Opts);

@@ -22,15 +22,28 @@
 //                                            injection counts, and the
 //                                            QoS-violation rate inside
 //                                            vs outside each window
+//   gw-inspect events.jsonl alerts           replay the EWMA/CUSUM
+//                                            anomaly detectors over the
+//                                            log and verify the online
+//                                            alert stream byte-for-byte
+//   gw-inspect events.jsonl blackbox [--write=PATH]
+//                                            replay the flight recorder
+//                                            and report (or write) the
+//                                            black-box dumps it would
+//                                            have produced online
 //
 // Everything here reads only the log, so the output matches what the
-// instrumented run printed from live telemetry.
+// instrumented run printed from live telemetry. The alerts and blackbox
+// commands run the *same* detector/recorder object code as the hub,
+// which is what makes the online/offline parity check meaningful.
 //
 //===----------------------------------------------------------------------===//
 
 #include "support/Json.h"
+#include "telemetry/AnomalyDetector.h"
 #include "telemetry/CriticalPath.h"
 #include "telemetry/EnergyAttribution.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/TelemetryLog.h"
 
 #include <cstdio>
@@ -50,7 +63,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <events.jsonl> "
                "[summary | violations | energy [N] | path FRAME [ROOT] | "
-               "faults]\n",
+               "faults | alerts | blackbox [--write=PATH]]\n",
                Argv0);
   return 2;
 }
@@ -285,16 +298,130 @@ int cmdPath(const TelemetryLog &Log, int64_t FrameId, int64_t RootId) {
   return 0;
 }
 
+void printAlert(const TelemetryRecord &R) {
+  std::printf("  %10.3f s  %-16s value %10.3f  baseline %10.3f  "
+              "score %7.2f  %s  n=%lld\n",
+              R.Ts.nanos() / 1e9, R.stringOr("detector", "?").c_str(),
+              R.numberOr("value", 0.0), R.numberOr("baseline", 0.0),
+              R.numberOr("score", 0.0),
+              R.numberOr("dir", 0.0) > 0 ? "up  " : "down",
+              static_cast<long long>(R.numberOr("n", 0.0)));
+}
+
+/// Replays the detectors over the log and checks the regenerated alert
+/// stream against the Alert records the online run left behind.
+int cmdAlerts(const TelemetryLog &Log) {
+  DetectorBank Bank;
+  std::vector<TelemetryRecord> Replayed =
+      replayObservability(Log, Bank, /*Recorder=*/nullptr);
+  std::vector<const TelemetryRecord *> Logged =
+      Log.byKind(TelemetryEventKind::Alert);
+
+  if (Replayed.empty() && Logged.empty()) {
+    std::printf("no alerts: offline replay is quiet and the log carries "
+                "no alert records.\n");
+    return 0;
+  }
+  std::printf("%zu alert(s) from offline replay:\n", Replayed.size());
+  for (const TelemetryRecord &R : Replayed)
+    printAlert(R);
+
+  if (Logged.empty()) {
+    std::printf("\nlog carries no alert records (produced without "
+                "--alerts); offline detection only, parity not "
+                "checked.\n");
+    return 0;
+  }
+
+  // Byte-level parity: each regenerated alert must serialize exactly
+  // like its online counterpart, in the same order.
+  size_t Mismatches = 0;
+  size_t Common = std::min(Replayed.size(), Logged.size());
+  for (size_t I = 0; I < Common; ++I) {
+    std::string Offline = telemetryRecordJson(Replayed[I]);
+    std::string Online = telemetryRecordJson(*Logged[I]);
+    if (Offline != Online) {
+      ++Mismatches;
+      std::fprintf(stderr,
+                   "parity mismatch at alert %zu:\n  online:  %s\n"
+                   "  offline: %s\n",
+                   I, Online.c_str(), Offline.c_str());
+    }
+  }
+  if (Replayed.size() != Logged.size()) {
+    std::fprintf(stderr,
+                 "parity mismatch: %zu online alert(s) vs %zu from "
+                 "offline replay\n",
+                 Logged.size(), Replayed.size());
+    return 1;
+  }
+  if (Mismatches) {
+    std::fprintf(stderr, "FAIL: %zu of %zu alert(s) differ between "
+                         "online and offline detection\n",
+                 Mismatches, Common);
+    return 1;
+  }
+  std::printf("\nonline/offline parity OK: %zu alert(s) reproduced "
+              "byte-for-byte.\n",
+              Logged.size());
+  return 0;
+}
+
+/// Replays the flight recorder (with the detector bank feeding its
+/// alert trigger) and reports the dumps it would have produced.
+int cmdBlackbox(const TelemetryLog &Log, const std::string &WritePath) {
+  DetectorBank Bank;
+  FlightRecorder Recorder;
+  replayObservability(Log, Bank, &Recorder);
+
+  std::printf("%llu trigger(s), %zu black box(es) (%llu suppressed by "
+              "cooldown, %llu beyond the dump cap)\n",
+              static_cast<unsigned long long>(Recorder.triggers()),
+              Recorder.dumps().size(),
+              static_cast<unsigned long long>(Recorder.suppressed()),
+              static_cast<unsigned long long>(Recorder.dropped()));
+  for (size_t I = 0; I < Recorder.dumps().size(); ++I) {
+    const BlackBoxDump &D = Recorder.dumps()[I];
+    std::printf("  [%zu] %10.3f s  %-14s %-28s %zu record(s)\n", I,
+                D.Ts.nanos() / 1e9, D.Trigger.c_str(), D.Detail.c_str(),
+                D.Records.size());
+  }
+  if (!WritePath.empty()) {
+    std::ofstream Out(WritePath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", WritePath.c_str());
+      return 2;
+    }
+    Out << Recorder.dumpsJson();
+    std::printf("wrote black-box dumps to %s\n", WritePath.c_str());
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 2)
+  // Unified CLI contract (shared with gw-diff): unknown flags or
+  // commands and unreadable input all print usage to stderr and exit 2.
+  std::string WritePath;
+  std::vector<const char *> Positional;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg.rfind("--write=", 0) == 0)
+      WritePath = std::string(Arg.substr(8));
+    else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", Argv[I]);
+      return usage(Argv[0]);
+    } else
+      Positional.push_back(Argv[I]);
+  }
+  if (Positional.empty())
     return usage(Argv[0]);
 
-  std::ifstream In(Argv[1]);
+  std::ifstream In(Positional[0]);
   if (!In) {
-    std::fprintf(stderr, "error: cannot read %s\n", Argv[1]);
-    return 1;
+    std::fprintf(stderr, "error: cannot read %s\n", Positional[0]);
+    return usage(Argv[0]);
   }
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
@@ -332,20 +459,27 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
                  Skipped - MetaLines);
 
-  const char *Cmd = Argc > 2 ? Argv[2] : "summary";
+  const char *Cmd = Positional.size() > 1 ? Positional[1] : "summary";
   if (std::strcmp(Cmd, "summary") == 0)
     return cmdSummary(Log);
   if (std::strcmp(Cmd, "violations") == 0)
     return cmdViolations(Log);
   if (std::strcmp(Cmd, "energy") == 0)
-    return cmdEnergy(Log, Argc > 3 ? size_t(std::atoll(Argv[3])) : 0);
+    return cmdEnergy(Log, Positional.size() > 2
+                              ? size_t(std::atoll(Positional[2]))
+                              : 0);
   if (std::strcmp(Cmd, "faults") == 0)
     return cmdFaults(Log);
+  if (std::strcmp(Cmd, "alerts") == 0)
+    return cmdAlerts(Log);
+  if (std::strcmp(Cmd, "blackbox") == 0)
+    return cmdBlackbox(Log, WritePath);
   if (std::strcmp(Cmd, "path") == 0) {
-    if (Argc < 4)
+    if (Positional.size() < 3)
       return usage(Argv[0]);
-    return cmdPath(Log, std::atoll(Argv[3]),
-                   Argc > 4 ? std::atoll(Argv[4]) : 0);
+    return cmdPath(Log, std::atoll(Positional[2]),
+                   Positional.size() > 3 ? std::atoll(Positional[3]) : 0);
   }
+  std::fprintf(stderr, "error: unknown command '%s'\n", Cmd);
   return usage(Argv[0]);
 }
