@@ -58,6 +58,8 @@ inline size_t &samplesCap() {
 ///   --prof               capture a host-side gw_prof profile
 ///   --prof-out=BASE      profile output base (implies --prof)
 ///   --prof-sample=MICROS also run the timer sampler (implies --prof)
+///   --sched=<path>       export the sweep scheduler trace + report
+///   --progress           live sweep progress line on stderr
 struct BenchFlags {
   std::string JsonPath;
   unsigned Jobs = 1;    ///< Benches default to serial; sweeps opt in.
@@ -65,6 +67,8 @@ struct BenchFlags {
   bool Prof = false;
   std::string ProfOut = "gw-prof";
   uint64_t ProfSampleMicros = 0;
+  std::string SchedPath; ///< --sched= (scheduler trace artifact).
+  bool Progress = false; ///< --progress (live sweep meter).
 
   static BenchFlags parse(int Argc, char **Argv) {
     BenchFlags Flags;
@@ -87,7 +91,10 @@ struct BenchFlags {
         Flags.ProfSampleMicros =
             uint64_t(parseInt(Arg.substr(14)).value_or(1000));
         Flags.Prof = true;
-      }
+      } else if (startsWith(Arg, "--sched="))
+        Flags.SchedPath = std::string(Arg.substr(8));
+      else if (Arg == "--progress")
+        Flags.Progress = true;
     }
     return Flags;
   }

@@ -29,12 +29,14 @@
 #include "dom/Dom.h"
 #include "sim/Simulator.h"
 #include "support/StringUtils.h"
+#include "telemetry/SchedTrace.h"
 #include "workloads/Experiment.h"
 #include "workloads/ParallelRunner.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -348,9 +350,22 @@ int main(int Argc, char **Argv) {
       C.GovernorName = Gov;
       Configs.push_back(std::move(C));
     }
-  auto SweepSecs = [&Configs](unsigned Jobs) {
+  auto SweepSecs = [&](unsigned Jobs, SchedTrace *Sched = nullptr) {
+    // A metrics-only shared hub, as every real sweep runs (bench
+    // prefetch, chaos soak): the post-batch config-order merge is part
+    // of what the scheduler report attributes.
+    Telemetry Tel;
+    Tel.setLogCapacity(0);
     ParallelExperimentOptions Opts;
     Opts.Jobs = Jobs;
+    Opts.SharedTel = &Tel;
+    Opts.JobLogCapacity = 0;
+    Opts.Sched = Sched;
+    SchedProgress Progress;
+    if (Flags.Progress && Jobs > 1) {
+      Opts.Progress = &Progress;
+      Opts.ProgressLabel = formatString("sweep jobs=%u", Jobs);
+    }
     auto Start = std::chrono::steady_clock::now();
     runExperimentsParallel(Configs, Opts);
     return std::chrono::duration<double>(
@@ -366,8 +381,13 @@ int main(int Argc, char **Argv) {
                            ? ParallelRunner(Flags.Jobs).jobs()
                            : std::max(2u, std::min(HwThreads, 16u));
   double Serial = SweepSecs(1);
-  double Parallel = SweepSecs(SweepJobs);
+  // The parallel leg runs with the scheduler trace attached (its
+  // overhead on a metrics-only sweep is <2%; see bench_telemetry), so
+  // the efficiency attribution describes the timed run itself.
+  SchedTrace Sched;
+  double Parallel = SweepSecs(SweepJobs, &Sched);
   double SweepSpeedup = Parallel > 0 ? Serial / Parallel : 0;
+  SchedReport Report = SchedReport::fromTrace(Sched);
 
   TablePrinter Sweep("Scenario sweep (12 simulations)");
   Sweep.row().cell("jobs").cell("wall seconds");
@@ -375,13 +395,33 @@ int main(int Argc, char **Argv) {
   Sweep.row().cell(formatString("%u", SweepJobs)).cell(Parallel, 3);
   Sweep.print();
   std::printf("sweep speedup: %.2fx with %u jobs (%u hardware threads "
-              "on this host)\n",
+              "on this host)\n\n",
               SweepSpeedup, SweepJobs, HwThreads);
+  std::printf("%s", Report.format().c_str());
 
   Json.scalar("sweep_serial_seconds", Serial, "s");
   Json.scalar("sweep_parallel_seconds", Parallel, "s");
   Json.scalar("sweep_jobs", double(SweepJobs));
   Json.scalar("sweep_speedup", SweepSpeedup, "x");
+  Json.scalar("sweep_efficiency", Report.Efficiency);
+  Json.scalar("sweep_imbalance_fraction", Report.ImbalanceFraction);
+  Json.scalar("sweep_overhead_fraction", Report.OverheadFraction);
+  Json.scalar("sweep_merge_fraction", Report.MergeFraction);
+  for (const SchedReport::Worker &W : Report.PerWorker)
+    Json.scalar(formatString("sweep_worker_%u_utilization", W.Id),
+                W.Utilization);
+
+  if (!Flags.SchedPath.empty()) {
+    std::ofstream Out(Flags.SchedPath);
+    if (Out) {
+      Out << schedArtifactJson(Sched, Report);
+      std::printf("wrote scheduler trace to %s\n",
+                  Flags.SchedPath.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   Flags.SchedPath.c_str());
+    }
+  }
 
   std::printf("\nJSON written to %s\n", Flags.JsonPath.c_str());
   return 0;

@@ -14,14 +14,20 @@
 //   chaos_evaluation --soak=25 --seed=100  25 randomized chaos plans
 //                                          (nightly CI soak; exit != 0 on
 //                                          any crash or script error)
+//   chaos_evaluation --soak=25 --jobs=4 --sched=sched.json
+//                                          fan the soak over 4 workers
+//                                          and export the scheduler trace
 //   chaos_evaluation --print-plan=mixed    dump a scenario's JSON plan
 //
 // Flags: --app=NAME (Cnet), --governor=NAME (GreenWeb-I),
-// --watchdog=off|on|both (both), --seed=N (1), plus the shared
-// artifact flags (--log=, --metrics=, --trace=). Artifact export and
-// --json require a single resolved run per scenario, so they refuse
-// --watchdog=both; identical seeds and flags reproduce artifacts
-// byte-for-byte (the CI determinism gate relies on this).
+// --watchdog=off|on|both (both), --seed=N (1), --jobs=N (1, soak
+// only), plus the shared artifact flags (--log=, --metrics=,
+// --trace=, --sched=, --progress). Artifact export and --json require
+// a single resolved run per scenario, so they refuse --watchdog=both;
+// identical seeds and flags reproduce artifacts byte-for-byte (the CI
+// determinism gate relies on this — per-seed soak lines print in seed
+// order whatever --jobs is, and the host-time scheduler trace only
+// ever goes to the opt-in --sched path).
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,8 +35,10 @@
 #include "profiling/RunMeta.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "telemetry/SchedTrace.h"
 #include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
+#include "workloads/ParallelRunner.h"
 #include "workloads/TelemetryArtifacts.h"
 
 #include <cstdio>
@@ -51,6 +59,10 @@ struct Options {
   std::string Watchdog = "both"; // off | on | both
   uint64_t Seed = 1;
   unsigned Soak = 0;
+  /// Soak fan-out width; 1 keeps the historical serial soak behavior
+  /// (and its exact stdout) — the per-seed lines are printed in seed
+  /// order after the batch either way.
+  unsigned Jobs = 1;
   std::string PrintPlan;
   std::string JsonPath;
   std::vector<std::string> Scenarios;
@@ -62,9 +74,10 @@ int usage() {
                "usage: chaos_evaluation [scenario...] [--app=NAME] "
                "[--governor=NAME]\n"
                "       [--watchdog=off|on|both] [--seed=N] [--json=PATH]\n"
-               "       [--soak=N] [--print-plan=SCENARIO]\n"
+               "       [--soak=N] [--jobs=N] [--print-plan=SCENARIO]\n"
                "       [--log=events.jsonl] [--metrics=metrics.json] "
                "[--trace=trace.json]\n"
+               "       [--sched=sched.json] [--progress]\n"
                "scenarios: ");
   for (const std::string &Name : FaultPlan::scenarioNames())
     std::fprintf(stderr, "%s ", Name.c_str());
@@ -151,44 +164,96 @@ void writeJson(const std::string &Path, const std::string &CommandLine,
 }
 
 /// The nightly soak: randomized chaos plans across a seed range, all
-/// with the watchdog engaged. Any crash aborts the process (nonzero by
-/// itself); script errors fail the seed, and a soak where *no* plan
-/// lands a single injection fails as a whole (the injector is wired
-/// out). Zero injections on one seed alone is legitimate — a sparse
-/// spike window can miss every callback draw — so it only warns.
+/// with the watchdog engaged, fanned over --jobs worker threads (the
+/// default 1 runs inline, exactly the historical serial soak). Every
+/// seed is an isolated simulation, so the per-seed numbers are
+/// identical at any job count, and the lines below always print in
+/// seed order after the batch — never completion order. Any crash
+/// aborts the process (nonzero by itself); script errors fail the
+/// seed, and a soak where *no* plan lands a single injection fails as
+/// a whole (the injector is wired out). Zero injections on one seed
+/// alone is legitimate — a sparse spike window can miss every callback
+/// draw — so it only warns.
 int runSoak(const Options &Opts) {
   std::printf("chaos soak: %u randomized plans (seeds %llu..%llu), "
-              "%s under %s, watchdog on\n\n",
+              "%s under %s, watchdog on, %u job%s\n\n",
               Opts.Soak, static_cast<unsigned long long>(Opts.Seed),
               static_cast<unsigned long long>(Opts.Seed + Opts.Soak - 1),
-              Opts.App.c_str(), Opts.Governor.c_str());
-  unsigned Failures = 0;
-  uint64_t TotalInjections = 0;
+              Opts.App.c_str(), Opts.Governor.c_str(), Opts.Jobs,
+              Opts.Jobs == 1 ? "" : "s");
+  std::vector<FaultPlan> Plans;
+  std::vector<ExperimentConfig> Configs;
+  Plans.reserve(Opts.Soak);
+  Configs.reserve(Opts.Soak);
   for (unsigned I = 0; I < Opts.Soak; ++I) {
     uint64_t Seed = Opts.Seed + I;
-    FaultPlan Plan = FaultPlan::chaosPlan(Seed);
-    Options Run = Opts;
-    Run.Seed = Seed;
-    // Metrics-only hub: runCell turns on DAQ-style meter sampling when
-    // a hub is present, so meter_noise plans exercise their hot path;
-    // capacity 0 keeps a 25-seed soak from growing 25 full logs.
-    Telemetry Tel;
-    Tel.setLogCapacity(0);
-    ChaosCell Cell =
-        runCell(Run, formatString("chaos-%llu",
-                                  static_cast<unsigned long long>(Seed)),
-                Plan, /*Watchdog=*/true, &Tel);
-    TotalInjections += Cell.FaultEvents;
-    bool Ok = Cell.ScriptErrors == 0;
+    Plans.push_back(FaultPlan::chaosPlan(Seed));
+    ExperimentConfig C;
+    C.AppName = Opts.App;
+    C.GovernorName = Opts.Governor;
+    C.Seed = Seed;
+    C.Faults = Plans.back();
+    C.RuntimeParams = watchdogParams();
+    // DAQ-style meter sampling so meter_noise plans exercise their hot
+    // path — the runner's private hubs stand in for the per-seed hub
+    // the serial soak used to build.
+    C.MeterSamplePeriod = Duration::milliseconds(1);
+    Configs.push_back(std::move(C));
+  }
+
+  // Metrics-only shared hub: capacity 0 keeps a 25-seed soak from
+  // growing 25 full logs, exactly like the old per-seed hubs did.
+  Telemetry SharedTel;
+  SharedTel.setLogCapacity(0);
+  ParallelExperimentOptions POpts;
+  POpts.Jobs = Opts.Jobs;
+  POpts.SharedTel = &SharedTel;
+  POpts.JobLogCapacity = 0;
+  SchedTrace Sched;
+  if (!Opts.Artifacts.SchedPath.empty())
+    POpts.Sched = &Sched;
+  SchedProgress Progress;
+  if (Opts.Artifacts.Progress)
+    POpts.Progress = &Progress;
+  POpts.ProgressLabel = "chaos soak";
+  POpts.ItemLabel = [&Configs](size_t I) {
+    return formatString(
+        "seed %llu", static_cast<unsigned long long>(Configs[I].Seed));
+  };
+  std::vector<ExperimentResult> Results =
+      runExperimentsParallel(Configs, POpts);
+
+  unsigned Failures = 0;
+  uint64_t TotalInjections = 0;
+  bool Usable = Opts.Governor == governors::GreenWebU;
+  for (unsigned I = 0; I < Opts.Soak; ++I) {
+    const ExperimentResult &R = Results[I];
+    uint64_t Seed = Opts.Seed + I;
+    double ViolationPct =
+        Usable ? R.ViolationPctUsable : R.ViolationPctImperceptible;
+    TotalInjections += R.Faults.total();
+    bool Ok = R.ScriptErrors.empty();
     std::printf("  seed %-6llu %zu faults -> %6llu injections, "
                 "%5.2f%% violations, %.1f mJ, %llu trips%s\n",
-                static_cast<unsigned long long>(Seed), Plan.Faults.size(),
-                static_cast<unsigned long long>(Cell.FaultEvents),
-                Cell.ViolationPct, Cell.Joules * 1e3,
-                static_cast<unsigned long long>(Cell.WatchdogTrips),
+                static_cast<unsigned long long>(Seed),
+                Plans[I].Faults.size(),
+                static_cast<unsigned long long>(R.Faults.total()),
+                ViolationPct, R.TotalJoules * 1e3,
+                static_cast<unsigned long long>(
+                    R.RuntimeStats.WatchdogTrips),
                 Ok ? "" : "  FAILED");
     Failures += Ok ? 0 : 1;
   }
+  if (POpts.Sched) {
+    std::printf("\n%s", SchedReport::fromTrace(Sched).format().c_str());
+    writeSchedArtifact(Opts.Artifacts, Sched);
+  }
+  // --trace=/--log=/--metrics= export from the shared hub: the merged
+  // metrics, the sched records, and (with --sched) one Perfetto track
+  // per sweep worker spliced into the trace.
+  if (Opts.Artifacts.any())
+    writeTelemetryArtifacts(Opts.Artifacts, SharedTel, {}, {},
+                            POpts.Sched);
   if (TotalInjections == 0) {
     std::printf("\nsoak FAILED: no plan landed a single injection — the "
                 "fault injector is not reaching the run\n");
@@ -216,6 +281,8 @@ int main(int Argc, char **Argv) {
       Opts.Seed = uint64_t(std::atoll(Arg.c_str() + 7));
     else if (Arg.rfind("--soak=", 0) == 0)
       Opts.Soak = unsigned(std::atoi(Arg.c_str() + 7));
+    else if (Arg.rfind("--jobs=", 0) == 0)
+      Opts.Jobs = unsigned(std::atoi(Arg.c_str() + 7));
     else if (Arg.rfind("--print-plan=", 0) == 0)
       Opts.PrintPlan = Arg.substr(13);
     else if (Arg.rfind("--json=", 0) == 0)
@@ -249,6 +316,9 @@ int main(int Argc, char **Argv) {
   Opts.Artifacts.beginRun(Argc, Argv);
   if (Opts.Soak > 0)
     return runSoak(Opts);
+  if (!Opts.Artifacts.SchedPath.empty())
+    std::fprintf(stderr, "warning: --sched only traces the --soak "
+                         "parallel sweep; no scheduler trace written\n");
 
   if (Opts.Scenarios.empty())
     Opts.Scenarios = FaultPlan::scenarioNames();

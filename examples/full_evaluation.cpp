@@ -34,6 +34,7 @@
 #include "support/TablePrinter.h"
 #include "telemetry/CriticalPath.h"
 #include "telemetry/EnergyAttribution.h"
+#include "telemetry/SchedTrace.h"
 #include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
 #include "workloads/ParallelRunner.h"
@@ -96,7 +97,7 @@ void printDetailed(const ExperimentResult &R) {
   }
 }
 
-int runSweep(unsigned Jobs) {
+int runSweep(unsigned Jobs, const TelemetryArtifactOptions &Artifacts) {
   std::printf("No arguments: sweeping one app per QoS category under "
               "every governor.\n\n");
   // The sweep is |apps| x |governors| independent simulations; fan them
@@ -115,6 +116,14 @@ int runSweep(unsigned Jobs) {
   }
   ParallelExperimentOptions Opts;
   Opts.Jobs = Jobs;
+  // Scheduler observability is opt-in: host wall-clock values would
+  // break the byte-deterministic stdout contract if always on.
+  SchedTrace Sched;
+  if (!Artifacts.SchedPath.empty())
+    Opts.Sched = &Sched;
+  SchedProgress Progress;
+  if (Artifacts.Progress)
+    Opts.Progress = &Progress;
   auto Start = std::chrono::steady_clock::now();
   std::vector<ExperimentResult> Results =
       runExperimentsParallel(Configs, Opts);
@@ -142,10 +151,15 @@ int runSweep(unsigned Jobs) {
   std::printf("\nsweep: %zu simulations in %.2f s wall clock with "
               "--jobs=%u\n",
               Results.size(), Secs, ParallelRunner(Jobs).jobs());
+  if (Opts.Sched) {
+    std::printf("\n%s", SchedReport::fromTrace(Sched).format().c_str());
+    writeSchedArtifact(Artifacts, Sched);
+  }
   std::printf("\nUsage: full_evaluation [app] [governor] [micro|full] "
               "[--jobs=N] "
               "[--diagnose] [--trace=trace.json] [--log=events.jsonl] "
-              "[--metrics=metrics.json]\n"
+              "[--metrics=metrics.json] [--sched=sched.json] "
+              "[--progress]\n"
               "Apps: ");
   for (const std::string &Name : allAppNames())
     std::printf("%s ", Name.c_str());
@@ -255,7 +269,7 @@ int main(int Argc, char **Argv) {
   }
   Artifacts.beginRun(Argc, Argv);
   if (Positional.size() < 2) {
-    int Rc = runSweep(Jobs);
+    int Rc = runSweep(Jobs, Artifacts);
     if (Artifacts.Prof) {
       // The sweep has no telemetry hub; export the profile directly.
       if (Artifacts.ProfSampleMicros > 0)

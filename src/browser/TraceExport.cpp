@@ -227,8 +227,12 @@ greenweb::exportChromeTrace(const std::vector<FrameRecord> &Frames,
       break;
     case TelemetryEventKind::FrameStage:
     case TelemetryEventKind::QosViolation:
+    case TelemetryEventKind::Alert:
+    case TelemetryEventKind::Sched:
       // Stages already show as pipeline spans; violations surface in
-      // the metrics snapshot. Neither needs a dedicated trace track.
+      // the metrics snapshot; alerts replay through gw-inspect; and
+      // scheduler timelines get their own host-time tracks via
+      // schedPerfettoTrackJson. None needs a dedicated track here.
       break;
     }
   }

@@ -223,11 +223,13 @@ Direction metricDirection(std::string_view Name) {
   // Higher-is-better first: "events_per_sec" must not match the
   // "_seconds" rule below.
   if (Has("per_sec") || Has("speedup") || Has("throughput") ||
-      Has("cache_hits") || Has("fps"))
+      Has("cache_hits") || Has("fps") || Has("efficiency") ||
+      Has("utilization"))
     return Direction::HigherIsBetter;
   if (Has("ns_per_op") || Has("_seconds") || Has("latency") ||
       Has("violation") || Has("joules") || Has("penalty") ||
-      Has("duration") || Has("dropped") || Has("_ms") || Has("_ns"))
+      Has("duration") || Has("dropped") || Has("_ms") || Has("_ns") ||
+      Has("fraction"))
     return Direction::LowerIsBetter;
   return Direction::Neutral;
 }

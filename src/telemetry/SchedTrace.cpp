@@ -1,0 +1,514 @@
+//===- telemetry/SchedTrace.cpp - Sweep scheduler observability -----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/SchedTrace.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unistd.h>
+
+using namespace greenweb;
+
+//===----------------------------------------------------------------------===//
+// SchedTrace
+//===----------------------------------------------------------------------===//
+
+void SchedTrace::beginBatch(unsigned WorkersIn, size_t Items) {
+  Workers = WorkersIn;
+  BatchNs = 0;
+  MergeWindowNs = 0;
+  PerWorker.assign(Workers, {});
+  Merges.clear();
+  for (auto &Buf : PerWorker)
+    Buf.reserve(Workers ? Items / Workers + 1 : 0);
+  BatchBegin = std::chrono::steady_clock::now();
+}
+
+void SchedTrace::endBatch() { BatchNs = sinceBatchBeginNs(); }
+
+int64_t SchedTrace::sinceBatchBeginNs() const {
+  if (Workers == 0)
+    return 0;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - BatchBegin)
+      .count();
+}
+
+void SchedTrace::record(SchedItem Item) {
+  if (Item.Worker < PerWorker.size())
+    PerWorker[Item.Worker].push_back(std::move(Item));
+}
+
+void SchedTrace::noteMerge(uint64_t Item, int64_t MergeNs,
+                           int64_t HubRecords) {
+  Merges.push_back({Item, MergeNs, HubRecords});
+}
+
+std::vector<SchedItem> SchedTrace::items() const {
+  std::vector<SchedItem> All;
+  for (const auto &Buf : PerWorker)
+    All.insert(All.end(), Buf.begin(), Buf.end());
+  std::sort(All.begin(), All.end(),
+            [](const SchedItem &A, const SchedItem &B) {
+              return A.Item < B.Item;
+            });
+  for (const MergeNote &N : Merges)
+    for (SchedItem &I : All)
+      if (I.Item == N.Item) {
+        I.MergeNs = N.MergeNs;
+        I.HubRecords = N.HubRecords;
+        break;
+      }
+  return All;
+}
+
+SchedTrace SchedTrace::fromParts(unsigned Workers, int64_t BatchNs,
+                                 int64_t MergeWindowNs,
+                                 std::vector<SchedItem> Items) {
+  SchedTrace T;
+  T.Workers = Workers;
+  T.BatchNs = BatchNs;
+  T.MergeWindowNs = MergeWindowNs;
+  T.PerWorker.assign(std::max(1u, Workers), {});
+  for (SchedItem &I : Items)
+    if (I.Worker < T.PerWorker.size())
+      T.PerWorker[I.Worker].push_back(std::move(I));
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// SchedReport
+//===----------------------------------------------------------------------===//
+
+SchedReport SchedReport::fromTrace(const SchedTrace &Trace,
+                                   size_t StragglerTopK) {
+  SchedReport R;
+  R.Workers = Trace.workers();
+  R.BatchNs = Trace.batchNs();
+  R.MergeNs = Trace.mergeWindowNs();
+  R.MakespanNs = R.BatchNs + R.MergeNs;
+
+  std::vector<SchedItem> Items = Trace.items();
+  R.Items = Items.size();
+  R.PerWorker.resize(R.Workers);
+  for (unsigned W = 0; W < R.Workers; ++W)
+    R.PerWorker[W].Id = W;
+
+  // Per-worker busy/wait: replay each worker's timeline in claim
+  // order; the gap before an item (first claim included) is handout
+  // wait, everything inside RunNs is busy.
+  std::vector<SchedItem> ByStart = Items;
+  std::sort(ByStart.begin(), ByStart.end(),
+            [](const SchedItem &A, const SchedItem &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              return A.Item < B.Item;
+            });
+  std::vector<int64_t> PrevEnd(R.Workers, 0);
+  for (const SchedItem &I : ByStart) {
+    if (I.Worker >= R.Workers)
+      continue;
+    Worker &W = R.PerWorker[I.Worker];
+    ++W.Items;
+    W.BusyNs += I.RunNs;
+    W.WaitNs += std::max<int64_t>(0, I.StartNs - PrevEnd[I.Worker]);
+    PrevEnd[I.Worker] = I.StartNs + I.RunNs;
+  }
+
+  for (const SchedItem &I : Items) {
+    R.SerialSumNs += I.RunNs;
+    R.SetupNs += I.SetupNs;
+    R.SimNs += I.SimNs;
+    R.HookNs += I.HookNs;
+    R.HubRecords += I.HubRecords;
+  }
+  R.ItemOverheadNs = R.SerialSumNs - R.SetupNs - R.SimNs - R.HookNs;
+
+  for (Worker &W : R.PerWorker) {
+    R.MaxBusyNs = std::max(R.MaxBusyNs, W.BusyNs);
+    W.Utilization =
+        R.BatchNs > 0 ? double(W.BusyNs) / double(R.BatchNs) : 0.0;
+  }
+
+  if (R.MakespanNs > 0) {
+    double Makespan = double(R.MakespanNs);
+    R.Speedup = double(R.SerialSumNs) / Makespan;
+    R.Efficiency =
+        R.Workers ? double(R.SerialSumNs) / (double(R.Workers) * Makespan)
+                  : 0.0;
+    double MeanBusy =
+        R.Workers ? double(R.SerialSumNs) / double(R.Workers) : 0.0;
+    R.ComputeFraction = MeanBusy / Makespan;
+    R.ImbalanceFraction = (double(R.MaxBusyNs) - MeanBusy) / Makespan;
+    R.OverheadFraction =
+        (double(R.BatchNs) - double(R.MaxBusyNs)) / Makespan;
+    R.MergeFraction = double(R.MergeNs) / Makespan;
+  }
+
+  // Straggler top-k by run time (ties broken by item index so the
+  // ranking is deterministic).
+  std::vector<SchedItem> ByRun = Items;
+  std::sort(ByRun.begin(), ByRun.end(),
+            [](const SchedItem &A, const SchedItem &B) {
+              if (A.RunNs != B.RunNs)
+                return A.RunNs > B.RunNs;
+              return A.Item < B.Item;
+            });
+  for (size_t I = 0; I < ByRun.size() && I < StragglerTopK; ++I)
+    R.Stragglers.push_back(
+        {ByRun[I].Item, ByRun[I].Worker, ByRun[I].Label, ByRun[I].RunNs});
+  return R;
+}
+
+std::string SchedReport::toJson() const {
+  std::string Out = formatString(
+      "{\"workers\":%u,\"items\":%llu,\"batch_ns\":%lld,"
+      "\"merge_ns\":%lld,\"makespan_ns\":%lld,\"serial_sum_ns\":%lld,"
+      "\"max_busy_ns\":%lld,\"speedup\":%.6f,\"efficiency\":%.6f",
+      Workers, static_cast<unsigned long long>(Items),
+      static_cast<long long>(BatchNs), static_cast<long long>(MergeNs),
+      static_cast<long long>(MakespanNs),
+      static_cast<long long>(SerialSumNs),
+      static_cast<long long>(MaxBusyNs), Speedup, Efficiency);
+  Out += formatString(
+      ",\"attribution\":{\"compute\":%.6f,\"imbalance\":%.6f,"
+      "\"overhead\":%.6f,\"merge_serialization\":%.6f}",
+      ComputeFraction, ImbalanceFraction, OverheadFraction, MergeFraction);
+  Out += formatString(",\"phases\":{\"setup_ns\":%lld,\"sim_ns\":%lld,"
+                      "\"hook_ns\":%lld,\"item_overhead_ns\":%lld}",
+                      static_cast<long long>(SetupNs),
+                      static_cast<long long>(SimNs),
+                      static_cast<long long>(HookNs),
+                      static_cast<long long>(ItemOverheadNs));
+  Out += formatString(",\"hub_records\":%lld,\"per_worker\":[",
+                      static_cast<long long>(HubRecords));
+  for (size_t I = 0; I < PerWorker.size(); ++I) {
+    const Worker &W = PerWorker[I];
+    Out += formatString(
+        "%s{\"worker\":%u,\"items\":%llu,\"busy_ns\":%lld,"
+        "\"wait_ns\":%lld,\"utilization\":%.6f}",
+        I ? "," : "", W.Id, static_cast<unsigned long long>(W.Items),
+        static_cast<long long>(W.BusyNs), static_cast<long long>(W.WaitNs),
+        W.Utilization);
+  }
+  Out += "],\"stragglers\":[";
+  for (size_t I = 0; I < Stragglers.size(); ++I) {
+    const Straggler &S = Stragglers[I];
+    Out += formatString(
+        "%s{\"item\":%llu,\"worker\":%u,\"label\":\"%s\",\"run_ns\":%lld}",
+        I ? "," : "", static_cast<unsigned long long>(S.Item), S.Worker,
+        jsonEscape(S.Label).c_str(), static_cast<long long>(S.RunNs));
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string SchedReport::format() const {
+  std::string Out = formatString(
+      "scheduler report: %llu items on %u workers\n"
+      "  makespan %.3f ms = batch %.3f ms + merge %.3f ms "
+      "(serial sum %.3f ms)\n"
+      "  speedup %.2fx, parallel efficiency %.1f%%\n"
+      "  attribution: compute %.1f%%, imbalance %.1f%%, overhead %.1f%%, "
+      "merge serialization %.1f%%\n"
+      "  phases: setup %.3f ms, simulate %.3f ms, hooks %.3f ms, "
+      "per-item overhead %.3f ms (%lld hub records)\n",
+      static_cast<unsigned long long>(Items), Workers,
+      double(MakespanNs) / 1e6, double(BatchNs) / 1e6,
+      double(MergeNs) / 1e6, double(SerialSumNs) / 1e6, Speedup,
+      Efficiency * 100.0, ComputeFraction * 100.0,
+      ImbalanceFraction * 100.0, OverheadFraction * 100.0,
+      MergeFraction * 100.0, double(SetupNs) / 1e6, double(SimNs) / 1e6,
+      double(HookNs) / 1e6, double(ItemOverheadNs) / 1e6,
+      static_cast<long long>(HubRecords));
+  for (const Worker &W : PerWorker)
+    Out += formatString(
+        "  worker %-2u %3llu items  busy %8.3f ms  wait %8.3f ms  "
+        "utilization %5.1f%%\n",
+        W.Id, static_cast<unsigned long long>(W.Items),
+        double(W.BusyNs) / 1e6, double(W.WaitNs) / 1e6,
+        W.Utilization * 100.0);
+  if (!Stragglers.empty()) {
+    Out += "  stragglers:\n";
+    for (const Straggler &S : Stragglers)
+      Out += formatString("    item %-3llu %-24s worker %-2u %8.3f ms\n",
+                          static_cast<unsigned long long>(S.Item),
+                          S.Label.c_str(), S.Worker,
+                          double(S.RunNs) / 1e6);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact round trip
+//===----------------------------------------------------------------------===//
+
+std::string greenweb::schedArtifactJson(const SchedTrace &Trace,
+                                        const SchedReport &Report) {
+  std::string Out = formatString(
+      "{\n  \"kind\": \"sched_trace\",\n  \"workers\": %u,\n"
+      "  \"batch_ns\": %lld,\n  \"merge_ns\": %lld,\n  \"items\": [\n",
+      Trace.workers(), static_cast<long long>(Trace.batchNs()),
+      static_cast<long long>(Trace.mergeWindowNs()));
+  std::vector<SchedItem> Items = Trace.items();
+  for (size_t I = 0; I < Items.size(); ++I) {
+    const SchedItem &It = Items[I];
+    Out += formatString(
+        "    {\"item\":%llu,\"worker\":%u,\"label\":\"%s\","
+        "\"start_ns\":%lld,\"run_ns\":%lld,\"setup_ns\":%lld,"
+        "\"sim_ns\":%lld,\"hook_ns\":%lld,\"merge_ns\":%lld,"
+        "\"hub_records\":%lld}%s\n",
+        static_cast<unsigned long long>(It.Item), It.Worker,
+        jsonEscape(It.Label).c_str(), static_cast<long long>(It.StartNs),
+        static_cast<long long>(It.RunNs),
+        static_cast<long long>(It.SetupNs),
+        static_cast<long long>(It.SimNs),
+        static_cast<long long>(It.HookNs),
+        static_cast<long long>(It.MergeNs),
+        static_cast<long long>(It.HubRecords),
+        I + 1 < Items.size() ? "," : "");
+  }
+  Out += "  ],\n  \"report\": " + Report.toJson() + "\n}\n";
+  return Out;
+}
+
+bool greenweb::schedTraceFromArtifact(const std::string &Text,
+                                      SchedTrace &Out, std::string *Error) {
+  auto Fail = [Error](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  std::string ParseError;
+  std::optional<json::Value> Doc = json::parse(Text, &ParseError);
+  if (!Doc)
+    return Fail(("invalid JSON: " + ParseError).c_str());
+  if (!Doc->isObject() || Doc->stringOr("kind", "") != "sched_trace")
+    return Fail("not a sched artifact (expected kind \"sched_trace\")");
+  const json::Value *Items = Doc->get("items");
+  if (!Items || !Items->isArray())
+    return Fail("sched artifact has no items array");
+
+  // Every numeric field is an integer nanosecond count well under
+  // 2^53, so the double round trip through the JSON parser is exact.
+  auto AsI64 = [](const json::Value &V, std::string_view Key) {
+    return int64_t(std::llround(V.numberOr(Key, 0.0)));
+  };
+  std::vector<SchedItem> Parsed;
+  Parsed.reserve(Items->Arr.size());
+  for (const json::Value &V : Items->Arr) {
+    SchedItem I;
+    I.Item = uint64_t(AsI64(V, "item"));
+    I.Worker = unsigned(AsI64(V, "worker"));
+    I.Label = V.stringOr("label", "");
+    I.StartNs = AsI64(V, "start_ns");
+    I.RunNs = AsI64(V, "run_ns");
+    I.SetupNs = AsI64(V, "setup_ns");
+    I.SimNs = AsI64(V, "sim_ns");
+    I.HookNs = AsI64(V, "hook_ns");
+    I.MergeNs = AsI64(V, "merge_ns");
+    I.HubRecords = AsI64(V, "hub_records");
+    Parsed.push_back(std::move(I));
+  }
+  Out = SchedTrace::fromParts(
+      unsigned(std::llround(Doc->numberOr("workers", 0.0))),
+      int64_t(std::llround(Doc->numberOr("batch_ns", 0.0))),
+      int64_t(std::llround(Doc->numberOr("merge_ns", 0.0))),
+      std::move(Parsed));
+  return true;
+}
+
+std::string
+greenweb::schedReportSectionFromArtifact(const std::string &Text) {
+  size_t Key = Text.find("\"report\":");
+  if (Key == std::string::npos)
+    return {};
+  size_t Open = Text.find('{', Key);
+  if (Open == std::string::npos)
+    return {};
+  // Balanced-brace scan, skipping string contents (labels may hold
+  // arbitrary escaped text).
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = Open; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{')
+      ++Depth;
+    else if (C == '}' && --Depth == 0)
+      return Text.substr(Open, I - Open + 1);
+  }
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Perfetto export
+//===----------------------------------------------------------------------===//
+
+std::string greenweb::schedPerfettoTrackJson(const SchedTrace &Trace) {
+  std::vector<SchedItem> Items = Trace.items();
+  if (Items.empty())
+    return {};
+  // A dedicated pid keeps the host-time scheduler tracks visually
+  // separate from the simulated-time tracks (gw-prof uses 9000).
+  constexpr int SchedPid = 9100;
+  std::string Out = formatString(
+      ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+      "\"args\":{\"name\":\"sweep scheduler (host time)\"}}",
+      SchedPid);
+  for (unsigned W = 0; W < Trace.workers(); ++W)
+    Out += formatString(
+        ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%u,"
+        "\"args\":{\"name\":\"worker %u%s\"}}",
+        SchedPid, W, W, W == 0 ? " (caller)" : "");
+
+  std::vector<SchedItem> ByStart = Items;
+  std::sort(ByStart.begin(), ByStart.end(),
+            [](const SchedItem &A, const SchedItem &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              return A.Item < B.Item;
+            });
+  std::vector<int64_t> PrevEnd(Trace.workers(), 0);
+  for (const SchedItem &I : ByStart) {
+    if (I.Worker < PrevEnd.size()) {
+      int64_t Wait = I.StartNs - PrevEnd[I.Worker];
+      if (Wait > 0)
+        Out += formatString(
+            ",\n{\"name\":\"(wait)\",\"cat\":\"sched\",\"ph\":\"X\","
+            "\"pid\":%d,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+            "\"args\":{\"queue_wait_ns\":%lld}}",
+            SchedPid, I.Worker, double(PrevEnd[I.Worker]) / 1e3,
+            double(Wait) / 1e3, static_cast<long long>(Wait));
+      PrevEnd[I.Worker] = I.StartNs + I.RunNs;
+    }
+    Out += formatString(
+        ",\n{\"name\":\"%s\",\"cat\":\"sched\",\"ph\":\"X\",\"pid\":%d,"
+        "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"item\":%llu,"
+        "\"setup_ns\":%lld,\"sim_ns\":%lld,\"hook_ns\":%lld,"
+        "\"merge_ns\":%lld,\"hub_records\":%lld}}",
+        jsonEscape(I.Label.empty() ? formatString("item %llu",
+                                                  (unsigned long long)I.Item)
+                                   : I.Label)
+            .c_str(),
+        SchedPid, I.Worker, double(I.StartNs) / 1e3, double(I.RunNs) / 1e3,
+        static_cast<unsigned long long>(I.Item),
+        static_cast<long long>(I.SetupNs), static_cast<long long>(I.SimNs),
+        static_cast<long long>(I.HookNs),
+        static_cast<long long>(I.MergeNs),
+        static_cast<long long>(I.HubRecords));
+  }
+  // The serialized merge occupies the caller track after the batch.
+  if (Trace.mergeWindowNs() > 0)
+    Out += formatString(
+        ",\n{\"name\":\"merge (serialized)\",\"cat\":\"sched\","
+        "\"ph\":\"X\",\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"dur\":%.3f,"
+        "\"args\":{\"merge_ns\":%lld}}",
+        SchedPid, double(Trace.batchNs()) / 1e3,
+        double(Trace.mergeWindowNs()) / 1e3,
+        static_cast<long long>(Trace.mergeWindowNs()));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// SchedProgress
+//===----------------------------------------------------------------------===//
+
+SchedProgress::SchedProgress(std::FILE *OutIn) : Out(OutIn) {
+  Tty = isatty(fileno(Out)) != 0;
+}
+
+void SchedProgress::begin(unsigned WorkersIn, size_t ItemsIn,
+                          std::string LabelIn) {
+  Workers = WorkersIn;
+  Items = ItemsIn;
+  Label = std::move(LabelIn);
+  Done.store(0);
+  BusyNs = std::make_unique<std::atomic<int64_t>[]>(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    BusyNs[W].store(0);
+  Begin = std::chrono::steady_clock::now();
+  LastRender = Begin;
+  Armed = true;
+  Rendered = false;
+}
+
+void SchedProgress::itemDone(unsigned Worker, int64_t ItemBusyNs) {
+  if (!Armed)
+    return;
+  if (Worker < Workers)
+    BusyNs[Worker].fetch_add(ItemBusyNs, std::memory_order_relaxed);
+  Done.fetch_add(1, std::memory_order_relaxed);
+  maybeRender(/*Force=*/false);
+}
+
+void SchedProgress::finish() {
+  if (!Armed)
+    return;
+  maybeRender(/*Force=*/true);
+  if (Rendered && Tty)
+    std::fputc('\n', Out);
+  Armed = false;
+}
+
+std::string SchedProgress::renderLine() const {
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Begin)
+                       .count();
+  size_t D = Done.load(std::memory_order_relaxed);
+  std::string Line = formatString("[%s] %zu/%zu items  %.1fs elapsed",
+                                  Label.c_str(), D, Items, Elapsed);
+  if (D > 0 && D < Items)
+    Line += formatString("  eta %.1fs",
+                         Elapsed * double(Items - D) / double(D));
+  if (Workers > 0 && Elapsed > 0) {
+    Line += "  util";
+    // Cap the per-worker list so wide fleets keep a one-line status.
+    unsigned Shown = std::min(Workers, 8u);
+    for (unsigned W = 0; W < Shown; ++W)
+      Line += formatString(
+          " w%u %.0f%%", W,
+          100.0 * double(BusyNs[W].load(std::memory_order_relaxed)) /
+              (Elapsed * 1e9));
+    if (Shown < Workers)
+      Line += formatString(" (+%u more)", Workers - Shown);
+  }
+  return Line;
+}
+
+void SchedProgress::maybeRender(bool Force) {
+  // Redraw-in-place on a TTY at ~10 Hz; plain lines elsewhere at a
+  // cadence coarse enough to keep CI logs readable.
+  const auto MinGap =
+      Tty ? std::chrono::milliseconds(100) : std::chrono::seconds(2);
+  std::unique_lock<std::mutex> Lock(RenderMu, std::try_to_lock);
+  if (!Lock.owns_lock())
+    return; // Another worker is rendering; this update can wait.
+  auto Now = std::chrono::steady_clock::now();
+  if (!Force && Rendered && Now - LastRender < MinGap)
+    return;
+  LastRender = Now;
+  Rendered = true;
+  std::string Line = renderLine();
+  if (Tty) {
+    // Pad over any longer previous render.
+    std::fprintf(Out, "\r%-100s", Line.c_str());
+  } else {
+    std::fprintf(Out, "%s\n", Line.c_str());
+  }
+  std::fflush(Out);
+}

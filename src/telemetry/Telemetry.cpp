@@ -72,6 +72,21 @@ void Telemetry::observeAndAppend(TelemetryEventKind Kind,
   }
 }
 
+void Telemetry::mergeLogFrom(const TelemetryLog &Other) {
+  for (const TelemetryRecord &R : Other.records()) {
+    // Mirror the live append paths: Alerts always land (the bypass is
+    // their whole contract — see observeAndAppend); everything else is
+    // subject to this hub's capacity, with drops counted. Appended
+    // alerts grow Log.size() and so count against later capacity
+    // checks, exactly as live.
+    if (R.Kind != TelemetryEventKind::Alert && Log.size() >= LogCapacity) {
+      Metrics.counter("telemetry.dropped_records").add();
+      continue;
+    }
+    Log.append(R.Kind, R.Ts, R.Fields);
+  }
+}
+
 void Telemetry::recordGovernorDecision(const GovernorDecisionRecord &R) {
   if (!Enabled)
     return;

@@ -158,6 +158,14 @@ public:
   /// exporting so in-flight work reaches the artifacts.
   void flushSpans() { Spans.finishAll(); }
 
+  /// Re-appends another log into this hub with *live* append semantics:
+  /// non-Alert records respect this hub's log capacity (drops counted in
+  /// telemetry.dropped_records), Alert records keep their capacity
+  /// bypass. ParallelRunner uses this for the config-order merge so a
+  /// capacity-limited shared hub treats merged records exactly as it
+  /// would have treated them recorded directly.
+  void mergeLogFrom(const TelemetryLog &Other);
+
   /// --- Online observability (off by default; see FlightRecorder.h) ---
   ///
   /// Attaches the EWMA/CUSUM anomaly detectors: every record flows

@@ -36,6 +36,8 @@ const char *greenweb::telemetryEventKindName(TelemetryEventKind Kind) {
     return "fault";
   case TelemetryEventKind::Alert:
     return "alert";
+  case TelemetryEventKind::Sched:
+    return "sched";
   }
   return "unknown";
 }
@@ -47,7 +49,8 @@ bool greenweb::telemetryEventKindFromName(const std::string &Name,
       TelemetryEventKind::ConfigSwitch,     TelemetryEventKind::FrameStage,
       TelemetryEventKind::QosViolation,     TelemetryEventKind::EnergySample,
       TelemetryEventKind::CounterSample,    TelemetryEventKind::Span,
-      TelemetryEventKind::Fault,            TelemetryEventKind::Alert};
+      TelemetryEventKind::Fault,            TelemetryEventKind::Alert,
+      TelemetryEventKind::Sched};
   for (TelemetryEventKind K : Kinds)
     if (Name == telemetryEventKindName(K)) {
       Out = K;

@@ -42,6 +42,7 @@ enum class TelemetryEventKind : uint8_t {
   Span,             ///< A completed causal span (see SpanTracer).
   Fault,            ///< A fault window opened/closed or an injection landed.
   Alert,            ///< An online anomaly detector fired (see AnomalyDetector).
+  Sched,            ///< Parallel-sweep scheduler event (see SchedTrace).
 };
 
 /// Stable lowercase name used in serialized output.

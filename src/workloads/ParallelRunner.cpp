@@ -7,12 +7,15 @@
 #include "workloads/ParallelRunner.h"
 
 #include "profiling/Profiler.h"
+#include "telemetry/SchedTrace.h"
 #include "telemetry/StreamAggregator.h"
 #include "telemetry/Telemetry.h"
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 using namespace greenweb;
@@ -28,29 +31,53 @@ ParallelRunner::ParallelRunner(unsigned JobsIn) : Jobs(JobsIn) {
 void ParallelRunner::forEachIndex(size_t Count,
                                   const std::function<void(size_t)> &Fn) {
   assert(Fn && "forEachIndex with null function");
+  forEachIndexWorker(Count, [&Fn](unsigned, size_t I) { Fn(I); });
+}
+
+void ParallelRunner::forEachIndexWorker(
+    size_t Count, const std::function<void(unsigned, size_t)> &Fn) {
+  assert(Fn && "forEachIndexWorker with null function");
   if (Count == 0)
     return;
   unsigned Workers = unsigned(std::min<size_t>(Jobs, Count));
   if (Workers <= 1) {
+    // Inline on the caller thread: a throw propagates naturally.
     for (size_t I = 0; I < Count; ++I)
-      Fn(I);
+      Fn(0, I);
     return;
   }
   std::atomic<size_t> Next{0};
-  auto Drain = [&] {
+  std::atomic<bool> Failed{false};
+  std::exception_ptr FirstError;
+  std::mutex ErrorMu;
+  auto Drain = [&](unsigned Worker) {
     GW_PROF_SCOPE("workloads.parallel_worker");
     for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1)) {
+      // Once any item throws, stop handing out work so the batch winds
+      // down quickly; items already claimed still finish.
+      if (Failed.load(std::memory_order_relaxed))
+        return;
       GW_PROF_SCOPE("workloads.parallel_item");
-      Fn(I);
+      try {
+        Fn(Worker, I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(ErrorMu);
+        if (!FirstError)
+          FirstError = std::current_exception();
+        Failed.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
   std::vector<std::thread> Threads;
   Threads.reserve(Workers - 1);
   for (unsigned W = 1; W < Workers; ++W)
-    Threads.emplace_back(Drain);
-  Drain(); // The caller thread is worker 0.
+    Threads.emplace_back(Drain, W);
+  Drain(0); // The caller thread is worker 0.
   for (std::thread &T : Threads)
     T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
 }
 
 std::vector<ExperimentResult>
@@ -63,7 +90,31 @@ greenweb::runExperimentsParallel(const std::vector<ExperimentConfig> &Configs,
       Opts.SharedTel ? Configs.size() : 0);
 
   ParallelRunner Runner(Opts.Jobs);
-  Runner.forEachIndex(Configs.size(), [&](size_t I) {
+  const bool Timed = Opts.Sched || Opts.Progress;
+  const unsigned Workers =
+      unsigned(std::min<size_t>(Runner.jobs(), Configs.size()));
+  // One host-time base for the whole batch; with a trace attached its
+  // batch stamp *is* the base so item offsets line up with batchNs().
+  const auto Base = std::chrono::steady_clock::now();
+  auto HostNs = [&]() -> int64_t {
+    if (Opts.Sched)
+      return Opts.Sched->sinceBatchBeginNs();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - Base)
+        .count();
+  };
+  auto Label = [&](size_t I) {
+    if (Opts.ItemLabel)
+      return Opts.ItemLabel(I);
+    return Configs[I].AppName + "|" + Configs[I].GovernorName;
+  };
+  if (Opts.Sched)
+    Opts.Sched->beginBatch(Workers, Configs.size());
+  if (Opts.Progress)
+    Opts.Progress->begin(Workers, Configs.size(), Opts.ProgressLabel);
+
+  Runner.forEachIndexWorker(Configs.size(), [&](unsigned Worker, size_t I) {
+    int64_t T0 = Timed ? HostNs() : 0;
     ExperimentConfig Config = Configs[I];
     if (Opts.SharedTel) {
       Hubs[I] = std::make_unique<Telemetry>();
@@ -76,22 +127,54 @@ greenweb::runExperimentsParallel(const std::vector<ExperimentConfig> &Configs,
       // once; isolation is the whole contract here.
       Config.Tel = nullptr;
     }
+    int64_t T1 = Timed ? HostNs() : 0;
     Results[I] = Opts.MedianSeeds.empty()
                      ? runExperiment(Config)
                      : runExperimentMedian(Config, Opts.MedianSeeds);
+    int64_t T2 = Timed ? HostNs() : 0;
     if (Opts.PerJobHook && Opts.SharedTel)
       Opts.PerJobHook(I, Results[I], *Hubs[I]);
+    int64_t T3 = Timed ? HostNs() : 0;
+    if (Opts.Sched) {
+      SchedItem Item;
+      Item.Item = I;
+      Item.Worker = Worker;
+      Item.Label = Label(I);
+      Item.StartNs = T0;
+      Item.RunNs = T3 - T0;
+      Item.SetupNs = T1 - T0;
+      Item.SimNs = T2 - T1;
+      Item.HookNs = T3 - T2;
+      Item.HubRecords =
+          Opts.SharedTel ? int64_t(Hubs[I]->log().size()) : 0;
+      Opts.Sched->record(std::move(Item));
+    }
+    if (Opts.Progress)
+      Opts.Progress->itemDone(Worker, T3 - T0);
   });
+
+  if (Opts.Sched)
+    Opts.Sched->endBatch();
+  if (Opts.Progress)
+    Opts.Progress->finish();
 
   if (Opts.SharedTel) {
     // Deterministic aggregate: always config order, never completion
     // order. Counters commute, but gauges are last-wins and the merged
-    // log should read like the serial sweep.
+    // log should read like the serial sweep. mergeLogFrom keeps the
+    // live append semantics — the shared hub's log capacity applies to
+    // ordinary records while Alert records keep their bypass.
+    int64_t MergeBegin = Opts.Sched ? HostNs() : 0;
     for (size_t I = 0; I < Hubs.size(); ++I) {
+      int64_t ItemBegin = Opts.Sched ? HostNs() : 0;
       Opts.SharedTel->metrics().mergeFrom(Hubs[I]->metrics());
-      for (const TelemetryRecord &R : Hubs[I]->log().records())
-        Opts.SharedTel->log().append(R.Kind, R.Ts, R.Fields);
+      Opts.SharedTel->mergeLogFrom(Hubs[I]->log());
+      if (Opts.Sched)
+        Opts.Sched->noteMerge(I, HostNs() - ItemBegin,
+                              int64_t(Hubs[I]->log().size()));
     }
+    if (Opts.Sched)
+      Opts.Sched->setMergeWindowNs(HostNs() - MergeBegin);
   }
   if (Opts.Aggregator)
     // Config order for the same reason: RunningStat merges only differ
@@ -100,5 +183,38 @@ greenweb::runExperimentsParallel(const std::vector<ExperimentConfig> &Configs,
     for (size_t I = 0; I < Results.size(); ++I)
       Opts.Aggregator->addRun(makeRunSample(
           Results[I], Opts.SharedTel ? Hubs[I].get() : nullptr));
+
+  if (Opts.Sched && Opts.SharedTel) {
+    // Opt-in Sched records: one per item plus a batch summary, appended
+    // after the ordered merge so the deterministic prefix of the log is
+    // untouched. Host-time fields are inherent to scheduling — callers
+    // who need byte-determinism leave Opts.Sched null.
+    TelemetryLog &Log = Opts.SharedTel->log();
+    TimePoint Now = Opts.SharedTel->now();
+    for (const SchedItem &It : Opts.Sched->items())
+      Log.append(TelemetryEventKind::Sched, Now,
+                 {{"event", std::string("item")},
+                  {"item", int64_t(It.Item)},
+                  {"worker", int64_t(It.Worker)},
+                  {"label", It.Label},
+                  {"start_ns", It.StartNs},
+                  {"run_ns", It.RunNs},
+                  {"setup_ns", It.SetupNs},
+                  {"sim_ns", It.SimNs},
+                  {"hook_ns", It.HookNs},
+                  {"merge_ns", It.MergeNs},
+                  {"hub_records", It.HubRecords}});
+    SchedReport Report = SchedReport::fromTrace(*Opts.Sched);
+    Log.append(TelemetryEventKind::Sched, Now,
+               {{"event", std::string("batch")},
+                {"workers", int64_t(Report.Workers)},
+                {"items", int64_t(Report.Items)},
+                {"batch_ns", Report.BatchNs},
+                {"merge_ns", Report.MergeNs},
+                {"makespan_ns", Report.MakespanNs},
+                {"serial_sum_ns", Report.SerialSumNs},
+                {"speedup", Report.Speedup},
+                {"efficiency", Report.Efficiency}});
+  }
   return Results;
 }

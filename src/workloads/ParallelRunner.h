@@ -32,6 +32,8 @@
 
 namespace greenweb {
 
+class SchedProgress;
+class SchedTrace;
 class StreamAggregator;
 class Telemetry;
 
@@ -52,6 +54,15 @@ public:
   /// invocations finish. \p Fn must not touch caller state without its
   /// own synchronization when jobs() > 1.
   void forEachIndex(size_t Count, const std::function<void(size_t)> &Fn);
+
+  /// Like forEachIndex but \p Fn also receives the claiming worker id
+  /// (0 = the caller thread; ids are dense in [0, min(jobs, Count))).
+  /// Exception-safe: if a work item throws, no further indices are
+  /// handed out, all workers are joined, and the *first* captured
+  /// exception is rethrown on the caller thread — a throwing item never
+  /// escapes a spawned std::thread into std::terminate.
+  void forEachIndexWorker(
+      size_t Count, const std::function<void(unsigned, size_t)> &Fn);
 
 private:
   unsigned Jobs;
@@ -90,6 +101,23 @@ struct ParallelExperimentOptions {
   /// streaming fleet summary; see telemetry/StreamAggregator.h). Not
   /// owned; untouched while workers run.
   StreamAggregator *Aggregator = nullptr;
+  /// When set, the batch is traced: every work item records its worker
+  /// id, queue-wait, run wall time, and phase breakdown into this trace
+  /// (host time — see telemetry/SchedTrace.h), and the post-batch
+  /// serialized merge is timed per item. With SharedTel also set, one
+  /// Sched log record per item plus a batch summary record are appended
+  /// to the shared hub after the merge. Opt-in precisely because the
+  /// values are host wall-clock: leave null to keep every exported
+  /// artifact byte-deterministic. Not owned.
+  SchedTrace *Sched = nullptr;
+  /// When set, a live progress line (completed/total, ETA, per-worker
+  /// utilization) is rendered while the batch runs. Not owned.
+  SchedProgress *Progress = nullptr;
+  /// Display label for traced/progress items; defaults to
+  /// "App|Governor" from the config when unset.
+  std::function<std::string(size_t)> ItemLabel;
+  /// Progress meter title ("sweep 3/4" beats bare numbers in a soak).
+  std::string ProgressLabel = "sweep";
 };
 
 /// Runs every config and returns results in config order (never

@@ -10,10 +10,12 @@
 #include "profiling/RunMeta.h"
 #include "support/StringUtils.h"
 #include "telemetry/FlightRecorder.h"
+#include "telemetry/SchedTrace.h"
 #include "telemetry/Telemetry.h"
 
 #include <cstdio>
 #include <fstream>
+#include <string_view>
 
 using namespace greenweb;
 
@@ -43,9 +45,14 @@ bool TelemetryArtifactOptions::parseFlag(const std::string &Arg) {
     Alerts = true;
     return true;
   }
+  if (Arg == "--progress") {
+    Progress = true;
+    return true;
+  }
   return Match("--trace=", TracePath) || Match("--log=", LogPath) ||
          Match("--metrics=", MetricsPath) ||
-         Match("--blackbox=", BlackboxPath);
+         Match("--blackbox=", BlackboxPath) ||
+         Match("--sched=", SchedPath);
 }
 
 void TelemetryArtifactOptions::beginRun(int Argc, char **Argv) {
@@ -64,6 +71,28 @@ void TelemetryArtifactOptions::configureHub(Telemetry &Tel) const {
     Tel.enableFlightRecorder();
 }
 
+// Host-time track fragments begin with ",\n" so they extend a
+// non-empty JSON event array in place. When the base trace has no
+// events (e.g. a metrics-only hub), the insertion point directly
+// follows the array's opening '['; drop the fragment's leading comma
+// so the spliced array stays valid JSON.
+static void spliceBeforeClose(std::string &Trace,
+                              const std::string &Fragment) {
+  if (Fragment.empty())
+    return;
+  size_t Close = Trace.rfind(']');
+  if (Close == std::string::npos)
+    return;
+  std::string_view Frag(Fragment);
+  size_t Prev = Close == 0
+                    ? std::string::npos
+                    : Trace.find_last_not_of(" \t\r\n", Close - 1);
+  if (Prev != std::string::npos && Trace[Prev] == '[' &&
+      Frag.front() == ',')
+    Frag.remove_prefix(1);
+  Trace.insert(Close, Frag);
+}
+
 static void writeOne(const std::string &Path, const std::string &Content,
                      const char *What) {
   std::ofstream Out(Path);
@@ -79,7 +108,10 @@ static void writeOne(const std::string &Path, const std::string &Content,
 void greenweb::writeTelemetryArtifacts(
     const TelemetryArtifactOptions &Opts, Telemetry &Tel,
     const std::vector<FrameRecord> &Frames,
-    const std::vector<ConfigInterval> &Cpu) {
+    const std::vector<ConfigInterval> &Cpu, const SchedTrace *Sched) {
+  if (!Opts.SchedPath.empty() && (!Sched || !Sched->active()))
+    std::fprintf(stderr, "warning: --sched given but this code path runs "
+                         "no parallel sweep; no scheduler trace written\n");
   if (!Opts.any() && !Opts.Prof)
     return;
   Tel.flushSpans();
@@ -95,13 +127,13 @@ void greenweb::writeTelemetryArtifacts(
 
   if (!Opts.TracePath.empty()) {
     std::string Trace = exportChromeTrace(Frames, Cpu, Tel);
-    if (Opts.Prof) {
+    if (Opts.Prof)
       // Splice the host-time tracks in before the array's closing ']'.
-      std::string Host = prof::perfettoHostTrackJson(Prof);
-      size_t Close = Trace.rfind(']');
-      if (!Host.empty() && Close != std::string::npos)
-        Trace.insert(Close, Host);
-    }
+      spliceBeforeClose(Trace, prof::perfettoHostTrackJson(Prof));
+    if (Sched && Sched->active())
+      // Scheduler worker timelines ride along the same way: one track
+      // per sweep worker.
+      spliceBeforeClose(Trace, schedPerfettoTrackJson(*Sched));
     writeOne(Opts.TracePath, Trace, "chrome trace");
   }
   if (!Opts.LogPath.empty())
@@ -132,4 +164,13 @@ void greenweb::writeTelemetryArtifacts(
   }
   if (Opts.Prof)
     prof::writeProfileFiles(Prof, Opts.ProfOut);
+}
+
+void greenweb::writeSchedArtifact(const TelemetryArtifactOptions &Opts,
+                                  const SchedTrace &Sched) {
+  if (Opts.SchedPath.empty() || !Sched.active())
+    return;
+  SchedReport Report = SchedReport::fromTrace(Sched);
+  writeOne(Opts.SchedPath, schedArtifactJson(Sched, Report),
+           "scheduler trace");
 }

@@ -26,6 +26,13 @@
 ///   --prof-out=BASE         output base for profile files (implies --prof)
 ///   --prof-sample=MICROS    also run the timer sampler (implies --prof)
 ///
+/// plus the sweep scheduler-observability switches:
+///
+///   --sched=sched.json      export the parallel-sweep scheduler trace +
+///                           report (replayable via `gw-inspect sched`)
+///   --progress              live progress line on stderr while a sweep
+///                           runs (TTY-aware, throttled)
+///
 /// Logs and metrics snapshots carry a RunMeta header (schema, commit,
 /// build, compiler, host threads, producing command line) so gw-diff
 /// can refuse apples-to-oranges comparisons.
@@ -42,6 +49,7 @@
 
 namespace greenweb {
 
+class SchedTrace;
 class Telemetry;
 
 /// Parsed artifact destinations; empty paths mean "not requested".
@@ -54,6 +62,8 @@ struct TelemetryArtifactOptions {
   bool Prof = false;            ///< --prof / --prof-out / --prof-sample
   std::string ProfOut = "gw-prof"; ///< Output base for profile files.
   uint64_t ProfSampleMicros = 0;   ///< Timer-sampler period (0 = off).
+  std::string SchedPath;           ///< --sched= (scheduler trace artifact)
+  bool Progress = false;           ///< --progress (live sweep meter)
   std::string CommandLine;         ///< Producing argv, for meta headers.
 
   /// True when at least one artifact was requested (drivers use this to
@@ -67,8 +77,9 @@ struct TelemetryArtifactOptions {
   /// Consumes one command-line argument if it is an artifact flag
   /// (`--trace=PATH`, `--log=PATH`, `--metrics=PATH`, `--alerts`,
   /// `--blackbox=PATH`, `--prof`, `--prof-out=BASE`,
-  /// `--prof-sample=MICROS`). Returns false for anything else so
-  /// positional arguments pass through unchanged.
+  /// `--prof-sample=MICROS`, `--sched=PATH`, `--progress`). Returns
+  /// false for anything else so positional arguments pass through
+  /// unchanged.
   bool parseFlag(const std::string &Arg);
 
   /// Records the producing command line (for artifact meta headers) and
@@ -93,10 +104,21 @@ struct TelemetryArtifactOptions {
 /// leading "meta" member. When profiling was requested the profiler is
 /// stopped here, its host-time spans are spliced into the Chrome trace,
 /// and the profile files (<ProfOut>.collapsed/.txt/...) are written.
+/// When a scheduler trace is active, \p Sched adds one Perfetto track
+/// per sweep worker to the exported Chrome trace; with `--sched=` set
+/// but \p Sched null (a driver code path that runs no parallel sweep) a
+/// warning goes to stderr instead of silently writing nothing.
 void writeTelemetryArtifacts(const TelemetryArtifactOptions &Opts,
                              Telemetry &Tel,
                              const std::vector<FrameRecord> &Frames = {},
-                             const std::vector<ConfigInterval> &Cpu = {});
+                             const std::vector<ConfigInterval> &Cpu = {},
+                             const SchedTrace *Sched = nullptr);
+
+/// Writes the `--sched=` artifact (raw scheduler trace + embedded
+/// report, replayable via `gw-inspect sched`). No-op when SchedPath is
+/// empty or the trace never saw a batch.
+void writeSchedArtifact(const TelemetryArtifactOptions &Opts,
+                        const SchedTrace &Sched);
 
 } // namespace greenweb
 

@@ -11,14 +11,22 @@
 
 #include "workloads/ParallelRunner.h"
 
+#include "support/Json.h"
+#include "telemetry/SchedTrace.h"
 #include "telemetry/StreamAggregator.h"
 #include "telemetry/Telemetry.h"
 #include "workloads/Experiment.h"
+#include "workloads/TelemetryArtifacts.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <sstream>
+#include <stdexcept>
 #include <vector>
 
 using namespace greenweb;
@@ -53,6 +61,60 @@ TEST(ParallelRunnerTest, EmptyCountIsANoOp) {
   bool Called = false;
   Runner.forEachIndex(0, [&](size_t) { Called = true; });
   EXPECT_FALSE(Called);
+}
+
+TEST(ParallelRunnerTest, ForEachIndexWorkerReportsDenseIdsInRange) {
+  ParallelRunner Runner(4);
+  constexpr size_t Count = 64;
+  std::vector<std::atomic<int>> Hits(Count);
+  std::atomic<unsigned> MaxWorker{0};
+  Runner.forEachIndexWorker(Count, [&](unsigned Worker, size_t I) {
+    Hits[I].fetch_add(1);
+    unsigned Cur = MaxWorker.load();
+    while (Worker > Cur && !MaxWorker.compare_exchange_weak(Cur, Worker))
+      ;
+  });
+  for (size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+  EXPECT_LT(MaxWorker.load(), 4u);
+}
+
+TEST(ParallelRunnerTest, ForEachIndexWorkerSingleJobIsAllCallerThread) {
+  ParallelRunner Runner(1);
+  std::vector<unsigned> WorkerIds;
+  Runner.forEachIndexWorker(
+      8, [&](unsigned Worker, size_t) { WorkerIds.push_back(Worker); });
+  ASSERT_EQ(WorkerIds.size(), 8u);
+  for (unsigned W : WorkerIds)
+    EXPECT_EQ(W, 0u);
+}
+
+TEST(ParallelRunnerTest, ThrowingItemRethrowsFirstExceptionOnCaller) {
+  ParallelRunner Runner(4);
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(
+      Runner.forEachIndexWorker(200,
+                                [&](unsigned, size_t I) {
+                                  Ran.fetch_add(1);
+                                  if (I == 7)
+                                    throw std::runtime_error("item 7");
+                                }),
+      std::runtime_error);
+  // The failure stops further handout: some items ran, not all 200
+  // (each in-flight worker may finish its current item first).
+  EXPECT_GE(Ran.load(), 1);
+  EXPECT_LT(Ran.load(), 200);
+}
+
+TEST(ParallelRunnerTest, ThrowingItemUnderSingleJobStillPropagates) {
+  ParallelRunner Runner(1);
+  EXPECT_THROW(Runner.forEachIndexWorker(
+                   4,
+                   [](unsigned, size_t I) {
+                     if (I == 2)
+                       throw std::logic_error("inline");
+                   }),
+               std::logic_error);
 }
 
 std::vector<ExperimentConfig> sweepConfigs() {
@@ -200,6 +262,177 @@ TEST(ParallelRunnerTest, PerJobHookSeesEveryRunOnItsPrivateHub) {
   // Hook-written metrics merge into the shared hub like any other.
   EXPECT_EQ(Tel.metrics().counter("test.hook_runs").value(),
             double(Configs.size()));
+}
+
+TEST(ParallelRunnerTest, SchedTraceRecordsEveryItemExactlyOnce) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+  Telemetry Tel;
+  Tel.setLogCapacity(0);
+  SchedTrace Sched;
+  ParallelExperimentOptions Opts;
+  Opts.Jobs = 3;
+  Opts.SharedTel = &Tel;
+  Opts.JobLogCapacity = 0;
+  Opts.Sched = &Sched;
+  runExperimentsParallel(Configs, Opts);
+
+  ASSERT_TRUE(Sched.active());
+  EXPECT_EQ(Sched.workers(), 3u);
+  std::vector<SchedItem> Items = Sched.items();
+  ASSERT_EQ(Items.size(), Configs.size());
+  for (size_t I = 0; I < Items.size(); ++I) {
+    EXPECT_EQ(Items[I].Item, I);
+    EXPECT_LT(Items[I].Worker, 3u);
+    // Default labels come from the config.
+    EXPECT_EQ(Items[I].Label,
+              Configs[I].AppName + "|" + Configs[I].GovernorName);
+    EXPECT_GT(Items[I].RunNs, 0);
+    EXPECT_GE(Items[I].SimNs, 0);
+  }
+  SchedReport Report = SchedReport::fromTrace(Sched);
+  EXPECT_EQ(Report.Items, Configs.size());
+  uint64_t PerWorkerSum = 0;
+  for (const SchedReport::Worker &W : Report.PerWorker)
+    PerWorkerSum += W.Items;
+  EXPECT_EQ(PerWorkerSum, Configs.size());
+  EXPECT_GT(Report.MakespanNs, 0);
+}
+
+TEST(ParallelRunnerTest, SchedTraceSingleJobIsDeterministicAssignment) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+  SchedTrace Sched;
+  ParallelExperimentOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Sched = &Sched;
+  runExperimentsParallel(Configs, Opts);
+
+  // Inline execution: one worker, every item on it, in config order.
+  EXPECT_EQ(Sched.workers(), 1u);
+  std::vector<SchedItem> Items = Sched.items();
+  ASSERT_EQ(Items.size(), Configs.size());
+  for (const SchedItem &I : Items)
+    EXPECT_EQ(I.Worker, 0u);
+}
+
+TEST(ParallelRunnerTest, SchedTraceClampsWorkersToItemCount) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+  Configs.resize(2);
+  SchedTrace Sched;
+  ParallelExperimentOptions Opts;
+  Opts.Jobs = 8;
+  Opts.Sched = &Sched;
+  runExperimentsParallel(Configs, Opts);
+  // Only as many workers as items exist; ids stay dense.
+  EXPECT_EQ(Sched.workers(), 2u);
+  EXPECT_EQ(Sched.items().size(), 2u);
+}
+
+TEST(ParallelRunnerTest, SchedTelemetryRecordsLandInSharedHub) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+  Telemetry Tel;
+  SchedTrace Sched;
+  ParallelExperimentOptions Opts;
+  Opts.Jobs = 2;
+  Opts.SharedTel = &Tel;
+  Opts.JobLogCapacity = 0;
+  Opts.Sched = &Sched;
+  runExperimentsParallel(Configs, Opts);
+
+  // One "item" record per config plus one "batch" summary.
+  std::vector<const TelemetryRecord *> SchedRecords =
+      Tel.log().byKind(TelemetryEventKind::Sched);
+  ASSERT_EQ(SchedRecords.size(), Configs.size() + 1);
+  size_t Batches = 0;
+  for (const TelemetryRecord *R : SchedRecords)
+    for (const TelemetryField &F : R->Fields)
+      if (F.Key == "event") {
+        const std::string *Event = std::get_if<std::string>(&F.Value);
+        if (Event && *Event == "batch")
+          ++Batches;
+      }
+  EXPECT_EQ(Batches, 1u);
+}
+
+TEST(ParallelRunnerTest, MergePreservesAlertBypassOnCappedSharedHub) {
+  std::vector<ExperimentConfig> Configs = sweepConfigs();
+
+  // A deterministic per-run stream: one alert plus one bulk record,
+  // stamped with virtual time so serial and parallel runs serialize
+  // byte-identically.
+  auto Hook = [](size_t I, const ExperimentResult &, Telemetry &T) {
+    TimePoint Ts = TimePoint::origin() + Duration::milliseconds(int64_t(I));
+    T.log().append(TelemetryEventKind::Alert, Ts,
+                   {{"detector", std::string("test")}, {"run", int64_t(I)}});
+    T.log().append(TelemetryEventKind::CounterSample, Ts,
+                   {{"track", std::string("bulk")}, {"value", double(I)}});
+  };
+  auto AlertJsonl = [](const TelemetryLog &Log) {
+    std::string Out;
+    for (const TelemetryRecord *R : Log.byKind(TelemetryEventKind::Alert))
+      Out += telemetryRecordJson(*R) + "\n";
+    return Out;
+  };
+
+  // Reference: an uncapped serial sweep's alert stream.
+  Telemetry SerialTel;
+  ParallelExperimentOptions Serial;
+  Serial.Jobs = 1;
+  Serial.SharedTel = &SerialTel;
+  Serial.JobLogCapacity = 0;
+  Serial.PerJobHook = Hook;
+  runExperimentsParallel(Configs, Serial);
+  std::string Reference = AlertJsonl(SerialTel.log());
+  ASSERT_FALSE(Reference.empty());
+
+  // Regression: a capacity-0 shared hub fed from private logs must
+  // drop the bulk records (counting them) yet keep every alert — the
+  // same bypass a live hub applies on append.
+  Telemetry CappedTel;
+  CappedTel.setLogCapacity(0);
+  ParallelExperimentOptions Capped;
+  Capped.Jobs = 4;
+  Capped.SharedTel = &CappedTel;
+  Capped.JobLogCapacity = 0;
+  Capped.PerJobHook = Hook;
+  runExperimentsParallel(Configs, Capped);
+
+  EXPECT_EQ(AlertJsonl(CappedTel.log()), Reference);
+  // Everything in the capped log is an alert; the rest was dropped and
+  // counted.
+  EXPECT_EQ(CappedTel.log().size(),
+            CappedTel.log().byKind(TelemetryEventKind::Alert).size());
+  EXPECT_GT(
+      CappedTel.metrics().counter("telemetry.dropped_records").value(),
+      0.0);
+}
+
+TEST(ParallelRunnerTest, SchedTracksSpliceValidJsonIntoEmptyTrace) {
+  // A metrics-only shared hub (log capacity 0) exports an empty
+  // Chrome-trace event array. The ",\n"-prefixed sched worker tracks
+  // must still splice into valid JSON instead of landing right after
+  // the opening '[' as "[,".
+  Telemetry Tel;
+  Tel.setLogCapacity(0);
+  SchedTrace Sched = SchedTrace::fromParts(
+      2, 100, 20,
+      {{0, 0, "a", 10, 40, 5, 30, 2, 8, 3},
+       {1, 1, "b", 0, 90, 1, 85, 0, 12, 5}});
+
+  TelemetryArtifactOptions Artifacts;
+  Artifacts.TracePath =
+      ::testing::TempDir() + "gw_sched_empty_trace.json";
+  writeTelemetryArtifacts(Artifacts, Tel, {}, {}, &Sched);
+
+  std::ifstream In(Artifacts.TracePath);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Error;
+  std::optional<json::Value> Doc = json::parse(Buf.str(), &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  ASSERT_TRUE(Doc->isArray());
+  EXPECT_FALSE(Doc->Arr.empty());
+  std::remove(Artifacts.TracePath.c_str());
 }
 
 TEST(ParallelRunnerTest, MedianSeedsRunThroughTheMedianProtocol) {

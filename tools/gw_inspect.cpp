@@ -31,6 +31,11 @@
 //                                            and report (or write) the
 //                                            black-box dumps it would
 //                                            have produced online
+//   gw-inspect sched.json sched              recompute the scheduler
+//                                            report from a --sched=
+//                                            artifact's raw items and
+//                                            verify it byte-for-byte
+//                                            against the embedded copy
 //
 // Everything here reads only the log, so the output matches what the
 // instrumented run printed from live telemetry. The alerts and blackbox
@@ -44,6 +49,7 @@
 #include "telemetry/CriticalPath.h"
 #include "telemetry/EnergyAttribution.h"
 #include "telemetry/FlightRecorder.h"
+#include "telemetry/SchedTrace.h"
 #include "telemetry/TelemetryLog.h"
 
 #include <cstdio>
@@ -63,8 +69,9 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <events.jsonl> "
                "[summary | violations | energy [N] | path FRAME [ROOT] | "
-               "faults | alerts | blackbox [--write=PATH]]\n",
-               Argv0);
+               "faults | alerts | blackbox [--write=PATH]]\n"
+               "       %s <sched.json> sched\n",
+               Argv0, Argv0);
   return 2;
 }
 
@@ -398,6 +405,40 @@ int cmdBlackbox(const TelemetryLog &Log, const std::string &WritePath) {
   return 0;
 }
 
+/// Rebuilds the scheduler trace from a --sched= artifact, recomputes
+/// the report from the raw items, and verifies it byte-for-byte against
+/// the embedded copy the producer wrote (the offline analog of the
+/// alerts parity check). Nonzero on any mismatch.
+int cmdSched(const std::string &Text, const char *Argv0) {
+  SchedTrace Trace;
+  std::string Error;
+  if (!schedTraceFromArtifact(Text, Trace, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return usage(Argv0);
+  }
+  SchedReport Report = SchedReport::fromTrace(Trace);
+  std::printf("%s", Report.format().c_str());
+
+  std::string Embedded = schedReportSectionFromArtifact(Text);
+  if (Embedded.empty()) {
+    std::printf("\nartifact carries no embedded report; offline "
+                "recomputation only, parity not checked.\n");
+    return 0;
+  }
+  std::string Offline = Report.toJson();
+  if (Offline != Embedded) {
+    std::fprintf(stderr,
+                 "parity mismatch between the embedded report and the "
+                 "offline recomputation:\n  embedded: %s\n  offline:  "
+                 "%s\n",
+                 Embedded.c_str(), Offline.c_str());
+    return 1;
+  }
+  std::printf("\nreplay parity OK: report reproduced byte-for-byte from "
+              "the raw scheduler items.\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -426,6 +467,11 @@ int main(int Argc, char **Argv) {
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
   std::string Text = Buffer.str();
+
+  // The sched artifact is a single JSON document, not a JSONL log;
+  // dispatch before the line-oriented parsing below.
+  if (Positional.size() > 1 && std::strcmp(Positional[1], "sched") == 0)
+    return cmdSched(Text, Argv[0]);
 
   // Logs written since the RunMeta header landed open with a
   // {"kind":"meta",...} line; surface it rather than counting it as a
