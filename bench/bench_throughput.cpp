@@ -5,15 +5,19 @@
 // Measures the three hot paths the throughput overhaul targets, each
 // against its retained reference implementation in the same run:
 //
-//   1. Event kernel: events/sec through the pooled-control-block kernel
-//      vs an in-file replica of the previous kernel (two
-//      std::make_shared<bool> flags per event, std::priority_queue with
-//      a full event copy per pop).
+//   1. Event kernel: events/sec through the calendar-queue kernel vs
+//      the pooled-control-block binary heap vs an in-file replica of
+//      the original kernel (two std::make_shared<bool> flags per event,
+//      std::priority_queue with a full event copy per pop).
 //   2. Style resolution: recalcs/sec through the bucketed rule index
 //      (cold after mutations, warm from the per-element cache) vs the
 //      retained naive O(rules x selectors) scan.
 //   3. Scenario throughput: the full_evaluation sweep wall-clock with
 //      --jobs=1 vs --jobs=N through ParallelRunner.
+//   4. Warm start: a repeat experiment run restoring shared page assets
+//      (snapshot clone + shared rule index + adopted style cache) vs a
+//      cold parse-everything run, plus a whole sweep with and without
+//      the warm-asset cache and its setup-phase attribution.
 //
 // Writes BENCH_throughput.json (override with --json=<path>); the
 // committed copy at the repo root records the numbers for the
@@ -32,6 +36,7 @@
 #include "telemetry/SchedTrace.h"
 #include "workloads/Experiment.h"
 #include "workloads/ParallelRunner.h"
+#include "workloads/WorkloadAssets.h"
 
 #include <algorithm>
 #include <chrono>
@@ -63,9 +68,15 @@ public:
     }
   };
 
+  TimePoint now() const { return Now; }
+
   Handle schedule(Duration Delay, std::function<void()> Fn) {
+    return scheduleAt(Now + Delay, std::move(Fn));
+  }
+
+  Handle scheduleAt(TimePoint When, std::function<void()> Fn) {
     Event E;
-    E.When = Now + Delay;
+    E.When = When < Now ? Now : When;
     E.Seq = NextSeq++;
     E.Fn = std::move(Fn);
     E.Cancelled = std::make_shared<bool>(false);
@@ -149,16 +160,30 @@ Measurement measure(const std::function<uint64_t()> &Round,
 // Workloads
 //===----------------------------------------------------------------------===//
 
-/// Steady-state timer churn, the shape the simulator actually sees:
-/// 32 self-rescheduling chains keep a small queue, every third fire
+/// Steady-state timer churn, the shape the simulator actually sees.
+/// Self-rescheduling chains keep a standing queue and every third fire
 /// also schedules-and-cancels a decoy (exercising handle + lazy-cancel
-/// costs), and the round retires once Count fires have run. Per-event
-/// kernel overhead dominates, not heap-sift depth.
+/// costs); the round retires once Count fires have run. Two re-arm
+/// patterns:
+///
+///  - Coalesced (the primary kernel comparison): every chain re-arms
+///    onto the next 1 ms-aligned deadline, the way real browser work
+///    clusters — vsync ticks, coalesced timers, DVFS epochs. Events
+///    pile up at shared timestamps, so a kernel's batch-drain behavior
+///    dominates: the calendar pops a whole cluster with cursor bumps
+///    off one already-sorted bucket, while a heap pays a full
+///    O(log n) sift per pop.
+///
+///  - Scattered: each chain re-arms a fixed 100 us out, timestamps
+///    spread uniformly, queue stays shallow. Per-event fixed overhead
+///    dominates and no kernel has much structural advantage; kept as
+///    the honest lower bound on the calendar's win.
 template <class Kernel> struct ChurnCtx {
   Kernel K;
   uint64_t Fires = 0;
   uint64_t Budget = 0;
   uint64_t Scheduled = 0;
+  bool Coalesced = false;
 };
 
 template <class Kernel> void churnTick(ChurnCtx<Kernel> *C) {
@@ -167,7 +192,15 @@ template <class Kernel> void churnTick(ChurnCtx<Kernel> *C) {
     return;
   --C->Budget;
   ++C->Scheduled;
-  C->K.schedule(Duration::microseconds(100), [C] { churnTick(C); });
+  if (C->Coalesced) {
+    // Next 1 ms boundary at least 100 us out.
+    int64_t NowNs = C->K.now().nanos();
+    int64_t Next = ((NowNs + 100'000) / 1'000'000 + 1) * 1'000'000;
+    C->K.scheduleAt(TimePoint() + Duration::nanoseconds(Next),
+                    [C] { churnTick(C); });
+  } else {
+    C->K.schedule(Duration::microseconds(100), [C] { churnTick(C); });
+  }
   if (C->Fires % 3 == 0) {
     ++C->Scheduled;
     auto Decoy =
@@ -176,13 +209,25 @@ template <class Kernel> void churnTick(ChurnCtx<Kernel> *C) {
   }
 }
 
-template <class Kernel> uint64_t eventChurnRound(unsigned Count) {
+/// Kernel-pinned simulators so the churn template measures each event
+/// kernel explicitly, independent of the process default.
+struct HeapSimulator : Simulator {
+  HeapSimulator() : Simulator(EventKernel::Heap) {}
+};
+struct CalendarSimulator : Simulator {
+  CalendarSimulator() : Simulator(EventKernel::Calendar) {}
+};
+
+template <class Kernel>
+uint64_t eventChurnRound(unsigned Count, unsigned Chains, bool Coalesced) {
   ChurnCtx<Kernel> C;
   C.Budget = Count;
-  for (unsigned I = 0; I < 32 && C.Budget > 0; ++I) {
+  C.Coalesced = Coalesced;
+  for (unsigned I = 0; I < Chains && C.Budget > 0; ++I) {
     --C.Budget;
     ++C.Scheduled;
-    C.K.schedule(Duration::microseconds(I), [&C] { churnTick(&C); });
+    C.K.schedule(Duration::nanoseconds(int64_t(I) * 97),
+                 [&C] { churnTick(&C); });
   }
   C.K.run();
   return C.Scheduled; // Ops = every scheduled event, fired or cancelled.
@@ -253,28 +298,44 @@ int main(int Argc, char **Argv) {
                 "Event-kernel, style-resolver, and parallel-sweep "
                 "wall-clock performance (infrastructure, not paper data)");
 
-  constexpr unsigned ChurnEvents = 10'000;
+  constexpr unsigned ChurnEvents = 50'000;
+  constexpr unsigned ChurnChains = 1'024;
 
   // --- 1. Event kernel ---
-  Measurement Legacy = measure(
-      [] { return eventChurnRound<LegacyKernel>(ChurnEvents); });
-  Measurement Pooled =
-      measure([] { return eventChurnRound<Simulator>(ChurnEvents); });
+  Measurement Legacy = measure([] {
+    return eventChurnRound<LegacyKernel>(ChurnEvents, ChurnChains, true);
+  });
+  Measurement Pooled = measure([] {
+    return eventChurnRound<HeapSimulator>(ChurnEvents, ChurnChains, true);
+  });
+  Measurement Calendar = measure([] {
+    return eventChurnRound<CalendarSimulator>(ChurnEvents, ChurnChains,
+                                              true);
+  });
   double KernelSpeedup =
       Legacy.nsPerOp() > 0 ? Legacy.nsPerOp() / Pooled.nsPerOp() : 0;
+  double CalendarSpeedup =
+      Pooled.nsPerOp() > 0 ? Pooled.nsPerOp() / Calendar.nsPerOp() : 0;
 
-  TablePrinter Kernel("Event kernel (steady-state churn, 10k fires, 1/3 decoys cancelled)");
+  TablePrinter Kernel("Event kernel (coalesced churn: 1024 chains on 1ms "
+                      "deadlines, 1/3 decoys cancelled)");
   Kernel.row().cell("kernel").cell("ns/event").cell("events/sec");
   Kernel.row()
       .cell("legacy (2x shared_ptr<bool>)")
       .cell(Legacy.nsPerOp(), 1)
       .cell(Legacy.opsPerSec(), 0);
   Kernel.row()
-      .cell("pooled control slab")
+      .cell("pooled binary heap")
       .cell(Pooled.nsPerOp(), 1)
       .cell(Pooled.opsPerSec(), 0);
+  Kernel.row()
+      .cell("calendar queue")
+      .cell(Calendar.nsPerOp(), 1)
+      .cell(Calendar.opsPerSec(), 0);
   Kernel.print();
-  std::printf("event-kernel speedup: %.2fx\n\n", KernelSpeedup);
+  std::printf("event-kernel speedup: %.2fx heap vs legacy, %.2fx "
+              "calendar vs heap\n\n",
+              KernelSpeedup, CalendarSpeedup);
 
   Json.metric("event_kernel_legacy", Legacy.Ops, Legacy.nsPerOp(),
               "events_per_sec", Legacy.opsPerSec(), "",
@@ -282,7 +343,32 @@ int main(int Argc, char **Argv) {
   Json.metric("event_kernel_pooled", Pooled.Ops, Pooled.nsPerOp(),
               "events_per_sec", Pooled.opsPerSec(), "",
               Pooled.SamplesNsPerOp);
+  Json.metric("event_kernel_calendar", Calendar.Ops, Calendar.nsPerOp(),
+              "events_per_sec", Calendar.opsPerSec(), "",
+              Calendar.SamplesNsPerOp);
   Json.scalar("event_kernel_speedup", KernelSpeedup, "x");
+  Json.scalar("event_kernel_calendar_speedup", CalendarSpeedup, "x");
+
+  // Scattered variant: shallow 32-chain queue, uniform 100 us re-arms.
+  // No batch-drain advantage here; this is the calendar's worst case
+  // and must still not lose to the heap.
+  Measurement ScatHeap = measure(
+      [] { return eventChurnRound<HeapSimulator>(10'000, 32, false); });
+  Measurement ScatCal = measure([] {
+    return eventChurnRound<CalendarSimulator>(10'000, 32, false);
+  });
+  double ScatSpeedup =
+      ScatHeap.nsPerOp() > 0 ? ScatHeap.nsPerOp() / ScatCal.nsPerOp() : 0;
+  std::printf("scattered churn (32 chains): heap %.1f ns/ev, calendar "
+              "%.1f ns/ev (%.2fx)\n\n",
+              ScatHeap.nsPerOp(), ScatCal.nsPerOp(), ScatSpeedup);
+  Json.metric("event_churn_scattered_pooled", ScatHeap.Ops,
+              ScatHeap.nsPerOp(), "events_per_sec", ScatHeap.opsPerSec(),
+              "", ScatHeap.SamplesNsPerOp);
+  Json.metric("event_churn_scattered_calendar", ScatCal.Ops,
+              ScatCal.nsPerOp(), "events_per_sec", ScatCal.opsPerSec(),
+              "", ScatCal.SamplesNsPerOp);
+  Json.scalar("event_churn_scattered_speedup", ScatSpeedup, "x");
 
   // --- 2. Style resolution ---
   auto W = makeStyleWorld(400, 160);
@@ -350,7 +436,8 @@ int main(int Argc, char **Argv) {
       C.GovernorName = Gov;
       Configs.push_back(std::move(C));
     }
-  auto SweepSecs = [&](unsigned Jobs, SchedTrace *Sched = nullptr) {
+  auto SweepSecs = [&](unsigned Jobs, SchedTrace *Sched = nullptr,
+                       WarmCache *Warm = nullptr) {
     // A metrics-only shared hub, as every real sweep runs (bench
     // prefetch, chaos soak): the post-batch config-order merge is part
     // of what the scheduler report attributes.
@@ -361,6 +448,7 @@ int main(int Argc, char **Argv) {
     Opts.SharedTel = &Tel;
     Opts.JobLogCapacity = 0;
     Opts.Sched = Sched;
+    Opts.Warm = Warm;
     SchedProgress Progress;
     if (Flags.Progress && Jobs > 1) {
       Opts.Progress = &Progress;
@@ -410,6 +498,101 @@ int main(int Argc, char **Argv) {
   for (const SchedReport::Worker &W : Report.PerWorker)
     Json.scalar(formatString("sweep_worker_%u_utilization", W.Id),
                 W.Utilization);
+
+  // --- 4. Warm start ---
+  // Single run, cold vs warm: the warm round restores the prebuilt page
+  // snapshot (cloned DOM prototype, shared rule index, adopted style
+  // cache) instead of parsing; simulated output is byte-identical
+  // (tests/workloads/WarmStartTest.cpp pins that), so the delta is pure
+  // setup work removed.
+  {
+    ExperimentConfig RunCfg;
+    RunCfg.AppName = "Goo.ne.jp"; // largest page: biggest parse share
+    Measurement ColdRun = measure([&] {
+      runExperiment(RunCfg);
+      return uint64_t(1);
+    });
+    PageAssets Assets = buildPageAssets(RunCfg.AppName, RunCfg.Seed);
+    ExperimentConfig WarmCfg = RunCfg;
+    WarmCfg.Warm = &Assets;
+    Measurement WarmRun = measure([&] {
+      runExperiment(WarmCfg);
+      return uint64_t(1);
+    });
+    double WarmSpeedup = WarmRun.nsPerOp() > 0
+                             ? ColdRun.nsPerOp() / WarmRun.nsPerOp()
+                             : 0;
+
+    // Whole sweep with the shared warm cache, modeling the repeat-sweep
+    // loop (tuning sessions, median seeds, chaos soaks re-running the
+    // same matrix): assets for every (app, seed) already exist from the
+    // previous pass, so every run restores. Both legs are re-timed
+    // best-of-3 — a 12-sim sweep is ~10 ms of wall and single shots are
+    // at this host's noise floor. The scheduler traces' setup phase
+    // shows where the time went.
+    WarmCache Cache;
+    for (const ExperimentConfig &C : Configs)
+      Cache.get(C.AppName, C.Seed);
+    // Each leg: best-of-3 wall clock, setup fraction aggregated over
+    // all three traces (36 items) — single traces inherit too much
+    // host-scheduling noise on a busy runner.
+    auto SweepLeg = [&](WarmCache *Warm, double &SetupFrac) {
+      double Best = 0;
+      int64_t Setup = 0, Total = 0;
+      for (int Rep = 0; Rep < 3; ++Rep) {
+        SchedTrace Trace;
+        double Secs = SweepSecs(SweepJobs, &Trace, Warm);
+        Best = Rep == 0 ? Secs : std::min(Best, Secs);
+        for (const SchedItem &I : Trace.items()) {
+          Setup += I.SetupNs;
+          Total += I.RunNs;
+        }
+      }
+      SetupFrac = Total > 0 ? double(Setup) / double(Total) : 0.0;
+      return Best;
+    };
+    double ColdSetupFrac = 0, WarmSetupFrac = 0;
+    double ColdSweep = SweepLeg(nullptr, ColdSetupFrac);
+    double WarmSweep = SweepLeg(&Cache, WarmSetupFrac);
+    double SweepWarmSpeedup = WarmSweep > 0 ? ColdSweep / WarmSweep : 0;
+
+    TablePrinter Warm("Warm start (restore shared page assets vs cold "
+                      "parse)");
+    Warm.row().cell("leg").cell("ms/run").cell("speedup");
+    Warm.row()
+        .cell("cold single run")
+        .cell(ColdRun.nsPerOp() / 1e6, 2)
+        .cell("1.00x");
+    Warm.row()
+        .cell("warm single run")
+        .cell(WarmRun.nsPerOp() / 1e6, 2)
+        .cell(formatString("%.2fx", WarmSpeedup));
+    Warm.row()
+        .cell("cold sweep (12 sims)")
+        .cell(ColdSweep * 1e3, 1)
+        .cell("1.00x");
+    Warm.row()
+        .cell("warm sweep (12 sims)")
+        .cell(WarmSweep * 1e3, 1)
+        .cell(formatString("%.2fx", SweepWarmSpeedup));
+    Warm.print();
+    std::printf("setup-phase share of worker time: %.1f%% cold -> "
+                "%.1f%% warm\n\n",
+                ColdSetupFrac * 100.0, WarmSetupFrac * 100.0);
+
+    Json.metric("cold_start_run", ColdRun.Ops, ColdRun.nsPerOp(),
+                "runs_per_sec", ColdRun.opsPerSec(), "",
+                ColdRun.SamplesNsPerOp);
+    Json.metric("warm_start_run", WarmRun.Ops, WarmRun.nsPerOp(),
+                "runs_per_sec", WarmRun.opsPerSec(), "",
+                WarmRun.SamplesNsPerOp);
+    Json.scalar("warm_start_speedup", WarmSpeedup, "x");
+    Json.scalar("sweep_cold_seconds", ColdSweep, "s");
+    Json.scalar("sweep_warm_seconds", WarmSweep, "s");
+    Json.scalar("sweep_warm_speedup", SweepWarmSpeedup, "x");
+    Json.scalar("sweep_cold_setup_fraction", ColdSetupFrac);
+    Json.scalar("sweep_warm_setup_fraction", WarmSetupFrac);
+  }
 
   if (!Flags.SchedPath.empty()) {
     std::ofstream Out(Flags.SchedPath);

@@ -6,6 +6,7 @@
 
 #include "browser/Browser.h"
 
+#include "browser/PageSnapshot.h"
 #include "css/CssParser.h"
 #include "faults/FaultInjector.h"
 #include "html/HtmlParser.h"
@@ -366,14 +367,38 @@ uint64_t Browser::loadPage(std::string_view Html) {
   if (!Doc)
     return 0;
 
-  Sheet = std::make_unique<css::Stylesheet>();
+  auto NewSheet = std::make_shared<css::Stylesheet>();
   size_t CssBytes = 0;
   for (const std::string &StyleText : Doc->StyleTexts) {
     CssBytes += StyleText.size();
-    Sheet->append(css::parseStylesheet(StyleText));
+    NewSheet->append(css::parseStylesheet(StyleText));
   }
+  Sheet = std::move(NewSheet);
   Resolver = std::make_unique<css::StyleResolver>(*Sheet);
 
+  size_t JsBytes = 0;
+  for (const std::string &Script : Doc->ScriptTexts)
+    JsBytes += Script.size();
+  return finishLoad(Html.size(), CssBytes, JsBytes);
+}
+
+uint64_t Browser::loadPage(const PageSnapshot &Snapshot) {
+  assert(!PageLoaded && "browser already has a page");
+  GW_PROF_SCOPE("browser.load_snapshot");
+  if (!Snapshot.Proto)
+    return 0;
+
+  Doc = Snapshot.Proto->clone();
+  Sheet = Snapshot.Sheet;
+  Resolver = std::make_unique<css::StyleResolver>(*Sheet);
+  Resolver->shareIndex(Snapshot.Index);
+  Resolver->warmCache(Snapshot.StyleCache);
+  return finishLoad(Snapshot.HtmlBytes, Snapshot.CssBytes,
+                    Snapshot.JsBytes);
+}
+
+uint64_t Browser::finishLoad(size_t HtmlBytes, size_t CssBytes,
+                             size_t JsBytes) {
   Doc->StyleMutationObserver = [this](Element &E, const std::string &Prop,
                                       const std::string &Old,
                                       const std::string &New) {
@@ -395,11 +420,6 @@ uint64_t Browser::loadPage(std::string_view Html) {
   int64_t PrevSpanCtx = beginRootSpan(Msg.RootId, events::Load);
   for (FrameObserver *O : Observers)
     O->onInputDispatched(Msg.RootId, events::Load, &Doc->root());
-
-  size_t HtmlBytes = Html.size();
-  size_t JsBytes = 0;
-  for (const std::string &Script : Doc->ScriptTexts)
-    JsBytes += Script.size();
 
   const RenderCostParams &Costs = Options.Costs;
   SimTask Nav;

@@ -39,6 +39,8 @@
 
 namespace greenweb {
 
+struct PageSnapshot;
+
 /// The simulated browser runtime.
 class Browser {
 public:
@@ -57,10 +59,20 @@ public:
   /// page failed to parse at all.
   uint64_t loadPage(std::string_view Html);
 
+  /// Warm-start load: restores a previously captured snapshot (cloned
+  /// document, shared stylesheet/rule index, adopted style cache)
+  /// instead of parsing, then replays the same load interaction.
+  /// Behaviorally identical to loadPage(html) for the snapshot's
+  /// source — including all simulated costs and telemetry — but skips
+  /// the host-side parse and cold style-matching work. The snapshot
+  /// must outlive this browser's page.
+  uint64_t loadPage(const PageSnapshot &Snapshot);
+
   /// The loaded document (nullptr before loadPage).
   Document *document() { return Doc.get(); }
-  /// The page stylesheet (parsed from all <style> blocks, in order).
-  css::Stylesheet &stylesheet() { return *Sheet; }
+  /// The page stylesheet (parsed from all <style> blocks, in order;
+  /// shared read-only with the snapshot on warm-start loads).
+  const css::Stylesheet &stylesheet() const { return *Sheet; }
   /// Style resolver over the page stylesheet.
   css::StyleResolver &styleResolver() { return *Resolver; }
   /// The page's script interpreter.
@@ -213,6 +225,11 @@ private:
   /// Converts interpreter counters into a callback-stage TaskCost.
   TaskCost takeScriptCost();
 
+  /// Shared tail of both loadPage overloads: wires the mutation
+  /// observer, binds handlers, and schedules the load interaction with
+  /// the given simulated source sizes.
+  uint64_t finishLoad(size_t HtmlBytes, size_t CssBytes, size_t JsBytes);
+
   void installBindings();
   void bindInlineHandlers();
   void onStyleMutated(Element &E, const std::string &Property,
@@ -233,7 +250,7 @@ private:
   std::unique_ptr<SimThread> Compositor;
 
   std::unique_ptr<Document> Doc;
-  std::unique_ptr<css::Stylesheet> Sheet;
+  std::shared_ptr<const css::Stylesheet> Sheet;
   std::unique_ptr<css::StyleResolver> Resolver;
   js::Interpreter Interp;
 

@@ -106,22 +106,20 @@ void appendCompoundHints(const SimpleSelector &Compound,
 // Index construction and lookup
 //===----------------------------------------------------------------------===//
 
-void StyleResolver::ensureIndex() const {
-  if (IndexBuilt && IndexedRuleCount == Sheet.Rules.size())
-    return;
+static void buildIndexInto(StyleResolver::RuleIndex &Index,
+                           const Stylesheet &Sheet) {
   GW_PROF_SCOPE("css.build_index");
-  IdBuckets.clear();
-  ClassBuckets.clear();
-  TagBuckets.clear();
-  UniversalBucket.clear();
-  Cache.clear();
+  Index.IdBuckets.clear();
+  Index.ClassBuckets.clear();
+  Index.TagBuckets.clear();
+  Index.UniversalBucket.clear();
   for (size_t RuleIdx = 0; RuleIdx < Sheet.Rules.size(); ++RuleIdx) {
     const StyleRule &Rule = Sheet.Rules[RuleIdx];
     for (size_t SelIdx = 0; SelIdx < Rule.Selectors.size(); ++SelIdx) {
       const ComplexSelector &Selector = Rule.Selectors[SelIdx];
       if (Selector.Compounds.empty())
         continue; // Matches nothing, like the naive scan.
-      IndexedSelector Indexed;
+      StyleResolver::IndexedSelector Indexed;
       Indexed.RuleIdx = uint32_t(RuleIdx);
       Indexed.SelIdx = uint32_t(SelIdx);
       for (size_t I = 0; I + 1 < Selector.Compounds.size(); ++I)
@@ -131,23 +129,42 @@ void StyleResolver::ensureIndex() const {
       // verifies the full compound.
       const SimpleSelector &Subject = Selector.Compounds.back();
       if (!Subject.Id.empty())
-        IdBuckets[Subject.Id].push_back(std::move(Indexed));
+        Index.IdBuckets[Subject.Id].push_back(std::move(Indexed));
       else if (!Subject.Classes.empty())
-        ClassBuckets[Subject.Classes.front()].push_back(std::move(Indexed));
+        Index.ClassBuckets[Subject.Classes.front()].push_back(
+            std::move(Indexed));
       else if (!Subject.Tag.empty() && Subject.Tag != "*")
-        TagBuckets[toLower(Subject.Tag)].push_back(std::move(Indexed));
+        Index.TagBuckets[toLower(Subject.Tag)].push_back(std::move(Indexed));
       else
-        UniversalBucket.push_back(std::move(Indexed));
+        Index.UniversalBucket.push_back(std::move(Indexed));
     }
   }
-  IndexBuilt = true;
-  IndexedRuleCount = Sheet.Rules.size();
+  Index.RuleCount = Sheet.Rules.size();
+}
+
+std::shared_ptr<const StyleResolver::RuleIndex>
+StyleResolver::buildIndex(const Stylesheet &Sheet) {
+  auto Index = std::make_shared<RuleIndex>();
+  buildIndexInto(*Index, Sheet);
+  return Index;
+}
+
+const StyleResolver::RuleIndex &StyleResolver::activeIndex() const {
+  if (Shared && Shared->RuleCount == Sheet.Rules.size())
+    return *Shared;
+  if (!IndexBuilt || Own.RuleCount != Sheet.Rules.size()) {
+    buildIndexInto(Own, Sheet);
+    Cache.clear();
+    IndexBuilt = true;
+    ++Stats.IndexBuilds;
+  }
+  return Own;
 }
 
 std::vector<MatchedRule>
 StyleResolver::matchRulesIndexed(const Element &E) const {
   GW_PROF_SCOPE("css.match_indexed");
-  ensureIndex();
+  const RuleIndex &Index = activeIndex();
   uint64_t Version = E.document().styleVersion();
   auto Cached = Cache.find(E.nodeId());
   if (Cached != Cache.end() && Cached->second.Version == Version) {
@@ -155,6 +172,14 @@ StyleResolver::matchRulesIndexed(const Element &E) const {
     return Cached->second.Matches;
   }
   ++Stats.CacheMisses;
+  if (WarmBase) {
+    auto Warm = WarmBase->find(E.nodeId());
+    if (Warm != WarmBase->end() && Warm->second.Version == Version) {
+      ++Stats.WarmHits;
+      Cache[E.nodeId()] = Warm->second;
+      return Warm->second.Matches;
+    }
+  }
 
   AncestorFilter Filter = buildAncestorFilter(E);
   // (rule, specificity) per confirmed candidate; folded to the best
@@ -176,17 +201,17 @@ StyleResolver::matchRulesIndexed(const Element &E) const {
     }
   };
   if (!E.id().empty())
-    if (auto It = IdBuckets.find(std::string_view(E.id()));
-        It != IdBuckets.end())
+    if (auto It = Index.IdBuckets.find(std::string_view(E.id()));
+        It != Index.IdBuckets.end())
       Consider(It->second);
   for (const std::string &Class : E.classes())
-    if (auto It = ClassBuckets.find(std::string_view(Class));
-        It != ClassBuckets.end())
+    if (auto It = Index.ClassBuckets.find(std::string_view(Class));
+        It != Index.ClassBuckets.end())
       Consider(It->second);
-  if (auto It = TagBuckets.find(std::string_view(toLower(E.tagName())));
-      It != TagBuckets.end())
+  if (auto It = Index.TagBuckets.find(std::string_view(toLower(E.tagName())));
+      It != Index.TagBuckets.end())
     Consider(It->second);
-  Consider(UniversalBucket);
+  Consider(Index.UniversalBucket);
 
   // Best specificity per rule (source order is unique per rule, so the
   // final (Spec, Order) sort gives exactly the naive scan's order).

@@ -33,9 +33,18 @@
 /// before. matchRulesNaive retains the reference scan for parity tests
 /// and benchmarks.
 ///
+/// For cross-run warm starts the index can be built once per stylesheet
+/// (buildIndex) and shared read-only between resolver instances
+/// (shareIndex), and a finished resolver's per-element cache can be
+/// snapshot and adopted by later resolvers over the same sheet and an
+/// id-identical document (snapshotCache/warmCache) — skipping both the
+/// index build and the cold matching pass without changing any output.
+///
 /// A resolver instance is bound to one document's lifetime and is not
 /// thread-safe; concurrent simulations each build their own browser
-/// stack (see workloads/ParallelRunner.h).
+/// stack (see workloads/ParallelRunner.h). A shared RuleIndex, in
+/// contrast, is immutable after construction and safe to read from any
+/// number of threads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +56,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -80,6 +90,83 @@ struct QosAnnotation {
 class StyleResolver {
 public:
   StyleResolver(const Stylesheet &Sheet) : Sheet(Sheet) {}
+
+  /// One selector as stored in an index bucket.
+  struct IndexedSelector {
+    uint32_t RuleIdx = 0;
+    uint32_t SelIdx = 0;
+    /// Hashes of identifiers (id/class/tag) that non-subject compounds
+    /// require somewhere on the ancestor chain. If any is missing from
+    /// the element's ancestor filter the selector cannot match.
+    std::vector<uint64_t> AncestorHints;
+  };
+
+  /// Heterogeneous string_view lookup for bucket maps.
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view A, std::string_view B) const {
+      return A == B;
+    }
+  };
+  using BucketMap =
+      std::unordered_map<std::string, std::vector<IndexedSelector>, SvHash,
+                         SvEq>;
+
+  /// The subject-key rule index. Immutable once built, and independent
+  /// of any document, so one instance can be built per stylesheet and
+  /// shared read-only across every resolver (and thread) bound to that
+  /// stylesheet — the warm path's zero-rebuild guarantee.
+  struct RuleIndex {
+    BucketMap IdBuckets;
+    BucketMap ClassBuckets;
+    /// Keyed by ASCII-lowercased tag (matching is case-insensitive).
+    BucketMap TagBuckets;
+    std::vector<IndexedSelector> UniversalBucket;
+    /// Rules indexed; a resolver whose sheet has grown past this falls
+    /// back to (re)building its own index.
+    size_t RuleCount = 0;
+  };
+
+  /// Builds a shareable index over \p Sheet.
+  static std::shared_ptr<const RuleIndex> buildIndex(const Stylesheet &Sheet);
+
+  /// Adopts a prebuilt index for \p Sheet instead of lazily building
+  /// one. The index must have been built over this resolver's
+  /// stylesheet; if the sheet later grows, the resolver quietly falls
+  /// back to its own rebuild.
+  void shareIndex(std::shared_ptr<const RuleIndex> Index) {
+    Shared = std::move(Index);
+  }
+
+  struct CacheEntry {
+    uint64_t Version = 0;
+    std::vector<MatchedRule> Matches;
+  };
+  /// Per-element matched-rules store, keyed by Element::nodeId and
+  /// stamped with Document::styleVersion.
+  using MatchCache = std::unordered_map<uint64_t, CacheEntry>;
+
+  /// Copies the current per-element cache for reuse by future resolver
+  /// instances (see warmCache).
+  std::shared_ptr<const MatchCache> snapshotCache() const {
+    return std::make_shared<MatchCache>(Cache);
+  }
+
+  /// Installs a read-only warm base: on a cache miss whose node id and
+  /// style version match a base entry, the entry is adopted instead of
+  /// re-matching. Only sound when \p Base was snapshot from a resolver
+  /// over the SAME Stylesheet object (MatchedRule points into its
+  /// rules) and a document whose node ids/style version this document
+  /// reproduces — which Document::clone guarantees.
+  void warmCache(std::shared_ptr<const MatchCache> Base) {
+    WarmBase = std::move(Base);
+  }
 
   /// All rules matching \p E, sorted in ascending cascade priority
   /// (later entries win).
@@ -124,6 +211,11 @@ public:
   struct IndexStats {
     uint64_t CacheHits = 0;
     uint64_t CacheMisses = 0;
+    /// Misses satisfied by adopting a warm-base entry (see warmCache).
+    uint64_t WarmHits = 0;
+    /// Times this resolver (re)built its own index; stays zero while a
+    /// shared index covers the sheet.
+    uint64_t IndexBuilds = 0;
     /// Candidate selectors pulled from buckets across all lookups.
     uint64_t Candidates = 0;
     /// Candidates dismissed by the ancestor-hint filter alone.
@@ -132,56 +224,25 @@ public:
   const IndexStats &indexStats() const { return Stats; }
 
 private:
-  /// One selector as stored in a bucket.
-  struct IndexedSelector {
-    uint32_t RuleIdx = 0;
-    uint32_t SelIdx = 0;
-    /// Hashes of identifiers (id/class/tag) that non-subject compounds
-    /// require somewhere on the ancestor chain. If any is missing from
-    /// the element's ancestor filter the selector cannot match.
-    std::vector<uint64_t> AncestorHints;
-  };
-
-  /// Heterogeneous string_view lookup for bucket maps.
-  struct SvHash {
-    using is_transparent = void;
-    size_t operator()(std::string_view S) const {
-      return std::hash<std::string_view>{}(S);
-    }
-  };
-  struct SvEq {
-    using is_transparent = void;
-    bool operator()(std::string_view A, std::string_view B) const {
-      return A == B;
-    }
-  };
-  using BucketMap =
-      std::unordered_map<std::string, std::vector<IndexedSelector>, SvHash,
-                         SvEq>;
-
-  struct CacheEntry {
-    uint64_t Version = 0;
-    std::vector<MatchedRule> Matches;
-  };
-
-  void ensureIndex() const;
+  /// The index lookups go through: the shared one when installed and
+  /// still covering the sheet, else the lazily (re)built own index.
+  const RuleIndex &activeIndex() const;
   std::vector<MatchedRule> matchRulesIndexed(const Element &E) const;
 
   const Stylesheet &Sheet;
   bool IndexEnabled = true;
 
-  /// Lazily built rule index (mutable: matchRules is logically const).
+  /// Prebuilt shared index (warm path); nullptr for self-built.
+  std::shared_ptr<const RuleIndex> Shared;
+  /// Lazily built own index (mutable: matchRules is logically const).
   mutable bool IndexBuilt = false;
-  mutable size_t IndexedRuleCount = 0;
-  mutable BucketMap IdBuckets;
-  mutable BucketMap ClassBuckets;
-  /// Keyed by ASCII-lowercased tag (matching is case-insensitive).
-  mutable BucketMap TagBuckets;
-  mutable std::vector<IndexedSelector> UniversalBucket;
+  mutable RuleIndex Own;
 
-  /// Per-element matched-rules cache, keyed by Element::nodeId and
-  /// validated against Document::styleVersion.
-  mutable std::unordered_map<uint64_t, CacheEntry> Cache;
+  /// Per-element matched-rules cache, validated against
+  /// Document::styleVersion.
+  mutable MatchCache Cache;
+  /// Read-only warm base adopted entry-by-entry on cache misses.
+  std::shared_ptr<const MatchCache> WarmBase;
   mutable IndexStats Stats;
 };
 

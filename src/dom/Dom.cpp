@@ -125,12 +125,45 @@ size_t Element::dispatchEvent(const Event &E) {
   return ToRun.size();
 }
 
+std::unique_ptr<Element> Element::cloneInto(Document &NewDoc) const {
+  // The constructor draws a fresh node id; overwrite it with the
+  // original so the copy is id-identical (Document::clone restores
+  // NextNodeId afterwards).
+  auto Copy = std::make_unique<Element>(NewDoc, TagName);
+  Copy->NodeId = NodeId;
+  Copy->IdValue = IdValue;
+  Copy->Classes = Classes;
+  Copy->Attributes = Attributes;
+  Copy->InlineStyle = InlineStyle;
+  NewDoc.indexElementId(Copy->IdValue, Copy.get());
+  Copy->Children.reserve(Children.size());
+  for (const auto &Child : Children) {
+    std::unique_ptr<Element> ChildCopy = Child->cloneInto(NewDoc);
+    ChildCopy->Parent = Copy.get();
+    Copy->Children.push_back(std::move(ChildCopy));
+  }
+  return Copy;
+}
+
 //===----------------------------------------------------------------------===//
 // Document
 //===----------------------------------------------------------------------===//
 
 Document::Document() {
   Root = std::make_unique<Element>(*this, "html");
+}
+
+std::unique_ptr<Document> Document::clone() const {
+  auto Copy = std::make_unique<Document>();
+  // Replace the constructor-made root; id indexing happens inside
+  // cloneInto, and the counters are restored below so the temporary
+  // node-id draws during cloning leave no trace.
+  Copy->Root = Root->cloneInto(*Copy);
+  Copy->StyleTexts = StyleTexts;
+  Copy->ScriptTexts = ScriptTexts;
+  Copy->NextNodeId = NextNodeId;
+  Copy->StyleVersion = StyleVersion;
+  return Copy;
 }
 
 std::unique_ptr<Element> Document::createElement(std::string TagName) {

@@ -129,6 +129,11 @@ public:
   size_t dispatchEvent(const Event &E);
 
 private:
+  friend class Document;
+  /// Deep copy of this subtree into \p NewDoc, preserving node ids
+  /// verbatim (Document::clone's contract). Listeners are not copied.
+  std::unique_ptr<Element> cloneInto(Document &NewDoc) const;
+
   Document &Doc;
   uint64_t NodeId;
   std::string TagName;
@@ -155,6 +160,16 @@ public:
 
   /// Creates an unattached element owned by the caller until appended.
   std::unique_ptr<Element> createElement(std::string TagName);
+
+  /// Deep copy for warm-start runs: tree structure, tags, ids, classes,
+  /// attributes, inline styles, style/script texts, the id index, and
+  /// the NextNodeId/StyleVersion counters are all reproduced exactly —
+  /// every element keeps its original node id, so id-keyed state
+  /// recorded against this document (style-match snapshots, annotation
+  /// fault streams) applies verbatim to the copy. Event listeners and
+  /// the style-mutation observer are NOT copied; a fresh page load
+  /// rebinds its own.
+  std::unique_ptr<Document> clone() const;
 
   /// Id lookup; returns nullptr when absent.
   Element *getElementById(std::string_view Id);

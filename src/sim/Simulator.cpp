@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 
 using namespace greenweb;
 
@@ -20,10 +22,74 @@ namespace {
 /// Compaction kicks in only past this queue size (small queues drain
 /// their stubs lazily just fine) and only when stubs are at least half
 /// the queue, which bounds amortized cost: each compaction erases at
-/// least Heap.size()/2 elements, paying for the O(n) make_heap.
+/// least half the queued elements, paying for the O(n) rebuild.
 constexpr size_t CompactionMinQueueSize = 64;
 
+/// Orders queue entries by (When, Seq) — the simulator's total order.
+/// (Templated so the anonymous namespace need not name the private
+/// nested entry type.)
+struct EntryBefore {
+  template <class EventT>
+  bool operator()(const EventT &A, const EventT &B) const {
+    if (A.When != B.When)
+      return A.When < B.When;
+    return A.Seq < B.Seq;
+  }
+};
+
+/// Sorts a bucket tail. Buckets are short (a handful of events per
+/// 65.5 us tick) and near-sorted already — same-period timers arrive in
+/// When order — so a binary-insertion sort beats std::sort's partition
+/// shuffling on the common case; genuinely large tails (timestamp
+/// pileups) still go through introsort.
+template <class EventT> void sortTail(EventT *First, EventT *Last) {
+  constexpr EntryBefore Before;
+  // Appends arrive in Seq order, and coalesced timers (vsync ticks,
+  // same-period timers) arrive in When order too, so a fully sorted
+  // tail is the common case: detect it with one linear scan and the
+  // batch drain costs nothing beyond the appends themselves.
+  EventT *I = First + 1;
+  while (I < Last && !Before(*I, I[-1]))
+    ++I;
+  if (I == Last)
+    return;
+  if (Last - First > 48) {
+    std::sort(First, Last, Before);
+    return;
+  }
+  for (; I < Last; ++I) {
+    if (!Before(*I, I[-1]))
+      continue;
+    EventT Tmp = *I;
+    EventT *Pos = std::upper_bound(First, I, Tmp, Before);
+    std::memmove(Pos + 1, Pos, size_t(I - Pos) * sizeof(EventT));
+    *Pos = Tmp;
+  }
+}
+
+/// Index of the lowest set bit; W must be nonzero.
+inline unsigned lowestBit(uint64_t W) {
+#if defined(__GNUC__) || defined(__clang__)
+  return unsigned(__builtin_ctzll(W));
+#else
+  unsigned N = 0;
+  while (!(W & 1)) {
+    W >>= 1;
+    ++N;
+  }
+  return N;
+#endif
+}
+
 } // namespace
+
+EventKernel greenweb::defaultEventKernel() {
+  if (const char *Env = std::getenv("GREENWEB_SIM_KERNEL")) {
+    if (std::strcmp(Env, "heap") == 0)
+      return EventKernel::Heap;
+  }
+  return EventKernel::Calendar;
+}
 
 void Simulator::setTelemetry(Telemetry *T) {
   Tel = T;
@@ -60,8 +126,9 @@ void Simulator::noteScheduled() {
     CompactionsCtr->add(Compactions - ReportedCompactions);
     ReportedCompactions = Compactions;
   }
-  if (Heap.size() > QueuePeak) {
-    QueuePeak = Heap.size();
+  size_t Pending = pendingEvents();
+  if (Pending > QueuePeak) {
+    QueuePeak = Pending;
     QueuePeakGauge->set(double(QueuePeak));
   }
 }
@@ -82,21 +149,28 @@ EventHandle Simulator::scheduleAt(TimePoint When, std::function<void()> Fn) {
   if (When < Now)
     When = Now;
   maybeCompact();
-  Event E;
-  E.When = When;
-  E.Seq = NextSeq++;
-  E.Slot = Ctrl->acquire();
-  if (E.Slot >= Payloads.size())
-    Payloads.resize(E.Slot + 1);
-  Payload &P = Payloads[E.Slot];
-  P.Fn = std::move(Fn);
-  P.SpanCtx = (Tel && Tel->enabled()) ? Tel->spans().current() : 0;
+  uint32_t Slot = Ctrl->acquire();
+  uint64_t Seq = NextSeq++;
+  int64_t SpanCtx = (Tel && Tel->enabled()) ? Tel->spans().current() : 0;
   EventHandle Handle;
   Handle.Slab = Ctrl;
-  Handle.Slot = E.Slot;
-  Handle.Gen = Ctrl->Slots[E.Slot].Gen;
-  Heap.push_back(E);
-  std::push_heap(Heap.begin(), Heap.end(), Later());
+  Handle.Slot = Slot;
+  Handle.Gen = Ctrl->Slots[Slot].Gen;
+  Event E;
+  E.When = When;
+  E.Seq = Seq;
+  E.Slot = Slot;
+  if (Slot >= Payloads.size())
+    Payloads.resize(Slot + 1);
+  Payload &P = Payloads[Slot];
+  P.Fn = std::move(Fn);
+  P.SpanCtx = SpanCtx;
+  if (Kernel == EventKernel::Heap) {
+    Heap.push_back(E);
+    std::push_heap(Heap.begin(), Heap.end(), Later());
+  } else {
+    calSchedule(E);
+  }
   noteScheduled();
   return Handle;
 }
@@ -109,9 +183,19 @@ Simulator::Event Simulator::popTop() {
 }
 
 void Simulator::maybeCompact() {
-  if (Heap.size() < CompactionMinQueueSize ||
-      Ctrl->CancelledPending * 2 < Heap.size())
+  size_t Pending = pendingEvents();
+  if (Pending < CompactionMinQueueSize ||
+      Ctrl->CancelledPending * 2 < Pending)
     return;
+  if (Kernel == EventKernel::Heap)
+    compactHeap();
+  else
+    compactCalendar();
+  Ctrl->CancelledPending = 0;
+  ++Compactions;
+}
+
+void Simulator::compactHeap() {
   GW_PROF_SCOPE("sim.compact");
   auto Dead = [this](const Event &E) {
     if (!Ctrl->cancelled(E.Slot))
@@ -121,20 +205,159 @@ void Simulator::maybeCompact() {
     return true;
   };
   Heap.erase(std::remove_if(Heap.begin(), Heap.end(), Dead), Heap.end());
-  Ctrl->CancelledPending = 0;
   std::make_heap(Heap.begin(), Heap.end(), Later());
-  ++Compactions;
 }
 
-bool Simulator::fireNext() {
-  while (!Heap.empty()) {
-    Event E = popTop();
+void Simulator::compactCalendar() {
+  GW_PROF_SCOPE("sim.compact");
+  auto Dead = [this](const Event &E) {
+    if (!Ctrl->cancelled(E.Slot))
+      return false;
+    Payloads[E.Slot].Fn = nullptr;
+    Ctrl->release(E.Slot);
+    return true;
+  };
+  size_t Removed = 0;
+  for (CalBucket &B : Buckets) {
+    if (B.Cursor >= B.Events.size())
+      continue;
+    // Only the undrained tail holds queued events; the stable erase
+    // preserves the tail's sorted order, so Dirty flags stand as-is.
+    auto First = B.Events.begin() + B.Cursor;
+    auto NewEnd = std::remove_if(First, B.Events.end(), Dead);
+    Removed += size_t(B.Events.end() - NewEnd);
+    B.Events.erase(NewEnd, B.Events.end());
+  }
+  auto NewEnd = std::remove_if(Overflow.begin(), Overflow.end(), Dead);
+  Removed += size_t(Overflow.end() - NewEnd);
+  Overflow.erase(NewEnd, Overflow.end());
+  CalSize -= Removed;
+}
+
+//===--- Calendar kernel ---------------------------------------------------===//
+
+size_t Simulator::nextOccupied(size_t From) const {
+  size_t W = From >> 6;
+  if (W >= OccWords)
+    return BucketCount;
+  uint64_t Word = OccBits[W] & (~uint64_t(0) << (From & 63));
+  for (;;) {
+    if (Word)
+      return (W << 6) + lowestBit(Word);
+    if (++W == OccWords)
+      return BucketCount;
+    Word = OccBits[W];
+  }
+}
+
+void Simulator::calSchedule(const Event &E) {
+  uint64_t Tick = tickOf(E.When);
+  // Behind the scan position (possible when a horizon jump ran ahead of
+  // the clock): clamp into the current bucket, where (When, Seq)
+  // sorting still pops it before everything later.
+  if (Tick < CurTick)
+    Tick = CurTick;
+  ++CalSize;
+  if (Tick >= WindowBase + BucketCount) {
+    Overflow.push_back(E);
+    return;
+  }
+  size_t Idx = Tick & BucketMask;
+  CalBucket &B = Buckets[Idx];
+  if (B.Events.capacity() == 0 && !BucketPool.empty()) {
+    B.Events = std::move(BucketPool.back());
+    BucketPool.pop_back();
+  }
+  B.Events.push_back(E);
+  B.Dirty = true;
+  OccBits[Idx >> 6] |= uint64_t(1) << (Idx & 63);
+}
+
+void Simulator::calAdvanceHorizon() {
+  GW_PROF_SCOPE("sim.calendar.advance");
+  assert(!Overflow.empty() && "advancing horizon with no overflow");
+  uint64_t MinTick = UINT64_MAX;
+  for (const Event &E : Overflow)
+    MinTick = std::min(MinTick, tickOf(E.When));
+  // Anchor the new window at the earliest pending tick, aligned so
+  // bucket index scans stay monotone in time.
+  WindowBase = MinTick & ~uint64_t(BucketMask);
+  CurTick = MinTick;
+  size_t Keep = 0;
+  for (size_t I = 0; I < Overflow.size(); ++I) {
+    uint64_t Tick = tickOf(Overflow[I].When);
+    if (Tick < WindowBase + BucketCount) {
+      size_t Idx = Tick & BucketMask;
+      CalBucket &B = Buckets[Idx];
+      if (B.Events.capacity() == 0 && !BucketPool.empty()) {
+        B.Events = std::move(BucketPool.back());
+        BucketPool.pop_back();
+      }
+      B.Events.push_back(Overflow[I]);
+      B.Dirty = true;
+      OccBits[Idx >> 6] |= uint64_t(1) << (Idx & 63);
+    } else {
+      if (Keep != I)
+        Overflow[Keep] = Overflow[I];
+      ++Keep;
+    }
+  }
+  Overflow.resize(Keep);
+}
+
+Simulator::Event *Simulator::calFront() {
+  for (;;) {
+    if (CalSize == 0)
+      return nullptr;
+    while (CurTick < WindowBase + BucketCount) {
+      size_t Idx = nextOccupied(CurTick - WindowBase);
+      if (Idx == BucketCount) {
+        CurTick = WindowBase + BucketCount;
+        break;
+      }
+      CurTick = WindowBase + Idx;
+      CalBucket &B = Buckets[Idx];
+      if (B.Cursor < B.Events.size()) {
+        if (B.Dirty) {
+          sortTail(B.Events.data() + B.Cursor,
+                   B.Events.data() + B.Events.size());
+          B.Dirty = false;
+        }
+        return &B.Events[B.Cursor];
+      }
+      // Bucket fully drained: recycle its storage and move on.
+      B.Events.clear();
+      if (B.Events.capacity() != 0 && BucketPool.size() < 64)
+        BucketPool.push_back(std::move(B.Events));
+      B.Cursor = 0;
+      B.Dirty = false;
+      OccBits[Idx >> 6] &= ~(uint64_t(1) << (Idx & 63));
+      ++CurTick;
+    }
+    calAdvanceHorizon();
+  }
+}
+
+void Simulator::calPopFront() {
+  CalBucket &B = Buckets[CurTick & BucketMask];
+  assert(B.Cursor < B.Events.size() && "pop without a front");
+  ++B.Cursor;
+  --CalSize;
+}
+
+bool Simulator::fireNextCalendar() {
+  while (Event *Front = calFront()) {
+    // Copy the entry out first: Fn below may grow this bucket and
+    // invalidate the pointer.
+    Event E = *Front;
     if (Ctrl->cancelled(E.Slot)) {
       --Ctrl->CancelledPending;
       Payloads[E.Slot].Fn = nullptr;
       Ctrl->release(E.Slot);
+      calPopFront();
       continue;
     }
+    calPopFront();
     // Move the payload out and retire the slot before running Fn: the
     // event counts as fired the moment it is dequeued, so handles
     // observed from inside the callback are inert and cancelling them
@@ -157,6 +380,67 @@ bool Simulator::fireNext() {
       P.Fn();
     }
     return true;
+  }
+  return false;
+}
+
+//===--- Heap kernel -------------------------------------------------------===//
+
+bool Simulator::fireNextHeap() {
+  while (!Heap.empty()) {
+    Event E = popTop();
+    if (Ctrl->cancelled(E.Slot)) {
+      --Ctrl->CancelledPending;
+      Payloads[E.Slot].Fn = nullptr;
+      Ctrl->release(E.Slot);
+      continue;
+    }
+    Payload P = std::move(Payloads[E.Slot]);
+    Payloads[E.Slot].Fn = nullptr;
+    Ctrl->release(E.Slot);
+    assert(E.When >= Now && "event queue went backwards");
+    Now = E.When;
+    noteFired();
+    if (P.SpanCtx != 0 && Tel && Tel->enabled()) {
+      int64_t Prev = Tel->spans().setCurrent(P.SpanCtx);
+      P.Fn();
+      if (Tel)
+        Tel->spans().setCurrent(Prev);
+    } else {
+      P.Fn();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::fireNext() {
+  return Kernel == EventKernel::Heap ? fireNextHeap() : fireNextCalendar();
+}
+
+bool Simulator::peekLiveWhen(TimePoint &WhenOut) {
+  if (Kernel == EventKernel::Heap) {
+    while (!Heap.empty()) {
+      if (!Ctrl->cancelled(Heap.front().Slot)) {
+        WhenOut = Heap.front().When;
+        return true;
+      }
+      Event Stub = popTop();
+      --Ctrl->CancelledPending;
+      Payloads[Stub.Slot].Fn = nullptr;
+      Ctrl->release(Stub.Slot);
+    }
+    return false;
+  }
+  while (Event *E = calFront()) {
+    if (!Ctrl->cancelled(E->Slot)) {
+      WhenOut = E->When;
+      return true;
+    }
+    --Ctrl->CancelledPending;
+    Payloads[E->Slot].Fn = nullptr;
+    Ctrl->release(E->Slot);
+    calPopFront();
   }
   return false;
 }
@@ -204,15 +488,9 @@ uint64_t Simulator::runUntil(TimePoint Until) {
   GW_PROF_SCOPE("sim.run_until");
   RunTimer Timer(Tel, Now);
   uint64_t Count = 0;
-  while (!Heap.empty()) {
-    // Drain cancelled stubs so the deadline check sees a live event.
-    if (Ctrl->cancelled(Heap.front().Slot)) {
-      Event Stub = popTop();
-      --Ctrl->CancelledPending;
-      Ctrl->release(Stub.Slot);
-      continue;
-    }
-    if (Heap.front().When > Until)
+  TimePoint FrontWhen;
+  while (peekLiveWhen(FrontWhen)) {
+    if (FrontWhen > Until)
       break;
     fireNext();
     ++Count;
@@ -220,11 +498,4 @@ uint64_t Simulator::runUntil(TimePoint Until) {
   if (Now < Until)
     Now = Until;
   return Count;
-}
-
-bool Simulator::idle() const {
-  for (const Event &E : Heap)
-    if (!Ctrl->cancelled(E.Slot))
-      return false;
-  return true;
 }

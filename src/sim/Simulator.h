@@ -6,13 +6,35 @@
 ///
 /// \file
 /// The discrete-event simulation kernel. A Simulator owns a virtual clock
-/// and a priority queue of timestamped events; everything else in the
-/// system (hardware model, browser threads, governors) advances time only
+/// and a queue of timestamped events; everything else in the system
+/// (hardware model, browser threads, governors) advances time only
 /// through this kernel, which keeps experiments fully deterministic.
 ///
 /// Events scheduled at equal timestamps fire in scheduling order (a
 /// monotone sequence number breaks ties), so runs are reproducible across
 /// platforms and standard libraries.
+///
+/// Two event-queue kernels implement the same (When, Seq) total order:
+///
+///  - EventKernel::Calendar (default): a calendar queue — a power-of-two
+///    wheel of time buckets (sorted lazily, on first touch, and drained
+///    through a cursor so same-timestamp clusters pop by a pointer bump)
+///    plus an unsorted overflow ladder for events beyond the wheel's
+///    horizon. An occupancy bitmap skips empty buckets in O(1), and
+///    drained buckets recycle their storage through a pool, so
+///    steady-state scheduling never touches the allocator. Schedule and
+///    pop are O(1) amortized.
+///
+///  - EventKernel::Heap: the previous binary-heap kernel, retained behind
+///    the kernel-select flag for differential testing.
+///
+/// Both kernels queue the same trivially-copyable 24-byte entries and
+/// keep callbacks in a slot-addressed payload side table, so entry moves
+/// (heap sifts, bucket sorts) are plain memcpys.
+///
+/// Both kernels drive the control slab, compaction trigger, and telemetry
+/// counters identically, so a run's exported artifacts are byte-identical
+/// regardless of kernel choice (the differential tests pin this down).
 ///
 /// Event control state lives in a pooled slab shared by the simulator and
 /// every EventHandle: one {generation, cancelled} record per in-flight
@@ -20,8 +42,7 @@
 /// (slot, generation); once the event fires or its cancelled stub is
 /// drained, the slot's generation is bumped and every outstanding handle
 /// goes inert — so a slot can be reused immediately without a stale
-/// handle ever touching the new occupant. This replaces the previous two
-/// heap-allocated shared_ptr<bool> flags per event.
+/// handle ever touching the new occupant.
 ///
 /// Cancellation is lazy: cancelled events stay queued as stubs until
 /// they surface or until the queue is compacted (which happens
@@ -133,12 +154,36 @@ private:
   uint32_t Gen = 0;
 };
 
+/// Which event-queue implementation a Simulator uses. Both produce the
+/// same (When, Seq) pop order and identical telemetry.
+enum class EventKernel {
+  /// Bucketed calendar queue with overflow ladder (default; O(1)
+  /// amortized schedule/pop, inline payloads, batch drain).
+  Calendar,
+  /// Binary heap over POD entries with a payload side table (the
+  /// previous kernel, kept for differential testing).
+  Heap,
+};
+
+/// The process-wide default kernel: Calendar, unless the environment
+/// variable GREENWEB_SIM_KERNEL is set to "heap" (or "calendar", which
+/// is a no-op spelled out). Lets any binary flip kernels without a
+/// rebuild for A/B runs.
+EventKernel defaultEventKernel();
+
 /// The simulation kernel: a virtual clock plus an event queue.
 class Simulator {
 public:
-  Simulator() : Ctrl(std::make_shared<detail::EventControlSlab>()) {}
+  explicit Simulator(EventKernel Kind = defaultEventKernel())
+      : Ctrl(std::make_shared<detail::EventControlSlab>()), Kernel(Kind) {
+    if (Kernel == EventKernel::Calendar)
+      Buckets.resize(BucketCount);
+  }
   Simulator(const Simulator &) = delete;
   Simulator &operator=(const Simulator &) = delete;
+
+  /// The queue implementation this simulator was constructed with.
+  EventKernel kernel() const { return Kernel; }
 
   /// Current virtual time.
   TimePoint now() const { return Now; }
@@ -161,11 +206,17 @@ public:
 
   /// Number of events currently pending (including cancelled stubs not yet
   /// drained).
-  size_t pendingEvents() const { return Heap.size(); }
+  size_t pendingEvents() const {
+    return Kernel == EventKernel::Heap ? Heap.size() : CalSize;
+  }
 
-  /// True if no live (non-cancelled) events remain. Walks the heap's
-  /// backing vector in place — no copy.
-  bool idle() const;
+  /// Number of live (non-cancelled) events currently queued. O(1): the
+  /// queue size and the slab's cancelled-stub count are both maintained
+  /// incrementally.
+  size_t liveEvents() const { return pendingEvents() - Ctrl->CancelledPending; }
+
+  /// True if no live (non-cancelled) events remain. O(1).
+  bool idle() const { return liveEvents() == 0; }
 
   /// Lazy-deletion statistics: cancelled stubs currently queued, total
   /// cancellations over the simulator's lifetime, and how many times the
@@ -197,15 +248,30 @@ private:
   void noteScheduled();
   void noteFired();
   /// Evicts cancelled stubs in bulk once they dominate the queue, so a
-  /// cancellation-heavy workload cannot make the heap grow without
-  /// bound. Re-heapifies; (When, Seq) ordering of survivors is intact.
+  /// cancellation-heavy workload cannot make the queue grow without
+  /// bound. (When, Seq) ordering of survivors is intact. Both kernels
+  /// evaluate the identical trigger on identical queue sizes, so the
+  /// compaction counter — and therefore exported telemetry — matches
+  /// across kernels event for event.
   void maybeCompact();
+  void compactHeap();
+  void compactCalendar();
 
-  /// A heap entry is deliberately a trivially-copyable 24 bytes: heap
-  /// sifts move entries O(log n) times per push/pop, and keeping the
-  /// std::function out of the entry turns each of those moves into a
-  /// plain memcpy instead of an indirect callable-manager call. The
-  /// callback lives in Payloads, indexed by the (stable) control slot.
+  bool fireNext();
+  bool fireNextHeap();
+  bool fireNextCalendar();
+  /// Drains cancelled stubs at the queue front and reports the timestamp
+  /// of the earliest live event, or false when none remain.
+  bool peekLiveWhen(TimePoint &WhenOut);
+
+  //===--- Queue entries (shared by both kernels) --------------------===//
+
+  /// A queue entry is deliberately a trivially-copyable 24 bytes: heap
+  /// sifts and calendar bucket sorts move entries many times per event,
+  /// and keeping the std::function out of the entry turns each of those
+  /// moves into a plain memcpy instead of an indirect callable-manager
+  /// call. The callback lives in Payloads, indexed by the (stable)
+  /// control slot.
   struct Event {
     TimePoint When;
     uint64_t Seq;
@@ -228,21 +294,88 @@ private:
     }
   };
 
-  bool fireNext();
   /// Removes the front (minimum) heap element and returns it.
   Event popTop();
 
+  //===--- Calendar kernel -------------------------------------------===//
+
+  /// Append-only within its tick window; sorted lazily when the scan
+  /// cursor first touches it (Dirty), then drained through Cursor so a
+  /// cluster of same-timestamp events pops by pointer bumps — the batch
+  /// drain. Scheduling into the currently-draining bucket re-marks it
+  /// dirty; only the undrained tail [Cursor, end) is re-sorted, which
+  /// preserves the global order because new events always carry
+  /// When >= Now and a larger Seq than everything already drained.
+  struct CalBucket {
+    std::vector<Event> Events;
+    size_t Cursor = 0;
+    bool Dirty = false;
+  };
+
+  /// Wheel geometry: 2048 buckets of 2^16 ns (65.5 us) cover a ~134 ms
+  /// horizon — wide enough that VSync (16.7 ms) and DVFS (50–100 ms)
+  /// timers land in the wheel directly, narrow enough that a bucket
+  /// holds only a handful of events (see docs/PERFORMANCE.md for the
+  /// width derivation).
+  static constexpr unsigned BucketShift = 16;
+  static constexpr size_t BucketCount = 2048;
+  static constexpr size_t BucketMask = BucketCount - 1;
+  static constexpr size_t OccWords = BucketCount / 64;
+
+  static uint64_t tickOf(TimePoint T) {
+    return uint64_t(T.nanos()) >> BucketShift;
+  }
+
+  void calSchedule(const Event &E);
+  /// Positions CurTick on the earliest non-empty bucket (advancing the
+  /// horizon over the overflow ladder if the wheel is drained) and
+  /// returns its front entry, or nullptr when the queue is empty.
+  Event *calFront();
+  /// Consumes the entry calFront returned.
+  void calPopFront();
+  /// Moves overflow entries whose time fell inside a new wheel window
+  /// anchored at the earliest overflow tick.
+  void calAdvanceHorizon();
+  /// First occupied bucket index >= From, or BucketCount when none.
+  size_t nextOccupied(size_t From) const;
+
   TimePoint Now;
   uint64_t NextSeq = 0;
-  /// Min-heap over (When, Seq) maintained with std::push_heap/pop_heap.
-  /// Owning the vector (rather than hiding it in std::priority_queue)
-  /// lets idle() and maybeCompact() walk elements in place.
+  /// Min-heap over (When, Seq) maintained with std::push_heap/pop_heap
+  /// (Heap kernel only). Owning the vector (rather than hiding it in
+  /// std::priority_queue) lets maybeCompact() walk elements in place.
   std::vector<Event> Heap;
-  /// Slot-indexed callback storage (parallel to Ctrl->Slots). Written
-  /// once at schedule time, moved out at fire time, cleared on release
-  /// so captured state is not kept alive by a retired slot.
+  /// Slot-indexed callback storage (parallel to Ctrl->Slots; both
+  /// kernels). Written once at schedule time, moved out at fire time,
+  /// cleared on release so captured state is not kept alive by a
+  /// retired slot.
   std::vector<Payload> Payloads;
+
+  /// Calendar kernel state. The wheel covers ticks
+  /// [WindowBase, WindowBase + BucketCount); WindowBase is aligned to
+  /// BucketCount so bucket index == tick & BucketMask scans
+  /// monotonically. CurTick is the scan position; events that would
+  /// land behind it (only possible after a horizon jump past Now) are
+  /// clamped into the CurTick bucket, where (When, Seq) sorting still
+  /// pops them first.
+  std::vector<CalBucket> Buckets;
+  std::vector<Event> Overflow;
+  /// Recycled bucket storage: a fully drained bucket donates its vector
+  /// here instead of freeing it, and the next bucket to go occupied
+  /// takes one back — steady-state scheduling then touches the
+  /// allocator not at all, even though the scan constantly retires and
+  /// repopulates buckets. Bounded so an atypical burst cannot pin
+  /// memory.
+  std::vector<std::vector<Event>> BucketPool;
+  uint64_t OccBits[OccWords] = {};
+  uint64_t WindowBase = 0;
+  uint64_t CurTick = 0;
+  /// Total entries queued across wheel + overflow, including cancelled
+  /// stubs (the calendar analog of Heap.size()).
+  size_t CalSize = 0;
+
   std::shared_ptr<detail::EventControlSlab> Ctrl;
+  EventKernel Kernel;
   uint64_t Compactions = 0;
 
   /// Optional telemetry hub (owned by the experiment driver). Cached

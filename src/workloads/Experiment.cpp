@@ -15,9 +15,11 @@
 #include "support/StringUtils.h"
 #include "telemetry/StreamAggregator.h"
 #include "telemetry/Telemetry.h"
+#include "workloads/WorkloadAssets.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace greenweb;
 
@@ -240,11 +242,18 @@ makeGovernor(const ExperimentConfig &Config, AnnotationRegistry &Registry,
   return nullptr;
 }
 
+/// Host wall clock for setup-phase attribution (never simulated time).
+uint64_t hostNowNs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
 /// Shared state for one experiment run.
 struct Harness {
   explicit Harness(const ExperimentConfig &Config)
-      : Config(Config), App(makeApp(Config.AppName, Config.Seed)),
-        Chip(Sim), Meter(Chip), Collector(Registry) {
+      : Config(Config), Chip(Sim), Meter(Chip), Collector(Registry) {
+    uint64_t SetupStart = hostNowNs();
     if (Config.Tel)
       Sim.setTelemetry(Config.Tel);
     if (Config.Faults && !Config.Faults->Faults.empty()) {
@@ -256,13 +265,28 @@ struct Harness {
           Chip.enforceThermalCap();
       });
     }
-    Html = App.Html;
-    if (Config.UseAutoGreenAnnotations) {
-      AutoGreenResult Auto = runAutoGreen(Html);
-      Html = stripManualAnnotations(Html) + "\n<style>\n" +
-             Auto.GeneratedCss + "</style>\n";
+    // Warm-start eligibility: the shared assets must be for exactly
+    // this (app, seed) and the run must load the page source verbatim
+    // (AutoGreen rewrites it, so those runs stay cold).
+    Warm = Config.Warm;
+    if (Warm && (Config.UseAutoGreenAnnotations ||
+                 Warm->AppName != Config.AppName ||
+                 Warm->Seed != Config.Seed || !Warm->Snapshot.Proto))
+      Warm = nullptr;
+    if (Warm) {
+      App = &Warm->App;
+    } else {
+      OwnedApp = makeApp(Config.AppName, Config.Seed);
+      App = &OwnedApp;
+      Html = App->Html;
+      if (Config.UseAutoGreenAnnotations) {
+        AutoGreenResult Auto = runAutoGreen(Html);
+        Html = stripManualAnnotations(Html) + "\n<style>\n" +
+               Auto.GeneratedCss + "</style>\n";
+      }
     }
     Gov = makeGovernor(Config, Registry, Meter);
+    SetupHostNs += hostNowNs() - SetupStart;
   }
 
   /// Starts the measured window: zeroes the meter and chip stats, and
@@ -276,13 +300,15 @@ struct Harness {
       Injector->arm(Sim.now());
   }
 
-  /// Creates a fresh browser, loads the page, and attaches everything.
+  /// Creates a fresh browser, loads the page (restoring the shared
+  /// snapshot on warm-start runs), and attaches everything.
   void openBrowser() {
+    uint64_t SetupStart = hostNowNs();
     BrowserOptions Opts;
     Opts.RngSeed = Config.Seed;
     B = std::make_unique<Browser>(Sim, Chip, Opts);
     auto Complexity = std::make_shared<ComplexitySource>(
-        App.Complexity, Rng(Config.Seed).fork(0xC0));
+        App->Complexity, Rng(Config.Seed).fork(0xC0));
     B->FrameComplexityFn = [Complexity](uint64_t FrameId) {
       return (*Complexity)(FrameId);
     };
@@ -295,7 +321,11 @@ struct Harness {
     };
     B->addFrameObserver(&Collector);
     Gov->attach(*B);
-    B->loadPage(Html);
+    if (Warm)
+      B->loadPage(Warm->Snapshot);
+    else
+      B->loadPage(Html);
+    SetupHostNs += hostNowNs() - SetupStart;
   }
 
   void closeBrowser() {
@@ -304,8 +334,15 @@ struct Harness {
   }
 
   ExperimentConfig Config;
-  AppDefinition App;
+  /// Validated warm assets (null on cold runs).
+  const PageAssets *Warm = nullptr;
+  /// App definition built by this run (cold path only).
+  AppDefinition OwnedApp;
+  /// The run's app definition: &OwnedApp, or the shared warm copy.
+  const AppDefinition *App = nullptr;
   std::string Html;
+  /// Host-side setup wall time (diagnostic; see ExperimentResult).
+  uint64_t SetupHostNs = 0;
   Simulator Sim;
   AcmpChip Chip;
   EnergyMeter Meter;
@@ -337,6 +374,7 @@ static ExperimentResult collectResults(Harness &H, TimePoint ArmTime) {
   R.Mode = H.Config.Mode;
   R.Seed = H.Config.Seed;
 
+  R.SetupHostNs = H.SetupHostNs;
   R.TotalJoules = H.Meter.totalJoules();
   R.BigJoules = H.Meter.bigJoules();
   R.LittleJoules = H.Meter.littleJoules();
@@ -435,12 +473,12 @@ static ExperimentResult runFullExperiment(Harness &H) {
   TimePoint Origin = H.Sim.now();
   H.armMeasurement();
 
-  for (const TraceEvent &Event : H.App.Full.Events) {
+  for (const TraceEvent &Event : H.App->Full.Events) {
     H.Sim.scheduleAt(Origin + Event.At, [&H, Event] {
       H.B->dispatchInput(Event.Type, Event.TargetId);
     });
   }
-  H.Sim.runUntil(Origin + H.App.Full.SessionLength +
+  H.Sim.runUntil(Origin + H.App->Full.SessionLength +
                  Duration::seconds(2));
   ExperimentResult R = collectResults(H, Origin);
   H.closeBrowser();
@@ -448,7 +486,7 @@ static ExperimentResult runFullExperiment(Harness &H) {
 }
 
 static ExperimentResult runMicroExperiment(Harness &H) {
-  if (H.App.MicroInteraction == InteractionKind::Loading) {
+  if (H.App->MicroInteraction == InteractionKind::Loading) {
     // The interaction *is* the load: one fresh browser per repetition,
     // with the chip, meter, runtime, and its calibrated models shared
     // across repetitions.
@@ -459,7 +497,7 @@ static ExperimentResult runMicroExperiment(Harness &H) {
       if (H.B)
         H.closeBrowser();
       H.openBrowser();
-      H.Sim.runUntil(H.Sim.now() + H.App.MicroPeriod);
+      H.Sim.runUntil(H.Sim.now() + H.App->MicroPeriod);
     }
     ExperimentResult R = collectResults(H, ArmTime);
     H.closeBrowser();
@@ -476,15 +514,15 @@ static ExperimentResult runMicroExperiment(Harness &H) {
   H.B->frameTracker().clearFrames();
 
   for (unsigned Rep = 0; Rep < H.Config.MicroRepetitions; ++Rep) {
-    TimePoint RepStart = ArmTime + H.App.MicroPeriod * int64_t(Rep);
-    for (const TraceEvent &Event : H.App.Micro.Events) {
+    TimePoint RepStart = ArmTime + H.App->MicroPeriod * int64_t(Rep);
+    for (const TraceEvent &Event : H.App->Micro.Events) {
       H.Sim.scheduleAt(RepStart + Event.At, [&H, Event] {
         H.B->dispatchInput(Event.Type, Event.TargetId);
       });
     }
   }
   H.Sim.runUntil(ArmTime +
-                 H.App.MicroPeriod * int64_t(H.Config.MicroRepetitions) +
+                 H.App->MicroPeriod * int64_t(H.Config.MicroRepetitions) +
                  Duration::seconds(1));
   ExperimentResult R = collectResults(H, ArmTime);
   H.closeBrowser();
@@ -493,8 +531,18 @@ static ExperimentResult runMicroExperiment(Harness &H) {
 
 ExperimentResult greenweb::runExperiment(const ExperimentConfig &Config) {
   GW_PROF_SCOPE("workloads.experiment");
-  Harness H(Config);
-  if (Config.Mode == ExperimentMode::Full)
+  ExperimentConfig C = Config;
+  uint64_t PoolNs = 0;
+  if (!C.Warm && C.WarmPool) {
+    // The fetch may build the assets (first run for this key); that is
+    // setup work and must be attributed as such.
+    uint64_t PoolStart = hostNowNs();
+    C.Warm = &C.WarmPool->get(C.AppName, C.Seed);
+    PoolNs = hostNowNs() - PoolStart;
+  }
+  Harness H(C);
+  H.SetupHostNs += PoolNs;
+  if (C.Mode == ExperimentMode::Full)
     return runFullExperiment(H);
   return runMicroExperiment(H);
 }
@@ -531,5 +579,9 @@ greenweb::runExperimentMedian(ExperimentConfig Config,
   Result.ViolationPctImperceptible =
       MedianOf(&ExperimentResult::ViolationPctImperceptible);
   Result.ViolationPctUsable = MedianOf(&ExperimentResult::ViolationPctUsable);
+  // Setup attribution covers the whole protocol, not just the median run.
+  Result.SetupHostNs = 0;
+  for (const ExperimentResult &R : Runs)
+    Result.SetupHostNs += R.SetupHostNs;
   return Result;
 }

@@ -31,6 +31,8 @@ namespace greenweb {
 
 class Telemetry;
 struct RunSample;
+struct PageAssets;
+class WarmCache;
 
 /// Which half of Table 3 drives the run.
 enum class ExperimentMode { Micro, Full };
@@ -81,6 +83,18 @@ struct ExperimentConfig {
   /// the paper's 1 kS/s), and a closing sample is taken when results
   /// are collected so the attribution ledger covers the full window.
   Duration MeterSamplePeriod = Duration::zero();
+  /// Optional warm-start assets for this run's (app, seed). When set,
+  /// page loads restore the shared snapshot instead of parsing —
+  /// byte-identical simulated behavior, less host-side setup. Ignored
+  /// (cold load) when the run rewrites the page source
+  /// (UseAutoGreenAnnotations) or the assets don't match (app, seed).
+  /// Not owned; must outlive the run.
+  const PageAssets *Warm = nullptr;
+  /// Optional warm-asset cache. When set (and Warm is null), the run
+  /// fetches — building on first use — the shared assets for its
+  /// (app, seed) at start, so median sweeps warm every seed. Not owned;
+  /// must outlive the run. Thread-safe across parallel runs.
+  WarmCache *WarmPool = nullptr;
 };
 
 /// Per-event measurements.
@@ -141,6 +155,12 @@ struct ExperimentResult {
 
   std::vector<EventMetrics> Events;
   std::vector<std::string> ScriptErrors;
+
+  /// Host-side wall time spent on setup (app generation / page parse /
+  /// browser open) across the run, in nanoseconds. Diagnostic only:
+  /// machine-dependent, never serialized into artifacts, excluded from
+  /// determinism comparisons. Warm-start runs show this shrink.
+  uint64_t SetupHostNs = 0;
 };
 
 /// Runs a single experiment.

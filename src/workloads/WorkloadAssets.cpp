@@ -1,0 +1,36 @@
+//===- workloads/WorkloadAssets.cpp - Shared warm-start assets ------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadAssets.h"
+
+#include "profiling/Profiler.h"
+
+using namespace greenweb;
+
+PageAssets greenweb::buildPageAssets(const std::string &AppName,
+                                     uint64_t Seed) {
+  GW_PROF_SCOPE("workloads.build_assets");
+  PageAssets Assets;
+  Assets.AppName = AppName;
+  Assets.Seed = Seed;
+  Assets.App = makeApp(AppName, Seed);
+  Assets.Snapshot = capturePageSnapshot(Assets.App.Html);
+  return Assets;
+}
+
+const PageAssets &WarmCache::get(const std::string &AppName, uint64_t Seed) {
+  Slot *S;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::unique_ptr<Slot> &Entry = Slots[{AppName, Seed}];
+    if (!Entry)
+      Entry = std::make_unique<Slot>();
+    S = Entry.get();
+  }
+  std::call_once(S->Once,
+                 [&] { S->Assets = buildPageAssets(AppName, Seed); });
+  return S->Assets;
+}

@@ -1,0 +1,156 @@
+//===- tests/css/SharedIndexTest.cpp - shared index / warm cache ----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The warm-start path shares one prebuilt rule index and one cold
+// match-cache snapshot across many resolvers (one per run, over cloned
+// documents with identical node ids). These tests pin the contract:
+// shared-index matching is identical to owned-index matching, warm
+// cache adoption returns the exact cold results (counted as WarmHits),
+// and both fall back safely when the stylesheet or style version moves
+// on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "css/StyleResolver.h"
+
+#include "css/CssParser.h"
+#include "dom/Dom.h"
+#include "html/HtmlParser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+using namespace greenweb;
+using namespace greenweb::css;
+
+namespace {
+
+const char *PageHtml = R"html(
+<html>
+  <body id="top" class="page">
+    <div id="menu" class="nav hot">
+      <span class="item">A</span>
+      <span class="item cold">B</span>
+    </div>
+    <p id="text">hello</p>
+  </body>
+</html>
+)html";
+
+const char *PageCss = R"css(
+  body { color: black; }
+  .nav { color: blue; }
+  .nav .item { color: green; }
+  #menu { color: red; }
+  span { color: gray; }
+  p { color: purple; }
+)css";
+
+bool sameMatches(const std::vector<MatchedRule> &A,
+                 const std::vector<MatchedRule> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].Rule != B[I].Rule || A[I].Order != B[I].Order)
+      return false;
+  return true;
+}
+
+TEST(SharedIndexTest, SharedIndexMatchesOwnedIndex) {
+  html::ParseResult Parsed = html::parseHtml(PageHtml);
+  ASSERT_TRUE(Parsed.Doc);
+  Stylesheet Sheet = parseStylesheet(PageCss);
+
+  StyleResolver Cold(Sheet);
+  StyleResolver Shared(Sheet);
+  Shared.shareIndex(StyleResolver::buildIndex(Sheet));
+
+  Parsed.Doc->forEachElement([&](Element &E) {
+    EXPECT_TRUE(sameMatches(Cold.matchRules(E), Shared.matchRules(E)))
+        << "element " << E.tagName() << "#" << E.id();
+  });
+  // The shared resolver never built its own index.
+  EXPECT_EQ(Shared.indexStats().IndexBuilds, 0u);
+  EXPECT_GT(Cold.indexStats().IndexBuilds, 0u);
+}
+
+TEST(SharedIndexTest, WarmCacheAdoptionSkipsMatchingOnClones) {
+  html::ParseResult Parsed = html::parseHtml(PageHtml);
+  ASSERT_TRUE(Parsed.Doc);
+  Stylesheet Sheet = parseStylesheet(PageCss);
+  auto Index = StyleResolver::buildIndex(Sheet);
+
+  // Cold pass over the prototype; snapshot its cache.
+  StyleResolver Cold(Sheet);
+  Cold.shareIndex(Index);
+  Parsed.Doc->forEachElement([&](Element &E) { Cold.matchRules(E); });
+  auto Snapshot = Cold.snapshotCache();
+
+  // Warm resolver over a clone: same node ids, same style version.
+  std::unique_ptr<Document> Clone = Parsed.Doc->clone();
+  StyleResolver Warm(Sheet);
+  Warm.shareIndex(Index);
+  Warm.warmCache(Snapshot);
+
+  size_t Elements = 0;
+  Clone->forEachElement([&](Element &E) {
+    ++Elements;
+    Element *Orig = nullptr;
+    Parsed.Doc->forEachElement([&](Element &O) {
+      if (O.nodeId() == E.nodeId())
+        Orig = &O;
+    });
+    ASSERT_TRUE(Orig);
+    EXPECT_TRUE(sameMatches(Warm.matchRules(E), Cold.matchRules(*Orig)));
+  });
+  // Every first lookup adopted the warm entry instead of matching.
+  EXPECT_EQ(Warm.indexStats().WarmHits, Elements);
+}
+
+TEST(SharedIndexTest, WarmEntriesIgnoredAfterStyleVersionBump) {
+  html::ParseResult Parsed = html::parseHtml(PageHtml);
+  ASSERT_TRUE(Parsed.Doc);
+  Stylesheet Sheet = parseStylesheet(PageCss);
+
+  StyleResolver Cold(Sheet);
+  Parsed.Doc->forEachElement([&](Element &E) { Cold.matchRules(E); });
+
+  std::unique_ptr<Document> Clone = Parsed.Doc->clone();
+  StyleResolver Warm(Sheet);
+  Warm.warmCache(Cold.snapshotCache());
+
+  // Invalidate: the clone's style version moves past the snapshot's.
+  Clone->bumpStyleVersion();
+  Element *Menu = Clone->getElementById("menu");
+  ASSERT_TRUE(Menu);
+  std::vector<MatchedRule> Fresh = Warm.matchRules(*Menu);
+  EXPECT_EQ(Warm.indexStats().WarmHits, 0u);
+  // Still correct (freshly matched).
+  StyleResolver Check(Sheet);
+  EXPECT_TRUE(sameMatches(Fresh, Check.matchRules(*Menu)));
+}
+
+TEST(SharedIndexTest, StaleSharedIndexFallsBackToOwnRebuild) {
+  Document Doc;
+  Element *Div = Doc.root().createChild("div");
+  Div->addClass("a");
+
+  Stylesheet Sheet = parseStylesheet(".a { color: one; }");
+  StyleResolver Resolver(Sheet);
+  Resolver.shareIndex(StyleResolver::buildIndex(Sheet));
+  EXPECT_EQ(Resolver.matchRules(*Div).size(), 1u);
+
+  // Grow the stylesheet behind the shared index; the resolver must
+  // notice the rule-count mismatch and rebuild its own index.
+  Sheet.append(parseStylesheet("div { color: two; }"));
+  Doc.bumpStyleVersion();
+  EXPECT_EQ(Resolver.matchRules(*Div).size(), 2u);
+  EXPECT_GT(Resolver.indexStats().IndexBuilds, 0u);
+}
+
+} // namespace
