@@ -177,13 +177,19 @@ public:
 
   /// One headline scalar ("avg_session_seconds": 42.5, unit "s").
   /// \p Samples optionally carries the raw per-round measurements.
+  /// \p Note flags a caveat a reader of the committed artifact needs
+  /// (e.g. "oversubscribed: 2 jobs on 1 hardware threads") so gates can
+  /// interpret the value honestly instead of trusting the bare number.
   void scalar(const std::string &Name, double Value,
               const std::string &Unit = "",
-              const std::vector<double> &Samples = {}) {
+              const std::vector<double> &Samples = {},
+              const std::string &Note = "") {
     std::string E = formatString("    {\"name\":\"%s\",\"value\":%.6f",
                                  jsonEscape(Name).c_str(), Value);
     if (!Unit.empty())
       E += formatString(",\"unit\":\"%s\"", jsonEscape(Unit).c_str());
+    if (!Note.empty())
+      E += formatString(",\"note\":\"%s\"", jsonEscape(Note).c_str());
     if (!Samples.empty())
       E += ",\"samples\":" + sampleArray(Samples);
     E += "}";

@@ -485,13 +485,34 @@ int main(int Argc, char **Argv) {
   std::printf("sweep speedup: %.2fx with %u jobs (%u hardware threads "
               "on this host)\n\n",
               SweepSpeedup, SweepJobs, HwThreads);
+  // Bench-meta honesty: a single-core host still runs the parallel leg
+  // with >= 2 jobs (see SweepJobs above), so the "speedup" there
+  // measures oversubscription cost, not scaling. Record jobs-vs-cores
+  // in the artifact and annotate the affected scalars so readers and
+  // CI gates interpret a sub-1x value for what it is.
+  bool Oversubscribed = SweepJobs > HwThreads;
+  std::string SweepNote =
+      Oversubscribed ? formatString(
+                           "oversubscribed: %u jobs on %u hardware "
+                           "threads; measures scheduling cost, not scaling",
+                           SweepJobs, HwThreads)
+                     : "";
+  if (Oversubscribed)
+    std::printf("note: sweep leg is oversubscribed (%u jobs on %u "
+                "hardware threads); a speedup below 1x here is "
+                "context-switch overhead, not a scaling regression\n\n",
+                SweepJobs, HwThreads);
   std::printf("%s", Report.format().c_str());
 
   Json.scalar("sweep_serial_seconds", Serial, "s");
-  Json.scalar("sweep_parallel_seconds", Parallel, "s");
+  Json.scalar("sweep_parallel_seconds", Parallel, "s", {}, SweepNote);
   Json.scalar("sweep_jobs", double(SweepJobs));
-  Json.scalar("sweep_speedup", SweepSpeedup, "x");
-  Json.scalar("sweep_efficiency", Report.Efficiency);
+  Json.scalar("sweep_hardware_threads", double(HwThreads));
+  Json.scalar("jobs_vs_cores",
+              HwThreads ? double(SweepJobs) / double(HwThreads) : 0.0,
+              "x", {}, SweepNote);
+  Json.scalar("sweep_speedup", SweepSpeedup, "x", {}, SweepNote);
+  Json.scalar("sweep_efficiency", Report.Efficiency, "", {}, SweepNote);
   Json.scalar("sweep_imbalance_fraction", Report.ImbalanceFraction);
   Json.scalar("sweep_overhead_fraction", Report.OverheadFraction);
   Json.scalar("sweep_merge_fraction", Report.MergeFraction);

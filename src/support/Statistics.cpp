@@ -101,3 +101,18 @@ void RunningStat::merge(const RunningStat &O) {
 }
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+RunningStatState RunningStat::state() const {
+  return {N, Sum, Min, Max, WelfordMean, M2};
+}
+
+RunningStat RunningStat::fromState(const RunningStatState &S) {
+  RunningStat R;
+  R.N = S.N;
+  R.Sum = S.Sum;
+  R.Min = S.Min;
+  R.Max = S.Max;
+  R.WelfordMean = S.WelfordMean;
+  R.M2 = S.M2;
+  return R;
+}

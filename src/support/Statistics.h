@@ -38,6 +38,20 @@ double geomean(const std::vector<double> &Values, double Epsilon = 1e-9);
 /// P-th percentile with linear interpolation, P in [0, 100].
 double percentile(std::vector<double> Values, double P);
 
+/// Raw accumulator state exposed for exact round-trips through durable
+/// checkpoints (fleet runs resume mid-population). The fields mirror
+/// RunningStat's internals bit-for-bit; an accumulator restored from a
+/// saved state continues exactly where the original stopped, so a
+/// resumed fold reproduces an uninterrupted run byte-for-byte.
+struct RunningStatState {
+  size_t N = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double WelfordMean = 0.0;
+  double M2 = 0.0;
+};
+
 /// Streaming accumulator for count/mean/min/max/sum plus Welford-style
 /// variance, without storing samples. Useful inside the simulator's hot
 /// paths and for histogram summaries.
@@ -59,6 +73,11 @@ public:
   double variance() const { return N < 2 ? 0.0 : M2 / double(N); }
   /// Population standard deviation; matches stddev() on the same data.
   double stddev() const;
+
+  /// Snapshots the raw accumulator state (see RunningStatState).
+  RunningStatState state() const;
+  /// Rebuilds an accumulator from a saved state, bit-identically.
+  static RunningStat fromState(const RunningStatState &S);
 
 private:
   size_t N = 0;

@@ -1,0 +1,551 @@
+//===- telemetry/FleetReport.cpp - Fleet checkpoints and reports ----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/FleetReport.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace greenweb;
+
+uint64_t greenweb::fleetHash(std::string_view Text) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// FleetState
+//===----------------------------------------------------------------------===//
+
+void FleetState::noteDevice(FleetWorstDevice D) {
+  auto WorseThan = [](const FleetWorstDevice &A, const FleetWorstDevice &B) {
+    if (A.ViolationPct != B.ViolationPct)
+      return A.ViolationPct > B.ViolationPct;
+    if (A.Joules != B.Joules)
+      return A.Joules > B.Joules;
+    return A.Item < B.Item;
+  };
+  auto It = std::lower_bound(Worst.begin(), Worst.end(), D, WorseThan);
+  Worst.insert(It, std::move(D));
+  if (Worst.size() > WorstKCapacity)
+    Worst.resize(WorstKCapacity);
+}
+
+void FleetState::noteWarmKey(const std::string &Key) {
+  auto It = std::lower_bound(WarmKeys.begin(), WarmKeys.end(), Key);
+  if (It == WarmKeys.end() || *It != Key)
+    WarmKeys.insert(It, Key);
+}
+
+namespace {
+
+std::string hexDouble(double X) { return formatString("\"%a\"", X); }
+
+double parseHexDouble(const json::Value &V, std::string_view Key) {
+  const json::Value *F = V.get(Key);
+  if (!F || !F->isString())
+    return 0.0;
+  return std::strtod(F->Str.c_str(), nullptr);
+}
+
+} // namespace
+
+std::string FleetState::toJson() const {
+  std::string Out = "{\"agg\":" + Agg.stateJson() + ",\"shards\":[";
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    const FleetShardRollup &R = Shards[I];
+    if (I)
+      Out += ",";
+    Out += formatString("{\"shard\":%llu,\"first_item\":%llu,"
+                        "\"items\":%llu,\"qos\":%llu,\"alerts\":%llu,"
+                        "\"joules\":",
+                        static_cast<unsigned long long>(R.Shard),
+                        static_cast<unsigned long long>(R.FirstItem),
+                        static_cast<unsigned long long>(R.Items),
+                        static_cast<unsigned long long>(R.QosViolations),
+                        static_cast<unsigned long long>(R.Alerts));
+    Out += hexDouble(R.Joules);
+    Out += formatString(",\"worst_item\":%llu,\"worst_label\":\"%s\","
+                        "\"worst_violation_pct\":",
+                        static_cast<unsigned long long>(R.WorstItem),
+                        jsonEscape(R.WorstLabel).c_str());
+    Out += hexDouble(R.WorstViolationPct) + "}";
+  }
+  Out += "],\"worst\":[";
+  for (size_t I = 0; I < Worst.size(); ++I) {
+    const FleetWorstDevice &D = Worst[I];
+    if (I)
+      Out += ",";
+    Out += formatString("{\"item\":%llu,\"label\":\"%s\","
+                        "\"violation_pct\":",
+                        static_cast<unsigned long long>(D.Item),
+                        jsonEscape(D.Label).c_str());
+    Out += hexDouble(D.ViolationPct) + ",\"joules\":" + hexDouble(D.Joules);
+    Out += formatString(",\"alerts\":%llu,\"black_box\":\"%s\"}",
+                        static_cast<unsigned long long>(D.Alerts),
+                        jsonEscape(D.BlackBoxRef).c_str());
+  }
+  Out += "],\"warm_keys\":[";
+  for (size_t I = 0; I < WarmKeys.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += formatString("\"%s\"", jsonEscape(WarmKeys[I]).c_str());
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool FleetState::fromJson(const json::Value &V, FleetState &Out,
+                          std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (!V.isObject())
+    return Fail("fleet state is not an object");
+  FleetState S;
+  const json::Value *Agg = V.get("agg");
+  if (!Agg || !StreamAggregator::fromStateJson(*Agg, S.Agg, Error))
+    return false;
+  const json::Value *Shards = V.get("shards");
+  if (!Shards || !Shards->isArray())
+    return Fail("fleet state has no shard array");
+  for (const json::Value &E : Shards->Arr) {
+    if (!E.isObject())
+      return Fail("malformed shard rollup");
+    FleetShardRollup R;
+    R.Shard = uint64_t(E.numberOr("shard", 0));
+    R.FirstItem = uint64_t(E.numberOr("first_item", 0));
+    R.Items = uint64_t(E.numberOr("items", 0));
+    R.QosViolations = uint64_t(E.numberOr("qos", 0));
+    R.Alerts = uint64_t(E.numberOr("alerts", 0));
+    R.Joules = parseHexDouble(E, "joules");
+    R.WorstItem = uint64_t(E.numberOr("worst_item", 0));
+    R.WorstLabel = E.stringOr("worst_label", "");
+    R.WorstViolationPct = parseHexDouble(E, "worst_violation_pct");
+    S.Shards.push_back(std::move(R));
+  }
+  const json::Value *Worst = V.get("worst");
+  if (!Worst || !Worst->isArray())
+    return Fail("fleet state has no worst-device array");
+  for (const json::Value &E : Worst->Arr) {
+    if (!E.isObject())
+      return Fail("malformed worst-device entry");
+    FleetWorstDevice D;
+    D.Item = uint64_t(E.numberOr("item", 0));
+    D.Label = E.stringOr("label", "");
+    D.ViolationPct = parseHexDouble(E, "violation_pct");
+    D.Joules = parseHexDouble(E, "joules");
+    D.Alerts = uint64_t(E.numberOr("alerts", 0));
+    D.BlackBoxRef = E.stringOr("black_box", "");
+    S.Worst.push_back(std::move(D));
+  }
+  const json::Value *Warm = V.get("warm_keys");
+  if (!Warm || !Warm->isArray())
+    return Fail("fleet state has no warm-key array");
+  for (const json::Value &E : Warm->Arr) {
+    if (!E.isString())
+      return Fail("malformed warm key");
+    S.WarmKeys.push_back(E.Str);
+  }
+  Out = std::move(S);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// FleetCheckpoint
+//===----------------------------------------------------------------------===//
+
+bool FleetCheckpoint::done(uint64_t Item) const {
+  size_t Byte = size_t(Item / 8);
+  return Byte < DoneBitmap.size() &&
+         (DoneBitmap[Byte] >> (Item % 8)) & 1u;
+}
+
+void FleetCheckpoint::markDone(uint64_t Item) {
+  size_t Byte = size_t(Item / 8);
+  if (DoneBitmap.size() < (ItemsTotal + 7) / 8)
+    DoneBitmap.resize((ItemsTotal + 7) / 8, 0);
+  if (Byte < DoneBitmap.size())
+    DoneBitmap[Byte] |= uint8_t(1u << (Item % 8));
+}
+
+uint64_t FleetCheckpoint::doneCount() const {
+  uint64_t N = 0;
+  for (uint64_t I = 0; I < ItemsTotal; ++I)
+    N += done(I) ? 1 : 0;
+  return N;
+}
+
+std::string FleetCheckpoint::serialize() const {
+  std::string P = formatString(
+      "{\"kind\":\"fleet_checkpoint\",\"schema\":1,\"plan_name\":\"%s\","
+      "\"plan_hash\":\"%016llx\",\"baseline_governor\":\"%s\","
+      "\"items_total\":%llu,\"items_done\":%llu,\"bitmap\":\"",
+      jsonEscape(PlanName).c_str(),
+      static_cast<unsigned long long>(PlanHash),
+      jsonEscape(BaselineGovernor).c_str(),
+      static_cast<unsigned long long>(ItemsTotal),
+      static_cast<unsigned long long>(doneCount()));
+  std::vector<uint8_t> Bits = DoneBitmap;
+  Bits.resize((ItemsTotal + 7) / 8, 0);
+  for (uint8_t B : Bits)
+    P += formatString("%02x", B);
+  P += "\",\"state\":" + State.toJson();
+  if (!ReportJson.empty())
+    P += ",\"report\":" + ReportJson;
+  // Integrity footer: everything before the footer is covered by the
+  // length + FNV-1a checksum, so a torn or bit-flipped file is rejected
+  // at load instead of silently resuming from garbage.
+  P += formatString(",\"payload_length\":%llu,\"checksum\":\"%016llx\"}\n",
+                    static_cast<unsigned long long>(P.size()),
+                    static_cast<unsigned long long>(fleetHash(P)));
+  return P;
+}
+
+bool FleetCheckpoint::load(const std::string &Text, FleetCheckpoint &Out,
+                           std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  size_t Footer = Text.rfind(",\"payload_length\":");
+  if (Footer == std::string::npos)
+    return Fail("not a fleet checkpoint (no integrity footer)");
+  std::string ParseError;
+  auto Doc = json::parse(Text, &ParseError);
+  if (!Doc || !Doc->isObject())
+    return Fail("not a fleet checkpoint (" +
+                (ParseError.empty() ? "unparseable" : ParseError) + ")");
+  if (Doc->stringOr("kind", "") != "fleet_checkpoint")
+    return Fail("not a fleet checkpoint (kind mismatch)");
+  if (int(Doc->numberOr("schema", 0)) != 1)
+    return Fail("unsupported fleet checkpoint schema");
+  uint64_t Length = uint64_t(Doc->numberOr("payload_length", 0));
+  if (Length != Footer)
+    return Fail(formatString("checkpoint corrupt: payload length %llu "
+                             "does not match the %llu bytes on disk "
+                             "(truncated or edited)",
+                             static_cast<unsigned long long>(Length),
+                             static_cast<unsigned long long>(Footer)));
+  uint64_t Sum = std::strtoull(Doc->stringOr("checksum", "0").c_str(),
+                               nullptr, 16);
+  uint64_t Actual = fleetHash(std::string_view(Text).substr(0, Footer));
+  if (Sum != Actual)
+    return Fail(formatString("checkpoint corrupt: checksum %016llx does "
+                             "not match recomputed %016llx",
+                             static_cast<unsigned long long>(Sum),
+                             static_cast<unsigned long long>(Actual)));
+
+  FleetCheckpoint C;
+  C.PlanName = Doc->stringOr("plan_name", "");
+  C.PlanHash = std::strtoull(Doc->stringOr("plan_hash", "0").c_str(),
+                             nullptr, 16);
+  C.BaselineGovernor = Doc->stringOr("baseline_governor", "");
+  C.ItemsTotal = uint64_t(Doc->numberOr("items_total", 0));
+  std::string Bitmap = Doc->stringOr("bitmap", "");
+  if (Bitmap.size() != 2 * ((C.ItemsTotal + 7) / 8))
+    return Fail("checkpoint corrupt: bitmap length mismatch");
+  for (size_t I = 0; I + 1 < Bitmap.size(); I += 2) {
+    unsigned B = 0;
+    if (std::sscanf(Bitmap.c_str() + I, "%02x", &B) != 1)
+      return Fail("checkpoint corrupt: bitmap is not hex");
+    C.DoneBitmap.push_back(uint8_t(B));
+  }
+  const json::Value *S = Doc->get("state");
+  std::string StateError;
+  if (!S || !FleetState::fromJson(*S, C.State, &StateError))
+    return Fail("checkpoint corrupt: " +
+                (StateError.empty() ? "no state section" : StateError));
+  C.ReportJson = fleetReportSectionFromArtifact(Text);
+  Out = std::move(C);
+  return true;
+}
+
+std::string
+greenweb::fleetReportSectionFromArtifact(const std::string &Text) {
+  size_t Key = Text.find(",\"report\":{");
+  if (Key == std::string::npos)
+    return {};
+  size_t Open = Text.find('{', Key);
+  // Balanced-brace scan, skipping string contents (labels may hold
+  // arbitrary escaped text).
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = Open; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{')
+      ++Depth;
+    else if (C == '}' && --Depth == 0)
+      return Text.substr(Open, I - Open + 1);
+  }
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// FleetReport
+//===----------------------------------------------------------------------===//
+
+FleetReport FleetReport::fromCheckpoint(const FleetCheckpoint &C) {
+  FleetReport R;
+  R.PlanName = C.PlanName;
+  R.BaselineGovernor = C.BaselineGovernor;
+  R.ItemsTotal = C.ItemsTotal;
+  R.ItemsDone = C.doneCount();
+  R.State = C.State;
+  return R;
+}
+
+namespace {
+
+std::string sketchReportJson(const QuantileSketch &Q) {
+  return formatString("{\"count\":%llu,\"p50\":%.4f,\"p90\":%.4f,"
+                      "\"p99\":%.4f,\"max\":%.4f}",
+                      static_cast<unsigned long long>(Q.count()),
+                      Q.quantile(0.5), Q.quantile(0.9), Q.quantile(0.99),
+                      Q.max());
+}
+
+std::string groupReportJson(const StreamAggregator::Group &G) {
+  const Histogram &V = G.ViolationPct;
+  return formatString(
+             "{\"runs\":%llu,\"mean_joules\":%.6f,"
+             "\"violation_pct_mean\":%.4f,\"violation_pct_p50\":%.4f,"
+             "\"violation_pct_p99\":%.4f,\"frame_latency_ms\":",
+             static_cast<unsigned long long>(G.Runs),
+             G.Runs ? G.Joules / double(G.Runs) : 0.0,
+             V.summary().count() ? V.summary().mean() : 0.0,
+             V.quantile(0.5), V.quantile(0.99)) +
+         sketchReportJson(G.FrameLatencyMs) + ",\"energy_per_frame_mj\":" +
+         sketchReportJson(G.EnergyPerFrameMj) + "}";
+}
+
+} // namespace
+
+std::string FleetReport::toJson() const {
+  const StreamAggregator &A = State.Agg;
+  const StreamAggregator::Group &T = A.total();
+  std::string Out = formatString(
+      "{\"kind\":\"fleet_report\",\"plan\":\"%s\","
+      "\"baseline_governor\":\"%s\",\"items_total\":%llu,"
+      "\"items_done\":%llu,\"population\":{\"runs\":%llu,"
+      "\"frames\":%llu,\"qos_violations\":%llu,\"alerts\":%llu,"
+      "\"joules_total\":%.4f,\"violation_pct_le\":[",
+      jsonEscape(PlanName).c_str(), jsonEscape(BaselineGovernor).c_str(),
+      static_cast<unsigned long long>(ItemsTotal),
+      static_cast<unsigned long long>(ItemsDone),
+      static_cast<unsigned long long>(T.Runs),
+      static_cast<unsigned long long>(T.Frames),
+      static_cast<unsigned long long>(T.QosViolations),
+      static_cast<unsigned long long>(T.Alerts), T.Joules);
+  const std::vector<double> &Bounds = T.ViolationPct.upperBounds();
+  for (size_t I = 0; I < Bounds.size(); ++I)
+    Out += formatString(I ? ",%.1f" : "%.1f", Bounds[I]);
+  Out += "],\"violation_pct_counts\":[";
+  const std::vector<uint64_t> &Counts = T.ViolationPct.bucketCounts();
+  for (size_t I = 0; I < Counts.size(); ++I)
+    Out += formatString(I ? ",%llu" : "%llu",
+                        static_cast<unsigned long long>(Counts[I]));
+  Out += "],\"frame_latency_ms\":" + sketchReportJson(T.FrameLatencyMs);
+  Out +=
+      ",\"energy_per_frame_mj\":" + sketchReportJson(T.EnergyPerFrameMj);
+  Out += "}";
+
+  auto Section = [&Out](const char *Key,
+                        const std::map<std::string,
+                                       StreamAggregator::Group> &Groups) {
+    Out += formatString(",\"%s\":{", Key);
+    bool First = true;
+    for (const auto &[Name, G] : Groups) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += formatString("\"%s\":", jsonEscape(Name).c_str());
+      Out += groupReportJson(G);
+    }
+    Out += "}";
+  };
+  Section("by_app", A.byApp());
+  Section("by_governor", A.byGovernor());
+
+  // Energy extrapolation: mean per-session joules vs the baseline
+  // governor, scaled to one million users (1 session each). 3.6e6 J
+  // per kWh.
+  double BaselineMean = 0.0;
+  auto BIt = A.byGovernor().find(BaselineGovernor);
+  if (BIt != A.byGovernor().end() && BIt->second.Runs)
+    BaselineMean = BIt->second.Joules / double(BIt->second.Runs);
+  Out += formatString(",\"energy_extrapolation\":{"
+                      "\"baseline_mean_joules\":%.6f,\"per_governor\":{",
+                      BaselineMean);
+  bool First = true;
+  for (const auto &[Name, G] : A.byGovernor()) {
+    if (Name == BaselineGovernor || G.Runs == 0)
+      continue;
+    double Mean = G.Joules / double(G.Runs);
+    double SavedJ = BaselineMean - Mean;
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += formatString("\"%s\":{\"mean_joules\":%.6f,"
+                        "\"saved_pct\":%.4f,\"saved_j_per_run\":%.6f,"
+                        "\"saved_kwh_per_million_users\":%.4f}",
+                        jsonEscape(Name).c_str(), Mean,
+                        BaselineMean > 0.0 ? 100.0 * SavedJ / BaselineMean
+                                           : 0.0,
+                        SavedJ, SavedJ / 3.6);
+  }
+  Out += "}}";
+
+  Out += ",\"shards\":[";
+  for (size_t I = 0; I < State.Shards.size(); ++I) {
+    const FleetShardRollup &R = State.Shards[I];
+    if (I)
+      Out += ",";
+    Out += formatString(
+        "{\"shard\":%llu,\"first_item\":%llu,\"items\":%llu,"
+        "\"qos_violations\":%llu,\"alerts\":%llu,\"joules\":%.4f,"
+        "\"worst_item\":%llu,\"worst_label\":\"%s\","
+        "\"worst_violation_pct\":%.4f}",
+        static_cast<unsigned long long>(R.Shard),
+        static_cast<unsigned long long>(R.FirstItem),
+        static_cast<unsigned long long>(R.Items),
+        static_cast<unsigned long long>(R.QosViolations),
+        static_cast<unsigned long long>(R.Alerts), R.Joules,
+        static_cast<unsigned long long>(R.WorstItem),
+        jsonEscape(R.WorstLabel).c_str(), R.WorstViolationPct);
+  }
+  Out += "],\"worst_devices\":[";
+  for (size_t I = 0; I < State.Worst.size(); ++I) {
+    const FleetWorstDevice &D = State.Worst[I];
+    if (I)
+      Out += ",";
+    Out += formatString("{\"item\":%llu,\"label\":\"%s\","
+                        "\"violation_pct\":%.4f,\"joules\":%.4f,"
+                        "\"alerts\":%llu,\"black_box\":\"%s\"}",
+                        static_cast<unsigned long long>(D.Item),
+                        jsonEscape(D.Label).c_str(), D.ViolationPct,
+                        D.Joules,
+                        static_cast<unsigned long long>(D.Alerts),
+                        jsonEscape(D.BlackBoxRef).c_str());
+  }
+  uint64_t Requests = A.runs();
+  uint64_t Builds = State.WarmKeys.size();
+  Out += formatString("],\"warm_pool\":{\"requests\":%llu,"
+                      "\"builds\":%llu,\"hit_rate\":%.4f}}",
+                      static_cast<unsigned long long>(Requests),
+                      static_cast<unsigned long long>(Builds),
+                      Requests ? 1.0 - double(Builds) / double(Requests)
+                               : 0.0);
+  return Out;
+}
+
+std::string FleetReport::format() const {
+  const StreamAggregator &A = State.Agg;
+  const StreamAggregator::Group &T = A.total();
+  std::string Out = formatString(
+      "fleet report: %s — %llu/%llu items, %llu runs, %llu frames\n"
+      "population: %.2f J total, %llu QoS violations, %llu alerts\n",
+      PlanName.c_str(), static_cast<unsigned long long>(ItemsDone),
+      static_cast<unsigned long long>(ItemsTotal),
+      static_cast<unsigned long long>(T.Runs),
+      static_cast<unsigned long long>(T.Frames), T.Joules,
+      static_cast<unsigned long long>(T.QosViolations),
+      static_cast<unsigned long long>(T.Alerts));
+  Out += formatString("frame latency: p50 %.2f ms, p90 %.2f ms, "
+                      "p99 %.2f ms (n=%llu)\n",
+                      T.FrameLatencyMs.quantile(0.5),
+                      T.FrameLatencyMs.quantile(0.9),
+                      T.FrameLatencyMs.quantile(0.99),
+                      static_cast<unsigned long long>(
+                          T.FrameLatencyMs.count()));
+
+  Out += "\nviolation %% distribution (runs per band):\n";
+  const std::vector<double> &Bounds = T.ViolationPct.upperBounds();
+  const std::vector<uint64_t> &Counts = T.ViolationPct.bucketCounts();
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    if (Counts[I] == 0)
+      continue;
+    if (I < Bounds.size())
+      Out += formatString("  <= %5.1f%% : %llu\n", Bounds[I],
+                          static_cast<unsigned long long>(Counts[I]));
+    else
+      Out += formatString("   > %5.1f%% : %llu\n", Bounds.back(),
+                          static_cast<unsigned long long>(Counts[I]));
+  }
+
+  Out += formatString("\n  %-14s %6s %10s %10s %10s %10s\n", "governor",
+                      "runs", "mean J", "viol p50", "viol p99",
+                      "frame p99");
+  for (const auto &[Name, G] : A.byGovernor())
+    Out += formatString("  %-14s %6llu %10.4f %9.2f%% %9.2f%% %8.2fms\n",
+                        Name.c_str(),
+                        static_cast<unsigned long long>(G.Runs),
+                        G.Runs ? G.Joules / double(G.Runs) : 0.0,
+                        G.ViolationPct.quantile(0.5),
+                        G.ViolationPct.quantile(0.99),
+                        G.FrameLatencyMs.quantile(0.99));
+
+  double BaselineMean = 0.0;
+  auto BIt = A.byGovernor().find(BaselineGovernor);
+  if (BIt != A.byGovernor().end() && BIt->second.Runs)
+    BaselineMean = BIt->second.Joules / double(BIt->second.Runs);
+  if (BaselineMean > 0.0) {
+    Out += formatString("\nenergy vs %s (%.4f J/session):\n",
+                        BaselineGovernor.c_str(), BaselineMean);
+    for (const auto &[Name, G] : A.byGovernor()) {
+      if (Name == BaselineGovernor || G.Runs == 0)
+        continue;
+      double Mean = G.Joules / double(G.Runs);
+      double SavedJ = BaselineMean - Mean;
+      Out += formatString("  %-14s %+7.2f%%  %+9.4f J/session  "
+                          "%+10.2f kWh per 1M users\n",
+                          Name.c_str(), 100.0 * SavedJ / BaselineMean,
+                          SavedJ, SavedJ / 3.6);
+    }
+  }
+
+  if (!State.Worst.empty()) {
+    Out += "\nworst devices (violation %, black box when recorded):\n";
+    for (const FleetWorstDevice &D : State.Worst)
+      Out += formatString("  #%-6llu %-40s %6.2f%%  %8.4f J%s%s\n",
+                          static_cast<unsigned long long>(D.Item),
+                          D.Label.c_str(), D.ViolationPct, D.Joules,
+                          D.BlackBoxRef.empty() ? "" : "  bb:",
+                          D.BlackBoxRef.c_str());
+  }
+
+  uint64_t Requests = A.runs();
+  uint64_t Builds = State.WarmKeys.size();
+  Out += formatString("\n%zu shard(s); warm pool: %llu requests, "
+                      "%llu builds, %.1f%% hit rate\n",
+                      State.Shards.size(),
+                      static_cast<unsigned long long>(Requests),
+                      static_cast<unsigned long long>(Builds),
+                      Requests
+                          ? 100.0 * (1.0 - double(Builds) / double(Requests))
+                          : 0.0);
+  return Out;
+}

@@ -45,6 +45,14 @@ void Histogram::reset() {
   Summary = RunningStat();
 }
 
+void Histogram::restore(std::vector<uint64_t> BucketCounts,
+                        const RunningStat &S) {
+  assert(BucketCounts.size() == UpperBounds.size() + 1 &&
+         "restored counts must match the bucket layout");
+  Counts = std::move(BucketCounts);
+  Summary = S;
+}
+
 double Histogram::quantile(double Q) const {
   uint64_t Total = Summary.count();
   if (Total == 0)

@@ -83,6 +83,12 @@ public:
   const RunningStat &summary() const { return Summary; }
   void reset();
 
+  /// Exact state restore for durable checkpoints: replaces the bucket
+  /// counts and summary wholesale (the bucket layout stays as
+  /// constructed). \p BucketCounts must have upperBounds().size() + 1
+  /// entries; asserts otherwise.
+  void restore(std::vector<uint64_t> BucketCounts, const RunningStat &S);
+
 private:
   std::vector<double> UpperBounds;
   std::vector<uint64_t> Counts;

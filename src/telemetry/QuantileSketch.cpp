@@ -1,0 +1,152 @@
+//===- telemetry/QuantileSketch.cpp - Mergeable quantile digest -----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/QuantileSketch.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+using namespace greenweb;
+
+namespace {
+
+constexpr int32_t S = QuantileSketch::SubBucketsPerOctave;
+
+/// Octaves outside [-40, 40] saturate into the edge buckets: values
+/// below ~9e-13 or above ~2.2e12 are beyond anything the simulator
+/// measures (milliseconds, millijoules), and a bounded key range keeps
+/// hostile inputs from growing the map without bound.
+constexpr int32_t MinKey = -40 * S;
+constexpr int32_t MaxKey = 40 * S + (S - 1);
+
+/// Bucket midpoint: key = octave*S + j covers [2^e*(1+j/S),
+/// 2^e*(1+(j+1)/S)). ldexp and the linear arithmetic are exact IEEE
+/// operations, so the representative is bit-stable everywhere.
+double bucketMid(int32_t Key) {
+  int32_t Oct = Key >= 0 ? Key / S : -((-Key + S - 1) / S);
+  int32_t J = Key - Oct * S;
+  double LoB = std::ldexp(1.0 + double(J) / S, Oct);
+  double HiB = std::ldexp(1.0 + double(J + 1) / S, Oct);
+  return 0.5 * (LoB + HiB);
+}
+
+} // namespace
+
+void QuantileSketch::observe(double X) {
+  if (!std::isfinite(X))
+    return;
+  double V = X <= 0.0 ? 0.0 : X;
+  if (Count == 0) {
+    Lo = Hi = V;
+  } else {
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  ++Count;
+  if (V == 0.0) {
+    ++ZeroCount;
+    return;
+  }
+  int E;
+  double M = std::frexp(V, &E); // V = M * 2^E, M in [0.5, 1).
+  double F = M * 2.0;           // F in [1, 2), V = F * 2^(E-1).
+  int32_t J = int32_t((F - 1.0) * double(S));
+  J = std::min(J, S - 1);
+  int32_t Key = (E - 1) * S + J;
+  Key = std::min(std::max(Key, MinKey), MaxKey);
+  ++Buckets[Key];
+}
+
+void QuantileSketch::mergeFrom(const QuantileSketch &O) {
+  if (O.Count == 0)
+    return;
+  if (Count == 0) {
+    Lo = O.Lo;
+    Hi = O.Hi;
+  } else {
+    Lo = std::min(Lo, O.Lo);
+    Hi = std::max(Hi, O.Hi);
+  }
+  Count += O.Count;
+  ZeroCount += O.ZeroCount;
+  for (const auto &[Key, N] : O.Buckets)
+    Buckets[Key] += N;
+}
+
+double QuantileSketch::quantile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  uint64_t Rank = uint64_t(Q * double(Count - 1));
+  if (Rank < ZeroCount)
+    return 0.0;
+  uint64_t Cum = ZeroCount;
+  for (const auto &[Key, N] : Buckets) {
+    Cum += N;
+    if (Rank < Cum)
+      return std::min(std::max(bucketMid(Key), Lo), Hi);
+  }
+  return Hi;
+}
+
+std::string QuantileSketch::serialize() const {
+  std::string Out = formatString(
+      "{\"s\":%d,\"count\":%llu,\"zero\":%llu,\"min\":\"%a\","
+      "\"max\":\"%a\",\"buckets\":[",
+      int(S), static_cast<unsigned long long>(Count),
+      static_cast<unsigned long long>(ZeroCount), min(), max());
+  bool First = true;
+  for (const auto &[Key, N] : Buckets) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += formatString("[%d,%llu]", int(Key),
+                        static_cast<unsigned long long>(N));
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool QuantileSketch::deserialize(const json::Value &V, QuantileSketch &Out,
+                                 std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (!V.isObject())
+    return Fail("sketch state is not an object");
+  if (int(V.numberOr("s", 0)) != S)
+    return Fail("sketch sub-bucket constant mismatch");
+  QuantileSketch Q;
+  Q.Count = uint64_t(V.numberOr("count", 0));
+  Q.ZeroCount = uint64_t(V.numberOr("zero", 0));
+  Q.Lo = std::strtod(V.stringOr("min", "0x0p+0").c_str(), nullptr);
+  Q.Hi = std::strtod(V.stringOr("max", "0x0p+0").c_str(), nullptr);
+  const json::Value *Buckets = V.get("buckets");
+  if (!Buckets || !Buckets->isArray())
+    return Fail("sketch state has no bucket array");
+  uint64_t Sum = Q.ZeroCount;
+  for (const json::Value &Entry : Buckets->Arr) {
+    if (!Entry.isArray() || Entry.Arr.size() != 2 ||
+        !Entry.Arr[0].isNumber() || !Entry.Arr[1].isNumber())
+      return Fail("malformed sketch bucket entry");
+    int32_t Key = int32_t(Entry.Arr[0].Num);
+    uint64_t N = uint64_t(Entry.Arr[1].Num);
+    if (Key < MinKey || Key > MaxKey)
+      return Fail("sketch bucket key out of range");
+    Q.Buckets[Key] += N;
+    Sum += N;
+  }
+  if (Sum != Q.Count)
+    return Fail("sketch bucket counts do not sum to the sample count");
+  Out = std::move(Q);
+  return true;
+}

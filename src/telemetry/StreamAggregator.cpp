@@ -6,7 +6,10 @@
 
 #include "telemetry/StreamAggregator.h"
 
+#include "support/Json.h"
 #include "support/StringUtils.h"
+
+#include <cstdlib>
 
 using namespace greenweb;
 
@@ -43,6 +46,10 @@ void StreamAggregator::fold(Group &G, const RunSample &S) {
   G.Joules += S.Joules;
   G.EnergyJ.observe(S.Joules);
   G.ViolationPct.observe(S.ViolationPct);
+  for (double L : S.FrameLatenciesMs)
+    G.FrameLatencyMs.observe(L);
+  if (S.Frames > 0)
+    G.EnergyPerFrameMj.observe(S.Joules * 1000.0 / double(S.Frames));
 }
 
 void StreamAggregator::merge(Group &G, const Group &O) {
@@ -53,6 +60,8 @@ void StreamAggregator::merge(Group &G, const Group &O) {
   G.Joules += O.Joules;
   G.EnergyJ.mergeFrom(O.EnergyJ);
   G.ViolationPct.mergeFrom(O.ViolationPct);
+  G.FrameLatencyMs.mergeFrom(O.FrameLatencyMs);
+  G.EnergyPerFrameMj.mergeFrom(O.EnergyPerFrameMj);
 }
 
 void StreamAggregator::addRun(const RunSample &S) {
@@ -81,6 +90,14 @@ std::string histJson(const Histogram &H) {
                       H.quantile(0.99));
 }
 
+std::string sketchJson(const QuantileSketch &Q) {
+  return formatString("{\"count\":%llu,\"p50\":%.4f,\"p90\":%.4f,"
+                      "\"p99\":%.4f,\"max\":%.4f}",
+                      static_cast<unsigned long long>(Q.count()),
+                      Q.quantile(0.5), Q.quantile(0.9), Q.quantile(0.99),
+                      Q.max());
+}
+
 } // namespace
 
 std::string StreamAggregator::groupJson(const Group &G) {
@@ -92,7 +109,9 @@ std::string StreamAggregator::groupJson(const Group &G) {
                       static_cast<unsigned long long>(G.QosViolations),
                       static_cast<unsigned long long>(G.Alerts), G.Joules) +
          histJson(G.EnergyJ) +
-         ",\"violation_pct\":" + histJson(G.ViolationPct) + "}";
+         ",\"violation_pct\":" + histJson(G.ViolationPct) +
+         ",\"frame_latency_ms\":" + sketchJson(G.FrameLatencyMs) +
+         ",\"energy_per_frame_mj\":" + sketchJson(G.EnergyPerFrameMj) + "}";
 }
 
 std::string StreamAggregator::toJson() const {
@@ -115,4 +134,182 @@ std::string StreamAggregator::toJson() const {
   Section("by_governor", ByGovernor);
   Out += "}\n";
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Exact state round-trip (fleet checkpoints)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Hexfloats round-trip doubles exactly through strtod, unlike any
+/// fixed decimal format — the whole point of the state serialization.
+std::string hexDouble(double X) { return formatString("\"%a\"", X); }
+
+double parseHexDouble(const json::Value &V, std::string_view Key) {
+  const json::Value *F = V.get(Key);
+  if (!F || !F->isString())
+    return 0.0;
+  return std::strtod(F->Str.c_str(), nullptr);
+}
+
+std::string statStateJson(const RunningStat &S) {
+  RunningStatState St = S.state();
+  return formatString("{\"n\":%llu,\"sum\":", static_cast<unsigned long long>(
+                                                  St.N)) +
+         hexDouble(St.Sum) + ",\"min\":" + hexDouble(St.Min) +
+         ",\"max\":" + hexDouble(St.Max) +
+         ",\"mean\":" + hexDouble(St.WelfordMean) +
+         ",\"m2\":" + hexDouble(St.M2) + "}";
+}
+
+bool statFromJson(const json::Value &V, RunningStat &Out,
+                  std::string *Error) {
+  if (!V.isObject()) {
+    if (Error)
+      *Error = "running-stat state is not an object";
+    return false;
+  }
+  RunningStatState St;
+  St.N = size_t(V.numberOr("n", 0));
+  St.Sum = parseHexDouble(V, "sum");
+  St.Min = parseHexDouble(V, "min");
+  St.Max = parseHexDouble(V, "max");
+  St.WelfordMean = parseHexDouble(V, "mean");
+  St.M2 = parseHexDouble(V, "m2");
+  Out = RunningStat::fromState(St);
+  return true;
+}
+
+std::string histStateJson(const Histogram &H) {
+  std::string Out = "{\"counts\":[";
+  const std::vector<uint64_t> &Counts = H.bucketCounts();
+  for (size_t I = 0; I < Counts.size(); ++I)
+    Out += formatString(I ? ",%llu" : "%llu",
+                        static_cast<unsigned long long>(Counts[I]));
+  Out += "],\"stat\":" + statStateJson(H.summary()) + "}";
+  return Out;
+}
+
+bool histFromJson(const json::Value &V, Histogram &Out,
+                  std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (!V.isObject())
+    return Fail("histogram state is not an object");
+  const json::Value *Counts = V.get("counts");
+  if (!Counts || !Counts->isArray())
+    return Fail("histogram state has no counts array");
+  if (Counts->Arr.size() != Out.upperBounds().size() + 1)
+    return Fail("histogram state counts do not match the bucket layout");
+  std::vector<uint64_t> C;
+  C.reserve(Counts->Arr.size());
+  for (const json::Value &N : Counts->Arr) {
+    if (!N.isNumber())
+      return Fail("histogram state count is not a number");
+    C.push_back(uint64_t(N.Num));
+  }
+  RunningStat S;
+  const json::Value *Stat = V.get("stat");
+  if (!Stat || !statFromJson(*Stat, S, Error))
+    return false;
+  Out.restore(std::move(C), S);
+  return true;
+}
+
+std::string groupStateJson(const StreamAggregator::Group &G) {
+  return formatString("{\"runs\":%llu,\"frames\":%llu,\"qos\":%llu,"
+                      "\"alerts\":%llu,\"joules\":",
+                      static_cast<unsigned long long>(G.Runs),
+                      static_cast<unsigned long long>(G.Frames),
+                      static_cast<unsigned long long>(G.QosViolations),
+                      static_cast<unsigned long long>(G.Alerts)) +
+         hexDouble(G.Joules) + ",\"energy_j\":" + histStateJson(G.EnergyJ) +
+         ",\"violation_pct\":" + histStateJson(G.ViolationPct) +
+         ",\"frame_latency_ms\":" + G.FrameLatencyMs.serialize() +
+         ",\"energy_per_frame_mj\":" + G.EnergyPerFrameMj.serialize() + "}";
+}
+
+bool groupFromJson(const json::Value &V, StreamAggregator::Group &Out,
+                   std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (!V.isObject())
+    return Fail("group state is not an object");
+  Out.Runs = uint64_t(V.numberOr("runs", 0));
+  Out.Frames = uint64_t(V.numberOr("frames", 0));
+  Out.QosViolations = uint64_t(V.numberOr("qos", 0));
+  Out.Alerts = uint64_t(V.numberOr("alerts", 0));
+  Out.Joules = parseHexDouble(V, "joules");
+  const json::Value *E = V.get("energy_j");
+  const json::Value *P = V.get("violation_pct");
+  const json::Value *L = V.get("frame_latency_ms");
+  const json::Value *M = V.get("energy_per_frame_mj");
+  if (!E || !histFromJson(*E, Out.EnergyJ, Error))
+    return false;
+  if (!P || !histFromJson(*P, Out.ViolationPct, Error))
+    return false;
+  if (!L || !QuantileSketch::deserialize(*L, Out.FrameLatencyMs, Error))
+    return false;
+  if (!M || !QuantileSketch::deserialize(*M, Out.EnergyPerFrameMj, Error))
+    return false;
+  return true;
+}
+
+} // namespace
+
+std::string StreamAggregator::stateJson() const {
+  std::string Out = "{\"total\":" + groupStateJson(Total);
+  auto Section = [&Out](const char *Key,
+                        const std::map<std::string, Group> &Groups) {
+    Out += formatString(",\"%s\":{", Key);
+    bool First = true;
+    for (const auto &[Name, G] : Groups) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += formatString("\"%s\":", jsonEscape(Name).c_str());
+      Out += groupStateJson(G);
+    }
+    Out += "}";
+  };
+  Section("by_app", ByApp);
+  Section("by_governor", ByGovernor);
+  Out += "}";
+  return Out;
+}
+
+bool StreamAggregator::fromStateJson(const json::Value &V,
+                                     StreamAggregator &Out,
+                                     std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (!V.isObject())
+    return Fail("aggregator state is not an object");
+  StreamAggregator A;
+  const json::Value *T = V.get("total");
+  if (!T || !groupFromJson(*T, A.Total, Error))
+    return false;
+  auto Section = [&](const char *Key, std::map<std::string, Group> &Groups) {
+    const json::Value *Sec = V.get(Key);
+    if (!Sec || !Sec->isObject())
+      return Fail("aggregator state section missing");
+    for (const auto &[Name, G] : Sec->Obj)
+      if (!groupFromJson(G, Groups[Name], Error))
+        return false;
+    return true;
+  };
+  if (!Section("by_app", A.ByApp) || !Section("by_governor", A.ByGovernor))
+    return false;
+  Out = std::move(A);
+  return true;
 }

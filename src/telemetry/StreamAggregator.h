@@ -7,17 +7,22 @@
 /// \file
 /// Streaming aggregation of per-run headline metrics into one
 /// fleet-level summary: run counts, energy and violation distributions
-/// (mergeable fixed-bucket histograms), and alert totals, grouped
-/// overall / per-app / per-governor. A run folds in as one RunSample —
-/// nothing per-run is retained — so aggregating thousands of
-/// device x app x fault runs costs a few histograms, not a few
-/// gigabytes of logs. This is the substrate a fleet driver sits on.
+/// (mergeable fixed-bucket histograms), frame-latency and energy-per-
+/// frame percentiles (mergeable quantile sketches), and alert totals,
+/// grouped overall / per-app / per-governor. A run folds in as one
+/// RunSample — nothing per-run is retained — so aggregating thousands
+/// of device x app x fault runs costs a few histograms, not a few
+/// gigabytes of logs. This is the substrate the fleet driver sits on.
 ///
-/// Aggregation is associative and order-insensitive for counts and
-/// histograms (RunningStat merges are order-sensitive only in
-/// floating-point rounding, which is why ParallelRunner folds in config
-/// index order); toJson() iterates groups in name order with fixed
-/// formats, so a deterministic sweep yields a byte-identical summary.
+/// Aggregation is associative and order-insensitive for counts,
+/// histograms, and sketches (RunningStat merges are order-sensitive
+/// only in floating-point rounding, which is why ParallelRunner and the
+/// FleetRunner fold in config index order); toJson() iterates groups in
+/// name order with fixed formats, so a deterministic sweep yields a
+/// byte-identical summary. stateJson()/fromStateJson() round-trip the
+/// full accumulator state exactly (hexfloat doubles), which is what
+/// lets a fleet checkpoint resume and still fold to byte-identical
+/// final aggregates.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,12 +30,18 @@
 #define GREENWEB_TELEMETRY_STREAMAGGREGATOR_H
 
 #include "telemetry/MetricsRegistry.h"
+#include "telemetry/QuantileSketch.h"
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace greenweb {
+
+namespace json {
+struct Value;
+}
 
 /// The per-run headline a StreamAggregator folds; one of these is the
 /// entire footprint a finished run leaves behind.
@@ -42,11 +53,29 @@ struct RunSample {
   uint64_t Frames = 0;
   uint64_t QosViolations = 0; ///< Raw qos_violation record count.
   uint64_t Alerts = 0;        ///< Online detector alerts during the run.
+  /// Per-frame production latencies of the run, in event order. Folded
+  /// into the group quantile sketches and then discarded — the sample
+  /// itself is the only place raw latencies ever appear.
+  std::vector<double> FrameLatenciesMs;
 };
 
 /// Streaming fleet summary; see file comment.
 class StreamAggregator {
 public:
+  /// One aggregation group (overall, one app, or one governor).
+  struct Group {
+    Group();
+    uint64_t Runs = 0;
+    uint64_t Frames = 0;
+    uint64_t QosViolations = 0;
+    uint64_t Alerts = 0;
+    double Joules = 0.0;
+    Histogram EnergyJ;      ///< Per-run total joules.
+    Histogram ViolationPct; ///< Per-run violation percentage.
+    QuantileSketch FrameLatencyMs;   ///< Per-frame latencies.
+    QuantileSketch EnergyPerFrameMj; ///< Per-run mJ per frame.
+  };
+
   StreamAggregator();
 
   /// Folds one finished run into every group it belongs to.
@@ -58,24 +87,30 @@ public:
   uint64_t runs() const { return Total.Runs; }
   uint64_t alerts() const { return Total.Alerts; }
 
+  /// Read-only group access for report derivation (gw-fleet /
+  /// gw-inspect fleet); groups iterate in name order.
+  const Group &total() const { return Total; }
+  const std::map<std::string, Group> &byApp() const { return ByApp; }
+  const std::map<std::string, Group> &byGovernor() const {
+    return ByGovernor;
+  }
+
   /// One deterministic JSON document with overall / by_app /
   /// by_governor groups, each carrying run counts, energy and
   /// violation histogram summaries (count, mean, min, max, p50, p99),
-  /// and alert totals.
+  /// frame-latency and energy-per-frame sketch percentiles, and alert
+  /// totals.
   std::string toJson() const;
 
-private:
-  struct Group {
-    Group();
-    uint64_t Runs = 0;
-    uint64_t Frames = 0;
-    uint64_t QosViolations = 0;
-    uint64_t Alerts = 0;
-    double Joules = 0.0;
-    Histogram EnergyJ;      ///< Per-run total joules.
-    Histogram ViolationPct; ///< Per-run violation percentage.
-  };
+  /// Exact accumulator state as one JSON object (integer counts,
+  /// hexfloat doubles). fromStateJson() rebuilds a bit-identical
+  /// aggregator, so fold sequences resumed from a checkpoint finish
+  /// byte-identically to uninterrupted ones.
+  std::string stateJson() const;
+  static bool fromStateJson(const json::Value &V, StreamAggregator &Out,
+                            std::string *Error = nullptr);
 
+private:
   static void fold(Group &G, const RunSample &S);
   static void merge(Group &G, const Group &O);
   static std::string groupJson(const Group &G);

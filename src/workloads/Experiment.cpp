@@ -457,6 +457,9 @@ RunSample greenweb::makeRunSample(const ExperimentResult &Result,
                        ? Result.ViolationPctUsable
                        : Result.ViolationPctImperceptible;
   S.Frames = Result.Frames;
+  for (const EventMetrics &E : Result.Events)
+    for (Duration L : E.FrameLatencies)
+      S.FrameLatenciesMs.push_back(L.millis());
   if (Tel) {
     const MetricsRegistry &M = Tel->metrics();
     if (const Counter *C = M.findCounter("qos.violations"))

@@ -1,0 +1,91 @@
+//===- workloads/FleetPlan.h - Population run plans -------------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FleetPlan describes a population run as a cross product: apps x
+/// governors x seeds x fault scenarios x replicas. Plans parse from a
+/// small JSON document, expand lazily (an item index decodes to its
+/// tuple arithmetically, so a million-item plan costs nothing to hold),
+/// and canonicalize back to JSON for hashing — a checkpoint remembers
+/// the plan hash and refuses to resume a different plan.
+///
+/// Replicas model population copies of a device configuration: they
+/// share the page seed (so warm assets are built once per app+seed and
+/// the page is byte-identical) but perturb the fault-plan seed, so
+/// replicas diverge exactly where a population does — in the
+/// adversarial environment, not in the page content.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_WORKLOADS_FLEETPLAN_H
+#define GREENWEB_WORKLOADS_FLEETPLAN_H
+
+#include "workloads/Experiment.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace greenweb {
+
+/// One decoded plan item (a single device run).
+struct FleetPlanItem {
+  uint64_t Index = 0;
+  std::string App;
+  std::string Governor;
+  uint64_t Seed = 0;         ///< Page seed (shared across replicas).
+  std::string Scenario;      ///< Fault scenario name, "none", or "chaos".
+  uint32_t Replica = 0;
+
+  /// Seed for the item's fault plan: the page seed perturbed per
+  /// replica, so replicas see different adversarial schedules.
+  uint64_t faultSeed() const { return Seed + 7919 * uint64_t(Replica); }
+  /// Warm-asset cache key; items sharing it share one built asset.
+  std::string warmKey() const;
+  /// Display label: "App|Governor|s<seed>|<scenario>|r<replica>".
+  std::string label() const;
+};
+
+/// The declarative plan; see file comment.
+struct FleetPlan {
+  std::string Name = "fleet";
+  ExperimentMode Mode = ExperimentMode::Micro;
+  std::vector<std::string> Apps;
+  std::vector<std::string> Governors;
+  std::vector<uint64_t> Seeds;
+  /// Scenario names from FaultPlan::scenarioNames(), plus "none" (no
+  /// faults) and "chaos" (FaultPlan::chaosPlan).
+  std::vector<std::string> Scenarios = {"none"};
+  uint32_t Replicas = 1;
+  unsigned MicroRepetitions = 8;
+  /// Governor the energy extrapolation compares against; defaults to
+  /// the plan's first governor.
+  std::string BaselineGovernor;
+
+  /// Total item count (the full cross product).
+  uint64_t items() const;
+  /// Decodes item \p Index (app-major nesting: app, governor, seed,
+  /// scenario, replica).
+  FleetPlanItem item(uint64_t Index) const;
+  /// The experiment configuration for one item (telemetry/warm fields
+  /// left unset; the runner owns those).
+  ExperimentConfig config(const FleetPlanItem &Item) const;
+
+  /// Canonical single-line JSON (field order fixed); hash() is the
+  /// FNV-1a of exactly this string.
+  std::string toJson() const;
+  uint64_t hash() const;
+
+  /// Parses and validates a plan document. Unknown apps, governors, or
+  /// scenarios are errors — a fleet run should fail before its first
+  /// batch, not after an hour.
+  static bool parse(const std::string &Text, FleetPlan &Out,
+                    std::string *Error = nullptr);
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_WORKLOADS_FLEETPLAN_H

@@ -122,6 +122,8 @@ greenweb::runExperimentsParallel(const std::vector<ExperimentConfig> &Configs,
       Hubs[I]->setLogCapacity(Opts.JobLogCapacity);
       if (Opts.EnableDetectors)
         Hubs[I]->enableAnomalyDetectors();
+      if (Opts.EnableFlightRecorder)
+        Hubs[I]->enableFlightRecorder();
       Config.Tel = Hubs[I].get();
     } else {
       // A caller-supplied hub would be written from several workers at

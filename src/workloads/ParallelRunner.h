@@ -97,6 +97,12 @@ struct ParallelExperimentOptions {
   /// so even a metrics-only sweep merges a complete alert stream into
   /// SharedTel — in config index order, hence deterministic.
   bool EnableDetectors = false;
+  /// When set (and SharedTel is set), every per-run private hub also
+  /// gets the flight recorder, so a run that trips a trigger leaves
+  /// black-box dumps retrievable from its hub in PerJobHook (the fleet
+  /// driver persists them as worst-device black-box refs). Ring copies
+  /// are cheap; dumps only materialize on triggers.
+  bool EnableFlightRecorder = false;
   /// When set, every run's headline RunSample is folded into this
   /// aggregator after the batch completes, in config index order (the
   /// streaming fleet summary; see telemetry/StreamAggregator.h). Not

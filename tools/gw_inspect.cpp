@@ -36,6 +36,10 @@
 //                                            artifact's raw items and
 //                                            verify it byte-for-byte
 //                                            against the embedded copy
+//   gw-inspect fleet.ckpt fleet              re-derive the fleet report
+//                                            from a gw-fleet checkpoint
+//                                            and verify it byte-for-byte
+//                                            against the embedded copy
 //
 // Everything here reads only the log, so the output matches what the
 // instrumented run printed from live telemetry. The alerts and blackbox
@@ -48,6 +52,7 @@
 #include "telemetry/AnomalyDetector.h"
 #include "telemetry/CriticalPath.h"
 #include "telemetry/EnergyAttribution.h"
+#include "telemetry/FleetReport.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/SchedTrace.h"
 #include "telemetry/TelemetryLog.h"
@@ -70,8 +75,9 @@ int usage(const char *Argv0) {
                "usage: %s <events.jsonl> "
                "[summary | violations | energy [N] | path FRAME [ROOT] | "
                "faults | alerts | blackbox [--write=PATH]]\n"
-               "       %s <sched.json> sched\n",
-               Argv0, Argv0);
+               "       %s <sched.json> sched\n"
+               "       %s <fleet.ckpt> fleet\n",
+               Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -439,6 +445,39 @@ int cmdSched(const std::string &Text, const char *Argv0) {
   return 0;
 }
 
+/// Re-derives the fleet report from a gw-fleet checkpoint's folded
+/// state and verifies it byte-for-byte against the embedded copy — the
+/// fleet analog of the sched parity gate. Nonzero on any mismatch.
+int cmdFleet(const std::string &Text, const char *Argv0) {
+  FleetCheckpoint C;
+  std::string Error;
+  if (!FleetCheckpoint::load(Text, C, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return usage(Argv0);
+  }
+  FleetReport Report = FleetReport::fromCheckpoint(C);
+  std::printf("%s", Report.format().c_str());
+
+  if (C.ReportJson.empty()) {
+    std::printf("\ncheckpoint carries no embedded report (run still "
+                "partial); offline recomputation only, parity not "
+                "checked.\n");
+    return 0;
+  }
+  std::string Offline = Report.toJson();
+  if (Offline != C.ReportJson) {
+    std::fprintf(stderr,
+                 "parity mismatch between the embedded fleet report and "
+                 "the offline recomputation:\n  embedded: %s\n"
+                 "  offline:  %s\n",
+                 C.ReportJson.c_str(), Offline.c_str());
+    return 1;
+  }
+  std::printf("\nreplay parity OK: fleet report reproduced byte-for-byte "
+              "from the checkpoint state.\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -472,6 +511,8 @@ int main(int Argc, char **Argv) {
   // dispatch before the line-oriented parsing below.
   if (Positional.size() > 1 && std::strcmp(Positional[1], "sched") == 0)
     return cmdSched(Text, Argv[0]);
+  if (Positional.size() > 1 && std::strcmp(Positional[1], "fleet") == 0)
+    return cmdFleet(Text, Argv[0]);
 
   // Logs written since the RunMeta header landed open with a
   // {"kind":"meta",...} line; surface it rather than counting it as a
