@@ -1,0 +1,151 @@
+//===- bench/bench_predictive.cpp - learned-governor pipeline ------------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+// The learned-governor pipeline end to end, self-contained: export
+// labeled feature rows from LTM runs, train the CART model in-process,
+// then ablate Predictive-I against GreenWeb-I on the same apps, plus
+// the eBrowser-style input rate controller's effect on a scroll-heavy
+// session. The committed-model ablation (12 apps, chaos scenarios)
+// lives in examples/learned_ablation; this harness is the quick,
+// filesystem-free smoke of the same machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace greenweb;
+
+namespace {
+
+/// Apps for the in-process train/serve loop: one scroll-heavy session,
+/// one animation-heavy, one compute tap.
+const char *kApps[] = {"BBC", "Goo.ne.jp", "CamanJS"};
+
+ExperimentResult run(const ExperimentConfig &Base, uint64_t Seed) {
+  ExperimentConfig C = Base;
+  C.Seed = Seed;
+  return runExperiment(C);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::string_view(Argv[I]) == "--smoke")
+      Smoke = true;
+  bench::ProfSession ProfGuard(Flags);
+  bench::JsonReporter Json("bench_predictive", Flags.JsonPath);
+  bench::banner("Learned governor: train -> serve -> rate control",
+                "Yuan et al. (ML web interactions); eBrowser (input rate)");
+
+  size_t AppCount = Smoke ? 1 : std::size(kApps);
+
+  // Phase 1: training-data export from LTM runs (the FeatureProbe rides
+  // along as an observer; labels come from ground-truth frame costs).
+  std::vector<FeatureRow> Rows;
+  for (size_t A = 0; A < AppCount; ++A) {
+    ExperimentConfig C;
+    C.AppName = kApps[A];
+    C.GovernorName = governors::GreenWebI;
+    C.FeatureRows = &Rows;
+    run(C, 1);
+  }
+  DecisionTreeModel Model = trainDecisionTree(Rows, 17);
+  std::printf("trained on %zu rows -> %zu nodes\n\n", Rows.size(),
+              Model.Nodes.size());
+  Json.scalar("training_rows", double(Rows.size()));
+  Json.scalar("model_nodes", double(Model.Nodes.size()));
+
+  // Phase 2: serve the freshly trained model against the LTM baseline.
+  {
+    TablePrinter Table("Predictive-I vs GreenWeb-I (self-trained model)");
+    Table.row()
+        .cell("App")
+        .cell("LTM (mJ)")
+        .cell("Pred (mJ)")
+        .cell("dE")
+        .cell("LTM viol-I")
+        .cell("Pred viol-I");
+    for (size_t A = 0; A < AppCount; ++A) {
+      ExperimentConfig C;
+      C.AppName = kApps[A];
+      C.GovernorName = governors::GreenWebI;
+      ExperimentResult Ltm = run(C, 1);
+      C.GovernorName = governors::PredictiveI;
+      C.Model = &Model;
+      ExperimentResult Pred = run(C, 1);
+      Table.row()
+          .cell(kApps[A])
+          .cell(Ltm.TotalJoules * 1e3, 1)
+          .cell(Pred.TotalJoules * 1e3, 1)
+          .cell(bench::percentOf(Pred.TotalJoules, Ltm.TotalJoules))
+          .cell(Ltm.ViolationPctImperceptible, 2)
+          .cell(Pred.ViolationPctImperceptible, 2);
+      Json.scalar(formatString("ltm_energy_joules.%s", kApps[A]),
+                  Ltm.TotalJoules, "J");
+      Json.scalar(formatString("predictive_energy_joules.%s", kApps[A]),
+                  Pred.TotalJoules, "J");
+    }
+    Table.print();
+    Json.table("Serve", Table);
+    std::printf("\n");
+  }
+
+  // Phase 3: input rate control on the scroll-heavy session. The app
+  // traces burst touchmove at ~30 Hz, so the 12ms (~83 Hz) default
+  // window never fires — that run must be telemetry-identical to the
+  // uncontrolled one. A 40ms (25 Hz) window does coalesce the bursts.
+  {
+    TablePrinter Table("Input rate control (BBC, GreenWeb-I)");
+    Table.row()
+        .cell("Window")
+        .cell("Energy (mJ)")
+        .cell("Viol-I (%)")
+        .cell("Inputs")
+        .cell("Coalesced")
+        .cell("Frames");
+    ExperimentConfig C;
+    C.AppName = "BBC";
+    C.GovernorName = governors::GreenWebI;
+    struct Leg {
+      const char *Name;
+      bool Enabled;
+      int WindowMs;
+    } Legs[] = {{"off", false, 0},
+                {"12ms (under limit)", true, 12},
+                {"40ms (coalescing)", true, 40}};
+    ExperimentResult Off;
+    for (const Leg &L : Legs) {
+      C.InputRate.Enabled = L.Enabled;
+      if (L.Enabled)
+        C.InputRate.MinInterval = Duration::milliseconds(L.WindowMs);
+      ExperimentResult R = run(C, 1);
+      if (!L.Enabled)
+        Off = R;
+      Table.row()
+          .cell(L.Name)
+          .cell(R.TotalJoules * 1e3, 1)
+          .cell(R.ViolationPctImperceptible, 2)
+          .cell(int64_t(R.InputEvents))
+          .cell(int64_t(R.InputEventsCoalesced))
+          .cell(int64_t(R.Frames));
+      Json.scalar(formatString("rate_energy_joules.%s", L.Name),
+                  R.TotalJoules, "J");
+      if (L.Enabled && L.WindowMs == 12 &&
+          (R.TotalJoules != Off.TotalJoules || R.Frames != Off.Frames ||
+           R.InputEventsCoalesced != 0))
+        std::printf("WARNING: under-limit run diverged from the "
+                    "uncontrolled one\n");
+    }
+    Table.print();
+    Json.table("RateControl", Table);
+  }
+  std::printf("\nExpected shape: Predictive-I at or below GreenWeb-I "
+              "energy with comparable violations; the under-limit rate "
+              "window is a no-op, the 25 Hz window coalesces scroll "
+              "bursts and trims frames.\n");
+  return 0;
+}

@@ -230,7 +230,7 @@ bool ElementHost::setProperty(js::Interpreter &, const std::string &Name,
 
 Browser::Browser(Simulator &Sim, AcmpChip &Chip, BrowserOptions OptionsIn)
     : Sim(Sim), Chip(Chip), Options(OptionsIn),
-      BrowserRng(Options.RngSeed) {
+      BrowserRng(Options.RngSeed), RateController(Options.InputRate) {
   BrowserProc = std::make_unique<SimThread>(Sim, Chip, "CrBrowserMain", 0);
   Main = std::make_unique<SimThread>(Sim, Chip, "CrRendererMain", 1);
   Compositor = std::make_unique<SimThread>(Sim, Chip, "Compositor", 2);
@@ -498,7 +498,18 @@ uint64_t Browser::dispatchInput(const std::string &Type, Element *Target) {
   GW_PROF_SCOPE("browser.dispatch_input");
   assert(Target && "dispatching input without a target");
 
+  // eBrowser-style rate control: arrivals inside the spacing window are
+  // dropped before any frame work exists — no message, no observers, no
+  // tasks. The replayer still gets a root id (the last admitted one) so
+  // scripted interaction streams stay oblivious.
+  if (!RateController.admit(Type, Sim.now())) {
+    if (Telemetry *T = Sim.telemetry(); T && T->enabled())
+      T->metrics().counter("browser.input_coalesced").add(1);
+    return RateController.lastAdmittedRoot(Type);
+  }
+
   FrameMsg Msg = Tracker.makeMsg(Sim.now(), 0, Type);
+  RateController.noteAdmitted(Type, Msg.RootId);
   retainRoot(Msg.RootId);
   int64_t PrevSpanCtx = beginRootSpan(Msg.RootId, Type);
   for (FrameObserver *O : Observers)

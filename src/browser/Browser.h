@@ -23,6 +23,7 @@
 #define GREENWEB_BROWSER_BROWSER_H
 
 #include "browser/BrowserConfig.h"
+#include "browser/EventRateController.h"
 #include "browser/FrameTracker.h"
 #include "css/CssAst.h"
 #include "css/StyleResolver.h"
@@ -119,6 +120,8 @@ public:
   SimThread &browserThread() { return *BrowserProc; }
   const BrowserOptions &options() const { return Options; }
   Rng &rng() { return BrowserRng; }
+  /// Input admission control (see BrowserOptions::InputRate).
+  const EventRateController &rateController() const { return RateController; }
 
   /// Script errors surfaced from callbacks (page errors are contained,
   /// as in a real browser; experiments assert this stays empty).
@@ -256,6 +259,7 @@ private:
 
   FrameTracker Tracker;
   std::vector<FrameObserver *> Observers;
+  EventRateController RateController;
 
   /// Outstanding work units per root input id.
   std::map<uint64_t, int> RootActivity;

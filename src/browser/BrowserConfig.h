@@ -70,6 +70,17 @@ struct RenderCostParams {
   double NativeScrollComplexity = 0.6;
 };
 
+/// eBrowser-style input event rate control: move-class events (scroll,
+/// touchmove) arriving faster than the display can show their effects
+/// are coalesced in the browser input path, before any frame work is
+/// queued. Discrete events (click, touchstart/end, load) always pass.
+struct EventRateOptions {
+  bool Enabled = false;
+  /// Minimum spacing between admitted move-class events of one type;
+  /// arrivals inside the window are dropped and counted.
+  Duration MinInterval = Duration::milliseconds(12);
+};
+
 /// Top-level browser options.
 struct BrowserOptions {
   RenderCostParams Costs;
@@ -78,6 +89,9 @@ struct BrowserOptions {
   /// Seed for the browser's deterministic RNG (exposed to scripts via
   /// `random()`).
   uint64_t RngSeed = 1;
+  /// Input event rate control (off by default: telemetry is
+  /// byte-identical to a build without the controller when disabled).
+  EventRateOptions InputRate;
 };
 
 } // namespace greenweb

@@ -1,0 +1,44 @@
+//===- browser/EventRateController.cpp - Input rate control ---------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/EventRateController.h"
+
+#include "dom/Dom.h"
+
+using namespace greenweb;
+
+bool EventRateController::isRateLimited(const std::string &Type) {
+  return Type == events::Scroll || Type == events::TouchMove;
+}
+
+bool EventRateController::admit(const std::string &Type, TimePoint Now) {
+  if (!Opts.Enabled || !isRateLimited(Type))
+    return true;
+  TypeState &S = Types[Type];
+  if (S.Seen && Now - S.LastAdmit < Opts.MinInterval) {
+    ++Suppressed;
+    return false;
+  }
+  S.Seen = true;
+  S.LastAdmit = Now;
+  return true;
+}
+
+void EventRateController::noteAdmitted(const std::string &Type,
+                                       uint64_t RootId) {
+  if (!Opts.Enabled || !isRateLimited(Type))
+    return;
+  Types[Type].LastRoot = RootId;
+}
+
+uint64_t EventRateController::lastAdmittedRoot(const std::string &Type) const {
+  auto It = Types.find(Type);
+  return It == Types.end() ? 0 : It->second.LastRoot;
+}
+
+void EventRateController::reset() {
+  Types.clear();
+}

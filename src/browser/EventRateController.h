@@ -1,0 +1,79 @@
+//===- browser/EventRateController.h - Input rate control -------*- C++ -*-===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// eBrowser-style input event rate control, sitting where Chromium's
+/// InputHandlerProxy sits: in the browser input path, before any frame
+/// work is generated. Continuous gestures (scroll, touchmove) can
+/// arrive far faster than the display refreshes; every admitted event
+/// costs a full pipeline pass, so admissions beyond the display rate
+/// are pure energy waste. The controller drops move-class arrivals that
+/// land inside a minimum spacing window of the previous admitted event
+/// of the same type; discrete events always pass.
+///
+/// Suppression is a pure drop on the virtual clock — no FrameMsg, no
+/// observer callbacks, no queued tasks — so a run whose input never
+/// exceeds the rate limit produces byte-identical telemetry with the
+/// controller on or off. Composable with any governor: it acts on the
+/// input stream, not the chip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GREENWEB_BROWSER_EVENTRATECONTROLLER_H
+#define GREENWEB_BROWSER_EVENTRATECONTROLLER_H
+
+#include "browser/BrowserConfig.h"
+#include "support/Time.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace greenweb {
+
+/// Per-browser input admission control (see EventRateOptions).
+class EventRateController {
+public:
+  explicit EventRateController(EventRateOptions Opts = {}) : Opts(Opts) {}
+
+  /// True for event types subject to rate control (move-class
+  /// continuous gestures); discrete events are never suppressed.
+  static bool isRateLimited(const std::string &Type);
+
+  /// Decides one arrival at \p Now. Returns true to admit; the caller
+  /// then reports the dispatched root via noteAdmitted. False means
+  /// suppress: the caller should drop the event entirely and may hand
+  /// back lastAdmittedRoot(Type) so scripted workloads still observe a
+  /// root id.
+  bool admit(const std::string &Type, TimePoint Now);
+
+  /// Records the root id the admitted event dispatched under.
+  void noteAdmitted(const std::string &Type, uint64_t RootId);
+
+  /// Root id of the last admitted event of \p Type (0 when none).
+  uint64_t lastAdmittedRoot(const std::string &Type) const;
+
+  uint64_t suppressedCount() const { return Suppressed; }
+  const EventRateOptions &options() const { return Opts; }
+
+  /// Forgets admission history (page navigation).
+  void reset();
+
+private:
+  struct TypeState {
+    TimePoint LastAdmit;
+    uint64_t LastRoot = 0;
+    bool Seen = false;
+  };
+
+  EventRateOptions Opts;
+  std::map<std::string, TypeState> Types;
+  uint64_t Suppressed = 0;
+};
+
+} // namespace greenweb
+
+#endif // GREENWEB_BROWSER_EVENTRATECONTROLLER_H

@@ -1,0 +1,593 @@
+//===- greenweb/Features.cpp - Learned-governor feature pipeline ----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/Features.h"
+
+#include "dom/Dom.h"
+#include "greenweb/AnnotationRegistry.h"
+#include "greenweb/Governors.h"
+#include "hw/AcmpChip.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace greenweb;
+
+//===----------------------------------------------------------------------===//
+// Feature schema
+//===----------------------------------------------------------------------===//
+
+const std::array<const char *, kNumFeatures> &greenweb::featureNames() {
+  static const std::array<const char *, kNumFeatures> Names = {
+      "event_rate_hz",     "prev_frame_mcycles", "ewma_frame_mcycles",
+      "prev_frame_fixed_ms", "is_continuous",    "target_ms",
+      "event_kind",        "cur_is_big",         "cur_freq_mhz",
+  };
+  return Names;
+}
+
+int greenweb::eventKindCode(const std::string &Type) {
+  if (Type == events::Click)
+    return 0;
+  if (Type == events::Scroll)
+    return 1;
+  if (Type == events::TouchMove)
+    return 2;
+  if (Type == events::Load)
+    return 3;
+  if (Type == events::TouchStart || Type == events::TouchEnd)
+    return 4;
+  return 5;
+}
+
+//===----------------------------------------------------------------------===//
+// FeatureExtractor
+//===----------------------------------------------------------------------===//
+
+void FeatureExtractor::noteInput(TimePoint Now) {
+  InputTimes.push_back(Now);
+  Duration Window = Duration::seconds(1) * kRateWindowSecs;
+  while (!InputTimes.empty() && Now - InputTimes.front() > Window)
+    InputTimes.pop_front();
+}
+
+void FeatureExtractor::noteFrame(const FrameRecord &Frame) {
+  PrevMcycles = Frame.CyclesCharged / 1e6;
+  PrevFixedMs = Frame.FixedCharged.millis();
+  EwmaMcycles = SeenFrame
+                    ? kEwmaAlpha * PrevMcycles + (1.0 - kEwmaAlpha) * EwmaMcycles
+                    : PrevMcycles;
+  SeenFrame = true;
+}
+
+void FeatureExtractor::reset() {
+  InputTimes.clear();
+  PrevMcycles = EwmaMcycles = PrevFixedMs = 0.0;
+  SeenFrame = false;
+}
+
+std::array<double, kNumFeatures>
+FeatureExtractor::features(TimePoint Now, bool Continuous, double TargetMs,
+                           int EventKind, bool CurIsBig,
+                           double CurFreqMHz) const {
+  // Count only inputs still inside the trailing window; entries age out
+  // lazily in noteInput, so stale fronts may linger here.
+  Duration Window = Duration::seconds(1) * kRateWindowSecs;
+  size_t Recent = 0;
+  for (TimePoint T : InputTimes)
+    if (Now - T <= Window)
+      ++Recent;
+  return {double(Recent) / kRateWindowSecs,
+          PrevMcycles,
+          EwmaMcycles,
+          PrevFixedMs,
+          Continuous ? 1.0 : 0.0,
+          TargetMs,
+          double(EventKind),
+          CurIsBig ? 1.0 : 0.0,
+          CurFreqMHz};
+}
+
+//===----------------------------------------------------------------------===//
+// Label generation
+//===----------------------------------------------------------------------===//
+
+int greenweb::bestLadderLevel(const AcmpChip &Chip,
+                              const std::vector<AcmpConfig> &Ladder,
+                              double Cycles, Duration Fixed, Duration Target,
+                              double SafetyMargin) {
+  assert(!Ladder.empty() && "label sweep over an empty ladder");
+  const PowerModel &Power = Chip.powerModel();
+  double Budget = Target.secs() * SafetyMargin;
+  int Best = int(Ladder.size()) - 1;
+  double BestJoules = -1.0;
+  for (size_t I = 0; I < Ladder.size(); ++I) {
+    const AcmpConfig &C = Ladder[I];
+    double Latency = Fixed.secs() + Cycles / Chip.effectiveHzFor(C);
+    if (Latency > Budget)
+      continue;
+    double Joules =
+        Power.clusterPower(C.Core, C.FreqMHz, /*BusyCores=*/1) * Latency;
+    if (BestJoules < 0.0 || Joules < BestJoules) {
+      BestJoules = Joules;
+      Best = int(I);
+    }
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Feature table (JSONL)
+//===----------------------------------------------------------------------===//
+
+std::string greenweb::featureHeaderLine(size_t LadderLevels) {
+  std::string Out = formatString(
+      "{\"kind\":\"feature_header\",\"schema\":1,\"ladder_levels\":%zu,"
+      "\"safety_margin\":%.17g,\"features\":[",
+      LadderLevels, FeatureProbe::kLabelSafetyMargin);
+  for (size_t I = 0; I < kNumFeatures; ++I) {
+    if (I)
+      Out += ",";
+    Out += formatString("\"%s\"", featureNames()[I]);
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string greenweb::featureRowLine(const FeatureRow &Row,
+                                     const std::string &App,
+                                     const std::string &Governor,
+                                     uint64_t Seed) {
+  std::string Out = formatString(
+      "{\"kind\":\"feature_row\",\"app\":\"%s\",\"governor\":\"%s\","
+      "\"seed\":%llu,\"f\":[",
+      jsonEscape(App).c_str(), jsonEscape(Governor).c_str(),
+      static_cast<unsigned long long>(Seed));
+  for (size_t I = 0; I < kNumFeatures; ++I) {
+    if (I)
+      Out += ",";
+    Out += formatString("%.17g", Row.F[I]);
+  }
+  Out += formatString("],\"label\":%d}", Row.Label);
+  return Out;
+}
+
+bool FeatureTable::parse(const std::string &Text, FeatureTable &Out,
+                         std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  FeatureTable T;
+  bool SawHeader = false;
+  size_t LineNo = 0;
+  for (std::string_view Line : split(Text, '\n')) {
+    ++LineNo;
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty())
+      continue;
+    std::optional<json::Value> V = json::parse(Trimmed);
+    if (!V || !V->isObject())
+      return Fail(formatString("line %zu is not a JSON object", LineNo));
+    std::string Kind = V->stringOr("kind", "");
+    if (Kind == "meta")
+      continue;
+    if (Kind == "feature_header") {
+      if (int(V->numberOr("schema", 0)) != 1)
+        return Fail("unsupported feature-table schema");
+      const json::Value *Names = V->get("features");
+      if (!Names || !Names->isArray() ||
+          Names->Arr.size() != kNumFeatures)
+        return Fail("feature-table header has a foreign feature list");
+      for (size_t I = 0; I < kNumFeatures; ++I)
+        if (!Names->Arr[I].isString() ||
+            Names->Arr[I].Str != featureNames()[I])
+          return Fail("feature-table header has a foreign feature list");
+      T.LadderLevels = size_t(V->numberOr("ladder_levels", 0));
+      if (T.LadderLevels == 0)
+        return Fail("feature-table header has no ladder_levels");
+      SawHeader = true;
+      continue;
+    }
+    if (Kind != "feature_row")
+      return Fail(formatString("line %zu is not a feature table record",
+                               LineNo));
+    if (!SawHeader)
+      return Fail("feature rows before the feature_header line");
+    const json::Value *F = V->get("f");
+    if (!F || !F->isArray() || F->Arr.size() != kNumFeatures)
+      return Fail(formatString("line %zu has a malformed feature vector",
+                               LineNo));
+    FeatureRow Row;
+    for (size_t I = 0; I < kNumFeatures; ++I) {
+      if (!F->Arr[I].isNumber())
+        return Fail(formatString("line %zu has a non-numeric feature",
+                                 LineNo));
+      Row.F[I] = F->Arr[I].Num;
+    }
+    Row.Label = int(V->numberOr("label", -1));
+    if (Row.Label < 0 || size_t(Row.Label) >= T.LadderLevels)
+      return Fail(formatString("line %zu labels outside the ladder",
+                               LineNo));
+    T.Rows.push_back(Row);
+  }
+  if (!SawHeader)
+    return Fail("not a feature table (no feature_header line)");
+  Out = std::move(T);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// DecisionTreeModel
+//===----------------------------------------------------------------------===//
+
+DecisionTreeModel::Prediction
+DecisionTreeModel::predict(const std::array<double, kNumFeatures> &F) const {
+  assert(loaded() && "predict on an untrained model");
+  size_t I = 0;
+  while (Nodes[I].Feature >= 0)
+    I = size_t(F[size_t(Nodes[I].Feature)] < Nodes[I].Threshold
+                   ? Nodes[I].Left
+                   : Nodes[I].Right);
+  return {Nodes[I].Leaf, Nodes[I].Confidence};
+}
+
+std::string DecisionTreeModel::toJson() const {
+  std::string Out = formatString(
+      "{\"kind\":\"gw_model\",\"schema\":1,\"ladder_levels\":%zu,"
+      "\"max_depth\":%u,\"min_samples_leaf\":%u,\"rows\":%llu,"
+      "\"features\":[",
+      LadderLevels, MaxDepth, MinSamplesLeaf,
+      static_cast<unsigned long long>(TrainedRows));
+  for (size_t I = 0; I < kNumFeatures; ++I) {
+    if (I)
+      Out += ",";
+    Out += formatString("\"%s\"", featureNames()[I]);
+  }
+  Out += "],\"nodes\":[";
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    const TreeNode &N = Nodes[I];
+    if (I)
+      Out += ",";
+    if (N.Feature >= 0)
+      Out += formatString(
+          "{\"split\":%d,\"threshold\":%.17g,\"left\":%d,\"right\":%d}",
+          N.Feature, N.Threshold, N.Left, N.Right);
+    else
+      Out += formatString(
+          "{\"leaf\":%d,\"confidence\":%.17g,\"count\":%llu}", N.Leaf,
+          N.Confidence, static_cast<unsigned long long>(N.Count));
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool DecisionTreeModel::parse(const std::string &Text,
+                              DecisionTreeModel &Out, std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  std::string ParseError;
+  std::optional<json::Value> Doc = json::parse(Text, &ParseError);
+  if (!Doc || !Doc->isObject())
+    return Fail("model is not a JSON object" +
+                (ParseError.empty() ? "" : " (" + ParseError + ")"));
+  if (Doc->stringOr("kind", "") != "gw_model")
+    return Fail("not a gw-train model (kind mismatch)");
+  if (int(Doc->numberOr("schema", 0)) != 1)
+    return Fail(formatString("unsupported model schema %d",
+                             int(Doc->numberOr("schema", 0))));
+  const json::Value *Names = Doc->get("features");
+  if (!Names || !Names->isArray() || Names->Arr.size() != kNumFeatures)
+    return Fail("model feature schema mismatch");
+  for (size_t I = 0; I < kNumFeatures; ++I)
+    if (!Names->Arr[I].isString() ||
+        Names->Arr[I].Str != featureNames()[I])
+      return Fail("model feature schema mismatch");
+
+  DecisionTreeModel M;
+  M.LadderLevels = size_t(Doc->numberOr("ladder_levels", 0));
+  if (M.LadderLevels == 0)
+    return Fail("model has no ladder_levels");
+  M.MaxDepth = unsigned(Doc->numberOr("max_depth", 0));
+  M.MinSamplesLeaf = unsigned(Doc->numberOr("min_samples_leaf", 0));
+  M.TrainedRows = uint64_t(Doc->numberOr("rows", 0));
+
+  const json::Value *Nodes = Doc->get("nodes");
+  if (!Nodes || !Nodes->isArray() || Nodes->Arr.empty())
+    return Fail("model has no nodes");
+  int Count = int(Nodes->Arr.size());
+  for (int I = 0; I < Count; ++I) {
+    const json::Value &N = Nodes->Arr[size_t(I)];
+    if (!N.isObject())
+      return Fail(formatString("model node %d is malformed", I));
+    TreeNode T;
+    if (const json::Value *Split = N.get("split")) {
+      if (!Split->isNumber())
+        return Fail(formatString("model node %d is malformed", I));
+      T.Feature = int(Split->Num);
+      T.Threshold = N.numberOr("threshold", 0.0);
+      T.Left = int(N.numberOr("left", -1));
+      T.Right = int(N.numberOr("right", -1));
+      // Children must point strictly forward: serialization is
+      // pre-order, and the constraint rules out traversal cycles.
+      if (T.Feature < 0 || size_t(T.Feature) >= kNumFeatures ||
+          T.Left <= I || T.Left >= Count || T.Right <= I ||
+          T.Right >= Count)
+        return Fail(formatString("model node %d is malformed", I));
+    } else {
+      T.Feature = -1;
+      T.Leaf = int(N.numberOr("leaf", -1));
+      T.Confidence = N.numberOr("confidence", 0.0);
+      T.Count = uint64_t(N.numberOr("count", 0));
+      if (T.Leaf < 0 || size_t(T.Leaf) >= M.LadderLevels ||
+          T.Confidence < 0.0 || T.Confidence > 1.0)
+        return Fail(formatString("model node %d is malformed", I));
+    }
+    M.Nodes.push_back(T);
+  }
+  Out = std::move(M);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// CART training
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+double giniOf(const std::vector<uint64_t> &Counts, uint64_t Total) {
+  if (Total == 0)
+    return 0.0;
+  double Sum = 0.0;
+  for (uint64_t C : Counts) {
+    double P = double(C) / double(Total);
+    Sum += P * P;
+  }
+  return 1.0 - Sum;
+}
+
+struct SplitChoice {
+  bool Found = false;
+  int Feature = -1;
+  double Threshold = 0.0;
+  double Impurity = 0.0;
+};
+
+/// Exhaustive deterministic split search over \p Rows[Index...]: every
+/// feature, every boundary between distinct adjacent values. Ties break
+/// toward the lower feature index, then the lower threshold.
+SplitChoice findBestSplit(const std::vector<FeatureRow> &Rows,
+                          const std::vector<size_t> &Index,
+                          size_t LadderLevels, unsigned MinSamplesLeaf) {
+  SplitChoice Best;
+  const size_t N = Index.size();
+  std::vector<size_t> Order(Index);
+  std::vector<uint64_t> LeftCounts(LadderLevels), RightCounts(LadderLevels);
+  for (size_t F = 0; F < kNumFeatures; ++F) {
+    // Stable sort keyed on the feature value only: equal values keep
+    // canonical row order, so the sweep is input-order invariant.
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&Rows, F](size_t A, size_t B) {
+                       return Rows[A].F[F] < Rows[B].F[F];
+                     });
+    std::fill(LeftCounts.begin(), LeftCounts.end(), 0);
+    std::fill(RightCounts.begin(), RightCounts.end(), 0);
+    for (size_t I : Order)
+      ++RightCounts[size_t(Rows[I].Label)];
+    for (size_t I = 0; I + 1 < N; ++I) {
+      size_t Row = Order[I];
+      ++LeftCounts[size_t(Rows[Row].Label)];
+      --RightCounts[size_t(Rows[Row].Label)];
+      double Lo = Rows[Row].F[F];
+      double Hi = Rows[Order[I + 1]].F[F];
+      if (!(Lo < Hi))
+        continue; // No boundary between equal values.
+      uint64_t NL = I + 1, NR = N - NL;
+      if (NL < MinSamplesLeaf || NR < MinSamplesLeaf)
+        continue;
+      double Impurity = (double(NL) * giniOf(LeftCounts, NL) +
+                         double(NR) * giniOf(RightCounts, NR)) /
+                        double(N);
+      double Threshold = Lo + (Hi - Lo) / 2.0;
+      if (!Best.Found || Impurity < Best.Impurity ||
+          (Impurity == Best.Impurity &&
+           (int(F) < Best.Feature ||
+            (int(F) == Best.Feature && Threshold < Best.Threshold)))) {
+        Best.Found = true;
+        Best.Feature = int(F);
+        Best.Threshold = Threshold;
+        Best.Impurity = Impurity;
+      }
+    }
+  }
+  return Best;
+}
+
+struct TreeBuilder {
+  const std::vector<FeatureRow> &Rows;
+  size_t LadderLevels;
+  TrainOptions Opts;
+  std::vector<TreeNode> Nodes;
+
+  int makeLeaf(const std::vector<size_t> &Index) {
+    std::vector<uint64_t> Counts(LadderLevels, 0);
+    for (size_t I : Index)
+      ++Counts[size_t(Rows[I].Label)];
+    // Majority label; ties break toward the lower ladder level.
+    size_t Best = 0;
+    for (size_t L = 1; L < LadderLevels; ++L)
+      if (Counts[L] > Counts[Best])
+        Best = L;
+    TreeNode Leaf;
+    Leaf.Feature = -1;
+    Leaf.Leaf = int(Best);
+    Leaf.Count = Index.size();
+    Leaf.Confidence =
+        Index.empty() ? 0.0
+                      : double(Counts[Best]) / double(Index.size());
+    Nodes.push_back(Leaf);
+    return int(Nodes.size()) - 1;
+  }
+
+  int build(const std::vector<size_t> &Index, unsigned Depth) {
+    bool Pure = true;
+    for (size_t I = 1; I < Index.size(); ++I)
+      if (Rows[Index[I]].Label != Rows[Index[0]].Label) {
+        Pure = false;
+        break;
+      }
+    if (Pure || Depth >= Opts.MaxDepth ||
+        Index.size() < 2 * size_t(Opts.MinSamplesLeaf))
+      return makeLeaf(Index);
+    double Parent = [&] {
+      std::vector<uint64_t> Counts(LadderLevels, 0);
+      for (size_t I : Index)
+        ++Counts[size_t(Rows[I].Label)];
+      return giniOf(Counts, Index.size());
+    }();
+    SplitChoice Split =
+        findBestSplit(Rows, Index, LadderLevels, Opts.MinSamplesLeaf);
+    if (!Split.Found || Parent - Split.Impurity <= 1e-12)
+      return makeLeaf(Index);
+
+    std::vector<size_t> Left, Right;
+    for (size_t I : Index)
+      (Rows[I].F[size_t(Split.Feature)] < Split.Threshold ? Left : Right)
+          .push_back(I);
+
+    // Pre-order: parent, then the whole left subtree, then the right.
+    TreeNode Node;
+    Node.Feature = Split.Feature;
+    Node.Threshold = Split.Threshold;
+    Node.Count = Index.size();
+    Nodes.push_back(Node);
+    int Self = int(Nodes.size()) - 1;
+    Nodes[size_t(Self)].Left = build(Left, Depth + 1);
+    Nodes[size_t(Self)].Right = build(Right, Depth + 1);
+    return Self;
+  }
+};
+
+} // namespace
+
+DecisionTreeModel greenweb::trainDecisionTree(std::vector<FeatureRow> Rows,
+                                              size_t LadderLevels,
+                                              const TrainOptions &Opts) {
+  assert(LadderLevels > 0 && "training against an empty ladder");
+  for (const FeatureRow &R : Rows) {
+    (void)R;
+    assert(R.Label >= 0 && size_t(R.Label) < LadderLevels &&
+           "row labels outside the ladder");
+  }
+  // Canonical order first: training is then invariant to the input's
+  // row order (shuffled fleets, resumed exports, merged shards).
+  std::sort(Rows.begin(), Rows.end(),
+            [](const FeatureRow &A, const FeatureRow &B) {
+              for (size_t I = 0; I < kNumFeatures; ++I)
+                if (A.F[I] != B.F[I])
+                  return A.F[I] < B.F[I];
+              return A.Label < B.Label;
+            });
+
+  DecisionTreeModel M;
+  M.LadderLevels = LadderLevels;
+  M.MaxDepth = Opts.MaxDepth;
+  M.MinSamplesLeaf = std::max(1u, Opts.MinSamplesLeaf);
+  M.TrainedRows = Rows.size();
+  if (Rows.empty())
+    return M; // Untrained: no nodes; callers check loaded().
+
+  TreeBuilder Builder{Rows, LadderLevels,
+                      TrainOptions{Opts.MaxDepth,
+                                   std::max(1u, Opts.MinSamplesLeaf)},
+                      {}};
+  std::vector<size_t> All(Rows.size());
+  for (size_t I = 0; I < Rows.size(); ++I)
+    All[I] = I;
+  Builder.build(All, 0);
+  M.Nodes = std::move(Builder.Nodes);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// FeatureProbe
+//===----------------------------------------------------------------------===//
+
+FeatureProbe::FeatureProbe(const AnnotationRegistry &Registry,
+                           AcmpChip &Chip, UsageScenario Scenario,
+                           std::vector<FeatureRow> &Out)
+    : Registry(Registry), Chip(Chip), Scenario(Scenario), Out(Out),
+      Ladder(buildConfigLadder(Chip)) {}
+
+void FeatureProbe::onInputDispatched(uint64_t RootId,
+                                     const std::string &Type,
+                                     Element *Target) {
+  Extractor.noteInput(Chip.simulator().now());
+  std::optional<QosSpec> Spec =
+      Target ? Registry.lookup(*Target, Type) : std::nullopt;
+  if (!Spec)
+    return;
+  Active A;
+  A.Continuous = Spec->Type == QosType::Continuous;
+  A.Target = activeTarget(*Spec, Scenario);
+  A.Kind = eventKindCode(Type);
+  ActiveRoots[RootId] = A;
+}
+
+void FeatureProbe::onFrameReady(const FrameRecord &Frame) {
+  // One row per annotated root contributing to this frame: the feature
+  // vector as it stood *before* the frame, labeled with the cheapest
+  // ladder level that would have met the root's target given the
+  // frame's ground-truth cost.
+  std::map<uint64_t, bool> Roots;
+  for (const MsgLatency &L : Frame.Latencies)
+    Roots[L.Msg.RootId] = true;
+
+  TimePoint Now = Chip.simulator().now();
+  AcmpConfig Cur = Chip.config();
+  std::vector<uint64_t> SinglesDone;
+  for (const auto &[Root, Unused] : Roots) {
+    (void)Unused;
+    auto It = ActiveRoots.find(Root);
+    if (It == ActiveRoots.end())
+      continue;
+    // Cold-start frames carry all-zero cost features but wildly varying
+    // labels (the first frame can be a trivial click or a full page
+    // load); exporting them teaches the tree to predict from nothing.
+    // The serving governor declines these too, so skipping them also
+    // removes train/serve skew.
+    if (!Extractor.hasHistory()) {
+      if (!It->second.Continuous)
+        SinglesDone.push_back(Root);
+      continue;
+    }
+    const Active &A = It->second;
+    FeatureRow Row;
+    Row.F = Extractor.features(Now, A.Continuous, A.Target.millis(),
+                               A.Kind, Cur.Core == CoreKind::Big,
+                               double(Cur.FreqMHz));
+    Row.Label =
+        bestLadderLevel(Chip, Ladder, Frame.CyclesCharged,
+                        Frame.FixedCharged, A.Target, kLabelSafetyMargin);
+    Out.push_back(Row);
+    if (!A.Continuous)
+      SinglesDone.push_back(Root);
+  }
+  for (uint64_t Root : SinglesDone)
+    ActiveRoots.erase(Root);
+  Extractor.noteFrame(Frame);
+}
+
+void FeatureProbe::onEventQuiescent(uint64_t RootId) {
+  ActiveRoots.erase(RootId);
+}

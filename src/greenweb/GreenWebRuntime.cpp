@@ -7,6 +7,7 @@
 #include "greenweb/GreenWebRuntime.h"
 
 #include "browser/Browser.h"
+#include "hw/AcmpChip.h"
 #include "hw/EnergyMeter.h"
 #include "profiling/Profiler.h"
 #include "support/StringUtils.h"
@@ -122,6 +123,8 @@ void GreenWebRuntime::onInputDispatched(uint64_t RootId,
 
 GreenWebRuntime::Desired
 GreenWebRuntime::desiredConfigFor(const ActiveEvent &Event) {
+  if (std::optional<Desired> Override = predictOverride(Event))
+    return *Override;
   ModelState &State = Models[Event.Key];
   const AcmpSpec &Spec = B->chip().spec();
   switch (State.ModelPhase) {

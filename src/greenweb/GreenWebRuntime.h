@@ -146,7 +146,7 @@ public:
   /// Number of events currently being optimized.
   size_t activeEventCount() const { return ActiveEvents.size(); }
 
-private:
+protected:
   /// Calibration state of one (element, event) model.
   enum class Phase { NeedMaxProfile, NeedMinProfile, Ready };
 
@@ -177,6 +177,17 @@ private:
     double PredictedMs = -1.0; ///< Model prediction at Config (<0 = n/a).
     int FeedbackOffset = 0;
   };
+
+  /// Extension point for derived governors (the PredictiveGovernor):
+  /// consulted first in desiredConfigFor; returning a value bypasses
+  /// the profile/predict state machine for this decision while keeping
+  /// everything else — watchdog, idle-hold, telemetry decision spans,
+  /// max-across-events arbitration — identical. Return std::nullopt to
+  /// defer to the LTM path.
+  virtual std::optional<Desired> predictOverride(const ActiveEvent &Event) {
+    (void)Event;
+    return std::nullopt;
+  }
 
   std::string modelKey(const Element *Target, const std::string &Type,
                        const QosSpec &Spec) const;

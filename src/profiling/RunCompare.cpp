@@ -29,6 +29,7 @@ RunMeta metaFromJson(const json::Value &V) {
   M.Compiler = V.stringOr("compiler", "unknown");
   M.HardwareThreads = unsigned(V.numberOr("hardware_threads", 0));
   M.Flags = V.stringOr("flags", "");
+  M.Governor = V.stringOr("governor", "");
   return M;
 }
 

@@ -36,22 +36,32 @@ RunMeta RunMeta::current(std::string Flags) {
 }
 
 std::string RunMeta::toJsonObject() const {
-  return formatString(
+  std::string Out = formatString(
       "{\"schema\":%d,\"git_commit\":\"%s\",\"build_type\":\"%s\","
-      "\"compiler\":\"%s\",\"hardware_threads\":%u,\"flags\":\"%s\"}",
+      "\"compiler\":\"%s\",\"hardware_threads\":%u,\"flags\":\"%s\"",
       Schema, jsonEscape(GitCommit).c_str(), jsonEscape(BuildType).c_str(),
       jsonEscape(Compiler).c_str(), HardwareThreads,
       jsonEscape(Flags).c_str());
+  if (!Governor.empty())
+    Out += formatString(",\"governor\":\"%s\"",
+                        jsonEscape(Governor).c_str());
+  Out += "}";
+  return Out;
 }
 
 std::string RunMeta::toJsonlLine() const {
-  return formatString(
+  std::string Out = formatString(
       "{\"kind\":\"meta\",\"schema\":%d,\"git_commit\":\"%s\","
       "\"build_type\":\"%s\",\"compiler\":\"%s\",\"hardware_threads\":%u,"
-      "\"flags\":\"%s\"}",
+      "\"flags\":\"%s\"",
       Schema, jsonEscape(GitCommit).c_str(), jsonEscape(BuildType).c_str(),
       jsonEscape(Compiler).c_str(), HardwareThreads,
       jsonEscape(Flags).c_str());
+  if (!Governor.empty())
+    Out += formatString(",\"governor\":\"%s\"",
+                        jsonEscape(Governor).c_str());
+  Out += "}";
+  return Out;
 }
 
 std::string RunMeta::wrapSnapshot(const std::string &SnapshotJson) const {

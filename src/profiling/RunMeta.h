@@ -36,6 +36,10 @@ struct RunMeta {
   std::string Compiler;    ///< "GNU 12.2.0"-style id + version.
   unsigned HardwareThreads = 0;
   std::string Flags;       ///< Producing command line (free-form).
+  /// Governor the artifact was produced under (ablation artifacts);
+  /// empty for artifacts with no single governor. Serialized only when
+  /// set, so governor-less artifacts keep their exact pre-field bytes.
+  std::string Governor;
 
   /// The metadata for this build and host; \p Flags is typically the
   /// joined argv of the producing tool.

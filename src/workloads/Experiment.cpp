@@ -9,6 +9,7 @@
 #include "autogreen/AutoGreen.h"
 #include "browser/Browser.h"
 #include "greenweb/Governors.h"
+#include "greenweb/PredictiveGovernor.h"
 #include "hw/EnergyMeter.h"
 #include "profiling/Profiler.h"
 #include "support/Statistics.h"
@@ -238,6 +239,21 @@ makeGovernor(const ExperimentConfig &Config, AnnotationRegistry &Registry,
     RT->setEnergyMeter(&Meter);
     return RT;
   }
+  if (Name == governors::PredictiveI || Name == governors::PredictiveU) {
+    GreenWebRuntime::Params P =
+        Config.RuntimeParams.value_or(GreenWebRuntime::Params{});
+    P.Scenario = Name == governors::PredictiveI
+                     ? UsageScenario::Imperceptible
+                     : UsageScenario::Usable;
+    PredictiveGovernor::Options O;
+    O.ModelPath = Config.ModelPath;
+    O.SharedModel = Config.Model;
+    O.ConfidenceThreshold = Config.PredictiveConfidence;
+    auto RT =
+        std::make_unique<PredictiveGovernor>(Registry, P, std::move(O));
+    RT->setEnergyMeter(&Meter);
+    return RT;
+  }
   assert(false && "unknown governor name");
   return nullptr;
 }
@@ -306,6 +322,7 @@ struct Harness {
     uint64_t SetupStart = hostNowNs();
     BrowserOptions Opts;
     Opts.RngSeed = Config.Seed;
+    Opts.InputRate = Config.InputRate;
     B = std::make_unique<Browser>(Sim, Chip, Opts);
     auto Complexity = std::make_shared<ComplexitySource>(
         App->Complexity, Rng(Config.Seed).fork(0xC0));
@@ -320,6 +337,16 @@ struct Harness {
         applyAnnotationFaults(*Injector, Registry, *B);
     };
     B->addFrameObserver(&Collector);
+    if (Config.FeatureRows) {
+      // Training-data export: label targets follow the governor's
+      // scenario (usable for the -U governors, imperceptible else).
+      UsageScenario S = Config.GovernorName == governors::GreenWebU ||
+                                Config.GovernorName == governors::PredictiveU
+                            ? UsageScenario::Usable
+                            : UsageScenario::Imperceptible;
+      Probe.emplace(Registry, Chip, S, *Config.FeatureRows);
+      B->addFrameObserver(&*Probe);
+    }
     Gov->attach(*B);
     if (Warm)
       B->loadPage(Warm->Snapshot);
@@ -348,6 +375,8 @@ struct Harness {
   EnergyMeter Meter;
   AnnotationRegistry Registry;
   MetricCollector Collector;
+  /// Training-data exporter (engaged when Config.FeatureRows is set).
+  std::optional<FeatureProbe> Probe;
   std::unique_ptr<Governor> Gov;
   /// Declared after everything it perturbs; its destructor detaches
   /// from Sim before Sim is destroyed.
@@ -411,9 +440,14 @@ static ExperimentResult collectResults(Harness &H, TimePoint ArmTime) {
   if (H.Injector)
     R.Faults = H.Injector->stats();
 
+  if (H.B)
+    R.InputEventsCoalesced = H.B->rateController().suppressedCount();
+
   if (auto *RT = static_cast<GreenWebRuntime *>(
           H.Config.GovernorName == governors::GreenWebI ||
-                  H.Config.GovernorName == governors::GreenWebU
+                  H.Config.GovernorName == governors::GreenWebU ||
+                  H.Config.GovernorName == governors::PredictiveI ||
+                  H.Config.GovernorName == governors::PredictiveU
               ? H.Gov.get()
               : nullptr))
     R.RuntimeStats = RT->stats();

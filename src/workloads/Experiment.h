@@ -17,7 +17,9 @@
 #ifndef GREENWEB_WORKLOADS_EXPERIMENT_H
 #define GREENWEB_WORKLOADS_EXPERIMENT_H
 
+#include "browser/BrowserConfig.h"
 #include "faults/FaultInjector.h"
+#include "greenweb/Features.h"
 #include "greenweb/GreenWebRuntime.h"
 #include "workloads/Apps.h"
 
@@ -46,6 +48,8 @@ inline constexpr const char *Powersave = "Powersave";
 inline constexpr const char *Ebs = "EBS";
 inline constexpr const char *GreenWebI = "GreenWeb-I";
 inline constexpr const char *GreenWebU = "GreenWeb-U";
+inline constexpr const char *PredictiveI = "Predictive-I";
+inline constexpr const char *PredictiveU = "Predictive-U";
 } // namespace governors
 
 /// One experiment's configuration.
@@ -95,6 +99,21 @@ struct ExperimentConfig {
   /// (app, seed) at start, so median sweeps warm every seed. Not owned;
   /// must outlive the run. Thread-safe across parallel runs.
   WarmCache *WarmPool = nullptr;
+  /// Model JSON for the Predictive governors (loaded per run). Ignored
+  /// for other governors.
+  std::string ModelPath;
+  /// Pre-parsed model for the Predictive governors; takes precedence
+  /// over ModelPath. Not owned; must outlive the run.
+  const DecisionTreeModel *Model = nullptr;
+  /// Confidence threshold below which the Predictive governors fall
+  /// back to the LTM decision path.
+  double PredictiveConfidence = 0.6;
+  /// When set, a FeatureProbe observer exports one labeled training
+  /// row per annotated frame into this vector (fleet training-data
+  /// export). Not owned; must outlive the run.
+  std::vector<FeatureRow> *FeatureRows = nullptr;
+  /// Browser input event rate control (eBrowser-style coalescing).
+  EventRateOptions InputRate;
 };
 
 /// Per-event measurements.
@@ -131,6 +150,9 @@ struct ExperimentResult {
   uint64_t InputEvents = 0;
   uint64_t AnnotatedEvents = 0;
   uint64_t Frames = 0;
+  /// Input events dropped by the browser's EventRateController (zero
+  /// when rate control is off or never triggered).
+  uint64_t InputEventsCoalesced = 0;
 
   /// Aggregate violation percentage (mean over annotated events) under
   /// each scenario's targets. Perf/Interactive are scenario-agnostic

@@ -58,6 +58,7 @@ ExperimentConfig FleetPlan::config(const FleetPlanItem &Item) const {
     C.Faults = FaultPlan::chaosPlan(Item.faultSeed());
   else if (Item.Scenario != "none")
     C.Faults = FaultPlan::scenario(Item.Scenario, Item.faultSeed());
+  C.ModelPath = ModelPath;
   return C;
 }
 
@@ -86,9 +87,15 @@ std::string FleetPlan::toJson() const {
   Out += "],\"scenarios\":[";
   Names(Scenarios);
   Out += formatString("],\"replicas\":%u,\"micro_repetitions\":%u,"
-                      "\"baseline_governor\":\"%s\"}",
+                      "\"baseline_governor\":\"%s\"",
                       unsigned(Replicas), MicroRepetitions,
                       jsonEscape(BaselineGovernor).c_str());
+  // Appended only when set: plans without a model keep the exact JSON
+  // (and hash) they had before models existed, so old checkpoints
+  // still resume.
+  if (!ModelPath.empty())
+    Out += formatString(",\"model\":\"%s\"", jsonEscape(ModelPath).c_str());
+  Out += "}";
   return Out;
 }
 
@@ -161,6 +168,7 @@ bool FleetPlan::parse(const std::string &Text, FleetPlan &Out,
   P.MicroRepetitions = unsigned(Doc->numberOr("micro_repetitions", 8));
   P.BaselineGovernor = Doc->stringOr(
       "baseline_governor", P.Governors.empty() ? "" : P.Governors.front());
+  P.ModelPath = Doc->stringOr("model", "");
 
   if (P.Apps.empty() || P.Governors.empty() || P.Seeds.empty())
     return Fail("plan needs non-empty apps, governors, and seeds");
@@ -176,8 +184,14 @@ bool FleetPlan::parse(const std::string &Text, FleetPlan &Out,
     if (Gov != governors::Perf && Gov != governors::Interactive &&
         Gov != governors::Ondemand && Gov != governors::Powersave &&
         Gov != governors::Ebs && Gov != governors::GreenWebI &&
-        Gov != governors::GreenWebU)
+        Gov != governors::GreenWebU && Gov != governors::PredictiveI &&
+        Gov != governors::PredictiveU)
       return Fail("unknown governor '" + Gov + "'");
+  if (P.ModelPath.empty())
+    for (const std::string &Gov : P.Governors)
+      if (Gov == governors::PredictiveI || Gov == governors::PredictiveU)
+        return Fail("plan lists governor '" + Gov +
+                    "' but has no \"model\" path");
   std::vector<std::string> KnownScenarios = FaultPlan::scenarioNames();
   for (const std::string &Sc : P.Scenarios)
     if (Sc != "none" && Sc != "chaos" &&

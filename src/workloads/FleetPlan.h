@@ -64,6 +64,9 @@ struct FleetPlan {
   /// Governor the energy extrapolation compares against; defaults to
   /// the plan's first governor.
   std::string BaselineGovernor;
+  /// Model JSON for Predictive governors in the plan (empty = none;
+  /// such plans fail validation if they list a Predictive governor).
+  std::string ModelPath;
 
   /// Total item count (the full cross product).
   uint64_t items() const;

@@ -6,6 +6,11 @@
 
 #include "workloads/FleetRunner.h"
 
+#include "greenweb/Features.h"
+#include "greenweb/Governors.h"
+#include "hw/AcmpChip.h"
+#include "profiling/RunMeta.h"
+#include "sim/Simulator.h"
 #include "support/StringUtils.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/SchedTrace.h"
@@ -100,6 +105,27 @@ bool greenweb::runFleet(const FleetPlan &Plan, const FleetRunOptions &Opts,
     C.ItemsTotal = Items;
   }
 
+  std::ofstream Features;
+  if (!Opts.FeaturesPath.empty()) {
+    if (Opts.Resume)
+      return Fail("feature export does not support --resume (skipped "
+                  "batches would leave holes in the table)");
+    Features.open(Opts.FeaturesPath, std::ios::binary | std::ios::trunc);
+    if (!Features)
+      return Fail("cannot write features file " + Opts.FeaturesPath);
+    // Ladder size for the header: the label space is this chip's
+    // config ladder, identical for every simulated device.
+    size_t LadderLevels;
+    {
+      Simulator S;
+      AcmpChip Chip(S);
+      LadderLevels = buildConfigLadder(Chip).size();
+    }
+    Features << prof::RunMeta::current("gw-fleet --features").toJsonlLine()
+             << "\n"
+             << featureHeaderLine(LadderLevels) << "\n";
+  }
+
   WarmCache Warm;
   SchedProgress Progress;
   uint64_t ExecutedBatches = 0;
@@ -143,6 +169,12 @@ bool greenweb::runFleet(const FleetPlan &Plan, const FleetRunOptions &Opts,
     // threads (distinct slots per index, so no synchronization needed).
     std::vector<RunSample> Samples(Configs.size());
     std::vector<std::string> BlackBoxes(Configs.size());
+    std::vector<std::vector<FeatureRow>> FeatureSlots;
+    if (Features.is_open()) {
+      FeatureSlots.resize(Configs.size());
+      for (size_t I = 0; I < Configs.size(); ++I)
+        Configs[I].FeatureRows = &FeatureSlots[I];
+    }
 
     Telemetry Shared; // Throwaway: per-run hubs are what we harvest.
     Shared.setLogCapacity(0);
@@ -179,6 +211,16 @@ bool greenweb::runFleet(const FleetPlan &Plan, const FleetRunOptions &Opts,
                                static_cast<unsigned long long>(B),
                                E.what()));
     }
+
+    // Feature rows append in item order, the same order the fold uses.
+    if (Features.is_open())
+      for (size_t I = 0; I < FeatureSlots.size(); ++I) {
+        const FleetPlanItem &Item = BatchItems[I];
+        for (const FeatureRow &Row : FeatureSlots[I])
+          Features << featureRowLine(Row, Item.App, Item.Governor,
+                                     Item.Seed)
+                   << "\n";
+      }
 
     // Fold in item order — the one order every invocation shares.
     FleetShardRollup Rollup;

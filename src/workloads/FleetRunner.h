@@ -55,6 +55,12 @@ struct FleetRunOptions {
   uint64_t MaxBatches = 0;
   /// Render a live progress meter (stderr, TTY-aware).
   bool Progress = false;
+  /// When set, export one labeled feature row per annotated frame
+  /// across every executed item into this JSONL file (the gw-train
+  /// training-data factory). Rows append in item order, so the table is
+  /// deterministic for a fixed plan. Incompatible with Resume — skipped
+  /// batches would leave silent holes in the table.
+  std::string FeaturesPath;
 };
 
 /// What one runFleet invocation did.

@@ -1,0 +1,153 @@
+//===- tests/browser/EventRateControllerTest.cpp - input rate control ----------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/EventRateController.h"
+
+#include "browser/Browser.h"
+
+#include <gtest/gtest.h>
+
+using namespace greenweb;
+
+namespace {
+
+EventRateOptions rateOpts(bool Enabled) {
+  EventRateOptions O;
+  O.Enabled = Enabled; // MinInterval keeps its 12ms default
+  return O;
+}
+
+const char *ScrollPage = R"raw(
+  <div id="feed" onscroll="tick()"></div>
+  <script>
+    function tick() {
+      document.getElementById('feed').style.rev = now();
+    }
+  </script>
+)raw";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Controller unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(EventRateController, OnlyMoveClassEventsAreRateLimited) {
+  EXPECT_TRUE(EventRateController::isRateLimited("scroll"));
+  EXPECT_TRUE(EventRateController::isRateLimited("touchmove"));
+  EXPECT_FALSE(EventRateController::isRateLimited("click"));
+  EXPECT_FALSE(EventRateController::isRateLimited("touchstart"));
+  EXPECT_FALSE(EventRateController::isRateLimited("touchend"));
+  EXPECT_FALSE(EventRateController::isRateLimited("load"));
+}
+
+TEST(EventRateController, DisabledControllerAdmitsEverything) {
+  EventRateController C;
+  ASSERT_FALSE(C.options().Enabled);
+  TimePoint T;
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(C.admit("scroll", T + Duration::milliseconds(I)));
+  EXPECT_EQ(C.suppressedCount(), 0u);
+}
+
+TEST(EventRateController, ArrivalsInsideWindowAreSuppressed) {
+  EventRateController C(rateOpts(true));
+  TimePoint T;
+  EXPECT_TRUE(C.admit("scroll", T)); // first arrival always passes
+  EXPECT_FALSE(C.admit("scroll", T + Duration::milliseconds(5)));
+  EXPECT_FALSE(C.admit("scroll", T + Duration::milliseconds(11)));
+  EXPECT_TRUE(C.admit("scroll", T + Duration::milliseconds(12)));
+  EXPECT_EQ(C.suppressedCount(), 2u);
+  // The window is per-type: a touchmove stream has its own spacing.
+  EXPECT_TRUE(C.admit("touchmove", T + Duration::milliseconds(13)));
+  // Discrete events never consult the window.
+  EXPECT_TRUE(C.admit("click", T + Duration::milliseconds(13)));
+}
+
+TEST(EventRateController, LastAdmittedRootTracksAdmissions) {
+  EventRateController C(rateOpts(true));
+  EXPECT_EQ(C.lastAdmittedRoot("scroll"), 0u);
+  TimePoint T;
+  ASSERT_TRUE(C.admit("scroll", T));
+  C.noteAdmitted("scroll", 41);
+  EXPECT_EQ(C.lastAdmittedRoot("scroll"), 41u);
+  EXPECT_EQ(C.lastAdmittedRoot("touchmove"), 0u);
+  // Navigation forgets admission history.
+  C.reset();
+  EXPECT_EQ(C.lastAdmittedRoot("scroll"), 0u);
+  EXPECT_TRUE(C.admit("scroll", T + Duration::milliseconds(1)));
+}
+
+//===----------------------------------------------------------------------===//
+// Browser integration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drives one browser with the given rate-control options through a
+/// fixed scroll burst and returns it for inspection.
+struct ScrollRun {
+  Simulator Sim;
+  AcmpChip Chip;
+  Browser B;
+
+  explicit ScrollRun(EventRateOptions Rate, Duration Spacing, int Count)
+      : Chip(Sim), B(Sim, Chip, [&] {
+          BrowserOptions O;
+          O.InputRate = Rate;
+          return O;
+        }()) {
+    Chip.setConfig(Chip.spec().maxConfig());
+    EXPECT_NE(B.loadPage(ScrollPage), 0u);
+    Sim.runUntil(Sim.now() + Duration::seconds(2));
+    EXPECT_TRUE(B.ScriptErrors.empty());
+    for (int I = 0; I < Count; ++I) {
+      Roots.push_back(B.dispatchInput("scroll", "feed"));
+      Sim.runUntil(Sim.now() + Spacing);
+    }
+    Sim.runUntil(Sim.now() + Duration::seconds(1));
+  }
+
+  std::vector<uint64_t> Roots;
+};
+
+} // namespace
+
+TEST(EventRateControllerBrowser, UnderTheLimitRunsAreByteIdentical) {
+  // Inputs spaced wider than the window: the controller never fires,
+  // and the run is indistinguishable from one without it — same roots,
+  // same frame count, same frame timings cycle-for-cycle.
+  Duration Spacing = Duration::milliseconds(40);
+  ScrollRun Off(rateOpts(false), Spacing, 8);
+  ScrollRun On(rateOpts(true), Spacing, 8);
+  EXPECT_EQ(On.B.rateController().suppressedCount(), 0u);
+  EXPECT_EQ(On.Roots, Off.Roots);
+  const auto &FOn = On.B.frameTracker().frames();
+  const auto &FOff = Off.B.frameTracker().frames();
+  ASSERT_EQ(FOn.size(), FOff.size());
+  for (size_t I = 0; I < FOn.size(); ++I) {
+    EXPECT_EQ(FOn[I].BeginTime, FOff[I].BeginTime);
+    EXPECT_EQ(FOn[I].ReadyTime, FOff[I].ReadyTime);
+    EXPECT_DOUBLE_EQ(FOn[I].CyclesCharged, FOff[I].CyclesCharged);
+    EXPECT_EQ(FOn[I].Latencies.size(), FOff[I].Latencies.size());
+  }
+}
+
+TEST(EventRateControllerBrowser, OverTheLimitBurstIsCoalesced) {
+  // A 2ms-spaced burst (500Hz) against a 12ms window: most arrivals are
+  // suppressed, frame work shrinks, and the replayer still sees the
+  // last admitted root instead of 0.
+  Duration Spacing = Duration::milliseconds(2);
+  ScrollRun Off(rateOpts(false), Spacing, 30);
+  ScrollRun On(rateOpts(true), Spacing, 30);
+  EXPECT_GT(On.B.rateController().suppressedCount(), 0u);
+  EXPECT_LT(On.B.frameTracker().frames().size(),
+            Off.B.frameTracker().frames().size());
+  for (uint64_t Root : On.Roots)
+    EXPECT_NE(Root, 0u);
+  // Suppressed arrivals reuse the previous admitted root id.
+  EXPECT_EQ(On.Roots[1], On.Roots[0]);
+}

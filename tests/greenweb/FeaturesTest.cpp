@@ -1,0 +1,218 @@
+//===- tests/greenweb/FeaturesTest.cpp - feature pipeline tests ----------------===//
+//
+// Part of the GreenWeb reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "greenweb/Features.h"
+
+#include "greenweb/Governors.h"
+#include "hw/AcmpChip.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace greenweb;
+
+namespace {
+
+FrameRecord makeFrame(double Mcycles, double FixedMs, double BeginSecs) {
+  FrameRecord F;
+  F.BeginTime = TimePoint() + Duration::seconds(BeginSecs);
+  F.ReadyTime = F.BeginTime + Duration::milliseconds(5);
+  F.CyclesCharged = Mcycles * 1e6;
+  F.FixedCharged = Duration::milliseconds(FixedMs);
+  return F;
+}
+
+/// A small synthetic training set whose best split is obvious: low
+/// previous-frame cost maps to a low ladder level, high cost to a high
+/// one.
+std::vector<FeatureRow> syntheticRows() {
+  std::vector<FeatureRow> Rows;
+  for (int I = 0; I < 40; ++I) {
+    FeatureRow R;
+    bool Heavy = I % 2 == 1;
+    R.F[1] = Heavy ? 40.0 + I * 0.1 : 2.0 + I * 0.1;
+    R.F[2] = R.F[1];
+    R.F[5] = 16.6;
+    R.Label = Heavy ? 12 : 3;
+    Rows.push_back(R);
+  }
+  return Rows;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FeatureExtractor
+//===----------------------------------------------------------------------===//
+
+TEST(FeatureExtractor, ColdStartHasNoHistory) {
+  FeatureExtractor E;
+  EXPECT_FALSE(E.hasHistory());
+  E.noteFrame(makeFrame(10.0, 1.0, 0.0));
+  EXPECT_TRUE(E.hasHistory());
+  E.reset();
+  EXPECT_FALSE(E.hasHistory());
+}
+
+TEST(FeatureExtractor, CostFeaturesTrackFrames) {
+  FeatureExtractor E;
+  E.noteFrame(makeFrame(10.0, 2.0, 0.0));
+  TimePoint Now = TimePoint() + Duration::seconds(1);
+  auto F = E.features(Now, false, 100.0, 0, true, 2000.0);
+  EXPECT_DOUBLE_EQ(F[1], 10.0); // prev_frame_mcycles
+  EXPECT_DOUBLE_EQ(F[3], 2.0);  // prev_frame_fixed_ms
+  EXPECT_DOUBLE_EQ(F[5], 100.0);
+  EXPECT_DOUBLE_EQ(F[7], 1.0);
+  EXPECT_DOUBLE_EQ(F[8], 2000.0);
+
+  // EWMA moves toward the newer observation but keeps history.
+  E.noteFrame(makeFrame(30.0, 2.0, 1.0));
+  auto F2 = E.features(Now + Duration::seconds(1), false, 100.0, 0, true,
+                       2000.0);
+  EXPECT_DOUBLE_EQ(F2[1], 30.0);
+  EXPECT_GT(F2[2], 10.0);
+  EXPECT_LT(F2[2], 30.0);
+}
+
+TEST(FeatureExtractor, EventRateUsesTrailingWindow) {
+  FeatureExtractor E;
+  TimePoint T0;
+  for (int I = 0; I < 10; ++I)
+    E.noteInput(T0 + Duration::milliseconds(I * 50));
+  auto F = E.features(T0 + Duration::milliseconds(500), true, 16.6, 1,
+                      false, 700.0);
+  EXPECT_NEAR(F[0], 10.0, 0.01); // 10 inputs in the trailing second
+  // Two seconds later the window is empty.
+  auto F2 = E.features(T0 + Duration::seconds(3), true, 16.6, 1, false,
+                       700.0);
+  EXPECT_DOUBLE_EQ(F2[0], 0.0);
+}
+
+TEST(Features, EventKindCodesAreStable) {
+  EXPECT_NE(eventKindCode("click"), eventKindCode("touchmove"));
+  EXPECT_EQ(eventKindCode("no-such-event"), eventKindCode("another-new"));
+}
+
+//===----------------------------------------------------------------------===//
+// Label generation
+//===----------------------------------------------------------------------===//
+
+TEST(Features, BestLadderLevelPicksCheapestMeetingTarget) {
+  Simulator Sim;
+  AcmpChip Chip(Sim);
+  std::vector<AcmpConfig> Ladder = buildConfigLadder(Chip);
+  // Trivial work: every level meets the target, so the label is the
+  // cheapest.
+  EXPECT_EQ(bestLadderLevel(Chip, Ladder, 1e5, Duration::zero(),
+                            Duration::milliseconds(100)),
+            0);
+  // Impossible work: nothing qualifies, fall back to the top.
+  EXPECT_EQ(bestLadderLevel(Chip, Ladder, 1e12, Duration::zero(),
+                            Duration::milliseconds(1)),
+            int(Ladder.size()) - 1);
+  // Labels are monotone in cost: heavier frames never get a lower
+  // level.
+  int Prev = 0;
+  for (double Cycles = 1e6; Cycles < 1e11; Cycles *= 2) {
+    int L = bestLadderLevel(Chip, Ladder, Cycles, Duration::zero(),
+                            Duration::milliseconds(16));
+    EXPECT_GE(L, Prev);
+    Prev = L;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Feature table round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(Features, FeatureTableRoundTrip) {
+  FeatureRow R;
+  for (size_t I = 0; I < kNumFeatures; ++I)
+    R.F[I] = double(I) + 0.5;
+  R.Label = 7;
+  std::string Text = featureHeaderLine(17) + "\n" +
+                     featureRowLine(R, "BBC", "GreenWeb-I", 3) + "\n";
+  FeatureTable Table;
+  std::string Error;
+  ASSERT_TRUE(FeatureTable::parse(Text, Table, &Error)) << Error;
+  EXPECT_EQ(Table.LadderLevels, 17u);
+  ASSERT_EQ(Table.Rows.size(), 1u);
+  EXPECT_EQ(Table.Rows[0].Label, 7);
+  for (size_t I = 0; I < kNumFeatures; ++I)
+    EXPECT_DOUBLE_EQ(Table.Rows[0].F[I], R.F[I]);
+}
+
+TEST(Features, FeatureTableRejectsForeignSchema) {
+  FeatureTable Table;
+  std::string Error;
+  EXPECT_FALSE(FeatureTable::parse("{\"kind\":\"feature_row\"}\n", Table,
+                                   &Error));
+  EXPECT_FALSE(Error.empty());
+  std::string Wrong = featureHeaderLine(17);
+  size_t At = Wrong.find("event_rate_hz");
+  ASSERT_NE(At, std::string::npos);
+  Wrong.replace(At, 13, "other_feature");
+  EXPECT_FALSE(FeatureTable::parse(Wrong + "\n", Table, &Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Decision-tree training and model round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionTree, LearnsSeparableLabels) {
+  DecisionTreeModel M = trainDecisionTree(syntheticRows(), 17);
+  ASSERT_TRUE(M.loaded());
+  std::array<double, kNumFeatures> Light{};
+  Light[1] = 3.0;
+  Light[2] = 3.0;
+  Light[5] = 16.6;
+  std::array<double, kNumFeatures> Heavy = Light;
+  Heavy[1] = 42.0;
+  Heavy[2] = 42.0;
+  EXPECT_EQ(M.predict(Light).Level, 3);
+  EXPECT_EQ(M.predict(Heavy).Level, 12);
+  EXPECT_GT(M.predict(Light).Confidence, 0.9);
+}
+
+TEST(DecisionTree, TrainingIsInvariantToRowOrder) {
+  std::vector<FeatureRow> Rows = syntheticRows();
+  std::string Reference = trainDecisionTree(Rows, 17).toJson();
+  std::mt19937_64 Rng(12345);
+  for (int Trial = 0; Trial < 3; ++Trial) {
+    std::shuffle(Rows.begin(), Rows.end(), Rng);
+    EXPECT_EQ(trainDecisionTree(Rows, 17).toJson(), Reference);
+  }
+}
+
+TEST(DecisionTree, ModelJsonRoundTrips) {
+  DecisionTreeModel M = trainDecisionTree(syntheticRows(), 17);
+  std::string Json = M.toJson();
+  DecisionTreeModel Back;
+  std::string Error;
+  ASSERT_TRUE(DecisionTreeModel::parse(Json, Back, &Error)) << Error;
+  EXPECT_EQ(Back.toJson(), Json);
+  EXPECT_EQ(Back.LadderLevels, M.LadderLevels);
+  EXPECT_EQ(Back.Nodes.size(), M.Nodes.size());
+}
+
+TEST(DecisionTree, ParseRejectsCorruptAndForeignDocuments) {
+  DecisionTreeModel M;
+  std::string Error;
+  EXPECT_FALSE(DecisionTreeModel::parse("not json at all {", M, &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(DecisionTreeModel::parse("{\"kind\":\"other\"}", M, &Error));
+
+  // A valid document whose feature list names a foreign schema.
+  std::string Json = trainDecisionTree(syntheticRows(), 17).toJson();
+  size_t At = Json.find("event_rate_hz");
+  ASSERT_NE(At, std::string::npos);
+  std::string Foreign = Json;
+  Foreign.replace(At, 13, "other_feature");
+  EXPECT_FALSE(DecisionTreeModel::parse(Foreign, M, &Error));
+}

@@ -283,6 +283,28 @@ TEST(RunCompareTest, SamplesOnOneSideFallBackToPointComparison) {
   EXPECT_EQ(D->V, Verdict::Regressed); // ...but the threshold still fires.
 }
 
+TEST(RunCompareTest, GovernorMetaRoundTrips) {
+  // The optional governor field is serialized only when set, so
+  // governor-less artifacts keep their exact pre-field bytes.
+  prof::RunMeta M;
+  M.GitCommit = "abc";
+  EXPECT_EQ(M.toJsonObject().find("governor"), std::string::npos);
+  EXPECT_EQ(M.toJsonlLine().find("governor"), std::string::npos);
+  M.Governor = "Predictive-I";
+  EXPECT_NE(M.toJsonObject().find("\"governor\":\"Predictive-I\""),
+            std::string::npos);
+
+  std::string Artifact = benchJson(100.0, 2.0);
+  size_t Pos = Artifact.find("\"flags\":\"bench_x\"");
+  ASSERT_NE(Pos, std::string::npos);
+  Artifact.insert(Pos, "\"governor\":\"GreenWeb-I\",");
+  RunSnapshot S = mustParse(Artifact);
+  ASSERT_TRUE(S.HasMeta);
+  EXPECT_EQ(S.Meta.Governor, "GreenWeb-I");
+  // No governor in the document parses as "not stamped".
+  EXPECT_EQ(mustParse(benchJson(100.0, 2.0)).Meta.Governor, "");
+}
+
 TEST(RunCompareTest, MannWhitneySanity) {
   std::vector<double> A{1, 2, 3, 4, 5, 6, 7, 8};
   std::vector<double> Shifted{11, 12, 13, 14, 15, 16, 17, 18};

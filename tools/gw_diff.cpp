@@ -122,24 +122,25 @@ int main(int Argc, char **Argv) {
     R = prof::compareRuns(*Base, *Cand, Relaxed);
   }
 
+  // The governor tag makes ablation artifacts self-describing: a
+  // baseline/candidate pair reads as "GreenWeb-I vs Predictive-I"
+  // without decoding file names.
+  auto MetaLine = [](const prof::RunSnapshot &S) {
+    if (!S.HasMeta)
+      return std::string(" (no metadata header)");
+    std::string Line = formatString(
+        " (commit %s, %s, %s, %u threads", S.Meta.GitCommit.c_str(),
+        S.Meta.BuildType.c_str(), S.Meta.Compiler.c_str(),
+        S.Meta.HardwareThreads);
+    if (!S.Meta.Governor.empty())
+      Line += formatString(", governor %s", S.Meta.Governor.c_str());
+    Line += ")";
+    return Line;
+  };
   std::printf("baseline:  %s%s\n", BaselinePath.c_str(),
-              Base->HasMeta
-                  ? formatString(" (commit %s, %s, %s, %u threads)",
-                                 Base->Meta.GitCommit.c_str(),
-                                 Base->Meta.BuildType.c_str(),
-                                 Base->Meta.Compiler.c_str(),
-                                 Base->Meta.HardwareThreads)
-                        .c_str()
-                  : " (no metadata header)");
+              MetaLine(*Base).c_str());
   std::printf("candidate: %s%s\n\n", CandidatePath.c_str(),
-              Cand->HasMeta
-                  ? formatString(" (commit %s, %s, %s, %u threads)",
-                                 Cand->Meta.GitCommit.c_str(),
-                                 Cand->Meta.BuildType.c_str(),
-                                 Cand->Meta.Compiler.c_str(),
-                                 Cand->Meta.HardwareThreads)
-                        .c_str()
-                  : " (no metadata header)");
+              MetaLine(*Cand).c_str());
 
   std::string Report = prof::formatCompareReport(R, Opts);
   std::fputs(Report.c_str(), stdout);

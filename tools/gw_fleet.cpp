@@ -20,6 +20,8 @@
 //   --resume           load the checkpoint and skip completed batches
 //   --max-batches=N    stop after N batches this invocation (testing)
 //   --report=FILE      write the final fleet report JSON here
+//   --features=FILE    export the labeled training feature table (one
+//                      JSONL row per annotated frame; gw-train input)
 //   --progress         live TTY-aware progress meter on stderr
 //
 // The final report is byte-identical whether the run was interrupted
@@ -47,7 +49,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s --plan=FILE [--jobs=N] [--batch=N] "
                "[--checkpoint=FILE [--resume] [--checkpoint-every=N]] "
-               "[--max-batches=N] [--report=FILE] [--progress]\n",
+               "[--max-batches=N] [--report=FILE] [--features=FILE] "
+               "[--progress]\n",
                Argv0);
   return 2;
 }
@@ -78,6 +81,8 @@ int main(int Argc, char **Argv) {
       Opts.MaxBatches = uint64_t(std::atoll(V));
     else if (const char *V = Value("--report="))
       ReportPath = V;
+    else if (const char *V = Value("--features="))
+      Opts.FeaturesPath = V;
     else if (Arg == "--resume")
       Opts.Resume = true;
     else if (Arg == "--progress")

@@ -532,6 +532,9 @@ int main(int Argc, char **Argv) {
                     Meta->stringOr("compiler", "?").c_str(),
                     int(Meta->numberOr("hardware_threads", 0)),
                     int(Meta->numberOr("schema", 0)));
+        std::string Governor = Meta->stringOr("governor", "");
+        if (!Governor.empty())
+          std::printf("governor: %s\n", Governor.c_str());
         std::string Flags = Meta->stringOr("flags", "");
         if (!Flags.empty())
           std::printf("produced by: %s\n", Flags.c_str());
